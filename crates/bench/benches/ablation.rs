@@ -1,0 +1,181 @@
+//! Ablations of SI-HTM's design choices (DESIGN.md §5): quiescence,
+//! read-only fast path, the future-work killing alternative, ROT read
+//! tracking (paper footnote 1), TMCAM size, and the simulator's cost-model
+//! compensation. Two persistent worker threads drive a mixed bank workload
+//! (80 % transfers, 20 % full-sweep audits) so concurrency-dependent costs
+//! (the safety wait above all) are actually exercised.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use htm_sim::HtmConfig;
+use si_htm::{SiHtm, SiHtmConfig};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+use tm_api::{TmBackend, TmThread, TxKind};
+use workloads::bank::Bank;
+
+const ACCOUNTS: u64 = 64;
+
+/// Two persistent worker threads executing rounds of operations on
+/// command. Persistent because hardware-thread registrations are bounded
+/// by the machine topology — one pair serves every Criterion sample.
+struct Duo {
+    cmds: Vec<mpsc::Sender<u64>>,
+    done: mpsc::Receiver<()>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Duo {
+    fn new(backend: SiHtm, bank: Bank) -> Duo {
+        let (done_tx, done) = mpsc::channel();
+        let mut cmds = Vec::new();
+        let mut handles = Vec::new();
+        for worker in 0..2u64 {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<u64>();
+            cmds.push(cmd_tx);
+            let done_tx = done_tx.clone();
+            let backend = backend.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut t = backend.register_thread();
+                let mut n = worker;
+                while let Ok(iters) = cmd_rx.recv() {
+                    if iters == 0 {
+                        break;
+                    }
+                    for _ in 0..iters {
+                        n = n
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        if n % 5 == 0 {
+                            t.exec(TxKind::ReadOnly, &mut |tx| {
+                                bank.audit(tx)?;
+                                Ok(())
+                            });
+                        } else {
+                            let from = n % ACCOUNTS;
+                            let to = (n >> 8) % ACCOUNTS;
+                            if from != to {
+                                t.exec(TxKind::Update, &mut |tx| {
+                                    bank.transfer(tx, from, to, 1)?;
+                                    Ok(())
+                                });
+                            }
+                        }
+                    }
+                    done_tx.send(()).unwrap();
+                }
+            }));
+        }
+        Duo { cmds, done, handles }
+    }
+
+    fn run(&self, iters: u64) -> Duration {
+        let t0 = Instant::now();
+        for c in &self.cmds {
+            c.send(iters).unwrap();
+        }
+        for _ in 0..self.cmds.len() {
+            self.done.recv().unwrap();
+        }
+        t0.elapsed()
+    }
+}
+
+impl Drop for Duo {
+    fn drop(&mut self) {
+        for c in &self.cmds {
+            let _ = c.send(0);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn variant(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    name: &str,
+    htm_config: HtmConfig,
+    si_config: SiHtmConfig,
+) {
+    let backend = SiHtm::new(htm_config, Bank::memory_words(ACCOUNTS), si_config);
+    let bank = Bank::build(backend.memory(), 0, ACCOUNTS, 1_000_000);
+    let duo = Duo::new(backend, bank);
+    group.bench_function(name, |b| b.iter_custom(|iters| duo.run(iters)));
+}
+
+fn bench_si_htm_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("si_htm_ablation");
+    g.sample_size(15);
+    g.measurement_time(Duration::from_millis(1500));
+    g.warm_up_time(Duration::from_millis(300));
+
+    let base_htm = HtmConfig::default;
+    let base_si = SiHtmConfig::default;
+
+    variant(&mut g, "default", base_htm(), base_si());
+    variant(&mut g, "no_quiescence_UNSAFE", base_htm(), SiHtmConfig { quiescence: false, ..base_si() });
+    variant(&mut g, "no_ro_fast_path", base_htm(), SiHtmConfig { ro_fast_path: false, ..base_si() });
+    variant(&mut g, "killing_alternative", base_htm(), SiHtmConfig { kill_after: Some(500), ..base_si() });
+    variant(&mut g, "rot_read_tracking_5pct", HtmConfig { rot_read_tracking: 0.05, ..base_htm() }, base_si());
+    variant(&mut g, "tmcam_16_lines", HtmConfig { tmcam_lines: 16, ..base_htm() }, base_si());
+    variant(&mut g, "tmcam_256_lines", HtmConfig { tmcam_lines: 256, ..base_htm() }, base_si());
+    variant(&mut g, "raw_cost_model", HtmConfig { untracked_read_spin: 0, ..base_htm() }, base_si());
+    g.finish();
+}
+
+fn bench_retry_budgets(c: &mut Criterion) {
+    // SGL retry-budget sweep on a capacity-hostile workload: updates that
+    // write 40 lines on a 64-line TMCAM (fits alone, conflicts co-located).
+    let mut g = c.benchmark_group("retry_budget");
+    g.sample_size(15);
+    g.measurement_time(Duration::from_millis(1500));
+    g.warm_up_time(Duration::from_millis(300));
+
+    for budget in [2u32, 10, 40] {
+        let si = SiHtmConfig {
+            retry: tm_api::RetryPolicy { budget, capacity_cost: budget.max(2) / 2 },
+            ..SiHtmConfig::default()
+        };
+        let backend = SiHtm::new(HtmConfig::default(), 16 * 1024, si);
+        let mut t = backend.register_thread();
+        g.bench_function(format!("budget_{budget}"), |b| {
+            b.iter(|| {
+                t.exec(TxKind::Update, &mut |tx| {
+                    for i in 0..40u64 {
+                        let v = tx.read(i * 16)?;
+                        tx.write(i * 16, v + 1)?;
+                    }
+                    Ok(())
+                });
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lvdir(c: &mut Criterion) {
+    // POWER9 LVDIR extension: large HTM read sets with and without it.
+    let mut g = c.benchmark_group("lvdir_htm_reads_200_lines");
+    g.sample_size(15);
+    g.measurement_time(Duration::from_millis(1500));
+
+    for (name, cfg) in [("power8", HtmConfig::default()), ("power9_lvdir", HtmConfig::power9())] {
+        let backend = htm_sgl::HtmSgl::new(cfg, 16 * 4096, htm_sgl::HtmSglConfig::default());
+        let mut t = backend.register_thread();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                t.exec(TxKind::Update, &mut |tx| {
+                    let mut sum = 0;
+                    for i in 0..200u64 {
+                        sum += tx.read(i * 16)?;
+                    }
+                    tx.write(0, sum)
+                });
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_si_htm_ablations, bench_retry_budgets, bench_lvdir);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! B+-tree index workload across backends: point lookups, range scans
+//! (leaf-chain walks — the unbounded-read pattern of IMDB indexes), and
+//! the mixed worker.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use tm_api::{TmBackend, TmThread, TxKind};
+use txmem::LineAlloc;
+use workloads::btree::{memory_words, BTreeWorker, TxBTree};
+
+const KEYS: u64 = 20_000;
+
+fn build<B: TmBackend>(b: &B) -> (TxBTree, Arc<LineAlloc>) {
+    let alloc = Arc::new(LineAlloc::new(0, b.memory().len() as u64));
+    let tree = TxBTree::build(b.memory(), &alloc, 1..=KEYS);
+    (tree, alloc)
+}
+
+fn bench_point_lookup(c: &mut Criterion) {
+    let words = memory_words(KEYS * 2);
+    let mut g = c.benchmark_group("btree_lookup");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_millis(1500));
+
+    fn drive<B: TmBackend>(
+        g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+        b: &B,
+    ) {
+        let (tree, _alloc) = build(b);
+        let mut t = b.register_thread();
+        let mut k = 0;
+        g.bench_function(b.name(), |bench| {
+            bench.iter(|| {
+                k = k % KEYS + 1;
+                t.exec(TxKind::ReadOnly, &mut |tx| {
+                    tree.lookup(tx, k)?;
+                    Ok(())
+                });
+            })
+        });
+    }
+
+    drive(&mut g, &si_htm::SiHtm::with_defaults(words));
+    drive(&mut g, &htm_sgl::HtmSgl::with_defaults(words));
+    drive(&mut g, &p8tm::P8tm::with_defaults(words));
+    drive(&mut g, &silo::Silo::new(words));
+    g.finish();
+}
+
+fn bench_range_scan(c: &mut Criterion) {
+    // 500-entry scans: ~70 leaves ≈ 140 cache lines — beyond the TMCAM,
+    // so plain HTM must fall back while SI-HTM reads for free.
+    let words = memory_words(KEYS * 2);
+    let mut g = c.benchmark_group("btree_range_500");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_millis(1500));
+
+    fn drive<B: TmBackend>(
+        g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+        b: &B,
+    ) {
+        let (tree, _alloc) = build(b);
+        let mut t = b.register_thread();
+        let mut from = 0;
+        g.bench_function(b.name(), |bench| {
+            bench.iter(|| {
+                from = from % (KEYS - 600) + 1;
+                let mut got = (0, 0);
+                t.exec(TxKind::ReadOnly, &mut |tx| {
+                    got = tree.range(tx, from, 500)?;
+                    Ok(())
+                });
+                assert_eq!(got.0, 500);
+            })
+        });
+    }
+
+    drive(&mut g, &si_htm::SiHtm::with_defaults(words));
+    drive(&mut g, &htm_sgl::HtmSgl::with_defaults(words));
+    drive(&mut g, &p8tm::P8tm::with_defaults(words));
+    drive(&mut g, &silo::Silo::new(words));
+    g.finish();
+}
+
+fn bench_mixed_worker(c: &mut Criterion) {
+    // 70% lookups / 10% scans / 20% insert-remove, single thread.
+    let words = memory_words(KEYS * 2) + 16 * 100_000;
+    let mut g = c.benchmark_group("btree_mixed");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_millis(1500));
+
+    fn drive<B: TmBackend>(
+        g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+        b: &B,
+    ) {
+        let (tree, alloc) = build(b);
+        let mut t = b.register_thread();
+        let mut w = BTreeWorker::new(tree, Arc::clone(&alloc), KEYS, 0.7, 0.1, 0, 1);
+        g.bench_function(b.name(), |bench| bench.iter(|| w.run_op(&mut t)));
+    }
+
+    drive(&mut g, &si_htm::SiHtm::with_defaults(words));
+    drive(&mut g, &htm_sgl::HtmSgl::with_defaults(words));
+    drive(&mut g, &p8tm::P8tm::with_defaults(words));
+    drive(&mut g, &silo::Silo::new(words));
+    g.finish();
+}
+
+criterion_group!(benches, bench_point_lookup, bench_range_scan, bench_mixed_worker);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Per-operation costs of the §4.1 hash-map micro-benchmark, per backend
+//! and per footprint regime (the single-thread cross-sections of Figures
+//! 6–8; the full thread sweeps live in the `figures` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use tm_api::{TmBackend, TmThread, TxKind};
+use workloads::hashmap::{HashMapConfig, TxHashMap};
+
+fn lookup_op<B: TmBackend>(backend: &B, thread: &mut B::Thread, map: TxHashMap, key: u64) {
+    let _ = backend;
+    thread.exec(TxKind::ReadOnly, &mut |tx| {
+        map.lookup(tx, key)?;
+        Ok(())
+    });
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    for (regime, chain) in [("large", 200u64), ("small", 50u64)] {
+        let cfg = HashMapConfig { buckets: 64, chain, ro_fraction: 1.0 };
+        let words = cfg.memory_words(1);
+        let mut g = c.benchmark_group(format!("lookup_{regime}"));
+        g.sample_size(30);
+
+        {
+            let b = si_htm::SiHtm::with_defaults(words);
+            let (map, _a) = TxHashMap::build(b.memory(), &cfg);
+            let mut t = b.register_thread();
+            let mut k = 0;
+            g.bench_with_input(BenchmarkId::new("SI-HTM", chain), &chain, |bench, _| {
+                bench.iter(|| {
+                    k = k % cfg.initial_keys() + 1;
+                    lookup_op(&b, &mut t, map, k);
+                })
+            });
+        }
+        {
+            let b = htm_sgl::HtmSgl::with_defaults(words);
+            let (map, _a) = TxHashMap::build(b.memory(), &cfg);
+            let mut t = b.register_thread();
+            let mut k = 0;
+            g.bench_with_input(BenchmarkId::new("HTM", chain), &chain, |bench, _| {
+                bench.iter(|| {
+                    k = k % cfg.initial_keys() + 1;
+                    lookup_op(&b, &mut t, map, k);
+                })
+            });
+        }
+        {
+            let b = p8tm::P8tm::with_defaults(words);
+            let (map, _a) = TxHashMap::build(b.memory(), &cfg);
+            let mut t = b.register_thread();
+            let mut k = 0;
+            g.bench_with_input(BenchmarkId::new("P8TM", chain), &chain, |bench, _| {
+                bench.iter(|| {
+                    k = k % cfg.initial_keys() + 1;
+                    lookup_op(&b, &mut t, map, k);
+                })
+            });
+        }
+        {
+            let b = silo::Silo::new(words);
+            let (map, _a) = TxHashMap::build(b.memory(), &cfg);
+            let mut t = b.register_thread();
+            let mut k = 0;
+            g.bench_with_input(BenchmarkId::new("Silo", chain), &chain, |bench, _| {
+                bench.iter(|| {
+                    k = k % cfg.initial_keys() + 1;
+                    lookup_op(&b, &mut t, map, k);
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_update_cycle(c: &mut Criterion) {
+    // One insert + one remove of a fresh key (the update mix of §4.1),
+    // against the large-footprint map.
+    let cfg = HashMapConfig { buckets: 64, chain: 200, ro_fraction: 0.0 };
+    let words = cfg.memory_words(1);
+    let mut g = c.benchmark_group("insert_remove_large");
+    g.sample_size(20);
+
+    fn cycle<B: TmBackend>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, b: &B, cfg: &HashMapConfig) {
+        let (map, alloc) = TxHashMap::build(b.memory(), cfg);
+        let mut t = b.register_thread();
+        let node = alloc.alloc_lines(1);
+        let mut key = cfg.initial_keys();
+        let alloc = Arc::clone(&alloc);
+        let _ = &alloc;
+        g.bench_function(b.name(), |bench| {
+            bench.iter(|| {
+                key += 1;
+                t.exec(TxKind::Update, &mut |tx| {
+                    map.insert(tx, key, key, node)?;
+                    Ok(())
+                });
+                t.exec(TxKind::Update, &mut |tx| {
+                    map.remove(tx, key)?;
+                    Ok(())
+                });
+            })
+        });
+    }
+
+    cycle(&mut g, &si_htm::SiHtm::with_defaults(words), &cfg);
+    cycle(&mut g, &htm_sgl::HtmSgl::with_defaults(words), &cfg);
+    cycle(&mut g, &p8tm::P8tm::with_defaults(words), &cfg);
+    cycle(&mut g, &silo::Silo::new(words), &cfg);
+    g.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_update_cycle);
+criterion_main!(benches);

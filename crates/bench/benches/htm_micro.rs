@@ -1,0 +1,126 @@
+//! Micro-costs of the P8-HTM simulator: transaction begin/commit, tracked
+//! vs untracked reads, writes, suspend/resume and the non-transactional
+//! paths. These are the primitive costs every figure is built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use htm_sim::{Htm, HtmConfig, NonTxClass, TxMode};
+use std::hint::black_box;
+
+fn machine() -> std::sync::Arc<Htm> {
+    Htm::new(HtmConfig::default(), 16 * 1024)
+}
+
+fn bench_tx_lifecycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lifecycle");
+    g.sample_size(30);
+
+    let htm = machine();
+    let mut t = htm.register_thread();
+    g.bench_function("empty_htm_tx", |b| {
+        b.iter(|| {
+            t.begin(TxMode::Htm);
+            t.commit().unwrap();
+        })
+    });
+    g.bench_function("empty_rot_tx", |b| {
+        b.iter(|| {
+            t.begin(TxMode::Rot);
+            t.commit().unwrap();
+        })
+    });
+    g.bench_function("suspend_resume", |b| {
+        b.iter(|| {
+            t.begin(TxMode::Rot);
+            t.suspend();
+            t.resume().unwrap();
+            t.commit().unwrap();
+        })
+    });
+    g.finish();
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reads_64_lines");
+    g.sample_size(30);
+
+    let htm = machine();
+    let mut t = htm.register_thread();
+    g.bench_function("htm_tracked", |b| {
+        b.iter(|| {
+            t.begin(TxMode::Htm);
+            for i in 0..64u64 {
+                black_box(t.read(i * 16).unwrap());
+            }
+            t.commit().unwrap();
+        })
+    });
+    g.bench_function("rot_untracked", |b| {
+        b.iter(|| {
+            t.begin(TxMode::Rot);
+            for i in 0..64u64 {
+                black_box(t.read(i * 16).unwrap());
+            }
+            t.commit().unwrap();
+        })
+    });
+    g.bench_function("non_transactional", |b| {
+        b.iter(|| {
+            for i in 0..64u64 {
+                black_box(t.read_notx(i * 16, NonTxClass::Data));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_writes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("writes_32_lines");
+    g.sample_size(30);
+
+    let htm = machine();
+    let mut t = htm.register_thread();
+    g.bench_function("rot_buffered", |b| {
+        b.iter(|| {
+            t.begin(TxMode::Rot);
+            for i in 0..32u64 {
+                t.write(i * 16, i).unwrap();
+            }
+            t.commit().unwrap();
+        })
+    });
+    g.bench_function("non_transactional", |b| {
+        b.iter(|| {
+            for i in 0..32u64 {
+                t.write_notx(i * 16, i, NonTxClass::Sgl);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_capacity_abort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("capacity");
+    g.sample_size(30);
+
+    // The cost of running into the TMCAM wall (65 tracked lines on a
+    // 64-line TMCAM) and tearing the transaction down.
+    let htm = machine();
+    let mut t = htm.register_thread();
+    g.bench_function("htm_overflow_abort", |b| {
+        b.iter(|| {
+            t.begin(TxMode::Htm);
+            let mut failed = false;
+            for i in 0..65u64 {
+                if t.read(i * 16).is_err() {
+                    failed = true;
+                    break;
+                }
+            }
+            assert!(failed);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tx_lifecycle, bench_reads, bench_writes, bench_capacity_abort);
+criterion_main!(benches);

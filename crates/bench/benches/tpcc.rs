@@ -1,0 +1,100 @@
+//! Per-transaction costs of TPC-C on each backend (the single-thread
+//! cross-sections of Figures 9–10; full sweeps live in the `figures`
+//! binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use tm_api::{TmBackend, TmThread, TxKind};
+use tpcc::{txns, TpccConfig, TpccLayout, TpccWorker, TxMix};
+
+fn small_layout(mix: TxMix) -> Arc<TpccLayout> {
+    // A reduced scale keeps population cheap while the transaction shapes
+    // (footprints per type) stay spec-like.
+    let mut cfg = TpccConfig::paper(1, mix);
+    cfg.items = 10_000;
+    cfg.customers_per_d = 300;
+    cfg.initial_orders = 300;
+    cfg.delivered_prefix = 210;
+    cfg.order_ring = 65_536; // headroom: benches run many new-orders
+    Arc::new(TpccLayout::new(cfg))
+}
+
+fn bench_tx_types_on_si_htm(c: &mut Criterion) {
+    let layout = small_layout(TxMix::standard());
+    let b = si_htm::SiHtm::with_defaults(layout.memory_words());
+    layout.populate(b.memory());
+    let mut t = b.register_thread();
+    let mut rng = SmallRng::seed_from_u64(42);
+
+    let mut g = c.benchmark_group("si_htm_tx_types");
+    g.sample_size(30);
+
+    g.bench_function("new_order", |bench| {
+        let mut date = 0;
+        bench.iter(|| {
+            date += 1;
+            let mut input = txns::gen_new_order(&layout, &mut rng, 0, date);
+            input.rollback = false;
+            t.exec(TxKind::Update, &mut |tx| {
+                txns::new_order(&layout, &input, tx)?;
+                Ok(())
+            });
+        })
+    });
+    g.bench_function("payment", |bench| {
+        bench.iter(|| {
+            let input = txns::gen_payment(&layout, &mut rng, 0);
+            t.exec(TxKind::Update, &mut |tx| txns::payment(&layout, &input, tx));
+        })
+    });
+    g.bench_function("order_status", |bench| {
+        bench.iter(|| {
+            let input = txns::gen_order_status(&layout, &mut rng, 0);
+            t.exec(TxKind::ReadOnly, &mut |tx| {
+                txns::order_status(&layout, &input, tx)?;
+                Ok(())
+            });
+        })
+    });
+    g.bench_function("stock_level", |bench| {
+        bench.iter(|| {
+            let input = txns::gen_stock_level(&layout, &mut rng, 0);
+            t.exec(TxKind::ReadOnly, &mut |tx| {
+                txns::stock_level(&layout, &input, tx)?;
+                Ok(())
+            });
+        })
+    });
+    g.finish();
+}
+
+fn bench_mix_per_backend(c: &mut Criterion) {
+    for (name, mix) in [("standard", TxMix::standard()), ("read_dominated", TxMix::read_dominated())]
+    {
+        let mut g = c.benchmark_group(format!("tpcc_mix_{name}"));
+        g.sample_size(20);
+
+        fn drive<B: TmBackend>(
+            g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+            b: &B,
+            layout: &Arc<TpccLayout>,
+        ) {
+            layout.populate(b.memory());
+            let mut t = b.register_thread();
+            let mut w = TpccWorker::new(Arc::clone(layout), 0);
+            g.bench_function(b.name(), |bench| bench.iter(|| w.run_op(&mut t)));
+        }
+
+        let layout = small_layout(mix);
+        drive(&mut g, &si_htm::SiHtm::with_defaults(layout.memory_words()), &layout);
+        drive(&mut g, &htm_sgl::HtmSgl::with_defaults(layout.memory_words()), &layout);
+        drive(&mut g, &p8tm::P8tm::with_defaults(layout.memory_words()), &layout);
+        drive(&mut g, &silo::Silo::new(layout.memory_words()), &layout);
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_tx_types_on_si_htm, bench_mix_per_backend);
+criterion_main!(benches);

@@ -1,0 +1,312 @@
+//! Regenerate the paper's figures as tables/CSV.
+//!
+//! ```text
+//! figures --all                      # every figure, paper thread axis
+//! figures --fig 9                    # one figure (both contention levels)
+//! figures --fig 6 --threads 1,4,8    # custom thread axis
+//! figures --duration-ms 500          # per-point measurement interval
+//! figures --check                    # reduced sweep + paper-shape assertions
+//! figures --csv results.csv          # also write machine-readable CSV
+//! ```
+//!
+//! Absolute throughput is not comparable to the paper's POWER8 numbers
+//! (the substrate here is a functional simulator — see DESIGN.md); the
+//! reproduction targets are the *shapes*: who wins per scenario, the
+//! abort-breakdown composition, and where SMT helps or hurts.
+
+use bench::{all_scenarios, figure, hashmap_point, tpcc_point, Backend, Point, Workload};
+use std::io::Write as _;
+use std::time::Duration;
+
+struct Args {
+    figs: Vec<u32>,
+    threads: Vec<usize>,
+    warmup: Duration,
+    duration: Duration,
+    check: bool,
+    csv: Option<String>,
+    gnuplot: Option<String>,
+    backends: Option<Vec<Backend>>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        figs: vec![],
+        threads: bench::PAPER_THREADS.to_vec(),
+        warmup: Duration::from_millis(100),
+        duration: Duration::from_millis(500),
+        check: false,
+        csv: None,
+        gnuplot: None,
+        backends: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--all" => args.figs = vec![6, 7, 8, 9, 10],
+            "--fig" => {
+                let v = it.next().expect("--fig N");
+                args.figs.push(v.parse().expect("figure number"));
+            }
+            "--threads" => {
+                let v = it.next().expect("--threads LIST");
+                args.threads =
+                    v.split(',').map(|t| t.parse().expect("thread count")).collect();
+            }
+            "--warmup-ms" => {
+                args.warmup =
+                    Duration::from_millis(it.next().expect("ms").parse().expect("ms"));
+            }
+            "--duration-ms" => {
+                args.duration =
+                    Duration::from_millis(it.next().expect("ms").parse().expect("ms"));
+            }
+            "--backend" => {
+                let v = it.next().expect("--backend NAME");
+                let b = Backend::parse(&v).unwrap_or_else(|| panic!("unknown backend {v}"));
+                args.backends.get_or_insert_with(Vec::new).push(b);
+            }
+            "--check" => args.check = true,
+            "--csv" => args.csv = Some(it.next().expect("--csv PATH")),
+            "--gnuplot" => args.gnuplot = Some(it.next().expect("--gnuplot DIR")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: figures [--all | --fig N ...] [--threads a,b,c] \
+                     [--duration-ms N] [--warmup-ms N] [--backend NAME ...] \
+                     [--csv PATH] [--gnuplot DIR] [--check]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other} (try --help)"),
+        }
+    }
+    if args.figs.is_empty() && !args.check {
+        args.figs = vec![6, 7, 8, 9, 10];
+    }
+    args
+}
+
+fn run_scenario(
+    s: &bench::Scenario,
+    threads: &[usize],
+    backends: &Option<Vec<Backend>>,
+    warmup: Duration,
+    duration: Duration,
+    csv: &mut Option<std::fs::File>,
+) -> Vec<Point> {
+    println!("\n== Figure {}: {} ==", s.figure, s.caption);
+    println!(
+        "{:<8} {:>7} {:>14} {:>9} {:>9} {:>9} {:>9}",
+        "backend", "threads", "tx/s", "abort%", "tx%", "non-tx%", "cap%"
+    );
+    let mut points = Vec::new();
+    for &b in s.backends {
+        if let Some(only) = backends {
+            if !only.contains(&b) {
+                continue;
+            }
+        }
+        for &t in threads {
+            let p = match &s.workload {
+                Workload::HashMap(cfg) => hashmap_point(b, cfg, t, warmup, duration),
+                Workload::Tpcc(cfg) => tpcc_point(b, cfg, t, warmup, duration),
+            };
+            let types = p
+                .mix
+                .as_ref()
+                .map(|m| {
+                    format!(
+                        "  no/pay/os/del/sl {}∕{}∕{}∕{}∕{}",
+                        m.new_order, m.payment, m.order_status, m.delivery, m.stock_level
+                    )
+                })
+                .unwrap_or_default();
+            println!(
+                "{:<8} {:>7} {:>14.0} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%{}",
+                p.backend,
+                p.threads,
+                p.throughput,
+                p.report.total.abort_rate(),
+                p.abort_tx,
+                p.abort_nontx,
+                p.abort_capacity,
+                types,
+            );
+            if let Some(f) = csv {
+                writeln!(f, "{}", p.csv(s.id)).expect("csv write");
+            }
+            points.push(p);
+        }
+    }
+    points
+}
+
+fn peak(points: &[Point], backend: &str) -> f64 {
+    points
+        .iter()
+        .filter(|p| p.backend == backend)
+        .map(|p| p.throughput)
+        .fold(0.0, f64::max)
+}
+
+/// Best ratio `a/b` over matched thread counts. Peak-vs-peak comparisons
+/// are misleading on over-subscribed hosts (a backend's 1-thread point
+/// would compete with another's multi-thread points), so the shape checks
+/// compare like with like and take the most favourable thread count — the
+/// paper's "up to X %" phrasing.
+fn best_matched_ratio(points: &[Point], a: &str, b: &str) -> f64 {
+    let mut best = 0.0f64;
+    for pa in points.iter().filter(|p| p.backend == a) {
+        if let Some(pb) = points.iter().find(|p| p.backend == b && p.threads == pa.threads) {
+            if pb.throughput > 0.0 {
+                best = best.max(pa.throughput / pb.throughput);
+            }
+        }
+    }
+    best
+}
+
+/// Reduced sweep + assertions on the paper's qualitative claims.
+fn check(warmup: Duration, duration: Duration) {
+    let threads = [1, 4, 8, 16];
+    let mut failures: Vec<String> = Vec::new();
+    let mut pass = |name: &str, ok: bool, detail: String| {
+        println!("[{}] {name}: {detail}", if ok { "PASS" } else { "FAIL" });
+        if !ok {
+            failures.push(name.to_string());
+        }
+    };
+
+    // Claim 1 (Fig. 6 low): large read-dominated hash-map — SI-HTM far
+    // ahead of HTM (paper: +576 % peak).
+    let s = &figure(6)[0];
+    let pts = run_scenario(s, &threads, &None, warmup, duration, &mut None);
+    let r = best_matched_ratio(&pts, "SI-HTM", "HTM");
+    pass(
+        "fig6-low: SI-HTM >> HTM on large read-dominated",
+        r > 1.5,
+        format!("best matched-thread ratio {r:.2}x (paper: up to 6.8x peak)"),
+    );
+
+    // Claim 2 (Fig. 8): small transactions — HTM at least competitive
+    // (paper: SI-HTM unable to surpass HTM).
+    let s = &figure(8)[0];
+    let pts = run_scenario(s, &threads, &None, warmup, duration, &mut None);
+    let (si, htm) = (peak(&pts, "SI-HTM"), peak(&pts, "HTM"));
+    pass(
+        "fig8-low: HTM competitive on small txs",
+        htm > si * 0.7,
+        format!("HTM {htm:.0} vs SI-HTM {si:.0} tx/s"),
+    );
+
+    // Claim 3 (Fig. 10): TPC-C read-dominated — SI-HTM beats plain HTM
+    // clearly (paper: up to +300 %).
+    let s = &figure(10)[0];
+    let pts = run_scenario(s, &threads, &None, warmup, duration, &mut None);
+    let r = best_matched_ratio(&pts, "SI-HTM", "HTM");
+    pass(
+        "fig10-low: SI-HTM >> HTM on read-dominated TPC-C",
+        r > 1.5,
+        format!("best matched-thread ratio {r:.2}x (paper: up to 4x peak)"),
+    );
+    let rp = best_matched_ratio(&pts, "SI-HTM", "P8TM");
+    pass(
+        "fig10-low: SI-HTM >= P8TM (no read instrumentation)",
+        rp > 1.0,
+        format!("best matched-thread ratio {rp:.2}x (paper: +27% peak)"),
+    );
+
+    if failures.is_empty() {
+        println!("\nAll shape checks passed.");
+    } else {
+        println!("\nFAILED checks: {failures:?}");
+        std::process::exit(1);
+    }
+}
+
+/// Write gnuplot-ready `.dat` series (threads vs throughput, one column
+/// per backend) and a `.gp` script per scenario — the output format the
+/// paper's artifact produces for its plots.
+fn write_gnuplot(dir: &str, scenario: &bench::Scenario, points: &[Point]) {
+    use std::fmt::Write as _;
+    std::fs::create_dir_all(dir).expect("create gnuplot dir");
+    let mut backends: Vec<&str> = points.iter().map(|p| p.backend).collect();
+    backends.dedup();
+    let mut threads: Vec<usize> = points.iter().map(|p| p.threads).collect();
+    threads.sort_unstable();
+    threads.dedup();
+
+    let mut dat = String::from("# threads");
+    for b in &backends {
+        let _ = write!(dat, " {b}");
+    }
+    dat.push('\n');
+    for t in &threads {
+        let _ = write!(dat, "{t}");
+        for b in &backends {
+            let v = points
+                .iter()
+                .find(|p| p.threads == *t && p.backend == *b)
+                .map(|p| p.throughput)
+                .unwrap_or(f64::NAN);
+            let _ = write!(dat, " {v:.0}");
+        }
+        dat.push('\n');
+    }
+    std::fs::write(format!("{dir}/{}.dat", scenario.id), dat).expect("write .dat");
+
+    let mut gp = format!(
+        "set terminal postscript eps enhanced color size 4,3\n\
+         set output '{id}.eps'\n\
+         set title \"{caption}\"\n\
+         set xlabel 'Number of threads'\n\
+         set ylabel 'Throughput (Tx/s)'\n\
+         set key top right\n\
+         set logscale x 2\n\
+         plot ",
+        id = scenario.id,
+        caption = scenario.caption,
+    );
+    for (i, b) in backends.iter().enumerate() {
+        if i > 0 {
+            gp.push_str(", ");
+        }
+        let _ = write!(
+            gp,
+            "'{id}.dat' using 1:{col} with linespoints title '{b}'",
+            id = scenario.id,
+            col = i + 2,
+        );
+    }
+    gp.push('\n');
+    std::fs::write(format!("{dir}/{}.gp", scenario.id), gp).expect("write .gp");
+}
+
+fn main() {
+    let args = parse_args();
+    if args.check {
+        check(args.warmup, args.duration);
+        return;
+    }
+    let mut csv = args.csv.as_ref().map(|p| {
+        let mut f = std::fs::File::create(p).expect("create csv");
+        writeln!(f, "{}", Point::csv_header()).expect("csv header");
+        f
+    });
+    for s in all_scenarios() {
+        if !args.figs.contains(&s.figure) {
+            continue;
+        }
+        let points =
+            run_scenario(&s, &args.threads, &args.backends, args.warmup, args.duration, &mut csv);
+        if let Some(dir) = &args.gnuplot {
+            write_gnuplot(dir, &s, &points);
+        }
+    }
+    if let Some(p) = &args.csv {
+        println!("\nCSV written to {p}");
+    }
+    if let Some(d) = &args.gnuplot {
+        println!("gnuplot series written to {d}/");
+    }
+}

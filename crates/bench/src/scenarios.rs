@@ -1,0 +1,157 @@
+//! The experiment grid of the paper's evaluation section, as data.
+
+use tpcc::{TpccConfig, TxMix};
+use workloads::hashmap::HashMapConfig;
+
+/// Which workload a scenario drives.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    HashMap(HashMapConfig),
+    Tpcc(TpccConfig),
+}
+
+/// One named sub-plot of a figure.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Figure number in the paper (6–10).
+    pub figure: u32,
+    /// Short scenario id used in CSV output.
+    pub id: &'static str,
+    /// Human description matching the figure caption.
+    pub caption: &'static str,
+    pub workload: Workload,
+    /// Backends plotted in this figure.
+    pub backends: &'static [crate::Backend],
+}
+
+use crate::Backend::{self, *};
+
+const HASHMAP_BACKENDS: &[Backend] = &[Htm, SiHtm];
+const TPCC_BACKENDS: &[Backend] = &[Htm, SiHtm, P8tm, Silo];
+
+/// Every sub-plot of Figures 6–10, in paper order.
+pub fn all_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            figure: 6,
+            id: "fig6-low",
+            caption: "Hash-map 90% large read-only txs, low contention",
+            workload: Workload::HashMap(HashMapConfig::paper(true, 0.9, false)),
+            backends: HASHMAP_BACKENDS,
+        },
+        Scenario {
+            figure: 6,
+            id: "fig6-high",
+            caption: "Hash-map 90% large read-only txs, high contention",
+            workload: Workload::HashMap(HashMapConfig::paper(true, 0.9, true)),
+            backends: HASHMAP_BACKENDS,
+        },
+        Scenario {
+            figure: 7,
+            id: "fig7-low",
+            caption: "Hash-map 50% large read-only txs, low contention",
+            workload: Workload::HashMap(HashMapConfig::paper(true, 0.5, false)),
+            backends: HASHMAP_BACKENDS,
+        },
+        Scenario {
+            figure: 7,
+            id: "fig7-high",
+            caption: "Hash-map 50% large read-only txs, high contention",
+            workload: Workload::HashMap(HashMapConfig::paper(true, 0.5, true)),
+            backends: HASHMAP_BACKENDS,
+        },
+        Scenario {
+            figure: 8,
+            id: "fig8-low",
+            caption: "Hash-map 90% small txs, low contention",
+            workload: Workload::HashMap(HashMapConfig::paper(false, 0.9, false)),
+            backends: HASHMAP_BACKENDS,
+        },
+        Scenario {
+            figure: 8,
+            id: "fig8-high",
+            caption: "Hash-map 90% small txs, high contention",
+            workload: Workload::HashMap(HashMapConfig::paper(false, 0.9, true)),
+            backends: HASHMAP_BACKENDS,
+        },
+        Scenario {
+            figure: 9,
+            id: "fig9-low",
+            caption: "TPC-C standard mix (-s4 -d4 -o4 -p43 -r45), low contention",
+            workload: Workload::Tpcc(TpccConfig::low_contention(TxMix::standard())),
+            backends: TPCC_BACKENDS,
+        },
+        Scenario {
+            figure: 9,
+            id: "fig9-high",
+            caption: "TPC-C standard mix (-s4 -d4 -o4 -p43 -r45), high contention",
+            workload: Workload::Tpcc(TpccConfig::high_contention(TxMix::standard())),
+            backends: TPCC_BACKENDS,
+        },
+        Scenario {
+            figure: 10,
+            id: "fig10-low",
+            caption: "TPC-C read-dominated mix (-s4 -d4 -o80 -p4 -r8), low contention",
+            workload: Workload::Tpcc(TpccConfig::low_contention(TxMix::read_dominated())),
+            backends: TPCC_BACKENDS,
+        },
+        Scenario {
+            figure: 10,
+            id: "fig10-high",
+            caption: "TPC-C read-dominated mix (-s4 -d4 -o80 -p4 -r8), high contention",
+            workload: Workload::Tpcc(TpccConfig::high_contention(TxMix::read_dominated())),
+            backends: TPCC_BACKENDS,
+        },
+    ]
+}
+
+/// Scenarios belonging to one figure.
+pub fn figure(n: u32) -> Vec<Scenario> {
+    all_scenarios().into_iter().filter(|s| s.figure == n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_figures_6_to_10() {
+        let all = all_scenarios();
+        assert_eq!(all.len(), 10);
+        for f in 6..=10 {
+            assert_eq!(figure(f).len(), 2, "figure {f} has low+high sub-plots");
+        }
+        assert!(figure(11).is_empty());
+    }
+
+    #[test]
+    fn tpcc_figures_use_all_four_backends() {
+        for s in figure(9).iter().chain(figure(10).iter()) {
+            assert_eq!(s.backends.len(), 4);
+        }
+        for s in figure(6) {
+            assert_eq!(s.backends.len(), 2);
+        }
+    }
+
+    #[test]
+    fn scenario_parameters_match_the_paper() {
+        let all = all_scenarios();
+        let fig6_low = &all[0];
+        match &fig6_low.workload {
+            Workload::HashMap(c) => {
+                assert_eq!(c.buckets, 1000);
+                assert_eq!(c.chain, 200);
+                assert!((c.ro_fraction - 0.9).abs() < 1e-9);
+            }
+            _ => panic!("fig6 is a hash-map figure"),
+        }
+        match &all[7].workload {
+            Workload::Tpcc(c) => {
+                assert_eq!(c.warehouses, 1, "fig9-high is single-warehouse");
+                assert_eq!(c.mix, TxMix::standard());
+            }
+            _ => panic!("fig9 is a TPC-C figure"),
+        }
+    }
+}

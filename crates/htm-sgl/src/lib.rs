@@ -1,0 +1,437 @@
+//! # htm-sgl — the plain-HTM baseline ("HTM" in the paper's figures)
+//!
+//! The standard way to use best-effort HTM: every transaction (read-only or
+//! not) runs as a *regular* hardware transaction — reads and writes both
+//! tracked, serializable, and both counted against the TMCAM capacity —
+//! with a single-global-lock fall-back taken after the retry budget is
+//! exhausted.
+//!
+//! Unlike SI-HTM, this baseline can (and does) use **early lock
+//! subscription**: the lock word lives in *transactional memory* and every
+//! hardware transaction reads it right after `tbegin.`. Acquiring the lock
+//! therefore aborts every subscribed transaction — these are precisely the
+//! "non-transactional aborts" the paper's figures single out ("only
+//! possible in HTM").
+//!
+//! ## Example
+//!
+//! ```
+//! use htm_sgl::HtmSgl;
+//! use tm_api::{TmBackend, TmThread, TxKind};
+//!
+//! let backend = HtmSgl::with_defaults(1024);
+//! let mut t = backend.register_thread();
+//! t.exec(TxKind::Update, &mut |tx| {
+//!     let v = tx.read(0)?;
+//!     tx.write(0, v + 1)
+//! });
+//! assert_eq!(backend.memory().load(0), 1);
+//! ```
+
+use crossbeam_utils::Backoff;
+use htm_sim::util::IntMap;
+use htm_sim::{AbortReason, Htm, HtmConfig, HtmThread, NonTxClass, TxMode};
+use std::sync::Arc;
+use tm_api::{
+    policy::RetryState, Abort, Outcome, RetryPolicy, ThreadStats, TmBackend, TmThread, Tx,
+    TxBody, TxKind,
+};
+use txmem::{round_up_to_line, Addr, TxMemory, WORDS_PER_LINE};
+
+const SGL_FREE: u64 = 0;
+
+/// Tunables of the baseline.
+#[derive(Debug, Clone, Default)]
+pub struct HtmSglConfig {
+    /// Hardware retry budget before falling back to the lock.
+    pub retry: RetryPolicy,
+}
+
+struct Inner {
+    htm: Arc<Htm>,
+    /// Word address of the lock inside simulated memory (so that lock
+    /// acquisition generates hardware conflicts on subscribers).
+    sgl_addr: Addr,
+    /// First word beyond the workload-visible region.
+    user_words: usize,
+    config: HtmSglConfig,
+}
+
+/// The HTM+SGL backend. Cheap to clone.
+#[derive(Clone)]
+pub struct HtmSgl {
+    inner: Arc<Inner>,
+}
+
+impl HtmSgl {
+    /// Build the baseline over a fresh machine with `memory_words` words of
+    /// workload-visible memory (one extra cache line is appended to hold
+    /// the subscribed lock word).
+    pub fn new(htm_config: HtmConfig, memory_words: usize, config: HtmSglConfig) -> Self {
+        let user_words = round_up_to_line(memory_words as u64) as usize;
+        let htm = Htm::new(htm_config, user_words + WORDS_PER_LINE);
+        let sgl_addr = user_words as Addr;
+        HtmSgl { inner: Arc::new(Inner { htm, sgl_addr, user_words, config }) }
+    }
+
+    /// Default machine (10-core SMT-8) and default retry policy.
+    pub fn with_defaults(memory_words: usize) -> Self {
+        Self::new(HtmConfig::default(), memory_words, HtmSglConfig::default())
+    }
+
+    /// The underlying simulated machine.
+    pub fn htm(&self) -> &Arc<Htm> {
+        &self.inner.htm
+    }
+
+    /// Words of workload-visible memory.
+    pub fn user_words(&self) -> usize {
+        self.inner.user_words
+    }
+}
+
+impl TmBackend for HtmSgl {
+    type Thread = HtmSglThread;
+
+    fn name(&self) -> &'static str {
+        "HTM"
+    }
+
+    fn register_thread(&self) -> HtmSglThread {
+        let thr = self.inner.htm.register_thread();
+        let tid = thr.tid();
+        HtmSglThread { inner: Arc::clone(&self.inner), thr, tid, stats: ThreadStats::default() }
+    }
+
+    fn memory(&self) -> &TxMemory {
+        self.inner.htm.memory()
+    }
+}
+
+impl std::fmt::Debug for HtmSgl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HtmSgl").field("config", &self.inner.config).finish()
+    }
+}
+
+/// A worker thread of the HTM+SGL baseline.
+pub struct HtmSglThread {
+    inner: Arc<Inner>,
+    thr: HtmThread,
+    tid: usize,
+    stats: ThreadStats,
+}
+
+impl HtmSglThread {
+    fn sgl_locked(&self) -> bool {
+        self.inner.htm.memory().load_acquire(self.inner.sgl_addr) != SGL_FREE
+    }
+
+    fn wait_sgl_free(&self) {
+        let backoff = Backoff::new();
+        while self.sgl_locked() {
+            backoff.snooze();
+            if backoff.is_completed() {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Hardware attempt: regular HTM transaction with early subscription.
+    /// `Err(reason)` means the attempt aborted (engine already cleaned up);
+    /// `Ok(None)` means the body requested a user abort.
+    fn try_hw(&mut self, body: TxBody<'_>) -> Result<Option<()>, AbortReason> {
+        self.wait_sgl_free();
+        self.thr.begin(TxMode::Htm);
+        // Early subscription: a transactional read of the lock word. If the
+        // lock is taken we must not proceed — abort and wait.
+        match self.thr.read(self.inner.sgl_addr) {
+            Ok(SGL_FREE) => {}
+            Ok(_locked) => {
+                // Locked: self-abort. The wait-then-retry is part of the
+                // subscription protocol and consumes no retry budget, as in
+                // production HTM runtimes.
+                self.thr.abort();
+                return Err(AbortReason::Explicit);
+            }
+            Err(reason) => return Err(reason),
+        }
+        let (result, reason) = {
+            let mut tx = HwTx { thr: &mut self.thr, reason: None };
+            let r = body(&mut tx);
+            (r, tx.reason)
+        };
+        match result {
+            Ok(()) => self.thr.commit().map(Some),
+            Err(Abort::Backend) => Err(reason.expect("backend abort without recorded reason")),
+            Err(Abort::User) => {
+                if self.thr.in_tx() {
+                    self.thr.abort();
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// The SGL fall-back: acquire the in-memory lock word (killing every
+    /// subscribed transaction), run non-transactionally.
+    fn exec_sgl(&mut self, body: TxBody<'_>) -> Outcome {
+        let mem = self.inner.htm.memory();
+        let lock_val = self.tid as u64 + 1;
+        loop {
+            self.wait_sgl_free();
+            if mem.compare_exchange(self.inner.sgl_addr, SGL_FREE, lock_val).is_ok() {
+                break;
+            }
+        }
+        self.stats.sgl_acquisitions += 1;
+        // Deliver the subscription kills: rewrite the (already-owned) lock
+        // word through the conflict-checked path, aborting every hardware
+        // transaction that has the word in its read set.
+        self.thr.write_notx(self.inner.sgl_addr, lock_val, NonTxClass::Sgl);
+        let (result, wbuf) = {
+            let mut tx = SglTx { thr: &mut self.thr, wbuf: IntMap::default() };
+            let r = body(&mut tx);
+            (r, tx.wbuf)
+        };
+        let outcome = match result {
+            Ok(()) => {
+                for (addr, val) in wbuf {
+                    self.thr.write_notx(addr, val, NonTxClass::Sgl);
+                }
+                self.stats.commits += 1;
+                self.stats.sgl_commits += 1;
+                Outcome::Committed
+            }
+            Err(Abort::User) => {
+                self.stats.user_aborts += 1;
+                Outcome::UserAborted
+            }
+            Err(Abort::Backend) => unreachable!("the SGL path cannot incur backend aborts"),
+        };
+        mem.store_release(self.inner.sgl_addr, SGL_FREE);
+        outcome
+    }
+}
+
+impl TmThread for HtmSglThread {
+    fn exec(&mut self, _kind: TxKind, body: TxBody<'_>) -> Outcome {
+        // Plain HTM has no read-only fast path: every transaction runs as a
+        // regular hardware transaction.
+        let policy = self.inner.config.retry;
+        let mut retry = RetryState::new(&policy);
+        loop {
+            match self.try_hw(body) {
+                Ok(Some(())) => {
+                    self.stats.commits += 1;
+                    return Outcome::Committed;
+                }
+                Ok(None) => {
+                    self.stats.user_aborts += 1;
+                    return Outcome::UserAborted;
+                }
+                Err(AbortReason::Explicit) => {
+                    // Subscription saw the lock taken: wait, retry for free.
+                    continue;
+                }
+                Err(reason) => {
+                    self.stats.record_abort(reason);
+                    if !retry.on_abort(&policy, reason) {
+                        return self.exec_sgl(body);
+                    }
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> &ThreadStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = ThreadStats::default();
+    }
+}
+
+/// Regular hardware-transaction access handle.
+struct HwTx<'a> {
+    thr: &'a mut HtmThread,
+    reason: Option<AbortReason>,
+}
+
+impl Tx for HwTx<'_> {
+    fn read(&mut self, addr: Addr) -> Result<u64, Abort> {
+        self.thr.read(addr).map_err(|r| {
+            self.reason = Some(r);
+            Abort::Backend
+        })
+    }
+
+    fn write(&mut self, addr: Addr, val: u64) -> Result<(), Abort> {
+        self.thr.write(addr, val).map_err(|r| {
+            self.reason = Some(r);
+            Abort::Backend
+        })
+    }
+}
+
+/// SGL-path access handle: exclusive, non-transactional, locally buffered.
+struct SglTx<'a> {
+    thr: &'a mut HtmThread,
+    wbuf: IntMap<Addr, u64>,
+}
+
+impl Tx for SglTx<'_> {
+    fn read(&mut self, addr: Addr) -> Result<u64, Abort> {
+        if let Some(v) = self.wbuf.get(&addr) {
+            return Ok(*v);
+        }
+        Ok(self.thr.read_notx(addr, NonTxClass::Sgl))
+    }
+
+    fn write(&mut self, addr: Addr, val: u64) -> Result<(), Abort> {
+        self.wbuf.insert(addr, val);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_commit() {
+        let b = HtmSgl::with_defaults(1024);
+        let mut t = b.register_thread();
+        let out = t.exec(TxKind::Update, &mut |tx| {
+            let v = tx.read(0)?;
+            tx.write(0, v + 3)
+        });
+        assert_eq!(out, Outcome::Committed);
+        assert_eq!(b.memory().load(0), 3);
+        assert_eq!(t.stats().commits, 1);
+    }
+
+    #[test]
+    fn reads_count_against_capacity_and_force_sgl() {
+        // 8-line TMCAM; a transaction reading 20 lines must fall back.
+        let b = HtmSgl::new(
+            HtmConfig { cores: 1, smt: 2, tmcam_lines: 8, ..HtmConfig::default() },
+            16 * 64,
+            HtmSglConfig::default(),
+        );
+        let mut t = b.register_thread();
+        let out = t.exec(TxKind::Update, &mut |tx| {
+            let mut sum = 0;
+            for i in 0..20u64 {
+                sum += tx.read(i * 16)?;
+            }
+            tx.write(0, sum + 1)
+        });
+        assert_eq!(out, Outcome::Committed);
+        assert!(t.stats().aborts_capacity > 0);
+        assert_eq!(t.stats().sgl_commits, 1);
+        assert_eq!(b.memory().load(0), 1);
+    }
+
+    #[test]
+    fn read_only_transactions_also_capacity_bound() {
+        // The defining weakness vs SI-HTM: RO transactions are ordinary
+        // hardware transactions here.
+        let b = HtmSgl::new(
+            HtmConfig { cores: 1, smt: 2, tmcam_lines: 8, ..HtmConfig::default() },
+            16 * 64,
+            HtmSglConfig::default(),
+        );
+        let mut t = b.register_thread();
+        let out = t.exec(TxKind::ReadOnly, &mut |tx| {
+            for i in 0..20u64 {
+                tx.read(i * 16)?;
+            }
+            Ok(())
+        });
+        assert_eq!(out, Outcome::Committed);
+        assert!(t.stats().aborts_capacity > 0, "RO reads exhaust the TMCAM");
+        assert_eq!(t.stats().sgl_commits, 1);
+    }
+
+    #[test]
+    fn user_abort_discards_writes() {
+        let b = HtmSgl::with_defaults(1024);
+        let mut t = b.register_thread();
+        let out = t.exec(TxKind::Update, &mut |tx| {
+            tx.write(0, 9)?;
+            Err(Abort::User)
+        });
+        assert_eq!(out, Outcome::UserAborted);
+        assert_eq!(b.memory().load(0), 0);
+    }
+
+    #[test]
+    fn sgl_acquisition_kills_subscribed_transactions() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let b = HtmSgl::new(
+            HtmConfig { cores: 2, smt: 2, tmcam_lines: 4, ..HtmConfig::default() },
+            16 * 64,
+            HtmSglConfig { retry: RetryPolicy { budget: 2, capacity_cost: 2 } },
+        );
+        let stop = AtomicBool::new(false);
+        crossbeam_utils::thread::scope(|s| {
+            // One thread hammers a large transaction that must take the SGL.
+            let b1 = b.clone();
+            let stop1 = &stop;
+            s.spawn(move |_| {
+                let mut t = b1.register_thread();
+                for _ in 0..50 {
+                    t.exec(TxKind::Update, &mut |tx| {
+                        for i in 0..10u64 {
+                            let v = tx.read(i * 16)?;
+                            tx.write(i * 16, v + 1)?;
+                        }
+                        Ok(())
+                    });
+                }
+                stop1.store(true, Ordering::Relaxed);
+                assert!(t.stats().sgl_acquisitions > 0);
+            });
+            // Another runs small transactions that subscribe to the lock.
+            let b2 = b.clone();
+            let stop2 = &stop;
+            s.spawn(move |_| {
+                let mut t = b2.register_thread();
+                while !stop2.load(Ordering::Relaxed) {
+                    t.exec(TxKind::Update, &mut |tx| {
+                        let v = tx.read(20 * 16)?;
+                        tx.write(20 * 16, v + 1)
+                    });
+                }
+            });
+        })
+        .unwrap();
+        // Counter integrity: all increments of the big transaction landed.
+        let total: u64 = (0..10u64).map(|i| b.memory().load(i * 16)).sum();
+        assert_eq!(total, 10 * 50);
+    }
+
+    #[test]
+    fn concurrent_increments_serialize() {
+        let b = HtmSgl::new(
+            HtmConfig { cores: 2, smt: 2, ..HtmConfig::default() },
+            256,
+            HtmSglConfig::default(),
+        );
+        crossbeam_utils::thread::scope(|s| {
+            for _ in 0..4 {
+                let b = b.clone();
+                s.spawn(move |_| {
+                    let mut t = b.register_thread();
+                    for _ in 0..250 {
+                        tm_api::increment(&mut t, 0);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(b.memory().load(0), 1000);
+    }
+}

@@ -1,0 +1,176 @@
+//! The cache-line conflict directory.
+//!
+//! Stand-in for the coherence-protocol side of the TMCAM: for every cache
+//! line currently tracked by some transaction it records the (at most one)
+//! transactional writer and the set of HTM-mode transactional readers. All
+//! simulated accesses consult the directory to detect conflicts; entries
+//! are identified by `(thread, incarnation)` pairs so stale registrations
+//! left behind by killed transactions can be garbage-collected lazily by
+//! whoever stumbles over them.
+
+use crate::util::IntMap;
+use parking_lot::Mutex;
+use txmem::Line;
+
+/// Identity of a transaction registration: hardware thread + incarnation.
+///
+/// The incarnation is bumped on every `begin`, so an `Owner` can never be
+/// confused with a later transaction of the same thread (no ABA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Owner {
+    pub tid: u32,
+    pub inc: u64,
+}
+
+/// Directory state for one cache line.
+#[derive(Debug, Default)]
+pub struct LineEntry {
+    /// The transaction currently holding the line in its write set.
+    pub writer: Option<Owner>,
+    /// HTM-mode transactions holding the line in their tracked read sets.
+    /// (ROT reads are untracked and never appear here — the defining
+    /// property the paper exploits.)
+    pub readers: Vec<Owner>,
+}
+
+impl LineEntry {
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.writer.is_none() && self.readers.is_empty()
+    }
+}
+
+type Shard = Mutex<IntMap<Line, LineEntry>>;
+
+/// Sharded line → [`LineEntry`] map.
+pub struct Directory {
+    shards: Box<[Shard]>,
+    mask: u64,
+}
+
+impl Directory {
+    pub fn new(shards: usize) -> Self {
+        assert!(shards.is_power_of_two());
+        let mut v: Vec<Shard> = Vec::with_capacity(shards);
+        v.resize_with(shards, || Mutex::new(IntMap::default()));
+        Directory { shards: v.into_boxed_slice(), mask: shards as u64 - 1 }
+    }
+
+    #[inline]
+    fn shard(&self, line: Line) -> &Shard {
+        // Fibonacci spreading so consecutive lines land on distinct shards.
+        let h = line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h & self.mask) as usize]
+    }
+
+    /// Run `f` on the line's entry under the shard lock. A missing entry is
+    /// materialised as an empty one for `f`, and entries left empty are
+    /// removed afterwards, so the map only holds lines with live
+    /// registrations.
+    #[inline]
+    pub fn with<R>(&self, line: Line, f: impl FnOnce(&mut LineEntry) -> R) -> R {
+        let mut map = self.shard(line).lock();
+        match map.entry(line) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let r = f(e.get_mut());
+                if e.get().is_empty() {
+                    e.remove();
+                }
+                r
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let mut entry = LineEntry::default();
+                let r = f(&mut entry);
+                if !entry.is_empty() {
+                    v.insert(entry);
+                }
+                r
+            }
+        }
+    }
+
+    /// Peek at a line without materialising an entry (tests/metrics only).
+    pub fn inspect<R>(&self, line: Line, f: impl FnOnce(Option<&LineEntry>) -> R) -> R {
+        let map = self.shard(line).lock();
+        f(map.get(&line))
+    }
+
+    /// Remove `owner`'s writer registration on `line`, if still present.
+    pub fn remove_writer(&self, line: Line, owner: Owner) {
+        self.with(line, |e| {
+            if e.writer == Some(owner) {
+                e.writer = None;
+            }
+        });
+    }
+
+    /// Remove `owner`'s reader registration on `line`, if still present.
+    pub fn remove_reader(&self, line: Line, owner: Owner) {
+        self.with(line, |e| {
+            if let Some(pos) = e.readers.iter().position(|r| *r == owner) {
+                e.readers.swap_remove(pos);
+            }
+        });
+    }
+
+    /// Total number of lines with live registrations (tests/metrics only).
+    pub fn tracked_lines(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const O1: Owner = Owner { tid: 1, inc: 10 };
+    const O2: Owner = Owner { tid: 2, inc: 20 };
+
+    #[test]
+    fn empty_entries_are_not_retained() {
+        let d = Directory::new(4);
+        d.with(7, |e| assert!(e.is_empty()));
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn registrations_persist_until_removed() {
+        let d = Directory::new(4);
+        d.with(7, |e| e.writer = Some(O1));
+        d.with(7, |e| e.readers.push(O2));
+        assert_eq!(d.tracked_lines(), 1);
+        d.inspect(7, |e| {
+            let e = e.unwrap();
+            assert_eq!(e.writer, Some(O1));
+            assert_eq!(e.readers, vec![O2]);
+        });
+        d.remove_writer(7, O1);
+        d.inspect(7, |e| assert!(e.unwrap().writer.is_none()));
+        d.remove_reader(7, O2);
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn removal_checks_owner_identity() {
+        let d = Directory::new(4);
+        d.with(3, |e| e.writer = Some(O1));
+        // A different incarnation of the same thread must not remove it.
+        d.remove_writer(3, Owner { tid: 1, inc: 11 });
+        d.inspect(3, |e| assert_eq!(e.unwrap().writer, Some(O1)));
+        d.remove_writer(3, O1);
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn lines_shard_independently() {
+        let d = Directory::new(8);
+        for line in 0..100 {
+            d.with(line, |e| e.writer = Some(O1));
+        }
+        assert_eq!(d.tracked_lines(), 100);
+        for line in 0..100 {
+            d.remove_writer(line, O1);
+        }
+        assert_eq!(d.tracked_lines(), 0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Per-hardware-thread transaction status words.
+//!
+//! Each hardware thread owns one cache-padded atomic status word packing
+//! `(incarnation << 3) | state`. All conflict resolution is a single CAS on
+//! the victim's status word (`Active* → Aborted*`), which makes kills
+//! race-free without any victim-side locking: a victim that loses the CAS
+//! simply observes its fate at its next simulated instruction — the moral
+//! equivalent of the asynchronous abort delivery in real P8-HTM.
+
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Why a transaction aborted — the taxonomy the paper's figures plot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// Data conflict detected by the (simulated) hardware ("transactional"
+    /// aborts in the figures).
+    Conflict,
+    /// Killed by an SGL-class non-transactional access (a locked fall-back
+    /// path stomping on subscribed transactions) — "non-transactional"
+    /// aborts in the figures.
+    NonTx,
+    /// TMCAM (or LVDIR) capacity exceeded.
+    Capacity,
+    /// Explicit user abort (`tabort.`).
+    Explicit,
+}
+
+/// Transaction execution mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxMode {
+    /// Regular HTM transaction: reads and writes tracked, serializable.
+    Htm,
+    /// Rollback-only transaction: only writes tracked (paper §2.2).
+    Rot,
+}
+
+/// Classification of a non-transactional access, which decides the abort
+/// reason recorded on any transaction it kills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NonTxClass {
+    /// An ordinary data access (suspended-mode access, read-only fast path).
+    /// Kills count as data [`AbortReason::Conflict`]s.
+    Data,
+    /// A fall-back-lock access. Kills count as [`AbortReason::NonTx`] — the
+    /// "non-transactional aborts" series of the figures.
+    Sgl,
+}
+
+impl NonTxClass {
+    #[inline]
+    pub fn kill_reason(self) -> AbortReason {
+        match self {
+            NonTxClass::Data => AbortReason::Conflict,
+            NonTxClass::Sgl => AbortReason::NonTx,
+        }
+    }
+}
+
+/// Decoded status-word state (low 3 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxState {
+    Inactive,
+    Active(TxMode),
+    Committing,
+    Aborted(AbortReason),
+}
+
+const S_INACTIVE: u64 = 0;
+const S_ACTIVE_HTM: u64 = 1;
+const S_ACTIVE_ROT: u64 = 2;
+const S_COMMITTING: u64 = 3;
+const S_AB_CONFLICT: u64 = 4;
+const S_AB_NONTX: u64 = 5;
+const S_AB_CAPACITY: u64 = 6;
+const S_AB_EXPLICIT: u64 = 7;
+const STATE_BITS: u64 = 3;
+const STATE_MASK: u64 = (1 << STATE_BITS) - 1;
+
+/// Pack `(incarnation, state)` into a status word.
+#[inline]
+pub fn pack(inc: u64, state: TxState) -> u64 {
+    let s = match state {
+        TxState::Inactive => S_INACTIVE,
+        TxState::Active(TxMode::Htm) => S_ACTIVE_HTM,
+        TxState::Active(TxMode::Rot) => S_ACTIVE_ROT,
+        TxState::Committing => S_COMMITTING,
+        TxState::Aborted(AbortReason::Conflict) => S_AB_CONFLICT,
+        TxState::Aborted(AbortReason::NonTx) => S_AB_NONTX,
+        TxState::Aborted(AbortReason::Capacity) => S_AB_CAPACITY,
+        TxState::Aborted(AbortReason::Explicit) => S_AB_EXPLICIT,
+    };
+    (inc << STATE_BITS) | s
+}
+
+/// Unpack a status word into `(incarnation, state)`.
+#[inline]
+pub fn unpack(word: u64) -> (u64, TxState) {
+    let inc = word >> STATE_BITS;
+    let state = match word & STATE_MASK {
+        S_INACTIVE => TxState::Inactive,
+        S_ACTIVE_HTM => TxState::Active(TxMode::Htm),
+        S_ACTIVE_ROT => TxState::Active(TxMode::Rot),
+        S_COMMITTING => TxState::Committing,
+        S_AB_CONFLICT => TxState::Aborted(AbortReason::Conflict),
+        S_AB_NONTX => TxState::Aborted(AbortReason::NonTx),
+        S_AB_CAPACITY => TxState::Aborted(AbortReason::Capacity),
+        S_AB_EXPLICIT => TxState::Aborted(AbortReason::Explicit),
+        _ => unreachable!(),
+    };
+    (inc, state)
+}
+
+/// One status slot per hardware thread.
+pub struct SlotArray {
+    slots: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl SlotArray {
+    pub fn new(n: usize) -> Self {
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || CachePadded::new(AtomicU64::new(pack(0, TxState::Inactive))));
+        SlotArray { slots: v.into_boxed_slice() }
+    }
+
+    /// Current `(incarnation, state)` of a slot.
+    #[inline]
+    pub fn load(&self, tid: usize) -> (u64, TxState) {
+        unpack(self.slots[tid].load(Ordering::Acquire))
+    }
+
+    /// Unconditional store (only ever done by the owning thread).
+    #[inline]
+    pub fn store(&self, tid: usize, inc: u64, state: TxState) {
+        self.slots[tid].store(pack(inc, state), Ordering::Release);
+    }
+
+    /// CAS the slot from an exact `(inc, from)` to `(inc, to)`.
+    ///
+    /// Returns the actual `(inc, state)` on failure. Used for kills
+    /// (`Active → Aborted`) and for the owner's `Active → Committing`
+    /// transition; the incarnation check defeats ABA with recycled slots.
+    #[inline]
+    pub fn transition(
+        &self,
+        tid: usize,
+        inc: u64,
+        from: TxState,
+        to: TxState,
+    ) -> Result<(), (u64, TxState)> {
+        self.slots[tid]
+            .compare_exchange(
+                pack(inc, from),
+                pack(inc, to),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .map(|_| ())
+            .map_err(unpack)
+    }
+
+    /// Attempt to kill `(tid, inc)` with `reason`, whatever active mode it
+    /// is in. Returns:
+    /// * `Ok(())` — we killed it (or it was already aborted with any reason),
+    /// * `Err(state)` — it is Committing, Inactive, or a different
+    ///   incarnation (stale), and the caller must react.
+    pub fn try_kill(&self, tid: usize, inc: u64, reason: AbortReason) -> Result<(), TxState> {
+        loop {
+            let (cur_inc, cur_state) = self.load(tid);
+            if cur_inc != inc {
+                return Err(TxState::Inactive); // stale owner
+            }
+            match cur_state {
+                TxState::Active(_) => {
+                    match self.transition(tid, inc, cur_state, TxState::Aborted(reason)) {
+                        Ok(()) => return Ok(()),
+                        Err(_) => continue, // state moved under us; re-examine
+                    }
+                }
+                TxState::Aborted(_) => return Ok(()),
+                other => return Err(other),
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let cases = [
+            TxState::Inactive,
+            TxState::Active(TxMode::Htm),
+            TxState::Active(TxMode::Rot),
+            TxState::Committing,
+            TxState::Aborted(AbortReason::Conflict),
+            TxState::Aborted(AbortReason::NonTx),
+            TxState::Aborted(AbortReason::Capacity),
+            TxState::Aborted(AbortReason::Explicit),
+        ];
+        for (i, s) in cases.iter().enumerate() {
+            let (inc, state) = unpack(pack(i as u64 * 7 + 1, *s));
+            assert_eq!(inc, i as u64 * 7 + 1);
+            assert_eq!(state, *s);
+        }
+    }
+
+    #[test]
+    fn transition_requires_exact_from() {
+        let a = SlotArray::new(1);
+        a.store(0, 5, TxState::Active(TxMode::Rot));
+        assert!(a
+            .transition(0, 5, TxState::Active(TxMode::Htm), TxState::Committing)
+            .is_err());
+        assert!(a
+            .transition(0, 4, TxState::Active(TxMode::Rot), TxState::Committing)
+            .is_err());
+        assert!(a
+            .transition(0, 5, TxState::Active(TxMode::Rot), TxState::Committing)
+            .is_ok());
+        assert_eq!(a.load(0), (5, TxState::Committing));
+    }
+
+    #[test]
+    fn kill_active_succeeds() {
+        let a = SlotArray::new(1);
+        a.store(0, 3, TxState::Active(TxMode::Rot));
+        assert_eq!(a.try_kill(0, 3, AbortReason::Conflict), Ok(()));
+        assert_eq!(a.load(0), (3, TxState::Aborted(AbortReason::Conflict)));
+        // A second kill (different reason) is a no-op success: first reason wins.
+        assert_eq!(a.try_kill(0, 3, AbortReason::NonTx), Ok(()));
+        assert_eq!(a.load(0), (3, TxState::Aborted(AbortReason::Conflict)));
+    }
+
+    #[test]
+    fn kill_committing_fails() {
+        let a = SlotArray::new(1);
+        a.store(0, 3, TxState::Committing);
+        assert_eq!(a.try_kill(0, 3, AbortReason::Conflict), Err(TxState::Committing));
+    }
+
+    #[test]
+    fn kill_stale_incarnation_fails() {
+        let a = SlotArray::new(1);
+        a.store(0, 9, TxState::Active(TxMode::Htm));
+        assert_eq!(a.try_kill(0, 8, AbortReason::Conflict), Err(TxState::Inactive));
+    }
+
+    #[test]
+    fn nontx_class_kill_reasons() {
+        assert_eq!(NonTxClass::Data.kill_reason(), AbortReason::Conflict);
+        assert_eq!(NonTxClass::Sgl.kill_reason(), AbortReason::NonTx);
+    }
+}

@@ -1,0 +1,190 @@
+//! TMCAM and LVDIR capacity accounting.
+//!
+//! POWER8 keeps the read/write sets of a core's transactions in an 8 KB
+//! content-addressable memory (TMCAM) attached to the L2: 64 entries of one
+//! 128-byte cache line each, *shared by all SMT threads of the core*. When
+//! the combined footprint of the transactions co-located on a core exceeds
+//! 64 lines, the transaction requesting the 65th entry takes a capacity
+//! abort. POWER9 adds the L2 LVDIR — a 512 KB read-tracking directory
+//! shared between two cores, usable by at most two threads at a time.
+
+use crate::config::HtmConfig;
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicI64, AtomicU32, Ordering};
+
+struct LvdirState {
+    users: AtomicU32,
+    used: AtomicI64,
+}
+
+/// Per-core (and per-core-pair) capacity counters.
+pub struct Cores {
+    tmcam: Box<[CachePadded<AtomicI64>]>,
+    tmcam_cap: i64,
+    lvdir: Option<Box<[CachePadded<LvdirState>]>>,
+    lvdir_cap: i64,
+    lvdir_max_users: u32,
+}
+
+impl Cores {
+    pub fn new(config: &HtmConfig) -> Self {
+        let mut tmcam = Vec::with_capacity(config.cores);
+        tmcam.resize_with(config.cores, || CachePadded::new(AtomicI64::new(0)));
+        let (lvdir, lvdir_cap, lvdir_max_users) = match &config.lvdir {
+            Some(l) => {
+                let mut v = Vec::with_capacity(config.core_pairs());
+                v.resize_with(config.core_pairs(), || {
+                    CachePadded::new(LvdirState { users: AtomicU32::new(0), used: AtomicI64::new(0) })
+                });
+                (Some(v.into_boxed_slice()), l.lines as i64, l.max_users)
+            }
+            None => (None, 0, 0),
+        };
+        Cores {
+            tmcam: tmcam.into_boxed_slice(),
+            tmcam_cap: config.tmcam_lines as i64,
+            lvdir,
+            lvdir_cap,
+            lvdir_max_users,
+        }
+    }
+
+    /// Reserve one TMCAM entry on `core`. `false` ⇒ capacity exhausted (the
+    /// reservation is rolled back; the caller must take a capacity abort).
+    #[inline]
+    pub fn charge_tmcam(&self, core: usize) -> bool {
+        let used = self.tmcam[core].fetch_add(1, Ordering::Relaxed) + 1;
+        if used > self.tmcam_cap {
+            self.tmcam[core].fetch_sub(1, Ordering::Relaxed);
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Return `n` TMCAM entries on `core`.
+    #[inline]
+    pub fn release_tmcam(&self, core: usize, n: u64) {
+        if n > 0 {
+            let prev = self.tmcam[core].fetch_sub(n as i64, Ordering::Relaxed);
+            debug_assert!(prev >= n as i64, "TMCAM accounting underflow");
+        }
+    }
+
+    /// Current TMCAM occupancy of a core (tests/metrics).
+    pub fn tmcam_used(&self, core: usize) -> i64 {
+        self.tmcam[core].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn lvdir_of(core: usize) -> usize {
+        core / 2
+    }
+
+    /// Try to become an LVDIR user for `core`'s pair. `false` when the LVDIR
+    /// is absent or its user slots (two, per §2.2) are taken — which is
+    /// exactly why LVDIR cannot help SMT workloads.
+    pub fn try_join_lvdir(&self, core: usize) -> bool {
+        let Some(lv) = &self.lvdir else { return false };
+        let s = &lv[Self::lvdir_of(core)];
+        s.users
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |u| {
+                (u < self.lvdir_max_users).then_some(u + 1)
+            })
+            .is_ok()
+    }
+
+    /// Release an LVDIR user slot and `held` tracked lines.
+    pub fn leave_lvdir(&self, core: usize, held: u64) {
+        let lv = self.lvdir.as_ref().expect("leave_lvdir without LVDIR");
+        let s = &lv[Self::lvdir_of(core)];
+        if held > 0 {
+            s.used.fetch_sub(held as i64, Ordering::Relaxed);
+        }
+        let prev = s.users.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "LVDIR user underflow");
+    }
+
+    /// Reserve one LVDIR read-tracking entry.
+    #[inline]
+    pub fn charge_lvdir(&self, core: usize) -> bool {
+        let lv = self.lvdir.as_ref().expect("charge_lvdir without LVDIR");
+        let s = &lv[Self::lvdir_of(core)];
+        let used = s.used.fetch_add(1, Ordering::Relaxed) + 1;
+        if used > self.lvdir_cap {
+            s.used.fetch_sub(1, Ordering::Relaxed);
+            false
+        } else {
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LvdirConfig;
+
+    fn cfg(tmcam: u64) -> HtmConfig {
+        HtmConfig { cores: 2, smt: 2, tmcam_lines: tmcam, ..HtmConfig::default() }
+    }
+
+    #[test]
+    fn tmcam_charges_up_to_capacity() {
+        let c = Cores::new(&cfg(3));
+        assert!(c.charge_tmcam(0));
+        assert!(c.charge_tmcam(0));
+        assert!(c.charge_tmcam(0));
+        assert!(!c.charge_tmcam(0), "4th entry must fail");
+        // Failure must not leak an entry.
+        assert_eq!(c.tmcam_used(0), 3);
+        // The other core is independent.
+        assert!(c.charge_tmcam(1));
+        c.release_tmcam(0, 3);
+        assert_eq!(c.tmcam_used(0), 0);
+        assert!(c.charge_tmcam(0));
+    }
+
+    #[test]
+    fn tmcam_is_shared_per_core_not_per_thread() {
+        // Two "threads" charging the same core drain the same budget.
+        let c = Cores::new(&cfg(4));
+        for _ in 0..2 {
+            assert!(c.charge_tmcam(0));
+        }
+        for _ in 0..2 {
+            assert!(c.charge_tmcam(0));
+        }
+        assert!(!c.charge_tmcam(0));
+    }
+
+    #[test]
+    fn lvdir_user_slots_are_limited() {
+        let mut config = cfg(64);
+        config.lvdir = Some(LvdirConfig { lines: 8, max_users: 2 });
+        let c = Cores::new(&config);
+        assert!(c.try_join_lvdir(0));
+        assert!(c.try_join_lvdir(1)); // cores 0 and 1 share pair 0
+        assert!(!c.try_join_lvdir(0), "third user must be refused");
+        c.leave_lvdir(0, 0);
+        assert!(c.try_join_lvdir(0));
+    }
+
+    #[test]
+    fn lvdir_capacity_enforced() {
+        let mut config = cfg(64);
+        config.lvdir = Some(LvdirConfig { lines: 2, max_users: 2 });
+        let c = Cores::new(&config);
+        assert!(c.try_join_lvdir(0));
+        assert!(c.charge_lvdir(0));
+        assert!(c.charge_lvdir(0));
+        assert!(!c.charge_lvdir(0));
+        c.leave_lvdir(0, 2);
+    }
+
+    #[test]
+    fn no_lvdir_means_no_join() {
+        let c = Cores::new(&cfg(64));
+        assert!(!c.try_join_lvdir(0));
+    }
+}

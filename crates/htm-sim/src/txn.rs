@@ -1,0 +1,989 @@
+//! The per-hardware-thread transaction engine: begin / read / write /
+//! suspend / resume / commit / abort with P8-HTM conflict semantics.
+//!
+//! ## Conflict policy (paper §2.2)
+//!
+//! * a **read** (transactional or not) of a line transactionally written by
+//!   another thread *kills the writer* and returns the old value; if the
+//!   writer is mid-commit the reader stalls and then returns the new value;
+//! * a **transactional write** to a line written by another active
+//!   transaction kills the *requester* ("the last writer is killed");
+//! * a **write** (transactional or not) to a line held in HTM-mode read
+//!   sets kills those *readers*;
+//! * ROT reads are untracked: they never appear in read sets, so
+//!   write-after-read between ROTs goes undetected (Fig. 2A) while
+//!   read-after-write still kills the writer (Fig. 2B).
+//!
+//! ## Kill protocol
+//!
+//! A kill is a single CAS on the victim's status word
+//! (`Active → Aborted(reason)`). Victims observe their death at the next
+//! simulated instruction (or at `resume()`/`commit()`) and then clean up
+//! their own registrations; the killer only clears the one directory entry
+//! it is looking at. Stale registrations (dead incarnations) are
+//! garbage-collected by whoever encounters them. Transactional stores are
+//! buffered privately and applied at commit, so a killed writer's effects
+//! simply never reach memory — no rollback is needed, matching hardware
+//! where the L2 discards transactional lines on abort.
+
+use crate::directory::{LineEntry, Owner};
+use crate::status::{AbortReason, NonTxClass, TxMode, TxState};
+use crate::util::IntMap;
+use crate::Htm;
+use crossbeam_utils::Backoff;
+use std::sync::Arc;
+use txmem::{line_of, Addr, Line, TxMemory, VirtualClock};
+
+/// Per-line tracking flags of the current transaction.
+mod flags {
+    /// Line is in the write set (buffered writes may exist).
+    pub const WRITE: u8 = 1;
+    /// Registered in the directory's tracked-reader list.
+    pub const READ_REG: u8 = 2;
+    /// Holds a TMCAM entry.
+    pub const TMCAM: u8 = 4;
+    /// Holds an LVDIR entry.
+    pub const LVDIR: u8 = 8;
+}
+
+/// Outcome of a directory interaction.
+enum Verdict {
+    /// Conflict resolution finished; the access may proceed.
+    Proceed,
+    /// A conflicting transaction is mid-commit; release the shard lock,
+    /// back off and retry (coherence stall).
+    Stall,
+    /// This transaction lost the conflict and must abort itself.
+    SelfAbort,
+}
+
+/// A registered hardware thread of the simulated machine. At most one
+/// transaction is active per thread at a time (P8-HTM has no nesting beyond
+/// flattening, which the paper does not use).
+pub struct HtmThread {
+    htm: Arc<Htm>,
+    tid: usize,
+    core: usize,
+    inc: u64,
+    mode: Option<TxMode>,
+    suspended: bool,
+    lines: IntMap<Line, u8>,
+    wbuf: IntMap<Addr, u64>,
+    tmcam_held: u64,
+    lvdir_held: u64,
+    lvdir_user: bool,
+    unbounded: bool,
+}
+
+impl HtmThread {
+    pub(crate) fn new(htm: Arc<Htm>, tid: usize) -> Self {
+        let core = htm.config().core_of(tid);
+        HtmThread {
+            htm,
+            tid,
+            core,
+            inc: 0,
+            mode: None,
+            suspended: false,
+            lines: IntMap::default(),
+            wbuf: IntMap::default(),
+            tmcam_held: 0,
+            lvdir_held: 0,
+            lvdir_user: false,
+            unbounded: false,
+        }
+    }
+
+    /// Hardware-thread id.
+    #[inline]
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Virtual core this hardware thread is pinned to.
+    #[inline]
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// The machine this thread belongs to.
+    #[inline]
+    pub fn htm(&self) -> &Arc<Htm> {
+        &self.htm
+    }
+
+    /// Shared memory shortcut.
+    #[inline]
+    pub fn memory(&self) -> &TxMemory {
+        self.htm.memory()
+    }
+
+    /// Virtual clock shortcut.
+    #[inline]
+    pub fn clock(&self) -> &VirtualClock {
+        self.htm.clock()
+    }
+
+    #[inline]
+    fn me(&self) -> Owner {
+        Owner { tid: self.tid as u32, inc: self.inc }
+    }
+
+    /// True while a transaction is active (even if suspended or doomed).
+    #[inline]
+    pub fn in_tx(&self) -> bool {
+        self.mode.is_some()
+    }
+
+    /// Mode of the active transaction.
+    #[inline]
+    pub fn mode(&self) -> Option<TxMode> {
+        self.mode
+    }
+
+    /// True while inside a suspend/resume window.
+    #[inline]
+    pub fn is_suspended(&self) -> bool {
+        self.suspended
+    }
+
+    /// Number of distinct cache lines in the current write set.
+    pub fn write_set_lines(&self) -> usize {
+        self.lines.values().filter(|f| **f & flags::WRITE != 0).count()
+    }
+
+    /// TMCAM entries currently held by this transaction.
+    pub fn tmcam_footprint(&self) -> u64 {
+        self.tmcam_held
+    }
+
+    /// Begin a transaction. `HTMBeginROT` is `begin(TxMode::Rot)`.
+    ///
+    /// Panics if a transaction is already active.
+    pub fn begin(&mut self, mode: TxMode) {
+        self.begin_opts(mode, false);
+    }
+
+    /// Begin a transaction *without capacity accounting*.
+    ///
+    /// This is not a hardware feature: it models a **software** transaction
+    /// that participates in the same conflict protocol (the directory plays
+    /// the role of a per-line software lock table) but tracks its sets in
+    /// ordinary memory, hence without TMCAM bounds. SI-HTM's optional
+    /// software-SI fall-back path (paper §6 future work) is built on it.
+    pub fn begin_unbounded(&mut self, mode: TxMode) {
+        self.begin_opts(mode, true);
+    }
+
+    fn begin_opts(&mut self, mode: TxMode, unbounded: bool) {
+        assert!(self.mode.is_none(), "transaction already active on thread {}", self.tid);
+        self.inc += 1;
+        self.mode = Some(mode);
+        self.suspended = false;
+        self.lines.clear();
+        self.wbuf.clear();
+        self.tmcam_held = 0;
+        self.lvdir_held = 0;
+        self.unbounded = unbounded;
+        // Only regular HTM transactions benefit from the LVDIR (it tracks
+        // reads; ROT reads are untracked by construction).
+        self.lvdir_user =
+            !unbounded && mode == TxMode::Htm && self.htm.cores().try_join_lvdir(self.core);
+        self.htm.slots().store(self.tid, self.inc, TxState::Active(mode));
+    }
+
+    /// If the active transaction has been killed, report the reason
+    /// (without cleaning up — the next operation or `resume`/`commit` will).
+    pub fn doomed(&self) -> Option<AbortReason> {
+        self.mode?;
+        match self.htm.slots().load(self.tid) {
+            (_, TxState::Aborted(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Check own fate at the top of each simulated instruction.
+    #[inline]
+    fn check_self(&mut self) -> Result<(), AbortReason> {
+        debug_assert!(self.mode.is_some(), "transactional access outside a transaction");
+        match self.htm.slots().load(self.tid) {
+            (_, TxState::Aborted(r)) => {
+                self.cleanup();
+                Err(r)
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Cost-model compensation: untracked reads spin briefly so they cost
+    /// as much as tracked reads do in this simulator (on hardware both are
+    /// plain loads; see `HtmConfig::untracked_read_spin`).
+    #[inline]
+    fn compensate_untracked_read(&self) {
+        for _ in 0..self.htm.config().untracked_read_spin {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Deterministic per-line sampling for the "small fraction of ROT reads
+    /// tracked by the TMCAM" knob (paper footnote 1).
+    #[inline]
+    fn rot_read_sampled(&self, line: Line) -> bool {
+        let f = self.htm.config().rot_read_tracking;
+        if f <= 0.0 {
+            return false;
+        }
+        let h = line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40;
+        (h as f64 / (1u64 << 24) as f64) < f
+    }
+
+    /// Charge one capacity entry for `line` with the appropriate structure.
+    /// `for_write` forces a TMCAM entry (the LVDIR only tracks reads).
+    fn charge_capacity(&mut self, line: Line, for_write: bool) -> Result<(), ()> {
+        if self.unbounded {
+            // Software transaction: sets tracked in ordinary memory.
+            self.lines.entry(line).or_insert(0);
+            return Ok(());
+        }
+        let entry = self.lines.entry(line).or_insert(0);
+        if for_write {
+            if *entry & flags::TMCAM != 0 {
+                return Ok(());
+            }
+            if self.htm.cores().charge_tmcam(self.core) {
+                *entry |= flags::TMCAM;
+                self.tmcam_held += 1;
+                Ok(())
+            } else {
+                Err(())
+            }
+        } else {
+            if *entry & (flags::TMCAM | flags::LVDIR) != 0 {
+                return Ok(());
+            }
+            if self.lvdir_user {
+                if self.htm.cores().charge_lvdir(self.core) {
+                    *entry |= flags::LVDIR;
+                    self.lvdir_held += 1;
+                    return Ok(());
+                }
+                return Err(());
+            }
+            if self.htm.cores().charge_tmcam(self.core) {
+                *entry |= flags::TMCAM;
+                self.tmcam_held += 1;
+                Ok(())
+            } else {
+                Err(())
+            }
+        }
+    }
+
+    /// Run `f` against the line entry, backing off while it asks to stall.
+    fn resolve(&self, line: Line, mut f: impl FnMut(&mut LineEntry) -> Verdict) -> Verdict {
+        let backoff = Backoff::new();
+        loop {
+            match self.htm.directory().with(line, &mut f) {
+                Verdict::Stall => {
+                    backoff.snooze();
+                    if backoff.is_completed() {
+                        std::thread::yield_now();
+                    }
+                }
+                v => return v,
+            }
+        }
+    }
+
+    /// Transactional read (`ld` inside a transaction). When suspended, the
+    /// access is performed non-transactionally, as the hardware does.
+    pub fn read(&mut self, addr: Addr) -> Result<u64, AbortReason> {
+        if self.suspended {
+            return Ok(self.read_notx(addr, NonTxClass::Data));
+        }
+        self.check_self()?;
+        let mode = self.mode.expect("read outside transaction");
+        let line = line_of(addr);
+
+        // Fast paths on lines we already own or track.
+        if let Some(&f) = self.lines.get(&line) {
+            if f & flags::WRITE != 0 {
+                // Our own write set: we see our buffered stores.
+                return Ok(self.wbuf.get(&addr).copied().unwrap_or_else(|| self.memory().load(addr)));
+            }
+            if f & flags::READ_REG != 0 {
+                // Already a tracked reader: any conflicting writer would
+                // have had to kill us first, so plain memory is consistent
+                // (a kill that raced us is observed at the next access).
+                return Ok(self.memory().load(addr));
+            }
+        }
+
+        let tracked = match mode {
+            TxMode::Htm => true,
+            TxMode::Rot => self.rot_read_sampled(line),
+        };
+        if tracked && self.charge_capacity(line, false).is_err() {
+            return Err(self.self_abort(AbortReason::Capacity));
+        }
+
+        let me = self.me();
+        let slots = self.htm.slots();
+        let verdict = self.resolve(line, |e| {
+            if let Some(w) = e.writer {
+                if w != me {
+                    match slots.try_kill(w.tid as usize, w.inc, AbortReason::Conflict) {
+                        // Killed (or already dead): the buffered writes die
+                        // with it; we read the old value.
+                        Ok(()) => e.writer = None,
+                        Err(TxState::Committing) => return Verdict::Stall,
+                        Err(_) => e.writer = None, // stale registration
+                    }
+                }
+            }
+            if tracked && !e.readers.contains(&me) {
+                e.readers.push(me);
+            }
+            Verdict::Proceed
+        });
+        debug_assert!(matches!(verdict, Verdict::Proceed));
+        if tracked {
+            *self.lines.entry(line).or_insert(0) |= flags::READ_REG;
+        } else {
+            self.compensate_untracked_read();
+        }
+        Ok(self.memory().load(addr))
+    }
+
+    /// Transactional write (`st` inside a transaction). Buffered until
+    /// commit. When suspended, performed non-transactionally.
+    pub fn write(&mut self, addr: Addr, val: u64) -> Result<(), AbortReason> {
+        if self.suspended {
+            self.write_notx(addr, val, NonTxClass::Data);
+            return Ok(());
+        }
+        self.check_self()?;
+        debug_assert!(self.mode.is_some(), "write outside transaction");
+        let line = line_of(addr);
+
+        if self.lines.get(&line).is_some_and(|f| f & flags::WRITE != 0) {
+            self.wbuf.insert(addr, val);
+            return Ok(());
+        }
+
+        if self.charge_capacity(line, true).is_err() {
+            return Err(self.self_abort(AbortReason::Capacity));
+        }
+
+        let me = self.me();
+        let slots = self.htm.slots();
+        let verdict = self.resolve(line, |e| {
+            if let Some(w) = e.writer {
+                if w != me {
+                    match slots.load(w.tid as usize) {
+                        (inc, TxState::Active(_)) if inc == w.inc => {
+                            // Write-write conflict: "the last writer is
+                            // killed" — that is us.
+                            return Verdict::SelfAbort;
+                        }
+                        (inc, TxState::Committing) if inc == w.inc => return Verdict::Stall,
+                        _ => e.writer = None, // stale
+                    }
+                }
+            }
+            // Kill every tracked reader of the line (write-after-read is a
+            // conflict for regular HTM transactions).
+            let mut i = 0;
+            let mut stall = false;
+            while i < e.readers.len() {
+                let r = e.readers[i];
+                if r == me {
+                    i += 1;
+                    continue;
+                }
+                match slots.try_kill(r.tid as usize, r.inc, AbortReason::Conflict) {
+                    Ok(()) | Err(TxState::Inactive) => {
+                        e.readers.swap_remove(i);
+                    }
+                    Err(TxState::Committing) => {
+                        stall = true;
+                        i += 1;
+                    }
+                    Err(_) => {
+                        e.readers.swap_remove(i);
+                    }
+                }
+            }
+            if stall {
+                return Verdict::Stall;
+            }
+            e.writer = Some(me);
+            Verdict::Proceed
+        });
+        match verdict {
+            Verdict::Proceed => {
+                *self.lines.entry(line).or_insert(0) |= flags::WRITE;
+                self.wbuf.insert(addr, val);
+                Ok(())
+            }
+            Verdict::SelfAbort => Err(self.self_abort(AbortReason::Conflict)),
+            Verdict::Stall => unreachable!("resolve loops on Stall"),
+        }
+    }
+
+    /// `tsuspend.`: subsequent accesses run non-transactionally.
+    pub fn suspend(&mut self) {
+        assert!(self.mode.is_some(), "suspend outside transaction");
+        assert!(!self.suspended, "already suspended");
+        self.suspended = true;
+    }
+
+    /// `tresume.`: leave the suspend window. Conflicts signalled while
+    /// suspended take effect here (paper §2.2).
+    pub fn resume(&mut self) -> Result<(), AbortReason> {
+        assert!(self.mode.is_some(), "resume outside transaction");
+        assert!(self.suspended, "resume without suspend");
+        self.suspended = false;
+        self.check_self()
+    }
+
+    /// `tend.`: make the buffered writes visible and release all tracking.
+    pub fn commit(&mut self) -> Result<(), AbortReason> {
+        let mode = self.mode.expect("commit outside transaction");
+        assert!(!self.suspended, "commit while suspended");
+        match self.htm.slots().transition(
+            self.tid,
+            self.inc,
+            TxState::Active(mode),
+            TxState::Committing,
+        ) {
+            Ok(()) => {}
+            Err((_, TxState::Aborted(r))) => {
+                self.cleanup();
+                return Err(r);
+            }
+            Err(other) => unreachable!("commit from state {other:?}"),
+        }
+        // Apply the write buffer. Conflicting accesses stall on our
+        // Committing state and re-read after we release the lines, so they
+        // observe all of these stores (happens-before via the shard locks).
+        for (&addr, &val) in &self.wbuf {
+            self.memory().store_release(addr, val);
+        }
+        self.cleanup();
+        Ok(())
+    }
+
+    /// Explicit abort (`tabort.`). Returns the recorded reason, which is the
+    /// killer's reason when someone else got there first.
+    pub fn abort(&mut self) -> AbortReason {
+        assert!(self.mode.is_some(), "abort outside transaction");
+        self.suspended = false;
+        self.self_abort(AbortReason::Explicit)
+    }
+
+    /// Lose a conflict (or capacity/explicit abort): mark self aborted,
+    /// discard buffered writes, release all registrations.
+    fn self_abort(&mut self, reason: AbortReason) -> AbortReason {
+        let final_reason = loop {
+            match self.htm.slots().load(self.tid) {
+                (_, TxState::Active(m)) => {
+                    match self.htm.slots().transition(
+                        self.tid,
+                        self.inc,
+                        TxState::Active(m),
+                        TxState::Aborted(reason),
+                    ) {
+                        Ok(()) => break reason,
+                        Err(_) => continue, // a killer raced us
+                    }
+                }
+                (_, TxState::Aborted(r)) => break r,
+                (_, s) => unreachable!("self_abort in state {s:?}"),
+            }
+        };
+        self.cleanup();
+        final_reason
+    }
+
+    /// Release directory registrations and capacity, then go Inactive.
+    fn cleanup(&mut self) {
+        let me = self.me();
+        for (&line, &f) in &self.lines {
+            if f & (flags::WRITE | flags::READ_REG) != 0 {
+                self.htm.directory().with(line, |e| {
+                    if e.writer == Some(me) {
+                        e.writer = None;
+                    }
+                    if f & flags::READ_REG != 0 {
+                        if let Some(pos) = e.readers.iter().position(|r| *r == me) {
+                            e.readers.swap_remove(pos);
+                        }
+                    }
+                });
+            }
+        }
+        self.htm.cores().release_tmcam(self.core, self.tmcam_held);
+        if self.lvdir_user {
+            self.htm.cores().leave_lvdir(self.core, self.lvdir_held);
+        }
+        self.tmcam_held = 0;
+        self.lvdir_held = 0;
+        self.lvdir_user = false;
+        self.lines.clear();
+        self.wbuf.clear();
+        self.suspended = false;
+        self.htm.slots().store(self.tid, self.inc, TxState::Inactive);
+        self.mode = None;
+    }
+
+    /// Non-transactional read: kills any active transactional writer of the
+    /// line (with `class`'s reason) and returns the memory value. Inside a
+    /// suspend window, a read of a line in the *own* write set returns the
+    /// buffered value (suspended loads see the thread's transactional
+    /// stores on POWER).
+    pub fn read_notx(&mut self, addr: Addr, class: NonTxClass) -> u64 {
+        let line = line_of(addr);
+        if self.mode.is_some() && self.lines.get(&line).is_some_and(|f| f & flags::WRITE != 0) {
+            return self.wbuf.get(&addr).copied().unwrap_or_else(|| self.memory().load(addr));
+        }
+        let me = self.me();
+        let in_tx = self.mode.is_some();
+        let slots = self.htm.slots();
+        let reason = class.kill_reason();
+        let verdict = self.resolve(line, |e| {
+            if let Some(w) = e.writer {
+                if !(in_tx && w == me) {
+                    match slots.try_kill(w.tid as usize, w.inc, reason) {
+                        Ok(()) => e.writer = None,
+                        Err(TxState::Committing) => return Verdict::Stall,
+                        Err(_) => e.writer = None,
+                    }
+                }
+            }
+            Verdict::Proceed
+        });
+        debug_assert!(matches!(verdict, Verdict::Proceed));
+        self.compensate_untracked_read();
+        self.memory().load(addr)
+    }
+
+    /// Non-transactional write: kills any active writer *and* all tracked
+    /// readers of the line (the mechanism by which SGL acquisition aborts
+    /// subscribed hardware transactions), then stores directly to memory.
+    /// The calling thread's own suspended transaction is *not* spared —
+    /// stomping on one's own tracked line dooms the transaction, as on real
+    /// hardware.
+    pub fn write_notx(&mut self, addr: Addr, val: u64, class: NonTxClass) {
+        let line = line_of(addr);
+        let slots = self.htm.slots();
+        let reason = class.kill_reason();
+        let verdict = self.resolve(line, |e| {
+            if let Some(w) = e.writer {
+                match slots.try_kill(w.tid as usize, w.inc, reason) {
+                    Ok(()) => e.writer = None,
+                    Err(TxState::Committing) => return Verdict::Stall,
+                    Err(_) => e.writer = None,
+                }
+            }
+            let mut i = 0;
+            let mut stall = false;
+            while i < e.readers.len() {
+                let r = e.readers[i];
+                match slots.try_kill(r.tid as usize, r.inc, reason) {
+                    Ok(()) | Err(TxState::Inactive) => {
+                        e.readers.swap_remove(i);
+                    }
+                    Err(TxState::Committing) => {
+                        stall = true;
+                        i += 1;
+                    }
+                    Err(_) => {
+                        e.readers.swap_remove(i);
+                    }
+                }
+            }
+            if stall {
+                Verdict::Stall
+            } else {
+                Verdict::Proceed
+            }
+        });
+        debug_assert!(matches!(verdict, Verdict::Proceed));
+        self.memory().store_release(addr, val);
+    }
+}
+
+impl std::fmt::Debug for HtmThread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HtmThread")
+            .field("tid", &self.tid)
+            .field("core", &self.core)
+            .field("mode", &self.mode)
+            .field("suspended", &self.suspended)
+            .field("tmcam_held", &self.tmcam_held)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HtmConfig;
+
+    fn machine(words: usize) -> Arc<Htm> {
+        Htm::new(HtmConfig::small(), words)
+    }
+
+    #[test]
+    fn committed_writes_become_visible() {
+        let htm = machine(256);
+        let mut t = htm.register_thread();
+        t.begin(TxMode::Htm);
+        t.write(3, 99).unwrap();
+        assert_eq!(htm.memory().load(3), 0, "buffered until commit");
+        assert_eq!(t.read(3).unwrap(), 99, "own writes visible to self");
+        t.commit().unwrap();
+        assert_eq!(htm.memory().load(3), 99);
+        assert!(!t.in_tx());
+    }
+
+    #[test]
+    fn explicit_abort_discards_writes() {
+        let htm = machine(256);
+        let mut t = htm.register_thread();
+        t.begin(TxMode::Rot);
+        t.write(0, 7).unwrap();
+        assert_eq!(t.abort(), AbortReason::Explicit);
+        assert_eq!(htm.memory().load(0), 0);
+        assert_eq!(htm.directory().tracked_lines(), 0);
+        assert_eq!(htm.cores().tmcam_used(0), 0);
+    }
+
+    #[test]
+    fn reader_kills_active_writer_and_sees_old_value() {
+        let htm = machine(256);
+        let mut w = htm.register_thread();
+        let mut r = htm.register_thread();
+        htm.memory().store(0, 5);
+        w.begin(TxMode::Rot);
+        w.write(0, 6).unwrap();
+        r.begin(TxMode::Rot);
+        // Read-after-write: the reader invalidates the writer (Fig. 2B).
+        assert_eq!(r.read(0).unwrap(), 5);
+        assert_eq!(w.doomed(), Some(AbortReason::Conflict));
+        assert_eq!(w.commit(), Err(AbortReason::Conflict));
+        r.commit().unwrap();
+        assert_eq!(htm.memory().load(0), 5);
+    }
+
+    #[test]
+    fn rot_write_after_read_is_tolerated() {
+        // Fig. 2A: between ROTs, a write to a line previously read by a
+        // concurrent ROT is NOT a conflict (reads are untracked).
+        let htm = machine(256);
+        let mut a = htm.register_thread();
+        let mut b = htm.register_thread();
+        a.begin(TxMode::Rot);
+        assert_eq!(a.read(0).unwrap(), 0);
+        b.begin(TxMode::Rot);
+        b.write(0, 1).unwrap();
+        assert!(a.doomed().is_none());
+        assert!(b.doomed().is_none());
+        b.commit().unwrap();
+        a.commit().unwrap();
+        assert_eq!(htm.memory().load(0), 1);
+    }
+
+    #[test]
+    fn htm_write_after_read_kills_reader() {
+        // Same schedule with regular HTM transactions: the tracked reader
+        // is killed by the writer.
+        let htm = machine(256);
+        let mut a = htm.register_thread();
+        let mut b = htm.register_thread();
+        a.begin(TxMode::Htm);
+        assert_eq!(a.read(0).unwrap(), 0);
+        b.begin(TxMode::Htm);
+        b.write(0, 1).unwrap();
+        assert_eq!(a.doomed(), Some(AbortReason::Conflict));
+        assert_eq!(a.commit(), Err(AbortReason::Conflict));
+        b.commit().unwrap();
+        assert_eq!(htm.memory().load(0), 1);
+    }
+
+    #[test]
+    fn write_write_kills_last_writer() {
+        let htm = machine(256);
+        let mut a = htm.register_thread();
+        let mut b = htm.register_thread();
+        a.begin(TxMode::Rot);
+        a.write(0, 1).unwrap();
+        b.begin(TxMode::Rot);
+        assert_eq!(b.write(0, 2), Err(AbortReason::Conflict), "last writer dies");
+        assert!(!b.in_tx(), "loser is torn down");
+        a.commit().unwrap();
+        assert_eq!(htm.memory().load(0), 1);
+    }
+
+    #[test]
+    fn different_words_same_line_still_conflict() {
+        let htm = machine(256);
+        let mut a = htm.register_thread();
+        let mut b = htm.register_thread();
+        a.begin(TxMode::Rot);
+        a.write(0, 1).unwrap();
+        b.begin(TxMode::Rot);
+        // Word 1 shares cache line 0 with word 0.
+        assert_eq!(b.write(1, 2), Err(AbortReason::Conflict));
+        a.commit().unwrap();
+    }
+
+    #[test]
+    fn different_lines_do_not_conflict() {
+        let htm = machine(256);
+        let mut a = htm.register_thread();
+        let mut b = htm.register_thread();
+        a.begin(TxMode::Rot);
+        a.write(0, 1).unwrap();
+        b.begin(TxMode::Rot);
+        b.write(16, 2).unwrap();
+        a.commit().unwrap();
+        b.commit().unwrap();
+        assert_eq!(htm.memory().load(0), 1);
+        assert_eq!(htm.memory().load(16), 2);
+    }
+
+    #[test]
+    fn htm_capacity_abort_on_reads() {
+        let htm = Htm::new(
+            HtmConfig { cores: 1, smt: 2, tmcam_lines: 4, ..HtmConfig::default() },
+            16 * 64,
+        );
+        let mut t = htm.register_thread();
+        t.begin(TxMode::Htm);
+        for i in 0..4u64 {
+            t.read(i * 16).unwrap();
+        }
+        assert_eq!(t.read(4 * 16), Err(AbortReason::Capacity));
+        assert_eq!(htm.cores().tmcam_used(0), 0, "capacity released after abort");
+    }
+
+    #[test]
+    fn rot_reads_have_no_capacity_bound() {
+        let htm = Htm::new(
+            HtmConfig { cores: 1, smt: 2, tmcam_lines: 4, ..HtmConfig::default() },
+            16 * 64,
+        );
+        let mut t = htm.register_thread();
+        t.begin(TxMode::Rot);
+        for i in 0..64u64 {
+            t.read(i * 16).unwrap();
+        }
+        // Writes still bounded.
+        for i in 0..4u64 {
+            t.write(i * 16, 1).unwrap();
+        }
+        assert_eq!(t.write(4 * 16, 1), Err(AbortReason::Capacity));
+    }
+
+    #[test]
+    fn tmcam_shared_between_smt_threads() {
+        // Two threads on one core share the 4-line TMCAM.
+        let htm = Htm::new(
+            HtmConfig { cores: 1, smt: 2, tmcam_lines: 4, ..HtmConfig::default() },
+            16 * 64,
+        );
+        let mut a = htm.register_thread();
+        let mut b = htm.register_thread();
+        a.begin(TxMode::Rot);
+        b.begin(TxMode::Rot);
+        a.write(0, 1).unwrap();
+        a.write(16, 1).unwrap();
+        b.write(32, 1).unwrap();
+        b.write(48, 1).unwrap();
+        assert_eq!(a.write(64, 1), Err(AbortReason::Capacity));
+        b.commit().unwrap();
+        // After b commits, capacity is free again for a new transaction.
+        a.begin(TxMode::Rot);
+        a.write(64, 1).unwrap();
+        a.commit().unwrap();
+    }
+
+    #[test]
+    fn repeated_access_to_same_line_charges_once() {
+        let htm = Htm::new(
+            HtmConfig { cores: 1, smt: 1, tmcam_lines: 2, ..HtmConfig::default() },
+            256,
+        );
+        let mut t = htm.register_thread();
+        t.begin(TxMode::Htm);
+        for i in 0..16u64 {
+            t.read(i).unwrap(); // all words of line 0
+        }
+        t.write(3, 1).unwrap(); // read+write same line: still one entry
+        assert_eq!(t.tmcam_footprint(), 1);
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn suspended_accesses_are_untracked_and_nontransactional() {
+        let htm = machine(512);
+        let mut t = htm.register_thread();
+        t.begin(TxMode::Rot);
+        t.write(0, 1).unwrap();
+        t.suspend();
+        t.write(16, 42).unwrap(); // non-transactional: immediately visible
+        assert_eq!(htm.memory().load(16), 42);
+        assert_eq!(t.read(16).unwrap(), 42);
+        assert_eq!(t.read(0).unwrap(), 1, "suspended load sees own tx store");
+        t.resume().unwrap();
+        assert_eq!(t.write_set_lines(), 1, "suspended write not in write set");
+        t.commit().unwrap();
+        assert_eq!(htm.memory().load(0), 1);
+    }
+
+    #[test]
+    fn conflict_during_suspension_surfaces_at_resume() {
+        let htm = machine(256);
+        let mut w = htm.register_thread();
+        let mut r = htm.register_thread();
+        w.begin(TxMode::Rot);
+        w.write(0, 9).unwrap();
+        w.suspend();
+        // r's non-transactional read kills w while it is suspended.
+        assert_eq!(r.read_notx(0, NonTxClass::Data), 0);
+        assert_eq!(w.resume(), Err(AbortReason::Conflict));
+        assert!(!w.in_tx());
+    }
+
+    #[test]
+    fn nontx_sgl_write_kills_with_nontx_reason() {
+        let htm = machine(256);
+        let mut tx = htm.register_thread();
+        let mut sgl = htm.register_thread();
+        tx.begin(TxMode::Htm);
+        tx.read(0).unwrap(); // subscribe
+        sgl.write_notx(0, 1, NonTxClass::Sgl);
+        assert_eq!(tx.commit(), Err(AbortReason::NonTx));
+        assert_eq!(htm.memory().load(0), 1);
+    }
+
+    #[test]
+    fn nontx_write_kills_active_writer() {
+        let htm = machine(256);
+        let mut tx = htm.register_thread();
+        let mut other = htm.register_thread();
+        tx.begin(TxMode::Rot);
+        tx.write(0, 5).unwrap();
+        other.write_notx(0, 77, NonTxClass::Data);
+        assert_eq!(tx.commit(), Err(AbortReason::Conflict));
+        assert_eq!(htm.memory().load(0), 77, "non-tx write wins, tx store discarded");
+    }
+
+    #[test]
+    fn first_abort_reason_wins() {
+        let htm = machine(256);
+        let mut t = htm.register_thread();
+        let mut k = htm.register_thread();
+        t.begin(TxMode::Rot);
+        t.write(0, 1).unwrap();
+        k.read_notx(0, NonTxClass::Data); // kills with Conflict
+        assert_eq!(t.abort(), AbortReason::Conflict, "killer's reason sticks");
+    }
+
+    #[test]
+    fn incarnations_prevent_stale_kills() {
+        let htm = machine(256);
+        let mut a = htm.register_thread();
+        let mut b = htm.register_thread();
+        a.begin(TxMode::Rot);
+        a.write(0, 1).unwrap();
+        a.commit().unwrap();
+        // a starts a new transaction on a different line; a stale conflict
+        // on line 0 must not touch it.
+        a.begin(TxMode::Rot);
+        a.write(32, 2).unwrap();
+        b.begin(TxMode::Rot);
+        b.write(0, 3).unwrap();
+        b.commit().unwrap();
+        assert!(a.doomed().is_none());
+        a.commit().unwrap();
+        assert_eq!(htm.memory().load(32), 2);
+    }
+
+    #[test]
+    fn lvdir_extends_htm_read_capacity() {
+        let mut config = HtmConfig { cores: 2, smt: 1, tmcam_lines: 4, ..HtmConfig::default() };
+        config.lvdir = Some(crate::config::LvdirConfig { lines: 128, max_users: 2 });
+        let htm = Htm::new(config, 16 * 256);
+        let mut t = htm.register_thread();
+        t.begin(TxMode::Htm);
+        // 100 read lines — far over TMCAM, within LVDIR.
+        for i in 0..100u64 {
+            t.read(i * 16).unwrap();
+        }
+        // Writes still bound by TMCAM.
+        for i in 0..4u64 {
+            t.write((100 + i) * 16, 1).unwrap();
+        }
+        assert_eq!(t.write(104 * 16, 1), Err(AbortReason::Capacity));
+    }
+
+    #[test]
+    fn lvdir_third_user_falls_back_to_tmcam() {
+        let mut config = HtmConfig { cores: 1, smt: 4, tmcam_lines: 4, ..HtmConfig::default() };
+        config.lvdir = Some(crate::config::LvdirConfig { lines: 128, max_users: 2 });
+        let htm = Htm::new(config, 16 * 256);
+        let mut a = htm.register_thread();
+        let mut b = htm.register_thread();
+        let mut c = htm.register_thread();
+        a.begin(TxMode::Htm);
+        b.begin(TxMode::Htm);
+        c.begin(TxMode::Htm); // no LVDIR slot left
+        for i in 0..4u64 {
+            c.read(i * 16).unwrap();
+        }
+        assert_eq!(c.read(4 * 16), Err(AbortReason::Capacity));
+        a.commit().unwrap();
+        b.commit().unwrap();
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_serializable() {
+        // N threads × M increments through HTM transactions must not lose
+        // updates: the hardware conflict detection serialises them.
+        let htm = Htm::new(HtmConfig { cores: 2, smt: 4, ..HtmConfig::default() }, 64);
+        let threads = 4;
+        let per = 200;
+        crossbeam_utils::thread::scope(|s| {
+            for _ in 0..threads {
+                let htm = Arc::clone(&htm);
+                s.spawn(move |_| {
+                    let mut t = htm.register_thread();
+                    let mut done = 0;
+                    while done < per {
+                        t.begin(TxMode::Htm);
+                        let ok = (|| {
+                            let v = t.read(0)?;
+                            t.write(0, v + 1)?;
+                            Ok::<_, AbortReason>(())
+                        })();
+                        match ok {
+                            Ok(()) => {
+                                if t.commit().is_ok() {
+                                    done += 1;
+                                }
+                            }
+                            Err(_) => { /* retried; engine already cleaned up */ }
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(htm.memory().load(0), (threads * per) as u64);
+        assert_eq!(htm.directory().tracked_lines(), 0);
+        assert_eq!(htm.cores().tmcam_used(0) + htm.cores().tmcam_used(1), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Small utilities: a fast integer hasher for the hot per-access maps.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Fibonacci-multiply hasher for integer keys (cache-line ids, word
+/// addresses). The conflict directory and the per-transaction access maps
+/// hash on every simulated memory access, so SipHash (std's default) would
+/// dominate the profile; this is the standard fxhash-style replacement,
+/// written locally to keep the dependency set to the approved list.
+#[derive(Default)]
+pub struct IntHasher {
+    state: u64,
+}
+
+impl Hasher for IntHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback; the hot paths all use write_u64.
+        for &b in bytes {
+            self.state = (self.state ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.state = (self.state ^ i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.state ^= self.state >> 29;
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`IntHasher`].
+pub type BuildIntHasher = BuildHasherDefault<IntHasher>;
+
+/// `HashMap` keyed by integers using the fast hasher.
+pub type IntMap<K, V> = std::collections::HashMap<K, V, BuildIntHasher>;
+
+/// `HashSet` keyed by integers using the fast hasher.
+pub type IntSet<K> = std::collections::HashSet<K, BuildIntHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_differently() {
+        use std::hash::BuildHasher;
+        let b = BuildIntHasher::default();
+        let h = |x: u64| {
+            let mut h = b.build_hasher();
+            h.write_u64(x);
+            h.finish()
+        };
+        // Sequential keys must not collide in the low bits (shard selection).
+        let mut lows = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            lows.insert(h(i) & 0xFF);
+        }
+        assert!(lows.len() > 32, "hash low bits collapse: {}", lows.len());
+    }
+
+    #[test]
+    fn intmap_works() {
+        let mut m: IntMap<u64, u32> = IntMap::default();
+        for i in 0..1000 {
+            m.insert(i, i as u32 * 2);
+        }
+        assert_eq!(m.get(&500), Some(&1000));
+        assert_eq!(m.len(), 1000);
+    }
+}

@@ -1,0 +1,175 @@
+//! # SI-HTM — Snapshot Isolation over POWER8 hardware transactions
+//!
+//! This crate is the paper's primary contribution (Filipe et al.,
+//! PPoPP '19): a software layer that turns P8-HTM *rollback-only
+//! transactions* (ROTs) plus a *safety wait* (quiescence) before `HTMEnd`
+//! into a restricted, single-version implementation of Snapshot Isolation —
+//! with **no read instrumentation** and therefore no capacity bound on read
+//! sets.
+//!
+//! ## Algorithm recap
+//!
+//! * **Update transactions** (Algorithm 1) run as ROTs. Before starting,
+//!   the thread publishes a begin timestamp in the shared `state[]` array;
+//!   on completion it publishes `completed` (non-transactionally, under
+//!   suspend/resume), then waits until every transaction that was active in
+//!   its snapshot of `state[]` has left that state, and only then issues
+//!   `HTMEnd`. The wait guarantees that no concurrent transaction can
+//!   observe both pre- and post-commit values of this writer — the dirty
+//!   read / broken-snapshot anomaly of Fig. 3 — because any such reader
+//!   either finishes first (and the writer waited for it) or its read
+//!   invalidates the writer's TMCAM entry and kills it (Fig. 4A).
+//! * **Read-only transactions** (Algorithm 2) run entirely
+//!   non-transactionally: unbounded footprint, no aborts, only
+//!   begin/end state publication so writers can quiesce on them.
+//! * **Fall-back**: after exhausting its retry budget an update transaction
+//!   acquires a single global lock, waits for all active transactions to
+//!   drain, and runs non-transactionally.
+//!
+//! Correctness: every history SI-HTM admits is valid under SI (paper §3.4,
+//! restrictions R1–R5); `tests/si_correctness.rs` stresses these as
+//! executable properties.
+//!
+//! ## Example
+//!
+//! ```
+//! use si_htm::{SiHtm, SiHtmConfig};
+//! use tm_api::{TmBackend, TmThread, TxKind};
+//!
+//! let backend = SiHtm::with_defaults(1024);
+//! let mut t = backend.register_thread();
+//! t.exec(TxKind::Update, &mut |tx| {
+//!     let v = tx.read(0)?;
+//!     tx.write(0, v + 1)
+//! });
+//! t.exec(TxKind::ReadOnly, &mut |tx| {
+//!     assert_eq!(tx.read(0)?, 1);
+//!     Ok(())
+//! });
+//! ```
+
+pub mod sgl;
+pub mod state;
+mod thread;
+
+pub use thread::SiHtmThread;
+
+use htm_sim::{Htm, HtmConfig};
+use sgl::Sgl;
+use state::StateArray;
+use std::sync::Arc;
+use tm_api::{RetryPolicy, TmBackend};
+use txmem::TxMemory;
+
+/// Tunables of the SI-HTM layer.
+#[derive(Debug, Clone)]
+pub struct SiHtmConfig {
+    /// Hardware retry budget before the SGL fall-back (Alg. 2 line 16).
+    pub retry: RetryPolicy,
+    /// Run declared read-only transactions on the non-transactional fast
+    /// path (§3.3). Disabling routes them through ROTs + quiescence
+    /// (ablation: isolates the fast path's contribution).
+    pub ro_fast_path: bool,
+    /// Perform the safety wait before `HTMEnd`. **Disabling breaks SI** —
+    /// it exists solely for the ablation bench that measures the
+    /// quiescence cost.
+    pub quiescence: bool,
+    /// Future-work "killing alternative" (§6): after this many wait
+    /// iterations, a completed transaction kills the active transaction it
+    /// is waiting for instead of spinning further. `None` disables.
+    pub kill_after: Option<u32>,
+    /// Future-work software-SI fall-back (§6: "how feasible a software
+    /// based SI fallback path would be"): before resorting to the SGL, a
+    /// transaction that exhausted its hardware budget is retried this many
+    /// times as a *software* transaction — same ROT conflict protocol and
+    /// quiescence, but with its sets tracked in ordinary memory and
+    /// therefore no capacity bound. Software transactions run concurrently
+    /// with each other and with hardware transactions; only after these
+    /// attempts also fail (pure conflicts) does the SGL serialise.
+    /// `None` disables (the paper's baseline behaviour).
+    pub software_fallback: Option<u32>,
+}
+
+impl Default for SiHtmConfig {
+    fn default() -> Self {
+        SiHtmConfig {
+            retry: RetryPolicy::default(),
+            ro_fast_path: true,
+            quiescence: true,
+            kill_after: None,
+            software_fallback: None,
+        }
+    }
+}
+
+pub(crate) struct Inner {
+    pub(crate) htm: Arc<Htm>,
+    pub(crate) state: StateArray,
+    pub(crate) sgl: Sgl,
+    pub(crate) config: SiHtmConfig,
+}
+
+/// The SI-HTM backend. Cheap to clone (shared-state handle).
+#[derive(Clone)]
+pub struct SiHtm {
+    inner: Arc<Inner>,
+}
+
+impl SiHtm {
+    /// Build SI-HTM over a fresh simulated machine.
+    pub fn new(htm_config: HtmConfig, memory_words: usize, config: SiHtmConfig) -> Self {
+        let htm = Htm::new(htm_config, memory_words);
+        Self::over(htm, config)
+    }
+
+    /// Build SI-HTM over an existing machine (shared with tests/harnesses).
+    pub fn over(htm: Arc<Htm>, config: SiHtmConfig) -> Self {
+        let threads = htm.config().max_threads();
+        SiHtm {
+            inner: Arc::new(Inner {
+                htm,
+                state: StateArray::new(threads),
+                sgl: Sgl::new(),
+                config,
+            }),
+        }
+    }
+
+    /// Default machine (10-core SMT-8 POWER8) and default tunables.
+    pub fn with_defaults(memory_words: usize) -> Self {
+        Self::new(HtmConfig::default(), memory_words, SiHtmConfig::default())
+    }
+
+    /// The underlying simulated machine.
+    pub fn htm(&self) -> &Arc<Htm> {
+        &self.inner.htm
+    }
+
+    /// The layer configuration.
+    pub fn config(&self) -> &SiHtmConfig {
+        &self.inner.config
+    }
+
+}
+
+impl TmBackend for SiHtm {
+    type Thread = SiHtmThread;
+
+    fn name(&self) -> &'static str {
+        "SI-HTM"
+    }
+
+    fn register_thread(&self) -> SiHtmThread {
+        SiHtmThread::new(Arc::clone(&self.inner))
+    }
+
+    fn memory(&self) -> &TxMemory {
+        self.inner.htm.memory()
+    }
+}
+
+impl std::fmt::Debug for SiHtm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SiHtm").field("config", &self.inner.config).finish()
+    }
+}

@@ -1,0 +1,131 @@
+//! The shared per-thread state array of Algorithm 1.
+//!
+//! Each thread publishes its transactional phase in one cache-padded word:
+//!
+//! * `inactive = 0` — not running any transaction,
+//! * `completed = 1` — finished all memory accesses, performing the safety
+//!   wait before `HTMEnd`,
+//! * any value `> 1` — *active*, stamped with the begin timestamp
+//!   (`currentTime()` in clock cycles in the paper; our virtual clock here).
+//!
+//! The paper publishes these updates non-transactionally (under
+//! suspend/resume) precisely so they neither occupy TMCAM entries nor
+//! create hardware conflicts; plain Rust atomics have identical semantics,
+//! so the array lives outside the simulated memory (see DESIGN.md §6).
+//! The `sync` full barriers of Algorithm 1 map to `SeqCst` operations; the
+//! read-only commit's `lwsync` maps to a `Release` fence.
+
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use txmem::clock::{COMPLETED, INACTIVE};
+
+/// The `state[N]` array of Algorithm 1.
+pub struct StateArray {
+    slots: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl StateArray {
+    pub fn new(threads: usize) -> Self {
+        let mut v = Vec::with_capacity(threads);
+        v.resize_with(threads, || CachePadded::new(AtomicU64::new(INACTIVE)));
+        StateArray { slots: v.into_boxed_slice() }
+    }
+
+    /// Number of thread slots (the paper's `N`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// `state[tid] ← ts; sync()` — announce an active transaction
+    /// (Alg. 1 line 4 / Alg. 2 line 2).
+    #[inline]
+    pub fn set_active(&self, tid: usize, timestamp: u64) {
+        debug_assert!(timestamp > COMPLETED, "timestamps must exceed the reserved values");
+        self.slots[tid].store(timestamp, Ordering::SeqCst);
+    }
+
+    /// `state[tid] ← completed; sync()` (Alg. 1 line 13).
+    #[inline]
+    pub fn set_completed(&self, tid: usize) {
+        self.slots[tid].store(COMPLETED, Ordering::SeqCst);
+    }
+
+    /// `state[tid] ← inactive` (Alg. 1 line 23 / Alg. 2 lines 5, 22, 36).
+    #[inline]
+    pub fn set_inactive(&self, tid: usize) {
+        self.slots[tid].store(INACTIVE, Ordering::SeqCst);
+    }
+
+    /// Current published state of a thread.
+    #[inline]
+    pub fn load(&self, tid: usize) -> u64 {
+        self.slots[tid].load(Ordering::SeqCst)
+    }
+
+    /// `snapshot[0..N−1] ← state[0..N−1]` (Alg. 1 line 16).
+    pub fn snapshot_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.slots.iter().map(|s| s.load(Ordering::SeqCst)));
+    }
+
+    /// True when every thread except `skip` is inactive (SGL drain,
+    /// Alg. 2 lines 24–26).
+    pub fn all_inactive_except(&self, skip: usize) -> bool {
+        self.slots
+            .iter()
+            .enumerate()
+            .all(|(i, s)| i == skip || s.load(Ordering::SeqCst) == INACTIVE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_transitions() {
+        let st = StateArray::new(3);
+        assert_eq!(st.load(1), INACTIVE);
+        st.set_active(1, 42);
+        assert_eq!(st.load(1), 42);
+        st.set_completed(1);
+        assert_eq!(st.load(1), COMPLETED);
+        st.set_inactive(1);
+        assert_eq!(st.load(1), INACTIVE);
+    }
+
+    #[test]
+    fn snapshot_reflects_all_slots() {
+        let st = StateArray::new(3);
+        st.set_active(0, 10);
+        st.set_completed(2);
+        let mut snap = Vec::new();
+        st.snapshot_into(&mut snap);
+        assert_eq!(snap, vec![10, INACTIVE, COMPLETED]);
+    }
+
+    #[test]
+    fn drain_check() {
+        let st = StateArray::new(3);
+        assert!(st.all_inactive_except(0));
+        st.set_active(2, 9);
+        assert!(!st.all_inactive_except(0));
+        assert!(st.all_inactive_except(2));
+        st.set_inactive(2);
+        assert!(st.all_inactive_except(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn reserved_timestamps_rejected_in_debug() {
+        let st = StateArray::new(1);
+        st.set_active(0, COMPLETED);
+    }
+}

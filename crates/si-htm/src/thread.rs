@@ -1,0 +1,473 @@
+//! Per-thread SI-HTM execution: Algorithm 1 (TxBegin/TxEnd with the safety
+//! wait) and Algorithm 2 (SyncWithGL, read-only fast path, SGL fall-back).
+
+use crate::state::COMPLETED;
+use crate::Inner;
+use crossbeam_utils::Backoff;
+use htm_sim::util::IntMap;
+use htm_sim::{AbortReason, HtmThread, NonTxClass, TxMode};
+use std::sync::atomic::{fence, Ordering};
+use std::sync::Arc;
+use tm_api::{Abort, Outcome, ThreadStats, TmThread, Tx, TxBody, TxKind};
+use txmem::Addr;
+
+/// A worker thread registered with the SI-HTM backend.
+pub struct SiHtmThread {
+    inner: Arc<Inner>,
+    thr: HtmThread,
+    tid: usize,
+    stats: ThreadStats,
+    snapshot: Vec<u64>,
+}
+
+impl SiHtmThread {
+    pub(crate) fn new(inner: Arc<Inner>) -> Self {
+        let thr = inner.htm.register_thread();
+        let tid = thr.tid();
+        SiHtmThread { inner, thr, tid, stats: ThreadStats::default(), snapshot: Vec::new() }
+    }
+
+    /// Hardware-thread id on the simulated machine.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// `SyncWithGL` (Alg. 2 lines 1–9): announce activity, then back off
+    /// while the global lock is held.
+    fn sync_with_gl(&mut self) {
+        loop {
+            let ts = self.inner.htm.clock().now();
+            self.inner.state.set_active(self.tid, ts);
+            if !self.inner.sgl.is_locked() {
+                return;
+            }
+            self.inner.state.set_inactive(self.tid);
+            let backoff = Backoff::new();
+            while self.inner.sgl.is_locked() {
+                backoff.snooze();
+                if backoff.is_completed() {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Read-only fast path (Alg. 2 lines 12–14 and 34–36): run the body
+    /// with plain non-transactional reads; unbounded footprint, no aborts.
+    fn exec_ro(&mut self, body: TxBody<'_>) -> Outcome {
+        self.sync_with_gl();
+        let r = {
+            let mut tx = RoTx { thr: &mut self.thr };
+            body(&mut tx)
+        };
+        // `lwsync` (Alg. 2 line 35): all reads performed before the state
+        // change becomes visible.
+        fence(Ordering::Release);
+        self.inner.state.set_inactive(self.tid);
+        match r {
+            Ok(()) => {
+                self.stats.commits += 1;
+                self.stats.ro_commits += 1;
+                Outcome::Committed
+            }
+            Err(Abort::User) => {
+                self.stats.user_aborts += 1;
+                Outcome::UserAborted
+            }
+            Err(Abort::Backend) => {
+                unreachable!("the read-only fast path cannot incur backend aborts")
+            }
+        }
+    }
+
+    /// Algorithm 1's `TxEnd`: publish `completed` non-transactionally,
+    /// perform the safety wait, then `HTMEnd`.
+    fn tx_end(&mut self) -> Result<(), AbortReason> {
+        // Lines 12–15: the state update must not occupy the TMCAM nor
+        // generate hardware conflicts, hence suspend/resume around it.
+        self.thr.suspend();
+        self.inner.state.set_completed(self.tid);
+        self.thr.resume()?;
+
+        if self.inner.config.quiescence {
+            // Lines 16–21: wait until every transaction that was active in
+            // our snapshot has moved on.
+            self.inner.state.snapshot_into(&mut self.snapshot);
+            let mut waited = false;
+            for c in 0..self.snapshot.len() {
+                if c == self.tid {
+                    continue;
+                }
+                let observed = self.snapshot[c];
+                if observed <= COMPLETED {
+                    continue; // inactive or completed: nothing to wait for
+                }
+                let backoff = Backoff::new();
+                let mut spins: u32 = 0;
+                while self.inner.state.load(c) == observed {
+                    waited = true;
+                    // A concurrent reader may invalidate our write set
+                    // while we wait (Fig. 4A) — abort promptly.
+                    if self.thr.doomed().is_some() {
+                        if waited {
+                            self.stats.quiesce_waits += 1;
+                        }
+                        return Err(self.thr.abort());
+                    }
+                    if let Some(limit) = self.inner.config.kill_after {
+                        if spins >= limit {
+                            // Future-work "killing alternative": stop
+                            // waiting for the straggler, kill it.
+                            self.inner.htm.kill_active(c, AbortReason::Conflict);
+                        }
+                    }
+                    spins = spins.saturating_add(1);
+                    backoff.snooze();
+                    if backoff.is_completed() {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            if waited {
+                self.stats.quiesce_waits += 1;
+            }
+        }
+
+        self.thr.commit()
+    }
+
+    /// One ROT attempt (hardware, or software-unbounded for the §6
+    /// fall-back). `Ok(outcome)` ends the transaction; `Err(reason)`
+    /// means the attempt aborted and the caller decides whether to retry.
+    fn attempt(
+        &mut self,
+        body: TxBody<'_>,
+        software: bool,
+    ) -> Result<Outcome, AbortReason> {
+        self.sync_with_gl();
+        if software {
+            self.thr.begin_unbounded(TxMode::Rot);
+        } else {
+            self.thr.begin(TxMode::Rot);
+        }
+        let (result, reason) = {
+            let mut tx = RotTx { thr: &mut self.thr, reason: None };
+            let r = body(&mut tx);
+            (r, tx.reason)
+        };
+        match result {
+            Ok(()) => match self.tx_end() {
+                Ok(()) => {
+                    self.inner.state.set_inactive(self.tid);
+                    self.stats.commits += 1;
+                    if software {
+                        self.stats.sw_commits += 1;
+                    }
+                    Ok(Outcome::Committed)
+                }
+                Err(reason) => {
+                    self.inner.state.set_inactive(self.tid);
+                    self.stats.record_abort(reason);
+                    Err(reason)
+                }
+            },
+            Err(Abort::Backend) => {
+                let reason = reason.expect("backend abort without recorded reason");
+                self.inner.state.set_inactive(self.tid);
+                self.stats.record_abort(reason);
+                Err(reason)
+            }
+            Err(Abort::User) => {
+                if self.thr.in_tx() {
+                    self.thr.abort();
+                }
+                self.inner.state.set_inactive(self.tid);
+                self.stats.user_aborts += 1;
+                Ok(Outcome::UserAborted)
+            }
+        }
+    }
+
+    /// Future-work "batching alternative" (§6): execute several update
+    /// bodies inside **one** ROT and **one** safety wait, amortising the
+    /// quiescence cost that idle-waiting writers otherwise pay per
+    /// transaction. The batch is atomic: all bodies commit together, and a
+    /// user abort from any body rolls the whole batch back (a single
+    /// hardware transaction cannot partially roll back).
+    pub fn exec_update_batch(&mut self, bodies: &mut [TxBody<'_>]) -> Outcome {
+        if bodies.is_empty() {
+            return Outcome::Committed;
+        }
+        let mut run_all = |tx: &mut dyn Tx| -> Result<(), Abort> {
+            for body in bodies.iter_mut() {
+                body(tx)?;
+            }
+            Ok(())
+        };
+        self.exec_update(&mut run_all)
+    }
+
+    /// Update-transaction path: ROT attempts with retry budget, then the
+    /// optional software-SI fall-back, then the SGL (Alg. 2 lines 16–27).
+    fn exec_update(&mut self, body: TxBody<'_>) -> Outcome {
+        let policy = self.inner.config.retry;
+        let mut retry = tm_api::policy::RetryState::new(&policy);
+        loop {
+            match self.attempt(body, false) {
+                Ok(outcome) => return outcome,
+                Err(reason) => {
+                    if !retry.on_abort(&policy, reason) {
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(sw_attempts) = self.inner.config.software_fallback {
+            // §6 future work: run as a software transaction — unbounded
+            // capacity, concurrent with everything — before serialising.
+            for _ in 0..sw_attempts {
+                match self.attempt(body, true) {
+                    Ok(outcome) => return outcome,
+                    Err(_) => continue, // pure conflict; retry or escalate
+                }
+            }
+        }
+        self.exec_sgl(body)
+    }
+
+    /// SGL fall-back (Alg. 2 lines 22–26 and 31–32): acquire the lock, wait
+    /// until every other transaction drained, run non-transactionally.
+    /// Writes are buffered locally so a user abort still rolls back.
+    fn exec_sgl(&mut self, body: TxBody<'_>) -> Outcome {
+        debug_assert!(!self.thr.in_tx());
+        self.inner.state.set_inactive(self.tid);
+        self.inner.sgl.lock(self.tid);
+        self.stats.sgl_acquisitions += 1;
+        let backoff = Backoff::new();
+        while !self.inner.state.all_inactive_except(self.tid) {
+            backoff.snooze();
+            if backoff.is_completed() {
+                std::thread::yield_now();
+            }
+        }
+        let (result, wbuf) = {
+            let mut tx = SglTx { thr: &mut self.thr, wbuf: IntMap::default() };
+            let r = body(&mut tx);
+            (r, tx.wbuf)
+        };
+        let outcome = match result {
+            Ok(()) => {
+                for (addr, val) in wbuf {
+                    self.thr.write_notx(addr, val, NonTxClass::Sgl);
+                }
+                self.stats.commits += 1;
+                self.stats.sgl_commits += 1;
+                Outcome::Committed
+            }
+            Err(Abort::User) => {
+                self.stats.user_aborts += 1;
+                Outcome::UserAborted
+            }
+            Err(Abort::Backend) => unreachable!("the SGL path cannot incur backend aborts"),
+        };
+        self.inner.sgl.unlock(self.tid);
+        outcome
+    }
+}
+
+impl TmThread for SiHtmThread {
+    fn exec(&mut self, kind: TxKind, body: TxBody<'_>) -> Outcome {
+        match kind {
+            TxKind::ReadOnly if self.inner.config.ro_fast_path => self.exec_ro(body),
+            _ => self.exec_update(body),
+        }
+    }
+
+    fn stats(&self) -> &ThreadStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = ThreadStats::default();
+    }
+}
+
+/// Access handle of the read-only fast path: plain non-transactional reads.
+struct RoTx<'a> {
+    thr: &'a mut HtmThread,
+}
+
+impl Tx for RoTx<'_> {
+    fn read(&mut self, addr: Addr) -> Result<u64, Abort> {
+        Ok(self.thr.read_notx(addr, NonTxClass::Data))
+    }
+
+    fn write(&mut self, _addr: Addr, _val: u64) -> Result<(), Abort> {
+        panic!(
+            "transaction declared ReadOnly performed a write — \
+             SI-HTM read-only transactions must not update shared data (§3.3)"
+        );
+    }
+}
+
+/// Access handle of the ROT path: uninstrumented hardware accesses.
+struct RotTx<'a> {
+    thr: &'a mut HtmThread,
+    reason: Option<AbortReason>,
+}
+
+impl Tx for RotTx<'_> {
+    fn read(&mut self, addr: Addr) -> Result<u64, Abort> {
+        self.thr.read(addr).map_err(|r| {
+            self.reason = Some(r);
+            Abort::Backend
+        })
+    }
+
+    fn write(&mut self, addr: Addr, val: u64) -> Result<(), Abort> {
+        self.thr.write(addr, val).map_err(|r| {
+            self.reason = Some(r);
+            Abort::Backend
+        })
+    }
+}
+
+/// Access handle of the SGL path: exclusive non-transactional execution
+/// with locally-buffered writes (for user-abort rollback).
+struct SglTx<'a> {
+    thr: &'a mut HtmThread,
+    wbuf: IntMap<Addr, u64>,
+}
+
+impl Tx for SglTx<'_> {
+    fn read(&mut self, addr: Addr) -> Result<u64, Abort> {
+        if let Some(v) = self.wbuf.get(&addr) {
+            return Ok(*v);
+        }
+        Ok(self.thr.read_notx(addr, NonTxClass::Sgl))
+    }
+
+    fn write(&mut self, addr: Addr, val: u64) -> Result<(), Abort> {
+        self.wbuf.insert(addr, val);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SiHtm, SiHtmConfig};
+    use htm_sim::HtmConfig;
+    use tm_api::TmBackend;
+
+    fn small_backend() -> SiHtm {
+        SiHtm::new(HtmConfig::small(), 4096, SiHtmConfig::default())
+    }
+
+    #[test]
+    fn update_transaction_commits() {
+        let b = small_backend();
+        let mut t = b.register_thread();
+        let out = t.exec(TxKind::Update, &mut |tx| {
+            let v = tx.read(0)?;
+            tx.write(0, v + 5)
+        });
+        assert_eq!(out, Outcome::Committed);
+        assert_eq!(b.memory().load(0), 5);
+        assert_eq!(t.stats().commits, 1);
+        assert_eq!(t.stats().aborts(), 0);
+    }
+
+    #[test]
+    fn read_only_fast_path_reads_committed_data() {
+        let b = small_backend();
+        b.memory().store(8, 77);
+        let mut t = b.register_thread();
+        let mut seen = 0;
+        let out = t.exec(TxKind::ReadOnly, &mut |tx| {
+            seen = tx.read(8)?;
+            Ok(())
+        });
+        assert_eq!(out, Outcome::Committed);
+        assert_eq!(seen, 77);
+        assert_eq!(t.stats().ro_commits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ReadOnly performed a write")]
+    fn read_only_write_is_a_bug() {
+        let b = small_backend();
+        let mut t = b.register_thread();
+        t.exec(TxKind::ReadOnly, &mut |tx| tx.write(0, 1));
+    }
+
+    #[test]
+    fn user_abort_rolls_back_update() {
+        let b = small_backend();
+        let mut t = b.register_thread();
+        let out = t.exec(TxKind::Update, &mut |tx| {
+            tx.write(0, 123)?;
+            Err(Abort::User)
+        });
+        assert_eq!(out, Outcome::UserAborted);
+        assert_eq!(b.memory().load(0), 0);
+        assert_eq!(t.stats().user_aborts, 1);
+        assert_eq!(t.stats().commits, 0);
+    }
+
+    #[test]
+    fn capacity_overflow_falls_back_to_sgl_and_commits() {
+        // Tiny TMCAM: an update writing 8 lines cannot run as a ROT.
+        let b = SiHtm::new(
+            HtmConfig { cores: 1, smt: 2, tmcam_lines: 4, ..HtmConfig::default() },
+            16 * 64,
+            SiHtmConfig::default(),
+        );
+        let mut t = b.register_thread();
+        let out = t.exec(TxKind::Update, &mut |tx| {
+            for i in 0..8u64 {
+                tx.write(i * 16, i + 1)?;
+            }
+            Ok(())
+        });
+        assert_eq!(out, Outcome::Committed);
+        for i in 0..8u64 {
+            assert_eq!(b.memory().load(i * 16), i + 1);
+        }
+        assert!(t.stats().aborts_capacity > 0, "capacity aborts recorded");
+        assert_eq!(t.stats().sgl_commits, 1, "committed on the SGL path");
+        assert_eq!(t.stats().sgl_acquisitions, 1);
+    }
+
+    #[test]
+    fn unbounded_reads_in_update_transactions() {
+        // An update transaction reading 100 lines but writing one commits
+        // in hardware: SI-HTM bounds only the write set (the headline).
+        let b = SiHtm::new(
+            HtmConfig { cores: 1, smt: 2, tmcam_lines: 8, ..HtmConfig::default() },
+            16 * 128,
+            SiHtmConfig::default(),
+        );
+        let mut t = b.register_thread();
+        let out = t.exec(TxKind::Update, &mut |tx| {
+            let mut sum = 0;
+            for i in 0..100u64 {
+                sum += tx.read(i * 16)?;
+            }
+            tx.write(0, sum + 1)
+        });
+        assert_eq!(out, Outcome::Committed);
+        assert_eq!(t.stats().sgl_commits, 0, "no fall-back needed");
+        assert_eq!(t.stats().aborts_capacity, 0);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let b = small_backend();
+        let mut t = b.register_thread();
+        tm_api::increment(&mut t, 0);
+        assert_eq!(t.stats().commits, 1);
+        t.reset_stats();
+        assert_eq!(t.stats().commits, 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Tests of the §6 "batching alternative": several update bodies executed
+//! inside one ROT with a single safety wait.
+
+use htm_sim::HtmConfig;
+use si_htm::{SiHtm, SiHtmConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use tm_api::{Abort, Outcome, TmBackend, TmThread, Tx, TxKind};
+
+#[test]
+fn batch_commits_all_bodies_atomically() {
+    let b = SiHtm::new(HtmConfig::small(), 256, SiHtmConfig::default());
+    let mut t = b.register_thread();
+    let mut b0 = |tx: &mut dyn Tx| tx.write(0, 1);
+    let mut b1 = |tx: &mut dyn Tx| tx.write(16, 2);
+    let mut b2 = |tx: &mut dyn Tx| {
+        let a = tx.read(0)?;
+        let c = tx.read(16)?;
+        tx.write(32, a + c) // batched bodies see earlier bodies' writes
+    };
+    let out = t.exec_update_batch(&mut [&mut b0, &mut b1, &mut b2]);
+    assert_eq!(out, Outcome::Committed);
+    assert_eq!(b.memory().load(0), 1);
+    assert_eq!(b.memory().load(16), 2);
+    assert_eq!(b.memory().load(32), 3);
+    assert_eq!(t.stats().commits, 1, "one hardware commit for the whole batch");
+}
+
+#[test]
+fn empty_batch_is_a_noop_commit() {
+    let b = SiHtm::new(HtmConfig::small(), 256, SiHtmConfig::default());
+    let mut t = b.register_thread();
+    assert_eq!(t.exec_update_batch(&mut []), Outcome::Committed);
+    assert_eq!(t.stats().commits, 0);
+}
+
+#[test]
+fn user_abort_rolls_back_the_whole_batch() {
+    let b = SiHtm::new(HtmConfig::small(), 256, SiHtmConfig::default());
+    let mut t = b.register_thread();
+    let mut b0 = |tx: &mut dyn Tx| tx.write(0, 9);
+    let mut b1 = |_tx: &mut dyn Tx| Err(Abort::User);
+    let out = t.exec_update_batch(&mut [&mut b0, &mut b1]);
+    assert_eq!(out, Outcome::UserAborted);
+    assert_eq!(b.memory().load(0), 0, "earlier batched body must roll back too");
+}
+
+#[test]
+fn batch_pays_one_safety_wait() {
+    // With a concurrent long reader, a 4-body batch waits once while four
+    // separate transactions would wait (up to) four times.
+    let b = SiHtm::new(HtmConfig::small(), 1024, SiHtmConfig::default());
+    let reader_active = AtomicBool::new(false);
+    let writer_done = AtomicBool::new(false);
+
+    crossbeam_utils::thread::scope(|s| {
+        let bw = b.clone();
+        let ra = &reader_active;
+        let wd = &writer_done;
+        s.spawn(move |_| {
+            let mut t = bw.register_thread();
+            while !ra.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            let mut b0 = |tx: &mut dyn Tx| tx.write(0, 1);
+            let mut b1 = |tx: &mut dyn Tx| tx.write(16, 1);
+            let mut b2 = |tx: &mut dyn Tx| tx.write(32, 1);
+            let mut b3 = |tx: &mut dyn Tx| tx.write(48, 1);
+            let out = t.exec_update_batch(&mut [&mut b0, &mut b1, &mut b2, &mut b3]);
+            assert_eq!(out, Outcome::Committed);
+            assert!(
+                t.stats().quiesce_waits <= 1,
+                "a batch must quiesce at most once, waited {} times",
+                t.stats().quiesce_waits
+            );
+            wd.store(true, Ordering::Release);
+        });
+
+        let br = b.clone();
+        let ra = &reader_active;
+        s.spawn(move |_| {
+            let mut t = br.register_thread();
+            t.exec(TxKind::ReadOnly, &mut |tx| {
+                let _ = tx.read(63 * 16)?; // disjoint line: no invalidation
+                ra.store(true, Ordering::Release);
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                let _ = tx.read(63 * 16)?;
+                Ok(())
+            });
+        });
+    })
+    .unwrap();
+
+    for line in 0..4u64 {
+        assert_eq!(b.memory().load(line * 16), 1);
+    }
+}
+
+#[test]
+fn batches_of_batches_preserve_counters() {
+    // Concurrency smoke: two threads each run 100 batches of 3 increments
+    // on a shared counter; 600 increments must land.
+    let b = SiHtm::new(HtmConfig { cores: 2, smt: 2, ..HtmConfig::default() }, 256, SiHtmConfig::default());
+    crossbeam_utils::thread::scope(|s| {
+        for _ in 0..2 {
+            let b = b.clone();
+            s.spawn(move |_| {
+                let mut t = b.register_thread();
+                for _ in 0..100 {
+                    let mut inc = |tx: &mut dyn Tx| {
+                        let v = tx.read(0)?;
+                        tx.write(0, v + 1)
+                    };
+                    let mut inc2 = |tx: &mut dyn Tx| {
+                        let v = tx.read(0)?;
+                        tx.write(0, v + 1)
+                    };
+                    let mut inc3 = |tx: &mut dyn Tx| {
+                        let v = tx.read(0)?;
+                        tx.write(0, v + 1)
+                    };
+                    let out = t.exec_update_batch(&mut [&mut inc, &mut inc2, &mut inc3]);
+                    assert_eq!(out, Outcome::Committed);
+                }
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(b.memory().load(0), 600);
+}

@@ -1,0 +1,295 @@
+//! Integration tests of the quiescence machinery: the safety wait is
+//! load-bearing (removing it breaks SI), the §6 "killing alternative"
+//! bounds the wait, and the SGL drain excludes every hardware path.
+
+use htm_sim::HtmConfig;
+use si_htm::{SiHtm, SiHtmConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use tm_api::{Outcome, RetryPolicy, TmBackend, TmThread, TxKind};
+
+const X: u64 = 0;
+
+fn spin_until(flag: &AtomicBool) {
+    while !flag.load(Ordering::Acquire) {
+        std::thread::yield_now();
+    }
+}
+
+/// Disabling the safety wait (the unsafe ablation) re-admits the paper's
+/// Fig. 3 anomaly: a read-only transaction observes both the pre- and
+/// post-commit values of a concurrent writer. This is the *negative
+/// control* showing the quiescence actually does the isolating.
+#[test]
+fn without_quiescence_snapshots_break() {
+    let b = SiHtm::new(
+        HtmConfig::small(),
+        256,
+        SiHtmConfig { quiescence: false, ..SiHtmConfig::default() },
+    );
+    let reader_started = AtomicBool::new(false);
+    let writer_committed = AtomicBool::new(false);
+    let observed = std::sync::Mutex::new((u64::MAX, u64::MAX));
+
+    crossbeam_utils::thread::scope(|s| {
+        let bw = b.clone();
+        let rs = &reader_started;
+        let wc = &writer_committed;
+        s.spawn(move |_| {
+            let mut t = bw.register_thread();
+            spin_until(rs);
+            // With quiescence disabled this returns while the reader is
+            // still mid-transaction.
+            let out = t.exec(TxKind::Update, &mut |tx| tx.write(X, 1));
+            assert_eq!(out, Outcome::Committed);
+            wc.store(true, Ordering::Release);
+        });
+
+        let br = b.clone();
+        let rs = &reader_started;
+        let wc = &writer_committed;
+        let observed = &observed;
+        s.spawn(move |_| {
+            let mut t = br.register_thread();
+            t.exec(TxKind::ReadOnly, &mut |tx| {
+                let first = tx.read(X)?;
+                rs.store(true, Ordering::Release);
+                spin_until(wc); // the writer commits *inside* our lifetime
+                let second = tx.read(X)?;
+                *observed.lock().unwrap() = (first, second);
+                Ok(())
+            });
+        });
+    })
+    .unwrap();
+
+    assert_eq!(
+        *observed.lock().unwrap(),
+        (0, 1),
+        "the unsafe configuration must exhibit the Fig. 3 anomaly"
+    );
+}
+
+/// The same schedule with quiescence enabled: the writer cannot return
+/// until the reader finished, so the anomaly is impossible (the reader's
+/// in-transaction wait must be bounded by something other than the commit,
+/// hence a timeout in the schedule).
+#[test]
+fn with_quiescence_the_same_schedule_is_safe() {
+    let b = SiHtm::new(HtmConfig::small(), 256, SiHtmConfig::default());
+    let reader_started = AtomicBool::new(false);
+    let observed = std::sync::Mutex::new((u64::MAX, u64::MAX));
+
+    crossbeam_utils::thread::scope(|s| {
+        let bw = b.clone();
+        let rs = &reader_started;
+        s.spawn(move |_| {
+            let mut t = bw.register_thread();
+            spin_until(rs);
+            let out = t.exec(TxKind::Update, &mut |tx| tx.write(X, 1));
+            assert_eq!(out, Outcome::Committed);
+        });
+
+        let br = b.clone();
+        let rs = &reader_started;
+        let observed = &observed;
+        s.spawn(move |_| {
+            let mut t = br.register_thread();
+            t.exec(TxKind::ReadOnly, &mut |tx| {
+                let first = tx.read(X)?;
+                rs.store(true, Ordering::Release);
+                // Give the writer ample time to *try* to commit.
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                let second = tx.read(X)?;
+                *observed.lock().unwrap() = (first, second);
+                Ok(())
+            });
+        });
+    })
+    .unwrap();
+
+    assert_eq!(
+        *observed.lock().unwrap(),
+        (0, 0),
+        "with the safety wait the reader's snapshot must hold"
+    );
+    assert_eq!(b.memory().load(X), 1, "the writer committed after the reader");
+}
+
+/// §6 "killing alternative": a completed transaction stops waiting for a
+/// straggler and kills it. The straggler's transaction aborts and retries;
+/// the completed one commits promptly.
+#[test]
+fn killing_alternative_bounds_the_wait() {
+    let b = SiHtm::new(
+        HtmConfig::small(),
+        256,
+        SiHtmConfig { kill_after: Some(50), ..SiHtmConfig::default() },
+    );
+    let straggler_active = AtomicBool::new(false);
+    let writer_committed = AtomicBool::new(false);
+    let straggler_aborts = AtomicU64::new(0);
+
+    crossbeam_utils::thread::scope(|s| {
+        // The straggler: a long-running update transaction that only
+        // finishes once the writer committed — an unbounded wait without
+        // the killing alternative (the writer would wait for it, and it
+        // waits for the writer: a schedule only kills can break).
+        let bs = b.clone();
+        let sa = &straggler_active;
+        let wc = &writer_committed;
+        let aborts = &straggler_aborts;
+        s.spawn(move |_| {
+            let mut t = bs.register_thread();
+            let out = t.exec(TxKind::Update, &mut |tx| {
+                tx.write(16, 1)?;
+                sa.store(true, Ordering::Release);
+                // Stay active until the writer gets through. The kill
+                // surfaces as Err on the next read, the body propagates,
+                // and the retry completes once the writer committed.
+                while !wc.load(Ordering::Acquire) {
+                    tx.read(32)?;
+                    std::thread::yield_now();
+                }
+                Ok(())
+            });
+            assert_eq!(out, Outcome::Committed);
+            aborts.store(t.stats().aborts(), Ordering::Release);
+        });
+
+        let bw = b.clone();
+        let sa = &straggler_active;
+        let wc = &writer_committed;
+        s.spawn(move |_| {
+            let mut t = bw.register_thread();
+            spin_until(sa);
+            let out = t.exec(TxKind::Update, &mut |tx| tx.write(X, 7));
+            assert_eq!(out, Outcome::Committed);
+            wc.store(true, Ordering::Release);
+            assert!(t.stats().quiesce_waits >= 1, "the writer did wait first");
+        });
+    })
+    .unwrap();
+
+    assert!(
+        straggler_aborts.load(Ordering::Acquire) >= 1,
+        "the straggler must have been killed at least once"
+    );
+    assert_eq!(b.memory().load(X), 7);
+    assert_eq!(b.memory().load(16), 1, "the straggler's retry committed");
+}
+
+/// The straggler's body above relies on reads returning `Err` after a
+/// kill; the engine contract says the body must propagate. This variant
+/// uses the normal propagation style and checks the deadlock-free outcome.
+#[test]
+fn killing_alternative_with_propagating_body() {
+    let b = SiHtm::new(
+        HtmConfig::small(),
+        256,
+        SiHtmConfig { kill_after: Some(50), ..SiHtmConfig::default() },
+    );
+    let straggler_active = AtomicBool::new(false);
+    let writer_committed = AtomicBool::new(false);
+
+    crossbeam_utils::thread::scope(|s| {
+        let bs = b.clone();
+        let sa = &straggler_active;
+        let wc = &writer_committed;
+        s.spawn(move |_| {
+            let mut t = bs.register_thread();
+            let out = t.exec(TxKind::Update, &mut |tx| {
+                tx.write(16, 1)?;
+                sa.store(true, Ordering::Release);
+                while !wc.load(Ordering::Acquire) {
+                    tx.read(32)?; // propagates the kill as Abort::Backend
+                    std::thread::yield_now();
+                }
+                Ok(())
+            });
+            assert_eq!(out, Outcome::Committed);
+        });
+
+        let bw = b.clone();
+        let sa = &straggler_active;
+        let wc = &writer_committed;
+        s.spawn(move |_| {
+            let mut t = bw.register_thread();
+            spin_until(sa);
+            assert_eq!(t.exec(TxKind::Update, &mut |tx| tx.write(X, 7)), Outcome::Committed);
+            wc.store(true, Ordering::Release);
+        });
+    })
+    .unwrap();
+    assert_eq!(b.memory().load(X), 7);
+}
+
+/// The SGL fall-back is mutually exclusive with every hardware path: while
+/// a fallen-back transaction runs, nothing else commits, and afterwards
+/// everything resumes. Forced by a zero-retry policy.
+#[test]
+fn sgl_drains_and_excludes() {
+    let b = SiHtm::new(
+        HtmConfig { cores: 2, smt: 4, ..HtmConfig::default() },
+        256,
+        SiHtmConfig {
+            retry: RetryPolicy { budget: 1, capacity_cost: 1 },
+            ..SiHtmConfig::default()
+        },
+    );
+    // Heavy same-line contention with a 1-attempt budget: most update
+    // transactions take the SGL; counter integrity proves exclusion.
+    crossbeam_utils::thread::scope(|s| {
+        for _ in 0..6 {
+            let b = b.clone();
+            s.spawn(move |_| {
+                let mut t = b.register_thread();
+                for _ in 0..200 {
+                    tm_api::increment(&mut t, X);
+                }
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(b.memory().load(X), 1200);
+}
+
+/// Read-only transactions never abort and never fall back, whatever the
+/// contention (§3.3 + §4 point ii).
+#[test]
+fn read_only_transactions_never_abort() {
+    let b = SiHtm::new(HtmConfig { cores: 2, smt: 4, ..HtmConfig::default() }, 1024, SiHtmConfig::default());
+    let stop = AtomicBool::new(false);
+    crossbeam_utils::thread::scope(|s| {
+        let bw = b.clone();
+        let stop_w = &stop;
+        s.spawn(move |_| {
+            let mut t = bw.register_thread();
+            for _ in 0..500 {
+                t.exec(TxKind::Update, &mut |tx| {
+                    let v = tx.read(X)?;
+                    tx.write(X, v + 1)
+                });
+            }
+            stop_w.store(true, Ordering::Release);
+        });
+        for _ in 0..3 {
+            let br = b.clone();
+            let stop_r = &stop;
+            s.spawn(move |_| {
+                let mut t = br.register_thread();
+                while !stop_r.load(Ordering::Acquire) {
+                    t.exec(TxKind::ReadOnly, &mut |tx| {
+                        for line in 0..64u64 {
+                            tx.read(line * 16)?;
+                        }
+                        Ok(())
+                    });
+                }
+                assert_eq!(t.stats().aborts(), 0, "a read-only transaction aborted");
+                assert_eq!(t.stats().sgl_commits, 0, "a read-only transaction fell back");
+                assert_eq!(t.stats().ro_commits, t.stats().commits);
+            });
+        }
+    })
+    .unwrap();
+}

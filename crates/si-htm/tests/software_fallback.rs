@@ -1,0 +1,204 @@
+//! Tests of the software-SI fall-back path (paper §6 future work): after a
+//! transaction exhausts its hardware retries, it re-runs as a *software*
+//! transaction — same ROT conflict protocol and quiescence, sets tracked
+//! in ordinary memory, no capacity bound — concurrently with everything
+//! else, instead of serialising on the SGL.
+
+use htm_sim::HtmConfig;
+use si_htm::{SiHtm, SiHtmConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use tm_api::{Outcome, RetryPolicy, TmBackend, TmThread, TxKind};
+
+fn config_with_sw() -> SiHtmConfig {
+    SiHtmConfig { software_fallback: Some(1000), ..SiHtmConfig::default() }
+}
+
+#[test]
+fn capacity_overflow_commits_in_software_without_sgl() {
+    let b = SiHtm::new(
+        HtmConfig { cores: 1, smt: 2, tmcam_lines: 4, ..HtmConfig::default() },
+        16 * 64,
+        config_with_sw(),
+    );
+    let mut t = b.register_thread();
+    let out = t.exec(TxKind::Update, &mut |tx| {
+        for i in 0..16u64 {
+            tx.write(i * 16, i + 1)?;
+        }
+        Ok(())
+    });
+    assert_eq!(out, Outcome::Committed);
+    for i in 0..16u64 {
+        assert_eq!(b.memory().load(i * 16), i + 1);
+    }
+    assert_eq!(t.stats().sw_commits, 1, "committed on the software path");
+    assert_eq!(t.stats().sgl_acquisitions, 0, "no SGL needed");
+    assert!(t.stats().aborts_capacity > 0, "hardware attempts did overflow");
+}
+
+#[test]
+fn software_transactions_run_concurrently() {
+    // Two over-capacity transactions on *disjoint* lines: with the SGL
+    // fall-back they would serialise; on the software path they overlap.
+    // Overlap is proven with an in-transaction rendezvous that only
+    // resolves when both bodies are inside their (software) transactions.
+    let b = SiHtm::new(
+        HtmConfig { cores: 2, smt: 1, tmcam_lines: 4, ..HtmConfig::default() },
+        16 * 128,
+        SiHtmConfig {
+            // One hardware attempt (doomed to capacity-abort), then software.
+            retry: RetryPolicy { budget: 1, capacity_cost: 1 },
+            software_fallback: Some(1000),
+            ..SiHtmConfig::default()
+        },
+    );
+    let rendezvous = AtomicU64::new(0);
+
+    crossbeam_utils::thread::scope(|s| {
+        for part in 0..2u64 {
+            let b = b.clone();
+            let rendezvous = &rendezvous;
+            s.spawn(move |_| {
+                let mut t = b.register_thread();
+                let base = part * 32; // disjoint 16-line regions
+                let mut synced = false;
+                let out = t.exec(TxKind::Update, &mut |tx| {
+                    for i in 0..16u64 {
+                        tx.write((base + i) * 16, part + 1)?;
+                    }
+                    if !synced {
+                        rendezvous.fetch_add(1, Ordering::AcqRel);
+                        let mut spins = 0u64;
+                        while rendezvous.load(Ordering::Acquire) < 2 {
+                            std::thread::yield_now();
+                            spins += 1;
+                            assert!(
+                                spins < 50_000_000,
+                                "peer never entered its transaction: fall-backs serialised"
+                            );
+                        }
+                        synced = true;
+                    }
+                    Ok(())
+                });
+                assert_eq!(out, Outcome::Committed);
+                assert_eq!(t.stats().sw_commits, 1);
+                assert_eq!(t.stats().sgl_acquisitions, 0);
+            });
+        }
+    })
+    .unwrap();
+
+    for part in 0..2u64 {
+        for i in 0..16u64 {
+            assert_eq!(b.memory().load((part * 32 + i) * 16), part + 1);
+        }
+    }
+}
+
+#[test]
+fn software_transactions_still_conflict_correctly() {
+    // Over-capacity increments on the SAME lines: software transactions
+    // must serialise through conflicts, not lose updates.
+    let b = SiHtm::new(
+        HtmConfig { cores: 2, smt: 2, tmcam_lines: 4, ..HtmConfig::default() },
+        16 * 64,
+        config_with_sw(),
+    );
+    let threads = 4;
+    let per = 100u64;
+    crossbeam_utils::thread::scope(|s| {
+        for _ in 0..threads {
+            let b = b.clone();
+            s.spawn(move |_| {
+                let mut t = b.register_thread();
+                for _ in 0..per {
+                    let out = t.exec(TxKind::Update, &mut |tx| {
+                        // 8 lines read-modify-write: over the 4-line TMCAM.
+                        for i in 0..8u64 {
+                            let v = tx.read(i * 16)?;
+                            tx.write(i * 16, v + 1)?;
+                        }
+                        Ok(())
+                    });
+                    assert_eq!(out, Outcome::Committed);
+                }
+            });
+        }
+    })
+    .unwrap();
+    for i in 0..8u64 {
+        assert_eq!(b.memory().load(i * 16), threads as u64 * per, "line {i} lost updates");
+    }
+}
+
+#[test]
+fn software_path_preserves_snapshots_for_readers() {
+    // A software writer updating (x, y) pairs must still be invisible to
+    // read-only transactions until its (quiesced) commit.
+    let b = SiHtm::new(
+        HtmConfig { cores: 2, smt: 2, tmcam_lines: 2, ..HtmConfig::default() },
+        256,
+        config_with_sw(),
+    );
+    let stop = AtomicU64::new(0);
+    crossbeam_utils::thread::scope(|s| {
+        let bw = b.clone();
+        let stop_w = &stop;
+        s.spawn(move |_| {
+            let mut t = bw.register_thread();
+            for i in 1..200u64 {
+                t.exec(TxKind::Update, &mut |tx| {
+                    // 4 lines: over the tiny 2-line TMCAM → software path.
+                    tx.write(0, i)?;
+                    tx.write(16, i)?;
+                    tx.write(32, i)?;
+                    tx.write(48, i)
+                });
+            }
+            stop_w.store(1, Ordering::Release);
+            assert!(t.stats().sw_commits > 0);
+        });
+        for _ in 0..2 {
+            let br = b.clone();
+            let stop_r = &stop;
+            s.spawn(move |_| {
+                let mut t = br.register_thread();
+                while stop_r.load(Ordering::Acquire) == 0 {
+                    let mut vals = [0u64; 4];
+                    t.exec(TxKind::ReadOnly, &mut |tx| {
+                        for (k, v) in vals.iter_mut().enumerate() {
+                            *v = tx.read(k as u64 * 16)?;
+                        }
+                        Ok(())
+                    });
+                    assert!(
+                        vals.iter().all(|v| *v == vals[0]),
+                        "torn software commit observed: {vals:?}"
+                    );
+                }
+            });
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn user_abort_works_on_software_path() {
+    let b = SiHtm::new(
+        HtmConfig { cores: 1, smt: 1, tmcam_lines: 2, ..HtmConfig::default() },
+        256,
+        config_with_sw(),
+    );
+    let mut t = b.register_thread();
+    let out = t.exec(TxKind::Update, &mut |tx| {
+        for i in 0..8u64 {
+            tx.write(i * 16, 5)?;
+        }
+        Err(tm_api::Abort::User)
+    });
+    assert_eq!(out, Outcome::UserAborted);
+    for i in 0..8u64 {
+        assert_eq!(b.memory().load(i * 16), 0, "software-path rollback leaked");
+    }
+}

@@ -1,0 +1,94 @@
+//! Retry budgets governing the fall-back to the single global lock.
+
+use htm_sim::AbortReason;
+
+/// How many hardware attempts a transaction gets before the backend takes
+/// its SGL fall-back path (Algorithm 2, line 16: `while retries-- > 0`).
+///
+/// Capacity aborts are treated more pessimistically than conflicts: a
+/// transaction that overflowed the TMCAM will usually overflow it again, so
+/// each capacity abort consumes `capacity_cost` units of the budget — the
+/// standard heuristic in HTM runtimes (e.g. the GCC TM runtime and the
+/// paper's artifact).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempt budget per transaction.
+    pub budget: u32,
+    /// Budget consumed by one capacity abort.
+    pub capacity_cost: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { budget: 10, capacity_cost: 5 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never falls back (tests / lock-free backends).
+    pub fn never_fallback() -> Self {
+        RetryPolicy { budget: u32::MAX, capacity_cost: 1 }
+    }
+
+    /// Budget units consumed by an abort of the given kind.
+    pub fn cost(&self, reason: AbortReason) -> u32 {
+        match reason {
+            AbortReason::Capacity => self.capacity_cost,
+            _ => 1,
+        }
+    }
+}
+
+/// Mutable retry state for one transaction execution.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryState {
+    remaining: i64,
+}
+
+impl RetryState {
+    pub fn new(policy: &RetryPolicy) -> Self {
+        RetryState { remaining: policy.budget as i64 }
+    }
+
+    /// Account one abort; returns `true` while hardware retries remain.
+    pub fn on_abort(&mut self, policy: &RetryPolicy, reason: AbortReason) -> bool {
+        self.remaining -= policy.cost(reason) as i64;
+        self.remaining > 0
+    }
+
+    /// Remaining budget (tests/metrics).
+    pub fn remaining(&self) -> i64 {
+        self.remaining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflicts_cost_one_unit() {
+        let p = RetryPolicy { budget: 3, capacity_cost: 2 };
+        let mut s = RetryState::new(&p);
+        assert!(s.on_abort(&p, AbortReason::Conflict));
+        assert!(s.on_abort(&p, AbortReason::Conflict));
+        assert!(!s.on_abort(&p, AbortReason::Conflict), "budget exhausted");
+    }
+
+    #[test]
+    fn capacity_aborts_burn_budget_faster() {
+        let p = RetryPolicy { budget: 10, capacity_cost: 5 };
+        let mut s = RetryState::new(&p);
+        assert!(s.on_abort(&p, AbortReason::Capacity));
+        assert!(!s.on_abort(&p, AbortReason::Capacity));
+    }
+
+    #[test]
+    fn never_fallback_is_effectively_unbounded() {
+        let p = RetryPolicy::never_fallback();
+        let mut s = RetryState::new(&p);
+        for _ in 0..10_000 {
+            assert!(s.on_abort(&p, AbortReason::Conflict));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Commit/abort accounting with the paper's abort taxonomy.
+
+use htm_sim::AbortReason;
+use std::ops::AddAssign;
+
+/// Per-thread execution statistics.
+///
+/// The figures of the paper plot, next to throughput, the abort rate
+/// discriminated into *transactional* (data conflicts), *non-transactional*
+/// (killed by a locked SGL stomping on subscribed transactions) and
+/// *capacity* aborts; [`ThreadStats`] keeps exactly those counters, plus
+/// bookkeeping useful for the ablation benches.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Committed transactions (all paths, including fall-back and RO).
+    pub commits: u64,
+    /// Of which: read-only fast-path commits.
+    pub ro_commits: u64,
+    /// Of which: commits executed on the SGL fall-back path.
+    pub sgl_commits: u64,
+    /// Of which: commits executed on the software-SI fall-back path.
+    pub sw_commits: u64,
+    /// Transactional aborts (data conflicts).
+    pub aborts_conflict: u64,
+    /// Non-transactional aborts (SGL-class kills).
+    pub aborts_nontx: u64,
+    /// Capacity aborts.
+    pub aborts_capacity: u64,
+    /// Explicit aborts (engine-internal, e.g. validation failures the
+    /// backend signals through `tabort.`).
+    pub aborts_explicit: u64,
+    /// Semantic (application-requested) rollbacks. Not failures.
+    pub user_aborts: u64,
+    /// Number of quiescence (safety) waits that had to spin at least once.
+    pub quiesce_waits: u64,
+    /// SGL acquisitions.
+    pub sgl_acquisitions: u64,
+}
+
+impl ThreadStats {
+    /// Record one abort with the hardware-reported reason.
+    #[inline]
+    pub fn record_abort(&mut self, reason: AbortReason) {
+        match reason {
+            AbortReason::Conflict => self.aborts_conflict += 1,
+            AbortReason::NonTx => self.aborts_nontx += 1,
+            AbortReason::Capacity => self.aborts_capacity += 1,
+            AbortReason::Explicit => self.aborts_explicit += 1,
+        }
+    }
+
+    /// Total aborts of all kinds (excluding user rollbacks).
+    pub fn aborts(&self) -> u64 {
+        self.aborts_conflict + self.aborts_nontx + self.aborts_capacity + self.aborts_explicit
+    }
+
+    /// Abort rate as plotted in the figures: aborted attempts over all
+    /// attempts, in percent.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.commits + self.aborts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts() as f64 * 100.0 / attempts as f64
+        }
+    }
+
+    /// Share of all attempts that aborted for `reason`, in percent.
+    pub fn abort_share(&self, reason: AbortReason) -> f64 {
+        let attempts = self.commits + self.aborts();
+        if attempts == 0 {
+            return 0.0;
+        }
+        let n = match reason {
+            AbortReason::Conflict => self.aborts_conflict,
+            AbortReason::NonTx => self.aborts_nontx,
+            AbortReason::Capacity => self.aborts_capacity,
+            AbortReason::Explicit => self.aborts_explicit,
+        };
+        n as f64 * 100.0 / attempts as f64
+    }
+}
+
+impl AddAssign<&ThreadStats> for ThreadStats {
+    fn add_assign(&mut self, rhs: &ThreadStats) {
+        self.commits += rhs.commits;
+        self.ro_commits += rhs.ro_commits;
+        self.sgl_commits += rhs.sgl_commits;
+        self.sw_commits += rhs.sw_commits;
+        self.aborts_conflict += rhs.aborts_conflict;
+        self.aborts_nontx += rhs.aborts_nontx;
+        self.aborts_capacity += rhs.aborts_capacity;
+        self.aborts_explicit += rhs.aborts_explicit;
+        self.user_aborts += rhs.user_aborts;
+        self.quiesce_waits += rhs.quiesce_waits;
+        self.sgl_acquisitions += rhs.sgl_acquisitions;
+    }
+}
+
+/// Sum per-thread statistics into a run total.
+pub fn aggregate<'a>(parts: impl IntoIterator<Item = &'a ThreadStats>) -> ThreadStats {
+    let mut total = ThreadStats::default();
+    for p in parts {
+        total += p;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_recording_maps_reasons() {
+        let mut s = ThreadStats::default();
+        s.record_abort(AbortReason::Conflict);
+        s.record_abort(AbortReason::Conflict);
+        s.record_abort(AbortReason::NonTx);
+        s.record_abort(AbortReason::Capacity);
+        s.record_abort(AbortReason::Explicit);
+        assert_eq!(s.aborts_conflict, 2);
+        assert_eq!(s.aborts_nontx, 1);
+        assert_eq!(s.aborts_capacity, 1);
+        assert_eq!(s.aborts_explicit, 1);
+        assert_eq!(s.aborts(), 5);
+    }
+
+    #[test]
+    fn abort_rate_is_share_of_attempts() {
+        let mut s = ThreadStats::default();
+        assert_eq!(s.abort_rate(), 0.0);
+        s.commits = 75;
+        s.aborts_conflict = 20;
+        s.aborts_capacity = 5;
+        assert!((s.abort_rate() - 25.0).abs() < 1e-9);
+        assert!((s.abort_share(AbortReason::Conflict) - 20.0).abs() < 1e-9);
+        assert!((s.abort_share(AbortReason::Capacity) - 5.0).abs() < 1e-9);
+        assert_eq!(s.abort_share(AbortReason::NonTx), 0.0);
+    }
+
+    #[test]
+    fn aggregation_sums_all_fields() {
+        let a = ThreadStats { commits: 1, quiesce_waits: 3, ..ThreadStats::default() };
+        let b = ThreadStats { commits: 2, sgl_acquisitions: 1, ..ThreadStats::default() };
+        let t = aggregate([&a, &b]);
+        assert_eq!(t.commits, 3);
+        assert_eq!(t.quiesce_waits, 3);
+        assert_eq!(t.sgl_acquisitions, 1);
+    }
+}

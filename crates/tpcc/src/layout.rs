@@ -1,0 +1,469 @@
+//! Table layout and population.
+//!
+//! Every table is a flat array of rows at computed addresses (indexing
+//! disabled, as in the paper's setup). Rows span their realistic TPC-C
+//! tuple sizes in cache lines (customer 6, stock 3, others 1; one line per
+//! order line), so each transaction's simulated cache-line footprint
+//! matches what the paper's C implementation produces on real hardware —
+//! the footprints are what drive every capacity effect in the figures.
+//!
+//! Monetary values are integer cents; negative balances are stored as
+//! two's-complement `i64` in the `u64` word. Tax/discount rates are basis
+//! points.
+
+use crate::TpccConfig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use txmem::{Addr, TxMemory, WORDS_PER_LINE};
+
+const LINE: u64 = WORDS_PER_LINE as u64;
+
+// ---- field offsets (words within a row) ----
+
+/// Warehouse: year-to-date balance (cents).
+pub const W_YTD: u64 = 0;
+/// Warehouse: tax rate (basis points).
+pub const W_TAX: u64 = 1;
+/// Warehouse: next history-ring slot (monotonic counter).
+pub const W_HIST_NEXT: u64 = 2;
+
+/// District: next order id to assign (1-based, monotonic).
+pub const D_NEXT_O_ID: u64 = 0;
+/// District: year-to-date balance (cents).
+pub const D_YTD: u64 = 1;
+/// District: tax rate (basis points).
+pub const D_TAX: u64 = 2;
+/// District: oldest undelivered order id (pending = `[D_NO_FIRST, D_NEXT_O_ID)`).
+pub const D_NO_FIRST: u64 = 3;
+
+/// Customer: balance (cents, two's-complement i64).
+pub const C_BALANCE: u64 = 0;
+pub const C_YTD_PAYMENT: u64 = 1;
+pub const C_PAYMENT_CNT: u64 = 2;
+pub const C_DELIVERY_CNT: u64 = 3;
+/// Customer: discount (basis points).
+pub const C_DISCOUNT: u64 = 4;
+/// Customer: 0 = good credit, 1 = bad credit.
+pub const C_CREDIT: u64 = 5;
+/// Customer: id of this customer's most recent order (0 = none).
+pub const C_LAST_O_ID: u64 = 6;
+/// Customer: last-name id (0..=999, TPC-C syllable-triple names).
+pub const C_LAST: u64 = 7;
+
+/// Item: price (cents).
+pub const I_PRICE: u64 = 0;
+pub const I_IM_ID: u64 = 1;
+/// Item: 1 when the item data is "ORIGINAL".
+pub const I_DATA_FLAG: u64 = 2;
+
+pub const S_QUANTITY: u64 = 0;
+pub const S_YTD: u64 = 1;
+pub const S_ORDER_CNT: u64 = 2;
+pub const S_REMOTE_CNT: u64 = 3;
+pub const S_DATA_FLAG: u64 = 4;
+
+pub const O_C_ID: u64 = 0;
+pub const O_ENTRY_D: u64 = 1;
+/// 0 = not delivered yet.
+pub const O_CARRIER_ID: u64 = 2;
+pub const O_OL_CNT: u64 = 3;
+pub const O_ALL_LOCAL: u64 = 4;
+
+/// Order line (one row per line, 15 per order).
+pub const OL_I_ID: u64 = 0;
+pub const OL_SUPPLY_W: u64 = 1;
+pub const OL_QUANTITY: u64 = 2;
+pub const OL_AMOUNT: u64 = 3;
+pub const OL_DELIVERY_D: u64 = 4;
+/// One cache line per order line (a ~54 B row on its own line, as separate
+/// heap records are in the paper's implementation).
+const OL_WORDS: u64 = LINE;
+/// Words per order-line block (15 rows of one line each).
+const OL_BLOCK_WORDS: u64 = 15 * LINE;
+
+pub const H_AMOUNT: u64 = 0;
+pub const H_C_ID: u64 = 1;
+pub const H_C_W: u64 = 2;
+pub const H_D_ID: u64 = 3;
+
+// ---- row sizes in cache lines (realistic TPC-C tuple sizes; reading a
+//      record touches every line of its row, as a tuple read does) ----
+
+/// Customer row: ~655 B in the spec ⇒ 6 cache lines.
+pub const CUSTOMER_LINES: u64 = 6;
+/// Distinct TPC-C last names (syllable triples, clause 4.3.2.3).
+pub const LASTNAMES: u64 = 1000;
+/// Last-name index bucket: word 0 = count, words 1.. = customer ids
+/// (2 cache lines ⇒ up to 31 customers per name; population re-draws
+/// names for overflowing buckets).
+pub const IDX_BUCKET_LINES: u64 = 2;
+const IDX_SLOTS: u64 = IDX_BUCKET_LINES * LINE - 1;
+/// Stock row: ~306 B ⇒ 3 cache lines.
+pub const STOCK_LINES: u64 = 3;
+/// Warehouse/district/item/order/order-line/history rows fit one line.
+pub const ROW_LINE: u64 = 1;
+
+/// Store an `i64` (e.g. a balance) in a memory word.
+#[inline]
+pub fn to_word(v: i64) -> u64 {
+    v as u64
+}
+
+/// Read an `i64` back from a memory word.
+#[inline]
+pub fn from_word(w: u64) -> i64 {
+    w as i64
+}
+
+/// Computed base addresses of every table.
+#[derive(Debug, Clone)]
+pub struct TpccLayout {
+    pub cfg: TpccConfig,
+    w_base: Addr,
+    d_base: Addr,
+    c_base: Addr,
+    i_base: Addr,
+    s_base: Addr,
+    o_base: Addr,
+    ol_base: Addr,
+    h_base: Addr,
+    idx_base: Addr,
+    total_words: u64,
+}
+
+impl TpccLayout {
+    pub fn new(cfg: TpccConfig) -> Self {
+        cfg.validate();
+        let w = cfg.warehouses;
+        let d = w * cfg.districts_per_w;
+        let c = d * cfg.customers_per_d;
+        let s = w * cfg.items;
+        let o = d * cfg.order_ring;
+        let h = w * cfg.history_ring;
+
+        let w_base = 0;
+        let d_base = w_base + w * LINE;
+        let c_base = d_base + d * LINE;
+        let i_base = c_base + c * CUSTOMER_LINES * LINE;
+        let s_base = i_base + cfg.items * LINE;
+        let o_base = s_base + s * STOCK_LINES * LINE;
+        let ol_base = o_base + o * LINE;
+        let h_base = ol_base + o * OL_BLOCK_WORDS;
+        let idx_base = h_base + h * LINE;
+        let total_words = idx_base + d * LASTNAMES * IDX_BUCKET_LINES * LINE;
+        TpccLayout {
+            cfg,
+            w_base,
+            d_base,
+            c_base,
+            i_base,
+            s_base,
+            o_base,
+            ol_base,
+            h_base,
+            idx_base,
+            total_words,
+        }
+    }
+
+    /// Words of simulated memory the database needs.
+    pub fn memory_words(&self) -> usize {
+        self.total_words as usize
+    }
+
+    // ---- row addresses (warehouses/districts 0-based; customers, items,
+    //      order ids 1-based, as produced by the TPC-C input generators) ----
+
+    #[inline]
+    pub fn warehouse(&self, w: u64) -> Addr {
+        debug_assert!(w < self.cfg.warehouses);
+        self.w_base + w * LINE
+    }
+
+    #[inline]
+    pub fn district(&self, w: u64, d: u64) -> Addr {
+        debug_assert!(d < self.cfg.districts_per_w);
+        self.d_base + (w * self.cfg.districts_per_w + d) * LINE
+    }
+
+    #[inline]
+    pub fn customer(&self, w: u64, d: u64, c: u64) -> Addr {
+        debug_assert!((1..=self.cfg.customers_per_d).contains(&c));
+        self.c_base
+            + ((w * self.cfg.districts_per_w + d) * self.cfg.customers_per_d + c - 1)
+                * CUSTOMER_LINES
+                * LINE
+    }
+
+    #[inline]
+    pub fn item(&self, i: u64) -> Addr {
+        debug_assert!((1..=self.cfg.items).contains(&i));
+        self.i_base + (i - 1) * LINE
+    }
+
+    #[inline]
+    pub fn stock(&self, w: u64, i: u64) -> Addr {
+        debug_assert!((1..=self.cfg.items).contains(&i));
+        self.s_base + (w * self.cfg.items + i - 1) * STOCK_LINES * LINE
+    }
+
+    /// Order row for `o_id` (ring slot `o_id mod order_ring`).
+    #[inline]
+    pub fn order(&self, w: u64, d: u64, o_id: u64) -> Addr {
+        let slot = o_id & (self.cfg.order_ring - 1);
+        self.o_base + ((w * self.cfg.districts_per_w + d) * self.cfg.order_ring + slot) * LINE
+    }
+
+    /// `idx`-th order line (0-based, < 15) of `o_id`'s block.
+    #[inline]
+    pub fn order_line(&self, w: u64, d: u64, o_id: u64, idx: u64) -> Addr {
+        debug_assert!(idx < 15);
+        let slot = o_id & (self.cfg.order_ring - 1);
+        self.ol_base
+            + ((w * self.cfg.districts_per_w + d) * self.cfg.order_ring + slot) * OL_BLOCK_WORDS
+            + idx * OL_WORDS
+    }
+
+    /// Last-name index bucket for name id `name` in district `(w, d)`.
+    #[inline]
+    pub fn lastname_bucket(&self, w: u64, d: u64, name: u64) -> Addr {
+        debug_assert!(name < LASTNAMES);
+        self.idx_base
+            + ((w * self.cfg.districts_per_w + d) * LASTNAMES + name) * IDX_BUCKET_LINES * LINE
+    }
+
+    /// History row for ring slot `slot` of warehouse `w`.
+    #[inline]
+    pub fn history(&self, w: u64, slot: u64) -> Addr {
+        self.h_base + (w * self.cfg.history_ring + (slot & (self.cfg.history_ring - 1))) * LINE
+    }
+
+    /// Populate the database (raw stores; run before any worker starts).
+    pub fn populate(&self, memory: &TxMemory) {
+        assert!(
+            memory.len() as u64 >= self.total_words,
+            "memory too small: need {} words, have {}",
+            self.total_words,
+            memory.len()
+        );
+        let cfg = &self.cfg;
+        let mut rng = SmallRng::seed_from_u64(0xD15C_0C0A);
+
+        for w in 0..cfg.warehouses {
+            let wa = self.warehouse(w);
+            memory.store(wa + W_TAX, rng.gen_range(0..=2000));
+            // W_YTD = sum of D_YTD (spec consistency condition 1).
+            memory.store(wa + W_YTD, cfg.districts_per_w * 3_000_000);
+            memory.store(wa + W_HIST_NEXT, 0);
+
+            for i in 1..=cfg.items {
+                let sa = self.stock(w, i);
+                memory.store(sa + S_QUANTITY, rng.gen_range(10..=100));
+                memory.store(sa + S_DATA_FLAG, u64::from(rng.gen_range(0..10) == 0));
+            }
+
+            for d in 0..cfg.districts_per_w {
+                let da = self.district(w, d);
+                memory.store(da + D_NEXT_O_ID, cfg.initial_orders + 1);
+                memory.store(da + D_YTD, 3_000_000);
+                memory.store(da + D_TAX, rng.gen_range(0..=2000));
+                memory.store(da + D_NO_FIRST, cfg.delivered_prefix + 1);
+
+                for c in 1..=cfg.customers_per_d {
+                    let ca = self.customer(w, d, c);
+                    memory.store(ca + C_BALANCE, to_word(-1000));
+                    memory.store(ca + C_YTD_PAYMENT, 1000);
+                    memory.store(ca + C_DISCOUNT, rng.gen_range(0..=5000));
+                    memory.store(ca + C_CREDIT, u64::from(rng.gen_range(0..10) == 0));
+                    // Last name via NURand(255) (clause 4.3.2.3), re-drawn
+                    // uniformly while the index bucket is full.
+                    let mut name = crate::nurand::nurand(&mut rng, 255, 0, LASTNAMES - 1);
+                    loop {
+                        let ba = self.lastname_bucket(w, d, name);
+                        let n = memory.load(ba);
+                        if n < IDX_SLOTS {
+                            memory.store(ba + 1 + n, c);
+                            memory.store(ba, n + 1);
+                            break;
+                        }
+                        name = rng.gen_range(0..LASTNAMES);
+                    }
+                    memory.store(ca + C_LAST, name);
+                }
+
+                for o_id in 1..=cfg.initial_orders {
+                    let oa = self.order(w, d, o_id);
+                    let c_id = rng.gen_range(1..=cfg.customers_per_d);
+                    let ol_cnt = rng.gen_range(5..=15u64).min(cfg.items);
+                    let delivered = o_id <= cfg.delivered_prefix;
+                    memory.store(oa + O_C_ID, c_id);
+                    memory.store(oa + O_ENTRY_D, o_id);
+                    memory.store(oa + O_CARRIER_ID, if delivered { rng.gen_range(1..=10) } else { 0 });
+                    memory.store(oa + O_OL_CNT, ol_cnt);
+                    memory.store(oa + O_ALL_LOCAL, 1);
+                    memory.store(self.customer(w, d, c_id) + C_LAST_O_ID, o_id);
+                    for idx in 0..ol_cnt {
+                        let ola = self.order_line(w, d, o_id, idx);
+                        memory.store(ola + OL_I_ID, rng.gen_range(1..=cfg.items));
+                        memory.store(ola + OL_SUPPLY_W, w);
+                        memory.store(ola + OL_QUANTITY, 5);
+                        memory.store(
+                            ola + OL_AMOUNT,
+                            if delivered { rng.gen_range(1..=999_999) } else { 0 },
+                        );
+                        memory.store(ola + OL_DELIVERY_D, if delivered { o_id } else { 0 });
+                    }
+                }
+            }
+        }
+
+        for i in 1..=cfg.items {
+            let ia = self.item(i);
+            memory.store(ia + I_PRICE, rng.gen_range(100..=10_000));
+            memory.store(ia + I_IM_ID, rng.gen_range(1..=10_000));
+            memory.store(ia + I_DATA_FLAG, u64::from(rng.gen_range(0..10) == 0));
+        }
+    }
+
+    /// Database-level consistency checks (TPC-C clause 3.3 conditions 1–3,
+    /// adapted to this layout). Call between runs, never concurrently with
+    /// workers. Returns a description of the first violation found.
+    pub fn check_consistency(&self, memory: &TxMemory) -> Result<(), String> {
+        let cfg = &self.cfg;
+        for w in 0..cfg.warehouses {
+            let w_ytd = memory.load(self.warehouse(w) + W_YTD);
+            let mut d_ytd_sum = 0u64;
+            for d in 0..cfg.districts_per_w {
+                let da = self.district(w, d);
+                d_ytd_sum += memory.load(da + D_YTD);
+                let next = memory.load(da + D_NEXT_O_ID);
+                let first = memory.load(da + D_NO_FIRST);
+                if first > next {
+                    return Err(format!(
+                        "w{w}d{d}: pending window inverted (first {first} > next {next})"
+                    ));
+                }
+                if next - first > cfg.order_ring {
+                    return Err(format!(
+                        "w{w}d{d}: pending backlog {} overflows the order ring",
+                        next - first
+                    ));
+                }
+                // Recent orders must be well-formed.
+                let newest = next - 1;
+                let oldest_valid = newest.saturating_sub(cfg.initial_orders.min(20)).max(1);
+                for o_id in oldest_valid..=newest {
+                    let oa = self.order(w, d, o_id);
+                    let c_id = memory.load(oa + O_C_ID);
+                    let ol_cnt = memory.load(oa + O_OL_CNT);
+                    if !(1..=cfg.customers_per_d).contains(&c_id) {
+                        return Err(format!("w{w}d{d}o{o_id}: bad customer id {c_id}"));
+                    }
+                    if !(5..=15).contains(&ol_cnt) && ol_cnt != cfg.items.min(5) {
+                        return Err(format!("w{w}d{d}o{o_id}: bad ol_cnt {ol_cnt}"));
+                    }
+                    let delivered = o_id < first;
+                    let carrier = memory.load(oa + O_CARRIER_ID);
+                    if delivered && carrier == 0 {
+                        return Err(format!("w{w}d{d}o{o_id}: delivered without carrier"));
+                    }
+                    if !delivered && carrier != 0 {
+                        return Err(format!("w{w}d{d}o{o_id}: pending but has carrier {carrier}"));
+                    }
+                }
+            }
+            if w_ytd != d_ytd_sum {
+                return Err(format!(
+                    "w{w}: W_YTD {w_ytd} != sum of D_YTD {d_ytd_sum} (condition 1)"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TxMix;
+
+    fn tiny() -> TpccLayout {
+        TpccLayout::new(TpccConfig::tiny(TxMix::standard()))
+    }
+
+    #[test]
+    fn rows_are_line_aligned_and_disjoint() {
+        let l = tiny();
+        let mut seen = std::collections::HashSet::new();
+        let cfg = &l.cfg;
+        for w in 0..cfg.warehouses {
+            assert!(seen.insert(l.warehouse(w)));
+            for d in 0..cfg.districts_per_w {
+                assert!(seen.insert(l.district(w, d)));
+                for c in 1..=cfg.customers_per_d {
+                    assert!(seen.insert(l.customer(w, d, c)));
+                }
+            }
+            for i in 1..=cfg.items {
+                assert!(seen.insert(l.stock(w, i)));
+            }
+        }
+        for i in 1..=cfg.items {
+            assert!(seen.insert(l.item(i)));
+        }
+        for &a in &seen {
+            assert_eq!(a % LINE, 0, "row at {a} not line-aligned");
+        }
+    }
+
+    #[test]
+    fn order_ring_wraps() {
+        let l = tiny();
+        let ring = l.cfg.order_ring;
+        assert_eq!(l.order(0, 0, 1), l.order(0, 0, 1 + ring));
+        assert_ne!(l.order(0, 0, 1), l.order(0, 0, 2));
+        assert_ne!(l.order(0, 0, 1), l.order(0, 1, 1));
+    }
+
+    #[test]
+    fn order_lines_do_not_collide_with_orders() {
+        let l = tiny();
+        let ol = l.order_line(1, 1, 5, 14);
+        assert!(ol + OL_WORDS <= l.total_words);
+        // Last OL of one order must not spill into the next block.
+        let next_block = l.order_line(1, 1, 6, 0);
+        assert!(ol + OL_WORDS <= next_block || l.order(1, 1, 6) != l.order(1, 1, 5) + LINE);
+    }
+
+    #[test]
+    fn populate_passes_consistency() {
+        let l = tiny();
+        let memory = TxMemory::new(l.memory_words());
+        l.populate(&memory);
+        l.check_consistency(&memory).expect("fresh database must be consistent");
+    }
+
+    #[test]
+    fn populate_sets_pending_window() {
+        let l = tiny();
+        let memory = TxMemory::new(l.memory_words());
+        l.populate(&memory);
+        let da = l.district(0, 0);
+        assert_eq!(memory.load(da + D_NEXT_O_ID), l.cfg.initial_orders + 1);
+        assert_eq!(memory.load(da + D_NO_FIRST), l.cfg.delivered_prefix + 1);
+    }
+
+    #[test]
+    fn balance_word_roundtrip() {
+        for v in [-1000i64, 0, 42, i64::MIN / 2] {
+            assert_eq!(from_word(to_word(v)), v);
+        }
+    }
+
+    #[test]
+    fn paper_scale_fits_in_reasonable_memory() {
+        let l = TpccLayout::new(TpccConfig::low_contention(TxMix::standard()));
+        let bytes = l.memory_words() * 8;
+        assert!(bytes < 2 << 30, "paper-scale DB too large: {} MB", bytes >> 20);
+    }
+}

@@ -1,0 +1,69 @@
+//! TPC-C random-input helpers (clause 2.1.6): `NURand` non-uniform ids.
+
+use rand::Rng;
+
+/// TPC-C constant `C` for NURand. The spec draws it once per run; a fixed
+//  value keeps experiments reproducible across backends.
+const C: u64 = 259;
+
+/// `NURand(A, x, y)` per TPC-C clause 2.1.6: a non-uniform distribution
+/// over `[x, y]` skewed towards a hot subset.
+pub fn nurand<R: Rng>(rng: &mut R, a: u64, x: u64, y: u64) -> u64 {
+    debug_assert!(x <= y);
+    let r1 = rng.gen_range(0..=a);
+    let r2 = rng.gen_range(x..=y);
+    (((r1 | r2) + C) % (y - x + 1)) + x
+}
+
+/// Customer id (1-based): `NURand(1023, 1, customers)`.
+pub fn customer_id<R: Rng>(rng: &mut R, customers: u64) -> u64 {
+    nurand(rng, 1023.min(customers - 1), 1, customers)
+}
+
+/// Item id (1-based): `NURand(8191, 1, items)`.
+pub fn item_id<R: Rng>(rng: &mut R, items: u64) -> u64 {
+    nurand(rng, 8191.min(items - 1), 1, items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nurand_stays_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = nurand(&mut rng, 1023, 1, 3000);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn nurand_is_nonuniform() {
+        // The OR-fold concentrates mass on ids with many set bits; check
+        // the distribution is visibly skewed vs uniform.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n: u64 = 100_000;
+        let range = 1000u64;
+        let mut counts = vec![0u64; range as usize + 1];
+        for _ in 0..n {
+            counts[nurand(&mut rng, 255, 1, range) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let expected = n as f64 / range as f64;
+        assert!(max > expected * 2.0, "distribution looks uniform (max {max}, mean {expected})");
+    }
+
+    #[test]
+    fn helpers_cover_small_domains() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let c = customer_id(&mut rng, 8);
+            assert!((1..=8).contains(&c));
+            let i = item_id(&mut rng, 64);
+            assert!((1..=64).contains(&i));
+        }
+    }
+}

@@ -1,0 +1,552 @@
+//! The five TPC-C transactions as backend-agnostic bodies.
+//!
+//! Inputs are drawn *outside* the transaction body (a body may be re-run
+//! on abort; its inputs must stay fixed across retries). Each body takes
+//! the pre-drawn input and a [`tm_api::Tx`] handle.
+
+use crate::layout::*;
+use crate::nurand;
+use crate::TpccLayout;
+use rand::Rng;
+use tm_api::{Abort, Tx};
+
+/// Maximum order lines per order (TPC-C: 5–15).
+pub const MAX_OL_CNT: u64 = 15;
+
+// ---------------------------------------------------------------- inputs
+
+#[derive(Debug, Clone)]
+pub struct NewOrderInput {
+    pub w: u64,
+    pub d: u64,
+    pub c: u64,
+    pub entry_d: u64,
+    /// `(item_id, supply_warehouse, quantity)` per line.
+    pub lines: Vec<(u64, u64, u64)>,
+    /// Simulate the spec's 1 % invalid-item rollback.
+    pub rollback: bool,
+}
+
+pub fn gen_new_order<R: Rng>(
+    l: &TpccLayout,
+    rng: &mut R,
+    home_w: u64,
+    entry_d: u64,
+) -> NewOrderInput {
+    let cfg = &l.cfg;
+    let d = rng.gen_range(0..cfg.districts_per_w);
+    let c = nurand::customer_id(rng, cfg.customers_per_d);
+    let ol_cnt = rng.gen_range(5..=MAX_OL_CNT).min(cfg.items);
+    let mut lines = Vec::with_capacity(ol_cnt as usize);
+    for _ in 0..ol_cnt {
+        let item = nurand::item_id(rng, cfg.items);
+        let supply_w = if cfg.warehouses > 1 && rng.gen_range(0..100) < cfg.remote_item_pct {
+            let mut sw = rng.gen_range(0..cfg.warehouses);
+            if sw == home_w {
+                sw = (sw + 1) % cfg.warehouses;
+            }
+            sw
+        } else {
+            home_w
+        };
+        lines.push((item, supply_w, rng.gen_range(1..=10)));
+    }
+    let rollback = rng.gen_range(0..100) < cfg.invalid_item_pct;
+    NewOrderInput { w: home_w, d, c, entry_d, lines, rollback }
+}
+
+#[derive(Debug, Clone)]
+pub struct PaymentInput {
+    pub w: u64,
+    pub d: u64,
+    /// Customer's home warehouse/district (15 % remote).
+    pub c_w: u64,
+    pub c_d: u64,
+    pub c: u64,
+    /// When set, resolve the customer through the last-name index instead
+    /// of `c` (clause 2.5.2.2; falls back to `c` for unpopulated names).
+    pub by_lastname: Option<u64>,
+    /// Amount in cents.
+    pub amount: u64,
+}
+
+pub fn gen_payment<R: Rng>(l: &TpccLayout, rng: &mut R, home_w: u64) -> PaymentInput {
+    let cfg = &l.cfg;
+    let d = rng.gen_range(0..cfg.districts_per_w);
+    let (c_w, c_d) = if cfg.warehouses > 1 && rng.gen_range(0..100) < cfg.remote_payment_pct {
+        let mut cw = rng.gen_range(0..cfg.warehouses);
+        if cw == home_w {
+            cw = (cw + 1) % cfg.warehouses;
+        }
+        (cw, rng.gen_range(0..cfg.districts_per_w))
+    } else {
+        (home_w, d)
+    };
+    PaymentInput {
+        w: home_w,
+        d,
+        c_w,
+        c_d,
+        c: nurand::customer_id(rng, cfg.customers_per_d),
+        by_lastname: (rng.gen_range(0..100) < cfg.by_lastname_pct)
+            .then(|| nurand::nurand(rng, 255, 0, LASTNAMES - 1)),
+        amount: rng.gen_range(100..=500_000),
+    }
+}
+
+/// Resolve a customer through the last-name secondary index: the middle
+/// member of the name's bucket (the spec's "n/2-th by first name").
+/// Returns `None` for unpopulated names.
+pub fn customer_by_lastname(
+    l: &TpccLayout,
+    tx: &mut dyn Tx,
+    w: u64,
+    d: u64,
+    name: u64,
+) -> Result<Option<u64>, Abort> {
+    let ba = l.lastname_bucket(w, d, name);
+    let n = tx.read(ba)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    Ok(Some(tx.read(ba + 1 + n / 2)?))
+}
+
+#[derive(Debug, Clone)]
+pub struct OrderStatusInput {
+    pub w: u64,
+    pub d: u64,
+    pub c: u64,
+    /// When set, resolve the customer through the last-name index.
+    pub by_lastname: Option<u64>,
+}
+
+pub fn gen_order_status<R: Rng>(l: &TpccLayout, rng: &mut R, home_w: u64) -> OrderStatusInput {
+    OrderStatusInput {
+        w: home_w,
+        d: rng.gen_range(0..l.cfg.districts_per_w),
+        c: nurand::customer_id(rng, l.cfg.customers_per_d),
+        by_lastname: (rng.gen_range(0..100) < l.cfg.by_lastname_pct)
+            .then(|| nurand::nurand(rng, 255, 0, LASTNAMES - 1)),
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct DeliveryInput {
+    pub w: u64,
+    pub d: u64,
+    pub carrier: u64,
+    pub delivery_d: u64,
+}
+
+pub fn gen_delivery<R: Rng>(rng: &mut R, home_w: u64, district: u64, delivery_d: u64) -> DeliveryInput {
+    DeliveryInput { w: home_w, d: district, carrier: rng.gen_range(1..=10), delivery_d }
+}
+
+#[derive(Debug, Clone)]
+pub struct StockLevelInput {
+    pub w: u64,
+    pub d: u64,
+    pub threshold: u64,
+}
+
+pub fn gen_stock_level<R: Rng>(l: &TpccLayout, rng: &mut R, home_w: u64) -> StockLevelInput {
+    StockLevelInput {
+        w: home_w,
+        d: rng.gen_range(0..l.cfg.districts_per_w),
+        threshold: rng.gen_range(10..=20),
+    }
+}
+
+// ----------------------------------------------------------------- bodies
+
+/// Read-modify-write increment helper (`addr += delta`).
+fn add(tx: &mut dyn Tx, addr: u64, delta: u64) -> Result<(), Abort> {
+    let v = tx.read(addr)?;
+    tx.write(addr, v + delta)
+}
+
+/// Touch the remaining lines of a multi-line row (a tuple read reads the
+/// whole record; the fields the code uses all live in the first line).
+fn touch_row(tx: &mut dyn Tx, base: u64, lines: u64) -> Result<(), Abort> {
+    for i in 1..lines {
+        tx.read(base + i * 16)?;
+    }
+    Ok(())
+}
+
+/// New-Order (clause 2.4): the backbone update transaction. Returns the
+/// total order amount (cents, tax and discount applied).
+pub fn new_order(l: &TpccLayout, input: &NewOrderInput, tx: &mut dyn Tx) -> Result<u64, Abort> {
+    let wa = l.warehouse(input.w);
+    let da = l.district(input.w, input.d);
+    let ca = l.customer(input.w, input.d, input.c);
+
+    let w_tax = tx.read(wa + W_TAX)?;
+    let d_tax = tx.read(da + D_TAX)?;
+    let o_id = tx.read(da + D_NEXT_O_ID)?;
+    // Ring-capacity guard: reject the order (a user rollback, like the
+    // spec's invalid-item case) rather than overwrite a pending slot. The
+    // catch-up logic in `delivery` keeps the backlog near ring/2, so this
+    // guard only fires under pathological mixes.
+    let first = tx.read(da + D_NO_FIRST)?;
+    if o_id - first >= l.cfg.order_ring - 1 {
+        return Err(Abort::User);
+    }
+    tx.write(da + D_NEXT_O_ID, o_id + 1)?;
+
+    let c_discount = tx.read(ca + C_DISCOUNT)?;
+    touch_row(tx, ca, CUSTOMER_LINES)?;
+    tx.write(ca + C_LAST_O_ID, o_id)?;
+
+    let oa = l.order(input.w, input.d, o_id);
+    let all_local = input.lines.iter().all(|&(_, sw, _)| sw == input.w);
+    tx.write(oa + O_C_ID, input.c)?;
+    tx.write(oa + O_ENTRY_D, input.entry_d)?;
+    tx.write(oa + O_CARRIER_ID, 0)?;
+    tx.write(oa + O_OL_CNT, input.lines.len() as u64)?;
+    tx.write(oa + O_ALL_LOCAL, u64::from(all_local))?;
+
+    let mut total = 0u64;
+    let last = input.lines.len() - 1;
+    for (idx, &(item, supply_w, qty)) in input.lines.iter().enumerate() {
+        if input.rollback && idx == last {
+            // Unused item number: the whole transaction rolls back
+            // (clause 2.4.1.4) — exercised through the TM user-abort path.
+            return Err(Abort::User);
+        }
+        let price = tx.read(l.item(item) + I_PRICE)?;
+        let sa = l.stock(supply_w, item);
+        let s_qty = tx.read(sa + S_QUANTITY)?;
+        touch_row(tx, sa, STOCK_LINES)?;
+        let new_qty = if s_qty >= qty + 10 { s_qty - qty } else { s_qty + 91 - qty };
+        tx.write(sa + S_QUANTITY, new_qty)?;
+        add(tx, sa + S_YTD, qty)?;
+        add(tx, sa + S_ORDER_CNT, 1)?;
+        if supply_w != input.w {
+            add(tx, sa + S_REMOTE_CNT, 1)?;
+        }
+        let amount = qty * price;
+        let ola = l.order_line(input.w, input.d, o_id, idx as u64);
+        tx.write(ola + OL_I_ID, item)?;
+        tx.write(ola + OL_SUPPLY_W, supply_w)?;
+        tx.write(ola + OL_QUANTITY, qty)?;
+        tx.write(ola + OL_AMOUNT, amount)?;
+        tx.write(ola + OL_DELIVERY_D, 0)?;
+        total += amount;
+    }
+    // total × (1 − discount) × (1 + w_tax + d_tax), rates in basis points.
+    let total = total * (10_000 - c_discount) / 10_000 * (10_000 + w_tax + d_tax) / 10_000;
+    Ok(total)
+}
+
+/// Payment (clause 2.5): small, warehouse-hot update transaction.
+pub fn payment(l: &TpccLayout, input: &PaymentInput, tx: &mut dyn Tx) -> Result<(), Abort> {
+    let wa = l.warehouse(input.w);
+    let da = l.district(input.w, input.d);
+    let c = match input.by_lastname {
+        Some(name) => customer_by_lastname(l, tx, input.c_w, input.c_d, name)?.unwrap_or(input.c),
+        None => input.c,
+    };
+    let ca = l.customer(input.c_w, input.c_d, c);
+
+    add(tx, wa + W_YTD, input.amount)?;
+    add(tx, da + D_YTD, input.amount)?;
+
+    let balance = from_word(tx.read(ca + C_BALANCE)?) - input.amount as i64;
+    touch_row(tx, ca, CUSTOMER_LINES)?;
+    tx.write(ca + C_BALANCE, to_word(balance))?;
+    add(tx, ca + C_YTD_PAYMENT, input.amount)?;
+    add(tx, ca + C_PAYMENT_CNT, 1)?;
+
+    // History insert (per-warehouse ring; the slot counter lives in the
+    // warehouse row we already write).
+    let slot = tx.read(wa + W_HIST_NEXT)?;
+    tx.write(wa + W_HIST_NEXT, slot + 1)?;
+    let ha = l.history(input.w, slot);
+    tx.write(ha + H_AMOUNT, input.amount)?;
+    tx.write(ha + H_C_ID, c)?;
+    tx.write(ha + H_C_W, input.c_w)?;
+    tx.write(ha + H_D_ID, input.d)?;
+    Ok(())
+}
+
+/// Order-Status (clause 2.6): read-only; returns `(balance, last order id,
+/// order-line count read)`.
+pub fn order_status(
+    l: &TpccLayout,
+    input: &OrderStatusInput,
+    tx: &mut dyn Tx,
+) -> Result<(i64, u64, u64), Abort> {
+    let c = match input.by_lastname {
+        Some(name) => customer_by_lastname(l, tx, input.w, input.d, name)?.unwrap_or(input.c),
+        None => input.c,
+    };
+    let ca = l.customer(input.w, input.d, c);
+    let balance = from_word(tx.read(ca + C_BALANCE)?);
+    touch_row(tx, ca, CUSTOMER_LINES)?;
+    let o_id = tx.read(ca + C_LAST_O_ID)?;
+    if o_id == 0 {
+        return Ok((balance, 0, 0));
+    }
+    let oa = l.order(input.w, input.d, o_id);
+    let ol_cnt = tx.read(oa + O_OL_CNT)?.min(MAX_OL_CNT);
+    let _carrier = tx.read(oa + O_CARRIER_ID)?;
+    for idx in 0..ol_cnt {
+        let ola = l.order_line(input.w, input.d, o_id, idx);
+        let _ = tx.read(ola + OL_I_ID)?;
+        let _ = tx.read(ola + OL_AMOUNT)?;
+        let _ = tx.read(ola + OL_DELIVERY_D)?;
+    }
+    Ok((balance, o_id, ol_cnt))
+}
+
+/// Delivery (clause 2.7), split per district as commonly implemented for
+/// the deferred batch: delivers up to `cfg.delivery_batch` oldest pending
+/// orders of one district. Returns the number delivered (0 is a legal
+/// commit: "skipped delivery").
+pub fn delivery(l: &TpccLayout, input: &DeliveryInput, tx: &mut dyn Tx) -> Result<u64, Abort> {
+    let da = l.district(input.w, input.d);
+    let first = tx.read(da + D_NO_FIRST)?;
+    let next = tx.read(da + D_NEXT_O_ID)?;
+    let pending = next - first;
+    // Nominal batch, with catch-up when the backlog exceeds half the ring
+    // (new-orders outpace deliveries in the standard mix — as in real
+    // TPC-C, where the delivery queue is allowed to lag; here the ring
+    // must stay bounded). Catch-up batches are capped at 64 orders.
+    let soft_cap = l.cfg.order_ring / 2;
+    let n = if pending > soft_cap {
+        (pending - soft_cap).max(l.cfg.delivery_batch).min(64)
+    } else {
+        pending.min(l.cfg.delivery_batch)
+    };
+    if n == 0 {
+        return Ok(0);
+    }
+    tx.write(da + D_NO_FIRST, first + n)?;
+    for o_id in first..first + n {
+        let oa = l.order(input.w, input.d, o_id);
+        let c_id = tx.read(oa + O_C_ID)?;
+        let ol_cnt = tx.read(oa + O_OL_CNT)?.min(MAX_OL_CNT);
+        tx.write(oa + O_CARRIER_ID, input.carrier)?;
+        let mut sum = 0u64;
+        for idx in 0..ol_cnt {
+            let ola = l.order_line(input.w, input.d, o_id, idx);
+            sum += tx.read(ola + OL_AMOUNT)?;
+            tx.write(ola + OL_DELIVERY_D, input.delivery_d)?;
+        }
+        let ca = l.customer(input.w, input.d, c_id);
+        let balance = from_word(tx.read(ca + C_BALANCE)?) + sum as i64;
+        touch_row(tx, ca, CUSTOMER_LINES)?;
+        tx.write(ca + C_BALANCE, to_word(balance))?;
+        add(tx, ca + C_DELIVERY_CNT, 1)?;
+    }
+    Ok(n)
+}
+
+/// Stock-Level (clause 2.8): read-only with a very large footprint — scans
+/// the order lines of the district's last 20 orders and reads each item's
+/// stock row. Returns the count of distinct items below the threshold.
+pub fn stock_level(
+    l: &TpccLayout,
+    input: &StockLevelInput,
+    tx: &mut dyn Tx,
+) -> Result<u64, Abort> {
+    let da = l.district(input.w, input.d);
+    let next = tx.read(da + D_NEXT_O_ID)?;
+    let newest = next - 1;
+    let oldest = newest.saturating_sub(19).max(1);
+    let mut low = 0u64;
+    let mut seen: Vec<u64> = Vec::with_capacity(64);
+    for o_id in oldest..=newest {
+        let oa = l.order(input.w, input.d, o_id);
+        let ol_cnt = tx.read(oa + O_OL_CNT)?.min(MAX_OL_CNT);
+        for idx in 0..ol_cnt {
+            let item = tx.read(l.order_line(input.w, input.d, o_id, idx) + OL_I_ID)?;
+            if item == 0 || seen.contains(&item) {
+                continue;
+            }
+            seen.push(item);
+            let sa = l.stock(input.w, item);
+            touch_row(tx, sa, STOCK_LINES)?;
+            if tx.read(sa + S_QUANTITY)? < input.threshold {
+                low += 1;
+            }
+        }
+    }
+    Ok(low)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TpccConfig, TxMix};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use tm_api::{Outcome, TmBackend, TmThread, TxKind};
+
+    fn setup() -> (si_htm::SiHtm, TpccLayout) {
+        let layout = TpccLayout::new(TpccConfig::tiny(TxMix::standard()));
+        let backend = si_htm::SiHtm::new(
+            htm_sim::HtmConfig::small(),
+            layout.memory_words(),
+            si_htm::SiHtmConfig::default(),
+        );
+        layout.populate(backend.memory());
+        (backend, layout)
+    }
+
+    #[test]
+    fn new_order_advances_district_and_writes_rows() {
+        let (backend, l) = setup();
+        let mut t = backend.register_thread();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut input = gen_new_order(&l, &mut rng, 0, 99);
+        input.rollback = false;
+        let next_before = backend.memory().load(l.district(0, input.d) + D_NEXT_O_ID);
+        let mut total = 0;
+        let out = t.exec(TxKind::Update, &mut |tx| {
+            total = new_order(&l, &input, tx)?;
+            Ok(())
+        });
+        assert_eq!(out, Outcome::Committed);
+        assert!(total > 0);
+        let da = l.district(0, input.d);
+        assert_eq!(backend.memory().load(da + D_NEXT_O_ID), next_before + 1);
+        let oa = l.order(0, input.d, next_before);
+        assert_eq!(backend.memory().load(oa + O_C_ID), input.c);
+        assert_eq!(backend.memory().load(oa + O_OL_CNT), input.lines.len() as u64);
+        assert_eq!(backend.memory().load(oa + O_CARRIER_ID), 0);
+        l.check_consistency(backend.memory()).unwrap();
+    }
+
+    #[test]
+    fn new_order_rollback_leaves_no_trace() {
+        let (backend, l) = setup();
+        let mut t = backend.register_thread();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut input = gen_new_order(&l, &mut rng, 0, 1);
+        input.rollback = true;
+        let da = l.district(0, input.d) + D_NEXT_O_ID;
+        let before = backend.memory().load(da);
+        let out = t.exec(TxKind::Update, &mut |tx| {
+            new_order(&l, &input, tx)?;
+            Ok(())
+        });
+        assert_eq!(out, Outcome::UserAborted);
+        assert_eq!(backend.memory().load(da), before, "rollback must undo D_NEXT_O_ID");
+        l.check_consistency(backend.memory()).unwrap();
+    }
+
+    #[test]
+    fn payment_moves_money_consistently() {
+        let (backend, l) = setup();
+        let mut t = backend.register_thread();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let input = gen_payment(&l, &mut rng, 1);
+        let ca = l.customer(input.c_w, input.c_d, input.c);
+        let bal_before = from_word(backend.memory().load(ca + C_BALANCE));
+        let out = t.exec(TxKind::Update, &mut |tx| payment(&l, &input, tx));
+        assert_eq!(out, Outcome::Committed);
+        let bal_after = from_word(backend.memory().load(ca + C_BALANCE));
+        assert_eq!(bal_after, bal_before - input.amount as i64);
+        // Condition 1 (W_YTD = Σ D_YTD) must survive payments.
+        l.check_consistency(backend.memory()).unwrap();
+        // History row recorded.
+        let ha = l.history(input.w, 0);
+        assert_eq!(backend.memory().load(ha + H_AMOUNT), input.amount);
+    }
+
+    #[test]
+    fn order_status_reads_last_order() {
+        let (backend, l) = setup();
+        let mut t = backend.register_thread();
+        // Find a customer that owns an order.
+        let mut target = None;
+        for c in 1..=l.cfg.customers_per_d {
+            if backend.memory().load(l.customer(0, 0, c) + C_LAST_O_ID) != 0 {
+                target = Some(c);
+                break;
+            }
+        }
+        let c = target.expect("population assigns orders to customers");
+        let input = OrderStatusInput { w: 0, d: 0, c, by_lastname: None };
+        let mut got = (0, 0, 0);
+        let out = t.exec(TxKind::ReadOnly, &mut |tx| {
+            got = order_status(&l, &input, tx)?;
+            Ok(())
+        });
+        assert_eq!(out, Outcome::Committed);
+        assert!(got.1 > 0, "customer had an order");
+        assert!((5..=15).contains(&got.2), "ol_cnt plausible");
+    }
+
+    #[test]
+    fn delivery_delivers_oldest_pending() {
+        let (backend, l) = setup();
+        let mut t = backend.register_thread();
+        let da = l.district(0, 0);
+        let first = backend.memory().load(da + D_NO_FIRST);
+        let next = backend.memory().load(da + D_NEXT_O_ID);
+        let pending = next - first;
+        assert!(pending > 0, "population leaves pending orders");
+        let input = DeliveryInput { w: 0, d: 0, carrier: 7, delivery_d: 123 };
+        let mut delivered = 0;
+        let out = t.exec(TxKind::Update, &mut |tx| {
+            delivered = delivery(&l, &input, tx)?;
+            Ok(())
+        });
+        assert_eq!(out, Outcome::Committed);
+        assert_eq!(delivered, pending.min(l.cfg.delivery_batch));
+        assert_eq!(backend.memory().load(da + D_NO_FIRST), first + delivered);
+        let oa = l.order(0, 0, first);
+        assert_eq!(backend.memory().load(oa + O_CARRIER_ID), 7);
+        l.check_consistency(backend.memory()).unwrap();
+    }
+
+    #[test]
+    fn delivery_on_empty_district_commits_zero() {
+        let (backend, l) = setup();
+        let mut t = backend.register_thread();
+        // Drain district 0 of warehouse 0.
+        loop {
+            let input = DeliveryInput { w: 0, d: 0, carrier: 1, delivery_d: 5 };
+            let mut n = 0;
+            t.exec(TxKind::Update, &mut |tx| {
+                n = delivery(&l, &input, tx)?;
+                Ok(())
+            });
+            if n == 0 {
+                break;
+            }
+        }
+        let da = l.district(0, 0);
+        assert_eq!(
+            backend.memory().load(da + D_NO_FIRST),
+            backend.memory().load(da + D_NEXT_O_ID)
+        );
+        l.check_consistency(backend.memory()).unwrap();
+    }
+
+    #[test]
+    fn stock_level_counts_low_stock() {
+        let (backend, l) = setup();
+        let mut t = backend.register_thread();
+        let input = StockLevelInput { w: 0, d: 0, threshold: 200 };
+        let mut low = 0;
+        let out = t.exec(TxKind::ReadOnly, &mut |tx| {
+            low = stock_level(&l, &input, tx)?;
+            Ok(())
+        });
+        assert_eq!(out, Outcome::Committed);
+        // Threshold 200 exceeds the max populated quantity (100): every
+        // distinct item in the scanned orders counts.
+        assert!(low > 0, "with threshold 200 every scanned item is low");
+        let zero_input = StockLevelInput { w: 0, d: 0, threshold: 0 };
+        t.exec(TxKind::ReadOnly, &mut |tx| {
+            low = stock_level(&l, &zero_input, tx)?;
+            Ok(())
+        });
+        assert_eq!(low, 0, "threshold 0 matches nothing");
+    }
+}

@@ -1,0 +1,190 @@
+//! Per-thread TPC-C terminal: draws transactions according to the mix and
+//! executes them against a [`tm_api::TmThread`].
+
+use crate::txns::{self};
+use crate::TpccLayout;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use tm_api::{TmThread, TxKind};
+
+/// Per-transaction-type commit counters (for mix verification and the
+/// per-type throughput the artifact's summaries report).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct MixCounters {
+    pub new_order: u64,
+    pub payment: u64,
+    pub order_status: u64,
+    pub delivery: u64,
+    pub stock_level: u64,
+    pub rollbacks: u64,
+}
+
+impl MixCounters {
+    pub fn total(&self) -> u64 {
+        self.new_order + self.payment + self.order_status + self.delivery + self.stock_level
+    }
+}
+
+impl MixCounters {
+    fn add(&mut self, other: &MixCounters) {
+        self.new_order += other.new_order;
+        self.payment += other.payment;
+        self.order_status += other.order_status;
+        self.delivery += other.delivery;
+        self.stock_level += other.stock_level;
+        self.rollbacks += other.rollbacks;
+    }
+}
+
+/// A TPC-C terminal bound to a home warehouse.
+pub struct TpccWorker {
+    layout: Arc<TpccLayout>,
+    rng: SmallRng,
+    home_w: u64,
+    /// Round-robin district cursor for Delivery.
+    next_delivery_d: u64,
+    /// Monotonic timestamp source for entry/delivery dates.
+    date: u64,
+    pub counters: MixCounters,
+    /// Optional shared sink the counters are flushed into periodically
+    /// (the per-type summary of the artifact's reports).
+    sink: Option<Arc<std::sync::Mutex<MixCounters>>>,
+}
+
+impl TpccWorker {
+    pub fn new(layout: Arc<TpccLayout>, thread_index: usize) -> Self {
+        let home_w = thread_index as u64 % layout.cfg.warehouses;
+        TpccWorker {
+            layout,
+            rng: SmallRng::seed_from_u64(0x7CC ^ (thread_index as u64) << 8),
+            home_w,
+            next_delivery_d: thread_index as u64,
+            date: 1,
+            counters: MixCounters::default(),
+            sink: None,
+        }
+    }
+
+    /// Flush the per-type counters into `sink` every 64 operations (and
+    /// leave the final partial batch to the caller via [`Self::flush`]).
+    pub fn with_sink(mut self, sink: Arc<std::sync::Mutex<MixCounters>>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Push accumulated counters into the sink and reset them.
+    pub fn flush(&mut self) {
+        if let Some(sink) = &self.sink {
+            sink.lock().unwrap().add(&self.counters);
+            self.counters = MixCounters::default();
+        }
+    }
+
+    pub fn home_warehouse(&self) -> u64 {
+        self.home_w
+    }
+
+    /// Execute one transaction drawn from the configured mix.
+    pub fn run_op<T: TmThread>(&mut self, thread: &mut T) {
+        if self.sink.is_some() && self.counters.total() >= 64 {
+            self.flush();
+        }
+        let l = Arc::clone(&self.layout);
+        let mix = &l.cfg.mix;
+        let roll = self.rng.gen_range(0..mix.total());
+        self.date += 1;
+        if roll < mix.new_order {
+            let input = txns::gen_new_order(&l, &mut self.rng, self.home_w, self.date);
+            let out = thread.exec(TxKind::Update, &mut |tx| {
+                txns::new_order(&l, &input, tx)?;
+                Ok(())
+            });
+            match out {
+                tm_api::Outcome::Committed => self.counters.new_order += 1,
+                tm_api::Outcome::UserAborted => self.counters.rollbacks += 1,
+            }
+        } else if roll < mix.new_order + mix.payment {
+            let input = txns::gen_payment(&l, &mut self.rng, self.home_w);
+            thread.exec(TxKind::Update, &mut |tx| txns::payment(&l, &input, tx));
+            self.counters.payment += 1;
+        } else if roll < mix.new_order + mix.payment + mix.order_status {
+            let input = txns::gen_order_status(&l, &mut self.rng, self.home_w);
+            thread.exec(TxKind::ReadOnly, &mut |tx| {
+                txns::order_status(&l, &input, tx)?;
+                Ok(())
+            });
+            self.counters.order_status += 1;
+        } else if roll < mix.new_order + mix.payment + mix.order_status + mix.delivery {
+            self.next_delivery_d = (self.next_delivery_d + 1) % l.cfg.districts_per_w;
+            let input =
+                txns::gen_delivery(&mut self.rng, self.home_w, self.next_delivery_d, self.date);
+            thread.exec(TxKind::Update, &mut |tx| {
+                txns::delivery(&l, &input, tx)?;
+                Ok(())
+            });
+            self.counters.delivery += 1;
+        } else {
+            let input = txns::gen_stock_level(&l, &mut self.rng, self.home_w);
+            thread.exec(TxKind::ReadOnly, &mut |tx| {
+                txns::stock_level(&l, &input, tx)?;
+                Ok(())
+            });
+            self.counters.stock_level += 1;
+        }
+    }
+}
+
+impl Drop for TpccWorker {
+    fn drop(&mut self) {
+        // Deliver the final partial batch to the sink (if any).
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TpccConfig, TxMix};
+    use tm_api::TmBackend;
+
+    #[test]
+    fn worker_respects_the_mix_and_keeps_db_consistent() {
+        let layout = Arc::new(TpccLayout::new(TpccConfig::tiny(TxMix::standard())));
+        let backend = si_htm::SiHtm::new(
+            htm_sim::HtmConfig::small(),
+            layout.memory_words(),
+            si_htm::SiHtmConfig::default(),
+        );
+        layout.populate(backend.memory());
+        let mut t = backend.register_thread();
+        let mut w = TpccWorker::new(Arc::clone(&layout), 0);
+        for _ in 0..2000 {
+            w.run_op(&mut t);
+        }
+        layout.check_consistency(backend.memory()).expect("db consistent after serial run");
+        let c = &w.counters;
+        let total = c.total() + c.rollbacks;
+        assert_eq!(total, 2000);
+        // Mix shares within ±5 points of the configured percentages.
+        let share = |n: u64| n as f64 * 100.0 / total as f64;
+        assert!((share(c.new_order + c.rollbacks) - 45.0).abs() < 5.0, "new-order share");
+        assert!((share(c.payment) - 43.0).abs() < 5.0, "payment share");
+        assert!((share(c.order_status) - 4.0).abs() < 3.0, "order-status share");
+        assert!((share(c.delivery) - 4.0).abs() < 3.0, "delivery share");
+        assert!((share(c.stock_level) - 4.0).abs() < 3.0, "stock-level share");
+        // ~1% rollbacks.
+        assert!(c.rollbacks > 0, "invalid-item rollbacks occurred");
+    }
+
+    #[test]
+    fn workers_spread_over_warehouses() {
+        let layout = Arc::new(TpccLayout::new(TpccConfig::tiny(TxMix::standard())));
+        let w0 = TpccWorker::new(Arc::clone(&layout), 0);
+        let w1 = TpccWorker::new(Arc::clone(&layout), 1);
+        let w2 = TpccWorker::new(Arc::clone(&layout), 2);
+        assert_eq!(w0.home_warehouse(), 0);
+        assert_eq!(w1.home_warehouse(), 1);
+        assert_eq!(w2.home_warehouse(), 0, "round-robin over 2 warehouses");
+    }
+}

@@ -1,0 +1,132 @@
+//! Tests of the customer last-name secondary index (clause 2.5.2.2):
+//! population builds consistent buckets, lookups resolve to customers that
+//! actually carry the name, and the spec's 60 %-by-last-name selection
+//! keeps the database consistent under the full mix.
+
+use std::sync::Arc;
+use tm_api::{Outcome, TmBackend, TmThread, TxKind};
+use tpcc::layout::{C_LAST, IDX_BUCKET_LINES, LASTNAMES};
+use tpcc::{txns, TpccConfig, TpccLayout, TpccWorker, TxMix};
+
+fn setup(by_lastname_pct: u32) -> (si_htm::SiHtm, Arc<TpccLayout>) {
+    let mut cfg = TpccConfig::tiny(TxMix::standard());
+    cfg.customers_per_d = 64;
+    cfg.by_lastname_pct = by_lastname_pct;
+    let layout = Arc::new(TpccLayout::new(cfg));
+    let backend = si_htm::SiHtm::new(
+        htm_sim::HtmConfig::small(),
+        layout.memory_words(),
+        si_htm::SiHtmConfig::default(),
+    );
+    layout.populate(backend.memory());
+    (backend, layout)
+}
+
+#[test]
+fn population_builds_consistent_buckets() {
+    let (backend, l) = setup(0);
+    let memory = backend.memory();
+    for w in 0..l.cfg.warehouses {
+        for d in 0..l.cfg.districts_per_w {
+            let mut indexed = 0u64;
+            for name in 0..LASTNAMES {
+                let ba = l.lastname_bucket(w, d, name);
+                let n = memory.load(ba);
+                assert!(n < IDX_BUCKET_LINES * 16, "bucket overflow at name {name}");
+                for slot in 0..n {
+                    let c = memory.load(ba + 1 + slot);
+                    assert!(
+                        (1..=l.cfg.customers_per_d).contains(&c),
+                        "bucket holds invalid customer id {c}"
+                    );
+                    assert_eq!(
+                        memory.load(l.customer(w, d, c) + C_LAST),
+                        name,
+                        "customer {c} indexed under the wrong name"
+                    );
+                }
+                indexed += n;
+            }
+            assert_eq!(
+                indexed, l.cfg.customers_per_d,
+                "every customer of w{w}d{d} must be indexed exactly once"
+            );
+        }
+    }
+}
+
+#[test]
+fn lookup_resolves_to_a_customer_with_that_name() {
+    let (backend, l) = setup(0);
+    let mut t = backend.register_thread();
+    // Use the name of a known customer so the bucket is non-empty.
+    let name = backend.memory().load(l.customer(0, 0, 1) + C_LAST);
+    let mut resolved = None;
+    t.exec(TxKind::ReadOnly, &mut |tx| {
+        resolved = txns::customer_by_lastname(&l, tx, 0, 0, name)?;
+        Ok(())
+    });
+    let c = resolved.expect("bucket for a populated name cannot be empty");
+    assert_eq!(backend.memory().load(l.customer(0, 0, c) + C_LAST), name);
+}
+
+#[test]
+fn empty_name_resolves_to_none() {
+    let (backend, l) = setup(0);
+    let memory = backend.memory();
+    // Find an unpopulated name in district (0,0).
+    let empty = (0..LASTNAMES)
+        .find(|&n| memory.load(l.lastname_bucket(0, 0, n)) == 0)
+        .expect("64 customers cannot fill 1000 names");
+    let mut t = backend.register_thread();
+    let mut resolved = Some(0);
+    t.exec(TxKind::ReadOnly, &mut |tx| {
+        resolved = txns::customer_by_lastname(&l, tx, 0, 0, empty)?;
+        Ok(())
+    });
+    assert_eq!(resolved, None);
+}
+
+#[test]
+fn payment_by_lastname_charges_the_resolved_customer() {
+    let (backend, l) = setup(0);
+    let mut t = backend.register_thread();
+    let name = backend.memory().load(l.customer(0, 0, 5) + C_LAST);
+    let input = txns::PaymentInput {
+        w: 0,
+        d: 0,
+        c_w: 0,
+        c_d: 0,
+        c: 1, // fallback id, must NOT be used
+        by_lastname: Some(name),
+        amount: 777,
+    };
+    // Determine who the index resolves to, then verify the balance moved
+    // on exactly that customer.
+    let mut resolved = None;
+    t.exec(TxKind::ReadOnly, &mut |tx| {
+        resolved = txns::customer_by_lastname(&l, tx, 0, 0, name)?;
+        Ok(())
+    });
+    let c = resolved.unwrap();
+    let ca = l.customer(0, 0, c) + tpcc::layout::C_BALANCE;
+    let before = tpcc::layout::from_word(backend.memory().load(ca));
+    let out = t.exec(TxKind::Update, &mut |tx| txns::payment(&l, &input, tx));
+    assert_eq!(out, Outcome::Committed);
+    let after = tpcc::layout::from_word(backend.memory().load(ca));
+    assert_eq!(after, before - 777);
+    l.check_consistency(backend.memory()).unwrap();
+}
+
+#[test]
+fn full_mix_with_spec_lastname_rate_stays_consistent() {
+    let (backend, l) = setup(60);
+    let mut t = backend.register_thread();
+    let mut w = TpccWorker::new(Arc::clone(&l), 0);
+    for _ in 0..1500 {
+        w.run_op(&mut t);
+    }
+    l.check_consistency(backend.memory())
+        .expect("consistency with 60% by-last-name selection");
+    assert!(w.counters.payment > 0 && w.counters.order_status > 0);
+}

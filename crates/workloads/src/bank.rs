@@ -1,0 +1,185 @@
+//! Bank-accounts workload: transfers plus full-sweep audits.
+//!
+//! The classic TM correctness workload: `transfer` moves money between two
+//! random accounts (small update transaction), `audit` sums every account
+//! (read-only transaction whose footprint covers the whole table — far
+//! beyond TMCAM capacity, so plain HTM must fall back while SI-HTM's
+//! read-only fast path runs it for free). The global invariant — the total
+//! balance never changes — doubles as a serialisation check in the
+//! integration tests.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tm_api::{Abort, TmThread, Tx, TxKind};
+use txmem::{Addr, TxMemory, WORDS_PER_LINE};
+
+/// A bank of `accounts` balances, one account per cache line.
+#[derive(Debug, Clone, Copy)]
+pub struct Bank {
+    base: Addr,
+    accounts: u64,
+}
+
+impl Bank {
+    /// Words of memory required.
+    pub fn memory_words(accounts: u64) -> usize {
+        (accounts * WORDS_PER_LINE as u64) as usize
+    }
+
+    /// Lay out the bank at `base` and give every account `initial` units.
+    pub fn build(memory: &TxMemory, base: Addr, accounts: u64, initial: u64) -> Bank {
+        let bank = Bank { base, accounts };
+        for a in 0..accounts {
+            memory.store(bank.addr(a), initial);
+        }
+        bank
+    }
+
+    #[inline]
+    pub fn accounts(&self) -> u64 {
+        self.accounts
+    }
+
+    #[inline]
+    fn addr(&self, account: u64) -> Addr {
+        self.base + account * WORDS_PER_LINE as u64
+    }
+
+    /// Transactional transfer; declines (without aborting) on insufficient
+    /// funds.
+    pub fn transfer(&self, tx: &mut dyn Tx, from: u64, to: u64, amount: u64) -> Result<bool, Abort> {
+        let src = tx.read(self.addr(from))?;
+        if src < amount {
+            return Ok(false);
+        }
+        let dst = tx.read(self.addr(to))?;
+        tx.write(self.addr(from), src - amount)?;
+        tx.write(self.addr(to), dst + amount)?;
+        Ok(true)
+    }
+
+    /// Transactional full-sweep audit: the sum of all balances.
+    pub fn audit(&self, tx: &mut dyn Tx) -> Result<u64, Abort> {
+        let mut sum = 0u64;
+        for a in 0..self.accounts {
+            sum += tx.read(self.addr(a))?;
+        }
+        Ok(sum)
+    }
+
+    /// Non-transactional sum (between runs).
+    pub fn total(&self, memory: &TxMemory) -> u64 {
+        (0..self.accounts).map(|a| memory.load(self.addr(a))).sum()
+    }
+}
+
+/// Per-thread bank client: `audit_fraction` of transactions are audits,
+/// the rest transfers between uniformly random accounts.
+pub struct BankWorker {
+    bank: Bank,
+    audit_fraction: f64,
+    rng: SmallRng,
+    /// Audits whose observed total differed from `expected_total` (must
+    /// stay zero under any correct backend).
+    pub broken_audits: u64,
+    pub expected_total: u64,
+}
+
+impl BankWorker {
+    pub fn new(bank: Bank, audit_fraction: f64, expected_total: u64, seed: u64) -> Self {
+        BankWorker {
+            bank,
+            audit_fraction,
+            rng: SmallRng::seed_from_u64(seed),
+            broken_audits: 0,
+            expected_total,
+        }
+    }
+
+    pub fn run_op<T: TmThread>(&mut self, thread: &mut T) {
+        let bank = self.bank;
+        if self.rng.gen::<f64>() < self.audit_fraction {
+            let mut sum = 0;
+            thread.exec(TxKind::ReadOnly, &mut |tx| {
+                sum = bank.audit(tx)?;
+                Ok(())
+            });
+            if sum != self.expected_total {
+                self.broken_audits += 1;
+            }
+        } else {
+            let from = self.rng.gen_range(0..bank.accounts());
+            let mut to = self.rng.gen_range(0..bank.accounts());
+            if to == from {
+                to = (to + 1) % bank.accounts();
+            }
+            let amount = self.rng.gen_range(1..=10);
+            thread.exec(TxKind::Update, &mut |tx| {
+                bank.transfer(tx, from, to, amount)?;
+                Ok(())
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run, RunConfig};
+    use si_htm::SiHtm;
+    use tm_api::TmBackend;
+
+    #[test]
+    fn transfers_conserve_total() {
+        let accounts = 16;
+        let backend = SiHtm::with_defaults(Bank::memory_words(accounts));
+        let bank = Bank::build(backend.memory(), 0, accounts, 100);
+        assert_eq!(bank.total(backend.memory()), 1600);
+        let mut t = backend.register_thread();
+        let mut ok = false;
+        t.exec(TxKind::Update, &mut |tx| {
+            ok = bank.transfer(tx, 0, 1, 30)?;
+            Ok(())
+        });
+        assert!(ok);
+        assert_eq!(backend.memory().load(0), 70);
+        assert_eq!(bank.total(backend.memory()), 1600);
+    }
+
+    #[test]
+    fn insufficient_funds_decline() {
+        let backend = SiHtm::with_defaults(Bank::memory_words(4));
+        let bank = Bank::build(backend.memory(), 0, 4, 10);
+        let mut t = backend.register_thread();
+        let mut ok = true;
+        t.exec(TxKind::Update, &mut |tx| {
+            ok = bank.transfer(tx, 0, 1, 999)?;
+            Ok(())
+        });
+        assert!(!ok);
+        assert_eq!(bank.total(backend.memory()), 40);
+    }
+
+    #[test]
+    fn concurrent_audits_always_see_conserved_total() {
+        let accounts = 32;
+        let backend = SiHtm::with_defaults(Bank::memory_words(accounts));
+        let bank = Bank::build(backend.memory(), 0, accounts, 1000);
+        let total = bank.total(backend.memory());
+        let broken = std::sync::Mutex::new(0u64);
+        let report = run(&backend, &RunConfig::quick(3), |i| {
+            let mut w = BankWorker::new(bank, 0.3, total, i as u64 + 1);
+            let broken = &broken;
+            move |t: &mut si_htm::SiHtmThread| {
+                w.run_op(t);
+                if w.broken_audits > 0 {
+                    *broken.lock().unwrap() += w.broken_audits;
+                    w.broken_audits = 0;
+                }
+            }
+        });
+        assert!(report.total.commits > 0);
+        assert_eq!(*broken.lock().unwrap(), 0, "audit observed a torn total");
+        assert_eq!(bank.total(backend.memory()), total);
+    }
+}

@@ -1,0 +1,151 @@
+//! Fixed-duration multi-threaded run harness.
+//!
+//! Mirrors the paper's run scripts: spawn N worker threads (pinned to
+//! virtual hardware threads by registration order), warm up, measure for a
+//! fixed wall-clock interval, and report throughput plus the aggregated
+//! abort breakdown.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+use tm_api::{stats, ThreadStats, TmBackend, TmThread};
+
+/// Harness parameters.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Warm-up interval (excluded from measurement).
+    pub warmup: Duration,
+    /// Measurement interval.
+    pub duration: Duration,
+}
+
+impl RunConfig {
+    pub fn new(threads: usize, warmup: Duration, duration: Duration) -> Self {
+        RunConfig { threads, warmup, duration }
+    }
+
+    /// Short configuration for tests.
+    pub fn quick(threads: usize) -> Self {
+        RunConfig {
+            threads,
+            warmup: Duration::from_millis(20),
+            duration: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Result of one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub threads: usize,
+    /// Measured wall-clock interval.
+    pub elapsed: Duration,
+    /// Aggregated statistics over the measurement interval.
+    pub total: ThreadStats,
+}
+
+impl RunReport {
+    /// Committed transactions per second.
+    pub fn throughput(&self) -> f64 {
+        self.total.commits as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+const PHASE_WARMUP: u8 = 0;
+const PHASE_MEASURE: u8 = 1;
+const PHASE_STOP: u8 = 2;
+
+/// Run `setup(thread_index)`-produced operations on `cfg.threads` worker
+/// threads against `backend` for the configured interval.
+///
+/// Each invocation of the produced closure must execute exactly one
+/// complete transaction (the closure typically calls
+/// [`TmThread::exec`] once); statistics are reset at the warm-up →
+/// measurement transition so the report covers steady state only.
+pub fn run<B, F, W>(backend: &B, cfg: &RunConfig, setup: F) -> RunReport
+where
+    B: TmBackend,
+    F: Fn(usize) -> W + Sync,
+    W: FnMut(&mut B::Thread),
+{
+    let phase = AtomicU8::new(PHASE_WARMUP);
+    let mut per_thread: Vec<ThreadStats> = Vec::with_capacity(cfg.threads);
+
+    crossbeam_utils::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(cfg.threads);
+        for i in 0..cfg.threads {
+            let phase = &phase;
+            let setup = &setup;
+            handles.push(s.spawn(move |_| {
+                let mut thread = backend.register_thread();
+                let mut op = setup(i);
+                let mut measuring = false;
+                loop {
+                    match phase.load(Ordering::Acquire) {
+                        PHASE_STOP => break,
+                        PHASE_MEASURE if !measuring => {
+                            thread.reset_stats();
+                            measuring = true;
+                        }
+                        _ => {}
+                    }
+                    op(&mut thread);
+                }
+                if !measuring {
+                    // Starved through the whole measurement window (heavy
+                    // over-subscription): its counters still hold warm-up
+                    // work, which must not be attributed to the window.
+                    thread.reset_stats();
+                }
+                thread.stats().clone()
+            }));
+        }
+
+        std::thread::sleep(cfg.warmup);
+        phase.store(PHASE_MEASURE, Ordering::Release);
+        let t0 = Instant::now();
+        std::thread::sleep(cfg.duration);
+        phase.store(PHASE_STOP, Ordering::Release);
+        let elapsed = t0.elapsed();
+
+        for h in handles {
+            per_thread.push(h.join().expect("worker thread panicked"));
+        }
+        RunReport { threads: cfg.threads, elapsed, total: stats::aggregate(per_thread.iter()) }
+    })
+    .expect("harness scope failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_htm::SiHtm;
+    use tm_api::TxKind;
+
+    #[test]
+    fn harness_measures_steady_state() {
+        let backend = SiHtm::with_defaults(1024);
+        let report = run(&backend, &RunConfig::quick(2), |_i| {
+            move |t: &mut si_htm::SiHtmThread| {
+                t.exec(TxKind::Update, &mut |tx| {
+                    let v = tx.read(0)?;
+                    tx.write(0, v + 1)
+                });
+            }
+        });
+        assert_eq!(report.threads, 2);
+        assert!(report.total.commits > 0, "no transactions committed");
+        assert!(report.throughput() > 0.0);
+        // The counter must reflect warm-up + measured commits consistently.
+        let counter = backend.memory().load(0);
+        assert!(counter >= report.total.commits, "lost updates detected");
+    }
+
+    #[test]
+    fn report_throughput_arithmetic() {
+        let total = ThreadStats { commits: 500, ..ThreadStats::default() };
+        let r = RunReport { threads: 1, elapsed: Duration::from_millis(250), total };
+        assert!((r.throughput() - 2000.0).abs() < 1e-6);
+    }
+}

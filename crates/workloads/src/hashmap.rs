@@ -1,0 +1,413 @@
+//! The transactional hash-map micro-benchmark of §4.1.
+//!
+//! A fixed array of bucket heads, one per cache line, each heading a
+//! singly-linked list of nodes (one cache line per node: `[key, value,
+//! next]`). Clients perform:
+//!
+//! * **lookup** (read-only): traverse the key's bucket — the read footprint
+//!   is the traversed chain, ~`chain/2` lines on a hit;
+//! * **insert** (update): traverse to the tail and link a fresh node —
+//!   unbounded read footprint, *two* written lines;
+//! * **remove** (update): traverse to the key and unlink — one written line.
+//!
+//! The paper's knobs map directly:
+//!
+//! * *transaction footprint*: average chain length (≈200 "large", ≈50
+//!   "small") — large chains overflow the 64-line TMCAM for any backend
+//!   that tracks reads;
+//! * *contention*: number of buckets (1000 "low", 10 "high");
+//! * *mix*: fraction of read-only transactions (90 % or 50 %).
+//!
+//! Each worker thread alternates insert(k)/remove(k) on fresh keys (the
+//! paper: "a remove operation if the last transaction on that thread was
+//! an insert"), keeping the map size stationary. Nodes freed by committed
+//! removes are recycled through a per-thread free list.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use tm_api::{Abort, Outcome, TmThread, Tx, TxKind};
+use txmem::{Addr, LineAlloc, TxMemory, WORDS_PER_LINE};
+
+/// Benchmark parameters (§4.1).
+#[derive(Debug, Clone)]
+pub struct HashMapConfig {
+    /// Number of buckets (contention knob: 1000 = low, 10 = high).
+    pub buckets: u64,
+    /// Initial average chain length (footprint knob: 200 = large, 50 = small).
+    pub chain: u64,
+    /// Fraction of read-only (lookup) transactions.
+    pub ro_fraction: f64,
+}
+
+impl HashMapConfig {
+    /// A scenario straight from the paper's grid.
+    pub fn paper(large_footprint: bool, ro_fraction: f64, high_contention: bool) -> Self {
+        HashMapConfig {
+            buckets: if high_contention { 10 } else { 1000 },
+            chain: if large_footprint { 200 } else { 50 },
+            ro_fraction,
+        }
+    }
+
+    /// Keys present after population (`1..=initial_keys`).
+    pub fn initial_keys(&self) -> u64 {
+        self.buckets * self.chain
+    }
+
+    /// Memory words needed, with allocation headroom for `threads` workers.
+    pub fn memory_words(&self, threads: usize) -> usize {
+        let nodes = self.initial_keys() + threads as u64 * 4 + 64;
+        ((self.buckets + nodes) * WORDS_PER_LINE as u64) as usize
+    }
+}
+
+/// Node field offsets (one node per cache line).
+const F_KEY: u64 = 0;
+const F_VAL: u64 = 1;
+const F_NEXT: u64 = 2;
+/// Null next-pointer / empty bucket marker.
+const NIL: u64 = 0;
+
+/// Handle to a hash map laid out in simulated memory. `Copy` so closures
+/// can capture it freely.
+#[derive(Debug, Clone, Copy)]
+pub struct TxHashMap {
+    heads: Addr,
+    buckets: u64,
+}
+
+impl TxHashMap {
+    /// Lay out and populate a map: bucket-head lines at the front of the
+    /// arena, then `cfg.initial_keys()` nodes holding keys
+    /// `1..=initial_keys` (value = key). Returns the map handle and the
+    /// node allocator for subsequent inserts.
+    pub fn build(memory: &TxMemory, cfg: &HashMapConfig) -> (TxHashMap, Arc<LineAlloc>) {
+        let heads = 0;
+        let arena_base = cfg.buckets * WORDS_PER_LINE as u64;
+        assert!(
+            memory.len() as u64 > arena_base,
+            "memory too small for {} buckets",
+            cfg.buckets
+        );
+        let alloc = LineAlloc::new(arena_base, memory.len() as u64 - arena_base);
+        let map = TxHashMap { heads, buckets: cfg.buckets };
+        for key in 1..=cfg.initial_keys() {
+            let node = alloc.alloc_lines(1);
+            let head = map.head_addr(key);
+            memory.store(node + F_KEY, key);
+            memory.store(node + F_VAL, key);
+            memory.store(node + F_NEXT, memory.load(head));
+            memory.store(head, node);
+        }
+        (map, Arc::new(alloc))
+    }
+
+    #[inline]
+    fn head_addr(&self, key: u64) -> Addr {
+        self.heads + (key % self.buckets) * WORDS_PER_LINE as u64
+    }
+
+    /// Transactional lookup.
+    pub fn lookup(&self, tx: &mut dyn Tx, key: u64) -> Result<Option<u64>, Abort> {
+        let mut cur = tx.read(self.head_addr(key))?;
+        while cur != NIL {
+            if tx.read(cur + F_KEY)? == key {
+                return Ok(Some(tx.read(cur + F_VAL)?));
+            }
+            cur = tx.read(cur + F_NEXT)?;
+        }
+        Ok(None)
+    }
+
+    /// Transactional insert at the chain tail, using the caller-provided
+    /// `node` line. Returns `true` if inserted, `false` if the key existed
+    /// (value updated in place; `node` stays unused and reusable).
+    pub fn insert(&self, tx: &mut dyn Tx, key: u64, value: u64, node: Addr) -> Result<bool, Abort> {
+        tx.write(node + F_KEY, key)?;
+        tx.write(node + F_VAL, value)?;
+        tx.write(node + F_NEXT, NIL)?;
+        let head = self.head_addr(key);
+        let mut cur = tx.read(head)?;
+        if cur == NIL {
+            tx.write(head, node)?;
+            return Ok(true);
+        }
+        loop {
+            if tx.read(cur + F_KEY)? == key {
+                tx.write(cur + F_VAL, value)?;
+                return Ok(false);
+            }
+            let next = tx.read(cur + F_NEXT)?;
+            if next == NIL {
+                tx.write(cur + F_NEXT, node)?;
+                return Ok(true);
+            }
+            cur = next;
+        }
+    }
+
+    /// Transactional remove. Returns the unlinked node's address (for
+    /// recycling) or `None` when the key is absent.
+    pub fn remove(&self, tx: &mut dyn Tx, key: u64) -> Result<Option<Addr>, Abort> {
+        let head = self.head_addr(key);
+        let mut prev: Option<Addr> = None;
+        let mut cur = tx.read(head)?;
+        while cur != NIL {
+            let next = tx.read(cur + F_NEXT)?;
+            if tx.read(cur + F_KEY)? == key {
+                match prev {
+                    None => tx.write(head, next)?,
+                    Some(p) => tx.write(p + F_NEXT, next)?,
+                }
+                return Ok(Some(cur));
+            }
+            prev = Some(cur);
+            cur = next;
+        }
+        Ok(None)
+    }
+
+    /// Non-transactional full count (validation between runs).
+    pub fn count(&self, memory: &TxMemory) -> u64 {
+        let mut n = 0;
+        for b in 0..self.buckets {
+            let mut cur = memory.load(self.heads + b * WORDS_PER_LINE as u64);
+            while cur != NIL {
+                n += 1;
+                cur = memory.load(cur + F_NEXT);
+            }
+        }
+        n
+    }
+}
+
+/// Per-thread benchmark client implementing the paper's operation mix.
+pub struct HashMapWorker {
+    map: TxHashMap,
+    cfg: HashMapConfig,
+    alloc: Arc<LineAlloc>,
+    rng: SmallRng,
+    /// Next fresh key this thread will insert (strided across threads so
+    /// fresh keys never collide).
+    next_key: u64,
+    stride: u64,
+    /// Key inserted by the previous update op, to be removed by the next.
+    pending_remove: Option<u64>,
+    /// Recycled node lines from committed removes.
+    free: Vec<Addr>,
+}
+
+impl HashMapWorker {
+    pub fn new(
+        map: TxHashMap,
+        cfg: HashMapConfig,
+        alloc: Arc<LineAlloc>,
+        thread_index: usize,
+        total_threads: usize,
+    ) -> Self {
+        let base = cfg.initial_keys() + 1 + thread_index as u64;
+        HashMapWorker {
+            map,
+            cfg,
+            alloc,
+            rng: SmallRng::seed_from_u64(0x5EED ^ thread_index as u64),
+            next_key: base,
+            stride: total_threads as u64,
+            pending_remove: None,
+            free: Vec::new(),
+        }
+    }
+
+    /// Execute one benchmark transaction on `thread`.
+    pub fn run_op<T: TmThread>(&mut self, thread: &mut T) {
+        if self.rng.gen::<f64>() < self.cfg.ro_fraction {
+            // Read-only lookup of a (most likely present) key.
+            let key = self.rng.gen_range(1..=self.cfg.initial_keys());
+            let map = self.map;
+            thread.exec(TxKind::ReadOnly, &mut |tx| {
+                map.lookup(tx, key)?;
+                Ok(())
+            });
+        } else if let Some(key) = self.pending_remove.take() {
+            let map = self.map;
+            let mut removed = None;
+            let out = thread.exec(TxKind::Update, &mut |tx| {
+                removed = map.remove(tx, key)?;
+                Ok(())
+            });
+            if out == Outcome::Committed {
+                if let Some(node) = removed {
+                    self.free.push(node);
+                }
+            }
+        } else {
+            let key = self.next_key;
+            self.next_key += self.stride;
+            let node = self.free.pop().unwrap_or_else(|| self.alloc.alloc_lines(1));
+            let map = self.map;
+            let mut inserted = false;
+            let out = thread.exec(TxKind::Update, &mut |tx| {
+                inserted = map.insert(tx, key, key, node)?;
+                Ok(())
+            });
+            if out == Outcome::Committed {
+                if !inserted {
+                    self.free.push(node); // key existed; line unused
+                }
+                self.pending_remove = Some(key);
+            } else {
+                self.free.push(node);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run, RunConfig};
+    use si_htm::SiHtm;
+    use tm_api::TmBackend;
+
+    fn tiny_cfg() -> HashMapConfig {
+        HashMapConfig { buckets: 4, chain: 3, ro_fraction: 0.5 }
+    }
+
+    #[test]
+    fn build_populates_all_keys() {
+        let cfg = tiny_cfg();
+        let backend = SiHtm::with_defaults(cfg.memory_words(1));
+        let (map, _alloc) = TxHashMap::build(backend.memory(), &cfg);
+        assert_eq!(map.count(backend.memory()), cfg.initial_keys());
+        let mut t = backend.register_thread();
+        for key in 1..=cfg.initial_keys() {
+            let mut found = None;
+            t.exec(TxKind::ReadOnly, &mut |tx| {
+                found = map.lookup(tx, key)?;
+                Ok(())
+            });
+            assert_eq!(found, Some(key));
+        }
+    }
+
+    #[test]
+    fn lookup_miss_returns_none() {
+        let cfg = tiny_cfg();
+        let backend = SiHtm::with_defaults(cfg.memory_words(1));
+        let (map, _alloc) = TxHashMap::build(backend.memory(), &cfg);
+        let mut t = backend.register_thread();
+        let mut found = Some(0);
+        t.exec(TxKind::ReadOnly, &mut |tx| {
+            found = map.lookup(tx, 9999)?;
+            Ok(())
+        });
+        assert_eq!(found, None);
+    }
+
+    #[test]
+    fn insert_then_remove_roundtrip() {
+        let cfg = tiny_cfg();
+        let backend = SiHtm::with_defaults(cfg.memory_words(1));
+        let (map, alloc) = TxHashMap::build(backend.memory(), &cfg);
+        let mut t = backend.register_thread();
+        let key = cfg.initial_keys() + 7;
+        let node = alloc.alloc_lines(1);
+
+        let mut inserted = false;
+        t.exec(TxKind::Update, &mut |tx| {
+            inserted = map.insert(tx, key, 42, node)?;
+            Ok(())
+        });
+        assert!(inserted);
+        assert_eq!(map.count(backend.memory()), cfg.initial_keys() + 1);
+
+        let mut found = None;
+        t.exec(TxKind::ReadOnly, &mut |tx| {
+            found = map.lookup(tx, key)?;
+            Ok(())
+        });
+        assert_eq!(found, Some(42));
+
+        let mut removed = None;
+        t.exec(TxKind::Update, &mut |tx| {
+            removed = map.remove(tx, key)?;
+            Ok(())
+        });
+        assert_eq!(removed, Some(node));
+        assert_eq!(map.count(backend.memory()), cfg.initial_keys());
+    }
+
+    #[test]
+    fn insert_existing_updates_in_place() {
+        let cfg = tiny_cfg();
+        let backend = SiHtm::with_defaults(cfg.memory_words(1));
+        let (map, alloc) = TxHashMap::build(backend.memory(), &cfg);
+        let mut t = backend.register_thread();
+        let node = alloc.alloc_lines(1);
+        let mut inserted = true;
+        t.exec(TxKind::Update, &mut |tx| {
+            inserted = map.insert(tx, 1, 777, node)?;
+            Ok(())
+        });
+        assert!(!inserted, "key 1 pre-exists");
+        let mut found = None;
+        t.exec(TxKind::ReadOnly, &mut |tx| {
+            found = map.lookup(tx, 1)?;
+            Ok(())
+        });
+        assert_eq!(found, Some(777));
+        assert_eq!(map.count(backend.memory()), cfg.initial_keys());
+    }
+
+    #[test]
+    fn remove_middle_of_chain_preserves_rest() {
+        // Keys 1,5,9 share bucket 1 (buckets=4). Remove the middle one.
+        let cfg = tiny_cfg();
+        let backend = SiHtm::with_defaults(cfg.memory_words(1));
+        let (map, _alloc) = TxHashMap::build(backend.memory(), &cfg);
+        let mut t = backend.register_thread();
+        let mut removed = None;
+        t.exec(TxKind::Update, &mut |tx| {
+            removed = map.remove(tx, 5)?;
+            Ok(())
+        });
+        assert!(removed.is_some());
+        for key in [1u64, 9] {
+            let mut found = None;
+            t.exec(TxKind::ReadOnly, &mut |tx| {
+                found = map.lookup(tx, key)?;
+                Ok(())
+            });
+            assert_eq!(found, Some(key), "key {key} lost by middle removal");
+        }
+    }
+
+    #[test]
+    fn worker_mix_keeps_size_stationary() {
+        let cfg = HashMapConfig { buckets: 8, chain: 4, ro_fraction: 0.5 };
+        let backend = SiHtm::with_defaults(cfg.memory_words(2));
+        let (map, alloc) = TxHashMap::build(backend.memory(), &cfg);
+        let report = run(&backend, &RunConfig::quick(2), |i| {
+            let mut w = HashMapWorker::new(map, cfg.clone(), Arc::clone(&alloc), i, 2);
+            move |t: &mut si_htm::SiHtmThread| w.run_op(t)
+        });
+        assert!(report.total.commits > 0);
+        // Size may differ by at most one in-flight insert per thread.
+        let n = map.count(backend.memory());
+        let base = cfg.initial_keys();
+        assert!(
+            n >= base.saturating_sub(2) && n <= base + 2,
+            "size drifted: {n} vs {base}"
+        );
+    }
+
+    #[test]
+    fn paper_scenarios_have_expected_shapes() {
+        let large_low = HashMapConfig::paper(true, 0.9, false);
+        assert_eq!((large_low.buckets, large_low.chain), (1000, 200));
+        let small_high = HashMapConfig::paper(false, 0.9, true);
+        assert_eq!((small_high.buckets, small_high.chain), (10, 50));
+        assert!(HashMapConfig::paper(true, 0.5, false).ro_fraction == 0.5);
+    }
+}

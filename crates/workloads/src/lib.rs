@@ -1,0 +1,20 @@
+//! Workload drivers for the SI-HTM evaluation.
+//!
+//! * [`driver`] — the multi-threaded, fixed-duration run harness (warm-up,
+//!   measurement, abort accounting) shared by every experiment;
+//! * [`hashmap`] — the transactional hash-map micro-benchmark of §4.1
+//!   (lookup / insert / remove over per-bucket linked lists, with the
+//!   paper's footprint and contention knobs);
+//! * [`bank`] — a classic bank-accounts workload (transfers + full-sweep
+//!   audits) used by the examples and the SI-semantics integration tests;
+//! * [`btree`] — a transactional B+-tree (point ops + leaf-chain range
+//!   scans), the index-structure workload of the IMDB setting.
+
+pub mod bank;
+pub mod btree;
+pub mod driver;
+pub mod hashmap;
+
+pub use driver::{run, RunConfig, RunReport};
+pub use btree::{BTreeWorker, TxBTree};
+pub use hashmap::{HashMapConfig, HashMapWorker, TxHashMap};

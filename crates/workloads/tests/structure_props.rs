@@ -1,0 +1,141 @@
+//! Property-based tests of the transactional data structures against
+//! reference models (`std::collections`): random operation sequences must
+//! produce exactly the same observable state, and the structures' own
+//! invariant audits must hold after every sequence.
+
+use proptest::prelude::*;
+use si_htm::SiHtm;
+use std::collections::BTreeMap;
+use tm_api::{TmBackend, TmThread, TxKind};
+use txmem::LineAlloc;
+use workloads::btree::{memory_words, NodeScratch, TxBTree};
+use workloads::hashmap::{HashMapConfig, TxHashMap};
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u64, u64),
+    Remove(u64),
+    Lookup(u64),
+    Range(u64, u64),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = MapOp> {
+    let key = 1..=key_space;
+    prop_oneof![
+        3 => (key.clone(), 1..1000u64).prop_map(|(k, v)| MapOp::Insert(k, v)),
+        2 => key.clone().prop_map(MapOp::Remove),
+        3 => key.clone().prop_map(MapOp::Lookup),
+        1 => (key, 1..32u64).prop_map(|(k, n)| MapOp::Range(k, n)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The B+-tree agrees with `BTreeMap` on every operation of a random
+    /// sequence, and its structural audit passes afterwards.
+    #[test]
+    fn btree_matches_btreemap(ops in proptest::collection::vec(op_strategy(64), 1..250)) {
+        let words = memory_words(4096);
+        let backend = SiHtm::with_defaults(words);
+        let alloc = LineAlloc::new(0, words as u64);
+        let tree = TxBTree::build(backend.memory(), &alloc, 0..0);
+        let mut t = backend.register_thread();
+        let mut scratch = NodeScratch::new(&alloc);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+
+        for op in &ops {
+            match *op {
+                MapOp::Insert(k, v) => {
+                    let mut inserted = false;
+                    t.exec(TxKind::Update, &mut |tx| {
+                        scratch.reset();
+                        inserted = tree.insert(tx, k, v, &mut scratch)?;
+                        Ok(())
+                    });
+                    scratch.refill(&alloc);
+                    prop_assert_eq!(inserted, model.insert(k, v).is_none());
+                }
+                MapOp::Remove(k) => {
+                    let mut removed = false;
+                    t.exec(TxKind::Update, &mut |tx| {
+                        removed = tree.remove(tx, k)?;
+                        Ok(())
+                    });
+                    prop_assert_eq!(removed, model.remove(&k).is_some());
+                }
+                MapOp::Lookup(k) => {
+                    let mut found = None;
+                    t.exec(TxKind::ReadOnly, &mut |tx| {
+                        found = tree.lookup(tx, k)?;
+                        Ok(())
+                    });
+                    prop_assert_eq!(found, model.get(&k).copied());
+                }
+                MapOp::Range(from, n) => {
+                    let mut got = (0, 0);
+                    t.exec(TxKind::ReadOnly, &mut |tx| {
+                        got = tree.range(tx, from, n)?;
+                        Ok(())
+                    });
+                    let expect: Vec<u64> =
+                        model.range(from..).take(n as usize).map(|(_, v)| *v).collect();
+                    prop_assert_eq!(got.0, expect.len() as u64);
+                    prop_assert_eq!(got.1, expect.iter().fold(0u64, |a, v| a.wrapping_add(*v)));
+                }
+            }
+        }
+        let keys = tree.audit(backend.memory());
+        let expect: Vec<u64> = model.keys().copied().collect();
+        prop_assert_eq!(keys, expect);
+    }
+
+    /// The hash map agrees with `BTreeMap` over random insert/remove/lookup
+    /// sequences (fresh nodes provisioned per insert, recycled on remove).
+    #[test]
+    fn hashmap_matches_model(ops in proptest::collection::vec(op_strategy(48), 1..250)) {
+        let cfg = HashMapConfig { buckets: 8, chain: 0, ro_fraction: 0.0 };
+        let backend = SiHtm::with_defaults(cfg.memory_words(1) + 16 * 600);
+        let (map, alloc) = TxHashMap::build(backend.memory(), &cfg);
+        let mut t = backend.register_thread();
+        let mut free: Vec<u64> = Vec::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+
+        for op in &ops {
+            match *op {
+                MapOp::Insert(k, v) => {
+                    let node = free.pop().unwrap_or_else(|| alloc.alloc_lines(1));
+                    let mut inserted = false;
+                    t.exec(TxKind::Update, &mut |tx| {
+                        inserted = map.insert(tx, k, v, node)?;
+                        Ok(())
+                    });
+                    if !inserted {
+                        free.push(node);
+                    }
+                    prop_assert_eq!(inserted, model.insert(k, v).is_none());
+                }
+                MapOp::Remove(k) => {
+                    let mut removed = None;
+                    t.exec(TxKind::Update, &mut |tx| {
+                        removed = map.remove(tx, k)?;
+                        Ok(())
+                    });
+                    if let Some(node) = removed {
+                        free.push(node);
+                    }
+                    prop_assert_eq!(removed.is_some(), model.remove(&k).is_some());
+                }
+                MapOp::Lookup(k) | MapOp::Range(k, _) => {
+                    let mut found = None;
+                    t.exec(TxKind::ReadOnly, &mut |tx| {
+                        found = map.lookup(tx, k)?;
+                        Ok(())
+                    });
+                    prop_assert_eq!(found, model.get(&k).copied());
+                }
+            }
+        }
+        prop_assert_eq!(map.count(backend.memory()), model.len() as u64);
+    }
+}

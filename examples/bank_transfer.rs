@@ -1,0 +1,66 @@
+//! Bank accounts under concurrency: transfers racing full-table audits.
+//!
+//! The audit reads every account in one read-only transaction — a
+//! footprint far beyond the TMCAM — while transfer transactions keep
+//! mutating pairs of accounts. Under SI-HTM the audits run on the
+//! non-transactional fast path and still always observe a conserved total
+//! (Snapshot Isolation at work); the same workload on plain HTM is shown
+//! for contrast, paying capacity aborts and SGL serialisation.
+//!
+//! Run with: `cargo run --release --example bank_transfer`
+
+use std::time::Duration;
+use tm_api::TmBackend;
+use workloads::bank::{Bank, BankWorker};
+use workloads::driver::{run, RunConfig};
+
+const ACCOUNTS: u64 = 256;
+const INITIAL: u64 = 1_000;
+
+fn demo<B: TmBackend>(backend: &B, label: &str) {
+    let bank = Bank::build(backend.memory(), 0, ACCOUNTS, INITIAL);
+    let expected = bank.total(backend.memory());
+    let broken = std::sync::atomic::AtomicU64::new(0);
+
+    let report = run(
+        backend,
+        &RunConfig::new(4, Duration::from_millis(100), Duration::from_millis(500)),
+        |i| {
+            let mut w = BankWorker::new(bank, 0.2, expected, i as u64 + 1);
+            let broken = &broken;
+            move |t: &mut B::Thread| {
+                w.run_op(t);
+                if w.broken_audits > 0 {
+                    broken.fetch_add(w.broken_audits, std::sync::atomic::Ordering::Relaxed);
+                    w.broken_audits = 0;
+                }
+            }
+        },
+    );
+
+    let torn = broken.load(std::sync::atomic::Ordering::Relaxed);
+    println!(
+        "{label:8} {:>10.0} tx/s | abort rate {:>5.1}% (capacity {:>4.1}%) | \
+         SGL commits {:>6} | torn audits: {torn}",
+        report.throughput(),
+        report.total.abort_rate(),
+        report.total.abort_share(tm_api::AbortReason::Capacity),
+        report.total.sgl_commits,
+    );
+    assert_eq!(torn, 0, "an audit observed a non-conserved total!");
+    assert_eq!(bank.total(backend.memory()), expected, "money was created or destroyed");
+}
+
+fn main() {
+    let words = Bank::memory_words(ACCOUNTS);
+    println!(
+        "{ACCOUNTS} accounts, 4 threads, 20% full-sweep audits / 80% transfers\n"
+    );
+    demo(&si_htm::SiHtm::with_defaults(words), "SI-HTM");
+    demo(&htm_sgl::HtmSgl::with_defaults(words), "HTM");
+    demo(&silo::Silo::new(words), "Silo");
+    println!("\nEvery audit on every backend saw the conserved total. On SI-HTM the");
+    println!("audits ran on the read-only fast path: zero capacity aborts despite");
+    println!("sweeping the whole table, while plain HTM burned capacity aborts and");
+    println!("serialised on its fall-back lock.");
+}

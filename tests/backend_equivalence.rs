@@ -1,0 +1,158 @@
+//! Cross-backend equivalence: the four concurrency controls must agree on
+//! *what* is computed, differing only in *how fast*. Deterministic
+//! workloads produce identical final states on every backend; concurrent
+//! invariant workloads hold on every backend.
+
+use htm_sim::HtmConfig;
+use std::sync::Arc;
+use tm_api::{TmBackend, TmThread, TxKind};
+use tpcc::{TpccConfig, TpccLayout, TpccWorker, TxMix};
+use workloads::bank::Bank;
+use workloads::hashmap::{HashMapConfig, HashMapWorker, TxHashMap};
+
+/// Run a deterministic serial script on a backend and return a fingerprint
+/// of the touched memory.
+fn run_script<B: TmBackend>(b: &B) -> Vec<u64> {
+    let bank = Bank::build(b.memory(), 0, 32, 100);
+    let mut t = b.register_thread();
+    // A fixed little program: transfers, an audit, a rollback.
+    for i in 0..64u64 {
+        let from = i % 32;
+        let to = (i * 7 + 3) % 32;
+        if from != to {
+            t.exec(TxKind::Update, &mut |tx| {
+                bank.transfer(tx, from, to, 5)?;
+                Ok(())
+            });
+        }
+    }
+    t.exec(TxKind::Update, &mut |tx| {
+        tx.write(0, 999)?;
+        Err(tm_api::Abort::User)
+    });
+    let mut audit = 0;
+    t.exec(TxKind::ReadOnly, &mut |tx| {
+        audit = bank.audit(tx)?;
+        Ok(())
+    });
+    assert_eq!(audit, 3200, "{}: audit mismatch", b.name());
+    (0..32u64).map(|a| b.memory().load(a * 16)).collect()
+}
+
+#[test]
+fn serial_scripts_agree_across_backends() {
+    let words = Bank::memory_words(32);
+    let reference = run_script(&si_htm::SiHtm::with_defaults(words));
+    assert_eq!(run_script(&htm_sgl::HtmSgl::with_defaults(words)), reference, "HTM differs");
+    assert_eq!(run_script(&p8tm::P8tm::with_defaults(words)), reference, "P8TM differs");
+    assert_eq!(run_script(&silo::Silo::new(words)), reference, "Silo differs");
+}
+
+fn hashmap_stress<B: TmBackend>(b: &B, name: &str) {
+    let cfg = HashMapConfig { buckets: 16, chain: 8, ro_fraction: 0.5 };
+    let (map, alloc) = TxHashMap::build(b.memory(), &cfg);
+    let before = map.count(b.memory());
+    crossbeam_utils::thread::scope(|s| {
+        for i in 0..3 {
+            let cfg = cfg.clone();
+            let alloc = Arc::clone(&alloc);
+            s.spawn(move |_| {
+                let mut t = b.register_thread();
+                let mut w = HashMapWorker::new(map, cfg, alloc, i, 3);
+                for _ in 0..500 {
+                    w.run_op(&mut t);
+                }
+            });
+        }
+    })
+    .unwrap();
+    let after = map.count(b.memory());
+    assert!(
+        after.abs_diff(before) <= 3,
+        "{name}: map size drifted beyond in-flight inserts ({before} -> {after})"
+    );
+    // Every original key must still be present with its original value.
+    let mut t = b.register_thread();
+    for key in 1..=cfg.initial_keys() {
+        let mut v = None;
+        t.exec(TxKind::ReadOnly, &mut |tx| {
+            v = map.lookup(tx, key)?;
+            Ok(())
+        });
+        assert_eq!(v, Some(key), "{name}: original key {key} corrupted");
+    }
+}
+
+#[test]
+fn hashmap_invariants_hold_on_every_backend() {
+    let cfg = HashMapConfig { buckets: 16, chain: 8, ro_fraction: 0.5 };
+    let words = cfg.memory_words(4);
+    hashmap_stress(&si_htm::SiHtm::new(HtmConfig::small(), words, Default::default()), "SI-HTM");
+    hashmap_stress(&htm_sgl::HtmSgl::new(HtmConfig::small(), words, Default::default()), "HTM");
+    hashmap_stress(&p8tm::P8tm::new(HtmConfig::small(), words, Default::default()), "P8TM");
+    hashmap_stress(&silo::Silo::new(words), "Silo");
+}
+
+fn tpcc_stress<B: TmBackend>(b: &B, layout: &Arc<TpccLayout>, name: &str) {
+    layout.populate(b.memory());
+    crossbeam_utils::thread::scope(|s| {
+        for i in 0..3 {
+            let layout = Arc::clone(layout);
+            s.spawn(move |_| {
+                let mut t = b.register_thread();
+                let mut w = TpccWorker::new(layout, i);
+                for _ in 0..400 {
+                    w.run_op(&mut t);
+                }
+            });
+        }
+    })
+    .unwrap();
+    layout
+        .check_consistency(b.memory())
+        .unwrap_or_else(|e| panic!("{name}: TPC-C consistency violated: {e}"));
+}
+
+#[test]
+fn tpcc_consistency_holds_on_every_backend() {
+    let layout = Arc::new(TpccLayout::new(TpccConfig::tiny(TxMix::standard())));
+    let words = layout.memory_words();
+    tpcc_stress(
+        &si_htm::SiHtm::new(HtmConfig::small(), words, Default::default()),
+        &layout,
+        "SI-HTM",
+    );
+    tpcc_stress(
+        &htm_sgl::HtmSgl::new(HtmConfig::small(), words, Default::default()),
+        &layout,
+        "HTM",
+    );
+    tpcc_stress(&p8tm::P8tm::new(HtmConfig::small(), words, Default::default()), &layout, "P8TM");
+    tpcc_stress(&silo::Silo::new(words), &layout, "Silo");
+}
+
+/// The ablation configurations of SI-HTM still produce correct results
+/// (except `quiescence = false`, which is deliberately unsafe and excluded).
+#[test]
+fn si_htm_ablation_configs_are_correct() {
+    use si_htm::{SiHtm, SiHtmConfig};
+    for (name, config) in [
+        ("no RO fast path", SiHtmConfig { ro_fast_path: false, ..Default::default() }),
+        ("killing alternative", SiHtmConfig { kill_after: Some(100), ..Default::default() }),
+    ] {
+        let b = SiHtm::new(HtmConfig::small(), 256, config);
+        crossbeam_utils::thread::scope(|s| {
+            for _ in 0..3 {
+                let b = b.clone();
+                s.spawn(move |_| {
+                    let mut t = b.register_thread();
+                    for _ in 0..300 {
+                        tm_api::increment(&mut t, 0);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(b.memory().load(0), 900, "{name}: lost updates");
+    }
+}

@@ -1,0 +1,308 @@
+//! Figures 1–5 of the paper as executable scenarios.
+//!
+//! The paper's first five figures illustrate the semantics SI-HTM is built
+//! on: SI histories (Fig. 1), ROT conflict behaviour (Fig. 2), the
+//! single-version anomaly raw ROTs exhibit (Fig. 3), how the safety wait
+//! repairs it (Fig. 4), and the commit-timestamp rationale (Fig. 5). Each
+//! test reproduces the figure's schedule (or, where exact interleavings
+//! cannot be forced, the property the figure argues for).
+
+use htm_sim::{AbortReason, Htm, HtmConfig, NonTxClass, TxMode};
+use si_htm::{SiHtm, SiHtmConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use tm_api::{Outcome, TmBackend, TmThread, TxKind};
+
+const X: u64 = 0;
+const Y: u64 = 16;
+
+fn spin_until(flag: &AtomicBool) {
+    while !flag.load(Ordering::Acquire) {
+        std::thread::yield_now();
+    }
+}
+
+/// Fig. 1 — SI semantics: a transaction concurrent with a writer reads
+/// from its own snapshot (the pre-write value); write-write conflicts
+/// abort; read-write conflicts do not.
+#[test]
+fn fig1_si_semantics() {
+    let b = SiHtm::new(HtmConfig::small(), 256, SiHtmConfig::default());
+    b.memory().store(X, 0);
+    b.memory().store(Y, 10);
+
+    let t0_wrote = AtomicBool::new(false);
+    let t1_read = AtomicBool::new(false);
+    let t1_value = AtomicU64::new(u64::MAX);
+
+    crossbeam_utils::thread::scope(|s| {
+        // t0: r(X)=0, w(X,1); its safety wait forces it to linger until t1
+        // (active in its snapshot) completes.
+        let b0 = b.clone();
+        let t0_wrote_r = &t0_wrote;
+        let t1_read_r = &t1_read;
+        s.spawn(move |_| {
+            let mut t = b0.register_thread();
+            let out = t.exec(TxKind::Update, &mut |tx| {
+                assert_eq!(tx.read(X)?, 0);
+                tx.write(X, 1)?;
+                t0_wrote_r.store(true, Ordering::Release);
+                // Keep the transaction active until t1 performed its read,
+                // so the two are genuinely concurrent.
+                spin_until(t1_read_r);
+                Ok(())
+            });
+            assert_eq!(out, Outcome::Committed);
+        });
+
+        // t1: r(X) concurrent with t0's write — must observe the snapshot
+        // value 0, not t0's uncommitted 1.
+        let b1 = b.clone();
+        let t0_wrote_r = &t0_wrote;
+        let t1_read_r = &t1_read;
+        let t1_value_r = &t1_value;
+        s.spawn(move |_| {
+            let mut t = b1.register_thread();
+            t.exec(TxKind::ReadOnly, &mut |tx| {
+                spin_until(t0_wrote_r);
+                let v = tx.read(X)?;
+                t1_value_r.store(v, Ordering::Release);
+                t1_read_r.store(true, Ordering::Release);
+                Ok(())
+            });
+        });
+    })
+    .unwrap();
+
+    assert_eq!(t1_value.load(Ordering::Acquire), 0, "t1 must read from its snapshot");
+    assert_eq!(b.memory().load(X), 1, "t0's write committed afterwards");
+
+    // t3-style write-write conflict: two concurrent writers of X — the
+    // hardware aborts (at least) one; both eventually commit via retries,
+    // so no update is lost.
+    let b2 = b.clone();
+    crossbeam_utils::thread::scope(|s| {
+        for _ in 0..2 {
+            let b = b2.clone();
+            s.spawn(move |_| {
+                let mut t = b.register_thread();
+                for _ in 0..100 {
+                    tm_api::increment(&mut t, X);
+                }
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(b.memory().load(X), 201);
+}
+
+/// Fig. 2A — a write to a location previously read by a concurrent ROT is
+/// tolerated (ROT reads are untracked).
+#[test]
+fn fig2a_write_after_read_tolerated_between_rots() {
+    let htm = Htm::new(HtmConfig::small(), 256);
+    let mut r0 = htm.register_thread();
+    let mut r1 = htm.register_thread();
+    r0.begin(TxMode::Rot);
+    assert_eq!(r0.read(X).unwrap(), 0);
+    r1.begin(TxMode::Rot);
+    r1.write(X, 1).unwrap();
+    r1.commit().expect("write-after-read is not a ROT conflict");
+    r0.commit().expect("the reader survives too");
+}
+
+/// Fig. 2B — a read of a location written by a concurrent ROT invalidates
+/// the writer's TMCAM entry: the writer aborts, the reader gets the old
+/// value.
+#[test]
+fn fig2b_read_after_write_kills_writer() {
+    let htm = Htm::new(HtmConfig::small(), 256);
+    htm.memory().store(X, 7);
+    let mut r0 = htm.register_thread();
+    let mut r1 = htm.register_thread();
+    r1.begin(TxMode::Rot);
+    r1.write(X, 8).unwrap();
+    r0.begin(TxMode::Rot);
+    assert_eq!(r0.read(X).unwrap(), 7, "reader sees the pre-write value");
+    assert_eq!(r1.commit(), Err(AbortReason::Conflict), "writer was invalidated");
+    r0.commit().unwrap();
+    assert_eq!(htm.memory().load(X), 7);
+}
+
+/// Fig. 3 — *raw* ROTs (no safety wait) break snapshots: a reader observes
+/// both the pre- and post-commit values of a concurrent writer. This is
+/// the anomaly SI forbids and SI-HTM's quiescence exists to prevent.
+#[test]
+fn fig3_raw_rots_exhibit_the_snapshot_anomaly() {
+    let htm = Htm::new(HtmConfig::small(), 256);
+    let mut writer = htm.register_thread();
+    let mut reader = htm.register_thread();
+
+    reader.begin(TxMode::Rot);
+    assert_eq!(reader.read(X).unwrap(), 0, "first read: snapshot value");
+
+    // The writer commits *immediately* — no quiescence.
+    writer.begin(TxMode::Rot);
+    writer.write(X, 1).unwrap();
+    writer.commit().unwrap();
+
+    // The reader's second read sees the new value: its "snapshot" broke.
+    assert_eq!(reader.read(X).unwrap(), 1, "single-version memory leaks the new value");
+    reader.commit().unwrap();
+}
+
+/// Fig. 4A — with SI-HTM's safety wait, the same schedule is repaired by
+/// aborting the writer: a concurrent reader's late read invalidates the
+/// waiting writer and observes the original value.
+#[test]
+fn fig4a_safety_wait_reader_kills_waiting_writer() {
+    let b = SiHtm::new(HtmConfig::small(), 256, SiHtmConfig::default());
+    let reader_first_read = AtomicBool::new(false);
+    let writer_done = AtomicBool::new(false);
+    let reads = std::sync::Mutex::new((u64::MAX, u64::MAX));
+
+    crossbeam_utils::thread::scope(|s| {
+        let b0 = b.clone();
+        let rfr = &reader_first_read;
+        s.spawn(move |_| {
+            let mut t = b0.register_thread();
+            // The writer may retry after being killed; on retry the reader
+            // is gone and it commits cleanly.
+            let out = t.exec(TxKind::Update, &mut |tx| {
+                spin_until(rfr); // ensure the reader's tx is active first
+                tx.write(X, 1)?;
+                Ok(())
+            });
+            assert_eq!(out, Outcome::Committed);
+            writer_done.store(true, Ordering::Release);
+        });
+
+        let b1 = b.clone();
+        let rfr = &reader_first_read;
+        let reads_r = &reads;
+        s.spawn(move |_| {
+            let mut t = b1.register_thread();
+            t.exec(TxKind::ReadOnly, &mut |tx| {
+                let first = tx.read(X)?;
+                rfr.store(true, Ordering::Release);
+                // Give the writer time to write and enter its safety wait
+                // (it cannot commit while we are active).
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                let second = tx.read(X)?;
+                *reads_r.lock().unwrap() = (first, second);
+                Ok(())
+            });
+        });
+    })
+    .unwrap();
+
+    let (first, second) = *reads.lock().unwrap();
+    assert_eq!(
+        (first, second),
+        (0, 0),
+        "the reader's snapshot must stay intact (writer aborted or waited)"
+    );
+    assert_eq!(b.memory().load(X), 1, "the writer eventually committed");
+}
+
+/// Fig. 4B — a writer whose lines nobody reads simply pays the wait and
+/// commits after the concurrent transactions complete.
+#[test]
+fn fig4b_safety_wait_then_commit() {
+    let b = SiHtm::new(HtmConfig::small(), 256, SiHtmConfig::default());
+    let reader_active = AtomicBool::new(false);
+
+    crossbeam_utils::thread::scope(|s| {
+        let b0 = b.clone();
+        let ra = &reader_active;
+        s.spawn(move |_| {
+            let mut t = b0.register_thread();
+            let out = t.exec(TxKind::Update, &mut |tx| {
+                spin_until(ra);
+                tx.write(Y, 3)?; // the reader only touches X
+                Ok(())
+            });
+            assert_eq!(out, Outcome::Committed);
+            assert_eq!(t.stats().aborts(), 0, "no conflict: the wait suffices");
+            assert_eq!(t.stats().quiesce_waits, 1, "but it did have to wait");
+        });
+
+        let b1 = b.clone();
+        let ra = &reader_active;
+        s.spawn(move |_| {
+            let mut t = b1.register_thread();
+            t.exec(TxKind::ReadOnly, &mut |tx| {
+                ra.store(true, Ordering::Release);
+                let _ = tx.read(X)?;
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                let _ = tx.read(X)?;
+                Ok(())
+            });
+        });
+    })
+    .unwrap();
+    assert_eq!(b.memory().load(Y), 3);
+}
+
+/// Fig. 5 — the property behind the commit-timestamp definition: no
+/// transaction ever observes a *torn* commit. A writer updates X and Y
+/// together; concurrent readers must see X == Y on every (committed)
+/// attempt, under heavy interleaving.
+#[test]
+fn fig5_commits_are_never_torn() {
+    let b = SiHtm::new(HtmConfig { cores: 2, smt: 4, ..HtmConfig::default() }, 256, SiHtmConfig::default());
+    let stop = AtomicBool::new(false);
+
+    crossbeam_utils::thread::scope(|s| {
+        let bw = b.clone();
+        let stop_w = &stop;
+        s.spawn(move |_| {
+            let mut t = bw.register_thread();
+            for i in 1..300u64 {
+                t.exec(TxKind::Update, &mut |tx| {
+                    tx.write(X, i)?;
+                    tx.write(Y, i)
+                });
+            }
+            stop_w.store(true, Ordering::Release);
+        });
+        for _ in 0..3 {
+            let br = b.clone();
+            let stop_r = &stop;
+            s.spawn(move |_| {
+                let mut t = br.register_thread();
+                while !stop_r.load(Ordering::Acquire) {
+                    let mut pair = (0, 0);
+                    t.exec(TxKind::ReadOnly, &mut |tx| {
+                        pair = (tx.read(X)?, tx.read(Y)?);
+                        Ok(())
+                    });
+                    assert_eq!(pair.0, pair.1, "torn commit observed: {pair:?}");
+                }
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(b.memory().load(X), 299);
+    assert_eq!(b.memory().load(Y), 299);
+}
+
+/// Footnote 2's consequence, exercised directly: a non-transactional
+/// (SGL-class) write kills tracked HTM readers but cannot touch untracked
+/// ROT readers — which is why SI-HTM cannot use early lock subscription.
+#[test]
+fn sgl_subscription_only_works_for_tracked_readers() {
+    let htm = Htm::new(HtmConfig::small(), 256);
+    let mut htm_reader = htm.register_thread();
+    let mut rot_reader = htm.register_thread();
+    let mut locker = htm.register_thread();
+
+    htm_reader.begin(TxMode::Htm);
+    htm_reader.read(X).unwrap(); // subscribed
+    rot_reader.begin(TxMode::Rot);
+    rot_reader.read(X).unwrap(); // untracked
+
+    locker.write_notx(X, 99, NonTxClass::Sgl);
+
+    assert_eq!(htm_reader.commit(), Err(AbortReason::NonTx), "subscriber killed");
+    rot_reader.commit().expect("ROT reader survives — subscription is impossible");
+}

@@ -1,0 +1,325 @@
+//! Property-based tests of the P8-HTM simulator.
+//!
+//! A single OS thread owns several simulated hardware threads and
+//! interleaves their operations deterministically (proptest generates the
+//! schedule). A reference model tracks what each transaction wrote and in
+//! which order transactions committed; afterwards the simulated memory
+//! must equal the reference replay, and all engine bookkeeping (conflict
+//! directory, TMCAM occupancy) must have drained to zero.
+
+use htm_sim::{AbortReason, Htm, HtmConfig, HtmThread, NonTxClass, TxMode};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const WORDS: usize = 16 * 16; // 16 cache lines
+const THREADS: usize = 3;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Begin { mode_rot: bool },
+    Read { addr: u64 },
+    Write { addr: u64, val: u64 },
+    Commit,
+    Abort,
+    Suspend,
+    Resume,
+    ReadNoTx { addr: u64 },
+    WriteNoTx { addr: u64, val: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let addr = 0..WORDS as u64;
+    prop_oneof![
+        3 => any::<bool>().prop_map(|mode_rot| Op::Begin { mode_rot }),
+        6 => addr.clone().prop_map(|addr| Op::Read { addr }),
+        6 => (addr.clone(), 1..100u64).prop_map(|(addr, val)| Op::Write { addr, val }),
+        3 => Just(Op::Commit),
+        1 => Just(Op::Abort),
+        1 => Just(Op::Suspend),
+        1 => Just(Op::Resume),
+        1 => addr.clone().prop_map(|addr| Op::ReadNoTx { addr }),
+        1 => (addr, 100..200u64).prop_map(|(addr, val)| Op::WriteNoTx { addr, val }),
+    ]
+}
+
+/// Reference model of one thread's in-flight transaction.
+#[derive(Default)]
+struct ModelTx {
+    writes: HashMap<u64, u64>,
+    suspended: bool,
+}
+
+struct Sim {
+    threads: Vec<HtmThread>,
+    model: Vec<Option<ModelTx>>,
+    /// The linearised committed state.
+    reference: HashMap<u64, u64>,
+}
+
+impl Sim {
+    fn new(htm: &std::sync::Arc<Htm>) -> Sim {
+        Sim {
+            threads: (0..THREADS).map(|_| htm.register_thread()).collect(),
+            model: (0..THREADS).map(|_| None).collect(),
+            reference: HashMap::new(),
+        }
+    }
+
+    fn ref_get(&self, addr: u64) -> u64 {
+        self.reference.get(&addr).copied().unwrap_or(0)
+    }
+
+    fn apply(&mut self, t: usize, op: &Op) {
+        let thr = &mut self.threads[t];
+        match op {
+            Op::Begin { mode_rot } => {
+                if thr.in_tx() {
+                    return; // nesting unsupported; skip
+                }
+                let mode = if *mode_rot { TxMode::Rot } else { TxMode::Htm };
+                thr.begin(mode);
+                self.model[t] = Some(ModelTx::default());
+            }
+            Op::Read { addr } => {
+                if !thr.in_tx() {
+                    return;
+                }
+                let model = self.model[t].as_ref().unwrap();
+                match thr.read(*addr) {
+                    Ok(v) => {
+                        if !model.suspended {
+                            // Read-your-writes; otherwise the current
+                            // committed state (no other thread is mid-commit
+                            // in this single-OS-thread schedule).
+                            let expected = model
+                                .writes
+                                .get(addr)
+                                .copied()
+                                .unwrap_or_else(|| self.ref_get(*addr));
+                            assert_eq!(v, expected, "t{t} read {addr}");
+                        }
+                    }
+                    Err(_) => self.model[t] = None,
+                }
+            }
+            Op::Write { addr, val } => {
+                if !thr.in_tx() {
+                    return;
+                }
+                let suspended = thr.is_suspended();
+                match thr.write(*addr, *val) {
+                    Ok(()) => {
+                        if suspended {
+                            // Non-transactional effect: immediately durable;
+                            // may also have killed transactions (including
+                            // our own model write sets on that line).
+                            self.on_nontx_write(*addr, *val);
+                        } else if let Some(m) = self.model[t].as_mut() {
+                            m.writes.insert(*addr, *val);
+                        }
+                    }
+                    Err(_) => self.model[t] = None,
+                }
+            }
+            Op::Commit => {
+                if !thr.in_tx() || thr.is_suspended() {
+                    return;
+                }
+                match thr.commit() {
+                    Ok(()) => {
+                        let m = self.model[t].take().expect("model tracked the tx");
+                        for (a, v) in m.writes {
+                            self.reference.insert(a, v);
+                        }
+                    }
+                    Err(_) => self.model[t] = None,
+                }
+            }
+            Op::Abort => {
+                if !thr.in_tx() {
+                    return;
+                }
+                let r = thr.abort();
+                // A self-inflicted abort on a live transaction reports
+                // Explicit; if a kill landed first its reason wins.
+                assert!(
+                    matches!(
+                        r,
+                        AbortReason::Explicit | AbortReason::Conflict | AbortReason::NonTx
+                    ),
+                    "unexpected abort reason {r:?}"
+                );
+                self.model[t] = None;
+            }
+            Op::Suspend => {
+                if thr.in_tx() && !thr.is_suspended() {
+                    thr.suspend();
+                    if let Some(m) = self.model[t].as_mut() {
+                        m.suspended = true;
+                    }
+                }
+            }
+            Op::Resume => {
+                if thr.in_tx() && thr.is_suspended() {
+                    if let Some(m) = self.model[t].as_mut() {
+                        m.suspended = false;
+                    }
+                    if thr.resume().is_err() {
+                        self.model[t] = None;
+                    }
+                }
+            }
+            Op::ReadNoTx { addr } => {
+                if thr.in_tx() {
+                    return; // suspended reads covered via Op::Read
+                }
+                let v = thr.read_notx(*addr, NonTxClass::Data);
+                // The read may have killed an active writer of the line;
+                // it must return the committed value.
+                self.note_kills_on_line(*addr);
+                assert_eq!(v, self.ref_get(*addr), "non-tx read of {addr}");
+            }
+            Op::WriteNoTx { addr, val } => {
+                if thr.in_tx() {
+                    return;
+                }
+                self.threads[t].write_notx(*addr, *val, NonTxClass::Sgl);
+                self.on_nontx_write(*addr, *val);
+            }
+        }
+    }
+
+    /// A non-transactional write landed: it is durable immediately, and any
+    /// transaction whose write set covers the line has been killed.
+    fn on_nontx_write(&mut self, addr: u64, val: u64) {
+        self.reference.insert(addr, val);
+        self.note_kills_on_line(addr);
+    }
+
+    /// Drop the model of any transaction that the engine doomed (kills are
+    /// asynchronous: the victim's model stays until observed, but for
+    /// reference-checking reads we must know writes were discarded).
+    fn note_kills_on_line(&mut self, _addr: u64) {
+        for t in 0..THREADS {
+            if self.model[t].is_some() && self.threads[t].doomed().is_some() {
+                // Doomed: its buffered writes will never apply. Keep the
+                // engine's own cleanup lazy (that is what we are testing),
+                // but stop expecting its writes.
+                if let Some(m) = self.model[t].as_mut() {
+                    m.writes.clear();
+                }
+            }
+        }
+    }
+
+    fn finish(mut self, htm: &Htm) {
+        // Close every open transaction.
+        for t in 0..THREADS {
+            if self.threads[t].in_tx() {
+                if self.threads[t].is_suspended() {
+                    let _ = self.threads[t].resume();
+                }
+                if self.threads[t].in_tx() {
+                    self.threads[t].abort();
+                }
+                self.model[t] = None;
+            }
+        }
+        // Memory must equal the reference replay.
+        for addr in 0..WORDS as u64 {
+            assert_eq!(
+                htm.memory().load(addr),
+                self.ref_get(addr),
+                "memory diverged from reference at {addr}"
+            );
+        }
+        // All bookkeeping drained.
+        assert_eq!(htm.directory().tracked_lines(), 0, "directory leaked entries");
+        for core in 0..htm.config().cores {
+            assert_eq!(htm.cores().tmcam_used(core), 0, "TMCAM leaked on core {core}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Deterministic interleavings of three hardware threads: committed
+    /// effects linearise, doomed transactions vanish, bookkeeping drains.
+    #[test]
+    fn interleaved_transactions_linearise(
+        schedule in proptest::collection::vec((0..THREADS, op_strategy()), 1..200)
+    ) {
+        let htm = Htm::new(
+            HtmConfig { cores: 2, smt: 2, tmcam_lines: 8, ..HtmConfig::default() },
+            WORDS,
+        );
+        let mut sim = Sim::new(&htm);
+        for (t, op) in &schedule {
+            sim.apply(*t, op);
+        }
+        sim.finish(&htm);
+    }
+
+    /// Capacity accounting: a transaction touching k distinct lines in HTM
+    /// mode either gets them all or takes a capacity abort — and always
+    /// returns its entries.
+    #[test]
+    fn tmcam_accounting_is_exact(lines in 1..16u64, cap in 1..16u64) {
+        let htm = Htm::new(
+            HtmConfig { cores: 1, smt: 1, tmcam_lines: cap, ..HtmConfig::default() },
+            WORDS,
+        );
+        let mut t = htm.register_thread();
+        t.begin(TxMode::Htm);
+        let mut ok = true;
+        for i in 0..lines {
+            if t.read(i * 16).is_err() {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            prop_assert!(lines <= cap, "over-capacity transaction survived");
+            prop_assert_eq!(t.tmcam_footprint(), lines);
+            t.commit().unwrap();
+        } else {
+            prop_assert!(lines > cap, "in-capacity transaction aborted");
+            prop_assert!(!t.in_tx(), "failed tx must be torn down");
+        }
+        prop_assert_eq!(htm.cores().tmcam_used(0), 0);
+    }
+
+    /// ROT write-capacity mirror of the above.
+    #[test]
+    fn rot_write_capacity_is_exact(lines in 1..16u64, cap in 1..16u64) {
+        let htm = Htm::new(
+            HtmConfig { cores: 1, smt: 1, tmcam_lines: cap, ..HtmConfig::default() },
+            WORDS,
+        );
+        let mut t = htm.register_thread();
+        t.begin(TxMode::Rot);
+        let mut ok = true;
+        for i in 0..lines {
+            // Interleave unbounded reads to show they are free.
+            let _ = t.read(((i + 7) % 16) * 16);
+            if t.write(i * 16, i + 1).is_err() {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            prop_assert!(lines <= cap);
+            t.commit().unwrap();
+            for i in 0..lines {
+                prop_assert_eq!(htm.memory().load(i * 16), i + 1);
+            }
+        } else {
+            prop_assert!(lines > cap);
+            for i in 0..lines {
+                prop_assert_eq!(htm.memory().load(i * 16), 0, "aborted writes leaked");
+            }
+        }
+        prop_assert_eq!(htm.cores().tmcam_used(0), 0);
+    }
+}

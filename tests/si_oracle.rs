@@ -1,0 +1,239 @@
+//! An SI *oracle*: record complete transaction histories from concurrent
+//! SI-HTM runs, then verify offline that the execution was Snapshot
+//! Isolation — the observable core of the definition the paper proves
+//! against (§3.4): committed-only reads (R1), own-writes visibility (R3),
+//! snapshot stability (R4), and no lost updates (R5).
+//!
+//! ## Method
+//!
+//! Workers run randomized **read-modify-write** transactions through the
+//! public API; each committed transaction's reads `(addr, value)` and
+//! writes `(addr, value)` are recorded, with globally unique written
+//! values. Because every writer first reads the address it overwrites,
+//! each committed value has a *parent* (the value it replaced), and the
+//! checker can reconstruct the exact per-address commit chains:
+//!
+//! 1. **R5 / lost updates** — two committed writers must never share a
+//!    parent value (both would have overwritten the same version);
+//! 2. **R1 / committed reads** — every read value appears in a chain (or
+//!    is the initial 0, or the reader's own earlier write);
+//! 3. **R4 / snapshot stability** — repeated reads of an address within a
+//!    transaction return one version;
+//! 4. **Write atomicity** — no transaction's snapshot *straddles* a
+//!    multi-address writer's commit (sound because the chains are total
+//!    orders).
+
+use htm_sim::HtmConfig;
+use si_htm::{SiHtm, SiHtmConfig};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use tm_api::{Outcome, TmBackend, TmThread, TxKind};
+
+const LINES: u64 = 6;
+const LINE: u64 = 16;
+
+#[derive(Debug, Clone)]
+struct Record {
+    reads: Vec<(u64, u64)>,
+    writes: Vec<(u64, u64)>,
+}
+
+/// Build the total commit chain of one address from parent edges
+/// (`new value -> value it overwrote`). Returns `Err` on lost updates or
+/// broken chains.
+fn build_chain(addr: u64, records: &[Record]) -> Result<Vec<u64>, String> {
+    // parent[v_new] = v_read_before_write
+    let mut parent: HashMap<u64, u64> = HashMap::new();
+    let mut children: HashMap<u64, u64> = HashMap::new();
+    for rec in records {
+        for &(a, v_new) in &rec.writes {
+            if a != addr {
+                continue;
+            }
+            let v_read = rec
+                .reads
+                .iter()
+                .find(|(ra, _)| *ra == addr)
+                .map(|&(_, v)| v)
+                .ok_or_else(|| format!("writer of {addr} did not read it first (oracle bug)"))?;
+            parent.insert(v_new, v_read);
+            if let Some(other) = children.insert(v_read, v_new) {
+                return Err(format!(
+                    "LOST UPDATE at {addr}: {other} and {v_new} both overwrote {v_read} (R5)"
+                ));
+            }
+        }
+    }
+    // Walk the chain from the initial value 0.
+    let mut chain = Vec::with_capacity(parent.len());
+    let mut cur = 0u64;
+    while let Some(&next) = children.get(&cur) {
+        chain.push(next);
+        cur = next;
+    }
+    if chain.len() != parent.len() {
+        return Err(format!(
+            "broken chain at {addr}: {} committed writes, walked {}",
+            parent.len(),
+            chain.len()
+        ));
+    }
+    Ok(chain)
+}
+
+fn check_tx(rec: &Record, chains: &HashMap<u64, Vec<u64>>, all: &[Record]) -> Result<(), String> {
+    let own: HashMap<u64, u64> = rec.writes.iter().copied().collect();
+    // Snapshot position per address (index into the chain; 0 = initial).
+    let mut positions: HashMap<u64, usize> = HashMap::new();
+    for &(addr, val) in &rec.reads {
+        if own.get(&addr) == Some(&val) {
+            continue; // R3: own write observed
+        }
+        let pos = if val == 0 {
+            0
+        } else {
+            let chain = chains
+                .get(&addr)
+                .ok_or_else(|| format!("read {val} from {addr}: nothing committed there"))?;
+            chain
+                .iter()
+                .position(|v| *v == val)
+                .map(|i| i + 1)
+                .ok_or_else(|| format!("read {val} from {addr}: not a committed value (R1)"))?
+        };
+        if let Some(&prev) = positions.get(&addr) {
+            if prev != pos {
+                return Err(format!(
+                    "snapshot instability at {addr}: versions {prev} then {pos} (R4)"
+                ));
+            }
+        } else {
+            positions.insert(addr, pos);
+        }
+    }
+    // Write atomicity: never straddle a committed multi-address writer.
+    for w in all {
+        if w.writes.len() < 2 {
+            continue;
+        }
+        let mut included: Option<bool> = None;
+        for &(addr, val) in &w.writes {
+            let (Some(&pos), Some(chain)) = (positions.get(&addr), chains.get(&addr)) else {
+                continue;
+            };
+            let Some(w_pos) = chain.iter().position(|v| *v == val).map(|i| i + 1) else {
+                continue;
+            };
+            let saw = pos >= w_pos;
+            match included {
+                None => included = Some(saw),
+                Some(prev) if prev != saw => {
+                    return Err(format!(
+                        "fractured snapshot: straddled a commit at {addr}={val}"
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn recorded_histories_satisfy_snapshot_isolation() {
+    let backend = SiHtm::new(
+        HtmConfig { cores: 2, smt: 4, ..HtmConfig::default() },
+        (LINES * LINE) as usize,
+        SiHtmConfig::default(),
+    );
+    let records: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+    let threads = 4u64;
+    let per_thread = 150u64;
+
+    crossbeam_utils::thread::scope(|s| {
+        for thread in 0..threads {
+            let backend = backend.clone();
+            let records = &records;
+            s.spawn(move |_| {
+                let mut t = backend.register_thread();
+                let mut state = thread + 1;
+                let mut next_rand = move || {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    state
+                };
+                for seq in 1..=per_thread {
+                    let n_reads = next_rand() % LINES;
+                    let w1 = (next_rand() % LINES) * LINE;
+                    let two_writes = next_rand() % 2 == 0;
+                    let w2 = ((w1 / LINE + 1) % LINES) * LINE;
+                    let val = thread * 1_000_000 + seq; // globally unique
+                    let mut reads = Vec::new();
+                    let mut writes = Vec::new();
+                    let out = t.exec(TxKind::Update, &mut |tx| {
+                        reads.clear();
+                        writes.clear();
+                        // Random extra reads.
+                        for k in 0..n_reads {
+                            let addr = ((k * 3 + thread) % LINES) * LINE;
+                            reads.push((addr, tx.read(addr)?));
+                        }
+                        // Read-modify-write each written address.
+                        reads.push((w1, tx.read(w1)?));
+                        tx.write(w1, val)?;
+                        writes.push((w1, val));
+                        if two_writes {
+                            reads.push((w2, tx.read(w2)?));
+                            tx.write(w2, val)?;
+                            writes.push((w2, val));
+                        }
+                        Ok(())
+                    });
+                    if out == Outcome::Committed {
+                        records
+                            .lock()
+                            .unwrap()
+                            .push(Record { reads: reads.clone(), writes: writes.clone() });
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    let records = records.into_inner().unwrap();
+    assert!(
+        records.len() as u64 >= threads * per_thread / 2,
+        "too few commits recorded ({})",
+        records.len()
+    );
+
+    let mut chains: HashMap<u64, Vec<u64>> = HashMap::new();
+    for addr in (0..LINES).map(|l| l * LINE) {
+        match build_chain(addr, &records) {
+            Ok(chain) => {
+                chains.insert(addr, chain);
+            }
+            Err(e) => panic!("chain reconstruction failed: {e}"),
+        }
+    }
+    // Final memory must equal the chain heads.
+    for (addr, chain) in &chains {
+        let expect = chain.last().copied().unwrap_or(0);
+        assert_eq!(
+            backend.memory().load(*addr),
+            expect,
+            "final memory at {addr} disagrees with the committed chain"
+        );
+    }
+
+    let mut violations = 0;
+    for (i, rec) in records.iter().enumerate() {
+        if let Err(e) = check_tx(rec, &chains, &records) {
+            eprintln!("tx {i}: {e}");
+            violations += 1;
+        }
+    }
+    assert_eq!(violations, 0, "{violations} of {} transactions violated SI", records.len());
+}
