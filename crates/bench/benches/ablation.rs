@@ -42,9 +42,7 @@ impl Duo {
                         break;
                     }
                     for _ in 0..iters {
-                        n = n
-                            .wrapping_mul(6364136223846793005)
-                            .wrapping_add(1442695040888963407);
+                        n = n.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                         if n % 5 == 0 {
                             t.exec(TxKind::ReadOnly, &mut |tx| {
                                 bank.audit(tx)?;
@@ -113,13 +111,38 @@ fn bench_si_htm_ablations(c: &mut Criterion) {
     let base_si = SiHtmConfig::default;
 
     variant(&mut g, "default", base_htm(), base_si());
-    variant(&mut g, "no_quiescence_UNSAFE", base_htm(), SiHtmConfig { quiescence: false, ..base_si() });
-    variant(&mut g, "no_ro_fast_path", base_htm(), SiHtmConfig { ro_fast_path: false, ..base_si() });
-    variant(&mut g, "killing_alternative", base_htm(), SiHtmConfig { kill_after: Some(500), ..base_si() });
-    variant(&mut g, "rot_read_tracking_5pct", HtmConfig { rot_read_tracking: 0.05, ..base_htm() }, base_si());
+    variant(
+        &mut g,
+        "no_quiescence_UNSAFE",
+        base_htm(),
+        SiHtmConfig { quiescence: false, ..base_si() },
+    );
+    variant(
+        &mut g,
+        "no_ro_fast_path",
+        base_htm(),
+        SiHtmConfig { ro_fast_path: false, ..base_si() },
+    );
+    variant(
+        &mut g,
+        "killing_alternative",
+        base_htm(),
+        SiHtmConfig { kill_after: Some(500), ..base_si() },
+    );
+    variant(
+        &mut g,
+        "rot_read_tracking_5pct",
+        HtmConfig { rot_read_tracking: 0.05, ..base_htm() },
+        base_si(),
+    );
     variant(&mut g, "tmcam_16_lines", HtmConfig { tmcam_lines: 16, ..base_htm() }, base_si());
     variant(&mut g, "tmcam_256_lines", HtmConfig { tmcam_lines: 256, ..base_htm() }, base_si());
-    variant(&mut g, "raw_cost_model", HtmConfig { untracked_read_spin: 0, ..base_htm() }, base_si());
+    variant(
+        &mut g,
+        "raw_cost_model",
+        HtmConfig { untracked_read_spin: 0, ..base_htm() },
+        base_si(),
+    );
     g.finish();
 }
 

@@ -82,7 +82,11 @@ fn bench_update_cycle(c: &mut Criterion) {
     let mut g = c.benchmark_group("insert_remove_large");
     g.sample_size(20);
 
-    fn cycle<B: TmBackend>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, b: &B, cfg: &HashMapConfig) {
+    fn cycle<B: TmBackend>(
+        g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+        b: &B,
+        cfg: &HashMapConfig,
+    ) {
         let (map, alloc) = TxHashMap::build(b.memory(), cfg);
         let mut t = b.register_thread();
         let node = alloc.alloc_lines(1);

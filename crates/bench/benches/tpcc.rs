@@ -71,7 +71,8 @@ fn bench_tx_types_on_si_htm(c: &mut Criterion) {
 }
 
 fn bench_mix_per_backend(c: &mut Criterion) {
-    for (name, mix) in [("standard", TxMix::standard()), ("read_dominated", TxMix::read_dominated())]
+    for (name, mix) in
+        [("standard", TxMix::standard()), ("read_dominated", TxMix::read_dominated())]
     {
         let mut g = c.benchmark_group(format!("tpcc_mix_{name}"));
         g.sample_size(20);

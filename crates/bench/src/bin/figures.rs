@@ -50,16 +50,13 @@ fn parse_args() -> Args {
             }
             "--threads" => {
                 let v = it.next().expect("--threads LIST");
-                args.threads =
-                    v.split(',').map(|t| t.parse().expect("thread count")).collect();
+                args.threads = v.split(',').map(|t| t.parse().expect("thread count")).collect();
             }
             "--warmup-ms" => {
-                args.warmup =
-                    Duration::from_millis(it.next().expect("ms").parse().expect("ms"));
+                args.warmup = Duration::from_millis(it.next().expect("ms").parse().expect("ms"));
             }
             "--duration-ms" => {
-                args.duration =
-                    Duration::from_millis(it.next().expect("ms").parse().expect("ms"));
+                args.duration = Duration::from_millis(it.next().expect("ms").parse().expect("ms"));
             }
             "--backend" => {
                 let v = it.next().expect("--backend NAME");
@@ -142,11 +139,7 @@ fn run_scenario(
 }
 
 fn peak(points: &[Point], backend: &str) -> f64 {
-    points
-        .iter()
-        .filter(|p| p.backend == backend)
-        .map(|p| p.throughput)
-        .fold(0.0, f64::max)
+    points.iter().filter(|p| p.backend == backend).map(|p| p.throughput).fold(0.0, f64::max)
 }
 
 /// Best ratio `a/b` over matched thread counts. Peak-vs-peak comparisons

@@ -117,6 +117,20 @@ pub fn hashmap_point(
     warmup: Duration,
     duration: Duration,
 ) -> Point {
+    hashmap_point_with(backend, HtmConfig::default(), cfg, threads, warmup, duration)
+}
+
+/// [`hashmap_point`] with an explicit machine configuration — the hook the
+/// ablation benches use (directory kind, LVDIR, cost-model knobs). `Silo`
+/// bypasses the simulated HTM entirely and ignores `htm_cfg`.
+pub fn hashmap_point_with(
+    backend: Backend,
+    htm_cfg: HtmConfig,
+    cfg: &HashMapConfig,
+    threads: usize,
+    warmup: Duration,
+    duration: Duration,
+) -> Point {
     let words = cfg.memory_words(threads);
     let run_cfg = RunConfig::new(threads, warmup, duration);
 
@@ -131,21 +145,13 @@ pub fn hashmap_point(
     }
 
     match backend {
-        Backend::Htm => drive(
-            &htm_sgl::HtmSgl::new(HtmConfig::default(), words, Default::default()),
-            cfg,
-            &run_cfg,
-        ),
-        Backend::SiHtm => drive(
-            &si_htm::SiHtm::new(HtmConfig::default(), words, Default::default()),
-            cfg,
-            &run_cfg,
-        ),
-        Backend::P8tm => drive(
-            &p8tm::P8tm::new(HtmConfig::default(), words, Default::default()),
-            cfg,
-            &run_cfg,
-        ),
+        Backend::Htm => {
+            drive(&htm_sgl::HtmSgl::new(htm_cfg, words, Default::default()), cfg, &run_cfg)
+        }
+        Backend::SiHtm => {
+            drive(&si_htm::SiHtm::new(htm_cfg, words, Default::default()), cfg, &run_cfg)
+        }
+        Backend::P8tm => drive(&p8tm::P8tm::new(htm_cfg, words, Default::default()), cfg, &run_cfg),
         Backend::Silo => drive(&silo::Silo::new(words), cfg, &run_cfg),
     }
 }
@@ -215,8 +221,7 @@ mod tests {
     fn hashmap_point_smoke() {
         let cfg = HashMapConfig { buckets: 8, chain: 4, ro_fraction: 0.9 };
         for b in Backend::ALL {
-            let p =
-                hashmap_point(b, &cfg, 2, Duration::from_millis(10), Duration::from_millis(50));
+            let p = hashmap_point(b, &cfg, 2, Duration::from_millis(10), Duration::from_millis(50));
             assert!(p.throughput > 0.0, "{} produced no throughput", p.backend);
         }
     }

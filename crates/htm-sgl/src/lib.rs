@@ -33,8 +33,8 @@ use htm_sim::util::IntMap;
 use htm_sim::{AbortReason, Htm, HtmConfig, HtmThread, NonTxClass, TxMode};
 use std::sync::Arc;
 use tm_api::{
-    policy::RetryState, Abort, Outcome, RetryPolicy, ThreadStats, TmBackend, TmThread, Tx,
-    TxBody, TxKind,
+    policy::RetryState, Abort, Outcome, RetryPolicy, ThreadStats, TmBackend, TmThread, Tx, TxBody,
+    TxKind,
 };
 use txmem::{round_up_to_line, Addr, TxMemory, WORDS_PER_LINE};
 

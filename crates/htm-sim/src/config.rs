@@ -1,5 +1,21 @@
 //! Machine configuration: virtual topology and capacity parameters.
 
+/// Which conflict-directory implementation backs the machine.
+///
+/// The lock-free ownership table is the production choice; the locked
+/// sharded map is kept as an ablation baseline so a single bench run can
+/// measure the fast-path win (see DESIGN.md, "Lock-free conflict
+/// directory").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DirectoryKind {
+    /// Open-addressed array of packed `AtomicU64` ownership words; the
+    /// uncontended read/write fast path performs no locking.
+    #[default]
+    LockFree,
+    /// The original mutex-sharded `IntMap<Line, LineEntry>`.
+    Locked,
+}
+
 /// Configuration of the simulated POWER machine.
 ///
 /// The defaults model the paper's testbed: one POWER8 8284-22A processor
@@ -32,7 +48,10 @@ pub struct HtmConfig {
     /// would overstate SI-HTM's advantage on small transactions (see
     /// DESIGN.md). Set to 0 for the raw-cost ablation.
     pub untracked_read_spin: u32,
-    /// Number of conflict-directory shards (power of two).
+    /// Which conflict-directory implementation to use.
+    pub directory: DirectoryKind,
+    /// Number of conflict-directory shards (power of two). Only meaningful
+    /// with [`DirectoryKind::Locked`]; the lock-free table ignores it.
     pub directory_shards: usize,
 }
 
@@ -61,6 +80,7 @@ impl Default for HtmConfig {
             rot_read_tracking: 0.0,
             lvdir: None,
             untracked_read_spin: 3,
+            directory: DirectoryKind::default(),
             directory_shards: 256,
         }
     }
@@ -98,10 +118,7 @@ impl HtmConfig {
         assert!(self.cores > 0, "need at least one core");
         assert!(self.smt > 0, "need at least one SMT thread per core");
         assert!(self.tmcam_lines > 0, "TMCAM must have capacity");
-        assert!(
-            self.directory_shards.is_power_of_two(),
-            "directory_shards must be a power of two"
-        );
+        assert!(self.directory_shards.is_power_of_two(), "directory_shards must be a power of two");
         assert!(
             (0.0..=1.0).contains(&self.rot_read_tracking),
             "rot_read_tracking must be a fraction in [0, 1]"

@@ -7,9 +7,37 @@
 //! are identified by `(thread, incarnation)` pairs so stale registrations
 //! left behind by killed transactions can be garbage-collected lazily by
 //! whoever stumbles over them.
+//!
+//! ## Two implementations
+//!
+//! The default [`LockFreeDir`] is a pair of fixed-capacity arrays indexed
+//! directly by cache-line id: a **dense array of packed `AtomicU64`
+//! ownership words** (the writer registrations, one CAS to publish), and a
+//! parallel array of reader slots — an inline first-reader word plus a
+//! spinlocked overflow vector that only multi-reader lines ever touch. The
+//! split matters: the read-side fast path ("does this line have a writer?")
+//! touches only the 8-byte-per-line writer array, so even on large
+//! simulated memories the hot structure stays cache-resident; the wider
+//! reader slots are only dereferenced by tracked-reader registration and
+//! by write-path scans. The uncontended access path is therefore one or
+//! two atomic operations with no locking — this is what every simulated
+//! memory access pays, so it dominates the whole simulator's profile.
+//! Identity indexing needs no probing because line ids are dense and
+//! bounded by the memory size (`txmem` panics on out-of-range addresses),
+//! so `capacity == memory lines` always covers every possible key.
+//!
+//! The [`LockedDir`] retains the original mutex-sharded hash-map design and
+//! exists for the ablation benches (`DirectoryKind::Locked`), so the cost of
+//! the locked directory can be measured against the lock-free one in a
+//! single build. Both sit behind the enum-dispatched [`Directory`] facade;
+//! see DESIGN.md ("Lock-free conflict directory") for the full protocol and
+//! memory-ordering argument.
 
+use crate::config::DirectoryKind;
 use crate::util::IntMap;
 use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use txmem::Line;
 
 /// Identity of a transaction registration: hardware thread + incarnation.
@@ -22,38 +50,202 @@ pub struct Owner {
     pub inc: u64,
 }
 
-/// Directory state for one cache line.
+/// Bits of the packed ownership word reserved for `tid + 1` (0 = vacant).
+const TID_BITS: u64 = 16;
+
+impl Owner {
+    /// Pack into an ownership word: `(inc << 16) | (tid + 1)`; 0 is vacant.
+    #[inline]
+    fn pack(self) -> u64 {
+        debug_assert!((self.tid as u64) < (1 << TID_BITS) - 1, "tid overflows packed word");
+        debug_assert!(self.inc < 1 << (64 - TID_BITS), "incarnation overflows packed word");
+        (self.inc << TID_BITS) | (self.tid as u64 + 1)
+    }
+
+    /// Unpack an ownership word; `None` when vacant.
+    #[inline]
+    fn unpack(word: u64) -> Option<Owner> {
+        let tid_plus_1 = word & ((1 << TID_BITS) - 1);
+        if tid_plus_1 == 0 {
+            None
+        } else {
+            Some(Owner { tid: (tid_plus_1 - 1) as u32, inc: word >> TID_BITS })
+        }
+    }
+}
+
+/// Per-line tracked-reader slot of the lock-free variant.
+///
+/// `reader0` holds a packed [`Owner`] word (0 = vacant). Lines with at
+/// most one concurrent tracked reader — the overwhelmingly common case,
+/// since HTM-mode tracked readers are rare under SI-HTM — never touch the
+/// spinlocked overflow sidecar; `extra_count` lets scans skip it without
+/// taking the lock.
+struct ReaderSlot {
+    reader0: AtomicU64,
+    extra_count: AtomicU64,
+    extra_lock: AtomicBool,
+    extra: UnsafeCell<Vec<u64>>,
+}
+
+// `extra` is only touched while `extra_lock` is held (see `with_extra`).
+unsafe impl Sync for ReaderSlot {}
+
+impl ReaderSlot {
+    fn new() -> ReaderSlot {
+        ReaderSlot {
+            reader0: AtomicU64::new(0),
+            extra_count: AtomicU64::new(0),
+            extra_lock: AtomicBool::new(false),
+            extra: UnsafeCell::new(Vec::new()),
+        }
+    }
+
+    /// Run `f` on the overflow vector under the slot spinlock.
+    fn with_extra<R>(&self, f: impl FnOnce(&mut Vec<u64>) -> R) -> R {
+        crate::util::spin_wait(|| {
+            self.extra_lock
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+        });
+        // Safety: the spinlock above gives exclusive access.
+        let r = f(unsafe { &mut *self.extra.get() });
+        self.extra_lock.store(false, Ordering::Release);
+        r
+    }
+
+    fn is_empty(&self) -> bool {
+        self.reader0.load(Ordering::SeqCst) == 0 && self.extra_count.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// Lock-free line-ownership table: a dense writer-word array plus a
+/// parallel reader-slot array, both indexed by cache-line id.
+pub struct LockFreeDir {
+    writers: Box<[AtomicU64]>,
+    readers: Box<[ReaderSlot]>,
+}
+
+impl LockFreeDir {
+    pub fn new(lines: usize) -> Self {
+        let mut w = Vec::with_capacity(lines);
+        w.resize_with(lines, || AtomicU64::new(0));
+        let mut r = Vec::with_capacity(lines);
+        r.resize_with(lines, ReaderSlot::new);
+        LockFreeDir { writers: w.into_boxed_slice(), readers: r.into_boxed_slice() }
+    }
+
+    #[inline]
+    fn writer(&self, line: Line) -> Option<Owner> {
+        Owner::unpack(self.writers[line as usize].load(Ordering::SeqCst))
+    }
+
+    #[inline]
+    fn try_claim_writer(&self, line: Line, me: Owner) -> Result<(), Owner> {
+        match self.writers[line as usize].compare_exchange(
+            0,
+            me.pack(),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => Ok(()),
+            Err(cur) => Err(Owner::unpack(cur).expect("CAS failed against vacant word")),
+        }
+    }
+
+    #[inline]
+    fn clear_writer_if(&self, line: Line, owner: Owner) -> bool {
+        self.writers[line as usize]
+            .compare_exchange(owner.pack(), 0, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    fn register_reader(&self, line: Line, me: Owner) {
+        let slot = &self.readers[line as usize];
+        let word = me.pack();
+        // Inline fast path: claim the first-reader word with one CAS.
+        match slot.reader0.compare_exchange(0, word, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => return,
+            Err(cur) if cur == word => return, // already registered
+            Err(_) => {}
+        }
+        slot.with_extra(|v| {
+            if !v.contains(&word) {
+                v.push(word);
+                // The count is bumped while the lock is held; its SeqCst RMW
+                // is the registration's publication point for the Dekker
+                // handshake with writers (see DESIGN.md).
+                slot.extra_count.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+    }
+
+    fn unregister_reader(&self, line: Line, owner: Owner) {
+        let slot = &self.readers[line as usize];
+        let word = owner.pack();
+        if slot.reader0.compare_exchange(word, 0, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+            return;
+        }
+        if slot.extra_count.load(Ordering::SeqCst) == 0 {
+            return; // someone else already removed it
+        }
+        slot.with_extra(|v| {
+            if let Some(pos) = v.iter().position(|w| *w == word) {
+                v.swap_remove(pos);
+                slot.extra_count.fetch_sub(1, Ordering::SeqCst);
+            }
+        });
+    }
+
+    fn readers_into(&self, line: Line, out: &mut Vec<Owner>) {
+        out.clear();
+        let slot = &self.readers[line as usize];
+        if let Some(r) = Owner::unpack(slot.reader0.load(Ordering::SeqCst)) {
+            out.push(r);
+        }
+        if slot.extra_count.load(Ordering::SeqCst) > 0 {
+            slot.with_extra(|v| out.extend(v.iter().filter_map(|w| Owner::unpack(*w))));
+        }
+    }
+
+    fn tracked_lines(&self) -> usize {
+        self.writers
+            .iter()
+            .zip(self.readers.iter())
+            .filter(|(w, r)| w.load(Ordering::SeqCst) != 0 || !r.is_empty())
+            .count()
+    }
+}
+
+/// Directory state for one cache line of the locked variant.
 #[derive(Debug, Default)]
-pub struct LineEntry {
-    /// The transaction currently holding the line in its write set.
-    pub writer: Option<Owner>,
-    /// HTM-mode transactions holding the line in their tracked read sets.
-    /// (ROT reads are untracked and never appear here — the defining
-    /// property the paper exploits.)
-    pub readers: Vec<Owner>,
+struct LineEntry {
+    writer: Option<Owner>,
+    readers: Vec<Owner>,
 }
 
 impl LineEntry {
     #[inline]
-    pub fn is_empty(&self) -> bool {
+    fn is_empty(&self) -> bool {
         self.writer.is_none() && self.readers.is_empty()
     }
 }
 
 type Shard = Mutex<IntMap<Line, LineEntry>>;
 
-/// Sharded line → [`LineEntry`] map.
-pub struct Directory {
+/// The original mutex-sharded line → entry map, kept as the ablation
+/// baseline (`DirectoryKind::Locked`). Every operation takes a shard lock.
+pub struct LockedDir {
     shards: Box<[Shard]>,
     mask: u64,
 }
 
-impl Directory {
+impl LockedDir {
     pub fn new(shards: usize) -> Self {
         assert!(shards.is_power_of_two());
         let mut v: Vec<Shard> = Vec::with_capacity(shards);
         v.resize_with(shards, || Mutex::new(IntMap::default()));
-        Directory { shards: v.into_boxed_slice(), mask: shards as u64 - 1 }
+        LockedDir { shards: v.into_boxed_slice(), mask: shards as u64 - 1 }
     }
 
     #[inline]
@@ -63,12 +255,9 @@ impl Directory {
         &self.shards[(h & self.mask) as usize]
     }
 
-    /// Run `f` on the line's entry under the shard lock. A missing entry is
-    /// materialised as an empty one for `f`, and entries left empty are
-    /// removed afterwards, so the map only holds lines with live
-    /// registrations.
-    #[inline]
-    pub fn with<R>(&self, line: Line, f: impl FnOnce(&mut LineEntry) -> R) -> R {
+    /// Run `f` on the line's entry under the shard lock; entries left empty
+    /// are removed so the map only holds lines with live registrations.
+    fn with<R>(&self, line: Line, f: impl FnOnce(&mut LineEntry) -> R) -> R {
         let mut map = self.shard(line).lock();
         match map.entry(line) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -89,23 +278,40 @@ impl Directory {
         }
     }
 
-    /// Peek at a line without materialising an entry (tests/metrics only).
-    pub fn inspect<R>(&self, line: Line, f: impl FnOnce(Option<&LineEntry>) -> R) -> R {
-        let map = self.shard(line).lock();
-        f(map.get(&line))
+    fn writer(&self, line: Line) -> Option<Owner> {
+        self.shard(line).lock().get(&line).and_then(|e| e.writer)
     }
 
-    /// Remove `owner`'s writer registration on `line`, if still present.
-    pub fn remove_writer(&self, line: Line, owner: Owner) {
+    fn try_claim_writer(&self, line: Line, me: Owner) -> Result<(), Owner> {
+        self.with(line, |e| match e.writer {
+            None => {
+                e.writer = Some(me);
+                Ok(())
+            }
+            Some(w) => Err(w),
+        })
+    }
+
+    fn clear_writer_if(&self, line: Line, owner: Owner) -> bool {
         self.with(line, |e| {
             if e.writer == Some(owner) {
                 e.writer = None;
+                true
+            } else {
+                false
+            }
+        })
+    }
+
+    fn register_reader(&self, line: Line, me: Owner) {
+        self.with(line, |e| {
+            if !e.readers.contains(&me) {
+                e.readers.push(me);
             }
         });
     }
 
-    /// Remove `owner`'s reader registration on `line`, if still present.
-    pub fn remove_reader(&self, line: Line, owner: Owner) {
+    fn unregister_reader(&self, line: Line, owner: Owner) {
         self.with(line, |e| {
             if let Some(pos) = e.readers.iter().position(|r| *r == owner) {
                 e.readers.swap_remove(pos);
@@ -113,9 +319,100 @@ impl Directory {
         });
     }
 
+    fn readers_into(&self, line: Line, out: &mut Vec<Owner>) {
+        out.clear();
+        if let Some(e) = self.shard(line).lock().get(&line) {
+            out.extend_from_slice(&e.readers);
+        }
+    }
+
+    fn tracked_lines(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// The conflict directory behind its enum-dispatched facade.
+///
+/// All methods are a direct `match` on the variant, so the lock-free path
+/// keeps its cost profile (the branch predicts perfectly — the variant
+/// never changes after construction).
+pub enum Directory {
+    LockFree(LockFreeDir),
+    Locked(LockedDir),
+}
+
+impl Directory {
+    /// Build the directory for a machine with `lines` cache lines of
+    /// simulated memory. `shards` only matters for the locked variant.
+    pub fn new(kind: DirectoryKind, lines: usize, shards: usize) -> Self {
+        match kind {
+            DirectoryKind::LockFree => Directory::LockFree(LockFreeDir::new(lines)),
+            DirectoryKind::Locked => Directory::Locked(LockedDir::new(shards)),
+        }
+    }
+
+    /// Current writer registration on `line`, if any.
+    #[inline]
+    pub fn writer(&self, line: Line) -> Option<Owner> {
+        match self {
+            Directory::LockFree(d) => d.writer(line),
+            Directory::Locked(d) => d.writer(line),
+        }
+    }
+
+    /// Publish `me` as the line's writer iff the line has no writer.
+    /// On failure, returns the current (possibly stale) registration.
+    #[inline]
+    pub fn try_claim_writer(&self, line: Line, me: Owner) -> Result<(), Owner> {
+        match self {
+            Directory::LockFree(d) => d.try_claim_writer(line, me),
+            Directory::Locked(d) => d.try_claim_writer(line, me),
+        }
+    }
+
+    /// Remove `owner`'s writer registration on `line`, if still present.
+    /// Returns whether this call removed it.
+    #[inline]
+    pub fn clear_writer_if(&self, line: Line, owner: Owner) -> bool {
+        match self {
+            Directory::LockFree(d) => d.clear_writer_if(line, owner),
+            Directory::Locked(d) => d.clear_writer_if(line, owner),
+        }
+    }
+
+    /// Add `me` to the line's tracked-reader set (idempotent).
+    #[inline]
+    pub fn register_reader(&self, line: Line, me: Owner) {
+        match self {
+            Directory::LockFree(d) => d.register_reader(line, me),
+            Directory::Locked(d) => d.register_reader(line, me),
+        }
+    }
+
+    /// Remove `owner` from the line's tracked-reader set, if present.
+    #[inline]
+    pub fn unregister_reader(&self, line: Line, owner: Owner) {
+        match self {
+            Directory::LockFree(d) => d.unregister_reader(line, owner),
+            Directory::Locked(d) => d.unregister_reader(line, owner),
+        }
+    }
+
+    /// Snapshot the line's tracked readers into `out` (cleared first).
+    #[inline]
+    pub fn readers_into(&self, line: Line, out: &mut Vec<Owner>) {
+        match self {
+            Directory::LockFree(d) => d.readers_into(line, out),
+            Directory::Locked(d) => d.readers_into(line, out),
+        }
+    }
+
     /// Total number of lines with live registrations (tests/metrics only).
     pub fn tracked_lines(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        match self {
+            Directory::LockFree(d) => d.tracked_lines(),
+            Directory::Locked(d) => d.tracked_lines(),
+        }
     }
 }
 
@@ -126,51 +423,136 @@ mod tests {
     const O1: Owner = Owner { tid: 1, inc: 10 };
     const O2: Owner = Owner { tid: 2, inc: 20 };
 
+    fn both() -> [Directory; 2] {
+        [
+            Directory::new(DirectoryKind::LockFree, 128, 4),
+            Directory::new(DirectoryKind::Locked, 128, 4),
+        ]
+    }
+
     #[test]
-    fn empty_entries_are_not_retained() {
-        let d = Directory::new(4);
-        d.with(7, |e| assert!(e.is_empty()));
-        assert_eq!(d.tracked_lines(), 0);
+    fn owner_word_roundtrip() {
+        for o in [O1, O2, Owner { tid: 0, inc: 0 }, Owner { tid: 79, inc: u32::MAX as u64 }] {
+            assert_eq!(Owner::unpack(o.pack()), Some(o));
+            assert_ne!(o.pack(), 0, "no owner packs to the vacant word");
+        }
+        assert_eq!(Owner::unpack(0), None);
+    }
+
+    #[test]
+    fn empty_directory_tracks_nothing() {
+        for d in both() {
+            assert_eq!(d.writer(7), None);
+            let mut readers = Vec::new();
+            d.readers_into(7, &mut readers);
+            assert!(readers.is_empty());
+            assert_eq!(d.tracked_lines(), 0);
+        }
     }
 
     #[test]
     fn registrations_persist_until_removed() {
-        let d = Directory::new(4);
-        d.with(7, |e| e.writer = Some(O1));
-        d.with(7, |e| e.readers.push(O2));
-        assert_eq!(d.tracked_lines(), 1);
-        d.inspect(7, |e| {
-            let e = e.unwrap();
-            assert_eq!(e.writer, Some(O1));
-            assert_eq!(e.readers, vec![O2]);
-        });
-        d.remove_writer(7, O1);
-        d.inspect(7, |e| assert!(e.unwrap().writer.is_none()));
-        d.remove_reader(7, O2);
-        assert_eq!(d.tracked_lines(), 0);
+        for d in both() {
+            assert_eq!(d.try_claim_writer(7, O1), Ok(()));
+            d.register_reader(7, O2);
+            assert_eq!(d.tracked_lines(), 1);
+            assert_eq!(d.writer(7), Some(O1));
+            let mut readers = Vec::new();
+            d.readers_into(7, &mut readers);
+            assert_eq!(readers, vec![O2]);
+            assert!(d.clear_writer_if(7, O1));
+            assert_eq!(d.writer(7), None);
+            d.unregister_reader(7, O2);
+            assert_eq!(d.tracked_lines(), 0);
+        }
+    }
+
+    #[test]
+    fn claim_fails_against_existing_writer() {
+        for d in both() {
+            assert_eq!(d.try_claim_writer(3, O1), Ok(()));
+            assert_eq!(d.try_claim_writer(3, O2), Err(O1));
+            assert_eq!(d.writer(3), Some(O1));
+        }
     }
 
     #[test]
     fn removal_checks_owner_identity() {
-        let d = Directory::new(4);
-        d.with(3, |e| e.writer = Some(O1));
-        // A different incarnation of the same thread must not remove it.
-        d.remove_writer(3, Owner { tid: 1, inc: 11 });
-        d.inspect(3, |e| assert_eq!(e.unwrap().writer, Some(O1)));
-        d.remove_writer(3, O1);
-        assert_eq!(d.tracked_lines(), 0);
+        for d in both() {
+            assert_eq!(d.try_claim_writer(3, O1), Ok(()));
+            // A different incarnation of the same thread must not remove it.
+            assert!(!d.clear_writer_if(3, Owner { tid: 1, inc: 11 }));
+            assert_eq!(d.writer(3), Some(O1));
+            assert!(d.clear_writer_if(3, O1));
+            assert_eq!(d.tracked_lines(), 0);
+        }
     }
 
     #[test]
-    fn lines_shard_independently() {
-        let d = Directory::new(8);
-        for line in 0..100 {
-            d.with(line, |e| e.writer = Some(O1));
+    fn reader_registration_is_idempotent() {
+        for d in both() {
+            d.register_reader(5, O1);
+            d.register_reader(5, O1);
+            let mut readers = Vec::new();
+            d.readers_into(5, &mut readers);
+            assert_eq!(readers, vec![O1]);
+            d.unregister_reader(5, O1);
+            assert_eq!(d.tracked_lines(), 0);
         }
-        assert_eq!(d.tracked_lines(), 100);
-        for line in 0..100 {
-            d.remove_writer(line, O1);
+    }
+
+    #[test]
+    fn many_readers_spill_into_overflow() {
+        for d in both() {
+            let owners: Vec<Owner> = (0..10).map(|t| Owner { tid: t, inc: t as u64 + 1 }).collect();
+            for &o in &owners {
+                d.register_reader(9, o);
+            }
+            let mut readers = Vec::new();
+            d.readers_into(9, &mut readers);
+            let mut got: Vec<u32> = readers.iter().map(|o| o.tid).collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+            assert_eq!(d.tracked_lines(), 1);
+            for &o in &owners {
+                d.unregister_reader(9, o);
+            }
+            assert_eq!(d.tracked_lines(), 0);
         }
-        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn lines_are_independent() {
+        for d in both() {
+            for line in 0..100 {
+                assert_eq!(d.try_claim_writer(line, O1), Ok(()));
+            }
+            assert_eq!(d.tracked_lines(), 100);
+            for line in 0..100 {
+                assert!(d.clear_writer_if(line, O1));
+            }
+            assert_eq!(d.tracked_lines(), 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_claims_admit_exactly_one_writer() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let d = Directory::new(DirectoryKind::LockFree, 8, 4);
+        let wins = AtomicUsize::new(0);
+        crossbeam_utils::thread::scope(|s| {
+            for t in 0..4u32 {
+                let d = &d;
+                let wins = &wins;
+                s.spawn(move |_| {
+                    if d.try_claim_writer(0, Owner { tid: t, inc: 1 }).is_ok() {
+                        wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(wins.load(Ordering::Relaxed), 1);
+        assert!(d.writer(0).is_some());
     }
 }

@@ -10,8 +10,8 @@
 //!
 //! ## What is modelled (from §2.2 of the paper)
 //!
-//! * **Conflict detection at cache-line granularity** via a sharded
-//!   directory over a simulated [`txmem::TxMemory`].
+//! * **Conflict detection at cache-line granularity** via a lock-free
+//!   line-ownership directory over a simulated [`txmem::TxMemory`].
 //! * **Conflict-resolution policy**: a read of a line transactionally
 //!   written by another thread kills that *writer*; a write to a line
 //!   written by another active transaction kills the *last* (requesting)
@@ -64,7 +64,7 @@ pub mod tmcam;
 pub mod txn;
 pub mod util;
 
-pub use config::{HtmConfig, LvdirConfig};
+pub use config::{DirectoryKind, HtmConfig, LvdirConfig};
 pub use status::{AbortReason, NonTxClass, TxMode, TxState};
 pub use txn::HtmThread;
 
@@ -97,11 +97,13 @@ impl Htm {
     pub fn new(config: HtmConfig, memory_words: usize) -> Arc<Self> {
         config.validate();
         let max_threads = config.max_threads();
+        let memory = TxMemory::new(memory_words);
+        let directory = Directory::new(config.directory, memory.lines(), config.directory_shards);
         Arc::new(Htm {
-            memory: TxMemory::new(memory_words),
+            memory,
             clock: VirtualClock::new(),
             slots: SlotArray::new(max_threads),
-            directory: Directory::new(config.directory_shards),
+            directory,
             cores: Cores::new(&config),
             next_tid: AtomicUsize::new(0),
             config,

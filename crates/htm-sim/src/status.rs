@@ -149,12 +149,7 @@ impl SlotArray {
         to: TxState,
     ) -> Result<(), (u64, TxState)> {
         self.slots[tid]
-            .compare_exchange(
-                pack(inc, from),
-                pack(inc, to),
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            )
+            .compare_exchange(pack(inc, from), pack(inc, to), Ordering::AcqRel, Ordering::Acquire)
             .map(|_| ())
             .map_err(unpack)
     }
@@ -219,15 +214,9 @@ mod tests {
     fn transition_requires_exact_from() {
         let a = SlotArray::new(1);
         a.store(0, 5, TxState::Active(TxMode::Rot));
-        assert!(a
-            .transition(0, 5, TxState::Active(TxMode::Htm), TxState::Committing)
-            .is_err());
-        assert!(a
-            .transition(0, 4, TxState::Active(TxMode::Rot), TxState::Committing)
-            .is_err());
-        assert!(a
-            .transition(0, 5, TxState::Active(TxMode::Rot), TxState::Committing)
-            .is_ok());
+        assert!(a.transition(0, 5, TxState::Active(TxMode::Htm), TxState::Committing).is_err());
+        assert!(a.transition(0, 4, TxState::Active(TxMode::Rot), TxState::Committing).is_err());
+        assert!(a.transition(0, 5, TxState::Active(TxMode::Rot), TxState::Committing).is_ok());
         assert_eq!(a.load(0), (5, TxState::Committing));
     }
 

@@ -34,7 +34,10 @@ impl Cores {
             Some(l) => {
                 let mut v = Vec::with_capacity(config.core_pairs());
                 v.resize_with(config.core_pairs(), || {
-                    CachePadded::new(LvdirState { users: AtomicU32::new(0), used: AtomicI64::new(0) })
+                    CachePadded::new(LvdirState {
+                        users: AtomicU32::new(0),
+                        used: AtomicI64::new(0),
+                    })
                 });
                 (Some(v.into_boxed_slice()), l.lines as i64, l.max_users)
             }

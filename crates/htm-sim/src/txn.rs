@@ -25,12 +25,28 @@
 //! buffered privately and applied at commit, so a killed writer's effects
 //! simply never reach memory — no rollback is needed, matching hardware
 //! where the L2 discards transactional lines on abort.
+//!
+//! ## Lock-free conflict resolution
+//!
+//! Since the directory became a lock-free ownership table, conflict
+//! resolution is no longer atomic per line; it is a small protocol over
+//! single-word operations (full argument in DESIGN.md):
+//!
+//! * a tracked reader **registers first**, then resolves the line's writer —
+//!   a concurrent writer either sees the registration in its post-claim
+//!   scan, or the reader sees the claim (both operations are `SeqCst`
+//!   RMW/load pairs, so one direction is guaranteed by the total order);
+//! * a writer **claims the ownership word first** (one CAS), then kills the
+//!   tracked readers it finds; readers that register after the scan observe
+//!   the claim and kill the writer instead;
+//! * an access that finds a *committing* conflicter stalls until that
+//!   status word moves on, then re-examines the line — safe because a
+//!   committing transaction never waits on anyone.
 
-use crate::directory::{LineEntry, Owner};
+use crate::directory::Owner;
 use crate::status::{AbortReason, NonTxClass, TxMode, TxState};
-use crate::util::IntMap;
+use crate::util::{spin_wait, IntMap};
 use crate::Htm;
-use crossbeam_utils::Backoff;
 use std::sync::Arc;
 use txmem::{line_of, Addr, Line, TxMemory, VirtualClock};
 
@@ -44,17 +60,6 @@ mod flags {
     pub const TMCAM: u8 = 4;
     /// Holds an LVDIR entry.
     pub const LVDIR: u8 = 8;
-}
-
-/// Outcome of a directory interaction.
-enum Verdict {
-    /// Conflict resolution finished; the access may proceed.
-    Proceed,
-    /// A conflicting transaction is mid-commit; release the shard lock,
-    /// back off and retry (coherence stall).
-    Stall,
-    /// This transaction lost the conflict and must abort itself.
-    SelfAbort,
 }
 
 /// A registered hardware thread of the simulated machine. At most one
@@ -73,6 +78,8 @@ pub struct HtmThread {
     lvdir_held: u64,
     lvdir_user: bool,
     unbounded: bool,
+    /// Reusable reader-snapshot buffer for the kill scans.
+    scratch: Vec<Owner>,
 }
 
 impl HtmThread {
@@ -91,6 +98,7 @@ impl HtmThread {
             lvdir_held: 0,
             lvdir_user: false,
             unbounded: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -279,20 +287,69 @@ impl HtmThread {
         }
     }
 
-    /// Run `f` against the line entry, backing off while it asks to stall.
-    fn resolve(&self, line: Line, mut f: impl FnMut(&mut LineEntry) -> Verdict) -> Verdict {
-        let backoff = Backoff::new();
+    /// Stall until `(victim)`'s status word leaves `Committing` (coherence
+    /// serialisation with a mid-commit transaction). Safe to wait on: a
+    /// committing transaction never waits on anyone, so this cannot
+    /// deadlock — even when the caller itself holds a writer claim.
+    fn stall_on_commit(&self, victim: Owner) {
+        let slots = self.htm.slots();
+        spin_wait(|| {
+            !matches!(slots.load(victim.tid as usize),
+                      (inc, TxState::Committing) if inc == victim.inc)
+        });
+    }
+
+    /// Resolve the line's transactional writer before an access that is
+    /// entitled to kill it: kill it (or GC a stale registration), stalling
+    /// while it is mid-commit. `spare` protects the caller's own live
+    /// registration. On return the line either has no writer or `spare`.
+    fn resolve_writer(&self, line: Line, spare: Option<Owner>, reason: AbortReason) {
         loop {
-            match self.htm.directory().with(line, &mut f) {
-                Verdict::Stall => {
-                    backoff.snooze();
-                    if backoff.is_completed() {
-                        std::thread::yield_now();
-                    }
+            let Some(w) = self.htm.directory().writer(line) else { return };
+            if Some(w) == spare {
+                return;
+            }
+            match self.htm.slots().try_kill(w.tid as usize, w.inc, reason) {
+                Ok(()) => {
+                    // Killed (or already dead): its buffered writes die with
+                    // it; clear the registration and read the old value.
+                    self.htm.directory().clear_writer_if(line, w);
+                    return;
                 }
-                v => return v,
+                Err(TxState::Committing) => self.stall_on_commit(w),
+                Err(_) => {
+                    // Stale registration: GC it, then re-examine the line.
+                    self.htm.directory().clear_writer_if(line, w);
+                }
             }
         }
+    }
+
+    /// Kill every tracked reader of the line except `spare`, stalling on
+    /// mid-commit readers. Readers that register concurrently after the
+    /// final scan observe the caller's state (writer claim or stored value)
+    /// through the registration handshake — see the module docs.
+    fn kill_readers(&mut self, line: Line, spare: Option<Owner>, reason: AbortReason) {
+        let mut buf = std::mem::take(&mut self.scratch);
+        loop {
+            self.htm.directory().readers_into(line, &mut buf);
+            let mut committing = None;
+            for &r in buf.iter() {
+                if Some(r) == spare {
+                    continue;
+                }
+                match self.htm.slots().try_kill(r.tid as usize, r.inc, reason) {
+                    Err(TxState::Committing) => committing = Some(r),
+                    // Killed, already dead, or stale: drop the registration.
+                    Ok(()) | Err(_) => self.htm.directory().unregister_reader(line, r),
+                }
+            }
+            match committing {
+                None => break,
+                Some(r) => self.stall_on_commit(r),
+            }
+        }
+        self.scratch = buf;
     }
 
     /// Transactional read (`ld` inside a transaction). When suspended, the
@@ -305,11 +362,16 @@ impl HtmThread {
         let mode = self.mode.expect("read outside transaction");
         let line = line_of(addr);
 
-        // Fast paths on lines we already own or track.
+        // Fast paths on lines we already own or track: no directory access
+        // at all (and in particular no lock and no shared-memory RMW).
         if let Some(&f) = self.lines.get(&line) {
             if f & flags::WRITE != 0 {
                 // Our own write set: we see our buffered stores.
-                return Ok(self.wbuf.get(&addr).copied().unwrap_or_else(|| self.memory().load(addr)));
+                return Ok(self
+                    .wbuf
+                    .get(&addr)
+                    .copied()
+                    .unwrap_or_else(|| self.memory().load(addr)));
             }
             if f & flags::READ_REG != 0 {
                 // Already a tracked reader: any conflicting writer would
@@ -328,28 +390,16 @@ impl HtmThread {
         }
 
         let me = self.me();
-        let slots = self.htm.slots();
-        let verdict = self.resolve(line, |e| {
-            if let Some(w) = e.writer {
-                if w != me {
-                    match slots.try_kill(w.tid as usize, w.inc, AbortReason::Conflict) {
-                        // Killed (or already dead): the buffered writes die
-                        // with it; we read the old value.
-                        Ok(()) => e.writer = None,
-                        Err(TxState::Committing) => return Verdict::Stall,
-                        Err(_) => e.writer = None, // stale registration
-                    }
-                }
-            }
-            if tracked && !e.readers.contains(&me) {
-                e.readers.push(me);
-            }
-            Verdict::Proceed
-        });
-        debug_assert!(matches!(verdict, Verdict::Proceed));
         if tracked {
+            // Register FIRST, then resolve the writer: a concurrent writer
+            // either sees this registration in its post-claim scan, or we
+            // see its claim below (the SeqCst Dekker handshake, DESIGN.md).
+            self.htm.directory().register_reader(line, me);
+            self.resolve_writer(line, Some(me), AbortReason::Conflict);
             *self.lines.entry(line).or_insert(0) |= flags::READ_REG;
         } else {
+            // Untracked (ROT) read: kill the writer, leave no trace.
+            self.resolve_writer(line, Some(me), AbortReason::Conflict);
             self.compensate_untracked_read();
         }
         Ok(self.memory().load(addr))
@@ -366,6 +416,7 @@ impl HtmThread {
         debug_assert!(self.mode.is_some(), "write outside transaction");
         let line = line_of(addr);
 
+        // Owned-line fast path: one private map probe, no shared state.
         if self.lines.get(&line).is_some_and(|f| f & flags::WRITE != 0) {
             self.wbuf.insert(addr, val);
             return Ok(());
@@ -376,59 +427,39 @@ impl HtmThread {
         }
 
         let me = self.me();
-        let slots = self.htm.slots();
-        let verdict = self.resolve(line, |e| {
-            if let Some(w) = e.writer {
-                if w != me {
-                    match slots.load(w.tid as usize) {
-                        (inc, TxState::Active(_)) if inc == w.inc => {
-                            // Write-write conflict: "the last writer is
-                            // killed" — that is us.
-                            return Verdict::SelfAbort;
-                        }
-                        (inc, TxState::Committing) if inc == w.inc => return Verdict::Stall,
-                        _ => e.writer = None, // stale
+        // Claim the ownership word — a single CAS when the line is free.
+        loop {
+            match self.htm.directory().writer(line) {
+                None => {
+                    if self.htm.directory().try_claim_writer(line, me).is_ok() {
+                        break;
                     }
+                    // Lost the race; re-examine the new owner.
                 }
-            }
-            // Kill every tracked reader of the line (write-after-read is a
-            // conflict for regular HTM transactions).
-            let mut i = 0;
-            let mut stall = false;
-            while i < e.readers.len() {
-                let r = e.readers[i];
-                if r == me {
-                    i += 1;
-                    continue;
-                }
-                match slots.try_kill(r.tid as usize, r.inc, AbortReason::Conflict) {
-                    Ok(()) | Err(TxState::Inactive) => {
-                        e.readers.swap_remove(i);
+                Some(w) if w == me => break,
+                Some(w) => match self.htm.slots().load(w.tid as usize) {
+                    (inc, TxState::Active(_)) if inc == w.inc => {
+                        // Write-write conflict: "the last writer is killed"
+                        // — that is us.
+                        return Err(self.self_abort(AbortReason::Conflict));
                     }
-                    Err(TxState::Committing) => {
-                        stall = true;
-                        i += 1;
+                    (inc, TxState::Committing) if inc == w.inc => self.stall_on_commit(w),
+                    _ => {
+                        // Stale registration: GC and retry the claim.
+                        self.htm.directory().clear_writer_if(line, w);
                     }
-                    Err(_) => {
-                        e.readers.swap_remove(i);
-                    }
-                }
+                },
             }
-            if stall {
-                return Verdict::Stall;
-            }
-            e.writer = Some(me);
-            Verdict::Proceed
-        });
-        match verdict {
-            Verdict::Proceed => {
-                *self.lines.entry(line).or_insert(0) |= flags::WRITE;
-                self.wbuf.insert(addr, val);
-                Ok(())
-            }
-            Verdict::SelfAbort => Err(self.self_abort(AbortReason::Conflict)),
-            Verdict::Stall => unreachable!("resolve loops on Stall"),
         }
+        // With the claim published, kill every tracked reader of the line
+        // (write-after-read is a conflict for regular HTM transactions).
+        // Readers that register after this scan observe our claim and kill
+        // us instead — either way the conflict is detected.
+        self.kill_readers(line, Some(me), AbortReason::Conflict);
+
+        *self.lines.entry(line).or_insert(0) |= flags::WRITE;
+        self.wbuf.insert(addr, val);
+        Ok(())
     }
 
     /// `tsuspend.`: subsequent accesses run non-transactionally.
@@ -465,8 +496,10 @@ impl HtmThread {
             Err(other) => unreachable!("commit from state {other:?}"),
         }
         // Apply the write buffer. Conflicting accesses stall on our
-        // Committing state and re-read after we release the lines, so they
-        // observe all of these stores (happens-before via the shard locks).
+        // Committing status word and re-examine the line only after the
+        // word moves on; the status store below is a Release store and
+        // their poll is an Acquire load, so every value stored here
+        // happens-before anything they do next.
         for (&addr, &val) in &self.wbuf {
             self.memory().store_release(addr, val);
         }
@@ -510,17 +543,11 @@ impl HtmThread {
     fn cleanup(&mut self) {
         let me = self.me();
         for (&line, &f) in &self.lines {
-            if f & (flags::WRITE | flags::READ_REG) != 0 {
-                self.htm.directory().with(line, |e| {
-                    if e.writer == Some(me) {
-                        e.writer = None;
-                    }
-                    if f & flags::READ_REG != 0 {
-                        if let Some(pos) = e.readers.iter().position(|r| *r == me) {
-                            e.readers.swap_remove(pos);
-                        }
-                    }
-                });
+            if f & flags::WRITE != 0 {
+                self.htm.directory().clear_writer_if(line, me);
+            }
+            if f & flags::READ_REG != 0 {
+                self.htm.directory().unregister_reader(line, me);
             }
         }
         self.htm.cores().release_tmcam(self.core, self.tmcam_held);
@@ -547,23 +574,8 @@ impl HtmThread {
         if self.mode.is_some() && self.lines.get(&line).is_some_and(|f| f & flags::WRITE != 0) {
             return self.wbuf.get(&addr).copied().unwrap_or_else(|| self.memory().load(addr));
         }
-        let me = self.me();
-        let in_tx = self.mode.is_some();
-        let slots = self.htm.slots();
-        let reason = class.kill_reason();
-        let verdict = self.resolve(line, |e| {
-            if let Some(w) = e.writer {
-                if !(in_tx && w == me) {
-                    match slots.try_kill(w.tid as usize, w.inc, reason) {
-                        Ok(()) => e.writer = None,
-                        Err(TxState::Committing) => return Verdict::Stall,
-                        Err(_) => e.writer = None,
-                    }
-                }
-            }
-            Verdict::Proceed
-        });
-        debug_assert!(matches!(verdict, Verdict::Proceed));
+        let spare = if self.mode.is_some() { Some(self.me()) } else { None };
+        self.resolve_writer(line, spare, class.kill_reason());
         self.compensate_untracked_read();
         self.memory().load(addr)
     }
@@ -576,40 +588,9 @@ impl HtmThread {
     /// hardware.
     pub fn write_notx(&mut self, addr: Addr, val: u64, class: NonTxClass) {
         let line = line_of(addr);
-        let slots = self.htm.slots();
         let reason = class.kill_reason();
-        let verdict = self.resolve(line, |e| {
-            if let Some(w) = e.writer {
-                match slots.try_kill(w.tid as usize, w.inc, reason) {
-                    Ok(()) => e.writer = None,
-                    Err(TxState::Committing) => return Verdict::Stall,
-                    Err(_) => e.writer = None,
-                }
-            }
-            let mut i = 0;
-            let mut stall = false;
-            while i < e.readers.len() {
-                let r = e.readers[i];
-                match slots.try_kill(r.tid as usize, r.inc, reason) {
-                    Ok(()) | Err(TxState::Inactive) => {
-                        e.readers.swap_remove(i);
-                    }
-                    Err(TxState::Committing) => {
-                        stall = true;
-                        i += 1;
-                    }
-                    Err(_) => {
-                        e.readers.swap_remove(i);
-                    }
-                }
-            }
-            if stall {
-                Verdict::Stall
-            } else {
-                Verdict::Proceed
-            }
-        });
-        debug_assert!(matches!(verdict, Verdict::Proceed));
+        self.resolve_writer(line, None, reason);
+        self.kill_readers(line, None, reason);
         self.memory().store_release(addr, val);
     }
 }
@@ -812,10 +793,8 @@ mod tests {
 
     #[test]
     fn repeated_access_to_same_line_charges_once() {
-        let htm = Htm::new(
-            HtmConfig { cores: 1, smt: 1, tmcam_lines: 2, ..HtmConfig::default() },
-            256,
-        );
+        let htm =
+            Htm::new(HtmConfig { cores: 1, smt: 1, tmcam_lines: 2, ..HtmConfig::default() }, 256);
         let mut t = htm.register_thread();
         t.begin(TxMode::Htm);
         for i in 0..16u64 {

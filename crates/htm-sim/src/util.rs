@@ -1,6 +1,29 @@
-//! Small utilities: a fast integer hasher for the hot per-access maps.
+//! Small utilities: a fast integer hasher for the hot per-access maps and
+//! the shared spin-wait idiom.
 
+use crossbeam_utils::Backoff;
 use std::hash::{BuildHasherDefault, Hasher};
+
+/// Spin until `cond()` holds: exponential backoff first, degrading to
+/// `yield_now` once the backoff saturates (important on oversubscribed
+/// machines, where the thread being waited on may need our timeslice to
+/// make progress).
+///
+/// Every wait loop in the workspace — coherence stalls on committing
+/// transactions, `SyncWithGL`, the SGL drain, the SGL acquisition spin —
+/// goes through this one helper so the waiting policy stays uniform and
+/// tunable in one place. `cond` may have side effects; it is re-evaluated
+/// once per spin iteration.
+#[inline]
+pub fn spin_wait(mut cond: impl FnMut() -> bool) {
+    let backoff = Backoff::new();
+    while !cond() {
+        backoff.snooze();
+        if backoff.is_completed() {
+            std::thread::yield_now();
+        }
+    }
+}
 
 /// Fibonacci-multiply hasher for integer keys (cache-line ids, word
 /// addresses). The conflict directory and the per-transaction access maps
@@ -66,6 +89,21 @@ mod tests {
             lows.insert(h(i) & 0xFF);
         }
         assert!(lows.len() > 32, "hash low bits collapse: {}", lows.len());
+    }
+
+    #[test]
+    fn spin_wait_observes_condition() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let flag = AtomicBool::new(false);
+        crossbeam_utils::thread::scope(|s| {
+            s.spawn(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                flag.store(true, Ordering::Release);
+            });
+            spin_wait(|| flag.load(Ordering::Acquire));
+            assert!(flag.load(Ordering::Acquire));
+        })
+        .unwrap();
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Multi-thread stress tests aimed specifically at the lock-free conflict
+//! directory: concurrent writers and HTM-mode readers hammering a small set
+//! of overlapping lines, checking that no registration is lost, that stale
+//! incarnations never kill fresh transactions (ABA defence in the packed
+//! ownership words), and that the table drains completely once every
+//! thread is done.
+
+use htm_sim::{AbortReason, Htm, HtmConfig, TxMode};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// N updaters increment disjoint counters that share cache lines with the
+/// counters of other threads, while M HTM readers sum them. Serializability
+/// of the per-counter increments (no lost updates) exercises the
+/// writer-claim CAS; the readers exercise the tracked-reader registration
+/// handshake against those claims.
+#[test]
+fn writers_and_htm_readers_on_overlapping_lines() {
+    let htm = Htm::new(HtmConfig { cores: 2, smt: 4, ..HtmConfig::default() }, 16 * 4);
+    let writers = 4;
+    let readers = 2;
+    let per = 150;
+    let reads_done = AtomicU64::new(0);
+
+    crossbeam_utils::thread::scope(|s| {
+        for w in 0..writers {
+            let htm = Arc::clone(&htm);
+            s.spawn(move |_| {
+                let mut t = htm.register_thread();
+                // Thread w owns word w of every line; all words of a line
+                // conflict with each other.
+                let mut done = 0;
+                while done < per {
+                    t.begin(TxMode::Htm);
+                    let addr = (done % 4) * 16 + w as u64;
+                    let ok = (|| {
+                        let v = t.read(addr)?;
+                        t.write(addr, v + 1)?;
+                        Ok::<_, AbortReason>(())
+                    })();
+                    if ok.is_ok() && t.commit().is_ok() {
+                        done += 1;
+                    }
+                }
+            });
+        }
+        for _ in 0..readers {
+            let htm = Arc::clone(&htm);
+            let reads_done = &reads_done;
+            s.spawn(move |_| {
+                let mut t = htm.register_thread();
+                let mut done = 0;
+                while done < per {
+                    t.begin(TxMode::Htm);
+                    let ok = (|| {
+                        let mut sum = 0;
+                        for line in 0..4u64 {
+                            for word in 0..writers as u64 {
+                                sum += t.read(line * 16 + word)?;
+                            }
+                        }
+                        Ok::<_, AbortReason>(sum)
+                    })();
+                    match ok {
+                        Ok(_) if t.commit().is_ok() => done += 1,
+                        _ => {}
+                    }
+                }
+                reads_done.fetch_add(done, Ordering::Relaxed);
+            });
+        }
+    })
+    .unwrap();
+
+    // No lost increments: every thread's counter column sums to `per`
+    // spread over the 4 lines.
+    for w in 0..writers as u64 {
+        let total: u64 = (0..4u64).map(|line| htm.memory().load(line * 16 + w)).sum();
+        assert_eq!(total, per, "lost updates in column {w}");
+    }
+    assert_eq!(reads_done.load(Ordering::Relaxed), readers * per);
+    // Every registration was released: the ownership table fully drained.
+    assert_eq!(htm.directory().tracked_lines(), 0, "leaked directory registrations");
+}
+
+/// Rapid-fire tiny transactions on one line from every thread: each commit
+/// bumps the thread's incarnation, so any ABA confusion between an old
+/// registration and a new transaction would surface as a lost update or a
+/// spurious kill of a fresh incarnation.
+#[test]
+fn incarnation_turnover_on_a_single_hot_line() {
+    let htm = Htm::new(HtmConfig { cores: 2, smt: 4, ..HtmConfig::default() }, 16);
+    let threads = 6;
+    let per = 200;
+
+    crossbeam_utils::thread::scope(|s| {
+        for _ in 0..threads {
+            let htm = Arc::clone(&htm);
+            s.spawn(move |_| {
+                let mut t = htm.register_thread();
+                let mut done = 0;
+                while done < per {
+                    t.begin(TxMode::Rot);
+                    let ok = (|| {
+                        let v = t.read(0)?;
+                        t.write(0, v + 1)?;
+                        Ok::<_, AbortReason>(())
+                    })();
+                    if ok.is_ok() && t.commit().is_ok() {
+                        done += 1;
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    assert_eq!(htm.memory().load(0), (threads * per) as u64);
+    assert_eq!(htm.directory().tracked_lines(), 0);
+}
+
+/// Readers spilling into the overflow side-car while a writer churns: more
+/// simultaneous tracked readers than the inline `reader0` slot can hold,
+/// racing registration/unregistration against writer kills.
+#[test]
+fn reader_overflow_under_writer_churn() {
+    let htm = Htm::new(HtmConfig { cores: 2, smt: 4, ..HtmConfig::default() }, 16);
+    let readers = 5;
+    let per = 120;
+    let committed_reads = AtomicU64::new(0);
+
+    crossbeam_utils::thread::scope(|s| {
+        // One writer repeatedly updating line 0.
+        let whtm = Arc::clone(&htm);
+        s.spawn(move |_| {
+            let mut t = whtm.register_thread();
+            let mut done = 0;
+            while done < per {
+                t.begin(TxMode::Rot);
+                if t.write(0, done + 1).is_ok() && t.commit().is_ok() {
+                    done += 1;
+                }
+            }
+        });
+        // Five HTM readers tracking the same line simultaneously.
+        for _ in 0..readers {
+            let htm = Arc::clone(&htm);
+            let committed_reads = &committed_reads;
+            s.spawn(move |_| {
+                let mut t = htm.register_thread();
+                let mut done = 0;
+                while done < per {
+                    t.begin(TxMode::Htm);
+                    if t.read(0).is_ok() && t.commit().is_ok() {
+                        done += 1;
+                    }
+                }
+                committed_reads.fetch_add(done, Ordering::Relaxed);
+            });
+        }
+    })
+    .unwrap();
+
+    assert_eq!(htm.memory().load(0), per, "writer finished all rounds");
+    assert_eq!(committed_reads.load(Ordering::Relaxed), readers * per);
+    assert_eq!(htm.directory().tracked_lines(), 0, "overflow side-car drained");
+}

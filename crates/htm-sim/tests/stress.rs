@@ -63,7 +63,7 @@ fn raw_rot_read_modify_write_loses_updates() {
 
     a.begin(TxMode::Rot);
     let v = a.read(0).unwrap(); // v = 0, untracked
-    // b increments and commits immediately (no quiescence at this layer).
+                                // b increments and commits immediately (no quiescence at this layer).
     b.begin(TxMode::Rot);
     let w = b.read(0).unwrap();
     b.write(0, w + 1).unwrap();
@@ -114,10 +114,7 @@ fn multi_line_commits_are_atomic_under_transactional_readers() {
                         Ok(())
                     });
                     let first = vals[0];
-                    assert!(
-                        vals.iter().all(|v| *v == first),
-                        "torn batch observed: {vals:?}"
-                    );
+                    assert!(vals.iter().all(|v| *v == first), "torn batch observed: {vals:?}");
                 }
             });
         }
@@ -176,10 +173,8 @@ fn rot_read_tracking_fraction_partial_tracks_some_lines() {
 fn smt_capacity_pressure_eases_when_neighbours_commit() {
     // Two SMT threads on one core; the second can only fit its write set
     // after the first released the TMCAM.
-    let htm = Htm::new(
-        HtmConfig { cores: 1, smt: 2, tmcam_lines: 8, ..HtmConfig::default() },
-        16 * 32,
-    );
+    let htm =
+        Htm::new(HtmConfig { cores: 1, smt: 2, tmcam_lines: 8, ..HtmConfig::default() }, 16 * 32);
     let mut a = htm.register_thread();
     let mut b = htm.register_thread();
 

@@ -24,17 +24,16 @@
 //! instrumented reads, quiescence waits, serializability aborts — is
 //! preserved.
 
-use crossbeam_utils::Backoff;
-use htm_sim::util::{IntMap, IntSet};
+use htm_sim::util::{spin_wait, IntMap, IntSet};
 use htm_sim::{AbortReason, Htm, HtmConfig, HtmThread, NonTxClass, TxMode};
 use parking_lot::Mutex;
 use si_htm::sgl::Sgl;
-use si_htm::state::{StateArray, COMPLETED};
+use si_htm::state::StateArray;
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
 use tm_api::{
-    policy::RetryState, Abort, Outcome, RetryPolicy, ThreadStats, TmBackend, TmThread, Tx,
-    TxBody, TxKind,
+    policy::RetryState, Abort, Outcome, RetryPolicy, ThreadStats, TmBackend, TmThread, Tx, TxBody,
+    TxKind,
 };
 use txmem::{line_of, Addr, Line, TxMemory};
 
@@ -125,20 +124,13 @@ impl std::fmt::Debug for P8tm {
     }
 }
 
-fn snooze(backoff: &Backoff) {
-    backoff.snooze();
-    if backoff.is_completed() {
-        std::thread::yield_now();
-    }
-}
-
 /// A worker thread of the P8TM backend.
 pub struct P8tmThread {
     inner: Arc<Inner>,
     thr: HtmThread,
     tid: usize,
     stats: ThreadStats,
-    snapshot: Vec<u64>,
+    snapshot: Vec<(usize, u64)>,
     // Reused per-transaction buffers (the software read instrumentation).
     read_log: Vec<(Line, u64)>,
     seen: IntSet<Line>,
@@ -154,10 +146,7 @@ impl P8tmThread {
                 return;
             }
             self.inner.state.set_inactive(self.tid);
-            let backoff = Backoff::new();
-            while self.inner.sgl.is_locked() {
-                snooze(&backoff);
-            }
+            spin_wait(|| !self.inner.sgl.is_locked());
         }
     }
 
@@ -180,26 +169,38 @@ impl P8tmThread {
         self.inner.state.set_completed(self.tid);
         self.thr.resume()?;
 
-        // Quiescence (as in SI-HTM's Algorithm 1).
-        self.inner.state.snapshot_into(&mut self.snapshot);
+        // Quiescence (as in SI-HTM's Algorithm 1), O(active) via the
+        // active-thread registry.
+        let mut snapshot = std::mem::take(&mut self.snapshot);
+        self.inner.state.snapshot_active_into(&mut snapshot);
+        self.stats.quiesce_polled += snapshot.len() as u64;
         let mut waited = false;
-        for c in 0..self.snapshot.len() {
-            if c == self.tid || self.snapshot[c] <= COMPLETED {
+        let mut doomed = false;
+        for &(c, observed) in &snapshot {
+            if c == self.tid {
                 continue;
             }
-            let observed = self.snapshot[c];
-            let backoff = Backoff::new();
-            while self.inner.state.load(c) == observed {
+            spin_wait(|| {
+                if self.inner.state.poll(c) != observed {
+                    return true;
+                }
                 waited = true;
                 if self.thr.doomed().is_some() {
-                    self.stats.quiesce_waits += 1;
-                    return Err(self.thr.abort());
+                    doomed = true;
+                    return true;
                 }
-                snooze(&backoff);
+                false
+            });
+            if doomed {
+                break;
             }
         }
+        self.snapshot = snapshot;
         if waited {
             self.stats.quiesce_waits += 1;
+        }
+        if doomed {
+            return Err(self.thr.abort());
         }
 
         // Serializability: validate the instrumented read set, then publish
@@ -323,10 +324,7 @@ impl P8tmThread {
         self.inner.state.set_inactive(self.tid);
         self.inner.sgl.lock(self.tid);
         self.stats.sgl_acquisitions += 1;
-        let backoff = Backoff::new();
-        while !self.inner.state.all_inactive_except(self.tid) {
-            snooze(&backoff);
-        }
+        spin_wait(|| self.inner.state.all_inactive_except(self.tid));
         self.write_lines.clear();
         let (result, wbuf) = {
             let mut tx = SglTx {

@@ -1,0 +1,204 @@
+//! Offline stand-in for `criterion` with the API shape the workspace's
+//! benches use. It runs each benchmark for a handful of timed iterations
+//! and prints a single mean-per-iteration line — enough for a quick local
+//! perf read and for `cargo test`/`cargo clippy --all-targets` to build
+//! the bench targets without crates.io access. (Real statistics live in
+//! the `bench` crate's own binaries, which don't go through criterion.)
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    /// Marker measurement type (the only one the repo names).
+    pub struct WallTime;
+}
+
+/// Benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    /// Under `cargo test` the harness passes `--test`; run one iteration.
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--test");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(
+        &mut self,
+        name: S,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            quick: self.quick,
+            _criterion: PhantomData,
+            _measurement: PhantomData,
+        }
+    }
+}
+
+/// Group of related benchmarks; configuration methods are accepted and
+/// (mostly) ignored — the shim always runs a short fixed schedule.
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    quick: bool,
+    _criterion: PhantomData<&'a mut Criterion>,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: IntoBenchmarkName,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: if self.quick { 1 } else { 25 }, spent: Duration::ZERO };
+        f(&mut b);
+        self.report(&id.into_name(), &b);
+        self
+    }
+
+    pub fn bench_with_input<S, I, F>(&mut self, id: S, input: &I, mut f: F) -> &mut Self
+    where
+        S: IntoBenchmarkName,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { iters: if self.quick { 1 } else { 25 }, spent: Duration::ZERO };
+        f(&mut b, input);
+        self.report(&id.into_name(), &b);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let per_iter = b.spent.as_nanos() as f64 / b.iters.max(1) as f64;
+        println!("bench {}/{id}: {per_iter:.0} ns/iter ({} iters)", self.name, b.iters);
+    }
+}
+
+/// Throughput declaration (accepted, ignored).
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    spent: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.spent = start.elapsed();
+    }
+
+    /// Criterion's escape hatch: the closure times `iters` iterations itself.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.spent = f(self.iters);
+    }
+}
+
+/// Benchmark identifier composed of a function name and a parameter.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: fmt::Display>(name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{parameter}", name.into()) }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Conversion of the various id types `bench_function` accepts.
+pub trait IntoBenchmarkName {
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Prevent the optimizer from deleting a computed value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion { quick: false };
+        let mut g = c.benchmark_group("g");
+        let mut runs = 0u64;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 25);
+        g.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+}

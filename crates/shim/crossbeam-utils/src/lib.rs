@@ -1,0 +1,147 @@
+//! Offline stand-in for the `crossbeam-utils` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small slice of crossbeam-utils it actually uses:
+//! [`Backoff`], [`CachePadded`] and [`thread::scope`]. The semantics match
+//! the upstream crate closely enough for the simulator's spin loops and
+//! test harnesses; none of this code is on a measured fast path.
+
+pub mod thread;
+
+use core::cell::Cell;
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+/// Exponential backoff for spin loops, mirroring `crossbeam_utils::Backoff`.
+pub struct Backoff {
+    step: Cell<u32>,
+}
+
+impl Backoff {
+    #[inline]
+    pub fn new() -> Self {
+        Backoff { step: Cell::new(0) }
+    }
+
+    #[inline]
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Busy-wait for a short bounded time (no yielding).
+    #[inline]
+    pub fn spin(&self) {
+        for _ in 0..1u32 << self.step.get().min(SPIN_LIMIT) {
+            core::hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Back off, yielding the thread once the spin budget is exhausted.
+    #[inline]
+    pub fn snooze(&self) {
+        if self.step.get() <= SPIN_LIMIT {
+            for _ in 0..1u32 << self.step.get() {
+                core::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if self.step.get() <= YIELD_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// `true` once the caller should switch to parking / OS yielding.
+    #[inline]
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff::new()
+    }
+}
+
+impl fmt::Debug for Backoff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Backoff").field("step", &self.step.get()).finish()
+    }
+}
+
+/// Pads and aligns a value to 128 bytes, like `crossbeam_utils::CachePadded`.
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.value.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_completes_after_yield_limit() {
+        let b = Backoff::new();
+        for _ in 0..=YIELD_LIMIT {
+            assert!(!b.is_completed());
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+
+    #[test]
+    fn cache_padded_is_aligned() {
+        let v = CachePadded::new(7u64);
+        assert_eq!(*v, 7);
+        assert_eq!((&v as *const _ as usize) % 128, 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Scoped threads compatible with `crossbeam_utils::thread::scope`.
+//!
+//! Implemented over `std::thread` by erasing the closure lifetime; safety
+//! comes from the scope joining every spawned thread before it returns
+//! (including threads spawned by other scoped threads), exactly the
+//! contract upstream relies on.
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct Record {
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+    panicked: AtomicBool,
+    observed: AtomicBool,
+}
+
+/// Handle to a scope in which threads borrowing `'env` data may run.
+pub struct Scope<'env> {
+    records: Mutex<Vec<Arc<Record>>>,
+    _marker: PhantomData<&'env mut &'env ()>,
+}
+
+struct SendPtr<T>(*const T);
+unsafe impl<T> Send for SendPtr<T> {}
+
+impl<'env> Scope<'env> {
+    /// Spawn a thread that may borrow from `'env`. The closure receives the
+    /// scope itself so it can spawn further siblings.
+    pub fn spawn<'scope, F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+        T: Send + 'env,
+    {
+        let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+        let record = Arc::new(Record {
+            handle: Mutex::new(None),
+            panicked: AtomicBool::new(false),
+            observed: AtomicBool::new(false),
+        });
+
+        let their_result = Arc::clone(&result);
+        let their_record = Arc::clone(&record);
+        let scope_ptr = SendPtr(self as *const Scope<'env>);
+        let closure = move || {
+            let scope_ptr = scope_ptr;
+            // SAFETY: `scope()` joins this thread before the `Scope` (and
+            // anything borrowed from `'env`) is dropped.
+            let scope: &Scope<'env> = unsafe { &*scope_ptr.0 };
+            let r = catch_unwind(AssertUnwindSafe(|| f(scope)));
+            if r.is_err() {
+                their_record.panicked.store(true, Ordering::Release);
+            }
+            *their_result.lock().unwrap() = Some(r);
+        };
+        let closure: Box<dyn FnOnce() + Send + 'env> = Box::new(closure);
+        // SAFETY: lifetime erasure; the join-before-return discipline above
+        // guarantees the closure never outlives `'env`.
+        let closure: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(closure) };
+
+        let handle = std::thread::spawn(closure);
+        *record.handle.lock().unwrap() = Some(handle);
+        self.records.lock().unwrap().push(Arc::clone(&record));
+
+        ScopedJoinHandle { record, result, _marker: PhantomData }
+    }
+}
+
+/// Handle to a scoped thread; joining yields the closure's return value.
+pub struct ScopedJoinHandle<'scope, T> {
+    record: Arc<Record>,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    _marker: PhantomData<&'scope ()>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        self.record.observed.store(true, Ordering::Release);
+        let handle = self.record.handle.lock().unwrap().take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+        self.result.lock().unwrap().take().expect("scoped thread finished without storing a result")
+    }
+}
+
+/// Create a scope for spawning threads that borrow from the environment.
+/// Returns `Err` if the closure panicked or any *unjoined* scoped thread
+/// panicked, matching crossbeam's behaviour.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let scope = Scope { records: Mutex::new(Vec::new()), _marker: PhantomData };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+
+    // Join everything, looping because running threads may spawn more.
+    let mut unhandled_panic = false;
+    loop {
+        let batch: Vec<Arc<Record>> = std::mem::take(&mut *scope.records.lock().unwrap());
+        if batch.is_empty() {
+            break;
+        }
+        for record in batch {
+            let handle = record.handle.lock().unwrap().take();
+            if let Some(h) = handle {
+                let _ = h.join();
+            }
+            if record.panicked.load(Ordering::Acquire) && !record.observed.load(Ordering::Acquire) {
+                unhandled_panic = true;
+            }
+        }
+    }
+
+    match result {
+        Err(e) => Err(e),
+        Ok(_) if unhandled_panic => Err(Box::new("a scoped thread panicked")),
+        Ok(v) => Ok(v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let counter = AtomicU64::new(0);
+        scope(|s| {
+            let handles: Vec<_> =
+                (0..4).map(|_| s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed))).collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn join_returns_closure_value() {
+        let r = scope(|s| s.spawn(|_| 41 + 1).join().unwrap()).unwrap();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn unjoined_panics_surface_at_scope_exit() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_from_scoped_thread() {
+        let counter = AtomicU64::new(0);
+        scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

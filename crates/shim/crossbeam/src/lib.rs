@@ -1,0 +1,8 @@
+//! Offline stand-in for the `crossbeam` facade crate. Only the pieces the
+//! workspace uses are present, re-exported from the `crossbeam-utils` shim.
+
+pub use crossbeam_utils as utils;
+
+pub mod thread {
+    pub use crossbeam_utils::thread::{scope, Scope, ScopedJoinHandle};
+}

@@ -1,0 +1,124 @@
+//! Offline mini property-testing framework exposing the slice of the
+//! `proptest` surface this workspace uses: `proptest!`, `prop_oneof!`,
+//! `prop_assert!`/`prop_assert_eq!`, `any`, `Just`, ranges and tuples as
+//! strategies, `prop_map`, weighted unions and `collection::vec`.
+//!
+//! Differences from upstream: generation is driven by a fixed-seed
+//! deterministic RNG (runs are reproducible by construction) and failing
+//! cases are *not* shrunk — the failing values are printed instead. That
+//! trade keeps the runner ~300 lines and dependency-free, which is what an
+//! offline build needs.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declare property tests. Supports the upstream form used in this repo:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0..10u64, ys in collection::vec(0..5u64, 1..20)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                let __values =
+                    ($($crate::strategy::Strategy::generate(&$strat, &mut __rng),)+);
+                let ($($arg,)+) = __values;
+                $body
+            }
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Assert inside a property body (no shrinking, so this is `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Weighted (or unweighted) union of strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0..10u64, y in 3..=5usize) {
+            prop_assert!(x < 10);
+            prop_assert!((3..=5).contains(&y));
+        }
+
+        #[test]
+        fn unions_and_vecs_compose(
+            v in crate::collection::vec(
+                prop_oneof![3 => Just(1u64), 1 => 10..20u64], 1..50)
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 50);
+            prop_assert!(v.iter().all(|&x| x == 1 || (10..20).contains(&x)));
+        }
+
+        #[test]
+        fn maps_and_tuples(p in (0..4u64, any::<bool>()).prop_map(|(a, b)| (a * 2, !b))) {
+            prop_assert!(p.0 % 2 == 0 && p.0 < 8);
+        }
+    }
+}

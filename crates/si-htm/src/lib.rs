@@ -149,7 +149,6 @@ impl SiHtm {
     pub fn config(&self) -> &SiHtmConfig {
         &self.inner.config
     }
-
 }
 
 impl TmBackend for SiHtm {

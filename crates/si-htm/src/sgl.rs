@@ -37,26 +37,18 @@ impl Sgl {
 
     /// Acquire for `tid`, spinning (with yields) while contended.
     pub fn lock(&self, tid: usize) {
-        let backoff = crossbeam_utils::Backoff::new();
         while self
             .word
             .compare_exchange_weak(FREE, tid as u64, Ordering::SeqCst, Ordering::Relaxed)
             .is_err()
         {
-            while self.is_locked() {
-                backoff.snooze();
-                if backoff.is_completed() {
-                    std::thread::yield_now();
-                }
-            }
+            htm_sim::util::spin_wait(|| !self.is_locked());
         }
     }
 
     /// Try to acquire without waiting.
     pub fn try_lock(&self, tid: usize) -> bool {
-        self.word
-            .compare_exchange(FREE, tid as u64, Ordering::SeqCst, Ordering::Relaxed)
-            .is_ok()
+        self.word.compare_exchange(FREE, tid as u64, Ordering::SeqCst, Ordering::Relaxed).is_ok()
     }
 
     /// Release. Panics if the caller does not hold the lock.

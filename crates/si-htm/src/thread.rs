@@ -1,10 +1,8 @@
 //! Per-thread SI-HTM execution: Algorithm 1 (TxBegin/TxEnd with the safety
 //! wait) and Algorithm 2 (SyncWithGL, read-only fast path, SGL fall-back).
 
-use crate::state::COMPLETED;
 use crate::Inner;
-use crossbeam_utils::Backoff;
-use htm_sim::util::IntMap;
+use htm_sim::util::{spin_wait, IntMap};
 use htm_sim::{AbortReason, HtmThread, NonTxClass, TxMode};
 use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
@@ -17,7 +15,8 @@ pub struct SiHtmThread {
     thr: HtmThread,
     tid: usize,
     stats: ThreadStats,
-    snapshot: Vec<u64>,
+    /// Reusable `(thread, observed state)` buffer for the safety wait.
+    snapshot: Vec<(usize, u64)>,
 }
 
 impl SiHtmThread {
@@ -42,13 +41,7 @@ impl SiHtmThread {
                 return;
             }
             self.inner.state.set_inactive(self.tid);
-            let backoff = Backoff::new();
-            while self.inner.sgl.is_locked() {
-                backoff.snooze();
-                if backoff.is_completed() {
-                    std::thread::yield_now();
-                }
-            }
+            spin_wait(|| !self.inner.sgl.is_locked());
         }
     }
 
@@ -91,28 +84,29 @@ impl SiHtmThread {
 
         if self.inner.config.quiescence {
             // Lines 16–21: wait until every transaction that was active in
-            // our snapshot has moved on.
-            self.inner.state.snapshot_into(&mut self.snapshot);
+            // our snapshot has moved on. The snapshot visits only threads
+            // in the active registry — O(active), not O(N); see
+            // `StateArray::snapshot_active_into`.
+            let mut snapshot = std::mem::take(&mut self.snapshot);
+            self.inner.state.snapshot_active_into(&mut snapshot);
+            self.stats.quiesce_polled += snapshot.len() as u64;
             let mut waited = false;
-            for c in 0..self.snapshot.len() {
+            let mut doomed = false;
+            for &(c, observed) in &snapshot {
                 if c == self.tid {
                     continue;
                 }
-                let observed = self.snapshot[c];
-                if observed <= COMPLETED {
-                    continue; // inactive or completed: nothing to wait for
-                }
-                let backoff = Backoff::new();
                 let mut spins: u32 = 0;
-                while self.inner.state.load(c) == observed {
+                spin_wait(|| {
+                    if self.inner.state.poll(c) != observed {
+                        return true;
+                    }
                     waited = true;
                     // A concurrent reader may invalidate our write set
                     // while we wait (Fig. 4A) — abort promptly.
                     if self.thr.doomed().is_some() {
-                        if waited {
-                            self.stats.quiesce_waits += 1;
-                        }
-                        return Err(self.thr.abort());
+                        doomed = true;
+                        return true;
                     }
                     if let Some(limit) = self.inner.config.kill_after {
                         if spins >= limit {
@@ -122,14 +116,18 @@ impl SiHtmThread {
                         }
                     }
                     spins = spins.saturating_add(1);
-                    backoff.snooze();
-                    if backoff.is_completed() {
-                        std::thread::yield_now();
-                    }
+                    false
+                });
+                if doomed {
+                    break;
                 }
             }
+            self.snapshot = snapshot;
             if waited {
                 self.stats.quiesce_waits += 1;
+            }
+            if doomed {
+                return Err(self.thr.abort());
             }
         }
 
@@ -139,11 +137,7 @@ impl SiHtmThread {
     /// One ROT attempt (hardware, or software-unbounded for the §6
     /// fall-back). `Ok(outcome)` ends the transaction; `Err(reason)`
     /// means the attempt aborted and the caller decides whether to retry.
-    fn attempt(
-        &mut self,
-        body: TxBody<'_>,
-        software: bool,
-    ) -> Result<Outcome, AbortReason> {
+    fn attempt(&mut self, body: TxBody<'_>, software: bool) -> Result<Outcome, AbortReason> {
         self.sync_with_gl();
         if software {
             self.thr.begin_unbounded(TxMode::Rot);
@@ -243,13 +237,7 @@ impl SiHtmThread {
         self.inner.state.set_inactive(self.tid);
         self.inner.sgl.lock(self.tid);
         self.stats.sgl_acquisitions += 1;
-        let backoff = Backoff::new();
-        while !self.inner.state.all_inactive_except(self.tid) {
-            backoff.snooze();
-            if backoff.is_completed() {
-                std::thread::yield_now();
-            }
-        }
+        spin_wait(|| self.inner.state.all_inactive_except(self.tid));
         let (result, wbuf) = {
             let mut tx = SglTx { thr: &mut self.thr, wbuf: IntMap::default() };
             let r = body(&mut tx);
@@ -459,6 +447,56 @@ mod tests {
         assert_eq!(out, Outcome::Committed);
         assert_eq!(t.stats().sgl_commits, 0, "no fall-back needed");
         assert_eq!(t.stats().aborts_capacity, 0);
+    }
+
+    #[test]
+    fn quiescence_polls_only_active_threads() {
+        // Full paper-testbed machine: 80 hardware threads. The pre-registry
+        // safety wait examined all N−1 peer slots per commit; with the
+        // active-thread registry a writer committing alongside exactly one
+        // active reader must examine exactly one.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let b = SiHtm::new(HtmConfig::default(), 4096, SiHtmConfig::default());
+        let in_body = AtomicBool::new(false);
+        crossbeam_utils::thread::scope(|s| {
+            let b2 = b.clone();
+            let in_body = &in_body;
+            s.spawn(move |_| {
+                let mut r = b2.register_thread();
+                r.exec(TxKind::ReadOnly, &mut |tx| {
+                    // Disjoint line from the writer's, so this RO read does
+                    // not kill the writer.
+                    let _ = tx.read(1024)?;
+                    in_body.store(true, Ordering::Release);
+                    // Stay "active" long enough for the writer's snapshot.
+                    std::thread::sleep(std::time::Duration::from_millis(300));
+                    Ok(())
+                });
+            });
+            while !in_body.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            let mut w = b.register_thread();
+            let out = w.exec(TxKind::Update, &mut |tx| tx.write(0, 7));
+            assert_eq!(out, Outcome::Committed);
+            assert_eq!(
+                w.stats().quiesce_polled,
+                1,
+                "snapshot must cover exactly the one active reader, not N−1 slots"
+            );
+            assert_eq!(w.stats().quiesce_waits, 1, "the writer did wait for the reader");
+        })
+        .unwrap();
+        assert_eq!(b.memory().load(0), 7);
+    }
+
+    #[test]
+    fn uncontended_commit_examines_no_peer_slots() {
+        let b = small_backend();
+        let mut t = b.register_thread();
+        t.exec(TxKind::Update, &mut |tx| tx.write(0, 1));
+        assert_eq!(t.stats().quiesce_polled, 0);
+        assert_eq!(t.stats().quiesce_waits, 0);
     }
 
     #[test]

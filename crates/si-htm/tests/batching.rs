@@ -99,7 +99,11 @@ fn batch_pays_one_safety_wait() {
 fn batches_of_batches_preserve_counters() {
     // Concurrency smoke: two threads each run 100 batches of 3 increments
     // on a shared counter; 600 increments must land.
-    let b = SiHtm::new(HtmConfig { cores: 2, smt: 2, ..HtmConfig::default() }, 256, SiHtmConfig::default());
+    let b = SiHtm::new(
+        HtmConfig { cores: 2, smt: 2, ..HtmConfig::default() },
+        256,
+        SiHtmConfig::default(),
+    );
     crossbeam_utils::thread::scope(|s| {
         for _ in 0..2 {
             let b = b.clone();

@@ -257,7 +257,11 @@ fn sgl_drains_and_excludes() {
 /// contention (§3.3 + §4 point ii).
 #[test]
 fn read_only_transactions_never_abort() {
-    let b = SiHtm::new(HtmConfig { cores: 2, smt: 4, ..HtmConfig::default() }, 1024, SiHtmConfig::default());
+    let b = SiHtm::new(
+        HtmConfig { cores: 2, smt: 4, ..HtmConfig::default() },
+        1024,
+        SiHtmConfig::default(),
+    );
     let stop = AtomicBool::new(false);
     crossbeam_utils::thread::scope(|s| {
         let bw = b.clone();

@@ -433,10 +433,7 @@ mod tests {
                 });
             })
             .unwrap();
-            assert!(
-                b.memory().load(A) + b.memory().load(B) >= 1,
-                "write skew slipped through"
-            );
+            assert!(b.memory().load(A) + b.memory().load(B) >= 1, "write skew slipped through");
         }
     }
 

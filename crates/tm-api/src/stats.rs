@@ -33,6 +33,12 @@ pub struct ThreadStats {
     pub user_aborts: u64,
     /// Number of quiescence (safety) waits that had to spin at least once.
     pub quiesce_waits: u64,
+    /// Thread slots the safety wait had to examine, summed over all
+    /// quiescence snapshots. With the active-thread registry this scales
+    /// with the number of *running* transactions, not the size of the
+    /// machine — the counter exists so tests and benches can verify the
+    /// O(active) claim.
+    pub quiesce_polled: u64,
     /// SGL acquisitions.
     pub sgl_acquisitions: u64,
 }
@@ -93,6 +99,7 @@ impl AddAssign<&ThreadStats> for ThreadStats {
         self.aborts_explicit += rhs.aborts_explicit;
         self.user_aborts += rhs.user_aborts;
         self.quiesce_waits += rhs.quiesce_waits;
+        self.quiesce_polled += rhs.quiesce_polled;
         self.sgl_acquisitions += rhs.sgl_acquisitions;
     }
 }
@@ -141,10 +148,16 @@ mod tests {
     #[test]
     fn aggregation_sums_all_fields() {
         let a = ThreadStats { commits: 1, quiesce_waits: 3, ..ThreadStats::default() };
-        let b = ThreadStats { commits: 2, sgl_acquisitions: 1, ..ThreadStats::default() };
+        let b = ThreadStats {
+            commits: 2,
+            sgl_acquisitions: 1,
+            quiesce_polled: 7,
+            ..ThreadStats::default()
+        };
         let t = aggregate([&a, &b]);
         assert_eq!(t.commits, 3);
         assert_eq!(t.quiesce_waits, 3);
+        assert_eq!(t.quiesce_polled, 7);
         assert_eq!(t.sgl_acquisitions, 1);
     }
 }

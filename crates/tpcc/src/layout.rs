@@ -298,7 +298,10 @@ impl TpccLayout {
                     let delivered = o_id <= cfg.delivered_prefix;
                     memory.store(oa + O_C_ID, c_id);
                     memory.store(oa + O_ENTRY_D, o_id);
-                    memory.store(oa + O_CARRIER_ID, if delivered { rng.gen_range(1..=10) } else { 0 });
+                    memory.store(
+                        oa + O_CARRIER_ID,
+                        if delivered { rng.gen_range(1..=10) } else { 0 },
+                    );
                     memory.store(oa + O_OL_CNT, ol_cnt);
                     memory.store(oa + O_ALL_LOCAL, 1);
                     memory.store(self.customer(w, d, c_id) + C_LAST_O_ID, o_id);

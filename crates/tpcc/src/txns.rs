@@ -139,7 +139,12 @@ pub struct DeliveryInput {
     pub delivery_d: u64,
 }
 
-pub fn gen_delivery<R: Rng>(rng: &mut R, home_w: u64, district: u64, delivery_d: u64) -> DeliveryInput {
+pub fn gen_delivery<R: Rng>(
+    rng: &mut R,
+    home_w: u64,
+    district: u64,
+    delivery_d: u64,
+) -> DeliveryInput {
     DeliveryInput { w: home_w, d: district, carrier: rng.gen_range(1..=10), delivery_d }
 }
 
@@ -347,11 +352,7 @@ pub fn delivery(l: &TpccLayout, input: &DeliveryInput, tx: &mut dyn Tx) -> Resul
 /// Stock-Level (clause 2.8): read-only with a very large footprint — scans
 /// the order lines of the district's last 20 orders and reads each item's
 /// stock row. Returns the count of distinct items below the threshold.
-pub fn stock_level(
-    l: &TpccLayout,
-    input: &StockLevelInput,
-    tx: &mut dyn Tx,
-) -> Result<u64, Abort> {
+pub fn stock_level(l: &TpccLayout, input: &StockLevelInput, tx: &mut dyn Tx) -> Result<u64, Abort> {
     let da = l.district(input.w, input.d);
     let next = tx.read(da + D_NEXT_O_ID)?;
     let newest = next - 1;
@@ -521,10 +522,7 @@ mod tests {
             }
         }
         let da = l.district(0, 0);
-        assert_eq!(
-            backend.memory().load(da + D_NO_FIRST),
-            backend.memory().load(da + D_NEXT_O_ID)
-        );
+        assert_eq!(backend.memory().load(da + D_NO_FIRST), backend.memory().load(da + D_NEXT_O_ID));
         l.check_consistency(backend.memory()).unwrap();
     }
 

@@ -126,7 +126,6 @@ fn full_mix_with_spec_lastname_rate_stays_consistent() {
     for _ in 0..1500 {
         w.run_op(&mut t);
     }
-    l.check_consistency(backend.memory())
-        .expect("consistency with 60% by-last-name selection");
+    l.check_consistency(backend.memory()).expect("consistency with 60% by-last-name selection");
     assert!(w.counters.payment > 0 && w.counters.order_status > 0);
 }

@@ -47,7 +47,13 @@ impl Bank {
 
     /// Transactional transfer; declines (without aborting) on insufficient
     /// funds.
-    pub fn transfer(&self, tx: &mut dyn Tx, from: u64, to: u64, amount: u64) -> Result<bool, Abort> {
+    pub fn transfer(
+        &self,
+        tx: &mut dyn Tx,
+        from: u64,
+        to: u64,
+        amount: u64,
+    ) -> Result<bool, Abort> {
         let src = tx.read(self.addr(from))?;
         if src < amount {
             return Ok(false);

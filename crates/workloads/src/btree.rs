@@ -492,10 +492,8 @@ impl BTreeWorker {
     }
 
     fn next_rand(&mut self) -> u64 {
-        self.rng_state = self
-            .rng_state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
+        self.rng_state =
+            self.rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         self.rng_state >> 11
     }
 

@@ -85,11 +85,7 @@ impl TxHashMap {
     pub fn build(memory: &TxMemory, cfg: &HashMapConfig) -> (TxHashMap, Arc<LineAlloc>) {
         let heads = 0;
         let arena_base = cfg.buckets * WORDS_PER_LINE as u64;
-        assert!(
-            memory.len() as u64 > arena_base,
-            "memory too small for {} buckets",
-            cfg.buckets
-        );
+        assert!(memory.len() as u64 > arena_base, "memory too small for {} buckets", cfg.buckets);
         let alloc = LineAlloc::new(arena_base, memory.len() as u64 - arena_base);
         let map = TxHashMap { heads, buckets: cfg.buckets };
         for key in 1..=cfg.initial_keys() {
@@ -396,10 +392,7 @@ mod tests {
         // Size may differ by at most one in-flight insert per thread.
         let n = map.count(backend.memory());
         let base = cfg.initial_keys();
-        assert!(
-            n >= base.saturating_sub(2) && n <= base + 2,
-            "size drifted: {n} vs {base}"
-        );
+        assert!(n >= base.saturating_sub(2) && n <= base + 2, "size drifted: {n} vs {base}");
     }
 
     #[test]

@@ -15,6 +15,6 @@ pub mod btree;
 pub mod driver;
 pub mod hashmap;
 
-pub use driver::{run, RunConfig, RunReport};
 pub use btree::{BTreeWorker, TxBTree};
+pub use driver::{run, RunConfig, RunReport};
 pub use hashmap::{HashMapConfig, HashMapWorker, TxHashMap};

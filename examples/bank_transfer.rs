@@ -53,9 +53,7 @@ fn demo<B: TmBackend>(backend: &B, label: &str) {
 
 fn main() {
     let words = Bank::memory_words(ACCOUNTS);
-    println!(
-        "{ACCOUNTS} accounts, 4 threads, 20% full-sweep audits / 80% transfers\n"
-    );
+    println!("{ACCOUNTS} accounts, 4 threads, 20% full-sweep audits / 80% transfers\n");
     demo(&si_htm::SiHtm::with_defaults(words), "SI-HTM");
     demo(&htm_sgl::HtmSgl::with_defaults(words), "HTM");
     demo(&silo::Silo::new(words), "Silo");

@@ -26,8 +26,7 @@ fn demo<B: TmBackend>(backend: &B) {
         &RunConfig::new(threads, Duration::from_millis(100), Duration::from_millis(500)),
         |i| {
             // 60% lookups, 20% range scans, 20% insert/remove.
-            let mut w =
-                BTreeWorker::new(tree, Arc::clone(&alloc), KEYS, 0.6, 0.2, i, threads);
+            let mut w = BTreeWorker::new(tree, Arc::clone(&alloc), KEYS, 0.6, 0.2, i, threads);
             move |t: &mut B::Thread| w.run_op(t)
         },
     );

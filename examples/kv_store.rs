@@ -40,10 +40,7 @@ fn demo<B: TmBackend>(backend: &B, cfg: &HashMapConfig, threads: usize) {
     );
     // The mixed insert/remove traffic keeps the population stationary.
     let after = map.count(backend.memory());
-    assert!(
-        after.abs_diff(before) <= threads as u64,
-        "map size drifted: {before} -> {after}"
-    );
+    assert!(after.abs_diff(before) <= threads as u64, "map size drifted: {before} -> {after}");
 }
 
 fn main() {

@@ -249,7 +249,11 @@ fn fig4b_safety_wait_then_commit() {
 /// attempt, under heavy interleaving.
 #[test]
 fn fig5_commits_are_never_torn() {
-    let b = SiHtm::new(HtmConfig { cores: 2, smt: 4, ..HtmConfig::default() }, 256, SiHtmConfig::default());
+    let b = SiHtm::new(
+        HtmConfig { cores: 2, smt: 4, ..HtmConfig::default() },
+        256,
+        SiHtmConfig::default(),
+    );
     let stop = AtomicBool::new(false);
 
     crossbeam_utils::thread::scope(|s| {

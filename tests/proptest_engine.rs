@@ -143,10 +143,7 @@ impl Sim {
                 // A self-inflicted abort on a live transaction reports
                 // Explicit; if a kill landed first its reason wins.
                 assert!(
-                    matches!(
-                        r,
-                        AbortReason::Explicit | AbortReason::Conflict | AbortReason::NonTx
-                    ),
+                    matches!(r, AbortReason::Explicit | AbortReason::Conflict | AbortReason::NonTx),
                     "unexpected abort reason {r:?}"
                 );
                 self.model[t] = None;

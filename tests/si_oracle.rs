@@ -50,12 +50,10 @@ fn build_chain(addr: u64, records: &[Record]) -> Result<Vec<u64>, String> {
             if a != addr {
                 continue;
             }
-            let v_read = rec
-                .reads
-                .iter()
-                .find(|(ra, _)| *ra == addr)
-                .map(|&(_, v)| v)
-                .ok_or_else(|| format!("writer of {addr} did not read it first (oracle bug)"))?;
+            let v_read =
+                rec.reads.iter().find(|(ra, _)| *ra == addr).map(|&(_, v)| v).ok_or_else(|| {
+                    format!("writer of {addr} did not read it first (oracle bug)")
+                })?;
             parent.insert(v_new, v_read);
             if let Some(other) = children.insert(v_read, v_new) {
                 return Err(format!(
@@ -128,9 +126,7 @@ fn check_tx(rec: &Record, chains: &HashMap<u64, Vec<u64>>, all: &[Record]) -> Re
             match included {
                 None => included = Some(saw),
                 Some(prev) if prev != saw => {
-                    return Err(format!(
-                        "fractured snapshot: straddled a commit at {addr}={val}"
-                    ));
+                    return Err(format!("fractured snapshot: straddled a commit at {addr}={val}"));
                 }
                 _ => {}
             }
@@ -158,9 +154,8 @@ fn recorded_histories_satisfy_snapshot_isolation() {
                 let mut t = backend.register_thread();
                 let mut state = thread + 1;
                 let mut next_rand = move || {
-                    state = state
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                     state
                 };
                 for seq in 1..=per_thread {
