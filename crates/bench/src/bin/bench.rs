@@ -2,16 +2,22 @@
 //! counts, on the same machine with the lock-free ownership table vs the
 //! original mutex-sharded directory, for each HTM-based backend.
 //!
-//! Emits `BENCH_1.json` (an array of `{backend, directory, threads,
-//! ops_per_sec, commits, quiesce_waits}` rows) plus a human-readable
-//! summary with per-thread-count speedups. Running both directory kinds in
-//! one process keeps the comparison apples-to-apples: same build, same box,
-//! same load, back to back.
+//! Emits `BENCH_1.json` (an array of rows carrying the throughput plus the
+//! full abort taxonomy: conflict / non-tx / capacity / explicit aborts,
+//! quiescence waits and slots polled, SGL acquisitions, and per-path
+//! commit counts) plus a human-readable summary with per-thread-count
+//! speedups. Running both directory kinds in one process keeps the
+//! comparison apples-to-apples: same build, same box, same load, back to
+//! back.
+//!
+//! Environment overrides: `HTM_SIM_DIR=locked|lockfree` restricts the run
+//! to one directory kind (default: both, for the ablation);
+//! `HTM_SIM_PIN=scatter|pack` selects the thread-pinning layout.
 //!
 //! Usage: `cargo run --release --bin bench [-- --quick]`
 
 use bench::{hashmap_point_with, Backend, Point};
-use htm_sim::{DirectoryKind, HtmConfig};
+use htm_sim::{DirectoryKind, HtmConfig, PinLayout};
 use std::fmt::Write as _;
 use std::time::Duration;
 use workloads::hashmap::HashMapConfig;
@@ -24,6 +30,28 @@ struct Row {
     directory: &'static str,
     threads: usize,
     point: Point,
+}
+
+/// Directory kinds to measure: both (the ablation) unless `HTM_SIM_DIR`
+/// picks one.
+fn directory_kinds() -> Vec<DirectoryKind> {
+    match std::env::var("HTM_SIM_DIR") {
+        Ok(v) => {
+            let kind = DirectoryKind::parse(&v)
+                .unwrap_or_else(|| panic!("HTM_SIM_DIR: unknown directory kind '{v}'"));
+            vec![kind]
+        }
+        Err(_) => vec![DirectoryKind::Locked, DirectoryKind::LockFree],
+    }
+}
+
+fn pin_layout() -> PinLayout {
+    match std::env::var("HTM_SIM_PIN") {
+        Ok(v) => {
+            PinLayout::parse(&v).unwrap_or_else(|| panic!("HTM_SIM_PIN: unknown pin layout '{v}'"))
+        }
+        Err(_) => PinLayout::default(),
+    }
 }
 
 fn dir_name(kind: DirectoryKind) -> &'static str {
@@ -47,17 +75,23 @@ fn main() {
     // node array cache-resident, so the directory probes — the thing this
     // ablation measures — are not drowned out by DRAM pointer-chasing).
     let cfg = HashMapConfig::paper(true, 0.9, true);
+    let kinds = directory_kinds();
+    let pin = pin_layout();
 
     let mut rows = Vec::new();
     for &threads in &THREADS {
         for backend in BACKENDS {
-            for kind in [DirectoryKind::Locked, DirectoryKind::LockFree] {
+            for &kind in &kinds {
                 // Raw-cost ablation: disable the untracked-read cost
                 // compensation (see `HtmConfig::untracked_read_spin`) so
                 // both directory variants are measured without the
                 // simulated-uniformity padding.
-                let htm_cfg =
-                    HtmConfig { directory: kind, untracked_read_spin: 0, ..HtmConfig::default() };
+                let htm_cfg = HtmConfig {
+                    directory: kind,
+                    pin,
+                    untracked_read_spin: 0,
+                    ..HtmConfig::default()
+                };
                 let point = hashmap_point_with(backend, htm_cfg, &cfg, threads, warmup, duration);
                 eprintln!(
                     "{:>7} {:>8} {:>3} threads: {:>12.0} ops/s",
@@ -80,16 +114,35 @@ fn main() {
     let mut json = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
         let sep = if i + 1 == rows.len() { "" } else { "," };
+        let s = &r.point.report.total;
+        let attempts =
+            s.commits + s.aborts_conflict + s.aborts_nontx + s.aborts_capacity + s.aborts_explicit;
+        let abort_rate =
+            if attempts == 0 { 0.0 } else { (attempts - s.commits) as f64 / attempts as f64 };
         writeln!(
             json,
-            "  {{\"backend\": \"{}\", \"directory\": \"{}\", \"threads\": {}, \
-             \"ops_per_sec\": {:.1}, \"commits\": {}, \"quiesce_waits\": {}}}{sep}",
+            "  {{\"backend\": \"{}\", \"directory\": \"{}\", \"pin\": \"{}\", \"threads\": {}, \
+             \"ops_per_sec\": {:.1}, \"commits\": {}, \"ro_commits\": {}, \"sgl_commits\": {}, \
+             \"sw_commits\": {}, \"aborts_conflict\": {}, \"aborts_nontx\": {}, \
+             \"aborts_capacity\": {}, \"aborts_explicit\": {}, \"abort_rate\": {:.4}, \
+             \"quiesce_waits\": {}, \"quiesce_polled\": {}, \"sgl_acquisitions\": {}}}{sep}",
             r.backend,
             r.directory,
+            pin.name(),
             r.threads,
             r.point.throughput,
-            r.point.report.total.commits,
-            r.point.report.total.quiesce_waits,
+            s.commits,
+            s.ro_commits,
+            s.sgl_commits,
+            s.sw_commits,
+            s.aborts_conflict,
+            s.aborts_nontx,
+            s.aborts_capacity,
+            s.aborts_explicit,
+            abort_rate,
+            s.quiesce_waits,
+            s.quiesce_polled,
+            s.sgl_acquisitions,
         )
         .unwrap();
     }
@@ -98,18 +151,20 @@ fn main() {
     std::fs::write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
 
     // Aggregate speedup per thread count: sum of ops/s across backends,
-    // lock-free over locked.
-    println!("\nthreads  locked(aggregate)  lockfree(aggregate)  speedup");
-    for &threads in &THREADS {
-        let sum = |dir: &str| -> f64 {
-            rows.iter()
-                .filter(|r| r.threads == threads && r.directory == dir)
-                .map(|r| r.point.throughput)
-                .sum()
-        };
-        let locked = sum("locked");
-        let lockfree = sum("lockfree");
-        println!("{threads:>7}  {locked:>17.0}  {lockfree:>19.0}  {:>6.2}x", lockfree / locked);
+    // lock-free over locked. Only meaningful when both kinds were run.
+    if kinds.len() == 2 {
+        println!("\nthreads  locked(aggregate)  lockfree(aggregate)  speedup");
+        for &threads in &THREADS {
+            let sum = |dir: &str| -> f64 {
+                rows.iter()
+                    .filter(|r| r.threads == threads && r.directory == dir)
+                    .map(|r| r.point.throughput)
+                    .sum()
+            };
+            let locked = sum("locked");
+            let lockfree = sum("lockfree");
+            println!("{threads:>7}  {locked:>17.0}  {lockfree:>19.0}  {:>6.2}x", lockfree / locked);
+        }
     }
     println!("\nwrote {out}");
 }

@@ -36,6 +36,7 @@ use tm_api::{
     policy::RetryState, Abort, Outcome, RetryPolicy, ThreadStats, TmBackend, TmThread, Tx, TxBody,
     TxKind,
 };
+use txmem::hooks::{self, Event};
 use txmem::{round_up_to_line, Addr, TxMemory, WORDS_PER_LINE};
 
 const SGL_FREE: u64 = 0;
@@ -130,6 +131,7 @@ impl HtmSglThread {
     fn wait_sgl_free(&self) {
         let backoff = Backoff::new();
         while self.sgl_locked() {
+            hooks::emit(Event::Poll);
             backoff.snooze();
             if backoff.is_completed() {
                 std::thread::yield_now();
@@ -185,6 +187,7 @@ impl HtmSglThread {
             }
         }
         self.stats.sgl_acquisitions += 1;
+        hooks::emit(Event::SglLock);
         // Deliver the subscription kills: rewrite the (already-owned) lock
         // word through the conflict-checked path, aborting every hardware
         // transaction that has the word in its read set.
@@ -210,6 +213,7 @@ impl HtmSglThread {
             Err(Abort::Backend) => unreachable!("the SGL path cannot incur backend aborts"),
         };
         mem.store_release(self.inner.sgl_addr, SGL_FREE);
+        hooks::emit(Event::SglUnlock { committed: outcome == Outcome::Committed });
         outcome
     }
 }

@@ -16,6 +16,49 @@ pub enum DirectoryKind {
     Locked,
 }
 
+impl DirectoryKind {
+    /// Parse the `HTM_SIM_DIR` spelling.
+    pub fn parse(s: &str) -> Option<DirectoryKind> {
+        match s {
+            "lockfree" | "lock-free" => Some(DirectoryKind::LockFree),
+            "locked" => Some(DirectoryKind::Locked),
+            _ => None,
+        }
+    }
+}
+
+/// How hardware-thread ids map onto cores (which threads share a TMCAM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PinLayout {
+    /// Round-robin across cores: SMT sharing only begins once every core
+    /// already runs one thread — the pinning used by the paper's run
+    /// scripts, and the default.
+    #[default]
+    Scatter,
+    /// Fill each core's SMT ways before moving to the next core:
+    /// maximises TMCAM sharing at low thread counts (the adversarial
+    /// layout for capacity experiments).
+    Pack,
+}
+
+impl PinLayout {
+    /// Parse the `HTM_SIM_PIN` spelling.
+    pub fn parse(s: &str) -> Option<PinLayout> {
+        match s {
+            "scatter" | "rr" => Some(PinLayout::Scatter),
+            "pack" | "fill" => Some(PinLayout::Pack),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            PinLayout::Scatter => "scatter",
+            PinLayout::Pack => "pack",
+        }
+    }
+}
+
 /// Configuration of the simulated POWER machine.
 ///
 /// The defaults model the paper's testbed: one POWER8 8284-22A processor
@@ -50,6 +93,8 @@ pub struct HtmConfig {
     pub untracked_read_spin: u32,
     /// Which conflict-directory implementation to use.
     pub directory: DirectoryKind,
+    /// How thread ids are pinned onto cores (TMCAM-sharing layout).
+    pub pin: PinLayout,
     /// Number of conflict-directory shards (power of two). Only meaningful
     /// with [`DirectoryKind::Locked`]; the lock-free table ignores it.
     pub directory_shards: usize,
@@ -81,6 +126,7 @@ impl Default for HtmConfig {
             lvdir: None,
             untracked_read_spin: 3,
             directory: DirectoryKind::default(),
+            pin: PinLayout::default(),
             directory_shards: 256,
         }
     }
@@ -102,11 +148,29 @@ impl HtmConfig {
         self.cores * self.smt
     }
 
-    /// Virtual core hosting hardware thread `tid` (round-robin pinning, so
-    /// SMT sharing only begins once every core already runs one thread —
-    /// the pinning used by the paper's run scripts).
+    /// Virtual core hosting hardware thread `tid`, per the configured
+    /// [`PinLayout`].
     pub fn core_of(&self, tid: usize) -> usize {
-        tid % self.cores
+        match self.pin {
+            PinLayout::Scatter => tid % self.cores,
+            PinLayout::Pack => (tid / self.smt) % self.cores,
+        }
+    }
+
+    /// Apply environment overrides: `HTM_SIM_DIR=locked|lockfree` selects
+    /// the conflict directory, `HTM_SIM_PIN=scatter|pack` the pinning
+    /// layout. Unknown values panic (a silently ignored override is worse
+    /// than a crash in a bench or stress run).
+    pub fn apply_env(mut self) -> Self {
+        if let Ok(v) = std::env::var("HTM_SIM_DIR") {
+            self.directory = DirectoryKind::parse(&v)
+                .unwrap_or_else(|| panic!("HTM_SIM_DIR: unknown directory kind '{v}'"));
+        }
+        if let Ok(v) = std::env::var("HTM_SIM_PIN") {
+            self.pin = PinLayout::parse(&v)
+                .unwrap_or_else(|| panic!("HTM_SIM_PIN: unknown pin layout '{v}'"));
+        }
+        self
     }
 
     /// Number of core pairs (for LVDIR sharing).
@@ -147,6 +211,26 @@ mod tests {
         assert_eq!(c.core_of(9), 9);
         assert_eq!(c.core_of(10), 0);
         assert_eq!(c.core_of(79), 9);
+    }
+
+    #[test]
+    fn pack_pinning_fills_smt_ways_first() {
+        let c = HtmConfig { pin: PinLayout::Pack, ..HtmConfig::default() };
+        assert_eq!(c.core_of(0), 0);
+        assert_eq!(c.core_of(7), 0); // SMT-8: first 8 threads share core 0
+        assert_eq!(c.core_of(8), 1);
+        assert_eq!(c.core_of(79), 9);
+        assert_eq!(c.core_of(80), 0); // over-subscription wraps
+    }
+
+    #[test]
+    fn env_spellings_parse() {
+        assert_eq!(DirectoryKind::parse("locked"), Some(DirectoryKind::Locked));
+        assert_eq!(DirectoryKind::parse("lockfree"), Some(DirectoryKind::LockFree));
+        assert_eq!(DirectoryKind::parse("nope"), None);
+        assert_eq!(PinLayout::parse("scatter"), Some(PinLayout::Scatter));
+        assert_eq!(PinLayout::parse("pack"), Some(PinLayout::Pack));
+        assert_eq!(PinLayout::parse("nope"), None);
     }
 
     #[test]

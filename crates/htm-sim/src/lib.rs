@@ -64,7 +64,7 @@ pub mod tmcam;
 pub mod txn;
 pub mod util;
 
-pub use config::{DirectoryKind, HtmConfig, LvdirConfig};
+pub use config::{DirectoryKind, HtmConfig, LvdirConfig, PinLayout};
 pub use status::{AbortReason, NonTxClass, TxMode, TxState};
 pub use txn::HtmThread;
 

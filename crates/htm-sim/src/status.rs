@@ -57,6 +57,32 @@ impl NonTxClass {
     }
 }
 
+// The check-hook event vocabulary lives in `txmem` (below this crate in
+// the dependency order) and mirrors the abort taxonomy as `AbortCode`.
+impl From<txmem::hooks::AbortCode> for AbortReason {
+    fn from(code: txmem::hooks::AbortCode) -> Self {
+        use txmem::hooks::AbortCode as C;
+        match code {
+            C::Conflict => AbortReason::Conflict,
+            C::NonTx => AbortReason::NonTx,
+            C::Capacity => AbortReason::Capacity,
+            C::Explicit => AbortReason::Explicit,
+        }
+    }
+}
+
+impl From<AbortReason> for txmem::hooks::AbortCode {
+    fn from(reason: AbortReason) -> Self {
+        use txmem::hooks::AbortCode as C;
+        match reason {
+            AbortReason::Conflict => C::Conflict,
+            AbortReason::NonTx => C::NonTx,
+            AbortReason::Capacity => C::Capacity,
+            AbortReason::Explicit => C::Explicit,
+        }
+    }
+}
+
 /// Decoded status-word state (low 3 bits).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TxState {

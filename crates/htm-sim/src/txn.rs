@@ -48,6 +48,7 @@ use crate::status::{AbortReason, NonTxClass, TxMode, TxState};
 use crate::util::{spin_wait, IntMap};
 use crate::Htm;
 use std::sync::Arc;
+use txmem::hooks::{self, Event, InjectPoint};
 use txmem::{line_of, Addr, Line, TxMemory, VirtualClock};
 
 /// Per-line tracking flags of the current transaction.
@@ -198,6 +199,7 @@ impl HtmThread {
         self.lvdir_user =
             !unbounded && mode == TxMode::Htm && self.htm.cores().try_join_lvdir(self.core);
         self.htm.slots().store(self.tid, self.inc, TxState::Active(mode));
+        hooks::emit(Event::Begin { rot: mode == TxMode::Rot });
     }
 
     /// If the active transaction has been killed, report the reason
@@ -217,6 +219,7 @@ impl HtmThread {
         match self.htm.slots().load(self.tid) {
             (_, TxState::Aborted(r)) => {
                 self.cleanup();
+                hooks::emit(Event::Abort { reason: r.into() });
                 Err(r)
             }
             _ => Ok(()),
@@ -359,6 +362,9 @@ impl HtmThread {
             return Ok(self.read_notx(addr, NonTxClass::Data));
         }
         self.check_self()?;
+        if let Some(code) = hooks::inject(InjectPoint::Access) {
+            return Err(self.self_abort(code.into()));
+        }
         let mode = self.mode.expect("read outside transaction");
         let line = line_of(addr);
 
@@ -367,17 +373,17 @@ impl HtmThread {
         if let Some(&f) = self.lines.get(&line) {
             if f & flags::WRITE != 0 {
                 // Our own write set: we see our buffered stores.
-                return Ok(self
-                    .wbuf
-                    .get(&addr)
-                    .copied()
-                    .unwrap_or_else(|| self.memory().load(addr)));
+                let val = self.wbuf.get(&addr).copied().unwrap_or_else(|| self.memory().load(addr));
+                hooks::emit(Event::Read { addr, val, tx: true });
+                return Ok(val);
             }
             if f & flags::READ_REG != 0 {
                 // Already a tracked reader: any conflicting writer would
                 // have had to kill us first, so plain memory is consistent
                 // (a kill that raced us is observed at the next access).
-                return Ok(self.memory().load(addr));
+                let val = self.memory().load(addr);
+                hooks::emit(Event::Read { addr, val, tx: true });
+                return Ok(val);
             }
         }
 
@@ -402,7 +408,9 @@ impl HtmThread {
             self.resolve_writer(line, Some(me), AbortReason::Conflict);
             self.compensate_untracked_read();
         }
-        Ok(self.memory().load(addr))
+        let val = self.memory().load(addr);
+        hooks::emit(Event::Read { addr, val, tx: true });
+        Ok(val)
     }
 
     /// Transactional write (`st` inside a transaction). Buffered until
@@ -413,12 +421,16 @@ impl HtmThread {
             return Ok(());
         }
         self.check_self()?;
+        if let Some(code) = hooks::inject(InjectPoint::Access) {
+            return Err(self.self_abort(code.into()));
+        }
         debug_assert!(self.mode.is_some(), "write outside transaction");
         let line = line_of(addr);
 
         // Owned-line fast path: one private map probe, no shared state.
         if self.lines.get(&line).is_some_and(|f| f & flags::WRITE != 0) {
             self.wbuf.insert(addr, val);
+            hooks::emit(Event::Write { addr, val, tx: true });
             return Ok(());
         }
 
@@ -459,6 +471,7 @@ impl HtmThread {
 
         *self.lines.entry(line).or_insert(0) |= flags::WRITE;
         self.wbuf.insert(addr, val);
+        hooks::emit(Event::Write { addr, val, tx: true });
         Ok(())
     }
 
@@ -467,6 +480,7 @@ impl HtmThread {
         assert!(self.mode.is_some(), "suspend outside transaction");
         assert!(!self.suspended, "already suspended");
         self.suspended = true;
+        hooks::emit(Event::Suspend);
     }
 
     /// `tresume.`: leave the suspend window. Conflicts signalled while
@@ -475,6 +489,7 @@ impl HtmThread {
         assert!(self.mode.is_some(), "resume outside transaction");
         assert!(self.suspended, "resume without suspend");
         self.suspended = false;
+        hooks::emit(Event::Resume);
         self.check_self()
     }
 
@@ -482,6 +497,9 @@ impl HtmThread {
     pub fn commit(&mut self) -> Result<(), AbortReason> {
         let mode = self.mode.expect("commit outside transaction");
         assert!(!self.suspended, "commit while suspended");
+        if let Some(code) = hooks::inject(InjectPoint::Commit) {
+            return Err(self.self_abort(code.into()));
+        }
         match self.htm.slots().transition(
             self.tid,
             self.inc,
@@ -491,6 +509,7 @@ impl HtmThread {
             Ok(()) => {}
             Err((_, TxState::Aborted(r))) => {
                 self.cleanup();
+                hooks::emit(Event::Abort { reason: r.into() });
                 return Err(r);
             }
             Err(other) => unreachable!("commit from state {other:?}"),
@@ -504,6 +523,7 @@ impl HtmThread {
             self.memory().store_release(addr, val);
         }
         self.cleanup();
+        hooks::emit(Event::Commit);
         Ok(())
     }
 
@@ -536,6 +556,7 @@ impl HtmThread {
             }
         };
         self.cleanup();
+        hooks::emit(Event::Abort { reason: final_reason.into() });
         final_reason
     }
 
@@ -572,12 +593,16 @@ impl HtmThread {
     pub fn read_notx(&mut self, addr: Addr, class: NonTxClass) -> u64 {
         let line = line_of(addr);
         if self.mode.is_some() && self.lines.get(&line).is_some_and(|f| f & flags::WRITE != 0) {
-            return self.wbuf.get(&addr).copied().unwrap_or_else(|| self.memory().load(addr));
+            let val = self.wbuf.get(&addr).copied().unwrap_or_else(|| self.memory().load(addr));
+            hooks::emit(Event::Read { addr, val, tx: false });
+            return val;
         }
         let spare = if self.mode.is_some() { Some(self.me()) } else { None };
         self.resolve_writer(line, spare, class.kill_reason());
         self.compensate_untracked_read();
-        self.memory().load(addr)
+        let val = self.memory().load(addr);
+        hooks::emit(Event::Read { addr, val, tx: false });
+        val
     }
 
     /// Non-transactional write: kills any active writer *and* all tracked
@@ -592,6 +617,7 @@ impl HtmThread {
         self.resolve_writer(line, None, reason);
         self.kill_readers(line, None, reason);
         self.memory().store_release(addr, val);
+        hooks::emit(Event::Write { addr, val, tx: false });
     }
 }
 

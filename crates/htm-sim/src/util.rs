@@ -18,6 +18,9 @@ use std::hash::{BuildHasherDefault, Hasher};
 pub fn spin_wait(mut cond: impl FnMut() -> bool) {
     let backoff = Backoff::new();
     while !cond() {
+        // Under tm-check's cooperative scheduler this Poll is the yield
+        // point that lets the thread being waited on actually run.
+        txmem::hooks::emit(txmem::hooks::Event::Poll);
         backoff.snooze();
         if backoff.is_completed() {
             std::thread::yield_now();

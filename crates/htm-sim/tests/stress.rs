@@ -1,4 +1,9 @@
 //! Multi-threaded stress and behavioural tests of the P8-HTM simulator.
+//!
+//! The machine-level tests honour `HTM_SIM_DIR=locked|lockfree` and
+//! `HTM_SIM_PIN=scatter|pack`, so the suite can be re-run against the
+//! alternative conflict directory and the adversarial pinning layout:
+//! `HTM_SIM_DIR=locked HTM_SIM_PIN=pack cargo test -p htm-sim --test stress`.
 
 use htm_sim::{AbortReason, Htm, HtmConfig, NonTxClass, TxMode};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,7 +32,7 @@ fn run_tx(
 fn htm_mode_counters_never_lose_updates() {
     // Regular (tracked-read) transactions over shared lines: serializable,
     // so no increment may be lost.
-    let htm = Htm::new(HtmConfig { cores: 2, smt: 4, ..HtmConfig::default() }, 16 * 8);
+    let htm = Htm::new(HtmConfig { cores: 2, smt: 4, ..HtmConfig::default() }.apply_env(), 16 * 8);
     let threads = 6;
     let per = 250u64;
     crossbeam_utils::thread::scope(|s| {
@@ -57,7 +62,7 @@ fn raw_rot_read_modify_write_loses_updates() {
     // a ROT's read is untracked, so a concurrent writer that commits
     // between the read and the write goes undetected and its update is
     // silently overwritten. Deterministic schedule, single OS thread.
-    let htm = Htm::new(HtmConfig::small(), 256);
+    let htm = Htm::new(HtmConfig::small().apply_env(), 256);
     let mut a = htm.register_thread();
     let mut b = htm.register_thread();
 
@@ -81,7 +86,7 @@ fn multi_line_commits_are_atomic_under_transactional_readers() {
     // stamp; HTM-mode readers (tracked, so they conflict rather than
     // race) must always observe a uniform batch.
     const LINES: u64 = 4;
-    let htm = Htm::new(HtmConfig { cores: 2, smt: 2, ..HtmConfig::default() }, 16 * 8);
+    let htm = Htm::new(HtmConfig { cores: 2, smt: 2, ..HtmConfig::default() }.apply_env(), 16 * 8);
     let stop = Arc::new(AtomicU64::new(0));
 
     crossbeam_utils::thread::scope(|s| {
@@ -204,7 +209,7 @@ fn nontx_writes_do_not_corrupt_transactional_lines() {
     // get killed and retried, which is the point.
     const A: u64 = 0;
     const B: u64 = 16;
-    let htm = Htm::new(HtmConfig { cores: 2, smt: 2, ..HtmConfig::default() }, 64);
+    let htm = Htm::new(HtmConfig { cores: 2, smt: 2, ..HtmConfig::default() }.apply_env(), 64);
     let tx_done = AtomicU64::new(0);
     crossbeam_utils::thread::scope(|s| {
         {

@@ -1,0 +1,209 @@
+//! TMCAM capacity edge cases (§2.1: an 8 KB TMCAM of 64 x 128-byte lines
+//! per core, shared among the core's SMT threads).
+//!
+//! These tests pin the *exact* boundary — the 64th distinct line fits and
+//! commits, the 65th capacity-aborts — plus the SMT-sibling budget sharing
+//! and the footnote-1 partial tracking of ROT reads, all at the paper's
+//! full 64-line TMCAM size rather than the scaled-down sizes the stress
+//! suite uses.
+
+use htm_sim::{AbortReason, Htm, HtmConfig, TxMode};
+use txmem::WORDS_PER_LINE;
+
+const LINES: u64 = 64;
+
+fn line_addr(i: u64) -> u64 {
+    i * WORDS_PER_LINE as u64
+}
+
+fn solo_machine() -> std::sync::Arc<Htm> {
+    // One hardware thread: the whole TMCAM belongs to it.
+    Htm::new(
+        HtmConfig { cores: 1, smt: 1, ..HtmConfig::default() },
+        ((LINES + 8) * WORDS_PER_LINE as u64) as usize,
+    )
+}
+
+#[test]
+fn sixty_fourth_distinct_line_commits() {
+    let htm = solo_machine();
+    let mut t = htm.register_thread();
+    t.begin(TxMode::Htm);
+    for i in 0..LINES {
+        t.write(line_addr(i), i + 1).unwrap();
+    }
+    assert_eq!(t.tmcam_footprint(), LINES);
+    t.commit().unwrap();
+    for i in 0..LINES {
+        assert_eq!(htm.memory().load(line_addr(i)), i + 1);
+    }
+}
+
+#[test]
+fn sixty_fifth_distinct_line_capacity_aborts() {
+    let htm = solo_machine();
+    let mut t = htm.register_thread();
+    t.begin(TxMode::Htm);
+    for i in 0..LINES {
+        t.write(line_addr(i), 1).unwrap();
+    }
+    assert_eq!(t.write(line_addr(LINES), 1), Err(AbortReason::Capacity));
+    // The abort tore the transaction down: nothing reached memory.
+    for i in 0..=LINES {
+        assert_eq!(htm.memory().load(line_addr(i)), 0);
+    }
+}
+
+#[test]
+fn repeated_accesses_to_a_tracked_line_are_free() {
+    // Capacity is per distinct *line*, not per access: re-reading and
+    // re-writing tracked lines (and other words of the same line) must not
+    // consume new entries.
+    let htm = solo_machine();
+    let mut t = htm.register_thread();
+    t.begin(TxMode::Htm);
+    for i in 0..LINES {
+        t.write(line_addr(i), 1).unwrap();
+    }
+    for i in 0..LINES {
+        assert_eq!(t.read(line_addr(i)), Ok(1));
+        t.write(line_addr(i) + 1, 2).unwrap(); // same line, different word
+    }
+    assert_eq!(t.tmcam_footprint(), LINES);
+    t.commit().unwrap();
+}
+
+#[test]
+fn smt_siblings_share_the_tmcam_budget() {
+    // Two threads on one core: their combined footprint is capped at 64,
+    // and the sibling's share is released the moment it commits.
+    let htm = Htm::new(
+        HtmConfig { cores: 1, smt: 2, ..HtmConfig::default() },
+        ((2 * LINES + 8) * WORDS_PER_LINE as u64) as usize,
+    );
+    let mut a = htm.register_thread();
+    let mut b = htm.register_thread();
+
+    a.begin(TxMode::Htm);
+    for i in 0..40 {
+        a.write(line_addr(i), 1).unwrap();
+    }
+    b.begin(TxMode::Htm);
+    for i in 40..LINES {
+        b.write(line_addr(i), 1).unwrap();
+    }
+    // 40 + 24 = 64: the core's TMCAM is full, so b's next distinct line
+    // overflows even though b itself holds far fewer than 64 entries.
+    assert_eq!(b.write(line_addr(LINES), 1), Err(AbortReason::Capacity));
+    a.commit().unwrap();
+    // With a's 40 entries released, the same footprint now fits.
+    b.begin(TxMode::Htm);
+    for i in 40..=LINES {
+        b.write(line_addr(i), 1).unwrap();
+    }
+    b.commit().unwrap();
+}
+
+#[test]
+fn threads_on_different_cores_have_independent_budgets() {
+    // Scatter pinning puts tids 0 and 1 on different cores: both can fill
+    // all 64 lines of their own TMCAM simultaneously.
+    let htm = Htm::new(
+        HtmConfig { cores: 2, smt: 1, ..HtmConfig::default() },
+        ((2 * LINES) * WORDS_PER_LINE as u64) as usize,
+    );
+    let mut a = htm.register_thread();
+    let mut b = htm.register_thread();
+    a.begin(TxMode::Htm);
+    b.begin(TxMode::Htm);
+    for i in 0..LINES {
+        a.write(line_addr(i), 1).unwrap();
+        b.write(line_addr(LINES + i), 2).unwrap();
+    }
+    assert_eq!(a.tmcam_footprint(), LINES);
+    assert_eq!(b.tmcam_footprint(), LINES);
+    a.commit().unwrap();
+    b.commit().unwrap();
+}
+
+#[test]
+fn rot_reads_are_untracked_by_default() {
+    // The paper's model (rot_read_tracking = 0): a ROT can read far past
+    // the TMCAM size because reads consume no entries; only its writes do.
+    let cfg = HtmConfig { cores: 1, smt: 1, ..HtmConfig::default() };
+    let htm = Htm::new(cfg, (4 * LINES * WORDS_PER_LINE as u64) as usize);
+    let mut t = htm.register_thread();
+    t.begin(TxMode::Rot);
+    for i in 0..3 * LINES {
+        t.read(line_addr(i)).unwrap();
+    }
+    assert_eq!(t.tmcam_footprint(), 0, "ROT reads must not consume TMCAM entries");
+    t.write(line_addr(0), 7).unwrap();
+    assert_eq!(t.tmcam_footprint(), 1);
+    t.commit().unwrap();
+}
+
+#[test]
+fn rot_read_tracking_fraction_consumes_proportional_capacity() {
+    // Footnote 1: "the TMCAM can also track a small fraction of reads in a
+    // ROT". With fraction f over L distinct lines the expected footprint
+    // is f*L; sampling is deterministic per line, so the footprint is
+    // reproducible run to run.
+    const READ_LINES: u64 = 240;
+    let cfg = HtmConfig {
+        cores: 1,
+        smt: 1,
+        tmcam_lines: 256,
+        rot_read_tracking: 0.125,
+        ..HtmConfig::default()
+    };
+    let htm = Htm::new(cfg.clone(), ((READ_LINES + 8) * WORDS_PER_LINE as u64) as usize);
+    let mut t = htm.register_thread();
+    t.begin(TxMode::Rot);
+    for i in 0..READ_LINES {
+        t.read(line_addr(i)).unwrap();
+    }
+    let tracked = t.tmcam_footprint();
+    // Expected 30 (0.125 * 240); accept a generous band around it, but
+    // reject both "tracks nothing" and "tracks everything".
+    assert!(
+        (8..=80).contains(&tracked),
+        "~12.5% of {READ_LINES} read lines should be tracked, got {tracked}"
+    );
+    t.commit().unwrap();
+
+    // Determinism of the per-line sampling: a second identical machine
+    // tracks exactly the same count.
+    let htm2 = Htm::new(cfg, ((READ_LINES + 8) * WORDS_PER_LINE as u64) as usize);
+    let mut t2 = htm2.register_thread();
+    t2.begin(TxMode::Rot);
+    for i in 0..READ_LINES {
+        t2.read(line_addr(i)).unwrap();
+    }
+    assert_eq!(t2.tmcam_footprint(), tracked);
+    t2.commit().unwrap();
+}
+
+#[test]
+fn rot_tracked_reads_can_capacity_abort() {
+    // With a high tracked fraction and a tiny TMCAM, a read-only ROT scan
+    // overflows — the failure mode footnote 1 warns about.
+    let cfg = HtmConfig {
+        cores: 1,
+        smt: 1,
+        tmcam_lines: 8,
+        rot_read_tracking: 0.5,
+        ..HtmConfig::default()
+    };
+    let htm = Htm::new(cfg, 64 * WORDS_PER_LINE);
+    let mut t = htm.register_thread();
+    t.begin(TxMode::Rot);
+    let mut err = None;
+    for i in 0..64u64 {
+        if let Err(e) = t.read(line_addr(i)) {
+            err = Some(e);
+            break;
+        }
+    }
+    assert_eq!(err, Some(AbortReason::Capacity), "half-tracked ROT reads must overflow 8 lines");
+}

@@ -35,6 +35,7 @@ use tm_api::{
     policy::RetryState, Abort, Outcome, RetryPolicy, ThreadStats, TmBackend, TmThread, Tx, TxBody,
     TxKind,
 };
+use txmem::hooks::{self, AbortCode, Event};
 use txmem::{line_of, Addr, Line, TxMemory};
 
 /// Tunables of the P8TM layer.
@@ -281,6 +282,7 @@ impl P8tmThread {
         let mut retry = RetryState::new(&policy);
         loop {
             self.sync_with_gl();
+            hooks::emit(Event::RoBegin);
             self.read_log.clear();
             self.seen.clear();
             let r = {
@@ -299,10 +301,12 @@ impl P8tmThread {
                         self.inner.state.set_inactive(self.tid);
                         self.stats.commits += 1;
                         self.stats.ro_commits += 1;
+                        hooks::emit(Event::RoCommit);
                         return Outcome::Committed;
                     }
                     self.inner.state.set_inactive(self.tid);
                     self.stats.record_abort(AbortReason::Conflict);
+                    hooks::emit(Event::Abort { reason: AbortCode::Conflict });
                     if !retry.on_abort(&policy, AbortReason::Conflict) {
                         return self.exec_sgl(body);
                     }
@@ -310,6 +314,7 @@ impl P8tmThread {
                 Err(Abort::User) => {
                     self.inner.state.set_inactive(self.tid);
                     self.stats.user_aborts += 1;
+                    hooks::emit(Event::Abort { reason: AbortCode::Explicit });
                     return Outcome::UserAborted;
                 }
                 Err(Abort::Backend) => {
@@ -325,6 +330,7 @@ impl P8tmThread {
         self.inner.sgl.lock(self.tid);
         self.stats.sgl_acquisitions += 1;
         spin_wait(|| self.inner.state.all_inactive_except(self.tid));
+        hooks::emit(Event::SglLock);
         self.write_lines.clear();
         let (result, wbuf) = {
             let mut tx = SglTx {
@@ -353,6 +359,7 @@ impl P8tmThread {
             Err(Abort::Backend) => unreachable!("the SGL path cannot incur backend aborts"),
         };
         self.inner.sgl.unlock(self.tid);
+        hooks::emit(Event::SglUnlock { committed: outcome == Outcome::Committed });
         outcome
     }
 }

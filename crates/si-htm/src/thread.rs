@@ -7,6 +7,7 @@ use htm_sim::{AbortReason, HtmThread, NonTxClass, TxMode};
 use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
 use tm_api::{Abort, Outcome, ThreadStats, TmThread, Tx, TxBody, TxKind};
+use txmem::hooks::{self, AbortCode, Event};
 use txmem::Addr;
 
 /// A worker thread registered with the SI-HTM backend.
@@ -49,6 +50,7 @@ impl SiHtmThread {
     /// with plain non-transactional reads; unbounded footprint, no aborts.
     fn exec_ro(&mut self, body: TxBody<'_>) -> Outcome {
         self.sync_with_gl();
+        hooks::emit(Event::RoBegin);
         let r = {
             let mut tx = RoTx { thr: &mut self.thr };
             body(&mut tx)
@@ -61,10 +63,12 @@ impl SiHtmThread {
             Ok(()) => {
                 self.stats.commits += 1;
                 self.stats.ro_commits += 1;
+                hooks::emit(Event::RoCommit);
                 Outcome::Committed
             }
             Err(Abort::User) => {
                 self.stats.user_aborts += 1;
+                hooks::emit(Event::Abort { reason: AbortCode::Explicit });
                 Outcome::UserAborted
             }
             Err(Abort::Backend) => {
@@ -238,6 +242,7 @@ impl SiHtmThread {
         self.inner.sgl.lock(self.tid);
         self.stats.sgl_acquisitions += 1;
         spin_wait(|| self.inner.state.all_inactive_except(self.tid));
+        hooks::emit(Event::SglLock);
         let (result, wbuf) = {
             let mut tx = SglTx { thr: &mut self.thr, wbuf: IntMap::default() };
             let r = body(&mut tx);
@@ -259,6 +264,7 @@ impl SiHtmThread {
             Err(Abort::Backend) => unreachable!("the SGL path cannot incur backend aborts"),
         };
         self.inner.sgl.unlock(self.tid);
+        hooks::emit(Event::SglUnlock { committed: outcome == Outcome::Committed });
         outcome
     }
 }

@@ -27,6 +27,7 @@ use htm_sim::AbortReason;
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
 use tm_api::{Abort, Outcome, ThreadStats, TmBackend, TmThread, Tx, TxBody, TxKind};
+use txmem::hooks::{self, AbortCode, Event, InjectPoint};
 use txmem::{line_of, Addr, Line, TxMemory};
 
 const LOCK_BIT: u64 = 1;
@@ -152,6 +153,7 @@ impl SiloThread {
                     return (v, t1);
                 }
             }
+            hooks::emit(Event::Poll);
             backoff.snooze();
             if backoff.is_completed() {
                 std::thread::yield_now();
@@ -161,6 +163,11 @@ impl SiloThread {
 
     /// Commit protocol. `Err(())` = validation failure (caller retries).
     fn try_commit(&mut self) -> Result<(), ()> {
+        // Fault injection treats a forced commit-point abort as a
+        // validation failure: the retry loop re-runs the body.
+        if hooks::inject(InjectPoint::Commit).is_some() {
+            return Err(());
+        }
         let inner = &self.inner;
         // Phase 1: lock the write set in global (sorted) order.
         self.write_lines.sort_unstable();
@@ -178,6 +185,7 @@ impl SiloThread {
                     locked_prev.push((line, cur));
                     break;
                 }
+                hooks::emit(Event::Poll);
                 backoff.snooze();
                 if backoff.is_completed() {
                     std::thread::yield_now();
@@ -238,6 +246,7 @@ impl TmThread for SiloThread {
     fn exec(&mut self, _kind: TxKind, body: TxBody<'_>) -> Outcome {
         loop {
             self.clear_tx();
+            hooks::emit(Event::Begin { rot: false });
             let r = {
                 let mut tx = SiloTx { thr: self };
                 body(&mut tx)
@@ -249,13 +258,16 @@ impl TmThread for SiloThread {
                         if self.write_lines.is_empty() {
                             self.stats.ro_commits += 1;
                         }
+                        hooks::emit(Event::Commit);
                         return Outcome::Committed;
                     }
                     // OCC validation failure: a transactional conflict.
                     self.stats.record_abort(AbortReason::Conflict);
+                    hooks::emit(Event::Abort { reason: AbortCode::Conflict });
                 }
                 Err(Abort::User) => {
                     self.stats.user_aborts += 1;
+                    hooks::emit(Event::Abort { reason: AbortCode::Explicit });
                     return Outcome::UserAborted;
                 }
                 Err(Abort::Backend) => {
@@ -282,6 +294,7 @@ struct SiloTx<'a> {
 impl Tx for SiloTx<'_> {
     fn read(&mut self, addr: Addr) -> Result<u64, Abort> {
         if let Some(v) = self.thr.wbuf.get(&addr) {
+            hooks::emit(Event::Read { addr, val: *v, tx: true });
             return Ok(*v);
         }
         self.thr.inner.compensate_access();
@@ -290,12 +303,14 @@ impl Tx for SiloTx<'_> {
         if self.thr.read_seen.insert(line) {
             self.thr.read_set.push((line, tid));
         }
+        hooks::emit(Event::Read { addr, val: v, tx: true });
         Ok(v)
     }
 
     fn write(&mut self, addr: Addr, val: u64) -> Result<(), Abort> {
         self.thr.wbuf.insert(addr, val);
         self.thr.write_lines.push(line_of(addr));
+        hooks::emit(Event::Write { addr, val, tx: true });
         Ok(())
     }
 }

@@ -1,0 +1,169 @@
+//! Reconstructing per-transaction histories from the serialized event log.
+//!
+//! The log is a total order of events (the scheduler guarantees it), so a
+//! per-thread state machine suffices: `Begin..Commit` brackets an update
+//! transaction, `RoBegin..RoCommit` a read-only one, `SglLock..SglUnlock`
+//! an exclusive fall-back "transaction". Aborted brackets are discarded —
+//! the TM contract makes no promise about the values doomed transactions
+//! observed, only that their writes never surface.
+
+use std::ops::Range;
+use txmem::hooks::Event;
+use txmem::Addr;
+
+/// One shared-memory access inside a transaction, in program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    Read { addr: Addr, val: u64 },
+    Write { addr: Addr, val: u64 },
+}
+
+/// How the transaction executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnKind {
+    /// Hardware (or software-unbounded) update transaction.
+    Update,
+    /// Read-only fast path (non-transactional instrumented reads).
+    ReadOnly,
+    /// Single-global-lock fall-back (exclusive window).
+    Sgl,
+}
+
+/// A committed transaction reconstructed from the log.
+#[derive(Debug, Clone)]
+pub struct Txn {
+    pub tid: usize,
+    pub kind: TxnKind,
+    /// Log index of the opening event (begin).
+    pub begin_idx: usize,
+    /// Log index of the committing event.
+    pub commit_idx: usize,
+    /// Watched-range accesses in program order.
+    pub ops: Vec<Op>,
+}
+
+impl Txn {
+    /// External reads: watched reads not shadowed by an earlier own write
+    /// (shadowed reads are engine-internal and carry no ordering info).
+    pub fn external_reads(&self) -> Vec<(Addr, u64)> {
+        let mut written: Vec<Addr> = Vec::new();
+        let mut out = Vec::new();
+        for op in &self.ops {
+            match *op {
+                Op::Read { addr, val } => {
+                    if !written.contains(&addr) {
+                        out.push((addr, val));
+                    }
+                }
+                Op::Write { addr, .. } => {
+                    if !written.contains(&addr) {
+                        written.push(addr);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Final value per written address (last write wins).
+    pub fn write_set(&self) -> Vec<(Addr, u64)> {
+        let mut out: Vec<(Addr, u64)> = Vec::new();
+        for op in &self.ops {
+            if let Op::Write { addr, val } = *op {
+                match out.iter_mut().find(|(a, _)| *a == addr) {
+                    Some((_, v)) => *v = val,
+                    None => out.push((addr, val)),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct Open {
+    kind: Option<TxnKind>,
+    begin_idx: usize,
+    ops: Vec<Op>,
+}
+
+/// Build the committed-transaction history from the serialized log,
+/// keeping only accesses within `watched` (workload data; protocol words
+/// such as the subscribed SGL lock are excluded). Returned in commit
+/// order (ascending `commit_idx`).
+pub fn build_history(log: &[(usize, Event)], watched: &Range<Addr>, n_threads: usize) -> Vec<Txn> {
+    let mut open: Vec<Open> = (0..n_threads).map(|_| Open::default()).collect();
+    let mut txns = Vec::new();
+    for (idx, &(tid, ev)) in log.iter().enumerate() {
+        let o = &mut open[tid];
+        match ev {
+            Event::Begin { .. } => {
+                *o = Open { kind: Some(TxnKind::Update), begin_idx: idx, ops: Vec::new() };
+            }
+            Event::RoBegin => {
+                *o = Open { kind: Some(TxnKind::ReadOnly), begin_idx: idx, ops: Vec::new() };
+            }
+            Event::SglLock => {
+                *o = Open { kind: Some(TxnKind::Sgl), begin_idx: idx, ops: Vec::new() };
+            }
+            Event::Read { addr, val, .. } => {
+                if o.kind.is_some() && watched.contains(&addr) {
+                    o.ops.push(Op::Read { addr, val });
+                }
+            }
+            Event::Write { addr, val, .. } => {
+                if o.kind.is_some() && watched.contains(&addr) {
+                    o.ops.push(Op::Write { addr, val });
+                }
+            }
+            Event::Commit => {
+                if o.kind == Some(TxnKind::Update) {
+                    txns.push(Txn {
+                        tid,
+                        kind: TxnKind::Update,
+                        begin_idx: o.begin_idx,
+                        commit_idx: idx,
+                        ops: std::mem::take(&mut o.ops),
+                    });
+                    o.kind = None;
+                }
+                // A Commit while an RO/SGL bracket is open cannot happen:
+                // the brackets nest strictly per thread.
+            }
+            Event::RoCommit => {
+                if o.kind == Some(TxnKind::ReadOnly) {
+                    txns.push(Txn {
+                        tid,
+                        kind: TxnKind::ReadOnly,
+                        begin_idx: o.begin_idx,
+                        commit_idx: idx,
+                        ops: std::mem::take(&mut o.ops),
+                    });
+                    o.kind = None;
+                }
+            }
+            Event::SglUnlock { committed } => {
+                if o.kind == Some(TxnKind::Sgl) {
+                    if committed {
+                        txns.push(Txn {
+                            tid,
+                            kind: TxnKind::Sgl,
+                            begin_idx: o.begin_idx,
+                            commit_idx: idx,
+                            ops: std::mem::take(&mut o.ops),
+                        });
+                    }
+                    o.kind = None;
+                    o.ops.clear();
+                }
+            }
+            Event::Abort { .. } => {
+                // Doomed attempt (hardware, validation, or user): discard.
+                o.kind = None;
+                o.ops.clear();
+            }
+            Event::Suspend | Event::Resume | Event::Poll => {}
+        }
+    }
+    txns
+}

@@ -1,0 +1,160 @@
+//! # tm-check — deterministic schedule exploration for the TM stack
+//!
+//! The simulated POWER8 HTM and every backend built on it
+//! (`htm-sgl`, `si-htm`, `p8tm`, `silo`) emit an event at each simulated
+//! memory access and state transition through the `txmem::hooks` seam
+//! (compiled in under the `check` feature). tm-check installs a
+//! cooperative scheduler at that seam so that **exactly one** thread runs
+//! between yield points; the resulting event log is a serialization of the
+//! run, reconstructible into per-transaction histories and checkable
+//! against the backend's declared consistency model:
+//!
+//! * **snapshot isolation** for SI-HTM (write skew explicitly permitted);
+//! * **strict serializability** for HTM+SGL, P8TM and Silo;
+//! * **workload invariants** (counter sums, bank conservation, B+-tree
+//!   well-formedness) as an end-of-run backstop.
+//!
+//! Runs are seeded and fully reproducible; failures are shrunk to a
+//! minimal choice trace and rendered as a per-thread interleaving.
+
+pub mod history;
+pub mod oracle;
+pub mod scenario;
+pub mod sched;
+pub mod shrink;
+
+pub use scenario::{BackendKind, CheckConfig, WorkloadKind};
+pub use sched::{Choice, FaultPlan};
+
+use sched::{RunResult, Scheduler};
+
+/// Everything observed in one execution of a scenario.
+pub struct RunOutput {
+    pub run: RunResult,
+    pub txns: Vec<history::Txn>,
+    /// First failure detected (panic, oracle violation, or invariant).
+    pub failure: Option<String>,
+}
+
+/// Execute `cfg` once under seed `seed`, replaying `replay` (empty for a
+/// fresh exploration run), and judge the outcome.
+pub fn execute(cfg: &CheckConfig, seed: u64, replay: Vec<Choice>) -> RunOutput {
+    let sc = scenario::build(cfg, seed);
+    let scheduler = Scheduler::new(cfg.threads, seed, cfg.max_steps, cfg.faults, replay);
+    let run = scheduler.run(sc.bodies);
+    let txns = history::build_history(&run.log, &sc.watched, cfg.threads);
+    let mut failure = run.panic.as_ref().map(|p| format!("worker panic: {p}"));
+    if failure.is_none() && !run.overflowed {
+        // An overflowed run's log has a free-running (unserialized) tail,
+        // so the oracles would report nonsense; invariants still apply.
+        let res = if cfg.backend.is_si() {
+            oracle::check_si(&txns, &sc.init)
+        } else {
+            oracle::check_serializable(&txns, &sc.init)
+        };
+        if let Err(v) = res {
+            failure = Some(v.message);
+        }
+    }
+    if failure.is_none() {
+        failure = (sc.check_invariants)();
+    }
+    RunOutput { run, txns, failure }
+}
+
+/// Summary of one passing seed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeedReport {
+    pub committed_txns: usize,
+    pub steps: u64,
+    pub overflowed: bool,
+}
+
+/// A failing seed, with the shrunk reproduction.
+#[derive(Debug, Clone)]
+pub struct CheckFailure {
+    pub seed: u64,
+    pub message: String,
+    /// Human-readable minimal interleaving + context.
+    pub pretty: String,
+    pub original_trace_len: usize,
+    pub shrunk_trace_len: usize,
+    pub shrunk_switches: usize,
+}
+
+const SHRINK_ATTEMPTS: usize = 300;
+
+/// Explore one seed; on failure, shrink and render the reproduction.
+pub fn check_seed(cfg: &CheckConfig, seed: u64) -> Result<SeedReport, CheckFailure> {
+    let out = execute(cfg, seed, Vec::new());
+    let Some(message) = out.failure else {
+        return Ok(SeedReport {
+            committed_txns: out.txns.len(),
+            steps: out.run.steps,
+            overflowed: out.run.overflowed,
+        });
+    };
+    let original = out.run.trace;
+    let shrunk = shrink::shrink(
+        original.clone(),
+        |cand| execute(cfg, seed, cand.to_vec()).failure.is_some(),
+        SHRINK_ATTEMPTS,
+    );
+    let final_out = execute(cfg, seed, shrunk.clone());
+    // Shrinking preserves *some* failure; the message may differ from the
+    // original (e.g. an invariant reduces to an oracle violation).
+    let message = final_out.failure.unwrap_or(message);
+    let switches = shrink::switch_count(&final_out.run.trace);
+    let mut pretty = String::new();
+    pretty.push_str(&format!(
+        "tm-check failure\n  backend:  {}\n  workload: {}\n  threads:  {}\n  seed:     {}\n  \
+         verdict:  {}\n  trace:    {} choices ({} after shrinking, {} switches)\n\n",
+        cfg.backend.name(),
+        cfg.workload.name(),
+        cfg.threads,
+        seed,
+        message,
+        original.len(),
+        shrunk.len(),
+        switches
+    ));
+    pretty.push_str("minimal interleaving (serialized event log of the shrunk schedule):\n");
+    pretty.push_str(&shrink::render_log(&final_out.run.log, cfg.threads));
+    Err(CheckFailure {
+        seed,
+        message,
+        pretty,
+        original_trace_len: original.len(),
+        shrunk_trace_len: shrunk.len(),
+        shrunk_switches: switches,
+    })
+}
+
+/// Aggregate of a multi-seed sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepReport {
+    pub seeds: u64,
+    pub committed_txns: u64,
+    pub steps: u64,
+    pub overflowed: u64,
+}
+
+/// Check a contiguous seed range, stopping at the first failure.
+pub fn check_seeds(
+    cfg: &CheckConfig,
+    seeds: std::ops::Range<u64>,
+) -> Result<SweepReport, Box<CheckFailure>> {
+    let mut agg = SweepReport::default();
+    for seed in seeds {
+        match check_seed(cfg, seed) {
+            Ok(r) => {
+                agg.seeds += 1;
+                agg.committed_txns += r.committed_txns as u64;
+                agg.steps += r.steps;
+                agg.overflowed += r.overflowed as u64;
+            }
+            Err(f) => return Err(Box::new(f)),
+        }
+    }
+    Ok(agg)
+}

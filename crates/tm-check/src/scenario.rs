@@ -1,0 +1,400 @@
+//! Checkable scenarios: a backend, a workload with per-thread bodies, the
+//! watched address range, the initial memory image, and the end-of-run
+//! invariants.
+//!
+//! Bodies are **schedule-independent**: each thread's operation sequence
+//! is a pure function of `(seed, tid)`, so the only source of variation
+//! between runs of the same seed is the scheduler's choice trace — which
+//! is exactly what replay pins down.
+
+use crate::sched::FaultPlan;
+use htm_sgl::{HtmSgl, HtmSglConfig};
+use htm_sim::HtmConfig;
+use p8tm::{P8tm, P8tmConfig};
+use si_htm::{SiHtm, SiHtmConfig};
+use silo::Silo;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tm_api::{TmBackend, TmThread, TxKind};
+use txmem::{round_up_to_line, Addr, LineAlloc, TxMemory, WORDS_PER_LINE};
+use workloads::bank::Bank;
+use workloads::btree::{NodeScratch, TxBTree};
+
+/// Which TM backend to drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Plain best-effort HTM + single global lock (`htm-sgl`).
+    Htm,
+    /// SI-HTM (the paper's system).
+    SiHtm,
+    /// P8TM comparator (serializable, instrumented reads).
+    P8tm,
+    /// Silo-style software OCC.
+    Silo,
+}
+
+impl BackendKind {
+    pub const ALL: [BackendKind; 4] =
+        [BackendKind::Htm, BackendKind::SiHtm, BackendKind::P8tm, BackendKind::Silo];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Htm => "htm",
+            BackendKind::SiHtm => "si-htm",
+            BackendKind::P8tm => "p8tm",
+            BackendKind::Silo => "silo",
+        }
+    }
+
+    /// The consistency model the oracle holds this backend to.
+    pub fn is_si(self) -> bool {
+        matches!(self, BackendKind::SiHtm)
+    }
+}
+
+/// Which workload the threads run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Disjoint counters + read-only sums; invariant: no lost updates.
+    Counter,
+    /// Bank transfers + full-sweep audits; invariant: conservation, and
+    /// every committed audit observes the conserved total.
+    Bank,
+    /// Concurrent B+-tree; invariant: structural well-formedness.
+    Btree,
+}
+
+impl WorkloadKind {
+    pub const ALL: [WorkloadKind; 3] =
+        [WorkloadKind::Counter, WorkloadKind::Bank, WorkloadKind::Btree];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Counter => "counter",
+            WorkloadKind::Bank => "bank",
+            WorkloadKind::Btree => "btree",
+        }
+    }
+}
+
+/// Full configuration of one check run.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    pub backend: BackendKind,
+    pub workload: WorkloadKind,
+    pub threads: usize,
+    pub txns_per_thread: usize,
+    /// Yield-point budget before the run degrades to free-running
+    /// (inconclusive) execution.
+    pub max_steps: u64,
+    pub faults: FaultPlan,
+    /// Seeded bug: disable SI-HTM's pre-commit quiescence ("the safety
+    /// wait"), which tm-check must expose as an SI violation.
+    pub break_si: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            backend: BackendKind::SiHtm,
+            workload: WorkloadKind::Bank,
+            threads: 3,
+            txns_per_thread: 8,
+            max_steps: 500_000,
+            faults: FaultPlan::default(),
+            break_si: false,
+        }
+    }
+}
+
+/// Type-erased backend handle.
+#[derive(Clone)]
+pub enum AnyBackend {
+    Htm(HtmSgl),
+    Si(SiHtm),
+    P8(P8tm),
+    Silo(Silo),
+}
+
+impl AnyBackend {
+    pub fn memory(&self) -> &TxMemory {
+        match self {
+            AnyBackend::Htm(b) => b.memory(),
+            AnyBackend::Si(b) => b.memory(),
+            AnyBackend::P8(b) => b.memory(),
+            AnyBackend::Silo(b) => b.memory(),
+        }
+    }
+
+    fn register(&self) -> Box<dyn TmThread + Send> {
+        match self {
+            AnyBackend::Htm(b) => Box::new(b.register_thread()),
+            AnyBackend::Si(b) => Box::new(b.register_thread()),
+            AnyBackend::P8(b) => Box::new(b.register_thread()),
+            AnyBackend::Silo(b) => Box::new(b.register_thread()),
+        }
+    }
+}
+
+/// A ready-to-run scenario.
+pub struct Scenario {
+    pub backend: AnyBackend,
+    pub watched: Range<Addr>,
+    /// Non-zero initial values of the watched range.
+    pub init: HashMap<Addr, u64>,
+    pub bodies: Vec<Box<dyn FnOnce() + Send>>,
+    /// End-of-run workload invariants; `Some(message)` on violation.
+    pub check_invariants: Box<dyn FnOnce() -> Option<String>>,
+}
+
+/// Deterministic per-thread operation generator (split-mix style).
+struct OpRng(u64);
+
+impl OpRng {
+    fn new(seed: u64, tid: usize) -> Self {
+        OpRng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(tid as u64) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn make_backend(cfg: &CheckConfig, mem_words: usize) -> AnyBackend {
+    // A small SMT-2 topology keeps the schedule space dense while still
+    // exercising TMCAM sharing between SMT siblings.
+    let htm_config =
+        HtmConfig { cores: 2, smt: cfg.threads.div_ceil(2).max(1), ..HtmConfig::default() };
+    match cfg.backend {
+        BackendKind::Htm => {
+            AnyBackend::Htm(HtmSgl::new(htm_config, mem_words, HtmSglConfig::default()))
+        }
+        BackendKind::SiHtm => {
+            let si = SiHtmConfig { quiescence: !cfg.break_si, ..SiHtmConfig::default() };
+            AnyBackend::Si(SiHtm::new(htm_config, mem_words, si))
+        }
+        BackendKind::P8tm => {
+            AnyBackend::P8(P8tm::new(htm_config, mem_words, P8tmConfig::default()))
+        }
+        BackendKind::Silo => AnyBackend::Silo(Silo::new(mem_words)),
+    }
+}
+
+fn snapshot_init(memory: &TxMemory, watched: &Range<Addr>) -> HashMap<Addr, u64> {
+    let mut init = HashMap::new();
+    for addr in watched.clone() {
+        let v = memory.load(addr);
+        if v != 0 {
+            init.insert(addr, v);
+        }
+    }
+    init
+}
+
+/// Build the scenario for `cfg` and `seed`.
+pub fn build(cfg: &CheckConfig, seed: u64) -> Scenario {
+    match cfg.workload {
+        WorkloadKind::Counter => build_counter(cfg, seed),
+        WorkloadKind::Bank => build_bank(cfg, seed),
+        WorkloadKind::Btree => build_btree(cfg, seed),
+    }
+}
+
+const COUNTERS: u64 = 4;
+
+fn build_counter(cfg: &CheckConfig, seed: u64) -> Scenario {
+    let mem_words = (COUNTERS as usize) * WORDS_PER_LINE;
+    let backend = make_backend(cfg, mem_words);
+    let watched = 0..round_up_to_line(mem_words as u64);
+    let init = HashMap::new();
+    let increments = Arc::new(AtomicU64::new(0));
+    let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    for tid in 0..cfg.threads {
+        let mut thread = backend.register();
+        let mut rng = OpRng::new(seed, tid);
+        let txns = cfg.txns_per_thread;
+        let increments = Arc::clone(&increments);
+        bodies.push(Box::new(move || {
+            for _ in 0..txns {
+                if rng.below(5) < 4 {
+                    let c = rng.below(COUNTERS);
+                    let addr = c * WORDS_PER_LINE as u64;
+                    let out = thread.exec(TxKind::Update, &mut |tx| {
+                        let v = tx.read(addr)?;
+                        tx.write(addr, v + 1)
+                    });
+                    if out == tm_api::Outcome::Committed {
+                        increments.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    thread.exec(TxKind::ReadOnly, &mut |tx| {
+                        let mut sum = 0;
+                        for c in 0..COUNTERS {
+                            sum += tx.read(c * WORDS_PER_LINE as u64)?;
+                        }
+                        std::hint::black_box(sum);
+                        Ok(())
+                    });
+                }
+            }
+        }));
+    }
+    let b2 = backend.clone();
+    Scenario {
+        backend,
+        watched,
+        init,
+        bodies,
+        check_invariants: Box::new(move || {
+            let done = increments.load(Ordering::Relaxed);
+            let sum: u64 = (0..COUNTERS).map(|c| b2.memory().load(c * WORDS_PER_LINE as u64)).sum();
+            (sum != done).then(|| {
+                format!("lost updates: {done} committed increments but counters sum to {sum}")
+            })
+        }),
+    }
+}
+
+const ACCOUNTS: u64 = 4;
+const INITIAL_BALANCE: u64 = 1000;
+
+fn build_bank(cfg: &CheckConfig, seed: u64) -> Scenario {
+    let mem_words = Bank::memory_words(ACCOUNTS);
+    let backend = make_backend(cfg, mem_words);
+    let bank = Bank::build(backend.memory(), 0, ACCOUNTS, INITIAL_BALANCE);
+    let watched = 0..round_up_to_line(mem_words as u64);
+    let init = snapshot_init(backend.memory(), &watched);
+    let expected_total = ACCOUNTS * INITIAL_BALANCE;
+    let broken_audits = Arc::new(AtomicU64::new(0));
+    let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    for tid in 0..cfg.threads {
+        let mut thread = backend.register();
+        let mut rng = OpRng::new(seed, tid);
+        let txns = cfg.txns_per_thread;
+        let broken = Arc::clone(&broken_audits);
+        bodies.push(Box::new(move || {
+            for _ in 0..txns {
+                if rng.below(5) < 3 {
+                    let from = rng.below(ACCOUNTS);
+                    let to = (from + 1 + rng.below(ACCOUNTS - 1)) % ACCOUNTS;
+                    let amount = 1 + rng.below(10);
+                    thread.exec(TxKind::Update, &mut |tx| {
+                        bank.transfer(tx, from, to, amount)?;
+                        Ok(())
+                    });
+                } else {
+                    let mut sum = 0;
+                    let out = thread.exec(TxKind::ReadOnly, &mut |tx| {
+                        sum = bank.audit(tx)?;
+                        Ok(())
+                    });
+                    if out == tm_api::Outcome::Committed && sum != expected_total {
+                        broken.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+    let b2 = backend.clone();
+    Scenario {
+        backend,
+        watched,
+        init,
+        bodies,
+        check_invariants: Box::new(move || {
+            let broken = broken_audits.load(Ordering::Relaxed);
+            if broken > 0 {
+                return Some(format!(
+                    "{broken} committed audit(s) observed a torn total (expected {expected_total})"
+                ));
+            }
+            let total = bank.total(b2.memory());
+            (total != expected_total)
+                .then(|| format!("balance not conserved: {total} != {expected_total}"))
+        }),
+    }
+}
+
+fn build_btree(cfg: &CheckConfig, seed: u64) -> Scenario {
+    const INITIAL_KEYS: u64 = 24;
+    const KEY_SPACE: u64 = 64;
+    let total_txns = (cfg.threads * cfg.txns_per_thread) as u64;
+    let mem_words = workloads::btree::memory_words(INITIAL_KEYS + total_txns + 64);
+    let backend = make_backend(cfg, mem_words);
+    let alloc = Arc::new(LineAlloc::new(0, round_up_to_line(mem_words as u64)));
+    let tree = TxBTree::build(
+        backend.memory(),
+        &alloc,
+        (0..INITIAL_KEYS).map(|k| k * KEY_SPACE / INITIAL_KEYS),
+    );
+    let watched = 0..round_up_to_line(mem_words as u64);
+    let init = snapshot_init(backend.memory(), &watched);
+    let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    for tid in 0..cfg.threads {
+        let mut thread = backend.register();
+        let mut rng = OpRng::new(seed, tid);
+        let txns = cfg.txns_per_thread;
+        let alloc = Arc::clone(&alloc);
+        bodies.push(Box::new(move || {
+            let mut scratch = NodeScratch::new(&alloc);
+            for _ in 0..txns {
+                let dice = rng.below(10);
+                let key = rng.below(KEY_SPACE);
+                if dice < 4 {
+                    thread.exec(TxKind::ReadOnly, &mut |tx| {
+                        std::hint::black_box(tree.lookup(tx, key)?);
+                        Ok(())
+                    });
+                } else if dice < 7 {
+                    let out = thread.exec(TxKind::Update, &mut |tx| {
+                        scratch.reset();
+                        tree.insert(tx, key, key + 1, &mut scratch)?;
+                        Ok(())
+                    });
+                    if out == tm_api::Outcome::Committed {
+                        scratch.refill(&alloc);
+                    }
+                } else if dice < 9 {
+                    thread.exec(TxKind::Update, &mut |tx| {
+                        tree.remove(tx, key)?;
+                        Ok(())
+                    });
+                } else {
+                    thread.exec(TxKind::ReadOnly, &mut |tx| {
+                        std::hint::black_box(tree.range(tx, key, 8)?);
+                        Ok(())
+                    });
+                }
+            }
+        }));
+    }
+    let b2 = backend.clone();
+    Scenario {
+        backend,
+        watched,
+        init,
+        bodies,
+        check_invariants: Box::new(move || {
+            // `audit` panics on any structural malformation.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                std::hint::black_box(tree.audit(b2.memory()));
+            }))
+            .err()
+            .map(|p| {
+                let msg = p
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "malformed".to_string());
+                format!("btree audit failed: {msg}")
+            })
+        }),
+    }
+}

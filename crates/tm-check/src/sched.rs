@@ -1,0 +1,377 @@
+//! The cooperative virtual scheduler: N backend threads run on real OS
+//! threads, but a shared baton ensures **exactly one** is between yield
+//! points at any moment. Yield points are the `txmem::hooks` emit sites —
+//! every simulated memory access and every backend state transition — so
+//! the global event log is a *serialization* of the run, and the scheduling
+//! decision sequence (the [`Choice`] trace) replays it exactly.
+//!
+//! Determinism argument: everything a thread does between two of its own
+//! yield points is invisible to the others (no other thread executes
+//! concurrently), so a run is fully determined by the initial memory image
+//! and the choice trace. The trace is either replayed (shrinking,
+//! reproduction) or generated from a seeded LCG (exploration).
+//!
+//! When the step budget overflows, the scheduler releases all threads to
+//! free-running native execution so the workload can finish; such a run is
+//! flagged [`RunResult::overflowed`] and treated as inconclusive.
+
+use std::panic::AssertUnwindSafe;
+use std::rc::Rc;
+use std::sync::{Arc, Condvar, Mutex};
+use txmem::hooks::{self, AbortCode, CheckHooks, Event, InjectPoint};
+
+/// One scheduling decision. A run's trace is the positional sequence of
+/// these; replaying the same sequence reproduces the same run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Choice {
+    /// Which thread holds the baton after a yield point.
+    Run(u32),
+    /// The outcome drawn at a fault-injection point.
+    Inject(Option<AbortCode>),
+}
+
+/// Fault-injection probabilities, in per-mille per injection point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Forced abort at a transactional read/write (models spurious and
+    /// capacity aborts the schedule alone would not produce).
+    pub access_abort_per_mille: u32,
+    /// Forced abort at the commit point.
+    pub commit_abort_per_mille: u32,
+}
+
+impl FaultPlan {
+    pub fn is_active(&self) -> bool {
+        self.access_abort_per_mille > 0 || self.commit_abort_per_mille > 0
+    }
+}
+
+/// Outcome of one scheduled run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The serialized event log: `(thread, event)` in execution order.
+    /// `Poll` events are yield points but are not logged.
+    pub log: Vec<(usize, Event)>,
+    /// The positional choice trace (replay input for reproduction).
+    pub trace: Vec<Choice>,
+    /// Yield points consumed.
+    pub steps: u64,
+    /// Step budget exceeded: the tail of the run was free-running and the
+    /// log is not a faithful serialization. Treat as inconclusive.
+    pub overflowed: bool,
+    /// A worker panicked (message captured); the run is a failure.
+    pub panic: Option<String>,
+}
+
+struct State {
+    current: usize,
+    runnable: Vec<bool>,
+    started: bool,
+    rng: u64,
+    replay: Vec<Choice>,
+    replay_pos: usize,
+    /// After an exhausted replay, continue deterministically rather than
+    /// randomly (shrinking relies on a stable continuation).
+    deterministic_tail: bool,
+    trace: Vec<Choice>,
+    log: Vec<(usize, Event)>,
+    steps: u64,
+    max_steps: u64,
+    free_run: bool,
+    faults: FaultPlan,
+    panic: Option<String>,
+}
+
+impl State {
+    fn next_u64(&mut self) -> u64 {
+        // PCG-style LCG; high bits are the usable ones.
+        self.rng = self.rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.rng >> 11
+    }
+
+    fn rand_below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    fn runnable_count(&self) -> usize {
+        self.runnable.iter().filter(|r| **r).count()
+    }
+
+    /// k-th runnable thread (k < runnable_count).
+    fn nth_runnable(&self, k: usize) -> usize {
+        self.runnable
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r)
+            .nth(k)
+            .map(|(i, _)| i)
+            .expect("nth_runnable out of range")
+    }
+
+    /// Deterministic fallback used after replay mutations: keep running
+    /// `me` when it can make progress, otherwise round-robin to the next
+    /// runnable thread (a polling thread must hand over or it livelocks).
+    fn fallback_next(&self, me: usize, polling: bool) -> usize {
+        let n = self.runnable.len();
+        if !polling && self.runnable[me] {
+            return me;
+        }
+        for d in 1..=n {
+            let t = (me + d) % n;
+            if self.runnable[t] {
+                return t;
+            }
+        }
+        me
+    }
+
+    /// Pick who runs after a yield point of `me`, recording the choice.
+    fn pick_next(&mut self, me: usize, polling: bool) -> usize {
+        let replayed = if self.replay_pos < self.replay.len() {
+            let c = self.replay[self.replay_pos];
+            self.replay_pos += 1;
+            match c {
+                Choice::Run(t)
+                    if (t as usize) < self.runnable.len() && self.runnable[t as usize] =>
+                {
+                    Some(t as usize)
+                }
+                // Mutated/mismatched entry: deterministic fallback.
+                _ => Some(self.fallback_next(me, polling)),
+            }
+        } else {
+            None
+        };
+        let next = match replayed {
+            Some(t) => t,
+            None if self.deterministic_tail => self.fallback_next(me, polling),
+            None => {
+                let n = self.runnable_count();
+                if n == 0 {
+                    me
+                } else if !polling && self.runnable[me] && self.rand_below(4) < 3 {
+                    // Bias towards longer uninterrupted runs (realistic
+                    // schedules, and faster exploration of long paths).
+                    me
+                } else {
+                    let k = self.rand_below(n as u64) as usize;
+                    self.nth_runnable(k)
+                }
+            }
+        };
+        self.trace.push(Choice::Run(next as u32));
+        next
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Shared {
+    /// A yield point of thread `me`: log the event, pick a successor, and
+    /// hand the baton over (blocking until it comes back).
+    fn yield_point(&self, me: usize, ev: Event) {
+        let mut st = self.state.lock().unwrap();
+        if st.free_run {
+            return;
+        }
+        debug_assert_eq!(st.current, me, "event from a thread that does not hold the baton");
+        if ev != Event::Poll {
+            st.log.push((me, ev));
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            st.free_run = true;
+            self.cv.notify_all();
+            return;
+        }
+        let next = st.pick_next(me, ev == Event::Poll);
+        if next != me {
+            st.current = next;
+            self.cv.notify_all();
+            while st.current != me && !st.free_run {
+                st = self.cv.wait(st).unwrap();
+            }
+        }
+    }
+
+    /// A fault-injection point (not a yield: control stays with `me`).
+    fn inject_point(&self, point: InjectPoint) -> Option<AbortCode> {
+        let mut st = self.state.lock().unwrap();
+        if st.free_run {
+            return None;
+        }
+        let code = if st.replay_pos < st.replay.len() {
+            let c = st.replay[st.replay_pos];
+            st.replay_pos += 1;
+            match c {
+                Choice::Inject(code) => code,
+                _ => None, // mismatched after mutation
+            }
+        } else if st.deterministic_tail || !st.faults.is_active() {
+            None
+        } else {
+            let per_mille = match point {
+                InjectPoint::Access => st.faults.access_abort_per_mille,
+                InjectPoint::Commit => st.faults.commit_abort_per_mille,
+            };
+            if per_mille > 0 && st.rand_below(1000) < per_mille as u64 {
+                Some(match point {
+                    // Explicit is excluded: backends treat it as a
+                    // non-retryable user decision.
+                    InjectPoint::Access => {
+                        if st.next_u64() & 1 == 0 {
+                            AbortCode::Capacity
+                        } else {
+                            AbortCode::Conflict
+                        }
+                    }
+                    InjectPoint::Commit => AbortCode::Conflict,
+                })
+            } else {
+                None
+            }
+        };
+        st.trace.push(Choice::Inject(code));
+        code
+    }
+
+    /// Block a freshly spawned worker until the run starts and it is
+    /// handed the baton for the first time.
+    fn wait_first(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        while !(st.free_run || (st.started && st.current == me)) {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Worker `me` finished (normally or by panic): mark it not runnable
+    /// and pass the baton on.
+    fn finish(&self, me: usize, panic: Option<String>) {
+        let mut st = self.state.lock().unwrap();
+        st.runnable[me] = false;
+        if let Some(msg) = panic {
+            if st.panic.is_none() {
+                st.panic = Some(msg);
+            }
+            // A panicked schedule cannot continue deterministically; let
+            // the survivors drain natively.
+            st.free_run = true;
+            self.cv.notify_all();
+            return;
+        }
+        if st.free_run || st.runnable_count() == 0 {
+            self.cv.notify_all();
+            return;
+        }
+        let next = st.pick_next(me, true);
+        st.current = next;
+        self.cv.notify_all();
+    }
+}
+
+/// Per-thread hook object installed into `txmem::hooks` on each worker.
+struct ThreadHooks {
+    shared: Arc<Shared>,
+    tid: usize,
+}
+
+impl CheckHooks for ThreadHooks {
+    fn on_event(&self, ev: Event) {
+        self.shared.yield_point(self.tid, ev);
+    }
+
+    fn inject(&self, point: InjectPoint) -> Option<AbortCode> {
+        self.shared.inject_point(point)
+    }
+}
+
+/// Configuration of one scheduled run.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    n: usize,
+}
+
+impl Scheduler {
+    pub fn new(
+        n: usize,
+        seed: u64,
+        max_steps: u64,
+        faults: FaultPlan,
+        replay: Vec<Choice>,
+    ) -> Self {
+        assert!(n > 0, "need at least one thread");
+        let deterministic_tail = !replay.is_empty();
+        Scheduler {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    current: 0,
+                    runnable: vec![true; n],
+                    started: false,
+                    // Seed 0 would be a weak LCG start; splash it.
+                    rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+                    replay,
+                    replay_pos: 0,
+                    deterministic_tail,
+                    trace: Vec::new(),
+                    log: Vec::new(),
+                    steps: 0,
+                    max_steps,
+                    free_run: false,
+                    faults,
+                    panic: None,
+                }),
+                cv: Condvar::new(),
+            }),
+            n,
+        }
+    }
+
+    /// Run `bodies[i]` as virtual thread `i` and return the serialized log
+    /// and choice trace. Bodies must perform their shared accesses through
+    /// the instrumented backends — uninstrumented accesses are invisible
+    /// to the scheduler (and to the oracles).
+    pub fn run(self, bodies: Vec<Box<dyn FnOnce() + Send>>) -> RunResult {
+        assert_eq!(bodies.len(), self.n);
+        let mut workers = Vec::with_capacity(self.n);
+        for (tid, body) in bodies.into_iter().enumerate() {
+            let shared = Arc::clone(&self.shared);
+            workers.push(std::thread::spawn(move || {
+                let guard =
+                    hooks::install(Rc::new(ThreadHooks { shared: Arc::clone(&shared), tid }));
+                shared.wait_first(tid);
+                let result = std::panic::catch_unwind(AssertUnwindSafe(body));
+                drop(guard);
+                let panic = result.err().map(|p| {
+                    p.downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "worker panicked".to_string())
+                });
+                shared.finish(tid, panic);
+            }));
+        }
+        {
+            // Hand the baton to the first thread: this is itself a choice.
+            let mut st = self.shared.state.lock().unwrap();
+            let first = st.pick_next(0, true);
+            st.current = first;
+            st.started = true;
+            self.shared.cv.notify_all();
+        }
+        for w in workers {
+            // Worker panics are captured; join errors cannot carry more.
+            let _ = w.join();
+        }
+        let st = self.shared.state.lock().unwrap();
+        RunResult {
+            log: st.log.clone(),
+            trace: st.trace.clone(),
+            steps: st.steps,
+            overflowed: st.free_run && st.panic.is_none(),
+            panic: st.panic.clone(),
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Greedy trace shrinking + pretty-printing of the minimal interleaving.
+//!
+//! A failing run is identified by its [`Choice`] trace. Shrinking applies
+//! three passes under a fixed attempt budget, re-executing the scenario
+//! with the candidate trace replayed and keeping any candidate that still
+//! fails (the deterministic replay tail makes truncation well-defined):
+//!
+//! 1. **truncation** — drop the tail (binary first, then fine-grained);
+//! 2. **injection neutralisation** — turn forced aborts into no-ops;
+//! 3. **switch smoothing** — replace a context switch with "stay on the
+//!    previous thread", eliminating preemptions that don't matter.
+//!
+//! The result is not globally minimal (that would need delta debugging
+//! over an exponential space) but in practice reduces a few-hundred-step
+//! random schedule to a handful of meaningful preemptions.
+
+use crate::sched::Choice;
+use txmem::hooks::Event;
+
+/// Shrink `best` while `fails` keeps returning `true`, spending at most
+/// `max_attempts` re-executions.
+pub fn shrink<F>(mut best: Vec<Choice>, mut fails: F, max_attempts: usize) -> Vec<Choice>
+where
+    F: FnMut(&[Choice]) -> bool,
+{
+    let mut attempts = 0usize;
+    // Pass 1a: binary truncation from the end.
+    while best.len() > 1 && attempts < max_attempts {
+        let cand = best[..best.len() / 2].to_vec();
+        attempts += 1;
+        if fails(&cand) {
+            best = cand;
+        } else {
+            break;
+        }
+    }
+    // Pass 1b: fine truncation (shave ~12% of the tail at a time).
+    while !best.is_empty() && attempts < max_attempts {
+        let newlen = best.len() - (best.len() / 8).max(1);
+        let cand = best[..newlen].to_vec();
+        attempts += 1;
+        if fails(&cand) {
+            best = cand;
+        } else {
+            break;
+        }
+    }
+    // Pass 2: neutralise injected faults.
+    for i in 0..best.len() {
+        if attempts >= max_attempts {
+            break;
+        }
+        if matches!(best[i], Choice::Inject(Some(_))) {
+            let mut cand = best.clone();
+            cand[i] = Choice::Inject(None);
+            attempts += 1;
+            if fails(&cand) {
+                best = cand;
+            }
+        }
+    }
+    // Pass 3: smooth context switches.
+    let mut i = 1;
+    while i < best.len() && attempts < max_attempts {
+        let prev_run =
+            best[..i]
+                .iter()
+                .rev()
+                .find_map(|c| if let Choice::Run(t) = c { Some(*t) } else { None });
+        if let (Some(p), Choice::Run(t)) = (prev_run, best[i]) {
+            if p != t {
+                let mut cand = best.clone();
+                cand[i] = Choice::Run(p);
+                attempts += 1;
+                if fails(&cand) {
+                    best = cand;
+                    continue; // re-examine index i with its new predecessor
+                }
+            }
+        }
+        i += 1;
+    }
+    best
+}
+
+/// Number of thread hand-overs in a trace (the interesting part of a
+/// schedule — lower is simpler).
+pub fn switch_count(trace: &[Choice]) -> usize {
+    let mut prev: Option<u32> = None;
+    let mut switches = 0;
+    for c in trace {
+        if let Choice::Run(t) = c {
+            if prev.is_some_and(|p| p != *t) {
+                switches += 1;
+            }
+            prev = Some(*t);
+        }
+    }
+    switches
+}
+
+fn fmt_event(ev: &Event) -> String {
+    match ev {
+        Event::Begin { rot } => {
+            if *rot {
+                "begin (ROT)".to_string()
+            } else {
+                "begin".to_string()
+            }
+        }
+        Event::Commit => "commit".to_string(),
+        Event::Abort { reason } => format!("abort ({reason:?})"),
+        Event::Read { addr, val, tx } => {
+            format!("read  [{addr}] -> {val}{}", if *tx { "" } else { "  (non-tx)" })
+        }
+        Event::Write { addr, val, tx } => {
+            format!("write [{addr}] <- {val}{}", if *tx { "" } else { "  (non-tx)" })
+        }
+        Event::Suspend => "suspend".to_string(),
+        Event::Resume => "resume".to_string(),
+        Event::Poll => "poll".to_string(),
+        Event::RoBegin => "ro-begin".to_string(),
+        Event::RoCommit => "ro-commit".to_string(),
+        Event::SglLock => "sgl-lock".to_string(),
+        Event::SglUnlock { committed } => {
+            format!("sgl-unlock ({})", if *committed { "committed" } else { "aborted" })
+        }
+    }
+}
+
+/// Render the serialized log as a one-column-per-thread interleaving.
+pub fn render_log(log: &[(usize, Event)], n_threads: usize) -> String {
+    const COL: usize = 26;
+    let mut out = String::new();
+    let mut header = String::from("  step  ");
+    for t in 0..n_threads {
+        header.push_str(&format!("{:<COL$}", format!("thread {t}")));
+    }
+    out.push_str(header.trim_end());
+    out.push('\n');
+    for (i, (tid, ev)) in log.iter().enumerate() {
+        let mut line = format!("  {i:>4}  ");
+        line.push_str(&" ".repeat(COL * tid));
+        line.push_str(&fmt_event(ev));
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,116 @@
+//! tm-check end-to-end: determinism, replay, clean sweeps over every
+//! backend x workload, fault-injection sweeps, and the seeded-bug
+//! acceptance test (quiescence off => SI violation with a shrunk trace).
+
+use tm_check::{
+    check_seed, check_seeds, execute, BackendKind, CheckConfig, FaultPlan, WorkloadKind,
+};
+
+fn cfg(backend: BackendKind, workload: WorkloadKind) -> CheckConfig {
+    CheckConfig { backend, workload, ..CheckConfig::default() }
+}
+
+#[test]
+fn same_seed_same_run() {
+    for &backend in &BackendKind::ALL {
+        let c = cfg(backend, WorkloadKind::Bank);
+        let a = execute(&c, 42, Vec::new());
+        let b = execute(&c, 42, Vec::new());
+        assert_eq!(a.run.trace, b.run.trace, "{}: trace diverged", backend.name());
+        assert_eq!(a.run.log, b.run.log, "{}: log diverged", backend.name());
+        assert!(a.failure.is_none(), "{}: {:?}", backend.name(), a.failure);
+    }
+}
+
+#[test]
+fn replay_reproduces_log() {
+    let c = cfg(BackendKind::SiHtm, WorkloadKind::Bank);
+    let a = execute(&c, 7, Vec::new());
+    let b = execute(&c, 7, a.run.trace.clone());
+    assert_eq!(a.run.log, b.run.log, "replaying the trace must reproduce the log");
+}
+
+#[test]
+fn clean_sweep_all_backends_all_workloads() {
+    for &backend in &BackendKind::ALL {
+        for &workload in &WorkloadKind::ALL {
+            let c = cfg(backend, workload);
+            if let Err(f) = check_seeds(&c, 0..30) {
+                panic!(
+                    "{} x {} failed at seed {}: {}\n{}",
+                    backend.name(),
+                    workload.name(),
+                    f.seed,
+                    f.message,
+                    f.pretty
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn clean_sweep_with_fault_injection() {
+    let faults = FaultPlan { access_abort_per_mille: 30, commit_abort_per_mille: 30 };
+    for &backend in &BackendKind::ALL {
+        let c = CheckConfig { faults, ..cfg(backend, WorkloadKind::Bank) };
+        if let Err(f) = check_seeds(&c, 0..20) {
+            panic!("{} under faults failed at seed {}: {}", backend.name(), f.seed, f.message);
+        }
+    }
+}
+
+#[test]
+fn history_is_nonempty_and_committed() {
+    let c = cfg(BackendKind::SiHtm, WorkloadKind::Counter);
+    let out = execute(&c, 3, Vec::new());
+    assert!(out.failure.is_none(), "{:?}", out.failure);
+    assert!(!out.run.overflowed);
+    // 3 threads x 8 txns, none of which user-abort: all commit.
+    assert_eq!(out.txns.len(), c.threads * c.txns_per_thread);
+    // Commit order is ascending by construction.
+    assert!(out.txns.windows(2).all(|w| w[0].commit_idx < w[1].commit_idx));
+}
+
+/// The acceptance test: disabling SI-HTM's quiescence wait (the paper's
+/// "safety wait", Alg. 2) must be caught as an SI violation, and the
+/// shrunk reproduction must be materially smaller than the original.
+#[test]
+fn break_si_is_detected_and_shrunk() {
+    let c = CheckConfig { break_si: true, ..cfg(BackendKind::SiHtm, WorkloadKind::Bank) };
+    let mut found = None;
+    for seed in 0..50 {
+        if let Err(f) = check_seed(&c, seed) {
+            found = Some(f);
+            break;
+        }
+    }
+    let f = found.expect("quiescence-off must produce an SI violation within 50 seeds");
+    assert!(
+        f.message.contains("SI violation") || f.message.contains("torn"),
+        "unexpected verdict: {}",
+        f.message
+    );
+    assert!(f.shrunk_trace_len <= f.original_trace_len);
+    assert!(f.shrunk_trace_len > 0);
+    assert!(f.pretty.contains("minimal interleaving"), "report must render the schedule");
+    // The shrunk schedule must itself still fail when replayed: check_seed
+    // re-executed it to produce `pretty`, so reaching here proves it, but
+    // assert the trace really shrank into something human-sized.
+    assert!(
+        f.shrunk_trace_len < f.original_trace_len,
+        "shrinking made no progress ({} -> {})",
+        f.original_trace_len,
+        f.shrunk_trace_len
+    );
+}
+
+/// With quiescence ON (the paper's algorithm), the same sweep is clean —
+/// the detector is specific to the seeded bug, not trigger-happy.
+#[test]
+fn unbroken_si_htm_passes_same_seeds() {
+    let c = cfg(BackendKind::SiHtm, WorkloadKind::Bank);
+    if let Err(f) = check_seeds(&c, 0..50) {
+        panic!("unmodified SI-HTM flagged at seed {}: {}\n{}", f.seed, f.message, f.pretty);
+    }
+}

@@ -1,0 +1,211 @@
+//! Check-time observation hooks: the `Recorder` seam between the simulator
+//! stack and the `tm-check` deterministic harness.
+//!
+//! Every layer above `txmem` (the P8-HTM engine, the four backends) calls
+//! [`emit`] at each simulated memory access and backend state transition,
+//! and [`inject`] at the points where best-effort hardware may abort
+//! spuriously. With the `check` cargo feature **disabled** (the default),
+//! both functions are empty `#[inline]` bodies and the whole module costs
+//! nothing — no thread-local probe, no branch. With `check` enabled, a
+//! harness installs a per-OS-thread [`CheckHooks`] object; [`emit`] then
+//! doubles as a *yield point* for `tm-check`'s cooperative scheduler, and
+//! [`inject`] lets it force capacity/conflict aborts deterministically.
+//!
+//! The event vocabulary lives here — the lowest layer — so that every crate
+//! in the stack can speak it without dependency cycles. Hardware abort
+//! reasons are therefore mirrored as the plain [`AbortCode`] (the engine's
+//! `AbortReason` lives upstream in `htm-sim`, which provides `From` impls
+//! in both directions).
+
+use crate::Addr;
+
+/// Mirror of `htm_sim::AbortReason` expressible at this layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCode {
+    /// Data conflict (killed by another transaction, or forced).
+    Conflict,
+    /// Killed by a non-transactional access (SGL-class stomp).
+    NonTx,
+    /// TMCAM/LVDIR capacity exhausted (or forced overflow).
+    Capacity,
+    /// Explicit `tabort.`.
+    Explicit,
+}
+
+/// Where a fault-injection decision is being requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectPoint {
+    /// Before a transactional read or write retires.
+    Access,
+    /// At `tend.`, before the commit transition.
+    Commit,
+}
+
+/// One observable step of the simulated stack.
+///
+/// Events carry no thread id: the installed hook object is per-OS-thread
+/// and attaches its own identity. `tx: false` on `Read`/`Write` marks
+/// non-transactional accesses (RO fast path, SGL path, suspend windows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A hardware (or software-unbounded) transaction began.
+    Begin { rot: bool },
+    /// The running transaction committed; its buffered writes are visible.
+    Commit,
+    /// The running transaction aborted and rolled back.
+    Abort { reason: AbortCode },
+    /// A read retired with the value it observed.
+    Read { addr: Addr, val: u64, tx: bool },
+    /// A write retired (buffered if `tx`, immediately visible otherwise).
+    Write { addr: Addr, val: u64, tx: bool },
+    /// `tsuspend.`.
+    Suspend,
+    /// `tresume.`.
+    Resume,
+    /// One iteration of a spin/backoff loop (quiescence wait, commit
+    /// stall, SGL drain, lock acquisition). Pure yield point: recorded
+    /// schedules skip it, but the scheduler must see it or a descheduled
+    /// spinner would never let its wake-up condition become true.
+    Poll,
+    /// A read-only fast-path transaction began (SI-HTM/P8TM Alg. 2).
+    RoBegin,
+    /// The read-only fast-path transaction finished successfully.
+    RoCommit,
+    /// The single global lock was acquired and the system drained.
+    SglLock,
+    /// The single global lock was released; `committed` tells whether the
+    /// SGL-path transaction applied its writes or user-aborted.
+    SglUnlock { committed: bool },
+}
+
+/// The harness side of the seam. Implemented by `tm-check`'s scheduler.
+pub trait CheckHooks {
+    /// Called at every yield point with the event that just retired.
+    fn on_event(&self, ev: Event);
+
+    /// Called at fault-injection points; `Some(code)` forces the current
+    /// transaction to abort with that code.
+    fn inject(&self, point: InjectPoint) -> Option<AbortCode> {
+        let _ = point;
+        None
+    }
+}
+
+#[cfg(feature = "check")]
+mod enabled {
+    use super::{AbortCode, CheckHooks, Event, InjectPoint};
+    use std::cell::{Cell, RefCell};
+    use std::rc::Rc;
+
+    thread_local! {
+        static INSTALLED: Cell<bool> = const { Cell::new(false) };
+        static HOOKS: RefCell<Option<Rc<dyn CheckHooks>>> = const { RefCell::new(None) };
+    }
+
+    /// Install `hooks` for the current OS thread. Returns a guard that
+    /// uninstalls on drop (also on panic, so a dying worker releases its
+    /// scheduler slot).
+    pub fn install(hooks: Rc<dyn CheckHooks>) -> Installed {
+        HOOKS.with(|h| *h.borrow_mut() = Some(hooks));
+        INSTALLED.with(|c| c.set(true));
+        Installed(())
+    }
+
+    /// Uninstall guard returned by [`install`].
+    pub struct Installed(());
+
+    impl Drop for Installed {
+        fn drop(&mut self) {
+            INSTALLED.with(|c| c.set(false));
+            HOOKS.with(|h| *h.borrow_mut() = None);
+        }
+    }
+
+    #[inline]
+    pub fn emit(ev: Event) {
+        if !INSTALLED.with(|c| c.get()) {
+            return;
+        }
+        // Clone out of the RefCell before calling: the hook blocks (it is
+        // the scheduler's yield point) and must not hold the borrow.
+        let hooks = HOOKS.with(|h| h.borrow().clone());
+        if let Some(h) = hooks {
+            h.on_event(ev);
+        }
+    }
+
+    #[inline]
+    pub fn inject(point: InjectPoint) -> Option<AbortCode> {
+        if !INSTALLED.with(|c| c.get()) {
+            return None;
+        }
+        let hooks = HOOKS.with(|h| h.borrow().clone());
+        hooks.and_then(|h| h.inject(point))
+    }
+}
+
+#[cfg(feature = "check")]
+pub use enabled::{install, Installed};
+
+/// Yield point / recorder notification. No-op unless the `check` feature
+/// is enabled *and* a harness installed hooks on this thread.
+#[cfg(feature = "check")]
+#[inline]
+pub fn emit(ev: Event) {
+    enabled::emit(ev);
+}
+
+/// Fault-injection query. `None` (never abort) unless checking.
+#[cfg(feature = "check")]
+#[inline]
+pub fn inject(point: InjectPoint) -> Option<AbortCode> {
+    enabled::inject(point)
+}
+
+#[cfg(not(feature = "check"))]
+#[inline(always)]
+pub fn emit(ev: Event) {
+    let _ = ev;
+}
+
+#[cfg(not(feature = "check"))]
+#[inline(always)]
+pub fn inject(point: InjectPoint) -> Option<AbortCode> {
+    let _ = point;
+    None
+}
+
+#[cfg(all(test, feature = "check"))]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Sink {
+        events: RefCell<Vec<Event>>,
+    }
+
+    impl CheckHooks for Sink {
+        fn on_event(&self, ev: Event) {
+            self.events.borrow_mut().push(ev);
+        }
+
+        fn inject(&self, _point: InjectPoint) -> Option<AbortCode> {
+            Some(AbortCode::Capacity)
+        }
+    }
+
+    #[test]
+    fn emit_reaches_installed_hooks_and_stops_after_drop() {
+        let sink = Rc::new(Sink { events: RefCell::new(Vec::new()) });
+        emit(Event::Poll); // not installed: dropped
+        {
+            let _guard = install(sink.clone());
+            emit(Event::Begin { rot: true });
+            assert_eq!(inject(InjectPoint::Access), Some(AbortCode::Capacity));
+        }
+        emit(Event::Commit); // uninstalled again: dropped
+        assert_eq!(&*sink.events.borrow(), &[Event::Begin { rot: true }]);
+        assert_eq!(inject(InjectPoint::Commit), None);
+    }
+}

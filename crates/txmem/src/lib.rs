@@ -18,6 +18,7 @@
 
 pub mod alloc;
 pub mod clock;
+pub mod hooks;
 
 pub use alloc::LineAlloc;
 pub use clock::VirtualClock;
