@@ -125,7 +125,9 @@ fn main() {
              \"ops_per_sec\": {:.1}, \"commits\": {}, \"ro_commits\": {}, \"sgl_commits\": {}, \
              \"sw_commits\": {}, \"aborts_conflict\": {}, \"aborts_nontx\": {}, \
              \"aborts_capacity\": {}, \"aborts_explicit\": {}, \"abort_rate\": {:.4}, \
-             \"quiesce_waits\": {}, \"quiesce_polled\": {}, \"sgl_acquisitions\": {}}}{sep}",
+             \"quiesce_waits\": {}, \"quiesce_polled\": {}, \"sgl_acquisitions\": {}, \
+             \"starved_threads\": {}, \"watchdog_quiesce_trips\": {}, \
+             \"watchdog_drain_trips\": {}, \"backoffs\": {}}}{sep}",
             r.backend,
             r.directory,
             pin.name(),
@@ -143,6 +145,10 @@ fn main() {
             s.quiesce_waits,
             s.quiesce_polled,
             s.sgl_acquisitions,
+            r.point.report.starved_threads,
+            s.watchdog_quiesce_trips,
+            s.watchdog_drain_trips,
+            s.backoffs,
         )
         .unwrap();
     }

@@ -33,19 +33,31 @@ use htm_sim::util::IntMap;
 use htm_sim::{AbortReason, Htm, HtmConfig, HtmThread, NonTxClass, TxMode};
 use std::sync::Arc;
 use tm_api::{
-    policy::RetryState, Abort, Outcome, RetryPolicy, ThreadStats, TmBackend, TmThread, Tx, TxBody,
-    TxKind,
+    policy::RetryState, Abort, BackoffPolicy, ContentionManager, Outcome, RetryPolicy, ThreadStats,
+    TmBackend, TmThread, Tx, TxBody, TxKind,
 };
 use txmem::hooks::{self, Event};
 use txmem::{round_up_to_line, Addr, TxMemory, WORDS_PER_LINE};
 
 const SGL_FREE: u64 = 0;
 
+/// Anti-convoy jitter ceiling after the lock frees up: the subscribed
+/// transactions the acquisition killed all wake at once, and without
+/// staggering they re-subscribe (or CAS the lock word) in lockstep.
+const SGL_ADMISSION_JITTER_NS: u64 = 2_000;
+
 /// Tunables of the baseline.
+///
+/// No watchdog knob here: the baseline has no quiescence or drain wait —
+/// its only unbounded wait is on the subscribed lock word, whose holder
+/// runs non-transactionally (and whose panic-time release is guaranteed by
+/// `HtmSglThread`'s Drop).
 #[derive(Debug, Clone, Default)]
 pub struct HtmSglConfig {
     /// Hardware retry budget before falling back to the lock.
     pub retry: RetryPolicy,
+    /// Randomized exponential backoff between hardware retries.
+    pub backoff: BackoffPolicy,
 }
 
 struct Inner {
@@ -101,7 +113,8 @@ impl TmBackend for HtmSgl {
     fn register_thread(&self) -> HtmSglThread {
         let thr = self.inner.htm.register_thread();
         let tid = thr.tid();
-        HtmSglThread { inner: Arc::clone(&self.inner), thr, tid, stats: ThreadStats::default() }
+        let cm = ContentionManager::new(self.inner.config.backoff, 0x5617 ^ tid as u64);
+        HtmSglThread { inner: Arc::clone(&self.inner), thr, tid, stats: ThreadStats::default(), cm }
     }
 
     fn memory(&self) -> &TxMemory {
@@ -121,6 +134,7 @@ pub struct HtmSglThread {
     thr: HtmThread,
     tid: usize,
     stats: ThreadStats,
+    cm: ContentionManager,
 }
 
 impl HtmSglThread {
@@ -182,11 +196,15 @@ impl HtmSglThread {
         let lock_val = self.tid as u64 + 1;
         loop {
             self.wait_sgl_free();
+            if self.cm.admission_jitter(SGL_ADMISSION_JITTER_NS) > 0 {
+                self.stats.backoffs += 1;
+            }
             if mem.compare_exchange(self.inner.sgl_addr, SGL_FREE, lock_val).is_ok() {
                 break;
             }
         }
         self.stats.sgl_acquisitions += 1;
+        self.thr.refresh_hooks();
         hooks::emit(Event::SglLock);
         // Deliver the subscription kills: rewrite the (already-owned) lock
         // word through the conflict-checked path, aborting every hardware
@@ -218,12 +236,29 @@ impl HtmSglThread {
     }
 }
 
+/// Panic safety: roll back the in-flight hardware transaction and release
+/// the in-memory lock word if this thread holds it — otherwise a panic on
+/// the SGL path would leave the word set forever and every subscriber (and
+/// would-be acquirer) spinning on it.
+impl Drop for HtmSglThread {
+    fn drop(&mut self) {
+        if self.thr.in_tx() {
+            self.thr.abort();
+        }
+        let mem = self.inner.htm.memory();
+        if mem.load_acquire(self.inner.sgl_addr) == self.tid as u64 + 1 {
+            mem.store_release(self.inner.sgl_addr, SGL_FREE);
+        }
+    }
+}
+
 impl TmThread for HtmSglThread {
     fn exec(&mut self, _kind: TxKind, body: TxBody<'_>) -> Outcome {
         // Plain HTM has no read-only fast path: every transaction runs as a
         // regular hardware transaction.
         let policy = self.inner.config.retry;
         let mut retry = RetryState::new(&policy);
+        self.cm.reset();
         loop {
             match self.try_hw(body) {
                 Ok(Some(())) => {
@@ -235,13 +270,22 @@ impl TmThread for HtmSglThread {
                     return Outcome::UserAborted;
                 }
                 Err(AbortReason::Explicit) => {
-                    // Subscription saw the lock taken: wait, retry for free.
+                    // Subscription saw the lock taken: wait, retry for
+                    // free — but staggered, or the whole cohort the
+                    // acquisition killed re-subscribes in lockstep and is
+                    // killed again by the next holder.
+                    if self.cm.admission_jitter(SGL_ADMISSION_JITTER_NS) > 0 {
+                        self.stats.backoffs += 1;
+                    }
                     continue;
                 }
                 Err(reason) => {
                     self.stats.record_abort(reason);
                     if !retry.on_abort(&policy, reason) {
                         return self.exec_sgl(body);
+                    }
+                    if self.cm.backoff(reason) > 0 {
+                        self.stats.backoffs += 1;
                     }
                 }
             }
@@ -377,7 +421,10 @@ mod tests {
         let b = HtmSgl::new(
             HtmConfig { cores: 2, smt: 2, tmcam_lines: 4, ..HtmConfig::default() },
             16 * 64,
-            HtmSglConfig { retry: RetryPolicy { budget: 2, capacity_cost: 2 } },
+            HtmSglConfig {
+                retry: RetryPolicy { budget: 2, capacity_cost: 2 },
+                ..HtmSglConfig::default()
+            },
         );
         let stop = AtomicBool::new(false);
         crossbeam_utils::thread::scope(|s| {

@@ -79,6 +79,9 @@ pub struct HtmThread {
     lvdir_held: u64,
     lvdir_user: bool,
     unbounded: bool,
+    /// `hooks::active()` cached at begin: gates the per-access hook calls
+    /// so the disarmed fast path never touches the hook statics.
+    hooked: bool,
     /// Reusable reader-snapshot buffer for the kill scans.
     scratch: Vec<Owner>,
 }
@@ -99,6 +102,7 @@ impl HtmThread {
             lvdir_held: 0,
             lvdir_user: false,
             unbounded: false,
+            hooked: false,
             scratch: Vec::new(),
         }
     }
@@ -198,6 +202,7 @@ impl HtmThread {
         // reads; ROT reads are untracked by construction).
         self.lvdir_user =
             !unbounded && mode == TxMode::Htm && self.htm.cores().try_join_lvdir(self.core);
+        self.hooked = hooks::active();
         self.htm.slots().store(self.tid, self.inc, TxState::Active(mode));
         hooks::emit(Event::Begin { rot: mode == TxMode::Rot });
     }
@@ -223,6 +228,25 @@ impl HtmThread {
                 Err(r)
             }
             _ => Ok(()),
+        }
+    }
+
+    /// Per-access hook notification, gated on the flag cached at begin
+    /// (one hot-flag test when nothing is listening).
+    #[inline]
+    fn emit_access(&self, ev: Event) {
+        if self.hooked {
+            hooks::emit(ev);
+        }
+    }
+
+    /// Per-access fault-injection query, gated like [`Self::emit_access`].
+    #[inline]
+    fn inject_at(&self, point: InjectPoint) -> Option<hooks::AbortCode> {
+        if self.hooked {
+            hooks::inject(point)
+        } else {
+            None
         }
     }
 
@@ -362,7 +386,7 @@ impl HtmThread {
             return Ok(self.read_notx(addr, NonTxClass::Data));
         }
         self.check_self()?;
-        if let Some(code) = hooks::inject(InjectPoint::Access) {
+        if let Some(code) = self.inject_at(InjectPoint::Access) {
             return Err(self.self_abort(code.into()));
         }
         let mode = self.mode.expect("read outside transaction");
@@ -374,7 +398,7 @@ impl HtmThread {
             if f & flags::WRITE != 0 {
                 // Our own write set: we see our buffered stores.
                 let val = self.wbuf.get(&addr).copied().unwrap_or_else(|| self.memory().load(addr));
-                hooks::emit(Event::Read { addr, val, tx: true });
+                self.emit_access(Event::Read { addr, val, tx: true });
                 return Ok(val);
             }
             if f & flags::READ_REG != 0 {
@@ -382,7 +406,7 @@ impl HtmThread {
                 // have had to kill us first, so plain memory is consistent
                 // (a kill that raced us is observed at the next access).
                 let val = self.memory().load(addr);
-                hooks::emit(Event::Read { addr, val, tx: true });
+                self.emit_access(Event::Read { addr, val, tx: true });
                 return Ok(val);
             }
         }
@@ -409,7 +433,7 @@ impl HtmThread {
             self.compensate_untracked_read();
         }
         let val = self.memory().load(addr);
-        hooks::emit(Event::Read { addr, val, tx: true });
+        self.emit_access(Event::Read { addr, val, tx: true });
         Ok(val)
     }
 
@@ -421,7 +445,7 @@ impl HtmThread {
             return Ok(());
         }
         self.check_self()?;
-        if let Some(code) = hooks::inject(InjectPoint::Access) {
+        if let Some(code) = self.inject_at(InjectPoint::Access) {
             return Err(self.self_abort(code.into()));
         }
         debug_assert!(self.mode.is_some(), "write outside transaction");
@@ -430,7 +454,7 @@ impl HtmThread {
         // Owned-line fast path: one private map probe, no shared state.
         if self.lines.get(&line).is_some_and(|f| f & flags::WRITE != 0) {
             self.wbuf.insert(addr, val);
-            hooks::emit(Event::Write { addr, val, tx: true });
+            self.emit_access(Event::Write { addr, val, tx: true });
             return Ok(());
         }
 
@@ -471,7 +495,7 @@ impl HtmThread {
 
         *self.lines.entry(line).or_insert(0) |= flags::WRITE;
         self.wbuf.insert(addr, val);
-        hooks::emit(Event::Write { addr, val, tx: true });
+        self.emit_access(Event::Write { addr, val, tx: true });
         Ok(())
     }
 
@@ -497,7 +521,7 @@ impl HtmThread {
     pub fn commit(&mut self) -> Result<(), AbortReason> {
         let mode = self.mode.expect("commit outside transaction");
         assert!(!self.suspended, "commit while suspended");
-        if let Some(code) = hooks::inject(InjectPoint::Commit) {
+        if let Some(code) = self.inject_at(InjectPoint::Commit) {
             return Err(self.self_abort(code.into()));
         }
         match self.htm.slots().transition(
@@ -585,6 +609,16 @@ impl HtmThread {
         self.mode = None;
     }
 
+    /// Re-cache the hook-active flag for accesses *outside* a hardware
+    /// transaction. `begin` does this automatically; the bulk
+    /// non-transactional paths (the RO fast path, the SGL slow path) must
+    /// call it at episode entry or their `read_notx`/`write_notx` accesses
+    /// bypass the check harness and the chaos injector.
+    #[inline]
+    pub fn refresh_hooks(&mut self) {
+        self.hooked = hooks::active();
+    }
+
     /// Non-transactional read: kills any active transactional writer of the
     /// line (with `class`'s reason) and returns the memory value. Inside a
     /// suspend window, a read of a line in the *own* write set returns the
@@ -594,14 +628,14 @@ impl HtmThread {
         let line = line_of(addr);
         if self.mode.is_some() && self.lines.get(&line).is_some_and(|f| f & flags::WRITE != 0) {
             let val = self.wbuf.get(&addr).copied().unwrap_or_else(|| self.memory().load(addr));
-            hooks::emit(Event::Read { addr, val, tx: false });
+            self.emit_access(Event::Read { addr, val, tx: false });
             return val;
         }
         let spare = if self.mode.is_some() { Some(self.me()) } else { None };
         self.resolve_writer(line, spare, class.kill_reason());
         self.compensate_untracked_read();
         let val = self.memory().load(addr);
-        hooks::emit(Event::Read { addr, val, tx: false });
+        self.emit_access(Event::Read { addr, val, tx: false });
         val
     }
 
@@ -617,7 +651,29 @@ impl HtmThread {
         self.resolve_writer(line, None, reason);
         self.kill_readers(line, None, reason);
         self.memory().store_release(addr, val);
-        hooks::emit(Event::Write { addr, val, tx: false });
+        self.emit_access(Event::Write { addr, val, tx: false });
+    }
+}
+
+/// Panic safety: a body that unwinds between `begin` and `commit`/`abort`
+/// drops the backend's thread struct, and with it this `HtmThread`, with a
+/// transaction still in flight. Left alone, that transaction would keep
+/// its directory registrations and TMCAM capacity forever and every peer
+/// that touches one of its lines would wedge. Rolling it back here —
+/// exactly `tabort.` followed by the hardware's register/cache rollback —
+/// makes unwinding equivalent to an explicit abort, after which the panic
+/// continues to propagate.
+impl Drop for HtmThread {
+    fn drop(&mut self) {
+        if self.mode.is_none() {
+            return;
+        }
+        // In-flight implies Active or Aborted (commit/abort never unwind
+        // mid-transition: no user code runs inside them), both of which
+        // `self_abort` resolves without panicking — required, since this
+        // usually runs during an unwind already.
+        self.suspended = false;
+        self.self_abort(AbortReason::Explicit);
     }
 }
 

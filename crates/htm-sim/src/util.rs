@@ -28,6 +28,72 @@ pub fn spin_wait(mut cond: impl FnMut() -> bool) {
     }
 }
 
+/// Outcome of a [`spin_wait_deadline`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitReport {
+    /// The deadline expired before the condition held.
+    pub timed_out: bool,
+    /// The wait actually spun (false: condition held on entry, zero cost).
+    pub spun: bool,
+    /// Wall-clock time spent waiting, in nanoseconds (0 if `!spun`).
+    pub waited_ns: u64,
+}
+
+impl WaitReport {
+    /// A wait that was satisfied immediately.
+    pub const IMMEDIATE: WaitReport = WaitReport { timed_out: false, spun: false, waited_ns: 0 };
+}
+
+/// [`spin_wait`] with an optional deadline: returns instead of spinning
+/// forever once `deadline` wall-clock time has elapsed, reporting how long
+/// the wait ran and whether it tripped. `deadline: None` never times out
+/// (but still reports the wait duration).
+///
+/// The fast path is as cheap as [`spin_wait`]: when `cond` holds on entry
+/// no clock is read at all, and a wait that resolves within the
+/// exponential-backoff spin regime (microseconds) never reads one either —
+/// it reports `waited_ns: 0`. The clock (`Instant`, monotonic) is first
+/// consulted once the backoff has saturated into `yield_now`, where one
+/// read per scheduler round-trip is noise; deadlines are tens of
+/// milliseconds and up, so losing the first microsecond of precision is
+/// irrelevant. This is what lets the quiescence watchdog sit on every
+/// wait site without showing up in committed-transaction latency, even on
+/// heavily oversubscribed machines where commits quiesce constantly.
+pub fn spin_wait_deadline(
+    mut cond: impl FnMut() -> bool,
+    deadline: Option<std::time::Duration>,
+) -> WaitReport {
+    if cond() {
+        return WaitReport::IMMEDIATE;
+    }
+    let backoff = Backoff::new();
+    let mut start: Option<std::time::Instant> = None;
+    loop {
+        txmem::hooks::emit(txmem::hooks::Event::Poll);
+        backoff.snooze();
+        if backoff.is_completed() {
+            std::thread::yield_now();
+        }
+        if cond() {
+            let waited_ns = start.map_or(0, |s| s.elapsed().as_nanos() as u64);
+            return WaitReport { timed_out: false, spun: true, waited_ns };
+        }
+        if backoff.is_completed() {
+            let s = *start.get_or_insert_with(std::time::Instant::now);
+            if let Some(limit) = deadline {
+                let waited = s.elapsed();
+                if waited >= limit {
+                    return WaitReport {
+                        timed_out: true,
+                        spun: true,
+                        waited_ns: waited.as_nanos() as u64,
+                    };
+                }
+            }
+        }
+    }
+}
+
 /// Fibonacci-multiply hasher for integer keys (cache-line ids, word
 /// addresses). The conflict directory and the per-transaction access maps
 /// hash on every simulated memory access, so SipHash (std's default) would
@@ -105,6 +171,30 @@ mod tests {
             });
             spin_wait(|| flag.load(Ordering::Acquire));
             assert!(flag.load(Ordering::Acquire));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn deadline_wait_times_out_and_reports() {
+        use std::time::Duration;
+        // Condition never holds: must trip, not hang.
+        let r = spin_wait_deadline(|| false, Some(Duration::from_millis(5)));
+        assert!(r.timed_out && r.spun);
+        assert!(r.waited_ns >= 5_000_000, "reported {} ns", r.waited_ns);
+        // Condition holds on entry: zero-cost path, no clock read.
+        let r = spin_wait_deadline(|| true, Some(Duration::from_millis(5)));
+        assert_eq!(r, WaitReport::IMMEDIATE);
+        // No deadline: behaves like spin_wait but reports the duration.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let flag = AtomicBool::new(false);
+        crossbeam_utils::thread::scope(|s| {
+            s.spawn(|_| {
+                std::thread::sleep(Duration::from_millis(2));
+                flag.store(true, Ordering::Release);
+            });
+            let r = spin_wait_deadline(|| flag.load(Ordering::Acquire), None);
+            assert!(!r.timed_out && r.spun && r.waited_ns > 0);
         })
         .unwrap();
     }

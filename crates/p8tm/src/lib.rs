@@ -24,7 +24,7 @@
 //! instrumented reads, quiescence waits, serializability aborts — is
 //! preserved.
 
-use htm_sim::util::{spin_wait, IntMap, IntSet};
+use htm_sim::util::{spin_wait, spin_wait_deadline, IntMap, IntSet};
 use htm_sim::{AbortReason, Htm, HtmConfig, HtmThread, NonTxClass, TxMode};
 use parking_lot::Mutex;
 use si_htm::sgl::Sgl;
@@ -32,17 +32,27 @@ use si_htm::state::StateArray;
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
 use tm_api::{
-    policy::RetryState, Abort, Outcome, RetryPolicy, ThreadStats, TmBackend, TmThread, Tx, TxBody,
-    TxKind,
+    policy::RetryState, Abort, BackoffPolicy, ContentionManager, Outcome, RetryPolicy, ThreadStats,
+    TmBackend, TmThread, Tx, TxBody, TxKind, Watchdog,
 };
 use txmem::hooks::{self, AbortCode, Event};
 use txmem::{line_of, Addr, Line, TxMemory};
+
+/// Anti-convoy jitter ceiling before an SGL (re-)attempt (see si-htm).
+const SGL_ADMISSION_JITTER_NS: u64 = 2_000;
 
 /// Tunables of the P8TM layer.
 #[derive(Debug, Clone, Default)]
 pub struct P8tmConfig {
     /// Hardware retry budget before the SGL fall-back.
     pub retry: RetryPolicy,
+    /// Deadlines on the quiescence and SGL-drain waits (see DESIGN.md §9).
+    /// Degrading past a straggler is *still serializable* here: P8TM
+    /// validates every read log, so a reader whose snapshot was broken by
+    /// a degraded commit simply fails validation and retries.
+    pub watchdog: Watchdog,
+    /// Randomized exponential backoff between hardware retries.
+    pub backoff: BackoffPolicy,
 }
 
 struct Inner {
@@ -102,11 +112,14 @@ impl TmBackend for P8tm {
     fn register_thread(&self) -> P8tmThread {
         let thr = self.inner.htm.register_thread();
         let tid = thr.tid();
+        let cm = ContentionManager::new(self.inner.config.backoff, 0x9871 ^ tid as u64);
         P8tmThread {
             inner: Arc::clone(&self.inner),
             thr,
             tid,
             stats: ThreadStats::default(),
+            cm,
+            degrade_to_sgl: false,
             snapshot: Vec::new(),
             read_log: Vec::new(),
             seen: IntSet::default(),
@@ -131,6 +144,9 @@ pub struct P8tmThread {
     thr: HtmThread,
     tid: usize,
     stats: ThreadStats,
+    cm: ContentionManager,
+    /// Quiescence watchdog tripped: stop retrying ROTs, serialise now.
+    degrade_to_sgl: bool,
     snapshot: Vec<(usize, u64)>,
     // Reused per-transaction buffers (the software read instrumentation).
     read_log: Vec<(Line, u64)>,
@@ -177,21 +193,38 @@ impl P8tmThread {
         self.stats.quiesce_polled += snapshot.len() as u64;
         let mut waited = false;
         let mut doomed = false;
+        let mut tripped = false;
+        let deadline = self.inner.config.watchdog.quiesce;
         for &(c, observed) in &snapshot {
             if c == self.tid {
                 continue;
             }
-            spin_wait(|| {
-                if self.inner.state.poll(c) != observed {
-                    return true;
-                }
-                waited = true;
-                if self.thr.doomed().is_some() {
-                    doomed = true;
-                    return true;
-                }
-                false
-            });
+            let report = spin_wait_deadline(
+                || {
+                    if self.inner.state.poll(c) != observed {
+                        return true;
+                    }
+                    waited = true;
+                    if self.thr.doomed().is_some() {
+                        doomed = true;
+                        return true;
+                    }
+                    false
+                },
+                deadline,
+            );
+            self.stats.max_wait_ns = self.stats.max_wait_ns.max(report.waited_ns);
+            if report.timed_out {
+                // Watchdog trip: kill the straggler if killable, stop
+                // waiting either way, and degrade to the SGL-serialized
+                // slow path (see si-htm; for P8TM the degraded commit is
+                // even benign — read-log validation catches any reader
+                // whose snapshot it breaks).
+                self.inner.htm.kill_active(c, AbortReason::Conflict);
+                self.stats.watchdog_quiesce_trips += 1;
+                tripped = true;
+                break;
+            }
             if doomed {
                 break;
             }
@@ -199,6 +232,10 @@ impl P8tmThread {
         self.snapshot = snapshot;
         if waited {
             self.stats.quiesce_waits += 1;
+        }
+        if tripped {
+            self.degrade_to_sgl = true;
+            return Err(self.thr.abort());
         }
         if doomed {
             return Err(self.thr.abort());
@@ -221,6 +258,8 @@ impl P8tmThread {
     fn exec_update(&mut self, body: TxBody<'_>) -> Outcome {
         let policy = self.inner.config.retry;
         let mut retry = RetryState::new(&policy);
+        self.cm.reset();
+        self.degrade_to_sgl = false;
         loop {
             self.sync_with_gl();
             self.read_log.clear();
@@ -249,8 +288,11 @@ impl P8tmThread {
                     Err(reason) => {
                         self.inner.state.set_inactive(self.tid);
                         self.stats.record_abort(reason);
-                        if !retry.on_abort(&policy, reason) {
+                        if self.degrade_to_sgl || !retry.on_abort(&policy, reason) {
                             break;
+                        }
+                        if self.cm.backoff(reason) > 0 {
+                            self.stats.backoffs += 1;
                         }
                     }
                 },
@@ -260,6 +302,9 @@ impl P8tmThread {
                     self.stats.record_abort(reason);
                     if !retry.on_abort(&policy, reason) {
                         break;
+                    }
+                    if self.cm.backoff(reason) > 0 {
+                        self.stats.backoffs += 1;
                     }
                 }
                 Err(Abort::User) => {
@@ -280,8 +325,10 @@ impl P8tmThread {
     fn exec_ro(&mut self, body: TxBody<'_>) -> Outcome {
         let policy = self.inner.config.retry;
         let mut retry = RetryState::new(&policy);
+        self.cm.reset();
         loop {
             self.sync_with_gl();
+            self.thr.refresh_hooks();
             hooks::emit(Event::RoBegin);
             self.read_log.clear();
             self.seen.clear();
@@ -310,6 +357,9 @@ impl P8tmThread {
                     if !retry.on_abort(&policy, AbortReason::Conflict) {
                         return self.exec_sgl(body);
                     }
+                    if self.cm.backoff(AbortReason::Conflict) > 0 {
+                        self.stats.backoffs += 1;
+                    }
                 }
                 Err(Abort::User) => {
                     self.inner.state.set_inactive(self.tid);
@@ -327,9 +377,21 @@ impl P8tmThread {
     fn exec_sgl(&mut self, body: TxBody<'_>) -> Outcome {
         debug_assert!(!self.thr.in_tx());
         self.inner.state.set_inactive(self.tid);
+        if self.cm.admission_jitter(SGL_ADMISSION_JITTER_NS) > 0 {
+            self.stats.backoffs += 1;
+        }
         self.inner.sgl.lock(self.tid);
         self.stats.sgl_acquisitions += 1;
-        spin_wait(|| self.inner.state.all_inactive_except(self.tid));
+        let report = spin_wait_deadline(
+            || self.inner.state.all_inactive_except(self.tid),
+            self.inner.config.watchdog.drain,
+        );
+        self.stats.max_wait_ns = self.stats.max_wait_ns.max(report.waited_ns);
+        if report.timed_out {
+            // Proceed serialized past the wedged straggler (reported).
+            self.stats.watchdog_drain_trips += 1;
+        }
+        self.thr.refresh_hooks();
         hooks::emit(Event::SglLock);
         self.write_lines.clear();
         let (result, wbuf) = {
@@ -361,6 +423,21 @@ impl P8tmThread {
         self.inner.sgl.unlock(self.tid);
         hooks::emit(Event::SglUnlock { committed: outcome == Outcome::Committed });
         outcome
+    }
+}
+
+/// Panic safety (see `SiHtmThread`'s Drop): roll back the in-flight
+/// hardware transaction, un-publish the `state[]` entry peers quiesce on,
+/// release the SGL if held, then let the panic propagate.
+impl Drop for P8tmThread {
+    fn drop(&mut self) {
+        if self.thr.in_tx() {
+            self.thr.abort();
+        }
+        self.inner.state.set_inactive(self.tid);
+        if self.inner.sgl.is_held_by(self.tid) {
+            self.inner.sgl.unlock(self.tid);
+        }
     }
 }
 

@@ -58,7 +58,7 @@ use htm_sim::{Htm, HtmConfig};
 use sgl::Sgl;
 use state::StateArray;
 use std::sync::Arc;
-use tm_api::{RetryPolicy, TmBackend};
+use tm_api::{BackoffPolicy, RetryPolicy, TmBackend, Watchdog};
 use txmem::TxMemory;
 
 /// Tunables of the SI-HTM layer.
@@ -88,6 +88,16 @@ pub struct SiHtmConfig {
     /// attempts also fail (pure conflicts) does the SGL serialise.
     /// `None` disables (the paper's baseline behaviour).
     pub software_fallback: Option<u32>,
+    /// Deadlines on the two unbounded waits (quiescence, SGL drain). A
+    /// tripped quiescence deadline kills the straggler if it is a killable
+    /// transaction and degrades the committer to the SGL-serialized slow
+    /// path; a tripped drain deadline lets the SGL holder proceed without
+    /// the straggler having quiesced. Both are counted in
+    /// `ThreadStats::watchdog_*_trips`. See DESIGN.md §9.
+    pub watchdog: Watchdog,
+    /// Randomized exponential backoff between ROT retries (the contention
+    /// manager). `BackoffPolicy::none()` restores back-to-back retries.
+    pub backoff: BackoffPolicy,
 }
 
 impl Default for SiHtmConfig {
@@ -98,6 +108,8 @@ impl Default for SiHtmConfig {
             quiescence: true,
             kill_after: None,
             software_fallback: None,
+            watchdog: Watchdog::default(),
+            backoff: BackoffPolicy::default(),
         }
     }
 }

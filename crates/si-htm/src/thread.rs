@@ -2,13 +2,18 @@
 //! wait) and Algorithm 2 (SyncWithGL, read-only fast path, SGL fall-back).
 
 use crate::Inner;
-use htm_sim::util::{spin_wait, IntMap};
+use htm_sim::util::{spin_wait, spin_wait_deadline, IntMap};
 use htm_sim::{AbortReason, HtmThread, NonTxClass, TxMode};
 use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
-use tm_api::{Abort, Outcome, ThreadStats, TmThread, Tx, TxBody, TxKind};
+use tm_api::{Abort, ContentionManager, Outcome, ThreadStats, TmThread, Tx, TxBody, TxKind};
 use txmem::hooks::{self, AbortCode, Event};
 use txmem::Addr;
+
+/// Ceiling for the anti-convoy jitter applied before (re-)attempting the
+/// SGL after waiting it out — spreads a drained cohort so they don't
+/// stampede the lock word in lockstep.
+const SGL_ADMISSION_JITTER_NS: u64 = 2_000;
 
 /// A worker thread registered with the SI-HTM backend.
 pub struct SiHtmThread {
@@ -16,6 +21,11 @@ pub struct SiHtmThread {
     thr: HtmThread,
     tid: usize,
     stats: ThreadStats,
+    cm: ContentionManager,
+    /// Set when the quiescence watchdog tripped: the retry loop must stop
+    /// re-attempting ROTs (each attempt would wedge on the same straggler)
+    /// and go straight to the SGL-serialized slow path.
+    degrade_to_sgl: bool,
     /// Reusable `(thread, observed state)` buffer for the safety wait.
     snapshot: Vec<(usize, u64)>,
 }
@@ -24,7 +34,16 @@ impl SiHtmThread {
     pub(crate) fn new(inner: Arc<Inner>) -> Self {
         let thr = inner.htm.register_thread();
         let tid = thr.tid();
-        SiHtmThread { inner, thr, tid, stats: ThreadStats::default(), snapshot: Vec::new() }
+        let cm = ContentionManager::new(inner.config.backoff, 0xC0DE ^ tid as u64);
+        SiHtmThread {
+            inner,
+            thr,
+            tid,
+            stats: ThreadStats::default(),
+            cm,
+            degrade_to_sgl: false,
+            snapshot: Vec::new(),
+        }
     }
 
     /// Hardware-thread id on the simulated machine.
@@ -50,6 +69,7 @@ impl SiHtmThread {
     /// with plain non-transactional reads; unbounded footprint, no aborts.
     fn exec_ro(&mut self, body: TxBody<'_>) -> Outcome {
         self.sync_with_gl();
+        self.thr.refresh_hooks();
         hooks::emit(Event::RoBegin);
         let r = {
             let mut tx = RoTx { thr: &mut self.thr };
@@ -96,32 +116,54 @@ impl SiHtmThread {
             self.stats.quiesce_polled += snapshot.len() as u64;
             let mut waited = false;
             let mut doomed = false;
+            let mut tripped = false;
+            let deadline = self.inner.config.watchdog.quiesce;
             for &(c, observed) in &snapshot {
                 if c == self.tid {
                     continue;
                 }
                 let mut spins: u32 = 0;
-                spin_wait(|| {
-                    if self.inner.state.poll(c) != observed {
-                        return true;
-                    }
-                    waited = true;
-                    // A concurrent reader may invalidate our write set
-                    // while we wait (Fig. 4A) — abort promptly.
-                    if self.thr.doomed().is_some() {
-                        doomed = true;
-                        return true;
-                    }
-                    if let Some(limit) = self.inner.config.kill_after {
-                        if spins >= limit {
-                            // Future-work "killing alternative": stop
-                            // waiting for the straggler, kill it.
-                            self.inner.htm.kill_active(c, AbortReason::Conflict);
+                let report = spin_wait_deadline(
+                    || {
+                        if self.inner.state.poll(c) != observed {
+                            return true;
                         }
-                    }
-                    spins = spins.saturating_add(1);
-                    false
-                });
+                        waited = true;
+                        // A concurrent reader may invalidate our write set
+                        // while we wait (Fig. 4A) — abort promptly.
+                        if self.thr.doomed().is_some() {
+                            doomed = true;
+                            return true;
+                        }
+                        if let Some(limit) = self.inner.config.kill_after {
+                            if spins >= limit {
+                                // Future-work "killing alternative": stop
+                                // waiting for the straggler, kill it.
+                                self.inner.htm.kill_active(c, AbortReason::Conflict);
+                            }
+                        }
+                        spins = spins.saturating_add(1);
+                        false
+                    },
+                    deadline,
+                );
+                self.stats.max_wait_ns = self.stats.max_wait_ns.max(report.waited_ns);
+                if report.timed_out {
+                    // Watchdog trip: the peer has not moved for the whole
+                    // deadline — descheduled, wedged, or stalled forever.
+                    // Kill it if it is a killable transaction (an active
+                    // ROT will observe the kill at its next access or
+                    // commit); a fast-path reader is not killable, and a
+                    // descheduled victim would not notice anyway, so
+                    // either way stop waiting and degrade this commit to
+                    // the SGL-serialized slow path. Only the straggler's
+                    // snapshot guarantee is forfeited — and the trip is
+                    // reported, not silent.
+                    self.inner.htm.kill_active(c, AbortReason::Conflict);
+                    self.stats.watchdog_quiesce_trips += 1;
+                    tripped = true;
+                    break;
+                }
                 if doomed {
                     break;
                 }
@@ -129,6 +171,10 @@ impl SiHtmThread {
             self.snapshot = snapshot;
             if waited {
                 self.stats.quiesce_waits += 1;
+            }
+            if tripped {
+                self.degrade_to_sgl = true;
+                return Err(self.thr.abort());
             }
             if doomed {
                 return Err(self.thr.abort());
@@ -210,12 +256,25 @@ impl SiHtmThread {
     fn exec_update(&mut self, body: TxBody<'_>) -> Outcome {
         let policy = self.inner.config.retry;
         let mut retry = tm_api::policy::RetryState::new(&policy);
+        self.cm.reset();
+        self.degrade_to_sgl = false;
         loop {
             match self.attempt(body, false) {
                 Ok(outcome) => return outcome,
                 Err(reason) => {
+                    // A tripped quiescence watchdog means a straggler is
+                    // wedged: every further hardware attempt would hit the
+                    // same wait, so serialise immediately.
+                    if self.degrade_to_sgl {
+                        return self.exec_sgl(body);
+                    }
                     if !retry.on_abort(&policy, reason) {
                         break;
+                    }
+                    // Contention manager: space the retries out (convoys
+                    // re-collide; capacity repeats). Abort path only.
+                    if self.cm.backoff(reason) > 0 {
+                        self.stats.backoffs += 1;
                     }
                 }
             }
@@ -226,6 +285,7 @@ impl SiHtmThread {
             for _ in 0..sw_attempts {
                 match self.attempt(body, true) {
                     Ok(outcome) => return outcome,
+                    Err(_) if self.degrade_to_sgl => break,
                     Err(_) => continue, // pure conflict; retry or escalate
                 }
             }
@@ -239,9 +299,28 @@ impl SiHtmThread {
     fn exec_sgl(&mut self, body: TxBody<'_>) -> Outcome {
         debug_assert!(!self.thr.in_tx());
         self.inner.state.set_inactive(self.tid);
+        // Anti-convoy admission: threads escalating together (an SGL
+        // storm) otherwise slam the lock word in lockstep; a small flat
+        // jitter staggers them.
+        if self.cm.admission_jitter(SGL_ADMISSION_JITTER_NS) > 0 {
+            self.stats.backoffs += 1;
+        }
         self.inner.sgl.lock(self.tid);
         self.stats.sgl_acquisitions += 1;
-        spin_wait(|| self.inner.state.all_inactive_except(self.tid));
+        let report = spin_wait_deadline(
+            || self.inner.state.all_inactive_except(self.tid),
+            self.inner.config.watchdog.drain,
+        );
+        self.stats.max_wait_ns = self.stats.max_wait_ns.max(report.waited_ns);
+        if report.timed_out {
+            // The drain hit the same wedged straggler the quiescence
+            // watchdog degrades around. Proceed serialized: SyncWithGL
+            // keeps new transactions out while the lock is held, so only
+            // the non-draining straggler's snapshot is at risk — reported,
+            // not silent.
+            self.stats.watchdog_drain_trips += 1;
+        }
+        self.thr.refresh_hooks();
         hooks::emit(Event::SglLock);
         let (result, wbuf) = {
             let mut tx = SglTx { thr: &mut self.thr, wbuf: IntMap::default() };
@@ -266,6 +345,26 @@ impl SiHtmThread {
         self.inner.sgl.unlock(self.tid);
         hooks::emit(Event::SglUnlock { committed: outcome == Outcome::Committed });
         outcome
+    }
+}
+
+/// Panic safety: a body that unwinds out of `exec` leaves three pieces of
+/// shared state behind — the in-flight hardware transaction (rolled back
+/// here, before the `HtmThread` field's own Drop, so the ordering below
+/// holds), the published entry in the `state[]` array (peers quiesce on
+/// it: left active, it would wedge every writer's safety wait), and
+/// possibly the SGL (left locked, `SyncWithGL` would park every thread
+/// forever). All three are released, in that order, and the panic
+/// continues to propagate.
+impl Drop for SiHtmThread {
+    fn drop(&mut self) {
+        if self.thr.in_tx() {
+            self.thr.abort();
+        }
+        self.inner.state.set_inactive(self.tid);
+        if self.inner.sgl.is_held_by(self.tid) {
+            self.inner.sgl.unlock(self.tid);
+        }
     }
 }
 

@@ -26,7 +26,10 @@ use htm_sim::util::{IntMap, IntSet};
 use htm_sim::AbortReason;
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
-use tm_api::{Abort, Outcome, ThreadStats, TmBackend, TmThread, Tx, TxBody, TxKind};
+use tm_api::{
+    Abort, BackoffPolicy, ContentionManager, Outcome, ThreadStats, TmBackend, TmThread, Tx, TxBody,
+    TxKind,
+};
 use txmem::hooks::{self, AbortCode, Event, InjectPoint};
 use txmem::{line_of, Addr, Line, TxMemory};
 
@@ -46,11 +49,13 @@ pub struct SiloConfig {
     /// Silo's TID protocol as its genuine extra cost (see DESIGN.md).
     /// Set to 0 for the raw-cost ablation.
     pub access_spin: u32,
+    /// Randomized exponential backoff between OCC retries.
+    pub backoff: BackoffPolicy,
 }
 
 impl Default for SiloConfig {
     fn default() -> Self {
-        SiloConfig { access_spin: 5 }
+        SiloConfig { access_spin: 5, backoff: BackoffPolicy::default() }
     }
 }
 
@@ -105,9 +110,17 @@ impl TmBackend for Silo {
     }
 
     fn register_thread(&self) -> SiloThread {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let cm = ContentionManager::new(
+            self.inner.config.backoff,
+            0x5170 ^ SEQ.fetch_add(1, Ordering::Relaxed),
+        );
         SiloThread {
             inner: Arc::clone(&self.inner),
             stats: ThreadStats::default(),
+            cm,
+            injected: None,
+            hooked: false,
             last_tid: 0,
             read_set: Vec::new(),
             read_seen: IntSet::default(),
@@ -131,6 +144,11 @@ impl std::fmt::Debug for Silo {
 pub struct SiloThread {
     inner: Arc<Inner>,
     stats: ThreadStats,
+    cm: ContentionManager,
+    /// Reason recorded when fault injection aborted the body mid-flight.
+    injected: Option<AbortReason>,
+    /// `hooks::active()` cached per attempt: gates per-access hook calls.
+    hooked: bool,
     /// Last TID this thread committed with (monotonic per thread).
     last_tid: u64,
     read_set: Vec<(Line, u64)>,
@@ -165,7 +183,7 @@ impl SiloThread {
     fn try_commit(&mut self) -> Result<(), ()> {
         // Fault injection treats a forced commit-point abort as a
         // validation failure: the retry loop re-runs the body.
-        if hooks::inject(InjectPoint::Commit).is_some() {
+        if self.hooked && hooks::inject(InjectPoint::Commit).is_some() {
             return Err(());
         }
         let inner = &self.inner;
@@ -242,10 +260,26 @@ impl SiloThread {
     }
 }
 
+/// Panic safety: Silo's body phase touches no shared state — the per-line
+/// locks are taken only inside `try_commit`, which runs no user code and
+/// cannot unwind — so an unwinding body strands nothing that peers could
+/// wait on. The half-built read/write sets are thread-local and die with
+/// the struct; `exec` additionally clears them at the top of every attempt,
+/// so even a caller that catches the panic and reuses the thread cannot
+/// replay them.
+impl Drop for SiloThread {
+    fn drop(&mut self) {
+        self.clear_tx();
+    }
+}
+
 impl TmThread for SiloThread {
     fn exec(&mut self, _kind: TxKind, body: TxBody<'_>) -> Outcome {
+        self.cm.reset();
         loop {
             self.clear_tx();
+            self.injected = None;
+            self.hooked = hooks::active();
             hooks::emit(Event::Begin { rot: false });
             let r = {
                 let mut tx = SiloTx { thr: self };
@@ -264,6 +298,9 @@ impl TmThread for SiloThread {
                     // OCC validation failure: a transactional conflict.
                     self.stats.record_abort(AbortReason::Conflict);
                     hooks::emit(Event::Abort { reason: AbortCode::Conflict });
+                    if self.cm.backoff(AbortReason::Conflict) > 0 {
+                        self.stats.backoffs += 1;
+                    }
                 }
                 Err(Abort::User) => {
                     self.stats.user_aborts += 1;
@@ -271,7 +308,15 @@ impl TmThread for SiloThread {
                     return Outcome::UserAborted;
                 }
                 Err(Abort::Backend) => {
-                    unreachable!("Silo never aborts inside the body")
+                    // Only fault injection can abort a Silo body (the TID
+                    // protocol itself never fails mid-flight): roll back
+                    // the local buffers and retry, like any OCC conflict.
+                    let reason = self.injected.take().unwrap_or(AbortReason::Conflict);
+                    self.stats.record_abort(reason);
+                    hooks::emit(Event::Abort { reason: reason.into() });
+                    if self.cm.backoff(reason) > 0 {
+                        self.stats.backoffs += 1;
+                    }
                 }
             }
         }
@@ -293,8 +338,20 @@ struct SiloTx<'a> {
 
 impl Tx for SiloTx<'_> {
     fn read(&mut self, addr: Addr) -> Result<u64, Abort> {
+        // Fault-injection seam (chaos / tm-check): a forced access abort
+        // unwinds to the retry loop like an OCC conflict would. Gated on
+        // the flag cached at attempt start so the disarmed fast path
+        // never touches the hook statics.
+        if self.thr.hooked {
+            if let Some(code) = hooks::inject(InjectPoint::Access) {
+                self.thr.injected = Some(code.into());
+                return Err(Abort::Backend);
+            }
+        }
         if let Some(v) = self.thr.wbuf.get(&addr) {
-            hooks::emit(Event::Read { addr, val: *v, tx: true });
+            if self.thr.hooked {
+                hooks::emit(Event::Read { addr, val: *v, tx: true });
+            }
             return Ok(*v);
         }
         self.thr.inner.compensate_access();
@@ -303,14 +360,24 @@ impl Tx for SiloTx<'_> {
         if self.thr.read_seen.insert(line) {
             self.thr.read_set.push((line, tid));
         }
-        hooks::emit(Event::Read { addr, val: v, tx: true });
+        if self.thr.hooked {
+            hooks::emit(Event::Read { addr, val: v, tx: true });
+        }
         Ok(v)
     }
 
     fn write(&mut self, addr: Addr, val: u64) -> Result<(), Abort> {
+        if self.thr.hooked {
+            if let Some(code) = hooks::inject(InjectPoint::Access) {
+                self.thr.injected = Some(code.into());
+                return Err(Abort::Backend);
+            }
+        }
         self.thr.wbuf.insert(addr, val);
         self.thr.write_lines.push(line_of(addr));
-        hooks::emit(Event::Write { addr, val, tx: true });
+        if self.thr.hooked {
+            hooks::emit(Event::Write { addr, val, tx: true });
+        }
         Ok(())
     }
 }

@@ -24,7 +24,7 @@
 pub mod policy;
 pub mod stats;
 
-pub use policy::RetryPolicy;
+pub use policy::{BackoffPolicy, ContentionManager, RetryPolicy, Watchdog};
 pub use stats::ThreadStats;
 
 pub use htm_sim::AbortReason;

@@ -1,6 +1,8 @@
-//! Retry budgets governing the fall-back to the single global lock.
+//! Retry budgets governing the fall-back to the single global lock, the
+//! abort-aware contention manager, and the quiescence watchdog knobs.
 
 use htm_sim::AbortReason;
+use std::time::Duration;
 
 /// How many hardware attempts a transaction gets before the backend takes
 /// its SGL fall-back path (Algorithm 2, line 16: `while retries-- > 0`).
@@ -62,6 +64,171 @@ impl RetryState {
     }
 }
 
+/// Shape of the randomized exponential backoff between hardware retries.
+///
+/// Back-to-back ROT retries under contention re-collide with the same
+/// peers (retry convoys); the contention manager spaces them out with a
+/// delay drawn uniformly from `[0, ceiling]`, doubling the ceiling on each
+/// consecutive abort of one transaction. Capacity aborts get a larger
+/// ceiling (`capacity_factor`×): a transaction that overflowed the TMCAM
+/// is headed for the SGL anyway, and hammering the hardware path first
+/// only disturbs the threads that still fit.
+///
+/// The **default is disabled** (`none`): the paper's baseline retries
+/// immediately, and on capacity-dominated workloads any inserted delay is
+/// dead time the retry budget would have resolved anyway. Opt in with
+/// [`BackoffPolicy::exponential`] for oversubscribed or fault-injected
+/// runs (the chaos soak does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Ceiling after the first abort, in nanoseconds. `0` disables the
+    /// contention manager entirely (no delays, no jitter, no RNG draws).
+    pub base_ns: u64,
+    /// Upper bound the ceiling saturates at, in nanoseconds.
+    pub max_ns: u64,
+    /// Ceiling multiplier for capacity aborts.
+    pub capacity_factor: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy::none()
+    }
+}
+
+impl BackoffPolicy {
+    /// A policy that never delays (the baseline: retry immediately).
+    pub fn none() -> Self {
+        BackoffPolicy { base_ns: 0, max_ns: 0, capacity_factor: 1 }
+    }
+
+    /// The tuned escalating policy: 256 ns doubling to 64 µs, capacity
+    /// aborts escalating 4× faster.
+    pub fn exponential() -> Self {
+        BackoffPolicy { base_ns: 256, max_ns: 64 << 10, capacity_factor: 4 }
+    }
+
+    /// Is any delay ever produced?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.base_ns != 0
+    }
+}
+
+/// Per-thread contention manager: owns the RNG and the escalating ceiling.
+///
+/// Strictly off the committed fast path: backends call [`backoff`]
+/// (ContentionManager::backoff) only after an abort, and [`reset`]
+/// (ContentionManager::reset) when a transaction commits or first starts —
+/// a transaction that never aborts never touches the clock.
+#[derive(Debug, Clone)]
+pub struct ContentionManager {
+    policy: BackoffPolicy,
+    rng: u64,
+    ceiling_ns: u64,
+    /// Delays executed (surfaced as `ThreadStats::backoffs`).
+    pub backoffs: u64,
+}
+
+impl ContentionManager {
+    pub fn new(policy: BackoffPolicy, seed: u64) -> Self {
+        ContentionManager { policy, rng: seed | 1, ceiling_ns: 0, backoffs: 0 }
+    }
+
+    /// Start of a fresh transaction (or a commit): contention evidence is
+    /// stale, drop the ceiling back to zero.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.ceiling_ns = 0;
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Account one abort and delay the retry. Returns the delay applied
+    /// (ns) so callers can feed wait stats.
+    pub fn backoff(&mut self, reason: AbortReason) -> u64 {
+        let p = self.policy;
+        if p.base_ns == 0 {
+            return 0;
+        }
+        let factor = if reason == AbortReason::Capacity { p.capacity_factor.max(1) } else { 1 };
+        self.ceiling_ns = match self.ceiling_ns {
+            0 => p.base_ns.saturating_mul(factor).min(p.max_ns),
+            c => c.saturating_mul(2).saturating_mul(factor).min(p.max_ns),
+        };
+        let delay = if self.ceiling_ns == 0 { 0 } else { self.next_rand() % (self.ceiling_ns + 1) };
+        if delay > 0 {
+            self.backoffs += 1;
+            busy_delay_ns(delay);
+        }
+        delay
+    }
+
+    /// Anti-convoy jitter before re-attempting after an SGL episode: a
+    /// flat random delay in `[0, max_ns]`, independent of the escalation
+    /// ceiling, so the drained waiters don't stampede the lock word in
+    /// lockstep.
+    pub fn admission_jitter(&mut self, max_ns: u64) -> u64 {
+        if max_ns == 0 || !self.policy.enabled() {
+            return 0;
+        }
+        let delay = self.next_rand() % (max_ns + 1);
+        if delay > 0 {
+            self.backoffs += 1;
+            busy_delay_ns(delay);
+        }
+        delay
+    }
+}
+
+/// Burn roughly `ns` nanoseconds without sleeping (delays here are far
+/// below scheduler granularity; `thread::sleep` would overshoot 100×).
+fn busy_delay_ns(ns: u64) {
+    let start = std::time::Instant::now();
+    let limit = Duration::from_nanos(ns);
+    while start.elapsed() < limit {
+        std::hint::spin_loop();
+    }
+}
+
+/// Deadlines for the two fragile waits in the SI-HTM/P8TM commit path.
+///
+/// `None` disables the respective watchdog (the pre-resilience behavior:
+/// wait forever). The defaults are deliberately generous — three orders of
+/// magnitude above a healthy wait — so a trip means a peer is genuinely
+/// stuck (descheduled for a full scheduling quantum, stalled in a
+/// debugger, or wedged), not merely slow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watchdog {
+    /// Per-peer deadline for the pre-commit quiescence (safety) wait.
+    pub quiesce: Option<Duration>,
+    /// Deadline for the SGL drain (`all_inactive_except`) wait.
+    pub drain: Option<Duration>,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Watchdog {
+            quiesce: Some(Duration::from_millis(1000)),
+            drain: Some(Duration::from_millis(2000)),
+        }
+    }
+}
+
+impl Watchdog {
+    /// No deadlines: wait forever (the paper's idealized scheduler).
+    pub fn disabled() -> Self {
+        Watchdog { quiesce: None, drain: None }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +257,54 @@ mod tests {
         for _ in 0..10_000 {
             assert!(s.on_abort(&p, AbortReason::Conflict));
         }
+    }
+
+    #[test]
+    fn backoff_escalates_jitters_and_resets() {
+        let p = BackoffPolicy { base_ns: 100, max_ns: 1600, capacity_factor: 4 };
+        let mut cm = ContentionManager::new(p, 42);
+        // Ceilings escalate 100 → 200 → 400 … and saturate at max_ns; each
+        // delay is uniform under the ceiling, never above it.
+        let mut prev_ceiling = 0;
+        for _ in 0..8 {
+            let d = cm.backoff(AbortReason::Conflict);
+            assert!(d <= 1600, "delay {d} above saturation cap");
+            assert!(cm.ceiling_ns >= prev_ceiling);
+            prev_ceiling = cm.ceiling_ns;
+        }
+        assert_eq!(cm.ceiling_ns, 1600, "ceiling must saturate at max_ns");
+        cm.reset();
+        assert_eq!(cm.ceiling_ns, 0, "reset drops the ceiling");
+        // Capacity aborts escalate capacity_factor x faster.
+        cm.backoff(AbortReason::Capacity);
+        assert_eq!(cm.ceiling_ns, 400);
+    }
+
+    #[test]
+    fn disabled_backoff_is_free() {
+        assert_eq!(BackoffPolicy::default(), BackoffPolicy::none(), "default must be the baseline");
+        let mut cm = ContentionManager::new(BackoffPolicy::none(), 7);
+        for _ in 0..100 {
+            assert_eq!(cm.backoff(AbortReason::Capacity), 0);
+        }
+        assert_eq!(cm.backoffs, 0);
+        assert_eq!(cm.admission_jitter(0), 0);
+        assert_eq!(cm.admission_jitter(500), 0, "jitter must follow the policy switch");
+    }
+
+    #[test]
+    fn admission_jitter_bounded() {
+        let mut cm = ContentionManager::new(BackoffPolicy::exponential(), 99);
+        for _ in 0..100 {
+            assert!(cm.admission_jitter(500) <= 500);
+        }
+    }
+
+    #[test]
+    fn watchdog_defaults_are_armed_and_generous() {
+        let w = Watchdog::default();
+        assert!(w.quiesce.unwrap() >= std::time::Duration::from_millis(100));
+        assert!(w.drain.unwrap() >= w.quiesce.unwrap());
+        assert_eq!(Watchdog::disabled().quiesce, None);
     }
 }

@@ -41,6 +41,20 @@ pub struct ThreadStats {
     pub quiesce_polled: u64,
     /// SGL acquisitions.
     pub sgl_acquisitions: u64,
+    /// Quiescence waits whose per-peer deadline expired: the straggler was
+    /// escalated (killed if killable, otherwise the waiter degraded to the
+    /// SGL-serialized slow path). Non-zero means some snapshot guarantee
+    /// was forfeited to preserve liveness — see DESIGN.md §9.
+    pub watchdog_quiesce_trips: u64,
+    /// SGL drain waits whose deadline expired (the holder proceeded
+    /// serialized without full quiescence of the straggler).
+    pub watchdog_drain_trips: u64,
+    /// Longest single wait observed at any deadline-protected wait site,
+    /// in nanoseconds. Merged with `max`, not summed.
+    pub max_wait_ns: u64,
+    /// Contention-manager delays executed (abort backoff + SGL admission
+    /// jitter). All off the committed fast path.
+    pub backoffs: u64,
 }
 
 impl ThreadStats {
@@ -101,6 +115,10 @@ impl AddAssign<&ThreadStats> for ThreadStats {
         self.quiesce_waits += rhs.quiesce_waits;
         self.quiesce_polled += rhs.quiesce_polled;
         self.sgl_acquisitions += rhs.sgl_acquisitions;
+        self.watchdog_quiesce_trips += rhs.watchdog_quiesce_trips;
+        self.watchdog_drain_trips += rhs.watchdog_drain_trips;
+        self.max_wait_ns = self.max_wait_ns.max(rhs.max_wait_ns);
+        self.backoffs += rhs.backoffs;
     }
 }
 
@@ -147,11 +165,19 @@ mod tests {
 
     #[test]
     fn aggregation_sums_all_fields() {
-        let a = ThreadStats { commits: 1, quiesce_waits: 3, ..ThreadStats::default() };
+        let a = ThreadStats {
+            commits: 1,
+            quiesce_waits: 3,
+            max_wait_ns: 500,
+            watchdog_quiesce_trips: 1,
+            ..ThreadStats::default()
+        };
         let b = ThreadStats {
             commits: 2,
             sgl_acquisitions: 1,
             quiesce_polled: 7,
+            max_wait_ns: 200,
+            backoffs: 4,
             ..ThreadStats::default()
         };
         let t = aggregate([&a, &b]);
@@ -159,5 +185,8 @@ mod tests {
         assert_eq!(t.quiesce_waits, 3);
         assert_eq!(t.quiesce_polled, 7);
         assert_eq!(t.sgl_acquisitions, 1);
+        assert_eq!(t.watchdog_quiesce_trips, 1);
+        assert_eq!(t.max_wait_ns, 500, "max_wait_ns merges with max, not sum");
+        assert_eq!(t.backoffs, 4);
     }
 }

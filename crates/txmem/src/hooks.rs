@@ -1,15 +1,19 @@
 //! Check-time observation hooks: the `Recorder` seam between the simulator
-//! stack and the `tm-check` deterministic harness.
+//! stack and the `tm-check` deterministic harness — plus the always-built
+//! [`chaos`] injector that reuses the same seam with *real* OS threads.
 //!
 //! Every layer above `txmem` (the P8-HTM engine, the four backends) calls
 //! [`emit`] at each simulated memory access and backend state transition,
 //! and [`inject`] at the points where best-effort hardware may abort
 //! spuriously. With the `check` cargo feature **disabled** (the default),
-//! both functions are empty `#[inline]` bodies and the whole module costs
-//! nothing — no thread-local probe, no branch. With `check` enabled, a
-//! harness installs a per-OS-thread [`CheckHooks`] object; [`emit`] then
-//! doubles as a *yield point* for `tm-check`'s cooperative scheduler, and
-//! [`inject`] lets it force capacity/conflict aborts deterministically.
+//! the check-harness half compiles out entirely; a bare [`emit`]/[`inject`]
+//! then costs one relaxed atomic load (the chaos gate, see [`chaos`]) and a
+//! predicted-not-taken branch — and the per-access call sites avoid even
+//! that by caching [`active`] at transaction begin and skipping the calls
+//! outright while nothing is listening. With `check` enabled, a harness installs a
+//! per-OS-thread [`CheckHooks`] object; [`emit`] then doubles as a *yield
+//! point* for `tm-check`'s cooperative scheduler, and [`inject`] lets it
+//! force capacity/conflict aborts deterministically.
 //!
 //! The event vocabulary lives here — the lowest layer — so that every crate
 //! in the stack can speak it without dependency cycles. Hardware abort
@@ -142,37 +146,56 @@ mod enabled {
         let hooks = HOOKS.with(|h| h.borrow().clone());
         hooks.and_then(|h| h.inject(point))
     }
+
+    #[inline]
+    pub fn installed() -> bool {
+        INSTALLED.with(|c| c.get())
+    }
 }
 
 #[cfg(feature = "check")]
 pub use enabled::{install, Installed};
 
-/// Yield point / recorder notification. No-op unless the `check` feature
-/// is enabled *and* a harness installed hooks on this thread.
-#[cfg(feature = "check")]
+pub mod chaos;
+
+/// Yield point / recorder notification. Consulted by the `tm-check`
+/// harness (with the `check` feature) and by the [`chaos`] injector (all
+/// builds). With neither active this is one relaxed load and a branch.
 #[inline]
 pub fn emit(ev: Event) {
+    #[cfg(feature = "check")]
     enabled::emit(ev);
+    chaos::on_event(ev);
 }
 
-/// Fault-injection query. `None` (never abort) unless checking.
-#[cfg(feature = "check")]
+/// Fault-injection query: `Some(code)` forces the running transaction to
+/// abort with that code. The check harness (if installed on this thread)
+/// takes precedence over the chaos injector.
 #[inline]
 pub fn inject(point: InjectPoint) -> Option<AbortCode> {
-    enabled::inject(point)
+    #[cfg(feature = "check")]
+    if let Some(code) = enabled::inject(point) {
+        return Some(code);
+    }
+    chaos::on_inject(point)
 }
 
-#[cfg(not(feature = "check"))]
-#[inline(always)]
-pub fn emit(ev: Event) {
-    let _ = ev;
-}
-
-#[cfg(not(feature = "check"))]
-#[inline(always)]
-pub fn inject(point: InjectPoint) -> Option<AbortCode> {
-    let _ = point;
-    None
+/// True when any per-access hook consumer is live on this thread: the
+/// chaos injector (process-wide) or, with the `check` feature, an
+/// installed check harness. Backends cache this at transaction begin and
+/// skip the per-access [`emit`]/[`inject`] calls entirely when false, so
+/// the disarmed per-access cost is one test of an already-hot flag
+/// instead of per-site atomic loads (which showed up at double-digit
+/// percent on access-dominated benchmarks). Consequence: arming the
+/// injector takes effect at each thread's *next* transaction begin;
+/// accesses of transactions already in flight are not instrumented.
+#[inline]
+pub fn active() -> bool {
+    #[cfg(feature = "check")]
+    if enabled::installed() {
+        return true;
+    }
+    chaos::armed()
 }
 
 #[cfg(all(test, feature = "check"))]

@@ -1,0 +1,329 @@
+//! Runtime chaos injector: config-driven probabilistic faults on *real*
+//! OS threads, riding the same [`emit`](super::emit)/[`inject`](super::inject)
+//! seam that `tm-check` uses for deterministic exploration.
+//!
+//! Where `tm-check` serializes the whole stack onto one cooperative
+//! scheduler, chaos mode leaves the threads free-running and instead rolls
+//! dice at each seam crossing: injected capacity/conflict aborts at access
+//! and commit points, randomized stalls inside the windows the resilience
+//! layer must survive (suspend/quiescence entry, the RO fast path, commit),
+//! and optional panics in the middle of transaction bodies. The `chaos-soak`
+//! bench binary sweeps these knobs across backends and asserts liveness and
+//! workload invariants.
+//!
+//! Cost when disarmed: [`on_event`]/[`on_inject`] read one global relaxed
+//! `AtomicBool` and return — no thread-local probe, no lock. The backends
+//! go further on their per-access paths: they cache
+//! [`active`](super::active) at transaction begin and skip the hook calls
+//! entirely while it is false (two per-access atomic loads measured at
+//! double-digit percent on this simulator's access-dominated benchmarks).
+//! Arming therefore takes effect at each thread's next transaction begin.
+//! When armed, each thread caches the active `Arc<ChaosState>` keyed by a
+//! global install epoch, so the shared `RwLock` is touched once per thread
+//! per (re)install, not per event.
+//!
+//! Injected aborts are restricted to `Conflict` and `Capacity`: `Explicit`
+//! is a semantic signal some backends treat specially (htm-sgl's lock
+//! subscription reports the "saw the SGL locked" retry as an explicit
+//! abort that does not burn retry budget), so injecting it would manufacture
+//! livelocks the real hardware cannot produce.
+
+use super::{AbortCode, Event, InjectPoint};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// Probabilities and magnitudes for the injector. All probabilities are in
+/// `[0, 1]` and independent; the default is all-zero (no faults even when
+/// installed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Base seed mixed into each thread's private RNG stream.
+    pub seed: u64,
+    /// Probability that a transactional access is forced to abort.
+    pub abort_access: f64,
+    /// Probability that a commit attempt is forced to abort.
+    pub abort_commit: f64,
+    /// Of the injected aborts, the share reported as `Capacity` (the rest
+    /// are `Conflict`). Capacity aborts burn retry budget faster, so this
+    /// knob steers how quickly threads are pushed onto the SGL path.
+    pub capacity_share: f64,
+    /// Probability of a random stall at each stall site (suspend, RO
+    /// begin, commit point, SGL acquisition).
+    pub stall: f64,
+    /// Upper bound for one injected stall, in microseconds. The actual
+    /// stall is uniform in `[0, stall_max_us]`.
+    pub stall_max_us: u64,
+    /// Probability that a transactional access *panics* instead of
+    /// aborting, exercising the unwind-safety of the whole stack. Only
+    /// harnesses that catch worker panics (chaos-soak, the panic-safety
+    /// tests) should set this.
+    pub panic: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0x5EED,
+            abort_access: 0.0,
+            abort_commit: 0.0,
+            capacity_share: 0.5,
+            stall: 0.0,
+            stall_max_us: 50,
+            panic: 0.0,
+        }
+    }
+}
+
+/// Tallies of what the injector actually did (read via [`ChaosGuard`]).
+#[derive(Debug, Default)]
+struct Counters {
+    aborts: AtomicU64,
+    stalls: AtomicU64,
+    panics: AtomicU64,
+}
+
+/// Snapshot of the injector's activity counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosReport {
+    /// Aborts forced at access/commit points.
+    pub injected_aborts: u64,
+    /// Randomized stalls executed.
+    pub injected_stalls: u64,
+    /// Panics raised inside transaction bodies.
+    pub injected_panics: u64,
+}
+
+struct ChaosState {
+    config: ChaosConfig,
+    counters: Counters,
+}
+
+/// Armed flag: the only thing the disarmed fast path reads.
+static ARMED: AtomicBool = AtomicBool::new(false);
+/// Bumped on every install/uninstall so per-thread caches revalidate.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+static STATE: RwLock<Option<Arc<ChaosState>>> = RwLock::new(None);
+/// Distinct RNG stream per participating thread.
+static THREAD_SALT: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CACHE: RefCell<(u64, Option<Arc<ChaosState>>)> = const { RefCell::new((0, None)) };
+    static RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Arm the injector process-wide with `config`. Returns a guard that
+/// disarms on drop. Panics if chaos is already installed (runs must not
+/// overlap — the soak harness installs one config at a time).
+pub fn install(config: ChaosConfig) -> ChaosGuard {
+    let mut slot = STATE.write().unwrap_or_else(|e| e.into_inner());
+    assert!(slot.is_none(), "chaos already installed");
+    let state = Arc::new(ChaosState { config, counters: Counters::default() });
+    *slot = Some(state.clone());
+    EPOCH.fetch_add(1, Ordering::Release);
+    ARMED.store(true, Ordering::Release);
+    ChaosGuard { state }
+}
+
+/// Whether the injector is currently armed (drivers may report it).
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Disarm-on-drop guard returned by [`install`]; also the handle for
+/// reading the activity counters.
+pub struct ChaosGuard {
+    state: Arc<ChaosState>,
+}
+
+impl ChaosGuard {
+    /// Snapshot what the injector has done so far.
+    pub fn report(&self) -> ChaosReport {
+        ChaosReport {
+            injected_aborts: self.state.counters.aborts.load(Ordering::Relaxed),
+            injected_stalls: self.state.counters.stalls.load(Ordering::Relaxed),
+            injected_panics: self.state.counters.panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::Release);
+        let mut slot = STATE.write().unwrap_or_else(|e| e.into_inner());
+        *slot = None;
+        EPOCH.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Fetch this thread's cached view of the armed state, revalidating
+/// against the install epoch.
+fn current() -> Option<Arc<ChaosState>> {
+    let epoch = EPOCH.load(Ordering::Acquire);
+    CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        if c.0 != epoch {
+            c.1 = STATE.read().unwrap_or_else(|e| e.into_inner()).clone();
+            c.0 = epoch;
+        }
+        c.1.clone()
+    })
+}
+
+/// xorshift64*: private stream per thread, derived from the config seed
+/// and a process-wide salt so concurrent threads diverge.
+fn next_rand(seed: u64) -> u64 {
+    RNG.with(|r| {
+        let mut x = r.get();
+        if x == 0 {
+            let salt = THREAD_SALT.fetch_add(1, Ordering::Relaxed);
+            x = (seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        r.set(x);
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    })
+}
+
+/// Roll a probability in `[0, 1]`.
+fn roll(seed: u64, p: f64) -> bool {
+    p > 0.0 && (next_rand(seed) >> 11) as f64 / ((1u64 << 53) as f64) < p
+}
+
+fn maybe_stall(state: &ChaosState) {
+    let cfg = &state.config;
+    if roll(cfg.seed, cfg.stall) {
+        state.counters.stalls.fetch_add(1, Ordering::Relaxed);
+        let us =
+            if cfg.stall_max_us == 0 { 0 } else { next_rand(cfg.seed) % (cfg.stall_max_us + 1) };
+        std::thread::sleep(Duration::from_micros(us));
+    }
+}
+
+/// Event-side hook: stall injection inside the windows the watchdog and
+/// drain deadlines protect. Disarmed cost: one relaxed load.
+#[inline]
+pub(super) fn on_event(ev: Event) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    on_event_slow(ev);
+}
+
+#[cold]
+fn on_event_slow(ev: Event) {
+    let Some(state) = current() else { return };
+    match ev {
+        // The windows peers wait out: a suspended writer inside the
+        // quiescence protocol, a read-only fast-path reader holding its
+        // published state, a drained SGL holder.
+        Event::Suspend | Event::RoBegin | Event::SglLock => maybe_stall(&state),
+        _ => {}
+    }
+}
+
+/// Inject-side hook: forced aborts and panics. Disarmed cost: one relaxed
+/// load.
+#[inline]
+pub(super) fn on_inject(point: InjectPoint) -> Option<AbortCode> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    on_inject_slow(point)
+}
+
+#[cold]
+fn on_inject_slow(point: InjectPoint) -> Option<AbortCode> {
+    let state = current()?;
+    let cfg = &state.config;
+    let abort_p = match point {
+        InjectPoint::Access => {
+            if roll(cfg.seed, cfg.panic) {
+                state.counters.panics.fetch_add(1, Ordering::Relaxed);
+                panic!("chaos: injected panic inside transaction body");
+            }
+            cfg.abort_access
+        }
+        InjectPoint::Commit => {
+            maybe_stall(&state);
+            cfg.abort_commit
+        }
+    };
+    if roll(cfg.seed, abort_p) {
+        state.counters.aborts.fetch_add(1, Ordering::Relaxed);
+        let code = if roll(cfg.seed, cfg.capacity_share) {
+            AbortCode::Capacity
+        } else {
+            AbortCode::Conflict
+        };
+        return Some(code);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Chaos state is process-global, so the tests that arm it share one
+    // lock to avoid cross-test interference under the parallel test
+    // runner.
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn disarmed_injects_nothing() {
+        let _t = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(!armed());
+        assert_eq!(super::super::inject(InjectPoint::Access), None);
+        super::super::emit(Event::Suspend);
+    }
+
+    #[test]
+    fn certain_abort_probability_always_fires() {
+        let _t = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let guard = install(ChaosConfig {
+            abort_access: 1.0,
+            abort_commit: 1.0,
+            capacity_share: 1.0,
+            ..ChaosConfig::default()
+        });
+        assert!(armed());
+        assert_eq!(super::super::inject(InjectPoint::Access), Some(AbortCode::Capacity));
+        assert_eq!(super::super::inject(InjectPoint::Commit), Some(AbortCode::Capacity));
+        assert_eq!(guard.report().injected_aborts, 2);
+        drop(guard);
+        assert!(!armed());
+        assert_eq!(super::super::inject(InjectPoint::Access), None);
+    }
+
+    #[test]
+    fn probabilities_are_roughly_honored() {
+        let _t = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let guard = install(ChaosConfig {
+            abort_access: 0.25,
+            capacity_share: 0.0,
+            ..ChaosConfig::default()
+        });
+        let mut hits = 0u32;
+        for _ in 0..10_000 {
+            if let Some(code) = super::super::inject(InjectPoint::Access) {
+                assert_eq!(code, AbortCode::Conflict);
+                hits += 1;
+            }
+        }
+        assert!((1500..3500).contains(&hits), "0.25 rate wildly off: {hits}/10000");
+        assert_eq!(guard.report().injected_aborts as u32, hits);
+    }
+
+    #[test]
+    fn panic_injection_unwinds_and_counts() {
+        let _t = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let guard = install(ChaosConfig { panic: 1.0, ..ChaosConfig::default() });
+        let caught = std::panic::catch_unwind(|| super::super::inject(InjectPoint::Access));
+        assert!(caught.is_err());
+        assert_eq!(guard.report().injected_panics, 1);
+    }
+}

@@ -5,7 +5,7 @@
 //! fixed wall-clock interval, and report throughput plus the aggregated
 //! abort breakdown.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
 use tm_api::{stats, ThreadStats, TmBackend, TmThread};
 
@@ -43,6 +43,12 @@ pub struct RunReport {
     pub elapsed: Duration,
     /// Aggregated statistics over the measurement interval.
     pub total: ThreadStats,
+    /// Workers that never entered the measurement window (heavy
+    /// over-subscription): their stats are excluded from `total`, and —
+    /// rather than silently vanishing — they are counted here so a report
+    /// claiming N threads of throughput also says how many of the N
+    /// actually participated.
+    pub starved_threads: usize,
 }
 
 impl RunReport {
@@ -70,14 +76,22 @@ where
     W: FnMut(&mut B::Thread),
 {
     let phase = AtomicU8::new(PHASE_WARMUP);
+    let poisoned = AtomicBool::new(false);
     let mut per_thread: Vec<ThreadStats> = Vec::with_capacity(cfg.threads);
+    let mut starved_threads = 0usize;
 
     crossbeam_utils::thread::scope(|s| {
         let mut handles = Vec::with_capacity(cfg.threads);
         for i in 0..cfg.threads {
             let phase = &phase;
+            let poisoned = &poisoned;
             let setup = &setup;
             handles.push(s.spawn(move |_| {
+                // Declared before `thread` so the backend thread's own Drop
+                // (abort in-flight txn, release SGL, clear state entry) runs
+                // first during an unwind; peers blocked on those resources are
+                // released before the stop signal is raised.
+                let _guard = PoisonOnPanic { phase, poisoned };
                 let mut thread = backend.register_thread();
                 let mut op = setup(i);
                 let mut measuring = false;
@@ -98,23 +112,70 @@ where
                     // work, which must not be attributed to the window.
                     thread.reset_stats();
                 }
-                thread.stats().clone()
+                (thread.stats().clone(), !measuring)
             }));
         }
 
-        std::thread::sleep(cfg.warmup);
+        sleep_watching(cfg.warmup, &poisoned);
         phase.store(PHASE_MEASURE, Ordering::Release);
         let t0 = Instant::now();
-        std::thread::sleep(cfg.duration);
+        sleep_watching(cfg.duration, &poisoned);
         phase.store(PHASE_STOP, Ordering::Release);
         let elapsed = t0.elapsed();
 
+        let mut payload = None;
         for h in handles {
-            per_thread.push(h.join().expect("worker thread panicked"));
+            match h.join() {
+                Ok((stats, starved)) => {
+                    per_thread.push(stats);
+                    starved_threads += usize::from(starved);
+                }
+                Err(p) => payload = Some(p),
+            }
         }
-        RunReport { threads: cfg.threads, elapsed, total: stats::aggregate(per_thread.iter()) }
+        if let Some(p) = payload {
+            std::panic::resume_unwind(p);
+        }
+        RunReport {
+            threads: cfg.threads,
+            elapsed,
+            total: stats::aggregate(per_thread.iter()),
+            starved_threads,
+        }
     })
     .expect("harness scope failed")
+}
+
+/// Sets the poison + stop flags if its owning worker unwinds, so the run
+/// aborts promptly instead of the surviving peers spinning until the end of
+/// the measurement window.
+struct PoisonOnPanic<'a> {
+    phase: &'a AtomicU8,
+    poisoned: &'a AtomicBool,
+}
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.poisoned.store(true, Ordering::Release);
+            self.phase.store(PHASE_STOP, Ordering::Release);
+        }
+    }
+}
+
+/// Sleep for `total`, waking early if a worker poisoned the run.
+fn sleep_watching(total: Duration, poisoned: &AtomicBool) {
+    let deadline = Instant::now() + total;
+    loop {
+        if poisoned.load(Ordering::Acquire) {
+            return;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        std::thread::sleep((deadline - now).min(Duration::from_millis(5)));
+    }
 }
 
 #[cfg(test)]
@@ -145,7 +206,40 @@ mod tests {
     #[test]
     fn report_throughput_arithmetic() {
         let total = ThreadStats { commits: 500, ..ThreadStats::default() };
-        let r = RunReport { threads: 1, elapsed: Duration::from_millis(250), total };
+        let r = RunReport {
+            threads: 1,
+            elapsed: Duration::from_millis(250),
+            total,
+            starved_threads: 0,
+        };
         assert!((r.throughput() - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn worker_panic_aborts_run_promptly() {
+        let backend = SiHtm::with_defaults(1024);
+        let cfg = RunConfig::new(2, Duration::from_millis(10), Duration::from_secs(30));
+        let t0 = Instant::now();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run(&backend, &cfg, |i| {
+                let mut calls = 0u32;
+                move |t: &mut si_htm::SiHtmThread| {
+                    calls += 1;
+                    if i == 0 && calls == 50 {
+                        panic!("injected worker failure");
+                    }
+                    t.exec(TxKind::Update, &mut |tx| {
+                        let v = tx.read(0)?;
+                        tx.write(0, v + 1)
+                    });
+                }
+            })
+        }));
+        assert!(result.is_err(), "worker panic must propagate out of run()");
+        // The 30 s measurement window must be cut short by the poison flag.
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "run did not abort promptly on worker panic"
+        );
     }
 }

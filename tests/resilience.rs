@@ -1,0 +1,295 @@
+//! Cross-backend resilience tests: panic safety, SGL storms, and the
+//! quiescence watchdog (DESIGN.md §9).
+//!
+//! Panic-safety contract: a transaction body that unwinds must leave the
+//! backend in a state where *other* threads keep committing — the in-flight
+//! hardware transaction is aborted, the StateArray slot is cleared and the
+//! SGL is released by the thread handles' `Drop` impls. The tests verify
+//! this end-to-end with real OS threads and a bounded-wait monitor; the
+//! SI-HTM/P8TM survivors run with the watchdog *disabled* so a leaked
+//! active slot would hang (and fail the bound) instead of being silently
+//! papered over by watchdog degradation.
+
+use htm_sim::HtmConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tm_api::{increment, Outcome, RetryPolicy, ThreadStats, TmBackend, TmThread, TxKind, Watchdog};
+use txmem::hooks::chaos::{self, ChaosConfig};
+use txmem::WORDS_PER_LINE;
+
+const WORDS: usize = 4096;
+
+/// Chaos state is process-global; serialize every test in this binary so
+/// injection configured by one test never bleeds into another.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Join `handle`, failing the test if it does not finish within `deadline`
+/// (the liveness half of every assertion below — a leaked lock or active
+/// slot shows up here as a hang, not as a wedged test run).
+fn join_within<T>(
+    handle: std::thread::JoinHandle<T>,
+    deadline: Duration,
+    what: &str,
+) -> std::thread::Result<T> {
+    let t0 = Instant::now();
+    while !handle.is_finished() {
+        assert!(t0.elapsed() < deadline, "{what} did not finish within {deadline:?}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    handle.join()
+}
+
+/// One thread panics mid-body; a second thread registered afterwards must
+/// still commit within a bounded wait.
+fn panic_mid_body_then_survivor_commits<B: TmBackend>(backend: B) {
+    let backend = Arc::new(backend);
+
+    let b = Arc::clone(&backend);
+    let victim = std::thread::spawn(move || {
+        let mut t = b.register_thread();
+        t.exec(TxKind::Update, &mut |tx| {
+            tx.write(0, 42)?;
+            panic!("injected body panic");
+        });
+    });
+    assert!(
+        join_within(victim, Duration::from_secs(10), "victim").is_err(),
+        "the body panic must propagate out of exec"
+    );
+
+    let b = Arc::clone(&backend);
+    let survivor = std::thread::spawn(move || {
+        let mut t = b.register_thread();
+        let out = increment(&mut t, WORDS_PER_LINE as u64);
+        (out, t.stats().clone())
+    });
+    let (out, stats) =
+        join_within(survivor, Duration::from_secs(10), "survivor").expect("survivor panicked");
+    assert_eq!(out, Outcome::Committed, "survivor must commit after a peer's panic");
+    assert_eq!(stats.commits, 1);
+}
+
+#[test]
+fn panic_containment_si_htm() {
+    let _s = serial();
+    let cfg = si_htm::SiHtmConfig { watchdog: Watchdog::disabled(), ..Default::default() };
+    panic_mid_body_then_survivor_commits(si_htm::SiHtm::new(HtmConfig::default(), WORDS, cfg));
+}
+
+#[test]
+fn panic_containment_p8tm() {
+    let _s = serial();
+    let cfg = p8tm::P8tmConfig { watchdog: Watchdog::disabled(), ..Default::default() };
+    panic_mid_body_then_survivor_commits(p8tm::P8tm::new(HtmConfig::default(), WORDS, cfg));
+}
+
+#[test]
+fn panic_containment_htm_sgl() {
+    let _s = serial();
+    panic_mid_body_then_survivor_commits(htm_sgl::HtmSgl::new(
+        HtmConfig::default(),
+        WORDS,
+        Default::default(),
+    ));
+}
+
+#[test]
+fn panic_containment_silo() {
+    let _s = serial();
+    panic_mid_body_then_survivor_commits(silo::Silo::new(WORDS));
+}
+
+/// Panic while *holding the SGL*: certain access-abort injection drives
+/// every hardware attempt to the fall-back, so the body's panic fires on
+/// the lock-holding slow path. The survivor only commits if the thread
+/// handle's Drop released the lock word.
+fn panic_on_sgl_path_then_survivor_commits<B: TmBackend>(backend: B) {
+    let backend = Arc::new(backend);
+    let guard = chaos::install(ChaosConfig {
+        abort_access: 1.0,
+        capacity_share: 1.0,
+        ..Default::default()
+    });
+
+    let b = Arc::clone(&backend);
+    let victim = std::thread::spawn(move || {
+        let mut t = b.register_thread();
+        t.exec(TxKind::Update, &mut |tx| {
+            // Aborts with Capacity on every hardware attempt (the injector),
+            // succeeds only on the non-transactional SGL path — where the
+            // panic then fires while the lock is held.
+            tx.write(0, 42)?;
+            panic!("injected SGL-path panic");
+        });
+    });
+    assert!(join_within(victim, Duration::from_secs(10), "SGL victim").is_err());
+    drop(guard);
+
+    let b = Arc::clone(&backend);
+    let survivor = std::thread::spawn(move || {
+        let mut t = b.register_thread();
+        increment(&mut t, WORDS_PER_LINE as u64)
+    });
+    let out =
+        join_within(survivor, Duration::from_secs(10), "SGL survivor").expect("survivor panicked");
+    assert_eq!(out, Outcome::Committed, "SGL must have been released by the panicking thread");
+}
+
+#[test]
+fn sgl_path_panic_releases_lock_htm_sgl() {
+    let _s = serial();
+    panic_on_sgl_path_then_survivor_commits(htm_sgl::HtmSgl::new(
+        HtmConfig::default(),
+        WORDS,
+        Default::default(),
+    ));
+}
+
+#[test]
+fn sgl_path_panic_releases_lock_si_htm() {
+    let _s = serial();
+    panic_on_sgl_path_then_survivor_commits(si_htm::SiHtm::new(
+        HtmConfig::default(),
+        WORDS,
+        Default::default(),
+    ));
+}
+
+#[test]
+fn sgl_path_panic_releases_lock_p8tm() {
+    let _s = serial();
+    panic_on_sgl_path_then_survivor_commits(p8tm::P8tm::new(
+        HtmConfig::default(),
+        WORDS,
+        Default::default(),
+    ));
+}
+
+/// SGL storm: a tiny retry budget plus heavy injected capacity aborts drive
+/// nearly every transaction to the lock. Forward progress must hold (every
+/// exec commits) and the lock accounting must balance: each acquisition
+/// produces exactly one SGL commit — no lost or leaked acquisitions.
+#[test]
+fn sgl_storm_keeps_forward_progress() {
+    let _s = serial();
+    const THREADS: usize = 4;
+    const OPS: u64 = 300;
+
+    let cfg = htm_sgl::HtmSglConfig {
+        retry: RetryPolicy { budget: 1, capacity_cost: 1 },
+        backoff: tm_api::BackoffPolicy::exponential(),
+    };
+    let backend = Arc::new(htm_sgl::HtmSgl::new(HtmConfig::default(), WORDS, cfg));
+    let guard = chaos::install(ChaosConfig {
+        abort_access: 0.9,
+        capacity_share: 1.0,
+        ..Default::default()
+    });
+
+    let mut handles = Vec::new();
+    for _ in 0..THREADS {
+        let b = Arc::clone(&backend);
+        handles.push(std::thread::spawn(move || {
+            let mut t = b.register_thread();
+            for _ in 0..OPS {
+                assert_eq!(increment(&mut t, 0), Outcome::Committed);
+            }
+            t.stats().clone()
+        }));
+    }
+    let mut total = ThreadStats::default();
+    for h in handles {
+        total += &join_within(h, Duration::from_secs(60), "storm worker")
+            .expect("storm worker panicked");
+    }
+    drop(guard);
+
+    assert_eq!(total.commits, THREADS as u64 * OPS, "every exec must commit");
+    assert!(total.sgl_commits > 0, "the storm must actually exercise the SGL");
+    assert_eq!(
+        total.sgl_acquisitions, total.sgl_commits,
+        "each SGL acquisition must yield exactly one SGL commit"
+    );
+    assert_eq!(backend.memory().load(0), THREADS as u64 * OPS, "lost updates");
+}
+
+/// The acceptance scenario for the quiescence watchdog: a read-only
+/// transaction stalls inside its body (running as a ROT, so it occupies a
+/// StateArray slot the committer must quiesce on). With short deadlines the
+/// writer must trip the watchdog, degrade to the SGL-serialized slow path,
+/// and commit anyway — and the trip must be visible in its statistics.
+#[test]
+fn stalled_ro_trips_watchdog_and_writers_commit() {
+    let _s = serial();
+    let cfg = si_htm::SiHtmConfig {
+        // Route read-only transactions through ROTs so the stalled reader
+        // actually holds a StateArray slot.
+        ro_fast_path: false,
+        watchdog: Watchdog {
+            quiesce: Some(Duration::from_millis(50)),
+            drain: Some(Duration::from_millis(50)),
+        },
+        ..Default::default()
+    };
+    let backend = Arc::new(si_htm::SiHtm::new(HtmConfig::default(), WORDS, cfg));
+
+    let ro_started = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+
+    let b = Arc::clone(&backend);
+    let started = Arc::clone(&ro_started);
+    let rel = Arc::clone(&release);
+    let reader = std::thread::spawn(move || {
+        let mut t = b.register_thread();
+        let out = t.exec(TxKind::ReadOnly, &mut |tx| {
+            tx.read(0)?;
+            started.store(true, Ordering::Release);
+            // Stall mid-transaction (e.g. a descheduled thread) until the
+            // writer is done. On the retry after being killed, `release` is
+            // already set and the body runs straight through.
+            let t0 = Instant::now();
+            while !rel.load(Ordering::Acquire) {
+                assert!(t0.elapsed() < Duration::from_secs(20), "reader never released");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok(())
+        });
+        (out, t.stats().clone())
+    });
+
+    while !ro_started.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let b = Arc::clone(&backend);
+    let writer = std::thread::spawn(move || {
+        let mut t = b.register_thread();
+        let t0 = Instant::now();
+        let out = increment(&mut t, WORDS_PER_LINE as u64);
+        (out, t0.elapsed(), t.stats().clone())
+    });
+    let (out, elapsed, stats) =
+        join_within(writer, Duration::from_secs(10), "writer").expect("writer panicked");
+    assert_eq!(out, Outcome::Committed, "the writer must commit despite the stalled reader");
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "writer took {elapsed:?}; the watchdog should have degraded it long before"
+    );
+    assert!(
+        stats.watchdog_quiesce_trips >= 1,
+        "the stalled reader must be reported as a quiescence watchdog trip"
+    );
+    assert_eq!(stats.sgl_commits, 1, "the degraded commit must go through the SGL slow path");
+    assert!(stats.max_wait_ns > 0, "the escalated wait must be reported");
+
+    release.store(true, Ordering::Release);
+    let (out, stats) =
+        join_within(reader, Duration::from_secs(10), "reader").expect("reader panicked");
+    assert_eq!(out, Outcome::Committed, "the killed reader must retry and commit");
+    assert!(stats.aborts() >= 1, "the reader must have recorded its kill");
+}
