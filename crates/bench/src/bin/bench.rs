@@ -2,8 +2,9 @@
 //! counts, on the same machine with the lock-free ownership table vs the
 //! original mutex-sharded directory, for each HTM-based backend.
 //!
-//! Emits `BENCH_1.json` (an array of rows carrying the throughput plus the
-//! full abort taxonomy: conflict / non-tx / capacity / explicit aborts,
+//! Emits `BENCH_1.json` (a versioned `bench::schema` envelope whose rows
+//! carry the throughput, the per-op latency percentiles, plus the full
+//! abort taxonomy: conflict / non-tx / capacity / explicit aborts,
 //! quiescence waits and slots polled, SGL acquisitions, and per-path
 //! commit counts) plus a human-readable summary with per-thread-count
 //! speedups. Running both directory kinds in one process keeps the
@@ -119,6 +120,8 @@ fn main() {
             s.commits + s.aborts_conflict + s.aborts_nontx + s.aborts_capacity + s.aborts_explicit;
         let abort_rate =
             if attempts == 0 { 0.0 } else { (attempts - s.commits) as f64 / attempts as f64 };
+        let lat = &r.point.report.latency;
+        let (p50, p90, p99, p999) = lat.percentiles();
         writeln!(
             json,
             "  {{\"backend\": \"{}\", \"directory\": \"{}\", \"pin\": \"{}\", \"threads\": {}, \
@@ -127,7 +130,9 @@ fn main() {
              \"aborts_capacity\": {}, \"aborts_explicit\": {}, \"abort_rate\": {:.4}, \
              \"quiesce_waits\": {}, \"quiesce_polled\": {}, \"sgl_acquisitions\": {}, \
              \"starved_threads\": {}, \"watchdog_quiesce_trips\": {}, \
-             \"watchdog_drain_trips\": {}, \"backoffs\": {}}}{sep}",
+             \"watchdog_drain_trips\": {}, \"backoffs\": {}, \"lat_p50_ns\": {}, \
+             \"lat_p90_ns\": {}, \"lat_p99_ns\": {}, \"lat_p999_ns\": {}, \
+             \"lat_mean_ns\": {:.0}}}{sep}",
             r.backend,
             r.directory,
             pin.name(),
@@ -149,12 +154,17 @@ fn main() {
             s.watchdog_quiesce_trips,
             s.watchdog_drain_trips,
             s.backoffs,
+            p50,
+            p90,
+            p99,
+            p999,
+            lat.mean_ns(),
         )
         .unwrap();
     }
-    json.push_str("]\n");
+    json.push(']');
     let out = "BENCH_1.json";
-    std::fs::write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    bench::schema::BENCH_1.write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
 
     // Aggregate speedup per thread count: sum of ops/s across backends,
     // lock-free over locked. Only meaningful when both kinds were run.

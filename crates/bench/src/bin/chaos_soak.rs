@@ -287,8 +287,8 @@ fn main() {
             Err(detail) => fail(cell, &detail, None),
         }
     }
-    json.push_str("]\n");
-    std::fs::write("CHAOS_SOAK.json", &json).expect("write CHAOS_SOAK.json");
+    json.push(']');
+    bench::schema::CHAOS_SOAK.write("CHAOS_SOAK.json", &json).expect("write CHAOS_SOAK.json");
     println!(
         "chaos soak passed: {} cells ({} backends x {} rates x 2 workloads) in {:.1?} -> CHAOS_SOAK.json",
         cells.len(),

@@ -1,0 +1,517 @@
+//! txkv service bench: open-loop and closed-loop load against the
+//! [`txkv::Pipeline`] on every backend, reporting per-op-class latency
+//! SLOs (e2e p50/p90/p99/p999 + service p50/p99) and the RO-batching
+//! counters, plus a deliberate overload phase proving admission control
+//! sheds with a typed error instead of growing the queue.
+//!
+//! Modes, per backend:
+//!
+//! * **open** — fixed-arrival-rate load (arrivals are generated in 1 ms
+//!   ticks, `rate/1000` submissions per tick, fire-and-forget), 90 % of
+//!   ops read-only. Latency is recorded by the pipeline at reply time,
+//!   so the generator never blocks on completions — a real open loop.
+//! * **closed** — classic blocking request/reply clients.
+//! * **overload** — a full-speed flood against a tiny admission queue;
+//!   asserts `Overloaded` rejections happen and queue depth stays
+//!   bounded.
+//!
+//! Results go to `BENCH_TXKV.json` in the versioned `bench::schema`
+//! envelope. With `--assert-service` the run enforces the service-level
+//! acceptance checks (no starved executors, RO batching engaged, zero
+//! RO aborts on SI-HTM, overload sheds typed); a violation writes
+//! `TXKV_FAILURE.json` and exits non-zero, mirroring the chaos-soak
+//! failure-artifact pattern. `--chaos` arms the runtime fault injector
+//! for the open-loop phase and checks liveness under a deadline.
+//!
+//! Usage: `cargo run --release --bin txkv_bench [-- --quick] [--smoke]
+//!         [--backends si-htm,htm] [--rate N] [--duration-ms N]
+//!         [--chaos] [--assert-service]`
+
+use bench::{schema, Backend};
+use htm_sim::HtmConfig;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use tm_api::{BackoffPolicy, TmBackend};
+use txkv::{KvError, KvOp, KvStore, Pipeline, PipelineConfig, ServiceReport};
+use txmem::hooks::chaos::{self, ChaosConfig};
+use workloads::btree;
+
+const KEYS: u64 = 4096;
+
+#[derive(Clone)]
+struct Args {
+    quick: bool,
+    chaos: bool,
+    assert_service: bool,
+    backends: Vec<Backend>,
+    /// Open-loop total arrival rate, requests/second.
+    rate: u64,
+    /// Open-loop measurement window.
+    duration: Duration,
+    /// Closed-loop client threads and requests per client.
+    closed_clients: usize,
+    closed_ops: u64,
+    executors: usize,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let has = |f: &str| argv.iter().any(|a| a == f);
+    let val = |f: &str| {
+        argv.iter().position(|a| a == f).and_then(|i| argv.get(i + 1)).map(|s| s.as_str())
+    };
+    let quick = has("--quick") || has("--smoke");
+    let mut backends: Vec<Backend> = Backend::ALL.to_vec();
+    if has("--smoke") {
+        backends = vec![Backend::SiHtm, Backend::Htm];
+    }
+    if let Some(list) = val("--backends") {
+        backends = list
+            .split(',')
+            .map(|s| Backend::parse(s).unwrap_or_else(|| panic!("unknown backend '{s}'")))
+            .collect();
+    }
+    let rate = val("--rate")
+        .map(|s| s.parse().expect("--rate takes an integer"))
+        .unwrap_or(if quick { 10_000 } else { 20_000 });
+    let duration = Duration::from_millis(
+        val("--duration-ms")
+            .map(|s| s.parse().expect("--duration-ms takes an integer"))
+            .unwrap_or(if quick { 400 } else { 2_000 }),
+    );
+    Args {
+        quick,
+        chaos: has("--chaos"),
+        assert_service: has("--assert-service"),
+        backends,
+        rate,
+        duration,
+        closed_clients: 4,
+        closed_ops: if quick { 500 } else { 2_000 },
+        executors: if quick { 2 } else { 4 },
+    }
+}
+
+// ------------------------------------------------------------- load mix
+
+/// xorshift64* — deterministic, dependency-free op stream.
+fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// 90 % read-only (80 get / 5 multi-get / 5 scan), 10 % updates.
+fn gen_op(rng: &mut u64) -> KvOp {
+    let key = next_rand(rng) % KEYS;
+    match next_rand(rng) % 1000 {
+        0..=799 => KvOp::Get { key },
+        800..=849 => {
+            let keys = (0..4).map(|i| (key + i * 37) % KEYS).collect();
+            KvOp::MultiGet { keys }
+        }
+        850..=899 => KvOp::ScanPrefix { prefix: key >> 5, shift: 5, limit: 32 },
+        900..=949 => KvOp::Put { key, val: next_rand(rng) },
+        950..=969 => KvOp::Cas { key, expect: Some(key), new: key },
+        970..=989 => {
+            let other = (key + 1 + next_rand(rng) % (KEYS - 1)) % KEYS;
+            KvOp::MultiAdd { deltas: vec![(key, -1), (other, 1)] }
+        }
+        _ => KvOp::Delete { key: KEYS + next_rand(rng) % KEYS }, // mostly absent keys
+    }
+}
+
+// ------------------------------------------------------------ the modes
+
+struct ModeOut {
+    report: ServiceReport,
+    submitted: u64,
+    rejected: u64,
+    wall: Duration,
+}
+
+fn pipeline_cfg(args: &Args) -> PipelineConfig {
+    PipelineConfig {
+        executors: args.executors,
+        backoff: if args.chaos { BackoffPolicy::exponential() } else { BackoffPolicy::none() },
+        idle_jitter_ns: if args.chaos { 500 } else { 0 },
+        ..PipelineConfig::new()
+    }
+}
+
+fn build_store<B: TmBackend>(backend: &B, words: u64) -> KvStore {
+    KvStore::create_with(backend.memory(), 0, words, (0..KEYS).map(|k| (k, k)))
+}
+
+fn memory_words() -> usize {
+    btree::memory_words(KEYS * 8)
+}
+
+/// Open loop: submissions arrive on the clock, never waiting for replies.
+fn open_loop<B: TmBackend>(backend: B, args: &Args) -> ModeOut {
+    let words = memory_words();
+    let store = build_store(&backend, words as u64);
+    let pipeline = Pipeline::start(backend, store, pipeline_cfg(args));
+    let tick = Duration::from_millis(1);
+    let per_tick = (args.rate / 1000).max(1);
+    let t0 = Instant::now();
+    let (mut submitted, mut rejected) = (0u64, 0u64);
+    let client = pipeline.client();
+    let mut rng = 0x0B16_5EED ^ args.rate;
+    let mut tick_no = 0u32;
+    while t0.elapsed() < args.duration {
+        // Burst this tick's arrivals, then sleep to the next tick edge:
+        // a fixed-rate arrival process with 1 ms granularity.
+        for _ in 0..per_tick {
+            match client.submit(gen_op(&mut rng)) {
+                Ok(pending) => {
+                    drop(pending); // fire and forget: latency recorded at reply
+                    submitted += 1;
+                }
+                Err(KvError::Overloaded) => rejected += 1,
+                Err(e) => panic!("open-loop submit failed: {e}"),
+            }
+        }
+        tick_no += 1;
+        let next_edge = tick * tick_no;
+        let elapsed = t0.elapsed();
+        if next_edge > elapsed {
+            std::thread::sleep(next_edge - elapsed);
+        }
+    }
+    let report = pipeline.shutdown();
+    ModeOut { report, submitted, rejected, wall: t0.elapsed() }
+}
+
+/// Closed loop: blocking clients, one outstanding request each.
+fn closed_loop<B: TmBackend>(backend: B, args: &Args) -> ModeOut {
+    let words = memory_words();
+    let store = build_store(&backend, words as u64);
+    let pipeline = Pipeline::start(backend, store, pipeline_cfg(args));
+    let t0 = Instant::now();
+    let mut submitted = 0u64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..args.closed_clients)
+            .map(|c| {
+                let client = pipeline.client();
+                let ops = args.closed_ops;
+                s.spawn(move || {
+                    let mut rng = 0xC105ED ^ (c as u64 + 1);
+                    let mut done = 0u64;
+                    while done < ops {
+                        match client.call(gen_op(&mut rng)) {
+                            Ok(_) => done += 1,
+                            Err(KvError::Overloaded) => std::thread::yield_now(),
+                            Err(e) => panic!("closed-loop call failed: {e}"),
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            submitted += h.join().expect("closed-loop client");
+        }
+    });
+    let report = pipeline.shutdown();
+    ModeOut { report, submitted, rejected: 0, wall: t0.elapsed() }
+}
+
+/// Overload: full-speed flood against a tiny queue on one executor. The
+/// point is the *admission* behavior, not throughput.
+fn overload<B: TmBackend>(backend: B, args: &Args) -> ModeOut {
+    let words = memory_words();
+    let store = build_store(&backend, words as u64);
+    let cfg =
+        PipelineConfig { executors: 1, ro_queue_cap: 64, rw_queue_cap: 64, ..pipeline_cfg(args) };
+    let pipeline = Pipeline::start(backend, store, cfg);
+    let client = pipeline.client();
+    let t0 = Instant::now();
+    let (mut submitted, mut rejected) = (0u64, 0u64);
+    let mut rng = 0x0E_410AD;
+    let floods = if args.quick { 50_000 } else { 200_000 };
+    for i in 0..floods {
+        match client.submit(gen_op(&mut rng)) {
+            Ok(p) => {
+                drop(p);
+                submitted += 1;
+            }
+            Err(KvError::Overloaded) => rejected += 1,
+            Err(e) => panic!("overload submit failed: {e}"),
+        }
+        if i % 1024 == 0 {
+            let (ro, rw) = client.queue_depths();
+            assert!(ro <= 64 && rw <= 64, "queue depth exceeded its cap: ro={ro} rw={rw}");
+        }
+    }
+    let report = pipeline.shutdown();
+    ModeOut { report, submitted, rejected, wall: t0.elapsed() }
+}
+
+// -------------------------------------------------- dispatch + checking
+
+fn run_mode(backend: Backend, mode: &str, args: &Args) -> ModeOut {
+    let words = memory_words();
+    let backoff = if args.chaos { BackoffPolicy::exponential() } else { BackoffPolicy::default() };
+    macro_rules! dispatch {
+        ($b:expr) => {
+            match mode {
+                "open" => open_loop($b, args),
+                "closed" => closed_loop($b, args),
+                "overload" => overload($b, args),
+                _ => unreachable!(),
+            }
+        };
+    }
+    match backend {
+        Backend::Htm => {
+            let cfg = htm_sgl::HtmSglConfig { backoff, ..Default::default() };
+            dispatch!(htm_sgl::HtmSgl::new(HtmConfig::default(), words, cfg))
+        }
+        Backend::SiHtm => {
+            let cfg = si_htm::SiHtmConfig { backoff, ..Default::default() };
+            dispatch!(si_htm::SiHtm::new(HtmConfig::default(), words, cfg))
+        }
+        Backend::P8tm => {
+            let cfg = p8tm::P8tmConfig { backoff, ..Default::default() };
+            dispatch!(p8tm::P8tm::new(HtmConfig::default(), words, cfg))
+        }
+        Backend::Silo => {
+            let cfg = silo::SiloConfig { backoff, ..Default::default() };
+            dispatch!(silo::Silo::with_config(words, cfg))
+        }
+    }
+}
+
+/// Run one (backend, mode) cell on a watched thread: a hang past the
+/// deadline is a failure with an artifact, not a wedged process.
+fn monitored(backend: Backend, mode: &'static str, args: &Args) -> Result<ModeOut, String> {
+    let deadline = args.duration * 3 + Duration::from_secs(30);
+    let worker = {
+        let args = args.clone();
+        std::thread::spawn(move || run_mode(backend, mode, &args))
+    };
+    let t0 = Instant::now();
+    while !worker.is_finished() {
+        if t0.elapsed() > deadline {
+            return Err(format!("cell hung (no completion within {deadline:?})"));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    worker.join().map_err(|p| {
+        let msg = p
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        format!("cell panicked: {msg}")
+    })
+}
+
+fn fail(backend: Backend, mode: &str, detail: &str, out: Option<&ModeOut>) -> ! {
+    let mut body = format!(
+        "{{\"backend\": \"{}\", \"mode\": \"{mode}\", \"failure\": {:?}",
+        backend.name(),
+        detail
+    );
+    if let Some(o) = out {
+        let _ = write!(
+            body,
+            ", \"replies\": {}, \"shed\": {}, \"overloaded\": {}, \"ro_batches\": {}, \
+             \"ro_batch_aborts\": {}, \"starved_executors\": {}",
+            o.report.replies,
+            o.report.shed,
+            o.report.overloaded,
+            o.report.ro_batches,
+            o.report.ro_batch_aborts,
+            o.report.starved_executors,
+        );
+    }
+    body.push_str("}\n");
+    std::fs::write("TXKV_FAILURE.json", &body).expect("write TXKV_FAILURE.json");
+    eprintln!("FAIL {} {mode}: {detail}", backend.name());
+    eprintln!("failing configuration written to TXKV_FAILURE.json");
+    std::process::exit(1);
+}
+
+/// The service-level acceptance checks behind `--assert-service`.
+fn check(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> Result<(), String> {
+    let r = &out.report;
+    if r.panicked_executors != 0 {
+        return Err(format!("{} executors panicked", r.panicked_executors));
+    }
+    if r.replies == 0 {
+        return Err("no requests served".into());
+    }
+    match mode {
+        "open" => {
+            if r.starved_executors != 0 {
+                return Err(format!(
+                    "{} starved executors under open-loop load",
+                    r.starved_executors
+                ));
+            }
+            if r.ro_batches == 0 {
+                return Err("no RO batches formed".into());
+            }
+            // Chaos stalls distort arrival bursts; batching amortization
+            // is only asserted on the clean run.
+            if !args.chaos && r.mean_ro_batch() <= 1.0 {
+                return Err(format!("RO batching never engaged (mean {:.2})", r.mean_ro_batch()));
+            }
+            if backend == Backend::SiHtm && r.ro_batch_aborts != 0 {
+                return Err(format!(
+                    "SI-HTM RO fast path aborted {} times (must be 0)",
+                    r.ro_batch_aborts
+                ));
+            }
+        }
+        "overload" if out.rejected == 0 => {
+            return Err("overload flood was never shed with Overloaded".into());
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------- reporting
+
+fn row_json(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> String {
+    let r = &out.report;
+    let s = &r.backend_stats;
+    let mut classes = String::from("{");
+    let mut first = true;
+    for cl in &r.class {
+        if cl.count() == 0 {
+            continue;
+        }
+        let (p50, p90, p99, p999) = cl.e2e.percentiles();
+        let (s50, _, s99, _) = cl.service.percentiles();
+        let _ = write!(
+            classes,
+            "{}\"{}\": {{\"count\": {}, \"e2e_p50_ns\": {p50}, \"e2e_p90_ns\": {p90}, \
+             \"e2e_p99_ns\": {p99}, \"e2e_p999_ns\": {p999}, \"service_p50_ns\": {s50}, \
+             \"service_p99_ns\": {s99}}}",
+            if first { "" } else { ", " },
+            cl.class.name(),
+            cl.count(),
+        );
+        first = false;
+    }
+    classes.push('}');
+    format!(
+        "{{\"backend\": \"{}\", \"mode\": \"{mode}\", \"rate\": {}, \"duration_ms\": {}, \
+         \"executors\": {}, \"chaos\": {}, \"submitted\": {}, \"rejected\": {}, \
+         \"replies\": {}, \"shed\": {}, \"overloaded\": {}, \"replies_per_sec\": {:.0}, \
+         \"ro_batches\": {}, \"ro_batch_ops\": {}, \"mean_ro_batch\": {:.2}, \
+         \"max_ro_batch\": {}, \"ro_batch_aborts\": {}, \"starved_executors\": {}, \
+         \"executor_backoffs\": {}, \"commits\": {}, \"ro_commits\": {}, \"sgl_commits\": {}, \
+         \"aborts\": {}, \"user_aborts\": {}, \"classes\": {classes}}}",
+        backend.name(),
+        if mode == "open" { args.rate } else { 0 },
+        out.wall.as_millis(),
+        r.executors,
+        args.chaos,
+        out.submitted,
+        out.rejected,
+        r.replies,
+        r.shed,
+        r.overloaded,
+        r.replies as f64 / out.wall.as_secs_f64(),
+        r.ro_batches,
+        r.ro_batch_ops,
+        r.mean_ro_batch(),
+        r.max_ro_batch,
+        r.ro_batch_aborts,
+        r.starved_executors,
+        r.executor_backoffs,
+        s.commits,
+        s.ro_commits,
+        s.sgl_commits,
+        s.aborts(),
+        s.user_aborts,
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let chaos_guard = args.chaos.then(|| {
+        chaos::install(ChaosConfig {
+            seed: 0x7C4F,
+            abort_access: 0.002,
+            abort_commit: 0.001,
+            capacity_share: 0.5,
+            stall: 0.002,
+            stall_max_us: 20,
+            panic: 0.0,
+        })
+    });
+
+    let modes: &[&'static str] = &["open", "closed", "overload"];
+    let mut rows = Vec::new();
+    for &backend in &args.backends {
+        for &mode in modes {
+            match monitored(backend, mode, &args) {
+                Ok(out) => {
+                    let r = &out.report;
+                    println!(
+                        "{:>6} {:>8}: {:>8} replies ({:>9.0}/s), shed {}, overloaded {}, \
+                         RO batches {} (mean {:.1}, max {}, aborts {}), starved {}",
+                        backend.name(),
+                        mode,
+                        r.replies,
+                        r.replies as f64 / out.wall.as_secs_f64(),
+                        r.shed,
+                        r.overloaded,
+                        r.ro_batches,
+                        r.mean_ro_batch(),
+                        r.max_ro_batch,
+                        r.ro_batch_aborts,
+                        r.starved_executors,
+                    );
+                    for cl in &r.class {
+                        if cl.count() == 0 {
+                            continue;
+                        }
+                        let (p50, _, p99, p999) = cl.e2e.percentiles();
+                        println!(
+                            "         {:<9} n={:<8} e2e p50/p99/p999 = {}/{}/{} ns",
+                            cl.class.name(),
+                            cl.count(),
+                            p50,
+                            p99,
+                            p999
+                        );
+                    }
+                    if args.assert_service {
+                        if let Err(detail) = check(backend, mode, &out, &args) {
+                            fail(backend, mode, &detail, Some(&out));
+                        }
+                    }
+                    rows.push(row_json(backend, mode, &out, &args));
+                }
+                Err(detail) => fail(backend, mode, &detail, None),
+            }
+        }
+    }
+    if let Some(guard) = chaos_guard {
+        let report = guard.report();
+        println!(
+            "chaos: injected {} aborts, {} stalls",
+            report.injected_aborts, report.injected_stalls
+        );
+    }
+
+    let mut json = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(json, "  {row}{sep}");
+    }
+    json.push(']');
+    let out = "BENCH_TXKV.json";
+    schema::BENCH_TXKV.write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+}

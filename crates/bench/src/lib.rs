@@ -10,6 +10,7 @@
 //! benches and the shape checks share one source of truth.
 
 pub mod scenarios;
+pub mod schema;
 
 pub use scenarios::*;
 

@@ -1,0 +1,229 @@
+//! Log-bucketed (HDR-style) latency histogram.
+//!
+//! Service-tier latency distributions span five orders of magnitude
+//! (sub-microsecond cache hits to multi-millisecond SGL convoys), so a
+//! linear histogram is either too coarse or too large. [`LatencyHist`]
+//! uses the standard HDR compromise: per power-of-two octave, a fixed
+//! number of linear sub-buckets, giving a bounded relative error
+//! (≤ 1/32 ≈ 3.2 %) over the full `u64` nanosecond range in a few KiB.
+//!
+//! Recording is a handful of integer ops on thread-local state — no
+//! atomics, no allocation after construction. Per-thread histograms are
+//! [`merge`](LatencyHist::merge)d into a run total, mirroring how
+//! [`ThreadStats`](crate::ThreadStats) aggregates counters.
+
+use std::time::Duration;
+
+/// log2 of the sub-buckets per octave. 5 ⇒ 32 sub-buckets ⇒ ≤3.2 % error.
+const SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << SUB_BITS;
+/// Values below `SUB` get exact unit buckets; above, 32 per octave.
+const BUCKETS: usize = SUB as usize + (64 - SUB_BITS as usize) * SUB as usize;
+
+/// A latency histogram over nanosecond values.
+#[derive(Clone)]
+pub struct LatencyHist {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+fn bucket_of(ns: u64) -> usize {
+    if ns < SUB {
+        return ns as usize;
+    }
+    let msb = 63 - ns.leading_zeros(); // ≥ SUB_BITS here
+    let octave = (msb - SUB_BITS) as usize;
+    let sub = ((ns >> (msb - SUB_BITS)) - SUB) as usize;
+    SUB as usize + octave * SUB as usize + sub
+}
+
+/// Inclusive upper bound of a bucket (percentiles report this bound, so
+/// they are conservative: the true quantile is ≤ the reported value).
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    if i < SUB as usize {
+        return i as u64;
+    }
+    let octave = ((i - SUB as usize) / SUB as usize) as u32;
+    let sub = ((i - SUB as usize) % SUB as usize) as u64;
+    ((SUB + sub + 1) << octave) - 1
+}
+
+impl LatencyHist {
+    pub fn new() -> Self {
+        LatencyHist { counts: Box::new([0; BUCKETS]), count: 0, sum_ns: 0, max_ns: 0 }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record_ns(&mut self, ns: u64) {
+        self.counts[bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Record one sample given as a [`Duration`].
+    #[inline]
+    pub fn record(&mut self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Fold another histogram into this one (per-thread → run total).
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact maximum recorded value (not bucket-quantized).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Quantile `q` in `[0, 1]`, in nanoseconds (0 when empty). Reported
+    /// as the containing bucket's upper bound: ≤3.2 % above the true
+    /// value, never below it.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // The exact max is a tighter bound for the last bucket.
+                return bucket_upper(i).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// The standard report tuple: (p50, p90, p99, p999) in nanoseconds.
+    pub fn percentiles(&self) -> (u64, u64, u64, u64) {
+        (self.quantile(0.50), self.quantile(0.90), self.quantile(0.99), self.quantile(0.999))
+    }
+}
+
+impl std::fmt::Debug for LatencyHist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (p50, p90, p99, p999) = self.percentiles();
+        f.debug_struct("LatencyHist")
+            .field("count", &self.count)
+            .field("mean_ns", &self.mean_ns())
+            .field("p50_ns", &p50)
+            .field("p90_ns", &p90)
+            .field("p99_ns", &p99)
+            .field("p999_ns", &p999)
+            .field("max_ns", &self.max_ns)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHist::new();
+        for ns in 0..SUB {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), SUB);
+        assert_eq!(h.quantile(0.0), 0);
+        // Every unit bucket below SUB is exact.
+        assert_eq!(h.quantile(1.0), SUB - 1);
+        assert_eq!(h.max_ns(), SUB - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = LatencyHist::new();
+        for i in 0..20_000u64 {
+            // Geometric-ish sweep across many octaves.
+            h.record_ns(37 + i * 977);
+        }
+        for &q in &[0.5, 0.9, 0.99, 0.999] {
+            let reported = h.quantile(q) as f64;
+            // Recompute the true quantile from the raw formula.
+            let rank = ((q * 20_000f64).ceil() as u64).max(1);
+            let true_v = (37 + (rank - 1) * 977) as f64;
+            assert!(
+                reported >= true_v * 0.999 && reported <= true_v * (1.0 + 1.0 / 32.0) + 1.0,
+                "q={q}: reported {reported} vs true {true_v}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        let mut whole = LatencyHist::new();
+        for i in 0..1000u64 {
+            let v = (i * i) % 100_000;
+            if i % 2 == 0 { &mut a } else { &mut b }.record_ns(v);
+            whole.record_ns(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.mean_ns(), whole.mean_ns());
+        assert_eq!(a.percentiles(), whole.percentiles());
+        assert_eq!(a.max_ns(), whole.max_ns());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHist::new();
+        assert_eq!(h.percentiles(), (0, 0, 0, 0));
+        assert_eq!(h.mean_ns(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded_by_max() {
+        let mut h = LatencyHist::new();
+        let mut x = 1u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            h.record_ns(x >> 40);
+        }
+        let (p50, p90, p99, p999) = h.percentiles();
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= p999);
+        assert!(p999 <= h.max_ns());
+    }
+
+    #[test]
+    fn duration_recording_saturates() {
+        let mut h = LatencyHist::new();
+        h.record(Duration::from_micros(3));
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0) >= 3_000 && h.quantile(1.0) <= 3_100);
+    }
+}

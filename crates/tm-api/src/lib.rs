@@ -21,9 +21,11 @@
 //! A body may also request a semantic rollback ([`Abort::User`]), which is
 //! not retried (used by TPC-C's 1 % rolled-back new-orders).
 
+pub mod hist;
 pub mod policy;
 pub mod stats;
 
+pub use hist::LatencyHist;
 pub use policy::{BackoffPolicy, ContentionManager, RetryPolicy, Watchdog};
 pub use stats::ThreadStats;
 

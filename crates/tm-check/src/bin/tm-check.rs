@@ -1,7 +1,7 @@
 //! tm-check CLI: bounded schedule-exploration sweeps for CI and soak runs.
 //!
 //! ```text
-//! tm-check [--backend htm|si-htm|p8tm|silo|all] [--workload counter|bank|btree|all]
+//! tm-check [--backend htm|si-htm|p8tm|silo|all] [--workload counter|bank|btree|txkv|all]
 //!          [--threads N] [--txns N] [--seeds N] [--seed-start N] [--max-steps N]
 //!          [--fault-access PER_MILLE] [--fault-commit PER_MILLE]
 //!          [--break-si] [--expect-violation] [--out FILE]
@@ -53,7 +53,7 @@ USAGE:
 
 OPTIONS:
     --backend KIND      htm | si-htm | p8tm | silo | all        [default: si-htm]
-    --workload KIND     counter | bank | btree | all            [default: bank]
+    --workload KIND     counter | bank | btree | txkv | all     [default: bank]
     --threads N         virtual threads per run                 [default: 3]
     --txns N            transactions per thread                 [default: 8]
     --seeds N           seeds per (backend, workload) combo     [default: 100]
@@ -91,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
                     "counter" => vec![WorkloadKind::Counter],
                     "bank" => vec![WorkloadKind::Bank],
                     "btree" => vec![WorkloadKind::Btree],
+                    "txkv" => vec![WorkloadKind::Txkv],
                     "all" => WorkloadKind::ALL.to_vec(),
                     other => return Err(format!("unknown workload '{other}'")),
                 };

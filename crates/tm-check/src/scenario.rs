@@ -18,6 +18,8 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tm_api::{TmBackend, TmThread, TxKind};
+use txkv::{KvStore, PushError, SubmitQueue};
+use txmem::hooks::{self, Event};
 use txmem::{round_up_to_line, Addr, LineAlloc, TxMemory, WORDS_PER_LINE};
 use workloads::bank::Bank;
 use workloads::btree::{NodeScratch, TxBTree};
@@ -64,17 +66,25 @@ pub enum WorkloadKind {
     Bank,
     /// Concurrent B+-tree; invariant: structural well-formedness.
     Btree,
+    /// txkv submission-queue handoff: client threads push transfer /
+    /// audit requests through a bounded [`txkv::SubmitQueue`]; an
+    /// executor thread serves updates one-by-one and read-only audits as
+    /// snapshot batches. Invariants: every accepted request is served,
+    /// balances conserved, and every committed audit batch observed the
+    /// conserved total.
+    Txkv,
 }
 
 impl WorkloadKind {
-    pub const ALL: [WorkloadKind; 3] =
-        [WorkloadKind::Counter, WorkloadKind::Bank, WorkloadKind::Btree];
+    pub const ALL: [WorkloadKind; 4] =
+        [WorkloadKind::Counter, WorkloadKind::Bank, WorkloadKind::Btree, WorkloadKind::Txkv];
 
     pub fn name(self) -> &'static str {
         match self {
             WorkloadKind::Counter => "counter",
             WorkloadKind::Bank => "bank",
             WorkloadKind::Btree => "btree",
+            WorkloadKind::Txkv => "txkv",
         }
     }
 }
@@ -204,6 +214,7 @@ pub fn build(cfg: &CheckConfig, seed: u64) -> Scenario {
         WorkloadKind::Counter => build_counter(cfg, seed),
         WorkloadKind::Bank => build_bank(cfg, seed),
         WorkloadKind::Btree => build_btree(cfg, seed),
+        WorkloadKind::Txkv => build_txkv(cfg, seed),
     }
 }
 
@@ -395,6 +406,212 @@ fn build_btree(cfg: &CheckConfig, seed: u64) -> Scenario {
                     .unwrap_or_else(|| "malformed".to_string());
                 format!("btree audit failed: {msg}")
             })
+        }),
+    }
+}
+
+/// A request travelling through the txkv scenario's submission queue.
+enum KvReq {
+    /// Read-write multi-key transaction: move `amount` between accounts.
+    Transfer { from: u64, to: u64, amount: u64 },
+    /// Read-only full-sweep balance audit (served batched).
+    Audit,
+}
+
+const KV_ACCOUNTS: u64 = 4;
+const KV_INITIAL: u64 = 100;
+/// At most this many audits are folded into one read-only transaction.
+const KV_RO_BATCH: usize = 3;
+
+/// The executor's serve loop: drain the queue until it is closed *and*
+/// empty, serving updates one-by-one and read-only audits as a batch
+/// inside **one** read-only transaction (the pipeline's batching rule).
+/// Spins only through `Event::Poll` yield points, never a condvar — the
+/// baton scheduler owns all blocking.
+fn kv_serve_loop(
+    queue: &SubmitQueue<KvReq>,
+    store: &KvStore,
+    thread: &mut (dyn TmThread + Send),
+    served: &AtomicU64,
+    broken_audits: &AtomicU64,
+    expected_total: u64,
+) {
+    let mut scratch = store.new_batch_scratch(2);
+    let mut batch: Vec<KvReq> = Vec::new();
+    let mut sums: Vec<u64> = Vec::new();
+    loop {
+        if let Some(req) = queue.try_pop_update() {
+            if let KvReq::Transfer { from, to, amount } = req {
+                store.multi_add(
+                    thread,
+                    &mut scratch,
+                    &[(from, -(amount as i64)), (to, amount as i64)],
+                );
+            }
+            served.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        batch.clear();
+        let n = queue.try_pop_ro_batch(KV_RO_BATCH, &mut batch);
+        if n > 0 {
+            let out = thread.exec(TxKind::ReadOnly, &mut |tx| {
+                sums.clear();
+                for _ in 0..n {
+                    let mut sum = 0u64;
+                    for k in 0..KV_ACCOUNTS {
+                        sum = sum.wrapping_add(store.get_in(tx, k)?.unwrap_or(0));
+                    }
+                    sums.push(sum);
+                }
+                Ok(())
+            });
+            if out == tm_api::Outcome::Committed {
+                for &s in &sums {
+                    if s != expected_total {
+                        broken_audits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            served.fetch_add(n as u64, Ordering::Relaxed);
+            continue;
+        }
+        if queue.is_done() {
+            break;
+        }
+        hooks::emit(Event::Poll);
+    }
+}
+
+/// txkv handoff scenario: thread 0 is an executor serving a bounded
+/// [`SubmitQueue`]; the other threads are clients pushing transfer
+/// (read-write) and audit (read-only) requests, retrying through `Poll`
+/// yield points on backpressure. A single-thread run degenerates to
+/// enqueue-whole-script-then-serve (caps sized to fit). Invariants:
+/// every accepted request is served, balances are conserved, and every
+/// committed audit batch observed the conserved total.
+fn build_txkv(cfg: &CheckConfig, seed: u64) -> Scenario {
+    let mem_words = workloads::btree::memory_words(64);
+    let backend = make_backend(cfg, mem_words);
+    let store = KvStore::create_with(
+        backend.memory(),
+        0,
+        round_up_to_line(mem_words as u64),
+        (0..KV_ACCOUNTS).map(|k| (k, KV_INITIAL)),
+    );
+    let watched = 0..round_up_to_line(mem_words as u64);
+    let init = snapshot_init(backend.memory(), &watched);
+    let expected_total = KV_ACCOUNTS * KV_INITIAL;
+
+    let single = cfg.threads == 1;
+    let clients = if single { 1 } else { cfg.threads - 1 };
+    // Tiny caps exercise Full-backpressure under schedule exploration;
+    // the single-thread run instead needs room for its whole script.
+    let cap = if single { cfg.txns_per_thread.max(1) } else { 4 };
+    let queue = Arc::new(SubmitQueue::new(cap, cap));
+    let submitted = Arc::new(AtomicU64::new(0));
+    let served = Arc::new(AtomicU64::new(0));
+    let broken_audits = Arc::new(AtomicU64::new(0));
+    let clients_left = Arc::new(AtomicU64::new(clients as u64));
+
+    // Client scripts are a pure function of (seed, tid): 60 % transfers,
+    // 40 % audits.
+    let make_ops = |tid: usize| -> Vec<KvReq> {
+        let mut rng = OpRng::new(seed, tid);
+        (0..cfg.txns_per_thread)
+            .map(|_| {
+                if rng.below(5) < 3 {
+                    let from = rng.below(KV_ACCOUNTS);
+                    let to = (from + 1 + rng.below(KV_ACCOUNTS - 1)) % KV_ACCOUNTS;
+                    KvReq::Transfer { from, to, amount: 1 + rng.below(10) }
+                } else {
+                    KvReq::Audit
+                }
+            })
+            .collect()
+    };
+
+    let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    {
+        // Thread 0: the executor (in the single-thread case it enqueues
+        // its whole script first, then serves it).
+        let mut thread = backend.register();
+        let queue = Arc::clone(&queue);
+        let submitted = Arc::clone(&submitted);
+        let served = Arc::clone(&served);
+        let broken = Arc::clone(&broken_audits);
+        let store = store.clone();
+        let ops = single.then(|| make_ops(0));
+        bodies.push(Box::new(move || {
+            if let Some(ops) = ops {
+                for op in ops {
+                    let ro = matches!(op, KvReq::Audit);
+                    queue.try_push(ro, op).unwrap_or_else(|_| {
+                        panic!("single-thread caps sized to hold the whole script")
+                    });
+                    submitted.fetch_add(1, Ordering::Relaxed);
+                }
+                queue.close();
+            }
+            kv_serve_loop(&queue, &store, &mut *thread, &served, &broken, expected_total);
+        }));
+    }
+    for tid in 1..cfg.threads {
+        let ops = make_ops(tid);
+        let queue = Arc::clone(&queue);
+        let submitted = Arc::clone(&submitted);
+        let clients_left = Arc::clone(&clients_left);
+        bodies.push(Box::new(move || {
+            for op in ops {
+                let ro = matches!(op, KvReq::Audit);
+                let mut item = op;
+                loop {
+                    match queue.try_push(ro, item) {
+                        Ok(()) => break,
+                        Err(PushError::Full(back)) => {
+                            // Backpressure: yield so the executor drains.
+                            item = back;
+                            hooks::emit(Event::Poll);
+                        }
+                        Err(PushError::Closed(_)) => {
+                            unreachable!("the last client closes the queue after its script")
+                        }
+                    }
+                }
+                submitted.fetch_add(1, Ordering::Relaxed);
+                // One yield point per accepted request enriches the
+                // explored interleavings of the handoff itself.
+                hooks::emit(Event::Poll);
+            }
+            if clients_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                queue.close();
+            }
+        }));
+    }
+
+    let b2 = backend.clone();
+    Scenario {
+        backend,
+        watched,
+        init,
+        bodies,
+        check_invariants: Box::new(move || {
+            let broken = broken_audits.load(Ordering::Relaxed);
+            if broken > 0 {
+                return Some(format!(
+                    "{broken} committed audit(s) observed a torn total (expected {expected_total})"
+                ));
+            }
+            let sub = submitted.load(Ordering::Relaxed);
+            let srv = served.load(Ordering::Relaxed);
+            if sub != srv {
+                return Some(format!("handoff dropped requests: {sub} accepted, {srv} served"));
+            }
+            let mut total = 0u64;
+            for k in 0..KV_ACCOUNTS {
+                total = total.wrapping_add(store.load_raw(b2.memory(), k).unwrap_or(0));
+            }
+            (total != expected_total)
+                .then(|| format!("balances not conserved: {total} != {expected_total}"))
         }),
     }
 }

@@ -72,6 +72,26 @@ fn history_is_nonempty_and_committed() {
     assert!(out.txns.windows(2).all(|w| w[0].commit_idx < w[1].commit_idx));
 }
 
+/// The txkv handoff scenario is deterministic and clean: requests pushed
+/// through the bounded submission queue are all served, batched audits
+/// observe consistent snapshots, and replaying a trace reproduces the
+/// exact serialized log (the queue mutex never spans a yield point).
+#[test]
+fn txkv_handoff_is_deterministic_and_clean() {
+    for &backend in &BackendKind::ALL {
+        let c = cfg(backend, WorkloadKind::Txkv);
+        let a = execute(&c, 11, Vec::new());
+        assert!(a.failure.is_none(), "{}: {:?}", backend.name(), a.failure);
+        let b = execute(&c, 11, a.run.trace.clone());
+        assert_eq!(a.run.log, b.run.log, "{}: txkv replay diverged", backend.name());
+    }
+    // Degenerate single-thread run: enqueue the script, then serve it.
+    let c = CheckConfig { threads: 1, ..cfg(BackendKind::SiHtm, WorkloadKind::Txkv) };
+    let out = execute(&c, 5, Vec::new());
+    assert!(out.failure.is_none(), "single-thread txkv: {:?}", out.failure);
+    assert!(!out.txns.is_empty(), "the executor must have committed transactions");
+}
+
 /// The acceptance test: disabling SI-HTM's quiescence wait (the paper's
 /// "safety wait", Alg. 2) must be caught as an SI violation, and the
 /// shrunk reproduction must be materially smaller than the original.

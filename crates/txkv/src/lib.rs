@@ -1,0 +1,101 @@
+//! # txkv — a transactional key-value service layer over `tm-api`
+//!
+//! Every workload in this tree is a *closed-loop driver*: the thread that
+//! generates an operation also executes it. A serving tier is the
+//! opposite shape — requests arrive from the outside at their own rate,
+//! queue, get executed by a fixed pool of workers, and are answered with
+//! a measurable end-to-end latency. `txkv` adds that layer:
+//!
+//! * [`KvStore`] — an embedded transactional key-value store
+//!   (get / put / delete / cas, multi-key reads and read-write
+//!   transactions, prefix scans) written once against [`tm_api::Tx`] /
+//!   [`tm_api::TmThread`], so it runs unchanged over all four backends
+//!   (SI-HTM, HTM+SGL, P8TM, Silo);
+//! * [`queue::SubmitQueue`] — bounded MPMC submission queues with
+//!   shed-on-full admission control (a typed [`KvError::Overloaded`]
+//!   instead of unbounded queue growth);
+//! * [`Pipeline`] — per-core executor threads, each owning one backend
+//!   thread handle, that **batch read-only requests into a single
+//!   read-only transaction**. On SI-HTM that transaction runs on the
+//!   unbounded, never-aborting RO fast path (§3.3 of the paper), so an
+//!   arbitrarily large batch of gets/scans costs one quiescence
+//!   interaction instead of one per request — the serving-tier payoff of
+//!   the paper's headline property;
+//! * per-op-class latency histograms ([`tm_api::LatencyHist`]) recording
+//!   end-to-end (enqueue → reply) and service-only time, with
+//!   p50/p90/p99/p999 SLO reporting;
+//! * graceful drain/shutdown: in-flight requests are either answered or
+//!   cleanly shed with [`KvReply::Shed`], never lost.
+//!
+//! The PR-4 resilience layer covers the service path too: executors are
+//! yield points for the `txmem::hooks` chaos injector (stalls and forced
+//! aborts land inside the service loop), and each executor owns a
+//! [`tm_api::ContentionManager`] used to pace idle re-polls so a large
+//! executor pool doesn't stampede the queue lock.
+//!
+//! ## Isolation contract
+//!
+//! What a multi-key read observes depends on the backend underneath —
+//! exactly the per-backend guarantee spread that Raad–Lahav–Vafeiadis
+//! formalize for SI APIs (see PAPERS.md):
+//!
+//! | backend  | multi-key reads            | read-write txns        |
+//! |----------|----------------------------|------------------------|
+//! | SI-HTM   | consistent snapshot (SI)   | SI (write skew allowed; `cas`/`multi_add` serialize via write-write conflicts) |
+//! | HTM+SGL  | serializable               | serializable           |
+//! | P8TM     | serializable               | serializable           |
+//! | Silo     | serializable               | serializable           |
+//!
+//! A whole RO batch executes as **one** transaction, so batched requests
+//! additionally share a single snapshot — strictly stronger than serving
+//! them one by one, and always admissible: any snapshot between a
+//! request's enqueue and its reply is a correct answer for that request.
+//!
+//! ## Example
+//!
+//! ```
+//! use txkv::{KvOp, KvReply, KvStore, Pipeline, PipelineConfig};
+//!
+//! let backend = si_htm::SiHtm::with_defaults(1 << 16);
+//! let store = KvStore::create(tm_api::TmBackend::memory(&backend), 0, 1 << 16);
+//! let pipeline = Pipeline::start(backend, store, PipelineConfig::quick());
+//! let client = pipeline.client();
+//! client.call(KvOp::Put { key: 7, val: 42 }).unwrap();
+//! assert_eq!(client.call(KvOp::Get { key: 7 }), Ok(KvReply::Value(Some(42))));
+//! let report = pipeline.shutdown();
+//! assert_eq!(report.replies, 2);
+//! ```
+
+pub mod pipeline;
+pub mod queue;
+pub mod store;
+
+pub use pipeline::{ClassLat, KvClient, PendingReply, Pipeline, PipelineConfig, ServiceReport};
+pub use queue::{PushError, SubmitQueue};
+pub use store::{KvOp, KvReply, KvStore, OpClass};
+
+/// Typed service-layer errors surfaced to submitters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// Admission control shed the request: the submission queue for its
+    /// op class is full. Back off and retry; the queue never grows
+    /// without bound.
+    Overloaded,
+    /// The pipeline is draining or stopped; no new work is accepted.
+    ShuttingDown,
+    /// A multi-key write exceeds the pipeline's `multi_key_max` (executor
+    /// scratch is pre-sized; unbounded write sets are refused up front).
+    TooLarge,
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::Overloaded => write!(f, "overloaded: submission queue full"),
+            KvError::ShuttingDown => write!(f, "shutting down: submissions closed"),
+            KvError::TooLarge => write!(f, "multi-key op exceeds the pipeline's multi_key_max"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}

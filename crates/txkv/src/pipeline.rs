@@ -1,0 +1,728 @@
+//! The request pipeline: submission queues in front of per-core executor
+//! threads, each owning one backend thread handle.
+//!
+//! ```text
+//!  clients ──try_push──▶ SubmitQueue ──try_pop──▶ executor 0 ─▶ backend thread 0
+//!   (any #)   (bounded,    ro | rw lanes          executor 1 ─▶ backend thread 1
+//!             shed-on-full)                          ...
+//! ```
+//!
+//! Each executor iteration serves **one** update request and then **one
+//! batch** of read-only requests (everything queued, up to
+//! `ro_batch_max`), so neither lane can starve the other. The whole RO
+//! batch runs inside a single `TxKind::ReadOnly` transaction: on SI-HTM
+//! that is the unbounded, never-aborting read-only fast path, so batching
+//! amortizes the one quiescence interaction over the entire batch — and
+//! every request in the batch reads the same snapshot.
+//!
+//! Latency is recorded per op class in two [`LatencyHist`]s: *end-to-end*
+//! (enqueue → reply, the number a client observes) and *service-only*
+//! (the transaction execution, what the backend is responsible for). The
+//! gap between them is queueing delay — the quantity admission control
+//! bounds.
+//!
+//! Every accepted request is eventually answered: served normally, or
+//! filled with [`KvReply::Shed`] when the drain grace expires at
+//! shutdown. A `Drop` backstop on the internal request envelope
+//! guarantees this even if an executor unwinds.
+
+use crate::queue::{PushError, SubmitQueue};
+use crate::store::{KvOp, KvReply, KvStore, OpClass};
+use crate::KvError;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tm_api::{Abort, AbortReason, BackoffPolicy, ContentionManager, LatencyHist};
+use tm_api::{ThreadStats, TmBackend, TmThread, TxKind};
+use txmem::hooks::{self, Event};
+use workloads::btree::NodeScratch;
+
+/// Pipeline tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Executor threads (each registers one backend thread).
+    pub executors: usize,
+    /// Read-only submission-lane capacity (admission control bound).
+    pub ro_queue_cap: usize,
+    /// Update submission-lane capacity.
+    pub rw_queue_cap: usize,
+    /// Most read-only requests folded into one RO transaction.
+    pub ro_batch_max: usize,
+    /// Largest multi-key write op accepted ([`KvError::TooLarge`] above).
+    pub multi_key_max: usize,
+    /// How long an idle executor parks before re-polling.
+    pub idle_wait: Duration,
+    /// Contention-manager policy for the executors (abort backoff +
+    /// idle-repoll jitter). `BackoffPolicy::none()` disables both.
+    pub backoff: BackoffPolicy,
+    /// Flat jitter ceiling for idle re-polls, in ns (anti-stampede).
+    pub idle_jitter_ns: u64,
+    /// Graceful-drain budget at shutdown before in-flight work is shed.
+    pub drain_grace: Duration,
+}
+
+impl PipelineConfig {
+    pub fn new() -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        PipelineConfig {
+            executors: cores.min(8),
+            ro_queue_cap: 1024,
+            rw_queue_cap: 1024,
+            ro_batch_max: 64,
+            multi_key_max: 16,
+            idle_wait: Duration::from_millis(2),
+            backoff: BackoffPolicy::none(),
+            idle_jitter_ns: 0,
+            drain_grace: Duration::from_secs(2),
+        }
+    }
+
+    /// Small pool for tests and doc examples.
+    pub fn quick() -> Self {
+        PipelineConfig { executors: 2, ro_queue_cap: 256, rw_queue_cap: 256, ..Self::new() }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Write-once reply cell a client blocks on.
+struct ReplySlot {
+    cell: Mutex<Option<KvReply>>,
+    filled: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Self {
+        ReplySlot { cell: Mutex::new(None), filled: Condvar::new() }
+    }
+
+    /// First write wins; later fills are no-ops (the `Drop` backstop).
+    fn fill(&self, reply: KvReply) {
+        let mut g = self.cell.lock().unwrap();
+        if g.is_none() {
+            *g = Some(reply);
+            self.filled.notify_all();
+        }
+    }
+
+    fn wait(&self) -> KvReply {
+        let mut g = self.cell.lock().unwrap();
+        loop {
+            if let Some(r) = g.as_ref() {
+                return r.clone();
+            }
+            g = self.filled.wait(g).unwrap();
+        }
+    }
+
+    fn try_get(&self) -> Option<KvReply> {
+        self.cell.lock().unwrap().clone()
+    }
+}
+
+/// Internal request envelope. The `Drop` impl guarantees the slot is
+/// always answered: any envelope destroyed unanswered (executor panic,
+/// shed path) resolves to [`KvReply::Shed`].
+struct Request {
+    op: KvOp,
+    slot: Arc<ReplySlot>,
+    enqueued: Instant,
+}
+
+impl Drop for Request {
+    fn drop(&mut self) {
+        self.slot.fill(KvReply::Shed);
+    }
+}
+
+struct Shared {
+    queue: SubmitQueue<Request>,
+    hard_stop: AtomicBool,
+    overloaded: AtomicU64,
+    multi_key_max: usize,
+}
+
+/// Cheap cloneable submission handle (no backend type parameter, so it
+/// crosses thread and API boundaries freely).
+#[derive(Clone)]
+pub struct KvClient {
+    shared: Arc<Shared>,
+}
+
+impl KvClient {
+    /// Submit and block for the reply.
+    pub fn call(&self, op: KvOp) -> Result<KvReply, KvError> {
+        Ok(self.submit(op)?.wait())
+    }
+
+    /// Submit without blocking; the returned handle can be waited on (or
+    /// dropped — open-loop load generators fire and forget, and the
+    /// pipeline still records the end-to-end latency at reply time).
+    pub fn submit(&self, op: KvOp) -> Result<PendingReply, KvError> {
+        match &op {
+            KvOp::MultiPut { pairs } if pairs.len() > self.shared.multi_key_max => {
+                return Err(KvError::TooLarge)
+            }
+            KvOp::MultiAdd { deltas } if deltas.len() > self.shared.multi_key_max => {
+                return Err(KvError::TooLarge)
+            }
+            _ => {}
+        }
+        let slot = Arc::new(ReplySlot::new());
+        let read_only = op.read_only();
+        let req = Request { op, slot: slot.clone(), enqueued: Instant::now() };
+        match self.shared.queue.try_push(read_only, req) {
+            Ok(()) => Ok(PendingReply { slot }),
+            Err(PushError::Full(req)) => {
+                self.shared.overloaded.fetch_add(1, Ordering::Relaxed);
+                // Forget nothing: the envelope's Drop fills Shed, but the
+                // slot is ours and unreturned, so nobody observes it.
+                drop(req);
+                Err(KvError::Overloaded)
+            }
+            Err(PushError::Closed(_)) => Err(KvError::ShuttingDown),
+        }
+    }
+
+    /// Current `(read-only, update)` submission-lane depths.
+    pub fn queue_depths(&self) -> (usize, usize) {
+        self.shared.queue.depths()
+    }
+}
+
+/// Handle to one in-flight request.
+pub struct PendingReply {
+    slot: Arc<ReplySlot>,
+}
+
+impl PendingReply {
+    /// Block until the request is answered (or shed at shutdown).
+    pub fn wait(self) -> KvReply {
+        self.slot.wait()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_get(&self) -> Option<KvReply> {
+        self.slot.try_get()
+    }
+}
+
+/// End-to-end and service-only latency for one op class.
+#[derive(Debug, Clone)]
+pub struct ClassLat {
+    pub class: OpClass,
+    /// Enqueue → reply.
+    pub e2e: LatencyHist,
+    /// Transaction execution only (a whole RO batch's service time is
+    /// attributed to every request it carried).
+    pub service: LatencyHist,
+}
+
+impl ClassLat {
+    fn new(class: OpClass) -> Self {
+        ClassLat { class, e2e: LatencyHist::new(), service: LatencyHist::new() }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.e2e.count()
+    }
+}
+
+/// What one executor hands back at join time.
+struct ExecOut {
+    classes: Vec<ClassLat>,
+    served: u64,
+    shed: u64,
+    ro_batches: u64,
+    ro_batch_ops: u64,
+    max_ro_batch: u64,
+    ro_batch_aborts: u64,
+    backoffs: u64,
+    stats: ThreadStats,
+}
+
+impl ExecOut {
+    fn new() -> Self {
+        ExecOut {
+            classes: OpClass::ALL.iter().map(|&c| ClassLat::new(c)).collect(),
+            served: 0,
+            shed: 0,
+            ro_batches: 0,
+            ro_batch_ops: 0,
+            max_ro_batch: 0,
+            ro_batch_aborts: 0,
+            backoffs: 0,
+            stats: ThreadStats::default(),
+        }
+    }
+}
+
+/// Aggregated pipeline report returned by [`Pipeline::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    pub backend: &'static str,
+    pub executors: usize,
+    /// Requests answered with a real result.
+    pub replies: u64,
+    /// Requests answered with [`KvReply::Shed`] at shutdown.
+    pub shed: u64,
+    /// Requests refused at admission ([`KvError::Overloaded`]).
+    pub overloaded: u64,
+    /// Read-only transactions executed for batches.
+    pub ro_batches: u64,
+    /// Read-only requests carried by those transactions.
+    pub ro_batch_ops: u64,
+    /// Largest single batch.
+    pub max_ro_batch: u64,
+    /// Backend aborts observed across all RO batch transactions (must be
+    /// 0 on SI-HTM: the RO fast path never aborts).
+    pub ro_batch_aborts: u64,
+    /// Executors that served zero requests (load-balance check).
+    pub starved_executors: usize,
+    /// Executors that panicked (their in-flight request resolves Shed).
+    pub panicked_executors: usize,
+    /// Contention-manager delays executed by executors.
+    pub executor_backoffs: u64,
+    /// Per-op-class latency, in [`OpClass::ALL`] order.
+    pub class: Vec<ClassLat>,
+    /// Backend-side statistics summed over all executor threads.
+    pub backend_stats: ThreadStats,
+}
+
+impl ServiceReport {
+    fn new(backend: &'static str, executors: usize) -> Self {
+        ServiceReport {
+            backend,
+            executors,
+            replies: 0,
+            shed: 0,
+            overloaded: 0,
+            ro_batches: 0,
+            ro_batch_ops: 0,
+            max_ro_batch: 0,
+            ro_batch_aborts: 0,
+            starved_executors: 0,
+            panicked_executors: 0,
+            executor_backoffs: 0,
+            class: OpClass::ALL.iter().map(|&c| ClassLat::new(c)).collect(),
+            backend_stats: ThreadStats::default(),
+        }
+    }
+
+    fn merge(&mut self, out: ExecOut) {
+        if out.served == 0 {
+            self.starved_executors += 1;
+        }
+        self.replies += out.served;
+        self.shed += out.shed;
+        self.ro_batches += out.ro_batches;
+        self.ro_batch_ops += out.ro_batch_ops;
+        self.max_ro_batch = self.max_ro_batch.max(out.max_ro_batch);
+        self.ro_batch_aborts += out.ro_batch_aborts;
+        self.executor_backoffs += out.backoffs;
+        for (mine, theirs) in self.class.iter_mut().zip(&out.classes) {
+            mine.e2e.merge(&theirs.e2e);
+            mine.service.merge(&theirs.service);
+        }
+        self.backend_stats += &out.stats;
+    }
+
+    /// The latency record for one op class.
+    pub fn class(&self, class: OpClass) -> &ClassLat {
+        &self.class[class.index()]
+    }
+
+    /// Mean read-only requests per RO transaction (the batching payoff;
+    /// > 1 means batching actually happened).
+    pub fn mean_ro_batch(&self) -> f64 {
+        if self.ro_batches == 0 {
+            0.0
+        } else {
+            self.ro_batch_ops as f64 / self.ro_batches as f64
+        }
+    }
+
+    /// Human-readable per-class SLO table.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{}: {} replies, {} shed, {} overloaded; RO batches {} (mean {:.1}, max {}, aborts {})",
+            self.backend,
+            self.replies,
+            self.shed,
+            self.overloaded,
+            self.ro_batches,
+            self.mean_ro_batch(),
+            self.max_ro_batch,
+            self.ro_batch_aborts,
+        );
+        for cl in &self.class {
+            if cl.count() == 0 {
+                continue;
+            }
+            let (p50, p90, p99, p999) = cl.e2e.percentiles();
+            let (s50, _, s99, _) = cl.service.percentiles();
+            let _ = writeln!(
+                s,
+                "  {:<9} n={:<8} e2e p50/p90/p99/p999 = {}/{}/{}/{} ns  service p50/p99 = {}/{} ns",
+                cl.class.name(),
+                cl.count(),
+                p50,
+                p90,
+                p99,
+                p999,
+                s50,
+                s99,
+            );
+        }
+        s
+    }
+}
+
+/// The running service: executor pool + submission queue.
+pub struct Pipeline<B: TmBackend> {
+    backend: Arc<B>,
+    store: KvStore,
+    shared: Arc<Shared>,
+    cfg: PipelineConfig,
+    handles: Vec<JoinHandle<ExecOut>>,
+}
+
+impl<B: TmBackend> Pipeline<B> {
+    /// Spawn the executor pool and start serving.
+    pub fn start(backend: B, store: KvStore, cfg: PipelineConfig) -> Pipeline<B> {
+        assert!(cfg.executors > 0, "pipeline needs at least one executor");
+        assert!(cfg.ro_batch_max > 0, "ro_batch_max must be nonzero");
+        let backend = Arc::new(backend);
+        let shared = Arc::new(Shared {
+            queue: SubmitQueue::new(cfg.ro_queue_cap, cfg.rw_queue_cap),
+            hard_stop: AtomicBool::new(false),
+            overloaded: AtomicU64::new(0),
+            multi_key_max: cfg.multi_key_max,
+        });
+        let handles = (0..cfg.executors)
+            .map(|i| {
+                let backend = Arc::clone(&backend);
+                let shared = Arc::clone(&shared);
+                let store = store.clone();
+                let cfg = cfg.clone();
+                std::thread::Builder::new()
+                    .name(format!("txkv-exec-{i}"))
+                    .spawn(move || executor_loop(i, &*backend, &store, &shared, &cfg))
+                    .expect("spawn executor")
+            })
+            .collect();
+        Pipeline { backend, store, shared, cfg, handles }
+    }
+
+    /// A new submission handle (clone freely, share across threads).
+    pub fn client(&self) -> KvClient {
+        KvClient { shared: Arc::clone(&self.shared) }
+    }
+
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+
+    /// Graceful shutdown: close admission, give queued work `drain_grace`
+    /// to complete, then shed the rest ([`KvReply::Shed`]) and join.
+    pub fn shutdown(self) -> ServiceReport {
+        self.shared.queue.close();
+        let deadline = Instant::now() + self.cfg.drain_grace;
+        while !self.shared.queue.is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.shared.hard_stop.store(true, Ordering::Release);
+        self.shared.queue.wake_all();
+        let mut report = ServiceReport::new(self.backend.name(), self.cfg.executors);
+        for h in self.handles {
+            match h.join() {
+                Ok(out) => report.merge(out),
+                Err(_) => report.panicked_executors += 1,
+            }
+        }
+        report.overloaded = self.shared.overloaded.load(Ordering::Relaxed);
+        report
+    }
+}
+
+fn executor_loop<B: TmBackend>(
+    idx: usize,
+    backend: &B,
+    store: &KvStore,
+    shared: &Shared,
+    cfg: &PipelineConfig,
+) -> ExecOut {
+    let mut thread = backend.register_thread();
+    let mut scratch = store.new_batch_scratch(cfg.multi_key_max);
+    let mut cm = ContentionManager::new(cfg.backoff, 0x9E37_79B9_7F4A_7C15 ^ (idx as u64 + 1));
+    let mut out = ExecOut::new();
+    let mut batch: Vec<Request> = Vec::with_capacity(cfg.ro_batch_max);
+    loop {
+        let mut did_work = false;
+        // One update, then one RO batch, per iteration: neither lane can
+        // starve the other regardless of mix.
+        if let Some(req) = shared.queue.try_pop_update() {
+            serve_update(store, &mut thread, &mut scratch, &mut cm, req, &mut out);
+            did_work = true;
+        }
+        if shared.queue.try_pop_ro_batch(cfg.ro_batch_max, &mut batch) > 0 {
+            serve_ro_batch(store, &mut thread, &mut batch, &mut out);
+            did_work = true;
+        }
+        if did_work {
+            continue;
+        }
+        if shared.hard_stop.load(Ordering::Acquire) || shared.queue.is_done() {
+            break;
+        }
+        // Idle: give the chaos injector its seam, jitter the re-poll so a
+        // large pool doesn't stampede the queue lock, then park briefly.
+        if hooks::active() {
+            hooks::emit(Event::Poll);
+        }
+        cm.admission_jitter(cfg.idle_jitter_ns);
+        shared.queue.wait_for_work(cfg.idle_wait);
+    }
+    // Hard stop (or post-drain sweep): everything still queued is shed —
+    // answered with KvReply::Shed, never silently dropped.
+    loop {
+        let mut any = false;
+        if let Some(req) = shared.queue.try_pop_update() {
+            drop(req); // Drop backstop fills Shed
+            out.shed += 1;
+            any = true;
+        }
+        if shared.queue.try_pop_ro_batch(usize::MAX, &mut batch) > 0 {
+            out.shed += batch.len() as u64;
+            batch.clear(); // Drop backstop fills Shed for each
+            any = true;
+        }
+        if !any {
+            break;
+        }
+    }
+    out.backoffs = cm.backoffs;
+    out.stats = thread.stats().clone();
+    out
+}
+
+/// Serve one update request in its own update transaction.
+fn serve_update<T: TmThread>(
+    store: &KvStore,
+    thread: &mut T,
+    scratch: &mut NodeScratch,
+    cm: &mut ContentionManager,
+    req: Request,
+    out: &mut ExecOut,
+) {
+    let aborts_before = thread.stats().aborts();
+    let t0 = Instant::now();
+    let reply = match &req.op {
+        KvOp::Put { key, val } => KvReply::Done { changed: store.put(thread, scratch, *key, *val) },
+        KvOp::Delete { key } => KvReply::Done { changed: store.delete(thread, *key) },
+        KvOp::Cas { key, expect, new } => match store.cas(thread, scratch, *key, *expect, *new) {
+            Ok(()) => KvReply::CasOk,
+            Err(observed) => KvReply::CasFail(observed),
+        },
+        KvOp::MultiPut { pairs } => {
+            store.multi_put(thread, scratch, pairs);
+            KvReply::Done { changed: true }
+        }
+        KvOp::MultiAdd { deltas } => {
+            store.multi_add(thread, scratch, deltas);
+            KvReply::Done { changed: true }
+        }
+        ro => unreachable!("read-only op {ro:?} in the update lane"),
+    };
+    let service = t0.elapsed();
+    // Abort-aware pacing: a serve that needed backend retries backs the
+    // executor off before the next pop; a clean one resets the ceiling.
+    if thread.stats().aborts() > aborts_before {
+        cm.backoff(AbortReason::Conflict);
+    } else {
+        cm.reset();
+    }
+    finish(req, reply, service, out);
+}
+
+/// Serve a whole batch of read-only requests in ONE read-only
+/// transaction (the SI-HTM RO fast path: unbounded, never aborts, one
+/// shared snapshot for the entire batch).
+fn serve_ro_batch<T: TmThread>(
+    store: &KvStore,
+    thread: &mut T,
+    batch: &mut Vec<Request>,
+    out: &mut ExecOut,
+) {
+    let aborts_before = thread.stats().aborts();
+    let t0 = Instant::now();
+    let mut replies: Vec<KvReply> = Vec::with_capacity(batch.len());
+    thread.exec(TxKind::ReadOnly, &mut |tx| {
+        replies.clear(); // idempotent across retries on fallback paths
+        for req in batch.iter() {
+            let r = match &req.op {
+                KvOp::Get { key } => KvReply::Value(store.get_in(tx, *key)?),
+                KvOp::MultiGet { keys } => {
+                    let mut vals = Vec::with_capacity(keys.len());
+                    for &k in keys {
+                        vals.push(store.get_in(tx, k)?);
+                    }
+                    KvReply::Values(vals)
+                }
+                KvOp::ScanPrefix { prefix, shift, limit } => {
+                    let (count, sum) = store.scan_prefix_in(tx, *prefix, *shift, *limit)?;
+                    KvReply::Scan { count, sum }
+                }
+                up => unreachable!("update op {up:?} in the read-only lane"),
+            };
+            replies.push(r);
+        }
+        Ok::<(), Abort>(())
+    });
+    let service = t0.elapsed();
+    out.ro_batches += 1;
+    out.ro_batch_ops += batch.len() as u64;
+    out.max_ro_batch = out.max_ro_batch.max(batch.len() as u64);
+    out.ro_batch_aborts += thread.stats().aborts() - aborts_before;
+    for (req, reply) in batch.drain(..).zip(replies) {
+        finish(req, reply, service, out);
+    }
+}
+
+/// Record latency and answer the client.
+fn finish(req: Request, reply: KvReply, service: Duration, out: &mut ExecOut) {
+    let cl = &mut out.classes[req.op.class().index()];
+    cl.e2e.record(req.enqueued.elapsed());
+    cl.service.record(service);
+    req.slot.fill(reply);
+    out.served += 1;
+    // `req` drops here with the slot already filled: the backstop no-ops.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_htm::SiHtm;
+
+    fn pipeline(executors: usize) -> Pipeline<SiHtm> {
+        let backend = SiHtm::with_defaults(1 << 16);
+        let store = KvStore::create_with(
+            tm_api::TmBackend::memory(&backend),
+            0,
+            1 << 16,
+            (0..128u64).map(|k| (k, k)),
+        );
+        let cfg = PipelineConfig { executors, ..PipelineConfig::quick() };
+        Pipeline::start(backend, store, cfg)
+    }
+
+    #[test]
+    fn serves_point_ops_end_to_end() {
+        let p = pipeline(2);
+        let client = p.client();
+        assert_eq!(client.call(KvOp::Get { key: 5 }), Ok(KvReply::Value(Some(5))));
+        assert_eq!(
+            client.call(KvOp::Put { key: 500, val: 1 }),
+            Ok(KvReply::Done { changed: true })
+        );
+        assert_eq!(client.call(KvOp::Get { key: 500 }), Ok(KvReply::Value(Some(1))));
+        assert_eq!(client.call(KvOp::Delete { key: 500 }), Ok(KvReply::Done { changed: true }));
+        assert_eq!(client.call(KvOp::Get { key: 500 }), Ok(KvReply::Value(None)));
+        let report = p.shutdown();
+        assert_eq!(report.replies, 5);
+        assert_eq!(report.shed, 0);
+        assert!(report.class(OpClass::Get).count() == 3);
+        assert!(report.class(OpClass::Get).e2e.quantile(0.5) > 0);
+    }
+
+    #[test]
+    fn ro_batches_form_under_concurrent_submission() {
+        let p = pipeline(1); // single executor → pending RO requests pile up
+        let client = p.client();
+        // Park the executor behind a slow update? Simpler: submit a pile of
+        // RO requests without waiting, so the queue has depth when the
+        // executor next pops.
+        let pending: Vec<_> =
+            (0..200).map(|i| client.submit(KvOp::Get { key: i % 64 }).unwrap()).collect();
+        for pr in pending {
+            assert!(matches!(pr.wait(), KvReply::Value(Some(_))));
+        }
+        let report = p.shutdown();
+        assert_eq!(report.replies, 200);
+        assert!(
+            report.ro_batches < 200,
+            "200 gets must not take 200 RO transactions (got {})",
+            report.ro_batches
+        );
+        assert!(report.mean_ro_batch() > 1.0, "batching never engaged");
+        assert_eq!(report.ro_batch_aborts, 0, "SI-HTM RO fast path must never abort");
+    }
+
+    #[test]
+    fn overload_sheds_with_typed_error_and_bounded_queue() {
+        let backend = SiHtm::with_defaults(1 << 16);
+        let store = KvStore::create(tm_api::TmBackend::memory(&backend), 0, 1 << 16);
+        // Zero-throughput trick: executors=1 with a huge idle wait would
+        // still serve; instead choke capacity so floods must shed.
+        let cfg = PipelineConfig {
+            executors: 1,
+            ro_queue_cap: 8,
+            rw_queue_cap: 8,
+            ..PipelineConfig::quick()
+        };
+        let p = Pipeline::start(backend, store, cfg);
+        let client = p.client();
+        let mut overloaded = 0u64;
+        let mut accepted = Vec::new();
+        for i in 0..5_000u64 {
+            match client.submit(KvOp::Put { key: i, val: i }) {
+                Ok(pr) => accepted.push(pr),
+                Err(KvError::Overloaded) => overloaded += 1,
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+            let (ro, rw) = client.queue_depths();
+            assert!(ro <= 8 && rw <= 8, "queue depth exceeded its bound");
+        }
+        assert!(overloaded > 0, "flood against a tiny queue must shed");
+        for pr in accepted {
+            assert!(!matches!(pr.wait(), KvReply::Shed));
+        }
+        let report = p.shutdown();
+        assert_eq!(report.overloaded, overloaded);
+        assert_eq!(report.panicked_executors, 0);
+    }
+
+    #[test]
+    fn too_large_multi_ops_are_rejected_at_admission() {
+        let p = pipeline(1);
+        let client = p.client();
+        let pairs: Vec<(u64, u64)> = (0..64).map(|i| (i, i)).collect();
+        assert_eq!(client.call(KvOp::MultiPut { pairs }), Err(KvError::TooLarge));
+        let deltas: Vec<(u64, i64)> = (0..64).map(|i| (i, 1)).collect();
+        assert_eq!(client.call(KvOp::MultiAdd { deltas }), Err(KvError::TooLarge));
+        let report = p.shutdown();
+        assert_eq!(report.replies, 0);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_and_sheds_nothing_when_drained() {
+        let p = pipeline(2);
+        let client = p.client();
+        client.call(KvOp::Put { key: 1, val: 1 }).unwrap();
+        let report = p.shutdown();
+        assert_eq!(report.shed, 0);
+        assert_eq!(client.call(KvOp::Get { key: 1 }), Err(KvError::ShuttingDown));
+    }
+}

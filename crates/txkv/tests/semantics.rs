@@ -1,0 +1,245 @@
+//! Cross-backend semantics of the KV layer: what the isolation-contract
+//! table in the crate docs promises, demonstrated.
+//!
+//! * multi-key reads return a consistent snapshot (sum conservation under
+//!   concurrent transfers) — all four backends;
+//! * the classic write-skew pair **commits on SI-HTM** (snapshot
+//!   isolation permits it) but is **serialized on HTM+SGL and Silo**;
+//! * `cas` linearizes on every backend (the read is guarded by the write
+//!   set, so SI's write-write conflict detection is enough);
+//! * shutdown answers or cleanly sheds every accepted request.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+use tm_api::{TmBackend, TmThread, TxKind};
+use txkv::{KvError, KvOp, KvReply, KvStore, Pipeline, PipelineConfig};
+
+// ---------------------------------------------------------------- helpers
+
+/// Concurrent conserving transfers vs. multi-key snapshot audits.
+fn multi_key_reads_conserve_the_sum<B: TmBackend>(backend: B) {
+    const ACCOUNTS: u64 = 16;
+    const PER_ACCOUNT: u64 = 100;
+    let store =
+        KvStore::create_with(backend.memory(), 0, 1 << 16, (0..ACCOUNTS).map(|k| (k, PER_ACCOUNT)));
+    let keys: Vec<u64> = (0..ACCOUNTS).collect();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut t = backend.register_thread();
+            let mut scratch = store.new_batch_scratch(2);
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let from = i % ACCOUNTS;
+                let to = (i + 7) % ACCOUNTS;
+                if from != to {
+                    store.multi_add(&mut t, &mut scratch, &[(from, -1), (to, 1)]);
+                }
+                i += 1;
+            }
+        });
+        for _ in 0..2 {
+            s.spawn(|| {
+                let mut t = backend.register_thread();
+                for _ in 0..500 {
+                    let vals = store.multi_get(&mut t, &keys);
+                    let sum: u64 = vals.iter().map(|v| v.expect("account vanished")).sum();
+                    assert_eq!(
+                        sum,
+                        ACCOUNTS * PER_ACCOUNT,
+                        "multi-key read observed a torn (non-snapshot) state"
+                    );
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        }
+    });
+}
+
+const X: u64 = 3;
+const Y: u64 = 11;
+
+/// One side of the write-skew pair: read the *other* key, rendezvous with
+/// the peer so both reads happen before either write, then zero *my* key
+/// iff the other was 1. Flags are sticky (never cleared), so retried
+/// bodies skip the rendezvous and simply act on what they re-read.
+fn skew_side<B: TmBackend>(
+    backend: &B,
+    store: &KvStore,
+    mine: u64,
+    theirs: u64,
+    my_flag: &AtomicBool,
+    peer_flag: &AtomicBool,
+) {
+    let mut t = backend.register_thread();
+    let mut scratch = store.new_scratch();
+    t.exec(TxKind::Update, &mut |tx| {
+        scratch.reset();
+        let other = store.get_in(tx, theirs)?;
+        my_flag.store(true, Ordering::SeqCst);
+        let mut spins = 0u64;
+        while !peer_flag.load(Ordering::SeqCst) && spins < 500_000_000 {
+            std::hint::spin_loop();
+            spins += 1;
+        }
+        if other == Some(1) {
+            store.put_in(tx, &mut scratch, mine, 0)?;
+        }
+        Ok(())
+    });
+}
+
+/// Run the write-skew pair to completion; returns the final `(x, y)`.
+fn write_skew_outcome<B: TmBackend>(backend: B) -> (u64, u64) {
+    let store = KvStore::create_with(backend.memory(), 0, 1 << 14, [(X, 1), (Y, 1)].into_iter());
+    let a = AtomicBool::new(false);
+    let b = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        s.spawn(|| skew_side(&backend, &store, X, Y, &a, &b));
+        s.spawn(|| skew_side(&backend, &store, Y, X, &b, &a));
+    });
+    (store.load_raw(backend.memory(), X).unwrap(), store.load_raw(backend.memory(), Y).unwrap())
+}
+
+/// N client threads race `cas` increments through the pipeline; every
+/// failure reports the observed value, which seeds the retry. If cas
+/// linearizes, exactly one increment wins per observed value and the
+/// final counter equals the global success count.
+fn cas_linearizes<B: TmBackend>(backend: B) {
+    const KEY: u64 = 42;
+    const CLIENTS: usize = 4;
+    const INCREMENTS: u64 = 50;
+    let store = KvStore::create_with(backend.memory(), 0, 1 << 16, [(KEY, 0)].into_iter());
+    let pipeline = Pipeline::start(backend, store, PipelineConfig::quick());
+    std::thread::scope(|s| {
+        for _ in 0..CLIENTS {
+            let client = pipeline.client();
+            s.spawn(move || {
+                let mut done = 0u64;
+                let mut expect = None::<u64>;
+                while done < INCREMENTS {
+                    let cur = expect.unwrap_or(0);
+                    match client
+                        .call(KvOp::Cas { key: KEY, expect: Some(cur), new: cur + 1 })
+                        .expect("pipeline running")
+                    {
+                        KvReply::CasOk => {
+                            done += 1;
+                            expect = Some(cur + 1);
+                        }
+                        KvReply::CasFail(observed) => expect = observed,
+                        other => panic!("unexpected reply {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    let client = pipeline.client();
+    let final_val = match client.call(KvOp::Get { key: KEY }).unwrap() {
+        KvReply::Value(v) => v.unwrap(),
+        other => panic!("unexpected reply {other:?}"),
+    };
+    assert_eq!(
+        final_val,
+        CLIENTS as u64 * INCREMENTS,
+        "lost or duplicated cas increment: cas did not linearize"
+    );
+    let report = pipeline.shutdown();
+    assert_eq!(report.panicked_executors, 0);
+}
+
+/// Flood, then shut down with a tiny drain grace: every accepted request
+/// must resolve — served or explicitly shed — and the books must balance.
+fn drain_answers_or_sheds<B: TmBackend>(backend: B) {
+    let store = KvStore::create(backend.memory(), 0, 1 << 16);
+    let cfg = PipelineConfig {
+        executors: 1,
+        rw_queue_cap: 512,
+        ro_queue_cap: 512,
+        drain_grace: Duration::from_millis(2),
+        ..PipelineConfig::quick()
+    };
+    let pipeline = Pipeline::start(backend, store, cfg);
+    let client = pipeline.client();
+    let mut accepted = Vec::new();
+    for i in 0..2_000u64 {
+        let op = if i % 2 == 0 { KvOp::Put { key: i, val: i } } else { KvOp::Get { key: i } };
+        match client.submit(op) {
+            Ok(pending) => accepted.push(pending),
+            Err(KvError::Overloaded) => {}
+            Err(e) => panic!("unexpected admission error {e:?}"),
+        }
+    }
+    let n_accepted = accepted.len() as u64;
+    let report = pipeline.shutdown();
+    // Every accepted request resolves promptly — no hangs, no losses.
+    let mut shed_seen = 0u64;
+    for pending in accepted {
+        if matches!(pending.wait(), KvReply::Shed) {
+            shed_seen += 1;
+        }
+    }
+    assert_eq!(
+        report.replies + report.shed,
+        n_accepted,
+        "accepted requests must all be answered or shed"
+    );
+    assert_eq!(report.shed, shed_seen, "shed accounting must match client-visible Shed replies");
+    assert!(client.submit(KvOp::Get { key: 0 }).is_err(), "post-shutdown submissions refused");
+}
+
+// ------------------------------------------------------------ the matrix
+
+macro_rules! backend_suite {
+    ($name:ident, $make:expr) => {
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn multi_key_reads_conserve() {
+                multi_key_reads_conserve_the_sum($make);
+            }
+
+            #[test]
+            fn cas_is_linearizable() {
+                cas_linearizes($make);
+            }
+        }
+    };
+}
+
+backend_suite!(on_si_htm, si_htm::SiHtm::with_defaults(1 << 16));
+backend_suite!(on_htm_sgl, htm_sgl::HtmSgl::with_defaults(1 << 16));
+backend_suite!(on_p8tm, p8tm::P8tm::with_defaults(1 << 16));
+backend_suite!(on_silo, silo::Silo::with_defaults(1 << 16));
+
+#[test]
+fn write_skew_commits_under_si_htm() {
+    // Snapshot isolation: both sides read the pre-state (untracked ROT
+    // reads, disjoint write sets), so both zero their key — the anomaly
+    // the paper's §2.1 read promotion exists to plug.
+    let (x, y) = write_skew_outcome(si_htm::SiHtm::with_defaults(1 << 14));
+    assert_eq!((x, y), (0, 0), "SI must admit the write-skew pair (both commit)");
+}
+
+#[test]
+fn write_skew_is_serialized_under_htm_sgl() {
+    let (x, y) = write_skew_outcome(htm_sgl::HtmSgl::with_defaults(1 << 14));
+    assert!(x + y >= 1, "serializable backend let both skew writes commit: x={x} y={y}");
+}
+
+#[test]
+fn write_skew_is_serialized_under_silo() {
+    let (x, y) = write_skew_outcome(silo::Silo::with_defaults(1 << 14));
+    assert!(x + y >= 1, "serializable backend let both skew writes commit: x={x} y={y}");
+}
+
+#[test]
+fn drain_answers_or_sheds_under_si_htm() {
+    drain_answers_or_sheds(si_htm::SiHtm::with_defaults(1 << 16));
+}
+
+#[test]
+fn drain_answers_or_sheds_under_htm_sgl() {
+    drain_answers_or_sheds(htm_sgl::HtmSgl::with_defaults(1 << 16));
+}

@@ -52,7 +52,13 @@ impl NodeScratch {
     /// Enough spares for a full root-to-leaf split cascade of any tree
     /// with fewer than ~10^9 keys, plus the new root.
     pub fn new(alloc: &LineAlloc) -> Self {
-        let spares = (0..12).map(|_| alloc.alloc(NODE_WORDS)).collect();
+        Self::with_capacity(alloc, 12)
+    }
+
+    /// Scratch with room for `spares` splits — multi-key write transactions
+    /// (several inserts per attempt) need more than one cascade's worth.
+    pub fn with_capacity(alloc: &LineAlloc, spares: usize) -> Self {
+        let spares = (0..spares).map(|_| alloc.alloc(NODE_WORDS)).collect();
         NodeScratch { spares, used: 0 }
     }
 
@@ -105,15 +111,31 @@ impl TxBTree {
 
     /// Populate with `keys` (value = key) using raw stores (build phase).
     pub fn build(memory: &TxMemory, alloc: &LineAlloc, keys: impl Iterator<Item = u64>) -> TxBTree {
+        Self::build_pairs(memory, alloc, keys.map(|k| (k, k)))
+    }
+
+    /// Populate with explicit `(key, value)` pairs using raw stores.
+    pub fn build_pairs(
+        memory: &TxMemory,
+        alloc: &LineAlloc,
+        entries: impl Iterator<Item = (u64, u64)>,
+    ) -> TxBTree {
         let tree = TxBTree::create(memory, alloc);
         let mut raw = RawTx { memory };
         let mut scratch = NodeScratch::new(alloc);
-        for k in keys {
+        for (k, v) in entries {
             scratch.reset();
-            tree.insert(&mut raw, k, k, &mut scratch).expect("raw tx cannot abort");
+            tree.insert(&mut raw, k, v, &mut scratch).expect("raw tx cannot abort");
             scratch.refill(alloc);
         }
         tree
+    }
+
+    /// Non-transactional point lookup straight off memory (population
+    /// checks and end-of-run audits; not for use during runs).
+    pub fn lookup_raw(&self, memory: &TxMemory, key: u64) -> Option<u64> {
+        let mut raw = RawTx { memory };
+        self.lookup(&mut raw, key).expect("raw tx cannot abort")
     }
 
     /// Point lookup.
@@ -350,6 +372,48 @@ impl TxBTree {
                     break;
                 }
                 let k = tx.read(node + H_KEYS + i)?;
+                if k >= from {
+                    sum = sum.wrapping_add(tx.read(node + H_VALS + i)?);
+                    n += 1;
+                }
+            }
+            node = tx.read(node + H_NEXT)?;
+        }
+        Ok((n, sum))
+    }
+
+    /// Half-open range scan: `(matches, sum-of-values)` over up to `limit`
+    /// entries with `from ≤ key < to`, walking the leaf chain. The `to`
+    /// bound is what turns the open-ended [`range`](Self::range) into a
+    /// *prefix* scan (`[p·2ᵏ, (p+1)·2ᵏ)`).
+    pub fn range_between(
+        &self,
+        tx: &mut dyn Tx,
+        from: u64,
+        to: u64,
+        limit: u64,
+    ) -> Result<(u64, u64), Abort> {
+        let mut node = tx.read(self.root_ptr)?;
+        loop {
+            let (leaf, count) = unpack_header(tx.read(node + H_HEADER)?);
+            if leaf {
+                break;
+            }
+            let idx = self.child_index(tx, node, count, from)?;
+            node = tx.read(node + H_CHILDREN + idx)?;
+        }
+        let mut n = 0;
+        let mut sum = 0u64;
+        'chain: while node != NIL && n < limit {
+            let (_, count) = unpack_header(tx.read(node + H_HEADER)?);
+            for i in 0..count {
+                if n >= limit {
+                    break 'chain;
+                }
+                let k = tx.read(node + H_KEYS + i)?;
+                if k >= to {
+                    break 'chain;
+                }
                 if k >= from {
                     sum = sum.wrapping_add(tx.read(node + H_VALS + i)?);
                     n += 1;
@@ -715,6 +779,29 @@ mod tests {
             Ok(())
         });
         assert_eq!(res.0, 11);
+    }
+
+    #[test]
+    fn bounded_range_stops_at_the_upper_key() {
+        let (backend, _tree, alloc) = setup(2000);
+        let tree = TxBTree::build_pairs(backend.memory(), &alloc, (1..=300).map(|k| (k, k * 2)));
+        let mut t = backend.register_thread();
+        let mut res = (0, 0);
+        t.exec(TxKind::ReadOnly, &mut |tx| {
+            res = tree.range_between(tx, 100, 120, 1000)?;
+            Ok(())
+        });
+        assert_eq!(res.0, 20);
+        assert_eq!(res.1, (100..120u64).map(|k| k * 2).sum::<u64>());
+        // Limit still applies inside the bounds.
+        t.exec(TxKind::ReadOnly, &mut |tx| {
+            res = tree.range_between(tx, 100, 120, 5)?;
+            Ok(())
+        });
+        assert_eq!(res.0, 5);
+        // Raw lookup agrees with the builder's pairs.
+        assert_eq!(tree.lookup_raw(backend.memory(), 7), Some(14));
+        assert_eq!(tree.lookup_raw(backend.memory(), 1000), None);
     }
 
     #[test]

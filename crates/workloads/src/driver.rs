@@ -7,7 +7,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
-use tm_api::{stats, ThreadStats, TmBackend, TmThread};
+use tm_api::{stats, LatencyHist, ThreadStats, TmBackend, TmThread};
 
 /// Harness parameters.
 #[derive(Debug, Clone)]
@@ -18,20 +18,27 @@ pub struct RunConfig {
     pub warmup: Duration,
     /// Measurement interval.
     pub duration: Duration,
+    /// Record per-operation latency into [`RunReport::latency`] (two
+    /// `Instant::now()` calls per op — tens of ns against the µs-scale
+    /// simulated transactions, but switchable off for the tightest
+    /// micro-ablation).
+    pub latency: bool,
 }
 
 impl RunConfig {
     pub fn new(threads: usize, warmup: Duration, duration: Duration) -> Self {
-        RunConfig { threads, warmup, duration }
+        RunConfig { threads, warmup, duration, latency: true }
     }
 
     /// Short configuration for tests.
     pub fn quick(threads: usize) -> Self {
-        RunConfig {
-            threads,
-            warmup: Duration::from_millis(20),
-            duration: Duration::from_millis(100),
-        }
+        RunConfig::new(threads, Duration::from_millis(20), Duration::from_millis(100))
+    }
+
+    /// Disable per-op latency recording.
+    pub fn without_latency(mut self) -> Self {
+        self.latency = false;
+        self
     }
 }
 
@@ -49,6 +56,10 @@ pub struct RunReport {
     /// claiming N threads of throughput also says how many of the N
     /// actually participated.
     pub starved_threads: usize,
+    /// Per-operation latency over the measurement interval (one sample per
+    /// completed `op` closure invocation), merged across workers. Empty
+    /// when [`RunConfig::latency`] is off.
+    pub latency: LatencyHist,
 }
 
 impl RunReport {
@@ -95,24 +106,33 @@ where
                 let mut thread = backend.register_thread();
                 let mut op = setup(i);
                 let mut measuring = false;
+                let mut hist = LatencyHist::new();
                 loop {
                     match phase.load(Ordering::Acquire) {
                         PHASE_STOP => break,
                         PHASE_MEASURE if !measuring => {
                             thread.reset_stats();
+                            hist = LatencyHist::new();
                             measuring = true;
                         }
                         _ => {}
                     }
-                    op(&mut thread);
+                    if cfg.latency {
+                        let t0 = Instant::now();
+                        op(&mut thread);
+                        hist.record(t0.elapsed());
+                    } else {
+                        op(&mut thread);
+                    }
                 }
                 if !measuring {
                     // Starved through the whole measurement window (heavy
                     // over-subscription): its counters still hold warm-up
                     // work, which must not be attributed to the window.
                     thread.reset_stats();
+                    hist = LatencyHist::new();
                 }
-                (thread.stats().clone(), !measuring)
+                (thread.stats().clone(), hist, !measuring)
             }));
         }
 
@@ -124,10 +144,12 @@ where
         let elapsed = t0.elapsed();
 
         let mut payload = None;
+        let mut latency = LatencyHist::new();
         for h in handles {
             match h.join() {
-                Ok((stats, starved)) => {
+                Ok((stats, hist, starved)) => {
                     per_thread.push(stats);
+                    latency.merge(&hist);
                     starved_threads += usize::from(starved);
                 }
                 Err(p) => payload = Some(p),
@@ -141,6 +163,7 @@ where
             elapsed,
             total: stats::aggregate(per_thread.iter()),
             starved_threads,
+            latency,
         }
     })
     .expect("harness scope failed")
@@ -198,6 +221,10 @@ mod tests {
         assert_eq!(report.threads, 2);
         assert!(report.total.commits > 0, "no transactions committed");
         assert!(report.throughput() > 0.0);
+        // One latency sample per completed op closure, and sane quantiles.
+        assert!(report.latency.count() > 0, "no latency samples recorded");
+        let (p50, _, p99, _) = report.latency.percentiles();
+        assert!(p50 > 0 && p50 <= p99);
         // The counter must reflect warm-up + measured commits consistently.
         let counter = backend.memory().load(0);
         assert!(counter >= report.total.commits, "lost updates detected");
@@ -211,6 +238,7 @@ mod tests {
             elapsed: Duration::from_millis(250),
             total,
             starved_threads: 0,
+            latency: LatencyHist::new(),
         };
         assert!((r.throughput() - 2000.0).abs() < 1e-6);
     }
