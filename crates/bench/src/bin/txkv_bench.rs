@@ -6,25 +6,41 @@
 //!
 //! Modes, per backend:
 //!
-//! * **open** — fixed-arrival-rate load (arrivals are generated in 1 ms
-//!   ticks, `rate/1000` submissions per tick, fire-and-forget), 90 % of
-//!   ops read-only. Latency is recorded by the pipeline at reply time,
-//!   so the generator never blocks on completions — a real open loop.
+//! * **open** — fixed-arrival-rate load, 90 % of ops read-only. Arrivals
+//!   are paced on a fine tick (`max(1/rate, 200 µs)`, recorded as
+//!   `tick_us` in the artifact row) so e2e percentiles measure the
+//!   service, not arrival quantization. Latency is recorded by the
+//!   pipeline at reply time, so the generator never blocks on
+//!   completions — a real open loop.
 //! * **closed** — classic blocking request/reply clients.
 //! * **overload** — a full-speed flood against a tiny admission queue;
 //!   asserts `Overloaded` rejections happen and queue depth stays
 //!   bounded.
+//! * **sweep** (`--sweep`) — SI-HTM shard-count × cross-shard-mix grid at
+//!   *saturating* open-loop rate: the scale-out headline. Each cell
+//!   reports `ro_replies_per_sec`; 4 shards at the same executor count
+//!   must beat 1 shard ≥ 2.5× on read-only throughput (asserted under
+//!   `--assert-service`), with the cross-shard 2PC penalty measured at
+//!   0/1/10 % mix.
+//!
+//! `--shards N` partitions the keyspace over N independent backend
+//! instances (range map, one quiescence domain each); `--cross-shard-pct P`
+//! makes P % of generated ops cross-shard conserving transfers (2PC).
 //!
 //! Results go to `BENCH_TXKV.json` in the versioned `bench::schema`
-//! envelope. With `--assert-service` the run enforces the service-level
-//! acceptance checks (no starved executors, RO batching engaged, zero
-//! RO aborts on SI-HTM, overload sheds typed); a violation writes
+//! envelope (v2: adds `shards`, `cross_shard_pct`, `tick_us`,
+//! `ro_replies_per_sec` and the `twopc_*` counters). With
+//! `--assert-service` the run enforces the service-level acceptance
+//! checks (no starved executors, RO batching engaged, backend-appropriate
+//! RO-abort expectations — see `bench::schema` — overload sheds typed,
+//! cross-shard 2PC clean when chaos is off); a violation writes
 //! `TXKV_FAILURE.json` and exits non-zero, mirroring the chaos-soak
 //! failure-artifact pattern. `--chaos` arms the runtime fault injector
 //! for the open-loop phase and checks liveness under a deadline.
 //!
 //! Usage: `cargo run --release --bin txkv_bench [-- --quick] [--smoke]
 //!         [--backends si-htm,htm] [--rate N] [--duration-ms N]
+//!         [--shards N] [--cross-shard-pct P] [--sweep]
 //!         [--chaos] [--assert-service]`
 
 use bench::{schema, Backend};
@@ -32,7 +48,8 @@ use htm_sim::HtmConfig;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use tm_api::{BackoffPolicy, TmBackend};
-use txkv::{KvError, KvOp, KvStore, Pipeline, PipelineConfig, ServiceReport};
+use txkv::shard::build_domains;
+use txkv::{KvError, KvOp, Pipeline, PipelineConfig, ServiceReport, ShardMap};
 use txmem::hooks::chaos::{self, ChaosConfig};
 use workloads::btree;
 
@@ -43,6 +60,7 @@ struct Args {
     quick: bool,
     chaos: bool,
     assert_service: bool,
+    sweep: bool,
     backends: Vec<Backend>,
     /// Open-loop total arrival rate, requests/second.
     rate: u64,
@@ -52,6 +70,14 @@ struct Args {
     closed_clients: usize,
     closed_ops: u64,
     executors: usize,
+    /// Independent backend instances the keyspace is partitioned over.
+    shards: usize,
+    /// Percent of generated ops that are cross-shard transfers (2PC).
+    cross_pct: u64,
+    /// Percent of generated ops that are wide strided `MultiPut` ingests
+    /// whose write set overflows the TMCAM — each one degrades to the
+    /// SGL and serializes its whole domain (sweep cells only).
+    ingest_pct: u64,
 }
 
 fn parse_args() -> Args {
@@ -79,16 +105,29 @@ fn parse_args() -> Args {
             .map(|s| s.parse().expect("--duration-ms takes an integer"))
             .unwrap_or(if quick { 400 } else { 2_000 }),
     );
+    let shards =
+        val("--shards").map(|s| s.parse().expect("--shards takes an integer")).unwrap_or(1usize);
+    assert!(shards > 0 && KEYS.is_multiple_of(shards as u64), "--shards must divide {KEYS}");
+    let cross_pct = val("--cross-shard-pct")
+        .map(|s| s.parse().expect("--cross-shard-pct takes an integer"))
+        .unwrap_or(0u64);
+    assert!(cross_pct <= 100, "--cross-shard-pct is a percentage");
     Args {
         quick,
         chaos: has("--chaos"),
         assert_service: has("--assert-service"),
+        sweep: has("--sweep"),
         backends,
         rate,
         duration,
         closed_clients: 4,
         closed_ops: if quick { 500 } else { 2_000 },
         executors: if quick { 2 } else { 4 },
+        shards,
+        cross_pct,
+        ingest_pct: val("--ingest-pct")
+            .map(|s| s.parse().expect("--ingest-pct takes an integer"))
+            .unwrap_or(0),
     }
 }
 
@@ -104,23 +143,58 @@ fn next_rand(state: &mut u64) -> u64 {
     x.wrapping_mul(0x2545_F491_4F6C_DD1D)
 }
 
-/// 90 % read-only (80 get / 5 multi-get / 5 scan), 10 % updates.
-fn gen_op(rng: &mut u64) -> KvOp {
-    let key = next_rand(rng) % KEYS;
+/// Keys per shard-range under the bench's range partitioning. Each shard
+/// owns `[s*kps, (s+1)*kps)` and only the first half is populated, so
+/// delete-of-absent-key traffic stays shard-local too.
+fn keys_per_shard(shards: usize) -> u64 {
+    2 * KEYS / shards as u64
+}
+
+/// 90 % read-only (80 get / 5 multi-get / 5 scan), 10 % updates — all
+/// shard-local — except that with probability `cross_pct` % the op is a
+/// cross-shard conserving transfer (a 2PC `MultiAdd` between two distinct
+/// shards). Scans are 32-key-aligned so they never straddle a shard
+/// boundary under the bench's range map.
+fn gen_op(rng: &mut u64, args: &Args) -> KvOp {
+    let (shards, cross_pct) = (args.shards as u64, args.cross_pct);
+    let kps = keys_per_shard(shards as usize);
+    let loaded = kps / 2;
+    if args.ingest_pct > 0 && next_rand(rng) % 1000 < args.ingest_pct * 10 {
+        // Bulk ingest: 64 strided blind writes inside one shard. The
+        // write set overflows the 64-line TMCAM, so the transaction
+        // exhausts its retry budget and falls back to the SGL — which
+        // stalls every RO batch in that shard's *domain*. With one shard
+        // the whole service serializes behind it; with N shards the
+        // blast radius is 1/N of the executors (the scale-out headline).
+        let base = (next_rand(rng) % shards) * kps;
+        let start = next_rand(rng) % loaded;
+        let pairs = (0..64).map(|i| (base + (start + i * 61) % loaded, next_rand(rng))).collect();
+        return KvOp::MultiPut { pairs };
+    }
+    if shards > 1 && next_rand(rng) % 100 < cross_pct {
+        let s1 = next_rand(rng) % shards;
+        let s2 = (s1 + 1 + next_rand(rng) % (shards - 1)) % shards;
+        let k1 = s1 * kps + next_rand(rng) % loaded;
+        let k2 = s2 * kps + next_rand(rng) % loaded;
+        return KvOp::MultiAdd { deltas: vec![(k1, -1), (k2, 1)] };
+    }
+    let base = (next_rand(rng) % shards) * kps;
+    let key = base + next_rand(rng) % loaded;
     match next_rand(rng) % 1000 {
         0..=799 => KvOp::Get { key },
         800..=849 => {
-            let keys = (0..4).map(|i| (key + i * 37) % KEYS).collect();
+            let keys = (0..4).map(|i| base + ((key - base) + i * 37) % loaded).collect();
             KvOp::MultiGet { keys }
         }
         850..=899 => KvOp::ScanPrefix { prefix: key >> 5, shift: 5, limit: 32 },
         900..=949 => KvOp::Put { key, val: next_rand(rng) },
         950..=969 => KvOp::Cas { key, expect: Some(key), new: key },
         970..=989 => {
-            let other = (key + 1 + next_rand(rng) % (KEYS - 1)) % KEYS;
+            let other = base + ((key - base) + 1 + next_rand(rng) % (loaded - 1)) % loaded;
             KvOp::MultiAdd { deltas: vec![(key, -1), (other, 1)] }
         }
-        _ => KvOp::Delete { key: KEYS + next_rand(rng) % KEYS }, // mostly absent keys
+        // Mostly-absent keys: the unpopulated upper half of the shard.
+        _ => KvOp::Delete { key: base + loaded + next_rand(rng) % loaded },
     }
 }
 
@@ -131,42 +205,52 @@ struct ModeOut {
     submitted: u64,
     rejected: u64,
     wall: Duration,
+    /// Effective open-loop arrival tick, µs (0 for non-paced modes).
+    tick_us: u64,
 }
 
 fn pipeline_cfg(args: &Args) -> PipelineConfig {
     PipelineConfig {
         executors: args.executors,
+        multi_key_max: if args.ingest_pct > 0 { 64 } else { PipelineConfig::new().multi_key_max },
         backoff: if args.chaos { BackoffPolicy::exponential() } else { BackoffPolicy::none() },
         idle_jitter_ns: if args.chaos { 500 } else { 0 },
         ..PipelineConfig::new()
     }
 }
 
-fn build_store<B: TmBackend>(backend: &B, words: u64) -> KvStore {
-    KvStore::create_with(backend.memory(), 0, words, (0..KEYS).map(|k| (k, k)))
-}
-
 fn memory_words() -> usize {
     btree::memory_words(KEYS * 8)
 }
 
+fn shard_map(args: &Args) -> ShardMap {
+    ShardMap::range(args.shards, keys_per_shard(args.shards))
+}
+
+/// Populated entries: the first half of every shard's key range, value =
+/// key (so CAS with `expect = Some(key)` succeeds until a Put mutates).
+fn entries(shards: usize) -> impl Iterator<Item = (u64, u64)> + Clone {
+    let kps = keys_per_shard(shards);
+    (0..shards as u64).flat_map(move |s| s * kps..s * kps + kps / 2).map(|k| (k, k))
+}
+
 /// Open loop: submissions arrive on the clock, never waiting for replies.
-fn open_loop<B: TmBackend>(backend: B, args: &Args) -> ModeOut {
-    let words = memory_words();
-    let store = build_store(&backend, words as u64);
-    let pipeline = Pipeline::start(backend, store, pipeline_cfg(args));
-    let tick = Duration::from_millis(1);
-    let per_tick = (args.rate / 1000).max(1);
+/// Pacing is per-arrival with a tick of `max(1/rate, 200 µs)` — fine
+/// enough that arrival quantization no longer dominates e2e p90 (the old
+/// 1 ms tick put ~1.3 ms of pure batching noise on every percentile).
+fn open_loop<B: TmBackend>(pipeline: Pipeline<B>, args: &Args) -> ModeOut {
+    let interval_ns = (1_000_000_000u64 / args.rate.max(1)).max(1);
+    let tick_ns = interval_ns.max(200_000);
+    let per_tick = (tick_ns / interval_ns).max(1);
+    let tick = Duration::from_nanos(tick_ns);
     let t0 = Instant::now();
     let (mut submitted, mut rejected) = (0u64, 0u64);
     let client = pipeline.client();
-    let mut rng = 0x0B16_5EED ^ args.rate;
+    let mut rng = 0x0B16_5EED ^ args.rate ^ ((args.shards as u64) << 32);
     let mut tick_no = 0u32;
     while t0.elapsed() < args.duration {
-        // Burst this tick's arrivals, then sleep to the next tick edge:
-        // a fixed-rate arrival process with 1 ms granularity.
         for _ in 0..per_tick {
-            match client.submit(gen_op(&mut rng)) {
+            match client.submit(gen_op(&mut rng, args)) {
                 Ok(pending) => {
                     drop(pending); // fire and forget: latency recorded at reply
                     submitted += 1;
@@ -183,14 +267,11 @@ fn open_loop<B: TmBackend>(backend: B, args: &Args) -> ModeOut {
         }
     }
     let report = pipeline.shutdown();
-    ModeOut { report, submitted, rejected, wall: t0.elapsed() }
+    ModeOut { report, submitted, rejected, wall: t0.elapsed(), tick_us: tick_ns / 1000 }
 }
 
 /// Closed loop: blocking clients, one outstanding request each.
-fn closed_loop<B: TmBackend>(backend: B, args: &Args) -> ModeOut {
-    let words = memory_words();
-    let store = build_store(&backend, words as u64);
-    let pipeline = Pipeline::start(backend, store, pipeline_cfg(args));
+fn closed_loop<B: TmBackend>(pipeline: Pipeline<B>, args: &Args) -> ModeOut {
     let t0 = Instant::now();
     let mut submitted = 0u64;
     std::thread::scope(|s| {
@@ -202,7 +283,7 @@ fn closed_loop<B: TmBackend>(backend: B, args: &Args) -> ModeOut {
                     let mut rng = 0xC105ED ^ (c as u64 + 1);
                     let mut done = 0u64;
                     while done < ops {
-                        match client.call(gen_op(&mut rng)) {
+                        match client.call(gen_op(&mut rng, args)) {
                             Ok(_) => done += 1,
                             Err(KvError::Overloaded) => std::thread::yield_now(),
                             Err(e) => panic!("closed-loop call failed: {e}"),
@@ -217,24 +298,20 @@ fn closed_loop<B: TmBackend>(backend: B, args: &Args) -> ModeOut {
         }
     });
     let report = pipeline.shutdown();
-    ModeOut { report, submitted, rejected: 0, wall: t0.elapsed() }
+    ModeOut { report, submitted, rejected: 0, wall: t0.elapsed(), tick_us: 0 }
 }
 
 /// Overload: full-speed flood against a tiny queue on one executor. The
 /// point is the *admission* behavior, not throughput.
-fn overload<B: TmBackend>(backend: B, args: &Args) -> ModeOut {
-    let words = memory_words();
-    let store = build_store(&backend, words as u64);
-    let cfg =
-        PipelineConfig { executors: 1, ro_queue_cap: 64, rw_queue_cap: 64, ..pipeline_cfg(args) };
-    let pipeline = Pipeline::start(backend, store, cfg);
+fn overload<B: TmBackend>(pipeline: Pipeline<B>, args: &Args) -> ModeOut {
     let client = pipeline.client();
     let t0 = Instant::now();
     let (mut submitted, mut rejected) = (0u64, 0u64);
     let mut rng = 0x0E_410AD;
     let floods = if args.quick { 50_000 } else { 200_000 };
+    let cap = 64 * args.shards + 64; // per-queue bound × shard queues + xqueue
     for i in 0..floods {
-        match client.submit(gen_op(&mut rng)) {
+        match client.submit(gen_op(&mut rng, args)) {
             Ok(p) => {
                 drop(p);
                 submitted += 1;
@@ -244,11 +321,11 @@ fn overload<B: TmBackend>(backend: B, args: &Args) -> ModeOut {
         }
         if i % 1024 == 0 {
             let (ro, rw) = client.queue_depths();
-            assert!(ro <= 64 && rw <= 64, "queue depth exceeded its cap: ro={ro} rw={rw}");
+            assert!(ro <= cap && rw <= cap, "queue depth exceeded its cap: ro={ro} rw={rw}");
         }
     }
     let report = pipeline.shutdown();
-    ModeOut { report, submitted, rejected, wall: t0.elapsed() }
+    ModeOut { report, submitted, rejected, wall: t0.elapsed(), tick_us: 0 }
 }
 
 // -------------------------------------------------- dispatch + checking
@@ -257,31 +334,43 @@ fn run_mode(backend: Backend, mode: &str, args: &Args) -> ModeOut {
     let words = memory_words();
     let backoff = if args.chaos { BackoffPolicy::exponential() } else { BackoffPolicy::default() };
     macro_rules! dispatch {
-        ($b:expr) => {
+        ($mk:expr) => {{
+            let cfg = match mode {
+                "overload" => PipelineConfig {
+                    executors: 1,
+                    ro_queue_cap: 64,
+                    rw_queue_cap: 64,
+                    ..pipeline_cfg(args)
+                },
+                _ => pipeline_cfg(args),
+            };
+            let map = shard_map(args);
+            let domains = build_domains(&map, $mk, 0, words as u64, entries(args.shards));
+            let pipeline = Pipeline::start_sharded(domains, map, cfg);
             match mode {
-                "open" => open_loop($b, args),
-                "closed" => closed_loop($b, args),
-                "overload" => overload($b, args),
+                "open" | "sweep" => open_loop(pipeline, args),
+                "closed" => closed_loop(pipeline, args),
+                "overload" => overload(pipeline, args),
                 _ => unreachable!(),
             }
-        };
+        }};
     }
     match backend {
         Backend::Htm => {
             let cfg = htm_sgl::HtmSglConfig { backoff, ..Default::default() };
-            dispatch!(htm_sgl::HtmSgl::new(HtmConfig::default(), words, cfg))
+            dispatch!(|_s| htm_sgl::HtmSgl::new(HtmConfig::default(), words, cfg.clone()))
         }
         Backend::SiHtm => {
             let cfg = si_htm::SiHtmConfig { backoff, ..Default::default() };
-            dispatch!(si_htm::SiHtm::new(HtmConfig::default(), words, cfg))
+            dispatch!(|_s| si_htm::SiHtm::new(HtmConfig::default(), words, cfg.clone()))
         }
         Backend::P8tm => {
             let cfg = p8tm::P8tmConfig { backoff, ..Default::default() };
-            dispatch!(p8tm::P8tm::new(HtmConfig::default(), words, cfg))
+            dispatch!(|_s| p8tm::P8tm::new(HtmConfig::default(), words, cfg.clone()))
         }
         Backend::Silo => {
             let cfg = silo::SiloConfig { backoff, ..Default::default() };
-            dispatch!(silo::Silo::with_config(words, cfg))
+            dispatch!(|_s| silo::Silo::with_config(words, cfg.clone()))
         }
     }
 }
@@ -289,7 +378,7 @@ fn run_mode(backend: Backend, mode: &str, args: &Args) -> ModeOut {
 /// Run one (backend, mode) cell on a watched thread: a hang past the
 /// deadline is a failure with an artifact, not a wedged process.
 fn monitored(backend: Backend, mode: &'static str, args: &Args) -> Result<ModeOut, String> {
-    let deadline = args.duration * 3 + Duration::from_secs(30);
+    let deadline = args.duration * 3 + Duration::from_secs(60);
     let worker = {
         let args = args.clone();
         std::thread::spawn(move || run_mode(backend, mode, &args))
@@ -321,13 +410,17 @@ fn fail(backend: Backend, mode: &str, detail: &str, out: Option<&ModeOut>) -> ! 
         let _ = write!(
             body,
             ", \"replies\": {}, \"shed\": {}, \"overloaded\": {}, \"ro_batches\": {}, \
-             \"ro_batch_aborts\": {}, \"starved_executors\": {}",
+             \"ro_batch_aborts\": {}, \"starved_executors\": {}, \"shards\": {}, \
+             \"twopc_prepares\": {}, \"twopc_aborts\": {}",
             o.report.replies,
             o.report.shed,
             o.report.overloaded,
             o.report.ro_batches,
             o.report.ro_batch_aborts,
             o.report.starved_executors,
+            o.report.shards,
+            o.report.twopc.prepares,
+            o.report.twopc.aborts,
         );
     }
     body.push_str("}\n");
@@ -346,9 +439,21 @@ fn check(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> Result<(),
     if r.replies == 0 {
         return Err("no requests served".into());
     }
+    // Cross-shard invariants hold in every mode that generates 2PC work.
+    if args.shards > 1 && args.cross_pct > 0 && mode != "overload" {
+        if r.twopc.prepares == 0 {
+            return Err("cross-shard mix requested but no 2PC transaction ran".into());
+        }
+        if !args.chaos && r.twopc.aborts != 0 {
+            return Err(format!(
+                "{} 2PC aborts without chaos (compensation must never trigger)",
+                r.twopc.aborts
+            ));
+        }
+    }
     match mode {
-        "open" => {
-            if r.starved_executors != 0 {
+        "open" | "sweep" => {
+            if r.starved_executors != 0 && args.shards < args.executors {
                 return Err(format!(
                     "{} starved executors under open-loop load",
                     r.starved_executors
@@ -362,11 +467,26 @@ fn check(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> Result<(),
             if !args.chaos && r.mean_ro_batch() <= 1.0 {
                 return Err(format!("RO batching never engaged (mean {:.2})", r.mean_ro_batch()));
             }
-            if backend == Backend::SiHtm && r.ro_batch_aborts != 0 {
-                return Err(format!(
-                    "SI-HTM RO fast path aborted {} times (must be 0)",
-                    r.ro_batch_aborts
-                ));
+            // Backend-appropriate RO-abort expectations (see the
+            // BENCH_TXKV schema notes): SI-HTM's RO fast path never
+            // aborts; P8TM's RO path must at least be *taken* (it can
+            // abort and retry); HTM/Silo run RO work as ordinary
+            // transactions, so aborts are legal and merely reported.
+            match backend {
+                Backend::SiHtm => {
+                    if r.ro_batch_aborts != 0 {
+                        return Err(format!(
+                            "SI-HTM RO fast path aborted {} times (must be 0)",
+                            r.ro_batch_aborts
+                        ));
+                    }
+                }
+                Backend::P8tm => {
+                    if r.backend_stats.ro_commits == 0 {
+                        return Err("P8TM served RO batches without its RO path".into());
+                    }
+                }
+                Backend::Htm | Backend::Silo => {}
             }
         }
         "overload" if out.rejected == 0 => {
@@ -378,6 +498,14 @@ fn check(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> Result<(),
 }
 
 // ------------------------------------------------------------- reporting
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn ro_replies(r: &ServiceReport) -> u64 {
+    r.class.iter().filter(|cl| cl.class.read_only()).map(|cl| cl.count()).sum()
+}
 
 fn row_json(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> String {
     let r = &out.report;
@@ -404,16 +532,24 @@ fn row_json(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> String 
     classes.push('}');
     format!(
         "{{\"backend\": \"{}\", \"mode\": \"{mode}\", \"rate\": {}, \"duration_ms\": {}, \
-         \"executors\": {}, \"chaos\": {}, \"submitted\": {}, \"rejected\": {}, \
+         \"executors\": {}, \"shards\": {}, \"cross_shard_pct\": {}, \"tick_us\": {}, \"host_cpus\": {}, \
+         \"chaos\": {}, \"submitted\": {}, \"rejected\": {}, \
          \"replies\": {}, \"shed\": {}, \"overloaded\": {}, \"replies_per_sec\": {:.0}, \
+         \"ro_replies_per_sec\": {:.0}, \
          \"ro_batches\": {}, \"ro_batch_ops\": {}, \"mean_ro_batch\": {:.2}, \
          \"max_ro_batch\": {}, \"ro_batch_aborts\": {}, \"starved_executors\": {}, \
          \"executor_backoffs\": {}, \"commits\": {}, \"ro_commits\": {}, \"sgl_commits\": {}, \
-         \"aborts\": {}, \"user_aborts\": {}, \"classes\": {classes}}}",
+         \"aborts\": {}, \"user_aborts\": {}, \"quiesce_waits\": {}, \
+         \"twopc_prepares\": {}, \"twopc_aborts\": {}, \"twopc_escalations\": {}, \
+         \"twopc_ro_multi\": {}, \"classes\": {classes}}}",
         backend.name(),
-        if mode == "open" { args.rate } else { 0 },
+        if mode == "open" || mode == "sweep" { args.rate } else { 0 },
         out.wall.as_millis(),
         r.executors,
+        r.shards,
+        args.cross_pct,
+        out.tick_us,
+        host_cpus(),
         args.chaos,
         out.submitted,
         out.rejected,
@@ -421,6 +557,7 @@ fn row_json(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> String 
         r.shed,
         r.overloaded,
         r.replies as f64 / out.wall.as_secs_f64(),
+        ro_replies(r) as f64 / out.wall.as_secs_f64(),
         r.ro_batches,
         r.ro_batch_ops,
         r.mean_ro_batch(),
@@ -433,7 +570,101 @@ fn row_json(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> String 
         s.sgl_commits,
         s.aborts(),
         s.user_aborts,
+        s.quiesce_waits,
+        r.twopc.prepares,
+        r.twopc.aborts,
+        r.twopc.escalations,
+        r.twopc.ro_multi,
     )
+}
+
+fn print_cell(backend: Backend, mode: &str, args: &Args, out: &ModeOut) {
+    let r = &out.report;
+    println!(
+        "{:>6} {:>8} (shards {}, cross {:>2}%): {:>8} replies ({:>9.0}/s, RO {:>9.0}/s), \
+         shed {}, overloaded {}, RO batches {} (mean {:.1}, max {}, aborts {}), \
+         2PC {}p/{}a/{}e, starved {}",
+        backend.name(),
+        mode,
+        r.shards,
+        args.cross_pct,
+        r.replies,
+        r.replies as f64 / out.wall.as_secs_f64(),
+        ro_replies(r) as f64 / out.wall.as_secs_f64(),
+        r.shed,
+        r.overloaded,
+        r.ro_batches,
+        r.mean_ro_batch(),
+        r.max_ro_batch,
+        r.ro_batch_aborts,
+        r.twopc.prepares,
+        r.twopc.aborts,
+        r.twopc.escalations,
+        r.starved_executors,
+    );
+    for cl in &r.class {
+        if cl.count() == 0 {
+            continue;
+        }
+        let (p50, _, p99, p999) = cl.e2e.percentiles();
+        println!(
+            "         {:<9} n={:<8} e2e p50/p99/p999 = {}/{}/{} ns",
+            cl.class.name(),
+            cl.count(),
+            p50,
+            p99,
+            p999
+        );
+    }
+}
+
+fn run_cell(backend: Backend, mode: &'static str, args: &Args, rows: &mut Vec<String>) -> ModeOut {
+    match monitored(backend, mode, args) {
+        Ok(out) => {
+            print_cell(backend, mode, args, &out);
+            if args.assert_service {
+                if let Err(detail) = check(backend, mode, &out, args) {
+                    fail(backend, mode, &detail, Some(&out));
+                }
+            }
+            rows.push(row_json(backend, mode, &out, args));
+            out
+        }
+        Err(detail) => fail(backend, mode, &detail, None),
+    }
+}
+
+/// The scale-out grid: SI-HTM at a saturating arrival rate, shards ×
+/// cross-shard mix. Returns `(shards, cross_pct, ro_replies_per_sec)`
+/// per cell for the scaling assertion.
+fn run_sweep(args: &Args, rows: &mut Vec<String>) -> Vec<(usize, u64, f64)> {
+    let shard_counts: &[usize] = if args.quick { &[1, 4] } else { &[1, 2, 4] };
+    let mixes: &[u64] = if args.quick { &[0, 10] } else { &[0, 1, 10] };
+    let mut cells = Vec::new();
+    for &shards in shard_counts {
+        for &cross in mixes {
+            if shards == 1 && cross > 0 {
+                continue; // no cross-shard work exists with one shard
+            }
+            let cell_args = Args {
+                shards,
+                cross_pct: cross,
+                rate: if args.quick { 400_000 } else { 600_000 },
+                duration: if args.quick {
+                    Duration::from_millis(500)
+                } else {
+                    Duration::from_millis(1_500)
+                },
+                executors: 16,
+                sweep: true,
+                ..args.clone()
+            };
+            let out = run_cell(Backend::SiHtm, "sweep", &cell_args, rows);
+            let ro_rate = ro_replies(&out.report) as f64 / out.wall.as_secs_f64();
+            cells.push((shards, cross, ro_rate));
+        }
+    }
+    cells
 }
 
 fn main() {
@@ -454,46 +685,44 @@ fn main() {
     let mut rows = Vec::new();
     for &backend in &args.backends {
         for &mode in modes {
-            match monitored(backend, mode, &args) {
-                Ok(out) => {
-                    let r = &out.report;
-                    println!(
-                        "{:>6} {:>8}: {:>8} replies ({:>9.0}/s), shed {}, overloaded {}, \
-                         RO batches {} (mean {:.1}, max {}, aborts {}), starved {}",
-                        backend.name(),
-                        mode,
-                        r.replies,
-                        r.replies as f64 / out.wall.as_secs_f64(),
-                        r.shed,
-                        r.overloaded,
-                        r.ro_batches,
-                        r.mean_ro_batch(),
-                        r.max_ro_batch,
-                        r.ro_batch_aborts,
-                        r.starved_executors,
+            run_cell(backend, mode, &args, &mut rows);
+        }
+    }
+    if args.sweep {
+        let cells = run_sweep(&args, &mut rows);
+        let base = cells.iter().find(|&&(s, c, _)| s == 1 && c == 0).map(|&(_, _, r)| r);
+        let four = cells.iter().find(|&&(s, c, _)| s == 4 && c == 0).map(|&(_, _, r)| r);
+        if let (Some(base), Some(four)) = (base, four) {
+            let ratio = four / base.max(1.0);
+            let cpus = host_cpus();
+            println!("sweep: RO scaling 1→4 shards = {ratio:.2}× ({cpus} host cpus)");
+            // The scale-out claim needs hardware that can express it: with
+            // 4 shards' executors folded onto fewer than 4 cores, the OS
+            // time-slices the domains and wall-clock speedup is bounded at
+            // 1× regardless of how much coordination sharding removed (the
+            // isolation still shows in the per-shard quiesce counters).
+            // Assert the ratio only where it is measurable; everywhere,
+            // assert sharding does not *regress* throughput.
+            if args.assert_service {
+                if cpus >= 4 && ratio < 2.5 {
+                    fail(
+                        Backend::SiHtm,
+                        "sweep",
+                        &format!(
+                            "4-shard RO throughput only {ratio:.2}× the 1-shard figure \
+                             (< 2.5× on a {cpus}-cpu host)"
+                        ),
+                        None,
                     );
-                    for cl in &r.class {
-                        if cl.count() == 0 {
-                            continue;
-                        }
-                        let (p50, _, p99, p999) = cl.e2e.percentiles();
-                        println!(
-                            "         {:<9} n={:<8} e2e p50/p99/p999 = {}/{}/{} ns",
-                            cl.class.name(),
-                            cl.count(),
-                            p50,
-                            p99,
-                            p999
-                        );
-                    }
-                    if args.assert_service {
-                        if let Err(detail) = check(backend, mode, &out, &args) {
-                            fail(backend, mode, &detail, Some(&out));
-                        }
-                    }
-                    rows.push(row_json(backend, mode, &out, &args));
                 }
-                Err(detail) => fail(backend, mode, &detail, None),
+                if ratio < 0.7 {
+                    fail(
+                        Backend::SiHtm,
+                        "sweep",
+                        &format!("sharding regressed RO throughput to {ratio:.2}× (< 0.7×)"),
+                        None,
+                    );
+                }
             }
         }
     }

@@ -39,7 +39,24 @@ pub const BENCH_1: Artifact = Artifact { name: "bench_directory_ablation", versi
 pub const CHAOS_SOAK: Artifact = Artifact { name: "chaos_soak", version: 1 };
 
 /// `BENCH_TXKV.json` — txkv service-layer bench (per-op-class SLOs).
-pub const BENCH_TXKV: Artifact = Artifact { name: "bench_txkv", version: 1 };
+///
+/// v2 added sharding: `shards`, `cross_shard_pct`, `tick_us` (the
+/// effective open-loop arrival tick — e2e percentiles are only
+/// meaningful down to this quantum), `ro_replies_per_sec`,
+/// `quiesce_waits`, and the `twopc_*` counters (cross-shard two-phase
+/// commit prepares / aborts / escalations / multi-shard reads).
+///
+/// Reading `ro_batch_aborts` is backend-specific by design:
+///
+/// | backend | expectation                                             |
+/// |---------|---------------------------------------------------------|
+/// | SI-HTM  | **must be 0** — the RO fast path never aborts (§3.3)    |
+/// | P8TM    | may abort; `ro_commits > 0` shows the RO path was taken |
+/// | HTM+SGL | RO batches are ordinary transactions; aborts are normal |
+/// | Silo    | OCC validation may fail and retry; aborts are normal    |
+///
+/// `txkv_bench --assert-service` enforces exactly these expectations.
+pub const BENCH_TXKV: Artifact = Artifact { name: "bench_txkv", version: 2 };
 
 impl Artifact {
     /// Wrap a JSON array of rows in the versioned envelope.

@@ -292,6 +292,10 @@ impl TmThread for HtmSglThread {
         }
     }
 
+    fn exec_escalated(&mut self, body: TxBody<'_>) -> Outcome {
+        self.exec_sgl(body)
+    }
+
     fn stats(&self) -> &ThreadStats {
         &self.stats
     }

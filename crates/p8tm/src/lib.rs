@@ -449,6 +449,10 @@ impl TmThread for P8tmThread {
         }
     }
 
+    fn exec_escalated(&mut self, body: TxBody<'_>) -> Outcome {
+        self.exec_sgl(body)
+    }
+
     fn stats(&self) -> &ThreadStats {
         &self.stats
     }

@@ -376,6 +376,10 @@ impl TmThread for SiHtmThread {
         }
     }
 
+    fn exec_escalated(&mut self, body: TxBody<'_>) -> Outcome {
+        self.exec_sgl(body)
+    }
+
     fn stats(&self) -> &ThreadStats {
         &self.stats
     }

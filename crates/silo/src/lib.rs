@@ -70,6 +70,11 @@ struct Inner {
     /// One TID word per cache line: `(version << 1) | lock`.
     tids: Box<[AtomicU64]>,
     config: SiloConfig,
+    /// Per-instance registration counter seeding each thread's contention
+    /// manager. Instance-local (not a process-global) so that sharded
+    /// deployments running many Silo instances side by side get the same
+    /// seed sequence per instance regardless of construction order.
+    cm_seq: AtomicU64,
 }
 
 impl Inner {
@@ -93,7 +98,14 @@ impl Silo {
         let lines = memory.lines();
         let mut tids = Vec::with_capacity(lines);
         tids.resize_with(lines, || AtomicU64::new(0));
-        Silo { inner: Arc::new(Inner { memory, tids: tids.into_boxed_slice(), config }) }
+        Silo {
+            inner: Arc::new(Inner {
+                memory,
+                tids: tids.into_boxed_slice(),
+                config,
+                cm_seq: AtomicU64::new(0),
+            }),
+        }
     }
 
     /// Alias matching the other backends' constructors.
@@ -110,10 +122,9 @@ impl TmBackend for Silo {
     }
 
     fn register_thread(&self) -> SiloThread {
-        static SEQ: AtomicU64 = AtomicU64::new(0);
         let cm = ContentionManager::new(
             self.inner.config.backoff,
-            0x5170 ^ SEQ.fetch_add(1, Ordering::Relaxed),
+            0x5170 ^ self.inner.cm_seq.fetch_add(1, Ordering::Relaxed),
         );
         SiloThread {
             inner: Arc::clone(&self.inner),

@@ -27,7 +27,7 @@ pub mod stats;
 
 pub use hist::LatencyHist;
 pub use policy::{BackoffPolicy, ContentionManager, RetryPolicy, Watchdog};
-pub use stats::ThreadStats;
+pub use stats::{ThreadStats, TwoPcStats};
 
 pub use htm_sim::AbortReason;
 use txmem::{Addr, TxMemory};
@@ -98,6 +98,21 @@ pub trait TmThread: Send {
 
     /// Drain the statistics (used between warm-up and measurement).
     fn reset_stats(&mut self);
+
+    /// Execute one update transaction directly on the backend's serialized
+    /// fall-back path, skipping the optimistic attempts entirely.
+    ///
+    /// Used by cross-shard two-phase commit: once one participant shard has
+    /// escalated to its single-global-lock path, running the remaining
+    /// participants optimistically only risks further aborts mid-protocol,
+    /// so the coordinator pins them all to the serialized path. Backends
+    /// with an SGL (SI-HTM, HTM+SGL, P8TM) override this to acquire the
+    /// lock immediately; software backends with no lock path (Silo) fall
+    /// back to a normal update execution, which is already abort-free from
+    /// the caller's perspective ([`TmThread::exec`] retries internally).
+    fn exec_escalated(&mut self, body: TxBody<'_>) -> Outcome {
+        self.exec(TxKind::Update, body)
+    }
 }
 
 /// A constructed concurrency-control instance.

@@ -122,6 +122,32 @@ impl AddAssign<&ThreadStats> for ThreadStats {
     }
 }
 
+/// Cross-shard two-phase-commit accounting (one record per coordinator;
+/// sum over executors for the service total). Tracked service-side — the
+/// backends never see the protocol, only its per-shard transactions.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TwoPcStats {
+    /// Prepare phases entered (one per cross-shard read-write transaction).
+    pub prepares: u64,
+    /// Transactions whose apply phase unwound; compensating undo restored
+    /// every already-applied participant, so nothing partial survived.
+    pub aborts: u64,
+    /// Apply phases that pinned their remaining participants to the
+    /// serialized fall-back path after one participant escalated.
+    pub escalations: u64,
+    /// Cross-shard read-only transactions (multi-shard `MultiGet`/scan).
+    pub ro_multi: u64,
+}
+
+impl AddAssign<&TwoPcStats> for TwoPcStats {
+    fn add_assign(&mut self, rhs: &TwoPcStats) {
+        self.prepares += rhs.prepares;
+        self.aborts += rhs.aborts;
+        self.escalations += rhs.escalations;
+        self.ro_multi += rhs.ro_multi;
+    }
+}
+
 /// Sum per-thread statistics into a run total.
 pub fn aggregate<'a>(parts: impl IntoIterator<Item = &'a ThreadStats>) -> ThreadStats {
     let mut total = ThreadStats::default();

@@ -1,10 +1,11 @@
 //! tm-check CLI: bounded schedule-exploration sweeps for CI and soak runs.
 //!
 //! ```text
-//! tm-check [--backend htm|si-htm|p8tm|silo|all] [--workload counter|bank|btree|txkv|all]
+//! tm-check [--backend htm|si-htm|p8tm|silo|all]
+//!          [--workload counter|bank|btree|txkv|xshard|all]
 //!          [--threads N] [--txns N] [--seeds N] [--seed-start N] [--max-steps N]
 //!          [--fault-access PER_MILLE] [--fault-commit PER_MILLE]
-//!          [--break-si] [--expect-violation] [--out FILE]
+//!          [--break-si] [--break-2pc] [--expect-violation] [--out FILE]
 //! ```
 //!
 //! Exit codes: 0 = clean (or, with `--expect-violation`, a violation was
@@ -23,6 +24,7 @@ struct Args {
     max_steps: u64,
     faults: FaultPlan,
     break_si: bool,
+    break_2pc: bool,
     expect_violation: bool,
     out: String,
 }
@@ -39,6 +41,7 @@ impl Default for Args {
             max_steps: 500_000,
             faults: FaultPlan::default(),
             break_si: false,
+            break_2pc: false,
             expect_violation: false,
             out: "tm-check-failure.txt".to_string(),
         }
@@ -53,7 +56,8 @@ USAGE:
 
 OPTIONS:
     --backend KIND      htm | si-htm | p8tm | silo | all        [default: si-htm]
-    --workload KIND     counter | bank | btree | txkv | all     [default: bank]
+    --workload KIND     counter | bank | btree | txkv | xshard | all
+                                                                [default: bank]
     --threads N         virtual threads per run                 [default: 3]
     --txns N            transactions per thread                 [default: 8]
     --seeds N           seeds per (backend, workload) combo     [default: 100]
@@ -62,6 +66,7 @@ OPTIONS:
     --fault-access N    forced-abort probability at accesses, per mille
     --fault-commit N    forced-abort probability at commit, per mille
     --break-si          disable SI-HTM's quiescence wait (seeded bug)
+    --break-2pc         crash the xshard 2PC coordinator mid-apply (seeded bug)
     --expect-violation  exit 0 iff a violation IS found (CI negative test)
     --out FILE          write the shrunk failing schedule here
                         [default: tm-check-failure.txt]
@@ -92,6 +97,7 @@ fn parse_args() -> Result<Args, String> {
                     "bank" => vec![WorkloadKind::Bank],
                     "btree" => vec![WorkloadKind::Btree],
                     "txkv" => vec![WorkloadKind::Txkv],
+                    "xshard" => vec![WorkloadKind::XShard],
                     "all" => WorkloadKind::ALL.to_vec(),
                     other => return Err(format!("unknown workload '{other}'")),
                 };
@@ -108,6 +114,7 @@ fn parse_args() -> Result<Args, String> {
                 args.faults.commit_abort_per_mille = num(&value("--fault-commit")?)? as u32
             }
             "--break-si" => args.break_si = true,
+            "--break-2pc" => args.break_2pc = true,
             "--expect-violation" => args.expect_violation = true,
             "--out" => args.out = value("--out")?,
             "--help" | "-h" => {
@@ -146,6 +153,7 @@ fn main() -> ExitCode {
                 max_steps: args.max_steps,
                 faults: args.faults,
                 break_si: args.break_si,
+                break_2pc: args.break_2pc,
             };
             let range = args.seed_start..args.seed_start + args.seeds;
             match tm_check::check_seeds(&cfg, range) {

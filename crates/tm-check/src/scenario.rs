@@ -18,7 +18,8 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tm_api::{TmBackend, TmThread, TxKind};
-use txkv::{KvStore, PushError, SubmitQueue};
+use txkv::shard::{apply_part, group_adds, prepare_part, ShardPart};
+use txkv::{KvStore, PushError, ShardMap, SubmitQueue, XLock};
 use txmem::hooks::{self, Event};
 use txmem::{round_up_to_line, Addr, LineAlloc, TxMemory, WORDS_PER_LINE};
 use workloads::bank::Bank;
@@ -73,11 +74,24 @@ pub enum WorkloadKind {
     /// balances conserved, and every committed audit batch observed the
     /// conserved total.
     Txkv,
+    /// Cross-shard 2PC: TWO independent backend instances (one per
+    /// shard, globally disjoint address ranges); threads mix shard-local
+    /// transfers, cross-shard transfers run as two-phase commit over
+    /// per-shard transactions (the txkv sharding protocol), and global
+    /// audits under both coordination locks. Invariants: no audit
+    /// observes a half-applied cross-shard transfer, and the global
+    /// balance is conserved.
+    XShard,
 }
 
 impl WorkloadKind {
-    pub const ALL: [WorkloadKind; 4] =
-        [WorkloadKind::Counter, WorkloadKind::Bank, WorkloadKind::Btree, WorkloadKind::Txkv];
+    pub const ALL: [WorkloadKind; 5] = [
+        WorkloadKind::Counter,
+        WorkloadKind::Bank,
+        WorkloadKind::Btree,
+        WorkloadKind::Txkv,
+        WorkloadKind::XShard,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -85,6 +99,7 @@ impl WorkloadKind {
             WorkloadKind::Bank => "bank",
             WorkloadKind::Btree => "btree",
             WorkloadKind::Txkv => "txkv",
+            WorkloadKind::XShard => "xshard",
         }
     }
 }
@@ -103,6 +118,11 @@ pub struct CheckConfig {
     /// Seeded bug: disable SI-HTM's pre-commit quiescence ("the safety
     /// wait"), which tm-check must expose as an SI violation.
     pub break_si: bool,
+    /// Seeded bug: the xshard coordinator "crashes" between its two
+    /// participant applies — the second apply never runs and no
+    /// compensation fires. tm-check must catch the half-applied
+    /// transfer (torn audit or broken conservation).
+    pub break_2pc: bool,
 }
 
 impl Default for CheckConfig {
@@ -115,6 +135,7 @@ impl Default for CheckConfig {
             max_steps: 500_000,
             faults: FaultPlan::default(),
             break_si: false,
+            break_2pc: false,
         }
     }
 }
@@ -215,6 +236,7 @@ pub fn build(cfg: &CheckConfig, seed: u64) -> Scenario {
         WorkloadKind::Bank => build_bank(cfg, seed),
         WorkloadKind::Btree => build_btree(cfg, seed),
         WorkloadKind::Txkv => build_txkv(cfg, seed),
+        WorkloadKind::XShard => build_xshard(cfg, seed),
     }
 }
 
@@ -612,6 +634,184 @@ fn build_txkv(cfg: &CheckConfig, seed: u64) -> Scenario {
             }
             (total != expected_total)
                 .then(|| format!("balances not conserved: {total} != {expected_total}"))
+        }),
+    }
+}
+
+/// Accounts per shard in the xshard scenario (shard 0 owns keys
+/// `[0, XKV_PER_SHARD)`, shard 1 owns `[XKV_PER_SHARD, 2*XKV_PER_SHARD)`).
+const XKV_PER_SHARD: u64 = 4;
+
+/// Cross-shard 2PC scenario: two *independent* backend instances, one per
+/// shard, each with its own memory, conflict directory, and quiescence
+/// domain — the scale-out shape `txkv::Pipeline::start_sharded` deploys.
+///
+/// Both memories are sized `2*span` words but shard `s`'s store arena
+/// occupies only `[s*span, (s+1)*span)`, so every *data* address is
+/// globally unique: the two backends' events interleave into one
+/// well-formed history and the SI / serializability oracles never see
+/// shard 0's writes aliasing shard 1's. Equal sizing matters for the
+/// synthetic addresses too — a backend's lock-subscription reads target
+/// `memory_size` (one past the end), so with equal sizes every synthetic
+/// address lands at `>= 2*span`, outside the watched range, exactly as
+/// in the single-backend scenarios. Each per-shard transaction of a
+/// cross-shard 2PC is an
+/// individually valid transaction on its own backend, so the oracles
+/// hold without modification; *cross-shard atomicity* is checked by the
+/// workload invariants (locked global audits + end-of-run conservation),
+/// which is exactly the property the 2PC protocol — not any backend —
+/// must provide.
+///
+/// With `cfg.break_2pc` the coordinator "crashes" between its two
+/// participant applies (no second apply, no compensation), and the
+/// checker must flag the half-applied transfer.
+fn build_xshard(cfg: &CheckConfig, seed: u64) -> Scenario {
+    let span = round_up_to_line(workloads::btree::memory_words(64) as u64);
+    let shard0 = make_backend(cfg, 2 * span as usize);
+    let shard1 = make_backend(cfg, 2 * span as usize);
+    let map = ShardMap::range(2, XKV_PER_SHARD);
+    let store0 =
+        KvStore::create_with(shard0.memory(), 0, span, (0..XKV_PER_SHARD).map(|k| (k, KV_INITIAL)));
+    let store1 = KvStore::create_with(
+        shard1.memory(),
+        span,
+        span,
+        (XKV_PER_SHARD..2 * XKV_PER_SHARD).map(|k| (k, KV_INITIAL)),
+    );
+    let watched = 0..2 * span;
+    let mut init = snapshot_init(shard0.memory(), &(0..span));
+    init.extend(snapshot_init(shard1.memory(), &(span..2 * span)));
+    let expected_total = 2 * XKV_PER_SHARD * KV_INITIAL;
+    let xlocks = Arc::new([XLock::new(), XLock::new()]);
+    let broken_audits = Arc::new(AtomicU64::new(0));
+    let break_2pc = cfg.break_2pc;
+
+    let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    for tid in 0..cfg.threads {
+        let mut threads = [shard0.register(), shard1.register()];
+        let stores = [store0.clone(), store1.clone()];
+        let xlocks = Arc::clone(&xlocks);
+        let broken = Arc::clone(&broken_audits);
+        let mut rng = OpRng::new(seed, tid);
+        let txns = cfg.txns_per_thread;
+        bodies.push(Box::new(move || {
+            let mut scratches = [stores[0].new_batch_scratch(2), stores[1].new_batch_scratch(2)];
+            for _ in 0..txns {
+                let dice = rng.below(10);
+                if dice < 4 {
+                    // Shard-local conserving transfer: backend-native
+                    // execution, no coordination lock — the common case
+                    // sharding keeps cheap.
+                    let s = rng.below(2) as usize;
+                    let base = s as u64 * XKV_PER_SHARD;
+                    let from = base + rng.below(XKV_PER_SHARD);
+                    let to =
+                        base + (from - base + 1 + rng.below(XKV_PER_SHARD - 1)) % XKV_PER_SHARD;
+                    let amount = 1 + rng.below(10);
+                    stores[s].multi_add(
+                        &mut *threads[s],
+                        &mut scratches[s],
+                        &[(from, -(amount as i64)), (to, amount as i64)],
+                    );
+                } else if dice < 7 {
+                    // Cross-shard transfer: 2PC over one per-shard
+                    // transaction each, under both XLocks (ascending
+                    // order, deadlock-free).
+                    let debit = rng.below(2) as usize;
+                    let from = debit as u64 * XKV_PER_SHARD + rng.below(XKV_PER_SHARD);
+                    let to = (1 - debit) as u64 * XKV_PER_SHARD + rng.below(XKV_PER_SHARD);
+                    let amount = 1 + rng.below(10);
+                    let ups =
+                        group_adds(&map, &[0, 1], &[(from, -(amount as i64)), (to, amount as i64)]);
+                    let _g0 = xlocks[0].lock();
+                    let _g1 = xlocks[1].lock();
+                    let mut undos = Vec::with_capacity(2);
+                    for (pi, upd) in ups.iter().enumerate() {
+                        let mut part = ShardPart {
+                            store: &stores[pi],
+                            thread: &mut *threads[pi],
+                            scratch: &mut scratches[pi],
+                        };
+                        undos.push(prepare_part(&mut part, upd));
+                    }
+                    debug_assert_eq!(undos.len(), 2);
+                    // The prepare → apply seam: the crash window the
+                    // atomicity invariants aim at.
+                    hooks::emit(Event::Poll);
+                    let mut escalated = false;
+                    for (pi, upd) in ups.iter().enumerate() {
+                        if break_2pc && pi == 1 {
+                            // Seeded bug: coordinator "crash" after the
+                            // first apply — participant 1 never applies
+                            // and no compensation runs, leaking a
+                            // half-applied transfer.
+                            break;
+                        }
+                        let mut part = ShardPart {
+                            store: &stores[pi],
+                            thread: &mut *threads[pi],
+                            scratch: &mut scratches[pi],
+                        };
+                        if apply_part(&mut part, upd, escalated) {
+                            escalated = true;
+                        }
+                    }
+                } else {
+                    // Global audit under both locks (no half-applied
+                    // cross-shard transfer can be visible): one read-only
+                    // transaction per shard; concurrent *local* transfers
+                    // between the two snapshots are admissible because
+                    // they conserve their shard's sum.
+                    let _g0 = xlocks[0].lock();
+                    let _g1 = xlocks[1].lock();
+                    let mut total = 0u64;
+                    let mut all_committed = true;
+                    for s in 0..2usize {
+                        let store = &stores[s];
+                        let mut sum = 0u64;
+                        let out = threads[s].exec(TxKind::ReadOnly, &mut |tx| {
+                            sum = 0;
+                            let base = s as u64 * XKV_PER_SHARD;
+                            for k in base..base + XKV_PER_SHARD {
+                                sum = sum.wrapping_add(store.get_in(tx, k)?.unwrap_or(0));
+                            }
+                            Ok(())
+                        });
+                        all_committed &= out == tm_api::Outcome::Committed;
+                        total = total.wrapping_add(sum);
+                    }
+                    if all_committed && total != expected_total {
+                        broken.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+
+    let (s0, s1) = (store0.clone(), store1.clone());
+    let (m0, m1) = (shard0.clone(), shard1.clone());
+    Scenario {
+        backend: shard0,
+        watched,
+        init,
+        bodies,
+        check_invariants: Box::new(move || {
+            let broken = broken_audits.load(Ordering::Relaxed);
+            if broken > 0 {
+                return Some(format!(
+                    "{broken} locked audit(s) observed a torn cross-shard total \
+                     (expected {expected_total}): a cross-shard transfer was half-applied"
+                ));
+            }
+            let mut total = 0u64;
+            for k in 0..XKV_PER_SHARD {
+                total = total.wrapping_add(s0.load_raw(m0.memory(), k).unwrap_or(0));
+            }
+            for k in XKV_PER_SHARD..2 * XKV_PER_SHARD {
+                total = total.wrapping_add(s1.load_raw(m1.memory(), k).unwrap_or(0));
+            }
+            (total != expected_total)
+                .then(|| format!("cross-shard balance not conserved: {total} != {expected_total}"))
         }),
     }
 }

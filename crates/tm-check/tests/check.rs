@@ -134,3 +134,59 @@ fn unbroken_si_htm_passes_same_seeds() {
         panic!("unmodified SI-HTM flagged at seed {}: {}\n{}", f.seed, f.message, f.pretty);
     }
 }
+
+/// The cross-shard scenario (two independent backend instances, 2PC
+/// transfers, locked audits) is deterministic and replayable on every
+/// backend — the multi-backend event stream still shrinks and replays.
+#[test]
+fn xshard_is_deterministic_and_replayable() {
+    for &backend in &BackendKind::ALL {
+        let c = cfg(backend, WorkloadKind::XShard);
+        let a = execute(&c, 13, Vec::new());
+        assert!(a.failure.is_none(), "{}: {:?}", backend.name(), a.failure);
+        let b = execute(&c, 13, a.run.trace.clone());
+        assert_eq!(a.run.log, b.run.log, "{}: xshard replay diverged", backend.name());
+    }
+}
+
+/// The 2PC acceptance test: a coordinator that "crashes" between its two
+/// participant applies must be caught — by a locked global audit or by
+/// end-of-run conservation. Cross-shard atomicity comes from the
+/// protocol, not from any backend, so the seeded bug must be detected on
+/// all four.
+#[test]
+fn break_2pc_is_detected_on_every_backend() {
+    for &backend in &BackendKind::ALL {
+        let c = CheckConfig { break_2pc: true, ..cfg(backend, WorkloadKind::XShard) };
+        let mut found = None;
+        for seed in 0..50 {
+            if let Err(f) = check_seed(&c, seed) {
+                found = Some(f);
+                break;
+            }
+        }
+        let f = found.unwrap_or_else(|| {
+            panic!(
+                "{}: a crashed 2PC coordinator must leak a half-applied transfer within 50 seeds",
+                backend.name()
+            )
+        });
+        assert!(
+            f.message.contains("conserved") || f.message.contains("torn"),
+            "{}: unexpected verdict: {}",
+            backend.name(),
+            f.message
+        );
+        assert!(f.shrunk_trace_len <= f.original_trace_len);
+    }
+}
+
+/// With the coordinator intact, the identical sweep is clean: the
+/// detector is specific to the seeded 2PC bug.
+#[test]
+fn unbroken_2pc_passes_same_seeds() {
+    let c = cfg(BackendKind::SiHtm, WorkloadKind::XShard);
+    if let Err(f) = check_seeds(&c, 0..50) {
+        panic!("intact 2PC flagged at seed {}: {}\n{}", f.seed, f.message, f.pretty);
+    }
+}

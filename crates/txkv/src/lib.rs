@@ -25,7 +25,13 @@
 //!   end-to-end (enqueue → reply) and service-only time, with
 //!   p50/p90/p99/p999 SLO reporting;
 //! * graceful drain/shutdown: in-flight requests are either answered or
-//!   cleanly shed with [`KvReply::Shed`], never lost.
+//!   cleanly shed with [`KvReply::Shed`], never lost;
+//! * [`ShardMap`] + [`Pipeline::start_sharded`] — scale-out across N
+//!   *independent* backend instances (each its own conflict directory
+//!   and quiescence domain) with shard-affine routing: single-shard
+//!   requests pay zero cross-shard coordination, and multi-shard updates
+//!   run two-phase commit over per-shard transactions with SGL
+//!   escalation as the fall-back (see [`shard`] and DESIGN.md §11).
 //!
 //! The PR-4 resilience layer covers the service path too: executors are
 //! yield points for the `txmem::hooks` chaos injector (stalls and forced
@@ -68,10 +74,12 @@
 
 pub mod pipeline;
 pub mod queue;
+pub mod shard;
 pub mod store;
 
 pub use pipeline::{ClassLat, KvClient, PendingReply, Pipeline, PipelineConfig, ServiceReport};
 pub use queue::{PushError, SubmitQueue};
+pub use shard::{Partitioning, Route, ShardMap, XLock};
 pub use store::{KvOp, KvReply, KvStore, OpClass};
 
 /// Typed service-layer errors surfaced to submitters.

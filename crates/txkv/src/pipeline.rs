@@ -1,19 +1,40 @@
-//! The request pipeline: submission queues in front of per-core executor
-//! threads, each owning one backend thread handle.
+//! The request pipeline: per-shard submission queues in front of
+//! shard-affine executor threads, each owning one backend thread handle
+//! *per shard*.
 //!
 //! ```text
-//!  clients ──try_push──▶ SubmitQueue ──try_pop──▶ executor 0 ─▶ backend thread 0
-//!   (any #)   (bounded,    ro | rw lanes          executor 1 ─▶ backend thread 1
-//!             shed-on-full)                          ...
+//!  clients ──route──▶ shard 0 SubmitQueue ──▶ executor 0 ─▶ shard 0 backend
+//!   (any #)           shard 1 SubmitQueue ──▶ executor 1 ─▶ shard 1 backend
+//!                     ...                          ...
+//!                     xqueue (cross-shard) ──▶ any executor, 2PC over shards
 //! ```
 //!
+//! The [`crate::ShardMap`] routes every request whose keys live in one
+//! shard to that shard's queue; the executors serving that shard run it
+//! as a plain backend transaction with zero cross-shard coordination.
+//! Each shard is an independent backend instance — its own conflict
+//! directory and quiescence domain — so SI-HTM's commit-time safety wait
+//! scans only the threads active *in that shard*. With one executor per
+//! shard the wait finds no peers at all, which is where sharded
+//! throughput comes from on an oversubscribed machine: no cross-executor
+//! quiescence spinning.
+//!
+//! Requests spanning shards go to a shared cross-shard queue; whichever
+//! executor pops one coordinates it — per-shard read-only transactions
+//! under the shards' [`crate::shard::XLock`]s for reads, two-phase commit
+//! ([`crate::shard`]) for updates, with SGL escalation pinning the
+//! remaining participants once any participant falls back, and
+//! compensating undo if the chaos injector unwinds the apply phase
+//! mid-protocol (the request is then answered [`KvReply::Shed`]: fully
+//! aborted, never half-applied).
+//!
 //! Each executor iteration serves **one** update request and then **one
-//! batch** of read-only requests (everything queued, up to
-//! `ro_batch_max`), so neither lane can starve the other. The whole RO
-//! batch runs inside a single `TxKind::ReadOnly` transaction: on SI-HTM
-//! that is the unbounded, never-aborting read-only fast path, so batching
-//! amortizes the one quiescence interaction over the entire batch — and
-//! every request in the batch reads the same snapshot.
+//! batch** of read-only requests per shard it owns (everything queued,
+//! up to `ro_batch_max`), so neither lane can starve the other. The
+//! whole RO batch runs inside a single `TxKind::ReadOnly` transaction:
+//! on SI-HTM that is the unbounded, never-aborting read-only fast path,
+//! so batching amortizes the one quiescence interaction over the entire
+//! batch — and every request in the batch reads the same snapshot.
 //!
 //! Latency is recorded per op class in two [`LatencyHist`]s: *end-to-end*
 //! (enqueue → reply, the number a client observes) and *service-only*
@@ -27,25 +48,35 @@
 //! guarantees this even if an executor unwinds.
 
 use crate::queue::{PushError, SubmitQueue};
+use crate::shard::{
+    apply_part, group_adds, group_puts, prepare_part, undo_part, Route, ShardMap, ShardPart,
+    UndoImage, XLock,
+};
 use crate::store::{KvOp, KvReply, KvStore, OpClass};
 use crate::KvError;
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tm_api::{Abort, AbortReason, BackoffPolicy, ContentionManager, LatencyHist};
-use tm_api::{ThreadStats, TmBackend, TmThread, TxKind};
+use tm_api::{ThreadStats, TmBackend, TmThread, TwoPcStats, TxKind};
 use txmem::hooks::{self, Event};
 use workloads::btree::NodeScratch;
 
 /// Pipeline tuning knobs.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
-    /// Executor threads (each registers one backend thread).
+    /// Executor threads. Each registers one backend thread handle per
+    /// shard; executor `e` *serves* (polls queues of) shard `e % shards`
+    /// when executors ≥ shards, or shards `{s : s % executors == e}`
+    /// otherwise, so every shard is served and affinity is maximal.
     pub executors: usize,
-    /// Read-only submission-lane capacity (admission control bound).
+    /// Read-only submission-lane capacity (admission control bound),
+    /// per shard queue.
     pub ro_queue_cap: usize,
-    /// Update submission-lane capacity.
+    /// Update submission-lane capacity, per shard queue.
     pub rw_queue_cap: usize,
     /// Most read-only requests folded into one RO transaction.
     pub ro_batch_max: usize,
@@ -127,7 +158,8 @@ impl ReplySlot {
 
 /// Internal request envelope. The `Drop` impl guarantees the slot is
 /// always answered: any envelope destroyed unanswered (executor panic,
-/// shed path) resolves to [`KvReply::Shed`].
+/// shed path, aborted cross-shard transaction) resolves to
+/// [`KvReply::Shed`].
 struct Request {
     op: KvOp,
     slot: Arc<ReplySlot>,
@@ -140,15 +172,26 @@ impl Drop for Request {
     }
 }
 
-struct Shared {
+/// One shard's service-side state: its submission queue and the
+/// cross-shard coordination lock.
+struct ShardCtx {
     queue: SubmitQueue<Request>,
+    xlock: XLock,
+}
+
+struct Shared {
+    shards: Vec<ShardCtx>,
+    /// Requests spanning shards (any executor coordinates them).
+    xqueue: SubmitQueue<Request>,
+    map: ShardMap,
     hard_stop: AtomicBool,
     overloaded: AtomicU64,
     multi_key_max: usize,
 }
 
 /// Cheap cloneable submission handle (no backend type parameter, so it
-/// crosses thread and API boundaries freely).
+/// crosses thread and API boundaries freely). Routing happens here, at
+/// admission: single-shard requests go straight to their shard's queue.
 #[derive(Clone)]
 pub struct KvClient {
     shared: Arc<Shared>,
@@ -175,8 +218,23 @@ impl KvClient {
         }
         let slot = Arc::new(ReplySlot::new());
         let read_only = op.read_only();
+        let route = self.shared.map.route(&op);
         let req = Request { op, slot: slot.clone(), enqueued: Instant::now() };
-        match self.shared.queue.try_push(read_only, req) {
+        let pushed = match route {
+            Route::Single(s) => self.shared.shards[s].queue.try_push(read_only, req),
+            Route::Cross(_) => {
+                let r = self.shared.xqueue.try_push(read_only, req);
+                if r.is_ok() {
+                    // Executors park on their primary shard's queue, not
+                    // the xqueue: wake them all (cross-shard is rare).
+                    for ctx in &self.shared.shards {
+                        ctx.queue.wake_all();
+                    }
+                }
+                r
+            }
+        };
+        match pushed {
             Ok(()) => Ok(PendingReply { slot }),
             Err(PushError::Full(req)) => {
                 self.shared.overloaded.fetch_add(1, Ordering::Relaxed);
@@ -189,9 +247,16 @@ impl KvClient {
         }
     }
 
-    /// Current `(read-only, update)` submission-lane depths.
+    /// `(read-only, update)` submission-lane depths summed over all shard
+    /// queues and the cross-shard queue.
     pub fn queue_depths(&self) -> (usize, usize) {
-        self.shared.queue.depths()
+        let (mut ro, mut rw) = self.shared.xqueue.depths();
+        for ctx in &self.shared.shards {
+            let (r, w) = ctx.queue.depths();
+            ro += r;
+            rw += w;
+        }
+        (ro, rw)
     }
 }
 
@@ -243,11 +308,18 @@ struct ExecOut {
     max_ro_batch: u64,
     ro_batch_aborts: u64,
     backoffs: u64,
-    stats: ThreadStats,
+    twopc: TwoPcStats,
+    /// Backend thread handles this executor re-registered after catching
+    /// a mid-protocol panic (chaos recovery).
+    handle_resets: u64,
+    /// Requests served per shard by this executor.
+    shard_served: Vec<u64>,
+    /// Backend statistics per shard (this executor's handles).
+    shard_stats: Vec<ThreadStats>,
 }
 
 impl ExecOut {
-    fn new() -> Self {
+    fn new(shards: usize) -> Self {
         ExecOut {
             classes: OpClass::ALL.iter().map(|&c| ClassLat::new(c)).collect(),
             served: 0,
@@ -257,7 +329,10 @@ impl ExecOut {
             max_ro_batch: 0,
             ro_batch_aborts: 0,
             backoffs: 0,
-            stats: ThreadStats::default(),
+            twopc: TwoPcStats::default(),
+            handle_resets: 0,
+            shard_served: vec![0; shards],
+            shard_stats: vec![ThreadStats::default(); shards],
         }
     }
 }
@@ -267,9 +342,12 @@ impl ExecOut {
 pub struct ServiceReport {
     pub backend: &'static str,
     pub executors: usize,
+    /// Shard count (1 = unsharded).
+    pub shards: usize,
     /// Requests answered with a real result.
     pub replies: u64,
-    /// Requests answered with [`KvReply::Shed`] at shutdown.
+    /// Requests answered with [`KvReply::Shed`] at shutdown (plus any
+    /// cross-shard transactions aborted by chaos recovery).
     pub shed: u64,
     /// Requests refused at admission ([`KvError::Overloaded`]).
     pub overloaded: u64,
@@ -288,17 +366,29 @@ pub struct ServiceReport {
     pub panicked_executors: usize,
     /// Contention-manager delays executed by executors.
     pub executor_backoffs: u64,
+    /// Cross-shard two-phase-commit activity, summed over executors.
+    pub twopc: TwoPcStats,
+    /// Backend handles re-registered after caught mid-protocol panics.
+    pub handle_resets: u64,
+    /// Requests served per shard (shard-affinity / balance check).
+    pub shard_served: Vec<u64>,
+    /// Backend statistics per shard, summed over executors. Each shard is
+    /// an independent quiescence domain, so `quiesce_waits` here shows
+    /// exactly where commit-time safety waits happen.
+    pub shard_stats: Vec<ThreadStats>,
     /// Per-op-class latency, in [`OpClass::ALL`] order.
     pub class: Vec<ClassLat>,
-    /// Backend-side statistics summed over all executor threads.
+    /// Backend-side statistics summed over all executor threads and
+    /// shards.
     pub backend_stats: ThreadStats,
 }
 
 impl ServiceReport {
-    fn new(backend: &'static str, executors: usize) -> Self {
+    fn new(backend: &'static str, executors: usize, shards: usize) -> Self {
         ServiceReport {
             backend,
             executors,
+            shards,
             replies: 0,
             shed: 0,
             overloaded: 0,
@@ -309,6 +399,10 @@ impl ServiceReport {
             starved_executors: 0,
             panicked_executors: 0,
             executor_backoffs: 0,
+            twopc: TwoPcStats::default(),
+            handle_resets: 0,
+            shard_served: vec![0; shards],
+            shard_stats: vec![ThreadStats::default(); shards],
             class: OpClass::ALL.iter().map(|&c| ClassLat::new(c)).collect(),
             backend_stats: ThreadStats::default(),
         }
@@ -325,11 +419,19 @@ impl ServiceReport {
         self.max_ro_batch = self.max_ro_batch.max(out.max_ro_batch);
         self.ro_batch_aborts += out.ro_batch_aborts;
         self.executor_backoffs += out.backoffs;
+        self.twopc += &out.twopc;
+        self.handle_resets += out.handle_resets;
+        for (mine, theirs) in self.shard_served.iter_mut().zip(&out.shard_served) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.shard_stats.iter_mut().zip(&out.shard_stats) {
+            *mine += theirs;
+            self.backend_stats += theirs;
+        }
         for (mine, theirs) in self.class.iter_mut().zip(&out.classes) {
             mine.e2e.merge(&theirs.e2e);
             mine.service.merge(&theirs.service);
         }
-        self.backend_stats += &out.stats;
     }
 
     /// The latency record for one op class.
@@ -353,8 +455,9 @@ impl ServiceReport {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "{}: {} replies, {} shed, {} overloaded; RO batches {} (mean {:.1}, max {}, aborts {})",
+            "{}: {} shard(s), {} replies, {} shed, {} overloaded; RO batches {} (mean {:.1}, max {}, aborts {})",
             self.backend,
+            self.shards,
             self.replies,
             self.shed,
             self.overloaded,
@@ -363,6 +466,17 @@ impl ServiceReport {
             self.max_ro_batch,
             self.ro_batch_aborts,
         );
+        if self.shards > 1 {
+            let _ = writeln!(
+                s,
+                "  2PC: {} prepares, {} aborts, {} escalations, {} cross-shard RO; served/shard {:?}",
+                self.twopc.prepares,
+                self.twopc.aborts,
+                self.twopc.escalations,
+                self.twopc.ro_multi,
+                self.shard_served,
+            );
+        }
         for cl in &self.class {
             if cl.count() == 0 {
                 continue;
@@ -386,40 +500,59 @@ impl ServiceReport {
     }
 }
 
-/// The running service: executor pool + submission queue.
+/// The running service: executor pool + per-shard submission queues.
 pub struct Pipeline<B: TmBackend> {
-    backend: Arc<B>,
-    store: KvStore,
+    domains: Arc<Vec<(B, KvStore)>>,
     shared: Arc<Shared>,
     cfg: PipelineConfig,
     handles: Vec<JoinHandle<ExecOut>>,
 }
 
 impl<B: TmBackend> Pipeline<B> {
-    /// Spawn the executor pool and start serving.
+    /// Spawn the executor pool over a single unsharded backend (the
+    /// 1-shard special case of [`Pipeline::start_sharded`]).
     pub fn start(backend: B, store: KvStore, cfg: PipelineConfig) -> Pipeline<B> {
+        Self::start_sharded(vec![(backend, store)], ShardMap::hash(1), cfg)
+    }
+
+    /// Spawn the executor pool over one independent backend instance per
+    /// shard. `map` must agree with `domains` on the shard count, and
+    /// each store must have been loaded with only its shard's keys
+    /// (see [`crate::shard::build_domains`]).
+    pub fn start_sharded(
+        domains: Vec<(B, KvStore)>,
+        map: ShardMap,
+        cfg: PipelineConfig,
+    ) -> Pipeline<B> {
         assert!(cfg.executors > 0, "pipeline needs at least one executor");
         assert!(cfg.ro_batch_max > 0, "ro_batch_max must be nonzero");
-        let backend = Arc::new(backend);
+        assert_eq!(map.shards(), domains.len(), "one backend domain per shard");
+        let domains = Arc::new(domains);
         let shared = Arc::new(Shared {
-            queue: SubmitQueue::new(cfg.ro_queue_cap, cfg.rw_queue_cap),
+            shards: (0..map.shards())
+                .map(|_| ShardCtx {
+                    queue: SubmitQueue::new(cfg.ro_queue_cap, cfg.rw_queue_cap),
+                    xlock: XLock::new(),
+                })
+                .collect(),
+            xqueue: SubmitQueue::new(cfg.ro_queue_cap, cfg.rw_queue_cap),
+            map,
             hard_stop: AtomicBool::new(false),
             overloaded: AtomicU64::new(0),
             multi_key_max: cfg.multi_key_max,
         });
         let handles = (0..cfg.executors)
             .map(|i| {
-                let backend = Arc::clone(&backend);
+                let domains = Arc::clone(&domains);
                 let shared = Arc::clone(&shared);
-                let store = store.clone();
                 let cfg = cfg.clone();
                 std::thread::Builder::new()
                     .name(format!("txkv-exec-{i}"))
-                    .spawn(move || executor_loop(i, &*backend, &store, &shared, &cfg))
+                    .spawn(move || executor_loop(i, &domains, &shared, &cfg))
                     .expect("spawn executor")
             })
             .collect();
-        Pipeline { backend, store, shared, cfg, handles }
+        Pipeline { domains, shared, cfg, handles }
     }
 
     /// A new submission handle (clone freely, share across threads).
@@ -427,25 +560,50 @@ impl<B: TmBackend> Pipeline<B> {
         KvClient { shared: Arc::clone(&self.shared) }
     }
 
+    /// Shard 0's backend (the only one when unsharded).
     pub fn backend(&self) -> &B {
-        &self.backend
+        &self.domains[0].0
     }
 
+    /// Shard 0's store (the only one when unsharded).
     pub fn store(&self) -> &KvStore {
-        &self.store
+        &self.domains[0].1
+    }
+
+    /// Shard `s`'s backend instance.
+    pub fn shard_backend(&self, s: usize) -> &B {
+        &self.domains[s].0
+    }
+
+    /// Shard `s`'s store.
+    pub fn shard_store(&self, s: usize) -> &KvStore {
+        &self.domains[s].1
     }
 
     /// Graceful shutdown: close admission, give queued work `drain_grace`
     /// to complete, then shed the rest ([`KvReply::Shed`]) and join.
     pub fn shutdown(self) -> ServiceReport {
-        self.shared.queue.close();
+        for ctx in &self.shared.shards {
+            ctx.queue.close();
+        }
+        self.shared.xqueue.close();
+        let drained = |shared: &Shared| {
+            shared.xqueue.is_empty() && shared.shards.iter().all(|c| c.queue.is_empty())
+        };
         let deadline = Instant::now() + self.cfg.drain_grace;
-        while !self.shared.queue.is_empty() && Instant::now() < deadline {
+        while !drained(&self.shared) && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(1));
         }
         self.shared.hard_stop.store(true, Ordering::Release);
-        self.shared.queue.wake_all();
-        let mut report = ServiceReport::new(self.backend.name(), self.cfg.executors);
+        for ctx in &self.shared.shards {
+            ctx.queue.wake_all();
+        }
+        self.shared.xqueue.wake_all();
+        let mut report = ServiceReport::new(
+            self.domains[0].0.name(),
+            self.cfg.executors,
+            self.shared.map.shards(),
+        );
         for h in self.handles {
             match h.join() {
                 Ok(out) => report.merge(out),
@@ -457,34 +615,103 @@ impl<B: TmBackend> Pipeline<B> {
     }
 }
 
+/// Shards executor `idx` polls (it holds registered handles for *all*
+/// shards regardless, for cross-shard coordination).
+fn served_shards(idx: usize, executors: usize, shards: usize) -> Vec<usize> {
+    if executors <= shards {
+        (0..shards).filter(|s| s % executors == idx).collect()
+    } else {
+        vec![idx % shards]
+    }
+}
+
 fn executor_loop<B: TmBackend>(
     idx: usize,
-    backend: &B,
-    store: &KvStore,
+    domains: &[(B, KvStore)],
     shared: &Shared,
     cfg: &PipelineConfig,
 ) -> ExecOut {
-    let mut thread = backend.register_thread();
-    let mut scratch = store.new_batch_scratch(cfg.multi_key_max);
+    let shards = domains.len();
+    let served = served_shards(idx, cfg.executors, shards);
+    let mut threads: Vec<B::Thread> = domains.iter().map(|(b, _)| b.register_thread()).collect();
+    let mut scratches: Vec<NodeScratch> =
+        domains.iter().map(|(_, st)| st.new_batch_scratch(cfg.multi_key_max)).collect();
     let mut cm = ContentionManager::new(cfg.backoff, 0x9E37_79B9_7F4A_7C15 ^ (idx as u64 + 1));
-    let mut out = ExecOut::new();
+    let mut out = ExecOut::new(shards);
     let mut batch: Vec<Request> = Vec::with_capacity(cfg.ro_batch_max);
+    let primary = served[0];
     loop {
         let mut did_work = false;
-        // One update, then one RO batch, per iteration: neither lane can
-        // starve the other regardless of mix.
-        if let Some(req) = shared.queue.try_pop_update() {
-            serve_update(store, &mut thread, &mut scratch, &mut cm, req, &mut out);
+        for &s in &served {
+            // One update, then one RO batch, per shard per iteration:
+            // neither lane can starve the other regardless of mix.
+            // Both serves are unwind barriers: a panic inside a
+            // transaction body (chaos) must not kill the executor —
+            // in a sharded pipeline that would orphan the executor's
+            // whole shard. The in-flight request(s) resolve Shed via
+            // the drop backstop and the mid-transaction handle is
+            // replaced, exactly as on the cross-shard paths.
+            if let Some(req) = shared.shards[s].queue.try_pop_update() {
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    serve_update(
+                        &domains[s].1,
+                        &mut threads[s],
+                        &mut scratches[s],
+                        &mut cm,
+                        req,
+                        &mut out,
+                    );
+                }));
+                if attempt.is_err() {
+                    out.shed += 1;
+                    recover_handle(
+                        domains,
+                        &mut threads,
+                        &mut scratches,
+                        s,
+                        cfg.multi_key_max,
+                        &mut out,
+                    );
+                }
+                out.shard_served[s] += 1;
+                did_work = true;
+            }
+            if shared.shards[s].queue.try_pop_ro_batch(cfg.ro_batch_max, &mut batch) > 0 {
+                out.shard_served[s] += batch.len() as u64;
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    serve_ro_batch(&domains[s].1, &mut threads[s], &mut batch, &mut out);
+                }));
+                if attempt.is_err() {
+                    out.shed += batch.len() as u64;
+                    batch.clear(); // drop backstop answers Shed
+                    recover_handle(
+                        domains,
+                        &mut threads,
+                        &mut scratches,
+                        s,
+                        cfg.multi_key_max,
+                        &mut out,
+                    );
+                }
+                did_work = true;
+            }
+        }
+        // Cross-shard work: any executor coordinates (contention on the
+        // xqueue is negligible — cross-shard traffic is the rare case).
+        if let Some(req) = shared.xqueue.try_pop_update() {
+            serve_xshard_update(domains, shared, &mut threads, &mut scratches, cfg, req, &mut out);
             did_work = true;
         }
-        if shared.queue.try_pop_ro_batch(cfg.ro_batch_max, &mut batch) > 0 {
-            serve_ro_batch(store, &mut thread, &mut batch, &mut out);
+        if shared.xqueue.try_pop_ro_batch(1, &mut batch) > 0 {
+            let req = batch.pop().expect("popped one");
+            serve_xshard_ro(domains, shared, &mut threads, req, &mut out);
             did_work = true;
         }
         if did_work {
             continue;
         }
-        if shared.hard_stop.load(Ordering::Acquire) || shared.queue.is_done() {
+        let served_done = served.iter().all(|&s| shared.shards[s].queue.is_done());
+        if shared.hard_stop.load(Ordering::Acquire) || (served_done && shared.xqueue.is_done()) {
             break;
         }
         // Idle: give the chaos injector its seam, jitter the re-poll so a
@@ -493,20 +720,32 @@ fn executor_loop<B: TmBackend>(
             hooks::emit(Event::Poll);
         }
         cm.admission_jitter(cfg.idle_jitter_ns);
-        shared.queue.wait_for_work(cfg.idle_wait);
+        shared.shards[primary].queue.wait_for_work(cfg.idle_wait);
     }
     // Hard stop (or post-drain sweep): everything still queued is shed —
     // answered with KvReply::Shed, never silently dropped.
     loop {
         let mut any = false;
-        if let Some(req) = shared.queue.try_pop_update() {
-            drop(req); // Drop backstop fills Shed
+        for &s in &served {
+            if let Some(req) = shared.shards[s].queue.try_pop_update() {
+                drop(req); // Drop backstop fills Shed
+                out.shed += 1;
+                any = true;
+            }
+            if shared.shards[s].queue.try_pop_ro_batch(usize::MAX, &mut batch) > 0 {
+                out.shed += batch.len() as u64;
+                batch.clear(); // Drop backstop fills Shed for each
+                any = true;
+            }
+        }
+        if let Some(req) = shared.xqueue.try_pop_update() {
+            drop(req);
             out.shed += 1;
             any = true;
         }
-        if shared.queue.try_pop_ro_batch(usize::MAX, &mut batch) > 0 {
+        if shared.xqueue.try_pop_ro_batch(usize::MAX, &mut batch) > 0 {
             out.shed += batch.len() as u64;
-            batch.clear(); // Drop backstop fills Shed for each
+            batch.clear();
             any = true;
         }
         if !any {
@@ -514,7 +753,9 @@ fn executor_loop<B: TmBackend>(
         }
     }
     out.backoffs = cm.backoffs;
-    out.stats = thread.stats().clone();
+    for (slot, th) in out.shard_stats.iter_mut().zip(&threads) {
+        *slot = th.stats().clone();
+    }
     out
 }
 
@@ -601,6 +842,216 @@ fn serve_ro_batch<T: TmThread>(
     }
 }
 
+/// Replace a backend thread handle (and its scratch) after a caught
+/// panic left it mid-transaction: dropping the old handle runs the
+/// backend's unwind cleanup (abort in-flight tx, release state-array
+/// slot / SGL), and the fresh registration starts clean.
+fn recover_handle<B: TmBackend>(
+    domains: &[(B, KvStore)],
+    threads: &mut [B::Thread],
+    scratches: &mut [NodeScratch],
+    s: usize,
+    multi_key_max: usize,
+    out: &mut ExecOut,
+) {
+    threads[s] = domains[s].0.register_thread();
+    scratches[s] = domains[s].1.new_batch_scratch(multi_key_max);
+    out.handle_resets += 1;
+}
+
+/// Coordinate one cross-shard update via two-phase commit (see
+/// [`crate::shard`]). On a mid-protocol panic (chaos), already-applied
+/// participants are rolled back from the undo images and the request is
+/// answered [`KvReply::Shed`] — fully aborted, never half-applied.
+fn serve_xshard_update<B: TmBackend>(
+    domains: &[(B, KvStore)],
+    shared: &Shared,
+    threads: &mut [B::Thread],
+    scratches: &mut [NodeScratch],
+    cfg: &PipelineConfig,
+    req: Request,
+    out: &mut ExecOut,
+) {
+    let set = match shared.map.route(&req.op) {
+        Route::Cross(set) => set,
+        // Defensive: a Single-routed op in the xqueue just runs locally.
+        Route::Single(s) => {
+            let mut cm = ContentionManager::new(BackoffPolicy::none(), 1);
+            serve_update(&domains[s].1, &mut threads[s], &mut scratches[s], &mut cm, req, out);
+            out.shard_served[s] += 1;
+            return;
+        }
+    };
+    let ups = match &req.op {
+        KvOp::MultiPut { pairs } => group_puts(&shared.map, &set, pairs),
+        KvOp::MultiAdd { deltas } => group_adds(&shared.map, &set, deltas),
+        up => unreachable!("non-update op {up:?} in the cross-shard update lane"),
+    };
+    let t0 = Instant::now();
+    // Ascending shard order → deadlock-free against every other
+    // coordinator.
+    let _guards: Vec<_> = set.iter().map(|&s| shared.shards[s].xlock.lock()).collect();
+    out.twopc.prepares += 1;
+    let committed = Cell::new(0usize); // fully-applied participants
+    let escalations = Cell::new(0u64);
+    let inflight = Cell::new(None::<usize>); // shard mid-transaction at panic time
+    let undos: RefCell<Vec<UndoImage>> = RefCell::new(Vec::with_capacity(set.len()));
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        for (pi, &s) in set.iter().enumerate() {
+            inflight.set(Some(s));
+            let mut part = ShardPart {
+                store: &domains[s].1,
+                thread: &mut threads[s],
+                scratch: &mut scratches[s],
+            };
+            let undo = prepare_part(&mut part, &ups[pi]);
+            undos.borrow_mut().push(undo);
+        }
+        inflight.set(None);
+        // The prepare → apply seam: the chaos injector's crash window the
+        // atomicity tests aim at.
+        if hooks::active() {
+            hooks::emit(Event::Poll);
+        }
+        let mut escalated = false;
+        for (pi, &s) in set.iter().enumerate() {
+            inflight.set(Some(s));
+            let mut part = ShardPart {
+                store: &domains[s].1,
+                thread: &mut threads[s],
+                scratch: &mut scratches[s],
+            };
+            if apply_part(&mut part, &ups[pi], escalated) && !escalated {
+                escalated = true;
+                escalations.set(escalations.get() + 1);
+            }
+            committed.set(pi + 1);
+        }
+        inflight.set(None);
+    }));
+    out.twopc.escalations += escalations.get();
+    for &s in &set {
+        out.shard_served[s] += 1;
+    }
+    match attempt {
+        Ok(()) => {
+            let service = t0.elapsed();
+            finish(req, KvReply::Done { changed: true }, service, out);
+        }
+        Err(_) => {
+            // The panicking participant's transaction did not commit (the
+            // injector fires inside transaction bodies); its handle is
+            // mid-transaction and must be replaced before reuse.
+            if let Some(s) = inflight.get() {
+                recover_handle(domains, threads, scratches, s, cfg.multi_key_max, out);
+            }
+            let undos = undos.into_inner();
+            for (pi, &s) in set.iter().enumerate().take(committed.get()) {
+                // Compensation must land even if chaos keeps firing:
+                // retry, replacing the handle after each caught panic.
+                let mut attempts = 0;
+                loop {
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        let mut part = ShardPart {
+                            store: &domains[s].1,
+                            thread: &mut threads[s],
+                            scratch: &mut scratches[s],
+                        };
+                        undo_part(&mut part, &ups[pi], &undos[pi]);
+                    }));
+                    if r.is_ok() {
+                        break;
+                    }
+                    recover_handle(domains, threads, scratches, s, cfg.multi_key_max, out);
+                    attempts += 1;
+                    assert!(attempts < 1000, "2PC compensation could not complete");
+                }
+            }
+            out.twopc.aborts += 1;
+            out.shed += 1;
+            drop(req); // Drop backstop answers KvReply::Shed: fully aborted
+        }
+    }
+}
+
+/// Serve one cross-shard read-only request: per-shard read-only
+/// transactions under the participants' xlocks (so no half-applied
+/// cross-shard update can be observed), merged positionally.
+fn serve_xshard_ro<B: TmBackend>(
+    domains: &[(B, KvStore)],
+    shared: &Shared,
+    threads: &mut [B::Thread],
+    req: Request,
+    out: &mut ExecOut,
+) {
+    let set = match shared.map.route(&req.op) {
+        Route::Cross(set) => set,
+        Route::Single(s) => {
+            // Defensive: serve as a batch of one on the owning shard.
+            let mut one = vec![req];
+            out.shard_served[s] += 1;
+            serve_ro_batch(&domains[s].1, &mut threads[s], &mut one, out);
+            return;
+        }
+    };
+    let t0 = Instant::now();
+    let _guards: Vec<_> = set.iter().map(|&s| shared.shards[s].xlock.lock()).collect();
+    out.twopc.ro_multi += 1;
+    let inflight = Cell::new(None::<usize>);
+    let attempt = catch_unwind(AssertUnwindSafe(|| match &req.op {
+        KvOp::MultiGet { keys } => {
+            let mut vals: Vec<Option<u64>> = vec![None; keys.len()];
+            for &s in &set {
+                inflight.set(Some(s));
+                let store = &domains[s].1;
+                let map = &shared.map;
+                threads[s].exec(TxKind::ReadOnly, &mut |tx| {
+                    for (i, &k) in keys.iter().enumerate() {
+                        if map.shard_of(k) == s {
+                            vals[i] = store.get_in(tx, k)?;
+                        }
+                    }
+                    Ok(())
+                });
+            }
+            KvReply::Values(vals)
+        }
+        KvOp::ScanPrefix { prefix, shift, limit } => {
+            let (mut count, mut sum) = (0u64, 0u64);
+            for &s in &set {
+                inflight.set(Some(s));
+                let store = &domains[s].1;
+                let mut part = (0u64, 0u64);
+                threads[s].exec(TxKind::ReadOnly, &mut |tx| {
+                    part = store.scan_prefix_in(tx, *prefix, *shift, *limit)?;
+                    Ok(())
+                });
+                count += part.0;
+                sum = sum.wrapping_add(part.1);
+            }
+            KvReply::Scan { count, sum }
+        }
+        up => unreachable!("update op {up:?} in the cross-shard read-only lane"),
+    }));
+    for &s in &set {
+        out.shard_served[s] += 1;
+    }
+    match attempt {
+        Ok(reply) => {
+            let service = t0.elapsed();
+            finish(req, reply, service, out);
+        }
+        Err(_) => {
+            if let Some(s) = inflight.get() {
+                threads[s] = domains[s].0.register_thread();
+                out.handle_resets += 1;
+            }
+            out.shed += 1;
+            drop(req); // answered Shed
+        }
+    }
+}
+
 /// Record latency and answer the client.
 fn finish(req: Request, reply: KvReply, service: Duration, out: &mut ExecOut) {
     let cl = &mut out.classes[req.op.class().index()];
@@ -614,6 +1065,7 @@ fn finish(req: Request, reply: KvReply, service: Duration, out: &mut ExecOut) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shard::build_domains;
     use si_htm::SiHtm;
 
     fn pipeline(executors: usize) -> Pipeline<SiHtm> {
@@ -626,6 +1078,19 @@ mod tests {
         );
         let cfg = PipelineConfig { executors, ..PipelineConfig::quick() };
         Pipeline::start(backend, store, cfg)
+    }
+
+    fn sharded_pipeline(shards: usize, executors: usize) -> Pipeline<SiHtm> {
+        let map = ShardMap::range(shards, 64);
+        let domains = build_domains(
+            &map,
+            |_| SiHtm::with_defaults(1 << 16),
+            0,
+            1 << 16,
+            (0..64 * shards as u64).map(|k| (k, k)),
+        );
+        let cfg = PipelineConfig { executors, ..PipelineConfig::quick() };
+        Pipeline::start_sharded(domains, map, cfg)
     }
 
     #[test]
@@ -724,5 +1189,58 @@ mod tests {
         let report = p.shutdown();
         assert_eq!(report.shed, 0);
         assert_eq!(client.call(KvOp::Get { key: 1 }), Err(KvError::ShuttingDown));
+    }
+
+    #[test]
+    fn sharded_pipeline_serves_single_and_cross_shard_ops() {
+        // 2 shards of 64 keys each, range-partitioned: 100 is shard 1.
+        let p = sharded_pipeline(2, 2);
+        let client = p.client();
+        // Single-shard point ops on both shards.
+        assert_eq!(client.call(KvOp::Get { key: 5 }), Ok(KvReply::Value(Some(5))));
+        assert_eq!(client.call(KvOp::Get { key: 100 }), Ok(KvReply::Value(Some(100))));
+        assert_eq!(
+            client.call(KvOp::Put { key: 10, val: 999 }),
+            Ok(KvReply::Done { changed: false })
+        );
+        // Cross-shard read: positional, spanning both shards.
+        assert_eq!(
+            client.call(KvOp::MultiGet { keys: vec![5, 100, 10] }),
+            Ok(KvReply::Values(vec![Some(5), Some(100), Some(999)]))
+        );
+        // Cross-shard transfer via 2PC: conserved.
+        assert_eq!(
+            client.call(KvOp::MultiAdd { deltas: vec![(5, -3), (100, 3)] }),
+            Ok(KvReply::Done { changed: true })
+        );
+        assert_eq!(
+            client.call(KvOp::MultiGet { keys: vec![5, 100] }),
+            Ok(KvReply::Values(vec![Some(2), Some(103)]))
+        );
+        // Cross-shard scan: keys 0..128 present, values mutated above.
+        match client.call(KvOp::ScanPrefix { prefix: 0, shift: 7, limit: 1000 }) {
+            Ok(KvReply::Scan { count, .. }) => assert_eq!(count, 128),
+            other => panic!("unexpected scan reply {other:?}"),
+        }
+        let report = p.shutdown();
+        assert_eq!(report.shards, 2);
+        assert_eq!(report.twopc.prepares, 1, "exactly one cross-shard update ran 2PC");
+        assert_eq!(report.twopc.aborts, 0);
+        assert!(report.twopc.ro_multi >= 3, "cross-shard reads coordinated");
+        assert!(report.shard_served.iter().all(|&n| n > 0), "both shards served work");
+        assert_eq!(report.shed, 0);
+    }
+
+    #[test]
+    fn sharded_routing_is_shard_affine_for_single_shard_ops() {
+        let p = sharded_pipeline(4, 4);
+        let client = p.client();
+        for k in 0..256u64 {
+            client.call(KvOp::Get { key: k % 200 }).unwrap();
+        }
+        let report = p.shutdown();
+        assert_eq!(report.twopc.prepares, 0, "point gets never enter 2PC");
+        assert_eq!(report.twopc.ro_multi, 0, "point gets never take xlocks");
+        assert_eq!(report.replies, 256);
     }
 }

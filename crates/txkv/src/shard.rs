@@ -1,0 +1,480 @@
+//! Sharding: keyspace partitioning, cross-shard routing, and the
+//! two-phase-commit core for multi-shard read-write transactions.
+//!
+//! Each shard is a *complete, independent* backend instance — its own
+//! simulated memory, conflict directory, TMCAM pool, `StateArray`, and
+//! (critically, for SI-HTM) its own quiescence domain. A writer's
+//! commit-time safety wait scans only the threads active *in its shard*,
+//! so partitioning the keyspace turns the paper's main scaling cost from
+//! O(total writers) into O(writers per shard). The [`ShardMap`] decides
+//! which shard owns which key; the pipeline routes single-shard requests
+//! to a shard-affine executor so the common case pays zero cross-shard
+//! coordination.
+//!
+//! ## Cross-shard transactions
+//!
+//! A multi-key update whose keys span shards cannot run as one backend
+//! transaction — there is no backend that sees both memories. The
+//! coordinator (any executor) runs a two-phase protocol over per-shard
+//! transactions, under per-shard coordination locks ([`XLock`]) acquired
+//! in ascending shard order (deadlock-free):
+//!
+//! 1. **prepare** — one read-only transaction per participant records an
+//!    undo image of the op's keys;
+//! 2. **apply** — one update transaction per participant applies its
+//!    part. If a participant escalated to its serialized fall-back path
+//!    (observable as an `sgl_acquisitions` delta), the remaining
+//!    participants are pinned to [`TmThread::exec_escalated`] — once the
+//!    protocol is half-applied, optimism only risks more mid-protocol
+//!    aborts.
+//!
+//! If apply unwinds (the chaos injector panics inside a transaction
+//! body), the caller compensates: already-applied participants are rolled
+//! back from the undo images ([`undo_parts`]), so an accepted cross-shard
+//! transfer either fully applies or fully aborts.
+//!
+//! ## What the locks do and don't serialize
+//!
+//! Single-shard operations never touch an [`XLock`]: within one shard the
+//! backend's own concurrency control is complete. The locks mutually
+//! exclude *cross-shard* operations with overlapping participant sets —
+//! a cross-shard audit (multi-shard `MultiGet`) therefore cannot observe
+//! a half-applied cross-shard transfer. Concurrent single-shard updates
+//! can still commit between a cross-shard reader's per-shard snapshots;
+//! that is admissible exactly because local operations are atomic per
+//! shard (a conserving local transfer keeps its shard's total fixed, so
+//! the audit's per-shard sums still add up). Undo for `MultiAdd` is
+//! delta-form (apply the negated deltas), which commutes with concurrent
+//! local adds; undo for `MultiPut` restores prepare-time images, which is
+//! admissible for blind writes (a concurrent racing blind write to the
+//! same key has no serialization-order claim either way).
+
+use crate::store::{KvOp, KvStore};
+use std::sync::atomic::{AtomicBool, Ordering};
+use tm_api::{Outcome, TmThread, TxKind};
+use txmem::hooks::{self, Event};
+use workloads::btree::NodeScratch;
+
+/// How the keyspace is partitioned across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Multiplicative hashing: keys scatter uniformly; range scans touch
+    /// every shard.
+    Hash,
+    /// Contiguous ranges of `keys_per_shard` keys per shard (the tail
+    /// shard absorbs the rest of the keyspace); range scans touch only
+    /// the shards covering the range.
+    Range { keys_per_shard: u64 },
+}
+
+/// Key → shard assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+    part: Partitioning,
+}
+
+/// Where one [`KvOp`] must execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// All keys live in one shard: backend-native execution, no
+    /// coordination.
+    Single(usize),
+    /// Participant shards, ascending and deduplicated. Read-only ops run
+    /// one read-only transaction per shard; updates run two-phase commit.
+    Cross(Vec<usize>),
+}
+
+impl ShardMap {
+    /// Hash partitioning over `shards` shards.
+    pub fn hash(shards: usize) -> ShardMap {
+        assert!(shards > 0, "need at least one shard");
+        ShardMap { shards, part: Partitioning::Hash }
+    }
+
+    /// Range partitioning: shard `i` owns `[i*keys_per_shard, (i+1)*keys_per_shard)`
+    /// (last shard unbounded above).
+    pub fn range(shards: usize, keys_per_shard: u64) -> ShardMap {
+        assert!(shards > 0, "need at least one shard");
+        assert!(keys_per_shard > 0, "keys_per_shard must be nonzero");
+        ShardMap { shards, part: Partitioning::Range { keys_per_shard } }
+    }
+
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    pub fn partitioning(&self) -> Partitioning {
+        self.part
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_of(&self, key: u64) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        match self.part {
+            Partitioning::Hash => {
+                // Fibonacci multiplicative mix; low bits of the product are
+                // poorly mixed, so fold the high half down first.
+                let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 32) % self.shards as u64) as usize
+            }
+            Partitioning::Range { keys_per_shard } => {
+                ((key / keys_per_shard) as usize).min(self.shards - 1)
+            }
+        }
+    }
+
+    /// Shards covering the key range `[from, to)`, ascending and deduped.
+    /// Under hash partitioning a wide range touches every shard; a narrow
+    /// one (≤ 64 keys) is resolved exactly.
+    pub fn shards_for_range(&self, from: u64, to: u64) -> Vec<usize> {
+        if self.shards == 1 || from >= to {
+            return vec![0];
+        }
+        match self.part {
+            Partitioning::Hash => {
+                if to - from <= 64 {
+                    let mut set: Vec<usize> = (from..to).map(|k| self.shard_of(k)).collect();
+                    set.sort_unstable();
+                    set.dedup();
+                    set
+                } else {
+                    (0..self.shards).collect()
+                }
+            }
+            Partitioning::Range { .. } => {
+                let lo = self.shard_of(from);
+                let hi = self.shard_of(to - 1);
+                (lo..=hi).collect()
+            }
+        }
+    }
+
+    /// Shard set of a key list, ascending and deduped (empty list → shard 0).
+    fn shards_of_keys(&self, keys: impl Iterator<Item = u64>) -> Vec<usize> {
+        let mut set: Vec<usize> = keys.map(|k| self.shard_of(k)).collect();
+        if set.is_empty() {
+            return vec![0];
+        }
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+
+    /// Route one operation.
+    pub fn route(&self, op: &KvOp) -> Route {
+        if self.shards == 1 {
+            return Route::Single(0);
+        }
+        let set = match op {
+            KvOp::Get { key }
+            | KvOp::Put { key, .. }
+            | KvOp::Delete { key }
+            | KvOp::Cas { key, .. } => return Route::Single(self.shard_of(*key)),
+            KvOp::MultiGet { keys } => self.shards_of_keys(keys.iter().copied()),
+            KvOp::MultiPut { pairs } => self.shards_of_keys(pairs.iter().map(|&(k, _)| k)),
+            KvOp::MultiAdd { deltas } => self.shards_of_keys(deltas.iter().map(|&(k, _)| k)),
+            KvOp::ScanPrefix { prefix, shift, .. } => {
+                let from = prefix << shift;
+                let to = match (prefix + 1).checked_shl(*shift) {
+                    Some(t) if t != 0 => t,
+                    _ => u64::MAX,
+                };
+                self.shards_for_range(from, to)
+            }
+        };
+        match set.as_slice() {
+            [one] => Route::Single(*one),
+            _ => Route::Cross(set),
+        }
+    }
+}
+
+/// Cross-shard coordination lock: a plain test-and-set spinlock whose
+/// spin emits [`Event::Poll`], so it works both under free-running OS
+/// threads (yield between probes) and under `tm-check`'s cooperative
+/// baton scheduler (the emit *is* the yield point — an OS mutex would
+/// deadlock the baton). No poisoning: an unwinding holder releases via
+/// the guard's `Drop`, and the lock state cannot be corrupted mid-flight
+/// because the flag is the entire state.
+#[derive(Debug, Default)]
+pub struct XLock {
+    locked: AtomicBool,
+}
+
+impl XLock {
+    pub fn new() -> XLock {
+        XLock { locked: AtomicBool::new(false) }
+    }
+
+    /// Non-blocking acquire.
+    pub fn try_lock(&self) -> Option<XGuard<'_>> {
+        if self.locked.compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed).is_ok() {
+            Some(XGuard(self))
+        } else {
+            None
+        }
+    }
+
+    /// Spin until acquired, yielding (and emitting [`Event::Poll`]) each
+    /// probe. Callers must acquire multiple locks in ascending shard
+    /// order; that global order makes the protocol deadlock-free.
+    pub fn lock(&self) -> XGuard<'_> {
+        loop {
+            if let Some(g) = self.try_lock() {
+                return g;
+            }
+            if hooks::active() {
+                hooks::emit(Event::Poll);
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// RAII release handle for [`XLock`].
+#[derive(Debug)]
+pub struct XGuard<'a>(&'a XLock);
+
+impl Drop for XGuard<'_> {
+    fn drop(&mut self) {
+        self.0.locked.store(false, Ordering::Release);
+    }
+}
+
+/// One participant's slice of a cross-shard update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XUpdate {
+    /// Blind writes (`MultiPut` keys owned by this shard).
+    Put(Vec<(u64, u64)>),
+    /// Read-modify-write deltas (`MultiAdd` keys owned by this shard).
+    Add(Vec<(u64, i64)>),
+}
+
+impl XUpdate {
+    fn keys(&self) -> Box<dyn Iterator<Item = u64> + '_> {
+        match self {
+            XUpdate::Put(pairs) => Box::new(pairs.iter().map(|&(k, _)| k)),
+            XUpdate::Add(deltas) => Box::new(deltas.iter().map(|&(k, _)| k)),
+        }
+    }
+}
+
+/// Per-key undo image recorded at prepare (`None` = key was absent).
+pub type UndoImage = Vec<(u64, Option<u64>)>;
+
+/// Borrowed execution context for one participant shard. The coordinator
+/// owns a registered thread handle and a write scratch *per shard*; the
+/// 2PC functions below only see them through this view, so the pipeline
+/// (monomorphic backend handles) and the `tm-check` scenario (boxed
+/// handles) share the protocol implementation.
+pub struct ShardPart<'a> {
+    pub store: &'a KvStore,
+    pub thread: &'a mut dyn TmThread,
+    pub scratch: &'a mut NodeScratch,
+}
+
+/// Phase 1 for one participant: record its undo image in one read-only
+/// transaction. Caller holds all participating [`XLock`]s and calls this
+/// once per participant, in ascending shard order.
+pub fn prepare_part(part: &mut ShardPart<'_>, upd: &XUpdate) -> UndoImage {
+    let mut undo: UndoImage = Vec::new();
+    let store = part.store;
+    part.thread.exec(TxKind::ReadOnly, &mut |tx| {
+        undo.clear(); // idempotent across fallback-path retries
+        for key in upd.keys() {
+            undo.push((key, store.get_in(tx, key)?));
+        }
+        Ok(())
+    });
+    undo
+}
+
+/// Phase 2 for one participant: apply its part in one update
+/// transaction. Returns `true` if this participant escalated to the
+/// serialized fall-back path during the apply (callers then pin the
+/// remaining participants by passing `escalated = true`). An unwind
+/// inside the transaction body (chaos panic) leaves this participant
+/// *not* applied — the injector only panics at transactional access
+/// points, never after the commit — so callers count a participant as
+/// applied only once this returns.
+pub fn apply_part(part: &mut ShardPart<'_>, upd: &XUpdate, escalated: bool) -> bool {
+    let sgl_before = part.thread.stats().sgl_acquisitions;
+    let store = part.store;
+    let scratch = &mut *part.scratch;
+    let mut body = |tx: &mut dyn tm_api::Tx| {
+        scratch.reset();
+        match upd {
+            XUpdate::Put(pairs) => {
+                for &(k, v) in pairs {
+                    store.put_in(tx, scratch, k, v)?;
+                }
+            }
+            XUpdate::Add(deltas) => {
+                for &(k, d) in deltas {
+                    let cur = store.get_in(tx, k)?.unwrap_or(0);
+                    store.put_in(tx, scratch, k, cur.wrapping_add(d as u64))?;
+                }
+            }
+        }
+        Ok(())
+    };
+    let out = if escalated {
+        part.thread.exec_escalated(&mut body)
+    } else {
+        part.thread.exec(TxKind::Update, &mut body)
+    };
+    if out == Outcome::Committed {
+        part.scratch.refill(part.store.alloc());
+    }
+    part.thread.stats().sgl_acquisitions > sgl_before
+}
+
+/// Compensate one *applied* participant of an interrupted 2PC. `Add`
+/// parts undo in delta form (commutes with concurrent local adds); `Put`
+/// parts restore the prepare-time image.
+pub fn undo_part(part: &mut ShardPart<'_>, upd: &XUpdate, undo: &UndoImage) {
+    let store = part.store;
+    let scratch = &mut *part.scratch;
+    let out = part.thread.exec(TxKind::Update, &mut |tx| {
+        scratch.reset();
+        match upd {
+            XUpdate::Add(deltas) => {
+                for &(k, d) in deltas {
+                    let cur = store.get_in(tx, k)?.unwrap_or(0);
+                    store.put_in(tx, scratch, k, cur.wrapping_sub(d as u64))?;
+                }
+            }
+            XUpdate::Put(_) => {
+                for &(k, old) in undo.iter() {
+                    match old {
+                        Some(v) => {
+                            store.put_in(tx, scratch, k, v)?;
+                        }
+                        None => {
+                            store.delete_in(tx, k)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    });
+    if out == Outcome::Committed {
+        part.scratch.refill(part.store.alloc());
+    }
+}
+
+/// Build one `(backend, store)` domain per shard: `mk_backend(s)`
+/// constructs shard `s`'s instance (own memory, own quiescence domain),
+/// and its store is bulk-loaded with exactly the `entries` the
+/// [`ShardMap`] assigns to it. Node arenas span `[base, base + words)`
+/// of each shard's private memory.
+pub fn build_domains<B: tm_api::TmBackend>(
+    map: &ShardMap,
+    mut mk_backend: impl FnMut(usize) -> B,
+    base: txmem::Addr,
+    words: u64,
+    entries: impl Iterator<Item = (u64, u64)> + Clone,
+) -> Vec<(B, KvStore)> {
+    (0..map.shards())
+        .map(|s| {
+            let backend = mk_backend(s);
+            let store = KvStore::create_with(
+                tm_api::TmBackend::memory(&backend),
+                base,
+                words,
+                entries.clone().filter(|&(k, _)| map.shard_of(k) == s),
+            );
+            (backend, store)
+        })
+        .collect()
+}
+
+/// Group `MultiPut` pairs by owning shard, in `set` order.
+pub fn group_puts(map: &ShardMap, set: &[usize], pairs: &[(u64, u64)]) -> Vec<XUpdate> {
+    set.iter()
+        .map(|&s| {
+            XUpdate::Put(pairs.iter().copied().filter(|&(k, _)| map.shard_of(k) == s).collect())
+        })
+        .collect()
+}
+
+/// Group `MultiAdd` deltas by owning shard, in `set` order.
+pub fn group_adds(map: &ShardMap, set: &[usize], deltas: &[(u64, i64)]) -> Vec<XUpdate> {
+    set.iter()
+        .map(|&s| {
+            XUpdate::Add(deltas.iter().copied().filter(|&(k, _)| map.shard_of(k) == s).collect())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_map_covers_all_shards_and_is_stable() {
+        let map = ShardMap::hash(4);
+        let mut seen = [false; 4];
+        for k in 0..256u64 {
+            let s = map.shard_of(k);
+            assert!(s < 4);
+            assert_eq!(s, map.shard_of(k), "assignment must be deterministic");
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "256 keys must hit all 4 shards");
+    }
+
+    #[test]
+    fn range_map_is_contiguous() {
+        let map = ShardMap::range(4, 100);
+        assert_eq!(map.shard_of(0), 0);
+        assert_eq!(map.shard_of(99), 0);
+        assert_eq!(map.shard_of(100), 1);
+        assert_eq!(map.shard_of(399), 3);
+        assert_eq!(map.shard_of(u64::MAX), 3, "tail shard absorbs the rest");
+        assert_eq!(map.shards_for_range(50, 250), vec![0, 1, 2]);
+        assert_eq!(map.shards_for_range(100, 200), vec![1]);
+    }
+
+    #[test]
+    fn routing_classifies_single_vs_cross() {
+        let map = ShardMap::range(2, 100);
+        assert_eq!(map.route(&KvOp::Get { key: 5 }), Route::Single(0));
+        assert_eq!(map.route(&KvOp::Put { key: 150, val: 1 }), Route::Single(1));
+        assert_eq!(map.route(&KvOp::MultiGet { keys: vec![1, 2] }), Route::Single(0));
+        assert_eq!(
+            map.route(&KvOp::MultiAdd { deltas: vec![(1, -5), (150, 5)] }),
+            Route::Cross(vec![0, 1])
+        );
+        // One shard → everything is Single, even wide scans.
+        let one = ShardMap::hash(1);
+        assert_eq!(
+            one.route(&KvOp::ScanPrefix { prefix: 0, shift: 60, limit: 10 }),
+            Route::Single(0)
+        );
+    }
+
+    #[test]
+    fn grouping_partitions_without_loss() {
+        let map = ShardMap::range(2, 100);
+        let adds = vec![(10u64, -3i64), (150, 3), (20, 1)];
+        let set = vec![0, 1];
+        let grouped = group_adds(&map, &set, &adds);
+        assert_eq!(grouped[0], XUpdate::Add(vec![(10, -3), (20, 1)]));
+        assert_eq!(grouped[1], XUpdate::Add(vec![(150, 3)]));
+    }
+
+    #[test]
+    fn xlock_excludes_and_releases_on_drop() {
+        let l = XLock::new();
+        let g = l.try_lock().expect("uncontended acquire");
+        assert!(l.try_lock().is_none(), "held lock must refuse");
+        drop(g);
+        assert!(l.try_lock().is_some(), "drop must release");
+    }
+}
