@@ -27,13 +27,23 @@
 //! instances (range map, one quiescence domain each); `--cross-shard-pct P`
 //! makes P % of generated ops cross-shard conserving transfers (2PC).
 //!
+//! `--durability off|async|sync` runs every cell over a live per-shard
+//! WAL (`txkv::durability`): commit-ordered appends with group-commit
+//! fsync, `sync` delaying each update's reply until its record is
+//! durable. `--durability-sweep` adds an SI-HTM open-loop leg at each of
+//! the three modes — same arrival rate — so the artifact reports the
+//! Sync-vs-Off overhead directly.
+//!
 //! Results go to `BENCH_TXKV.json` in the versioned `bench::schema`
-//! envelope (v2: adds `shards`, `cross_shard_pct`, `tick_us`,
-//! `ro_replies_per_sec` and the `twopc_*` counters). With
+//! envelope (v3: adds the `durability` column and `wal_*` counters; v2
+//! added `shards`, `cross_shard_pct`, `tick_us`, `ro_replies_per_sec`
+//! and the `twopc_*` counters). With
 //! `--assert-service` the run enforces the service-level acceptance
 //! checks (no starved executors, RO batching engaged, backend-appropriate
 //! RO-abort expectations — see `bench::schema` — overload sheds typed,
-//! cross-shard 2PC clean when chaos is off); a violation writes
+//! cross-shard 2PC clean when chaos is off, and on durable runs: WAL
+//! appends happened, fsyncs happened, no sync ack ever preceded its
+//! fsync, no dead-log sheds); a violation writes
 //! `TXKV_FAILURE.json` and exits non-zero, mirroring the chaos-soak
 //! failure-artifact pattern. `--chaos` arms the runtime fault injector
 //! for the open-loop phase and checks liveness under a deadline.
@@ -41,6 +51,7 @@
 //! Usage: `cargo run --release --bin txkv_bench [-- --quick] [--smoke]
 //!         [--backends si-htm,htm] [--rate N] [--duration-ms N]
 //!         [--shards N] [--cross-shard-pct P] [--sweep]
+//!         [--durability off|async|sync] [--durability-sweep]
 //!         [--chaos] [--assert-service]`
 
 use bench::{schema, Backend};
@@ -49,7 +60,10 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use tm_api::{BackoffPolicy, TmBackend};
 use txkv::shard::build_domains;
-use txkv::{KvError, KvOp, Pipeline, PipelineConfig, ServiceReport, ShardMap};
+use txkv::{
+    DurabilityConfig, DurabilityMode, KvError, KvOp, Pipeline, PipelineConfig, ServiceReport,
+    ShardMap, WalSet,
+};
 use txmem::hooks::chaos::{self, ChaosConfig};
 use workloads::btree;
 
@@ -78,6 +92,10 @@ struct Args {
     /// whose write set overflows the TMCAM — each one degrades to the
     /// SGL and serializes its whole domain (sweep cells only).
     ingest_pct: u64,
+    /// Ack-vs-fsync contract every cell runs under.
+    durability: DurabilityMode,
+    /// Add the SI-HTM Off/Async/Sync overhead legs.
+    durability_sweep: bool,
 }
 
 fn parse_args() -> Args {
@@ -128,6 +146,13 @@ fn parse_args() -> Args {
         ingest_pct: val("--ingest-pct")
             .map(|s| s.parse().expect("--ingest-pct takes an integer"))
             .unwrap_or(0),
+        durability: match val("--durability") {
+            None | Some("off") => DurabilityMode::Off,
+            Some("async") => DurabilityMode::Async,
+            Some("sync") => DurabilityMode::Sync,
+            Some(other) => panic!("unknown durability mode '{other}' (off | async | sync)"),
+        },
+        durability_sweep: has("--durability-sweep"),
     }
 }
 
@@ -330,6 +355,19 @@ fn overload<B: TmBackend>(pipeline: Pipeline<B>, args: &Args) -> ModeOut {
 
 // -------------------------------------------------- dispatch + checking
 
+/// Fresh WAL directory for one durable bench cell.
+fn wal_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "txkv-bench-wal-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
 fn run_mode(backend: Backend, mode: &str, args: &Args) -> ModeOut {
     let words = memory_words();
     let backoff = if args.chaos { BackoffPolicy::exponential() } else { BackoffPolicy::default() };
@@ -346,13 +384,37 @@ fn run_mode(backend: Backend, mode: &str, args: &Args) -> ModeOut {
             };
             let map = shard_map(args);
             let domains = build_domains(&map, $mk, 0, words as u64, entries(args.shards));
-            let pipeline = Pipeline::start_sharded(domains, map, cfg);
-            match mode {
+            let dir = (args.durability != DurabilityMode::Off).then(wal_dir);
+            let pipeline = match &dir {
+                None => Pipeline::start_sharded(domains, map, cfg),
+                Some(dir) => {
+                    let dcfg = DurabilityConfig {
+                        group_commit_max: 32,
+                        checkpoint_every: 2048,
+                        ..DurabilityConfig::new(args.durability, dir)
+                    };
+                    let wal = WalSet::open(&dcfg, args.shards).expect("bench WAL open");
+                    // Make the populated keyspace durable up front, as a
+                    // base checkpoint per shard: the on-disk state stays
+                    // recoverable from the first appended record on.
+                    for s in 0..args.shards {
+                        let ents: Vec<(u64, u64)> =
+                            entries(args.shards).filter(|&(k, _)| map.shard_of(k) == s).collect();
+                        wal.install_checkpoint(s, &ents).expect("bench WAL seed checkpoint");
+                    }
+                    Pipeline::start_durable(domains, map, cfg, wal)
+                }
+            };
+            let out = match mode {
                 "open" | "sweep" => open_loop(pipeline, args),
                 "closed" => closed_loop(pipeline, args),
                 "overload" => overload(pipeline, args),
                 _ => unreachable!(),
+            };
+            if let Some(dir) = dir {
+                let _ = std::fs::remove_dir_all(dir);
             }
+            out
         }};
     }
     match backend {
@@ -451,6 +513,29 @@ fn check(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> Result<(),
             ));
         }
     }
+    // Durable-run invariants: the log was actually written, fsyncs
+    // happened, no sync ack ever preceded its fsync, and nothing was
+    // shed for a dead log (the bench scripts no crash).
+    if r.durability != "off" {
+        if r.wal.wal_appends == 0 {
+            return Err("durable run logged no WAL appends".into());
+        }
+        if r.wal.fsync_batches == 0 {
+            return Err("durable run never fsynced".into());
+        }
+        if r.wal.sync_acks_early != 0 {
+            return Err(format!(
+                "{} sync ack(s) delivered before the record was durable",
+                r.wal.sync_acks_early
+            ));
+        }
+        if r.wal.wal_dead_sheds != 0 {
+            return Err(format!(
+                "{} request(s) shed for a dead log without a scripted crash",
+                r.wal.wal_dead_sheds
+            ));
+        }
+    }
     match mode {
         "open" | "sweep" => {
             if r.starved_executors != 0 && args.shards < args.executors {
@@ -533,7 +618,7 @@ fn row_json(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> String 
     format!(
         "{{\"backend\": \"{}\", \"mode\": \"{mode}\", \"rate\": {}, \"duration_ms\": {}, \
          \"executors\": {}, \"shards\": {}, \"cross_shard_pct\": {}, \"tick_us\": {}, \"host_cpus\": {}, \
-         \"chaos\": {}, \"submitted\": {}, \"rejected\": {}, \
+         \"chaos\": {}, \"durability\": \"{}\", \"submitted\": {}, \"rejected\": {}, \
          \"replies\": {}, \"shed\": {}, \"overloaded\": {}, \"replies_per_sec\": {:.0}, \
          \"ro_replies_per_sec\": {:.0}, \
          \"ro_batches\": {}, \"ro_batch_ops\": {}, \"mean_ro_batch\": {:.2}, \
@@ -541,7 +626,10 @@ fn row_json(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> String 
          \"executor_backoffs\": {}, \"commits\": {}, \"ro_commits\": {}, \"sgl_commits\": {}, \
          \"aborts\": {}, \"user_aborts\": {}, \"quiesce_waits\": {}, \
          \"twopc_prepares\": {}, \"twopc_aborts\": {}, \"twopc_escalations\": {}, \
-         \"twopc_ro_multi\": {}, \"classes\": {classes}}}",
+         \"twopc_ro_multi\": {}, \
+         \"wal_appends\": {}, \"wal_fsync_batches\": {}, \"wal_mean_group_commit\": {:.2}, \
+         \"wal_checkpoints\": {}, \"wal_sync_acks_early\": {}, \"wal_dead_sheds\": {}, \
+         \"classes\": {classes}}}",
         backend.name(),
         if mode == "open" || mode == "sweep" { args.rate } else { 0 },
         out.wall.as_millis(),
@@ -551,6 +639,7 @@ fn row_json(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> String 
         out.tick_us,
         host_cpus(),
         args.chaos,
+        r.durability,
         out.submitted,
         out.rejected,
         r.replies,
@@ -575,6 +664,12 @@ fn row_json(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> String 
         r.twopc.aborts,
         r.twopc.escalations,
         r.twopc.ro_multi,
+        r.wal.wal_appends,
+        r.wal.fsync_batches,
+        r.wal.mean_group_commit(),
+        r.wal.checkpoints,
+        r.wal.sync_acks_early,
+        r.wal.wal_dead_sheds,
     )
 }
 
@@ -602,6 +697,18 @@ fn print_cell(backend: Backend, mode: &str, args: &Args, out: &ModeOut) {
         r.twopc.escalations,
         r.starved_executors,
     );
+    if r.durability != "off" {
+        println!(
+            "         wal[{}]: {} appends, {} fsync batches (mean group {:.1}), \
+             {} checkpoints, {} early sync acks",
+            r.durability,
+            r.wal.wal_appends,
+            r.wal.fsync_batches,
+            r.wal.mean_group_commit(),
+            r.wal.checkpoints,
+            r.wal.sync_acks_early,
+        );
+    }
     for cl in &r.class {
         if cl.count() == 0 {
             continue;
@@ -667,6 +774,31 @@ fn run_sweep(args: &Args, rows: &mut Vec<String>) -> Vec<(usize, u64, f64)> {
     cells
 }
 
+/// The durability cost legs: SI-HTM open loop at Off / Async / Sync,
+/// same arrival rate — the per-row `durability` column plus
+/// `replies_per_sec` is the Sync-vs-Off overhead headline. On SI-HTM the
+/// RO fast path must stay abort-free in every mode (logging sits
+/// strictly after commit, outside the transactions), which
+/// `--assert-service` enforces per cell.
+fn run_durability_sweep(args: &Args, rows: &mut Vec<String>) {
+    let mut rates: Vec<(DurabilityMode, f64)> = Vec::new();
+    for mode in [DurabilityMode::Off, DurabilityMode::Async, DurabilityMode::Sync] {
+        let cell_args = Args { durability: mode, sweep: false, ..args.clone() };
+        let out = run_cell(Backend::SiHtm, "open", &cell_args, rows);
+        rates.push((mode, out.report.replies as f64 / out.wall.as_secs_f64()));
+    }
+    let off = rates[0].1;
+    for &(mode, rate) in &rates[1..] {
+        println!(
+            "durability: {:>5} {:>9.0} replies/s = {:.1}% of off ({:.0}/s)",
+            mode.name(),
+            rate,
+            100.0 * rate / off.max(1.0),
+            off
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
     let chaos_guard = args.chaos.then(|| {
@@ -687,6 +819,9 @@ fn main() {
         for &mode in modes {
             run_cell(backend, mode, &args, &mut rows);
         }
+    }
+    if args.durability_sweep {
+        run_durability_sweep(&args, &mut rows);
     }
     if args.sweep {
         let cells = run_sweep(&args, &mut rows);

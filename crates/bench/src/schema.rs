@@ -46,17 +46,26 @@ pub const CHAOS_SOAK: Artifact = Artifact { name: "chaos_soak", version: 1 };
 /// `quiesce_waits`, and the `twopc_*` counters (cross-shard two-phase
 /// commit prepares / aborts / escalations / multi-shard reads).
 ///
+/// v3 added durability: the `durability` column (`off` / `async` /
+/// `sync` — which ack-vs-fsync contract the cell ran under) and the WAL
+/// counters `wal_appends`, `wal_fsync_batches`, `wal_mean_group_commit`,
+/// `wal_checkpoints`, `wal_sync_acks_early` (must be 0: a `sync` ack
+/// may never precede its fsync), and `wal_dead_sheds`. Comparing
+/// `replies_per_sec` across `durability` values at fixed rate is the
+/// Sync-vs-Off overhead headline (`txkv_bench --durability-sweep`).
+///
 /// Reading `ro_batch_aborts` is backend-specific by design:
 ///
 /// | backend | expectation                                             |
 /// |---------|---------------------------------------------------------|
-/// | SI-HTM  | **must be 0** — the RO fast path never aborts (§3.3)    |
+/// | SI-HTM  | **must be 0** — the RO fast path never aborts (§3.3),   |
+/// |         | durable or not (logging sits outside transactions)      |
 /// | P8TM    | may abort; `ro_commits > 0` shows the RO path was taken |
 /// | HTM+SGL | RO batches are ordinary transactions; aborts are normal |
 /// | Silo    | OCC validation may fail and retry; aborts are normal    |
 ///
 /// `txkv_bench --assert-service` enforces exactly these expectations.
-pub const BENCH_TXKV: Artifact = Artifact { name: "bench_txkv", version: 2 };
+pub const BENCH_TXKV: Artifact = Artifact { name: "bench_txkv", version: 3 };
 
 impl Artifact {
     /// Wrap a JSON array of rows in the versioned envelope.

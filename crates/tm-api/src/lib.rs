@@ -27,7 +27,7 @@ pub mod stats;
 
 pub use hist::LatencyHist;
 pub use policy::{BackoffPolicy, ContentionManager, RetryPolicy, Watchdog};
-pub use stats::{ThreadStats, TwoPcStats};
+pub use stats::{ThreadStats, TwoPcStats, WalStats};
 
 pub use htm_sim::AbortReason;
 use txmem::{Addr, TxMemory};

@@ -148,6 +148,65 @@ impl AddAssign<&TwoPcStats> for TwoPcStats {
     }
 }
 
+/// Write-ahead-log and checkpoint accounting (service-side, like
+/// [`TwoPcStats`]: the backends never see the log, only the service
+/// layer appends to it — strictly after commit, per the DUMBO
+/// discipline, so logging can never abort a hardware transaction).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended (one per committed update transaction, plus the
+    /// 2PC protocol records).
+    pub wal_appends: u64,
+    /// Bytes appended (framed).
+    pub wal_bytes: u64,
+    /// Group-commit fsyncs executed.
+    pub fsync_batches: u64,
+    /// Records those fsyncs made durable (`fsynced_records /
+    /// fsync_batches` = mean group-commit batch, the fsync amortization).
+    pub fsynced_records: u64,
+    /// Checkpoints written (each truncates the covered log).
+    pub checkpoints: u64,
+    /// Entries captured across all checkpoints.
+    pub checkpoint_entries: u64,
+    /// Log records replayed by the recovery that produced this
+    /// pipeline's backends (0 for a fresh start).
+    pub recovery_replayed: u64,
+    /// Torn/corrupt tail records dropped by that recovery.
+    pub recovery_torn: u64,
+    /// Self-check: Sync-mode acks filled before their record was
+    /// durable. Must stay 0 — enforced by `--assert-service`.
+    pub sync_acks_early: u64,
+    /// Requests shed because the WAL halted (simulated power failure):
+    /// a write that can no longer be made durable is never acked.
+    pub wal_dead_sheds: u64,
+}
+
+impl WalStats {
+    /// Mean records per fsync — the group-commit amortization factor.
+    pub fn mean_group_commit(&self) -> f64 {
+        if self.fsync_batches == 0 {
+            0.0
+        } else {
+            self.fsynced_records as f64 / self.fsync_batches as f64
+        }
+    }
+}
+
+impl AddAssign<&WalStats> for WalStats {
+    fn add_assign(&mut self, rhs: &WalStats) {
+        self.wal_appends += rhs.wal_appends;
+        self.wal_bytes += rhs.wal_bytes;
+        self.fsync_batches += rhs.fsync_batches;
+        self.fsynced_records += rhs.fsynced_records;
+        self.checkpoints += rhs.checkpoints;
+        self.checkpoint_entries += rhs.checkpoint_entries;
+        self.recovery_replayed += rhs.recovery_replayed;
+        self.recovery_torn += rhs.recovery_torn;
+        self.sync_acks_early += rhs.sync_acks_early;
+        self.wal_dead_sheds += rhs.wal_dead_sheds;
+    }
+}
+
 /// Sum per-thread statistics into a run total.
 pub fn aggregate<'a>(parts: impl IntoIterator<Item = &'a ThreadStats>) -> ThreadStats {
     let mut total = ThreadStats::default();

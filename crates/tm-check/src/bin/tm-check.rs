@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! tm-check [--backend htm|si-htm|p8tm|silo|all]
-//!          [--workload counter|bank|btree|txkv|xshard|all]
+//!          [--workload counter|bank|btree|txkv|xshard|recovery|all]
 //!          [--threads N] [--txns N] [--seeds N] [--seed-start N] [--max-steps N]
 //!          [--fault-access PER_MILLE] [--fault-commit PER_MILLE]
 //!          [--break-si] [--break-2pc] [--expect-violation] [--out FILE]
@@ -56,7 +56,7 @@ USAGE:
 
 OPTIONS:
     --backend KIND      htm | si-htm | p8tm | silo | all        [default: si-htm]
-    --workload KIND     counter | bank | btree | txkv | xshard | all
+    --workload KIND     counter | bank | btree | txkv | xshard | recovery | all
                                                                 [default: bank]
     --threads N         virtual threads per run                 [default: 3]
     --txns N            transactions per thread                 [default: 8]
@@ -98,6 +98,7 @@ fn parse_args() -> Result<Args, String> {
                     "btree" => vec![WorkloadKind::Btree],
                     "txkv" => vec![WorkloadKind::Txkv],
                     "xshard" => vec![WorkloadKind::XShard],
+                    "recovery" => vec![WorkloadKind::Recovery],
                     "all" => WorkloadKind::ALL.to_vec(),
                     other => return Err(format!("unknown workload '{other}'")),
                 };

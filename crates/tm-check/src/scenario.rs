@@ -16,10 +16,11 @@ use silo::Silo;
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use tm_api::{TmBackend, TmThread, TxKind};
-use txkv::shard::{apply_part, group_adds, prepare_part, ShardPart};
-use txkv::{KvStore, PushError, ShardMap, SubmitQueue, XLock};
+use txkv::durability::{Append, CrashSite, CrashSpec, DurabilityConfig, DurabilityMode, WalSet};
+use txkv::shard::{apply_part, group_adds, prepare_part, undo_part, ShardPart};
+use txkv::{recover, KvStore, PushError, ShardMap, SubmitQueue, XLock};
 use txmem::hooks::{self, Event};
 use txmem::{round_up_to_line, Addr, LineAlloc, TxMemory, WORDS_PER_LINE};
 use workloads::bank::Bank;
@@ -82,15 +83,26 @@ pub enum WorkloadKind {
     /// observes a half-applied cross-shard transfer, and the global
     /// balance is conserved.
     XShard,
+    /// Durability: the xshard shape plus a real per-shard WAL
+    /// ([`txkv::WalSet`]) driven through the full commit-ordered logging
+    /// protocol — local updates append post-images under the commit
+    /// lock, cross-shard transfers write the 2PC record sequence
+    /// (XBegin / XApply / XDecide / XAbort), and a seed-scripted
+    /// [`txkv::CrashSpec`] cuts the power mid-run at a
+    /// schedule-dependent point. Invariants: after recovery from the
+    /// surviving logs, balances are conserved (no torn cross-shard
+    /// state) and every sync-acked write is present.
+    Recovery,
 }
 
 impl WorkloadKind {
-    pub const ALL: [WorkloadKind; 5] = [
+    pub const ALL: [WorkloadKind; 6] = [
         WorkloadKind::Counter,
         WorkloadKind::Bank,
         WorkloadKind::Btree,
         WorkloadKind::Txkv,
         WorkloadKind::XShard,
+        WorkloadKind::Recovery,
     ];
 
     pub fn name(self) -> &'static str {
@@ -100,6 +112,7 @@ impl WorkloadKind {
             WorkloadKind::Btree => "btree",
             WorkloadKind::Txkv => "txkv",
             WorkloadKind::XShard => "xshard",
+            WorkloadKind::Recovery => "recovery",
         }
     }
 }
@@ -237,6 +250,7 @@ pub fn build(cfg: &CheckConfig, seed: u64) -> Scenario {
         WorkloadKind::Btree => build_btree(cfg, seed),
         WorkloadKind::Txkv => build_txkv(cfg, seed),
         WorkloadKind::XShard => build_xshard(cfg, seed),
+        WorkloadKind::Recovery => build_recovery(cfg, seed),
     }
 }
 
@@ -752,7 +766,8 @@ fn build_xshard(cfg: &CheckConfig, seed: u64) -> Scenario {
                             thread: &mut *threads[pi],
                             scratch: &mut scratches[pi],
                         };
-                        if apply_part(&mut part, upd, escalated) {
+                        let mut writes = Vec::new(); // post-image scratch (not logging)
+                        if apply_part(&mut part, upd, escalated, &mut writes) {
                             escalated = true;
                         }
                     }
@@ -812,6 +827,350 @@ fn build_xshard(cfg: &CheckConfig, seed: u64) -> Scenario {
             }
             (total != expected_total)
                 .then(|| format!("cross-shard balance not conserved: {total} != {expected_total}"))
+        }),
+    }
+}
+
+/// Recovery-workload shard geometry: each shard owns `RKV_ACCOUNTS`
+/// conserved bank accounts plus one monotone put-counter key per
+/// (possible) thread, so sync-acked-write survival is checkable per key.
+const RKV_ACCOUNTS: u64 = 4;
+const RKV_COUNTERS: u64 = 8; // one per thread at the CLI's 16-thread cap
+const RKV_PER_SHARD: u64 = RKV_ACCOUNTS + RKV_COUNTERS;
+
+/// Durability scenario: the xshard two-backend shape with a live
+/// [`WalSet`] wired through the full commit-ordered logging protocol —
+/// the same record sequences `txkv::Pipeline` writes, driven under the
+/// cooperative scheduler so the crash lands at a *schedule-dependent*
+/// point inside the protocol seams.
+///
+/// Each thread mixes:
+/// * shard-local conserving transfers logged as post-image `Write`
+///   records under the shard commit lock (append strictly after the
+///   backend transaction committed — the DUMBO discipline);
+/// * monotone counter puts, sync-acked only once the flush reports the
+///   record durable (the acked value is what recovery must preserve);
+/// * cross-shard 2PC transfers writing the durable-prepare / apply /
+///   decide record protocol, with in-memory compensation + `XAbort` when
+///   the power cut lands mid-transaction;
+/// * locked global audits (read-only; never touch the WAL).
+///
+/// The seed scripts a [`CrashSpec`] — site and countdown both derived
+/// from the seed — so across seeds every [`CrashSite`] is exercised, and
+/// schedule exploration varies *where in the interleaving* the power
+/// dies. End-of-run invariants recover from the surviving logs into
+/// fresh backends and require: no torn audit, live + recovered
+/// conservation, and every sync-acked write present (exactly equal when
+/// no crash tripped).
+fn build_recovery(cfg: &CheckConfig, seed: u64) -> Scenario {
+    let span = round_up_to_line(workloads::btree::memory_words(64) as u64);
+    let shard0 = make_backend(cfg, 2 * span as usize);
+    let shard1 = make_backend(cfg, 2 * span as usize);
+    let map = ShardMap::range(2, RKV_PER_SHARD);
+    let store0 =
+        KvStore::create_with(shard0.memory(), 0, span, (0..RKV_ACCOUNTS).map(|k| (k, KV_INITIAL)));
+    let store1 = KvStore::create_with(
+        shard1.memory(),
+        span,
+        span,
+        (RKV_PER_SHARD..RKV_PER_SHARD + RKV_ACCOUNTS).map(|k| (k, KV_INITIAL)),
+    );
+    let watched = 0..2 * span;
+    let mut init = snapshot_init(shard0.memory(), &(0..span));
+    init.extend(snapshot_init(shard1.memory(), &(span..2 * span)));
+    let expected_total = 2 * RKV_ACCOUNTS * KV_INITIAL;
+    let xlocks = Arc::new([XLock::new(), XLock::new()]);
+    let broken_audits = Arc::new(AtomicU64::new(0));
+    // Highest sync-acked value per counter key (what recovery owes us).
+    let acked = Arc::new(Mutex::new(HashMap::<u64, u64>::new()));
+
+    // Fresh WAL directory per scenario build: the checker re-builds the
+    // scenario for every explored/replayed schedule.
+    let dir = {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("tm-check-recovery-{}-{n}", std::process::id()))
+    };
+    let total_ops = (cfg.threads * cfg.txns_per_thread) as u64;
+    // Seed-scripted power cut: site and countdown both vary with the
+    // seed, so a sweep covers every crash site (and some seeds never
+    // trip it at all — the graceful case).
+    let crash = CrashSpec {
+        site: CrashSite::ALL[(seed % CrashSite::ALL.len() as u64) as usize],
+        after: (seed / CrashSite::ALL.len() as u64) % (total_ops / 2).max(1),
+    };
+    let dcfg = DurabilityConfig {
+        mode: DurabilityMode::Sync,
+        dir: dir.clone(),
+        group_commit_max: 1,
+        checkpoint_every: 0,
+        crash: Some(crash),
+    };
+    let wal = WalSet::open(&dcfg, 2).expect("recovery scenario WAL open");
+    // Make the seeded balances durable up front (as a base checkpoint,
+    // the shape a restarted service inherits): a crash before the first
+    // append must still recover the initial state.
+    for s in 0..2u64 {
+        let entries: Vec<(u64, u64)> =
+            (0..RKV_ACCOUNTS).map(|k| (s * RKV_PER_SHARD + k, KV_INITIAL)).collect();
+        wal.install_checkpoint(s as usize, &entries).expect("seed checkpoint");
+    }
+
+    let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    for tid in 0..cfg.threads {
+        let mut threads = [shard0.register(), shard1.register()];
+        let stores = [store0.clone(), store1.clone()];
+        let xlocks = Arc::clone(&xlocks);
+        let broken = Arc::clone(&broken_audits);
+        let acked = Arc::clone(&acked);
+        let wal = Arc::clone(&wal);
+        let mut rng = OpRng::new(seed, tid);
+        let txns = cfg.txns_per_thread;
+        bodies.push(Box::new(move || {
+            let mut scratches = [stores[0].new_batch_scratch(2), stores[1].new_batch_scratch(2)];
+            let mut writes: Vec<(u64, Option<u64>)> = Vec::new();
+            let mut ctr = 0u64;
+            for _ in 0..txns {
+                if !wal.alive() {
+                    break; // simulated power cut: the machine is gone
+                }
+                let dice = rng.below(10);
+                if dice < 3 {
+                    // Shard-local conserving transfer, logged as one
+                    // post-image record. Commit lock spans exec + append
+                    // so per-shard log order is commit order.
+                    let s = rng.below(2) as usize;
+                    let base = s as u64 * RKV_PER_SHARD;
+                    let from = base + rng.below(RKV_ACCOUNTS);
+                    let to = base + (from - base + 1 + rng.below(RKV_ACCOUNTS - 1)) % RKV_ACCOUNTS;
+                    let amount = 1 + rng.below(10);
+                    let cl = wal.commit_lock(s);
+                    writes.clear();
+                    stores[s].multi_add_logged(
+                        &mut *threads[s],
+                        &mut scratches[s],
+                        &[(from, -(amount as i64)), (to, amount as i64)],
+                        &mut writes,
+                    );
+                    wal.crash_point(CrashSite::AfterCommit);
+                    let lsn = wal.append(s, Append::Write(&writes));
+                    drop(cl);
+                    if lsn.is_ok() {
+                        let _ = wal.flush(s);
+                    }
+                } else if dice < 5 {
+                    // Monotone counter put on this thread's own key:
+                    // acked (recorded as owed) only once durable.
+                    let c = tid % 2;
+                    let key = c as u64 * RKV_PER_SHARD + RKV_ACCOUNTS + (tid as u64 / 2);
+                    ctr += 1;
+                    let cl = wal.commit_lock(c);
+                    stores[c].put(&mut *threads[c], &mut scratches[c], key, ctr);
+                    writes.clear();
+                    writes.push((key, Some(ctr)));
+                    wal.crash_point(CrashSite::AfterCommit);
+                    let lsn = wal.append(c, Append::Write(&writes));
+                    drop(cl);
+                    if let Ok(lsn) = lsn {
+                        if matches!(wal.flush(c), Ok(d) if d >= lsn) {
+                            acked.lock().unwrap().insert(key, ctr);
+                        }
+                    }
+                } else if dice < 8 {
+                    // Cross-shard 2PC transfer with the full durable
+                    // record protocol (the pipeline's sequence).
+                    let debit = rng.below(2) as usize;
+                    let from = debit as u64 * RKV_PER_SHARD + rng.below(RKV_ACCOUNTS);
+                    let to = (1 - debit) as u64 * RKV_PER_SHARD + rng.below(RKV_ACCOUNTS);
+                    let amount = 1 + rng.below(10);
+                    let ups =
+                        group_adds(&map, &[0, 1], &[(from, -(amount as i64)), (to, amount as i64)]);
+                    let _g0 = xlocks[0].lock();
+                    let _g1 = xlocks[1].lock();
+                    let mut undos = Vec::with_capacity(2);
+                    for (pi, upd) in ups.iter().enumerate() {
+                        let mut part = ShardPart {
+                            store: &stores[pi],
+                            thread: &mut *threads[pi],
+                            scratch: &mut scratches[pi],
+                        };
+                        undos.push(prepare_part(&mut part, upd));
+                    }
+                    let xid = wal.next_xid();
+                    // Durable prepare: every participant's XBegin on disk
+                    // before any apply (recovery can always compensate).
+                    let mut dead = false;
+                    for pi in 0..2 {
+                        let cl = wal.commit_lock(pi);
+                        let r = wal.append(
+                            pi,
+                            Append::XBegin { xid, parts: &[0, 1], upd: &ups[pi], undo: &undos[pi] },
+                        );
+                        drop(cl);
+                        if r.is_err() || wal.flush(pi).is_err() {
+                            dead = true;
+                            break;
+                        }
+                    }
+                    if dead {
+                        continue; // nothing applied: presumed abort is free
+                    }
+                    wal.crash_point(CrashSite::AfterPrepare);
+                    // The prepare → apply seam: the crash window the
+                    // recovery resolution aims at.
+                    hooks::emit(Event::Poll);
+                    let mut applied = 0usize;
+                    let mut escalated = false;
+                    for (pi, upd) in ups.iter().enumerate() {
+                        let cl = wal.commit_lock(pi);
+                        let mut part = ShardPart {
+                            store: &stores[pi],
+                            thread: &mut *threads[pi],
+                            scratch: &mut scratches[pi],
+                        };
+                        writes.clear();
+                        if apply_part(&mut part, upd, escalated, &mut writes) {
+                            escalated = true;
+                        }
+                        applied = pi + 1;
+                        let r = wal.append(pi, Append::XApply { xid, writes: &writes });
+                        drop(cl);
+                        if r.is_err() || wal.flush(pi).is_err() {
+                            dead = true;
+                            break;
+                        }
+                        wal.crash_point(CrashSite::AfterApply);
+                    }
+                    let mut decided = false;
+                    if !dead {
+                        for pi in 0..2 {
+                            let cl = wal.commit_lock(pi);
+                            let r = wal.append(pi, Append::XDecide { xid });
+                            drop(cl);
+                            let durable = r.is_ok() && wal.flush(pi).is_ok();
+                            if durable {
+                                decided = true; // first durable decision commits
+                            } else if decided {
+                                break; // already committed; rest is best-effort
+                            } else {
+                                dead = true;
+                                break;
+                            }
+                        }
+                        if decided {
+                            wal.crash_point(CrashSite::AfterDecision);
+                        }
+                    }
+                    if dead && !decided {
+                        // Presumed abort: compensate the applied parts in
+                        // memory (the locked audits must never see a
+                        // half-applied transfer) and log the rollback as
+                        // one atomic XAbort record, mirroring recovery.
+                        for pi in 0..applied {
+                            let cl = wal.commit_lock(pi);
+                            let mut part = ShardPart {
+                                store: &stores[pi],
+                                thread: &mut *threads[pi],
+                                scratch: &mut scratches[pi],
+                            };
+                            writes.clear();
+                            undo_part(&mut part, &ups[pi], &undos[pi], &mut writes);
+                            let _ = wal.append(pi, Append::XAbort { xid, writes: &writes });
+                            drop(cl);
+                            let _ = wal.flush(pi);
+                        }
+                    }
+                } else {
+                    // Global audit under both locks: the read-only lane,
+                    // which never touches the WAL (DUMBO discipline).
+                    let _g0 = xlocks[0].lock();
+                    let _g1 = xlocks[1].lock();
+                    let mut total = 0u64;
+                    let mut all_committed = true;
+                    for s in 0..2usize {
+                        let store = &stores[s];
+                        let mut sum = 0u64;
+                        let out = threads[s].exec(TxKind::ReadOnly, &mut |tx| {
+                            sum = 0;
+                            let base = s as u64 * RKV_PER_SHARD;
+                            for k in base..base + RKV_ACCOUNTS {
+                                sum = sum.wrapping_add(store.get_in(tx, k)?.unwrap_or(0));
+                            }
+                            Ok(())
+                        });
+                        all_committed &= out == tm_api::Outcome::Committed;
+                        total = total.wrapping_add(sum);
+                    }
+                    if all_committed && total != expected_total {
+                        broken.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+
+    let (s0, s1) = (store0.clone(), store1.clone());
+    let (m0, m1) = (shard0.clone(), shard1.clone());
+    Scenario {
+        backend: shard0,
+        watched,
+        init,
+        bodies,
+        check_invariants: Box::new(move || {
+            let broken = broken_audits.load(Ordering::Relaxed);
+            if broken > 0 {
+                return Some(format!(
+                    "{broken} locked audit(s) observed a torn cross-shard total \
+                     (expected {expected_total})"
+                ));
+            }
+            // Live memory must conserve whether or not the power cut
+            // tripped: every update path compensates before giving up.
+            let mut live = 0u64;
+            for k in 0..RKV_ACCOUNTS {
+                live = live.wrapping_add(s0.load_raw(m0.memory(), k).unwrap_or(0));
+            }
+            for k in RKV_PER_SHARD..RKV_PER_SHARD + RKV_ACCOUNTS {
+                live = live.wrapping_add(s1.load_raw(m1.memory(), k).unwrap_or(0));
+            }
+            if live != expected_total {
+                return Some(format!("live balances not conserved: {live} != {expected_total}"));
+            }
+            // Recover the durable state into fresh verification backends
+            // (any backend will do: replay is pure data) and hold it to
+            // the durability contract.
+            let graceful = wal.alive();
+            let domains = match recover(&dir, &map, |_| Silo::new(span as usize), 0, span) {
+                Ok((domains, _report)) => domains,
+                Err(e) => return Some(format!("recovery failed: {e}")),
+            };
+            let mut total = 0u64;
+            for (s, (b, st)) in domains.iter().enumerate() {
+                let base = s as u64 * RKV_PER_SHARD;
+                for k in base..base + RKV_ACCOUNTS {
+                    total = total.wrapping_add(st.load_raw(b.memory(), k).unwrap_or(0));
+                }
+            }
+            if total != expected_total {
+                return Some(format!(
+                    "recovered balance not conserved: {total} != {expected_total} \
+                     (crash site {:?})",
+                    crash.site
+                ));
+            }
+            for (&key, &n) in acked.lock().unwrap().iter() {
+                let (b, st) = &domains[map.shard_of(key)];
+                let got = st.load_raw(b.memory(), key).unwrap_or(0);
+                if got < n || (graceful && got != n) {
+                    return Some(format!(
+                        "sync-acked write lost: key {key} recovered {got}, acked {n} \
+                         (crash site {:?}, graceful: {graceful})",
+                        crash.site
+                    ));
+                }
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+            None
         }),
     }
 }

@@ -1,0 +1,167 @@
+//! Checkpoint (snapshot) files: the full `(key, value)` state of one
+//! shard as of an LSN, written atomically (temp + fsync + rename) so a
+//! crash mid-checkpoint leaves the previous checkpoint intact.
+//!
+//! ```text
+//!  ckpt-<lsn>.ckpt := magic:u32 version:u32 shard:u32 _pad:u32
+//!                     lsn:u64 count:u64 crc:u32 entries[count × (k:u64,v:u64)]
+//! ```
+//!
+//! The CRC covers the entry bytes; recovery takes the *newest valid*
+//! checkpoint and silently skips invalid ones (an interrupted rename or
+//! torn write degrades to replaying more log, never to wrong state).
+
+use super::record::crc32;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+pub const CKPT_MAGIC: u32 = 0x3150_4B43; // "CKP1"
+pub const CKPT_VERSION: u32 = 1;
+
+const HEADER: usize = 4 + 4 + 4 + 4 + 8 + 8 + 4;
+
+fn path_for(dir: &Path, lsn: u64) -> PathBuf {
+    dir.join(format!("ckpt-{lsn}.ckpt"))
+}
+
+/// Write the checkpoint for `shard` at `lsn` atomically.
+pub fn write(dir: &Path, shard: usize, lsn: u64, entries: &[(u64, u64)]) -> std::io::Result<()> {
+    let mut body = Vec::with_capacity(entries.len() * 16);
+    for &(k, v) in entries {
+        body.extend_from_slice(&k.to_le_bytes());
+        body.extend_from_slice(&v.to_le_bytes());
+    }
+    let mut buf = Vec::with_capacity(HEADER + body.len());
+    buf.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(shard as u32).to_le_bytes());
+    buf.extend_from_slice(&0u32.to_le_bytes());
+    buf.extend_from_slice(&lsn.to_le_bytes());
+    buf.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&crc32(&body).to_le_bytes());
+    buf.extend_from_slice(&body);
+    let tmp = dir.join(format!("ckpt-{lsn}.tmp"));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&buf)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path_for(dir, lsn))?;
+    // Make the rename itself durable (best effort — not all platforms
+    // allow fsync on a directory handle).
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Parse and validate one checkpoint file: `(lsn, entries)`.
+pub fn load(path: &Path) -> Option<(u64, Vec<(u64, u64)>)> {
+    let bytes = std::fs::read(path).ok()?;
+    if bytes.len() < HEADER {
+        return None;
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+    let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+    if u32_at(0) != CKPT_MAGIC || u32_at(4) != CKPT_VERSION {
+        return None;
+    }
+    let lsn = u64_at(16);
+    let count = u64_at(24) as usize;
+    let crc = u32_at(32);
+    let body = bytes.get(HEADER..HEADER + count * 16)?;
+    if crc32(body) != crc {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(count);
+    for i in 0..count {
+        let k = u64::from_le_bytes(body[i * 16..i * 16 + 8].try_into().unwrap());
+        let v = u64::from_le_bytes(body[i * 16 + 8..i * 16 + 16].try_into().unwrap());
+        entries.push((k, v));
+    }
+    Some((lsn, entries))
+}
+
+/// Checkpoint files in a shard dir as `(lsn, path)`, ascending by LSN.
+fn checkpoints(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let Ok(rd) = std::fs::read_dir(dir) else { return Vec::new() };
+    let mut out = Vec::new();
+    for entry in rd.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(lsn) = name.strip_prefix("ckpt-").and_then(|r| r.strip_suffix(".ckpt")) {
+            if let Ok(lsn) = lsn.parse::<u64>() {
+                out.push((lsn, entry.path()));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The newest checkpoint that parses and checksums: `(lsn, entries)`.
+/// Invalid (torn / interrupted) checkpoints are skipped, falling back to
+/// older ones, then to "no checkpoint" (replay from LSN 0).
+pub fn latest_valid(dir: &Path) -> Option<(u64, Vec<(u64, u64)>)> {
+    checkpoints(dir).into_iter().rev().find_map(|(_, path)| load(&path))
+}
+
+/// Remove checkpoints older than `keep_lsn` (best effort).
+pub fn prune_older(dir: &Path, keep_lsn: u64) {
+    for (lsn, path) in checkpoints(dir) {
+        if lsn < keep_lsn {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let d =
+            std::env::temp_dir().join(format!("txkv-ckpt-test-{}-{tag}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn roundtrip_and_latest_selection() {
+        let dir = tmpdir("rt");
+        write(&dir, 0, 10, &[(1, 100), (2, 200)]).unwrap();
+        write(&dir, 0, 20, &[(1, 111)]).unwrap();
+        let (lsn, entries) = latest_valid(&dir).unwrap();
+        assert_eq!(lsn, 20);
+        assert_eq!(entries, vec![(1, 111)]);
+        prune_older(&dir, 20);
+        assert!(!path_for(&dir, 10).exists());
+        assert!(path_for(&dir, 20).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_falls_back_to_older() {
+        let dir = tmpdir("corrupt");
+        write(&dir, 0, 10, &[(1, 100)]).unwrap();
+        write(&dir, 0, 20, &[(1, 999)]).unwrap();
+        // Corrupt the newer one's body.
+        let p = path_for(&dir, 20);
+        let mut bytes = std::fs::read(&p).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&p, bytes).unwrap();
+        let (lsn, entries) = latest_valid(&dir).unwrap();
+        assert_eq!(lsn, 10, "corrupt checkpoint must fall back");
+        assert_eq!(entries, vec![(1, 100)]);
+        // Truncated-below-header file is also skipped.
+        std::fs::write(path_for(&dir, 30), [0u8; 7]).unwrap();
+        assert_eq!(latest_valid(&dir).unwrap().0, 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,31 @@
+//! Durability for the txkv service: commit-ordered write-ahead logging,
+//! group-commit fsync, checkpoints with log truncation, and crash
+//! recovery — without ever touching the read-only fast path.
+//!
+//! The design follows the DUMBO thesis (PAPERS.md): persistence work is
+//! kept strictly *outside* the transactions. An update's record is
+//! appended after its backend transaction committed — on SI-HTM, after
+//! the pre-commit quiescence wait — under a per-shard commit lock that
+//! makes append order equal commit order (see [`wal`]). Read-only
+//! batches never touch the log at all, so durable serving keeps SI-HTM's
+//! never-aborting unbounded RO transactions exactly as they were
+//! (`ro_batch_aborts == 0` still holds under `Sync` durability).
+//!
+//! | module | role |
+//! |--------|------|
+//! | [`record`]     | frame format, checksums, torn-tail detection |
+//! | [`wal`]        | per-shard logs, group commit, simulated power failure |
+//! | [`checkpoint`] | atomic snapshot files + pruning |
+//! | [`recovery`]   | checkpoint + replay + 2PC resolution into fresh backends |
+//!
+//! See DESIGN.md §12 for the commit-order argument per backend and the
+//! full recovery protocol.
+
+pub mod checkpoint;
+pub mod record;
+pub mod recovery;
+pub mod wal;
+
+pub use record::{Record, Writes};
+pub use recovery::{recover, recover_and_open, RecoveryReport};
+pub use wal::{Append, CrashSite, CrashSpec, DurabilityConfig, DurabilityMode, WalDead, WalSet};

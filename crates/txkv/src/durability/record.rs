@@ -1,0 +1,381 @@
+//! WAL record framing: length-prefixed, checksummed, self-delimiting.
+//!
+//! ```text
+//!  frame  := magic:u32  len:u32  crc:u32  payload[len]
+//!  payload:= kind:u8  lsn:u64  body
+//! ```
+//!
+//! The CRC covers the payload only; `len` is the payload length. A torn
+//! final frame (the classic crash-mid-write artifact) therefore fails
+//! either the length check (fewer bytes on disk than `len` promises) or
+//! the checksum (a partial payload), and [`decode_all`] stops cleanly at
+//! the first invalid frame instead of replaying garbage — corruption is
+//! confined to the tail, which by construction holds only records that
+//! were never reported durable.
+
+use crate::shard::{UndoImage, XUpdate};
+
+/// Frame magic ("WAL1" little-endian-ish; any fixed tag works — it exists
+/// so a seek into the middle of a record is overwhelmingly unlikely to
+/// parse).
+pub const FRAME_MAGIC: u32 = 0x3157_414C;
+
+/// Post-image write set of one committed update transaction, in apply
+/// order: `Some(v)` = key now holds `v`, `None` = key deleted. Replay is
+/// plain ordered application — no interpretation, no read dependencies.
+pub type Writes = Vec<(u64, Option<u64>)>;
+
+/// One WAL record. Per-shard LSNs are dense and strictly increasing in
+/// *commit order* (the append happens under the shard's commit lock,
+/// after the backend transaction committed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A committed single-shard update transaction's post-image.
+    Write { lsn: u64, writes: Writes },
+    /// 2PC participant prepare: the transaction id, the full participant
+    /// set, this shard's slice of the update, and its prepare-time undo
+    /// image. Durable before any participant applies.
+    XBegin { lsn: u64, xid: u64, parts: Vec<u32>, upd: XUpdate, undo: UndoImage },
+    /// 2PC participant apply: this shard's committed post-image. Durable
+    /// on every participant before any decision record is written.
+    XApply { lsn: u64, xid: u64, writes: Writes },
+    /// 2PC commit decision. Present in *any* participant's log ⇒ every
+    /// participant's `XApply` is durable ⇒ recovery commits the
+    /// transaction everywhere.
+    XDecide { lsn: u64, xid: u64 },
+    /// 2PC abort on *this shard*: the live coordinator compensated the
+    /// shard's applied part, and `writes` is the committed compensation
+    /// post-image. One atomic record carries both the settlement marker
+    /// and the rollback, so recovery can never half-observe an abort
+    /// (marker without rollback, or rollback without marker).
+    XAbort { lsn: u64, xid: u64, writes: Writes },
+}
+
+impl Record {
+    pub fn lsn(&self) -> u64 {
+        match *self {
+            Record::Write { lsn, .. }
+            | Record::XBegin { lsn, .. }
+            | Record::XApply { lsn, .. }
+            | Record::XDecide { lsn, .. }
+            | Record::XAbort { lsn, .. } => lsn,
+        }
+    }
+}
+
+// ---- crc32 (IEEE 802.3, table-driven, no external deps) ---------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---- payload primitives ----------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_writes(out: &mut Vec<u8>, writes: &Writes) {
+    put_u32(out, writes.len() as u32);
+    for &(k, v) in writes {
+        put_u64(out, k);
+        match v {
+            Some(v) => {
+                out.push(1);
+                put_u64(out, v);
+            }
+            None => out.push(0),
+        }
+    }
+}
+
+fn put_upd(out: &mut Vec<u8>, upd: &XUpdate) {
+    match upd {
+        XUpdate::Put(pairs) => {
+            out.push(0);
+            put_u32(out, pairs.len() as u32);
+            for &(k, v) in pairs {
+                put_u64(out, k);
+                put_u64(out, v);
+            }
+        }
+        XUpdate::Add(deltas) => {
+            out.push(1);
+            put_u32(out, deltas.len() as u32);
+            for &(k, d) in deltas {
+                put_u64(out, k);
+                put_u64(out, d as u64);
+            }
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let b = self.buf.get(self.pos..self.pos + 4)?;
+        self.pos += 4;
+        Some(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let b = self.buf.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn writes(&mut self) -> Option<Writes> {
+        let n = self.u32()? as usize;
+        let mut w = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let k = self.u64()?;
+            let v = match self.u8()? {
+                0 => None,
+                1 => Some(self.u64()?),
+                _ => return None,
+            };
+            w.push((k, v));
+        }
+        Some(w)
+    }
+
+    fn upd(&mut self) -> Option<XUpdate> {
+        let tag = self.u8()?;
+        let n = self.u32()? as usize;
+        match tag {
+            0 => {
+                let mut pairs = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    pairs.push((self.u64()?, self.u64()?));
+                }
+                Some(XUpdate::Put(pairs))
+            }
+            1 => {
+                let mut deltas = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    deltas.push((self.u64()?, self.u64()? as i64));
+                }
+                Some(XUpdate::Add(deltas))
+            }
+            _ => None,
+        }
+    }
+}
+
+const K_WRITE: u8 = 1;
+const K_XBEGIN: u8 = 2;
+const K_XAPPLY: u8 = 3;
+const K_XDECIDE: u8 = 4;
+const K_XABORT: u8 = 5;
+
+/// Append one framed record to `out`.
+pub fn encode(rec: &Record, out: &mut Vec<u8>) {
+    let mut payload = Vec::with_capacity(64);
+    match rec {
+        Record::Write { lsn, writes } => {
+            payload.push(K_WRITE);
+            put_u64(&mut payload, *lsn);
+            put_writes(&mut payload, writes);
+        }
+        Record::XBegin { lsn, xid, parts, upd, undo } => {
+            payload.push(K_XBEGIN);
+            put_u64(&mut payload, *lsn);
+            put_u64(&mut payload, *xid);
+            put_u32(&mut payload, parts.len() as u32);
+            for &p in parts {
+                put_u32(&mut payload, p);
+            }
+            put_upd(&mut payload, upd);
+            put_writes(&mut payload, undo);
+        }
+        Record::XApply { lsn, xid, writes } => {
+            payload.push(K_XAPPLY);
+            put_u64(&mut payload, *lsn);
+            put_u64(&mut payload, *xid);
+            put_writes(&mut payload, writes);
+        }
+        Record::XDecide { lsn, xid } => {
+            payload.push(K_XDECIDE);
+            put_u64(&mut payload, *lsn);
+            put_u64(&mut payload, *xid);
+        }
+        Record::XAbort { lsn, xid, writes } => {
+            payload.push(K_XABORT);
+            put_u64(&mut payload, *lsn);
+            put_u64(&mut payload, *xid);
+            put_writes(&mut payload, writes);
+        }
+    }
+    put_u32(out, FRAME_MAGIC);
+    put_u32(out, payload.len() as u32);
+    put_u32(out, crc32(&payload));
+    out.extend_from_slice(&payload);
+}
+
+fn decode_payload(payload: &[u8]) -> Option<Record> {
+    let mut r = Reader { buf: payload, pos: 0 };
+    let rec = match r.u8()? {
+        K_WRITE => Record::Write { lsn: r.u64()?, writes: r.writes()? },
+        K_XBEGIN => {
+            let lsn = r.u64()?;
+            let xid = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut parts = Vec::with_capacity(n.min(1 << 10));
+            for _ in 0..n {
+                parts.push(r.u32()?);
+            }
+            Record::XBegin { lsn, xid, parts, upd: r.upd()?, undo: r.writes()? }
+        }
+        K_XAPPLY => Record::XApply { lsn: r.u64()?, xid: r.u64()?, writes: r.writes()? },
+        K_XDECIDE => Record::XDecide { lsn: r.u64()?, xid: r.u64()? },
+        K_XABORT => Record::XAbort { lsn: r.u64()?, xid: r.u64()?, writes: r.writes()? },
+        _ => return None,
+    };
+    (r.pos == payload.len()).then_some(rec)
+}
+
+/// How [`decode_all`] finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeTail {
+    /// Every byte parsed into valid frames.
+    Clean,
+    /// Parsing stopped at a torn or corrupt frame: `dropped` bytes of
+    /// tail were ignored. Recovery treats this as the crash point — by
+    /// the durability protocol nothing past the last valid frame was
+    /// ever reported durable.
+    Torn { dropped: usize },
+}
+
+/// Decode an entire log buffer, stopping cleanly at the first invalid
+/// frame (bad magic, short length, or checksum mismatch).
+pub fn decode_all(buf: &[u8]) -> (Vec<Record>, DecodeTail) {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        let torn = DecodeTail::Torn { dropped: buf.len() - pos };
+        let Some(hdr) = buf.get(pos..pos + 12) else { return (out, torn) };
+        let magic = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+        let len = u32::from_le_bytes(hdr[4..8].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(hdr[8..12].try_into().unwrap());
+        if magic != FRAME_MAGIC {
+            return (out, torn);
+        }
+        let Some(payload) = buf.get(pos + 12..pos + 12 + len) else { return (out, torn) };
+        if crc32(payload) != crc {
+            return (out, torn);
+        }
+        let Some(rec) = decode_payload(payload) else { return (out, torn) };
+        out.push(rec);
+        pos += 12 + len;
+    }
+    (out, DecodeTail::Clean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(records: &[Record]) {
+        let mut buf = Vec::new();
+        for r in records {
+            encode(r, &mut buf);
+        }
+        let (decoded, tail) = decode_all(&buf);
+        assert_eq!(tail, DecodeTail::Clean);
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        roundtrip(&[
+            Record::Write { lsn: 1, writes: vec![(7, Some(42)), (8, None)] },
+            Record::XBegin {
+                lsn: 2,
+                xid: 11,
+                parts: vec![0, 3],
+                upd: XUpdate::Add(vec![(1, -5), (2, 5)]),
+                undo: vec![(1, Some(10)), (2, None)],
+            },
+            Record::XBegin {
+                lsn: 3,
+                xid: 12,
+                parts: vec![1, 2],
+                upd: XUpdate::Put(vec![(9, 90)]),
+                undo: vec![(9, None)],
+            },
+            Record::XApply { lsn: 4, xid: 11, writes: vec![(1, Some(5))] },
+            Record::XDecide { lsn: 5, xid: 11 },
+            Record::XAbort { lsn: 6, xid: 12, writes: vec![(9, None)] },
+            Record::Write { lsn: 7, writes: vec![] },
+        ]);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_replayed() {
+        let mut buf = Vec::new();
+        encode(&Record::Write { lsn: 1, writes: vec![(1, Some(1))] }, &mut buf);
+        let intact = buf.len();
+        encode(&Record::Write { lsn: 2, writes: vec![(2, Some(2))] }, &mut buf);
+        // Tear the final record: every truncation point inside it must
+        // drop exactly that record and keep the intact prefix.
+        for cut in intact + 1..buf.len() {
+            let (decoded, tail) = decode_all(&buf[..cut]);
+            assert_eq!(decoded.len(), 1, "cut at {cut} must keep only the intact record");
+            assert_eq!(decoded[0].lsn(), 1);
+            assert!(matches!(tail, DecodeTail::Torn { .. }));
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_fails_checksum() {
+        let mut buf = Vec::new();
+        encode(&Record::Write { lsn: 1, writes: vec![(1, Some(1))] }, &mut buf);
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF;
+        let (decoded, tail) = decode_all(&buf);
+        assert!(decoded.is_empty());
+        assert!(matches!(tail, DecodeTail::Torn { .. }));
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

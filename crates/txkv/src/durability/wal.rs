@@ -1,0 +1,625 @@
+//! Per-shard commit-ordered logs behind one process-wide "power switch".
+//!
+//! A [`WalSet`] owns one log per shard. Appends happen under the shard's
+//! *commit lock* — a spinlock the pipeline holds across
+//! `exec(Update)` + `append`, making the pair the shard's commit
+//! serialization point: per-shard LSN order *is* commit order on every
+//! backend. On SI-HTM specifically, `exec` returns only after the
+//! pre-commit quiescence (safety) wait, so the record lands strictly
+//! after the commit is globally visible — logging never sits inside the
+//! hardware transaction and can never abort it (the DUMBO discipline).
+//!
+//! Appends buffer in user space; [`WalSet::flush`] writes and fsyncs the
+//! buffer as one *group commit*. `Sync` mode acks ride on the flushed
+//! LSN watermark ([`WalSet::durable_lsn`]); `Async` mode acks
+//! immediately and flushes on the same cadence.
+//!
+//! ## Simulated power failure
+//!
+//! Crash tests flip the set-wide `halted` flag (directly via
+//! [`WalSet::halt_all`] or through a scripted [`CrashSpec`]). From that
+//! instant every append/flush fails with [`WalDead`] — from the disk's
+//! point of view the machine lost power: whatever was fsynced is the
+//! entire surviving state, and the pipeline sheds (never acks) requests
+//! it can no longer make durable. The [`CrashSite::MidGroupCommit`]
+//! effect discards the un-fsynced buffer (written-but-not-synced data
+//! does not survive a power cut); [`CrashSite::TornTail`] persists a
+//! *prefix* of the final record, the artifact checksummed recovery must
+//! reject.
+
+use super::checkpoint;
+use super::record::{encode, Record};
+use crate::shard::{UndoImage, XLock, XUpdate};
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use tm_api::WalStats;
+
+/// When (and whether) an ack implies durability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityMode {
+    /// No logging at all (the pre-durability pipeline).
+    Off,
+    /// Commit-ordered logging with group-commit fsync, but acks do not
+    /// wait: a crash may lose a suffix of *acknowledged* writes (it
+    /// still never yields a torn or reordered state).
+    Async,
+    /// Sync-on-ack: the reply slot is filled only once the request's
+    /// record is fsynced. An acknowledged write survives any crash.
+    Sync,
+}
+
+impl DurabilityMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            DurabilityMode::Off => "off",
+            DurabilityMode::Async => "async",
+            DurabilityMode::Sync => "sync",
+        }
+    }
+}
+
+/// Scripted crash point for kill-and-restart tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSite {
+    /// After an update transaction committed in memory (on SI-HTM: after
+    /// the quiescence wait) but before its record was appended — the
+    /// quiescence-window crash. The write is lost *and was never acked*.
+    AfterCommit,
+    /// Inside a group-commit flush, before the fsync: the buffered
+    /// records never reach disk (a power cut eats the page cache).
+    MidGroupCommit,
+    /// Inside a group-commit flush, persisting only a prefix of the
+    /// final record: the torn-tail artifact recovery must detect by
+    /// checksum and drop.
+    TornTail,
+    /// 2PC: after every participant's `XBegin` is durable, before any
+    /// apply. Recovery must presume abort.
+    AfterPrepare,
+    /// 2PC: after at least one participant's `XApply` is durable, before
+    /// the decision. Recovery must compensate the applied participants.
+    AfterApply,
+    /// 2PC: after the decision is durable on at least one participant.
+    /// Recovery must commit the transaction on *all* participants.
+    AfterDecision,
+}
+
+impl CrashSite {
+    pub const ALL: [CrashSite; 6] = [
+        CrashSite::AfterCommit,
+        CrashSite::MidGroupCommit,
+        CrashSite::TornTail,
+        CrashSite::AfterPrepare,
+        CrashSite::AfterApply,
+        CrashSite::AfterDecision,
+    ];
+}
+
+/// Trip the simulated power failure at the `after`-th opportunity of
+/// `site` (0 = the first time the site is reached).
+#[derive(Debug, Clone, Copy)]
+pub struct CrashSpec {
+    pub site: CrashSite,
+    pub after: u64,
+}
+
+/// Durability configuration for a pipeline.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    pub mode: DurabilityMode,
+    /// Directory holding one `shard-<s>/` subdirectory per shard.
+    pub dir: PathBuf,
+    /// Flush when this many records are buffered (a momentarily empty
+    /// update lane also triggers a flush, so light load is not delayed).
+    pub group_commit_max: u64,
+    /// Checkpoint a shard after this many appends since its last
+    /// checkpoint (0 = never checkpoint).
+    pub checkpoint_every: u64,
+    /// Scripted crash for kill-and-restart tests.
+    pub crash: Option<CrashSpec>,
+}
+
+impl DurabilityConfig {
+    pub fn new(mode: DurabilityMode, dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            mode,
+            dir: dir.into(),
+            group_commit_max: 32,
+            checkpoint_every: 0,
+            crash: None,
+        }
+    }
+}
+
+/// The WAL refused an operation because the simulated machine lost
+/// power: nothing appended after this point can ever become durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalDead;
+
+/// What to append (the WAL assigns the LSN under the shard lock).
+pub enum Append<'a> {
+    Write(&'a super::record::Writes),
+    XBegin { xid: u64, parts: &'a [usize], upd: &'a XUpdate, undo: &'a UndoImage },
+    XApply { xid: u64, writes: &'a super::record::Writes },
+    XDecide { xid: u64 },
+    XAbort { xid: u64, writes: &'a super::record::Writes },
+}
+
+struct ShardWal {
+    dir: PathBuf,
+    /// Current segment file (`wal-<first-lsn>.log`), append-only.
+    file: Option<File>,
+    next_lsn: u64,
+    /// Everything ≤ this LSN is on disk and fsynced.
+    durable_lsn: u64,
+    /// Last LSN appended (buffered; ≥ `durable_lsn`).
+    appended_lsn: u64,
+    /// Encoded frames appended since the last flush.
+    buf: Vec<u8>,
+    buf_records: u64,
+    appends_since_ckpt: u64,
+    stats: WalStats,
+}
+
+impl ShardWal {
+    fn segment_path(&self, first_lsn: u64) -> PathBuf {
+        self.dir.join(format!("wal-{first_lsn}.log"))
+    }
+
+    fn open_segment(&mut self) -> std::io::Result<()> {
+        let path = self.segment_path(self.next_lsn);
+        self.file = Some(OpenOptions::new().create(true).append(true).open(path)?);
+        Ok(())
+    }
+}
+
+struct CrashState {
+    site: CrashSite,
+    remaining: AtomicU64,
+}
+
+struct WalShard {
+    commit_lock: XLock,
+    inner: Mutex<ShardWal>,
+}
+
+/// The per-shard logs plus the shared power switch and crash script.
+pub struct WalSet {
+    mode: DurabilityMode,
+    dir: PathBuf,
+    group_commit_max: u64,
+    checkpoint_every: u64,
+    shards: Vec<WalShard>,
+    halted: AtomicBool,
+    crash: Option<CrashState>,
+    next_xid: AtomicU64,
+    // Service-side counters that live outside the shard mutexes.
+    sync_acks_early: AtomicU64,
+    wal_dead_sheds: AtomicU64,
+    recovery_replayed: AtomicU64,
+    recovery_torn: AtomicU64,
+}
+
+impl WalSet {
+    /// Open (creating directories and fresh segments as needed) the logs
+    /// for `shards` shards. Continues LSN numbering past any existing
+    /// checkpoints and segments — always into a *new* segment, so stale
+    /// tails are never appended to.
+    pub fn open(cfg: &DurabilityConfig, shards: usize) -> std::io::Result<Arc<WalSet>> {
+        assert!(cfg.mode != DurabilityMode::Off, "WalSet::open with DurabilityMode::Off");
+        assert!(cfg.group_commit_max > 0, "group_commit_max must be nonzero");
+        let mut shard_wals = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let dir = cfg.dir.join(format!("shard-{s}"));
+            std::fs::create_dir_all(&dir)?;
+            let max_lsn = scan_max_lsn(&dir)?;
+            let mut wal = ShardWal {
+                dir,
+                file: None,
+                next_lsn: max_lsn + 1,
+                durable_lsn: max_lsn,
+                appended_lsn: max_lsn,
+                buf: Vec::new(),
+                buf_records: 0,
+                appends_since_ckpt: 0,
+                stats: WalStats::default(),
+            };
+            wal.open_segment()?;
+            shard_wals.push(WalShard { commit_lock: XLock::new(), inner: Mutex::new(wal) });
+        }
+        Ok(Arc::new(WalSet {
+            mode: cfg.mode,
+            dir: cfg.dir.clone(),
+            group_commit_max: cfg.group_commit_max,
+            checkpoint_every: cfg.checkpoint_every,
+            shards: shard_wals,
+            halted: AtomicBool::new(false),
+            crash: cfg
+                .crash
+                .map(|c| CrashState { site: c.site, remaining: AtomicU64::new(c.after) }),
+            next_xid: AtomicU64::new(1),
+            sync_acks_early: AtomicU64::new(0),
+            wal_dead_sheds: AtomicU64::new(0),
+            recovery_replayed: AtomicU64::new(0),
+            recovery_torn: AtomicU64::new(0),
+        }))
+    }
+
+    pub fn mode(&self) -> DurabilityMode {
+        self.mode
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Fresh cross-shard transaction id.
+    pub fn next_xid(&self) -> u64 {
+        self.next_xid.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The shard's commit-serialization lock. Hold it across
+    /// `exec(Update)` + [`WalSet::append`] so log order equals commit
+    /// order. It is an [`XLock`] (spin + poll-emitting), not an OS
+    /// mutex, so it is safe under `tm-check`'s cooperative scheduler.
+    pub fn commit_lock(&self, s: usize) -> crate::shard::XGuard<'_> {
+        self.shards[s].commit_lock.lock()
+    }
+
+    /// Whether the simulated machine still has power.
+    pub fn alive(&self) -> bool {
+        !self.halted.load(Ordering::Acquire)
+    }
+
+    /// Throw the power switch: every subsequent append/flush fails, and
+    /// the fsynced prefix of each log is the entire surviving state.
+    pub fn halt_all(&self) {
+        self.halted.store(true, Ordering::Release);
+    }
+
+    /// Reach a scripted crash site; trips the power switch when the
+    /// countdown hits zero. The flush-interior sites
+    /// ([`CrashSite::MidGroupCommit`], [`CrashSite::TornTail`]) are
+    /// handled inside [`WalSet::flush`], not here.
+    pub fn crash_point(&self, site: CrashSite) {
+        if let Some(c) = &self.crash {
+            if c.site == site && !self.halted.load(Ordering::Relaxed) && count_down(&c.remaining) {
+                self.halt_all();
+            }
+        }
+    }
+
+    fn flush_crash(&self, site: CrashSite) -> bool {
+        match &self.crash {
+            Some(c) if c.site == site => count_down(&c.remaining),
+            _ => false,
+        }
+    }
+
+    /// Append one record to shard `s`'s buffer (not yet durable) and
+    /// return its LSN. Call under the shard's commit lock.
+    pub fn append(&self, s: usize, what: Append<'_>) -> Result<u64, WalDead> {
+        if !self.alive() {
+            return Err(WalDead);
+        }
+        let mut w = self.shards[s].inner.lock().unwrap();
+        let lsn = w.next_lsn;
+        let rec = match what {
+            Append::Write(writes) => Record::Write { lsn, writes: writes.clone() },
+            Append::XBegin { xid, parts, upd, undo } => Record::XBegin {
+                lsn,
+                xid,
+                parts: parts.iter().map(|&p| p as u32).collect(),
+                upd: upd.clone(),
+                undo: undo.clone(),
+            },
+            Append::XApply { xid, writes } => Record::XApply { lsn, xid, writes: writes.clone() },
+            Append::XDecide { xid } => Record::XDecide { lsn, xid },
+            Append::XAbort { xid, writes } => Record::XAbort { lsn, xid, writes: writes.clone() },
+        };
+        let before = w.buf.len();
+        encode(&rec, &mut w.buf);
+        let frame = (w.buf.len() - before) as u64;
+        w.next_lsn = lsn + 1;
+        w.appended_lsn = lsn;
+        w.buf_records += 1;
+        w.appends_since_ckpt += 1;
+        w.stats.wal_appends += 1;
+        w.stats.wal_bytes += frame;
+        Ok(lsn)
+    }
+
+    /// Group-commit flush of shard `s`: write the buffered frames and
+    /// fsync, advancing the durable watermark to the last appended LSN.
+    pub fn flush(&self, s: usize) -> Result<u64, WalDead> {
+        if !self.alive() {
+            return Err(WalDead);
+        }
+        let mut w = self.shards[s].inner.lock().unwrap();
+        if w.buf.is_empty() {
+            return Ok(w.durable_lsn);
+        }
+        // Scripted crash artifacts: a power cut mid-group-commit loses
+        // the un-fsynced buffer entirely; a torn tail persists a prefix
+        // of the final record.
+        if self.flush_crash(CrashSite::MidGroupCommit) {
+            w.buf.clear();
+            w.buf_records = 0;
+            self.halt_all();
+            return Err(WalDead);
+        }
+        if self.flush_crash(CrashSite::TornTail) {
+            // Cut inside the final frame: keep everything before it plus
+            // half of the frame itself (at least its header, so the
+            // checksum — not the length check alone — must reject it).
+            let frames = frame_offsets(&w.buf);
+            let last = *frames.last().unwrap_or(&0);
+            let cut = last + (w.buf.len() - last).div_ceil(2).max(13.min(w.buf.len() - last));
+            let torn = w.buf[..cut.min(w.buf.len())].to_vec();
+            if let Some(f) = w.file.as_mut() {
+                let _ = f.write_all(&torn);
+                let _ = f.sync_data();
+            }
+            w.buf.clear();
+            w.buf_records = 0;
+            self.halt_all();
+            return Err(WalDead);
+        }
+        let buf = std::mem::take(&mut w.buf);
+        let records = w.buf_records;
+        w.buf_records = 0;
+        let file = w.file.as_mut().expect("segment open");
+        let ok = file.write_all(&buf).and_then(|()| file.sync_data());
+        match ok {
+            Ok(()) => {
+                w.durable_lsn = w.appended_lsn;
+                w.stats.fsync_batches += 1;
+                w.stats.fsynced_records += records;
+                Ok(w.durable_lsn)
+            }
+            Err(_) => {
+                // Real I/O failure: treat it as the power cut it may
+                // well precede. Nothing buffered can be trusted.
+                self.halt_all();
+                Err(WalDead)
+            }
+        }
+    }
+
+    /// Durable watermark of shard `s` (all LSNs ≤ this survive a crash).
+    pub fn durable_lsn(&self, s: usize) -> u64 {
+        self.shards[s].inner.lock().unwrap().durable_lsn
+    }
+
+    /// Records buffered (appended but not yet flushed) on shard `s`.
+    pub fn buffered(&self, s: usize) -> u64 {
+        self.shards[s].inner.lock().unwrap().buf_records
+    }
+
+    pub fn group_commit_max(&self) -> u64 {
+        self.group_commit_max
+    }
+
+    /// Whether shard `s` is due for a checkpoint.
+    pub fn wants_checkpoint(&self, s: usize) -> bool {
+        self.checkpoint_every > 0
+            && self.alive()
+            && self.shards[s].inner.lock().unwrap().appends_since_ckpt >= self.checkpoint_every
+    }
+
+    /// Install a checkpoint of shard `s` at the current appended LSN and
+    /// truncate the log. Call with the shard's xlock *and* commit lock
+    /// held and the WAL flushed: `entries` must be the store state
+    /// produced by exactly the records ≤ `durable_lsn`.
+    pub fn install_checkpoint(&self, s: usize, entries: &[(u64, u64)]) -> Result<(), WalDead> {
+        if !self.alive() {
+            return Err(WalDead);
+        }
+        let mut w = self.shards[s].inner.lock().unwrap();
+        assert!(w.buf.is_empty(), "checkpoint requires a flushed WAL");
+        let lsn = w.durable_lsn;
+        if checkpoint::write(&w.dir, s, lsn, entries).is_err() {
+            self.halt_all();
+            return Err(WalDead);
+        }
+        // Rotate to a fresh segment and drop everything the checkpoint
+        // covers (old segments and older checkpoints).
+        w.file = None;
+        if w.open_segment().is_err() {
+            self.halt_all();
+            return Err(WalDead);
+        }
+        prune_covered(&w.dir, lsn);
+        w.appends_since_ckpt = 0;
+        w.stats.checkpoints += 1;
+        w.stats.checkpoint_entries += entries.len() as u64;
+        Ok(())
+    }
+
+    pub fn note_sync_ack_early(&self) {
+        self.sync_acks_early.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn note_dead_shed(&self) {
+        self.wal_dead_sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record what a preceding recovery replayed (surfaced in
+    /// [`WalStats`] so the service report shows the restart provenance).
+    pub fn note_recovery(&self, replayed: u64, torn: u64) {
+        self.recovery_replayed.store(replayed, Ordering::Relaxed);
+        self.recovery_torn.store(torn, Ordering::Relaxed);
+    }
+
+    /// Aggregate statistics across all shards.
+    pub fn stats(&self) -> WalStats {
+        let mut total = WalStats {
+            sync_acks_early: self.sync_acks_early.load(Ordering::Relaxed),
+            wal_dead_sheds: self.wal_dead_sheds.load(Ordering::Relaxed),
+            recovery_replayed: self.recovery_replayed.load(Ordering::Relaxed),
+            recovery_torn: self.recovery_torn.load(Ordering::Relaxed),
+            ..WalStats::default()
+        };
+        for sh in &self.shards {
+            total += &sh.inner.lock().unwrap().stats;
+        }
+        total
+    }
+}
+
+fn count_down(remaining: &AtomicU64) -> bool {
+    // Saturating decrement; trips exactly once, when the count is 0.
+    remaining.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1)).is_err()
+}
+
+/// Byte offsets of every frame start in a buffer of our own encoding.
+fn frame_offsets(buf: &[u8]) -> Vec<usize> {
+    let mut offs = Vec::new();
+    let mut pos = 0usize;
+    while pos + 12 <= buf.len() {
+        offs.push(pos);
+        let len = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap()) as usize;
+        pos += 12 + len;
+    }
+    offs
+}
+
+/// Largest LSN recoverable from a shard directory: the newest valid
+/// checkpoint and every valid record in every segment.
+fn scan_max_lsn(dir: &Path) -> std::io::Result<u64> {
+    let mut max = checkpoint::latest_valid(dir).map(|(lsn, _)| lsn).unwrap_or(0);
+    for (_, path) in segments(dir)? {
+        let bytes = std::fs::read(&path)?;
+        let (records, _) = super::record::decode_all(&bytes);
+        if let Some(last) = records.last() {
+            max = max.max(last.lsn());
+        }
+    }
+    Ok(max)
+}
+
+/// `(first_lsn, path)` of every WAL segment in a shard dir, ascending.
+pub(super) fn segments(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(lsn) = name.strip_prefix("wal-").and_then(|r| r.strip_suffix(".log")) {
+            if let Ok(lsn) = lsn.parse::<u64>() {
+                out.push((lsn, entry.path()));
+            }
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Delete segments and checkpoints fully covered by the checkpoint at
+/// `lsn` (best-effort: recovery tolerates leftovers by LSN-filtering).
+fn prune_covered(dir: &Path, lsn: u64) {
+    if let Ok(segs) = segments(dir) {
+        for (first, path) in segs {
+            if first <= lsn {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+    checkpoint::prune_older(dir, lsn);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::record::Writes;
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let d =
+            std::env::temp_dir().join(format!("txkv-wal-test-{}-{tag}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn append_flush_advances_durable_watermark() {
+        let dir = tmpdir("basic");
+        let cfg = DurabilityConfig::new(DurabilityMode::Sync, &dir);
+        let wal = WalSet::open(&cfg, 2).unwrap();
+        let w: Writes = vec![(1, Some(10))];
+        let lsn1 = wal.append(0, Append::Write(&w)).unwrap();
+        let lsn2 = wal.append(0, Append::Write(&w)).unwrap();
+        assert_eq!(lsn2, lsn1 + 1);
+        assert_eq!(wal.durable_lsn(0), lsn1 - 1, "nothing durable before flush");
+        assert_eq!(wal.buffered(0), 2);
+        assert_eq!(wal.flush(0).unwrap(), lsn2);
+        assert_eq!(wal.durable_lsn(0), lsn2);
+        let st = wal.stats();
+        assert_eq!(st.wal_appends, 2);
+        assert_eq!(st.fsync_batches, 1);
+        assert_eq!(st.fsynced_records, 2);
+        assert!((st.mean_group_commit() - 2.0).abs() < 1e-9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn halt_kills_appends_and_flushes() {
+        let dir = tmpdir("halt");
+        let cfg = DurabilityConfig::new(DurabilityMode::Sync, &dir);
+        let wal = WalSet::open(&cfg, 1).unwrap();
+        let w: Writes = vec![(1, Some(10))];
+        wal.append(0, Append::Write(&w)).unwrap();
+        wal.halt_all();
+        assert_eq!(wal.append(0, Append::Write(&w)), Err(WalDead));
+        assert_eq!(wal.flush(0), Err(WalDead));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_group_commit_crash_loses_the_buffer() {
+        let dir = tmpdir("midgc");
+        let mut cfg = DurabilityConfig::new(DurabilityMode::Sync, &dir);
+        cfg.crash = Some(CrashSpec { site: CrashSite::MidGroupCommit, after: 1 });
+        let wal = WalSet::open(&cfg, 1).unwrap();
+        let w: Writes = vec![(1, Some(10))];
+        wal.append(0, Append::Write(&w)).unwrap();
+        assert!(wal.flush(0).is_ok(), "first flush survives (after: 1)");
+        wal.append(0, Append::Write(&w)).unwrap();
+        assert_eq!(wal.flush(0), Err(WalDead), "second flush trips the crash");
+        assert!(!wal.alive());
+        // Only the first record survived on disk.
+        let segs = segments(&dir.join("shard-0")).unwrap();
+        let mut recs = 0;
+        for (_, p) in segs {
+            recs += super::super::record::decode_all(&std::fs::read(p).unwrap()).0.len();
+        }
+        assert_eq!(recs, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_continues_lsns_in_a_fresh_segment() {
+        let dir = tmpdir("reopen");
+        let cfg = DurabilityConfig::new(DurabilityMode::Sync, &dir);
+        let w: Writes = vec![(1, Some(10))];
+        let last = {
+            let wal = WalSet::open(&cfg, 1).unwrap();
+            wal.append(0, Append::Write(&w)).unwrap();
+            let last = wal.append(0, Append::Write(&w)).unwrap();
+            wal.flush(0).unwrap();
+            last
+        };
+        let wal = WalSet::open(&cfg, 1).unwrap();
+        let next = wal.append(0, Append::Write(&w)).unwrap();
+        assert_eq!(next, last + 1, "LSNs continue across reopen");
+        assert_eq!(segments(&dir.join("shard-0")).unwrap().len(), 2, "new segment per open");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -31,7 +31,15 @@
 //!   and quiescence domain) with shard-affine routing: single-shard
 //!   requests pay zero cross-shard coordination, and multi-shard updates
 //!   run two-phase commit over per-shard transactions with SGL
-//!   escalation as the fall-back (see [`shard`] and DESIGN.md §11).
+//!   escalation as the fall-back (see [`shard`] and DESIGN.md §11);
+//! * [`durability`] — an opt-in per-shard commit-ordered write-ahead
+//!   log with group-commit fsync ([`DurabilityMode`]: Off / Async /
+//!   Sync-on-ack), periodic checkpoints with log truncation, and crash
+//!   recovery that replays into fresh backend instances — resolving
+//!   in-flight 2PC transactions from decision records. Logging happens
+//!   strictly after commit (on SI-HTM: after the quiescence wait), so
+//!   the RO fast path is untouched — the DUMBO discipline (see
+//!   [`durability`] and DESIGN.md §12).
 //!
 //! The PR-4 resilience layer covers the service path too: executors are
 //! yield points for the `txmem::hooks` chaos injector (stalls and forced
@@ -72,11 +80,16 @@
 //! assert_eq!(report.replies, 2);
 //! ```
 
+pub mod durability;
 pub mod pipeline;
 pub mod queue;
 pub mod shard;
 pub mod store;
 
+pub use durability::{
+    recover, recover_and_open, CrashSite, CrashSpec, DurabilityConfig, DurabilityMode,
+    RecoveryReport, WalSet,
+};
 pub use pipeline::{ClassLat, KvClient, PendingReply, Pipeline, PipelineConfig, ServiceReport};
 pub use queue::{PushError, SubmitQueue};
 pub use shard::{Partitioning, Route, ShardMap, XLock};

@@ -47,6 +47,7 @@
 //! shutdown. A `Drop` backstop on the internal request envelope
 //! guarantees this even if an executor unwinds.
 
+use crate::durability::{Append, CrashSite, DurabilityMode, WalDead, WalSet, Writes};
 use crate::queue::{PushError, SubmitQueue};
 use crate::shard::{
     apply_part, group_adds, group_puts, prepare_part, undo_part, Route, ShardMap, ShardPart,
@@ -61,7 +62,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tm_api::{Abort, AbortReason, BackoffPolicy, ContentionManager, LatencyHist};
-use tm_api::{ThreadStats, TmBackend, TmThread, TwoPcStats, TxKind};
+use tm_api::{ThreadStats, TmBackend, TmThread, TwoPcStats, TxKind, WalStats};
 use txmem::hooks::{self, Event};
 use workloads::btree::NodeScratch;
 
@@ -187,6 +188,9 @@ struct Shared {
     hard_stop: AtomicBool,
     overloaded: AtomicU64,
     multi_key_max: usize,
+    /// Per-shard commit-ordered WAL ([`Pipeline::start_durable`]); `None`
+    /// runs the pipeline exactly as before — zero durability overhead.
+    wal: Option<Arc<WalSet>>,
 }
 
 /// Cheap cloneable submission handle (no backend type parameter, so it
@@ -381,6 +385,10 @@ pub struct ServiceReport {
     /// Backend-side statistics summed over all executor threads and
     /// shards.
     pub backend_stats: ThreadStats,
+    /// Durability mode the pipeline ran with (`"off"` without a WAL).
+    pub durability: &'static str,
+    /// WAL / checkpoint / recovery counters (all zero without a WAL).
+    pub wal: WalStats,
 }
 
 impl ServiceReport {
@@ -405,6 +413,8 @@ impl ServiceReport {
             shard_stats: vec![ThreadStats::default(); shards],
             class: OpClass::ALL.iter().map(|&c| ClassLat::new(c)).collect(),
             backend_stats: ThreadStats::default(),
+            durability: "off",
+            wal: WalStats::default(),
         }
     }
 
@@ -477,6 +487,20 @@ impl ServiceReport {
                 self.shard_served,
             );
         }
+        if self.durability != "off" {
+            let _ = writeln!(
+                s,
+                "  wal[{}]: {} appends, {} fsync batches (mean group {:.1}), {} checkpoints, recovered {} records (+{} torn tails), {} dead-log sheds",
+                self.durability,
+                self.wal.wal_appends,
+                self.wal.fsync_batches,
+                self.wal.mean_group_commit(),
+                self.wal.checkpoints,
+                self.wal.recovery_replayed,
+                self.wal.recovery_torn,
+                self.wal.wal_dead_sheds,
+            );
+        }
         for cl in &self.class {
             if cl.count() == 0 {
                 continue;
@@ -524,6 +548,37 @@ impl<B: TmBackend> Pipeline<B> {
         map: ShardMap,
         cfg: PipelineConfig,
     ) -> Pipeline<B> {
+        Self::start_inner(domains, map, cfg, None)
+    }
+
+    /// Spawn a **durable** sharded pipeline: every update is appended to
+    /// the shard's commit-ordered WAL (under the shard commit lock, after
+    /// the backend transaction committed — on SI-HTM that is after the
+    /// pre-commit quiescence wait, strictly outside the hardware
+    /// transaction), group-commit fsynced, and — in
+    /// [`DurabilityMode::Sync`] — acked only once durable. Cross-shard
+    /// updates additionally write 2PC `XBegin`/`XApply`/`XDecide` records
+    /// so recovery resolves them all-or-nothing. The read-only lane never
+    /// touches the WAL: the SI-HTM RO fast path stays untouched.
+    ///
+    /// `wal` usually comes from [`crate::recover_and_open`], which also
+    /// rebuilds `domains` from the latest checkpoint + log tail.
+    pub fn start_durable(
+        domains: Vec<(B, KvStore)>,
+        map: ShardMap,
+        cfg: PipelineConfig,
+        wal: Arc<WalSet>,
+    ) -> Pipeline<B> {
+        assert_eq!(wal.shards(), map.shards(), "one WAL per shard");
+        Self::start_inner(domains, map, cfg, Some(wal))
+    }
+
+    fn start_inner(
+        domains: Vec<(B, KvStore)>,
+        map: ShardMap,
+        cfg: PipelineConfig,
+        wal: Option<Arc<WalSet>>,
+    ) -> Pipeline<B> {
         assert!(cfg.executors > 0, "pipeline needs at least one executor");
         assert!(cfg.ro_batch_max > 0, "ro_batch_max must be nonzero");
         assert_eq!(map.shards(), domains.len(), "one backend domain per shard");
@@ -540,6 +595,7 @@ impl<B: TmBackend> Pipeline<B> {
             hard_stop: AtomicBool::new(false),
             overloaded: AtomicU64::new(0),
             multi_key_max: cfg.multi_key_max,
+            wal,
         });
         let handles = (0..cfg.executors)
             .map(|i| {
@@ -580,6 +636,12 @@ impl<B: TmBackend> Pipeline<B> {
         &self.domains[s].1
     }
 
+    /// The WAL set, when running durably (crash tests pull the plug
+    /// through this: [`WalSet::halt_all`]).
+    pub fn wal(&self) -> Option<&Arc<WalSet>> {
+        self.shared.wal.as_ref()
+    }
+
     /// Graceful shutdown: close admission, give queued work `drain_grace`
     /// to complete, then shed the rest ([`KvReply::Shed`]) and join.
     pub fn shutdown(self) -> ServiceReport {
@@ -611,6 +673,10 @@ impl<B: TmBackend> Pipeline<B> {
             }
         }
         report.overloaded = self.shared.overloaded.load(Ordering::Relaxed);
+        if let Some(w) = &self.shared.wal {
+            report.durability = w.mode().name();
+            report.wal = w.stats();
+        }
         report
     }
 }
@@ -639,6 +705,11 @@ fn executor_loop<B: TmBackend>(
     let mut cm = ContentionManager::new(cfg.backoff, 0x9E37_79B9_7F4A_7C15 ^ (idx as u64 + 1));
     let mut out = ExecOut::new(shards);
     let mut batch: Vec<Request> = Vec::with_capacity(cfg.ro_batch_max);
+    let wal = shared.wal.as_deref();
+    // Sync-mode acks waiting for their WAL record to become durable, and
+    // a reusable post-image capture buffer for the update lane.
+    let mut pending: Vec<PendingAck> = Vec::new();
+    let mut writes: Writes = Vec::new();
     let primary = served[0];
     loop {
         let mut did_work = false;
@@ -660,6 +731,10 @@ fn executor_loop<B: TmBackend>(
                         &mut cm,
                         req,
                         &mut out,
+                        wal,
+                        s,
+                        &mut pending,
+                        &mut writes,
                     );
                 }));
                 if attempt.is_err() {
@@ -699,13 +774,44 @@ fn executor_loop<B: TmBackend>(
         // Cross-shard work: any executor coordinates (contention on the
         // xqueue is negligible — cross-shard traffic is the rare case).
         if let Some(req) = shared.xqueue.try_pop_update() {
-            serve_xshard_update(domains, shared, &mut threads, &mut scratches, cfg, req, &mut out);
+            serve_xshard_update(
+                domains,
+                shared,
+                &mut threads,
+                &mut scratches,
+                cfg,
+                req,
+                &mut out,
+                &mut pending,
+                &mut writes,
+            );
             did_work = true;
         }
         if shared.xqueue.try_pop_ro_batch(1, &mut batch) > 0 {
             let req = batch.pop().expect("popped one");
             serve_xshard_ro(domains, shared, &mut threads, req, &mut out);
             did_work = true;
+        }
+        // Durability maintenance every iteration: group-commit flushes,
+        // settle Sync acks that became durable, take due checkpoints.
+        if let Some(w) = wal {
+            wal_maintain(w, shared, &served, &mut pending, false, &mut out);
+            if w.alive() {
+                for &s in &served {
+                    if w.wants_checkpoint(s) {
+                        checkpoint_shard(
+                            domains,
+                            shared,
+                            w,
+                            &mut threads,
+                            &mut scratches,
+                            s,
+                            cfg.multi_key_max,
+                            &mut out,
+                        );
+                    }
+                }
+            }
         }
         if did_work {
             continue;
@@ -714,13 +820,34 @@ fn executor_loop<B: TmBackend>(
         if shared.hard_stop.load(Ordering::Acquire) || (served_done && shared.xqueue.is_done()) {
             break;
         }
-        // Idle: give the chaos injector its seam, jitter the re-poll so a
+        // Idle: nothing to batch behind, so force the group commit out
+        // before parking (bounds Sync ack latency at light load).
+        if let Some(w) = wal {
+            wal_maintain(w, shared, &served, &mut pending, true, &mut out);
+        }
+        // Give the chaos injector its seam, jitter the re-poll so a
         // large pool doesn't stampede the queue lock, then park briefly.
         if hooks::active() {
             hooks::emit(Event::Poll);
         }
         cm.admission_jitter(cfg.idle_jitter_ns);
         shared.shards[primary].queue.wait_for_work(cfg.idle_wait);
+    }
+    // Final group commit: push every shard's tail out (cheap no-op on
+    // empty buffers), settle what became durable, and shed the rest —
+    // an un-durable Sync ack must never escape, even at shutdown.
+    if let Some(w) = wal {
+        if w.alive() {
+            for s in 0..shards {
+                let _ = w.flush(s);
+            }
+        }
+        wal_maintain(w, shared, &served, &mut pending, true, &mut out);
+        for p in pending.drain(..) {
+            w.note_dead_shed();
+            out.shed += 1;
+            drop(p.req);
+        }
     }
     // Hard stop (or post-drain sweep): everything still queued is shed —
     // answered with KvReply::Shed, never silently dropped.
@@ -759,7 +886,106 @@ fn executor_loop<B: TmBackend>(
     out
 }
 
+/// A served update whose reply is withheld until its WAL record is
+/// durable ([`DurabilityMode::Sync`]): the group-commit ack list.
+struct PendingAck {
+    req: Request,
+    reply: KvReply,
+    service: Duration,
+    lsn: u64,
+    shard: usize,
+}
+
+/// Per-iteration durability maintenance: group-commit flush decisions
+/// and Sync-ack settlement.
+///
+/// A served shard's buffer is flushed when the group is full, when the
+/// shard's update lane has gone idle (no later commit to ride with), or
+/// when `force`d (idle park / shutdown). Pending acks are settled
+/// strictly by the durable-LSN watermark — an ack never outruns its
+/// fsync. A dead WAL (simulated power loss) sheds every withheld ack:
+/// those clients were never acked, matching what recovery will replay.
+fn wal_maintain(
+    wal: &WalSet,
+    shared: &Shared,
+    served: &[usize],
+    pending: &mut Vec<PendingAck>,
+    force: bool,
+    out: &mut ExecOut,
+) {
+    if wal.alive() {
+        for &s in served {
+            if wal.buffered(s) == 0 {
+                continue;
+            }
+            if force
+                || wal.buffered(s) >= wal.group_commit_max()
+                || shared.shards[s].queue.depths().1 == 0
+            {
+                let _ = wal.flush(s);
+            }
+        }
+        let mut i = 0;
+        while i < pending.len() {
+            if wal.durable_lsn(pending[i].shard) >= pending[i].lsn {
+                let p = pending.swap_remove(i);
+                finish(p.req, p.reply, p.service, out);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    if !wal.alive() {
+        for p in pending.drain(..) {
+            wal.note_dead_shed();
+            out.shed += 1;
+            drop(p.req); // answered Shed: the write was never acked
+        }
+    }
+}
+
+/// Take one shard's checkpoint: quiesce its writers (xlock, then the
+/// commit lock — the same order 2PC uses), force the log tail out so the
+/// snapshot and the durable log agree on exactly which transactions are
+/// included, snapshot via one RO transaction (the SI-HTM fast path), and
+/// install atomically. A chaos panic inside the snapshot skips this
+/// round (the trigger re-fires) after replacing the poisoned handle.
+#[allow(clippy::too_many_arguments)]
+fn checkpoint_shard<B: TmBackend>(
+    domains: &[(B, KvStore)],
+    shared: &Shared,
+    wal: &WalSet,
+    threads: &mut [B::Thread],
+    scratches: &mut [NodeScratch],
+    s: usize,
+    multi_key_max: usize,
+    out: &mut ExecOut,
+) {
+    let _x = shared.shards[s].xlock.lock();
+    let _cl = wal.commit_lock(s);
+    // Re-check under the locks: another executor serving this shard may
+    // have just checkpointed it.
+    if !wal.wants_checkpoint(s) || wal.flush(s).is_err() {
+        return;
+    }
+    let attempt = catch_unwind(AssertUnwindSafe(|| domains[s].1.snapshot(&mut threads[s])));
+    match attempt {
+        Ok(entries) => {
+            let _ = wal.install_checkpoint(s, &entries);
+        }
+        Err(_) => recover_handle(domains, threads, scratches, s, multi_key_max, out),
+    }
+}
+
 /// Serve one update request in its own update transaction.
+///
+/// With a WAL, the shard's commit lock spans execute + append, so the
+/// log is a commit-ordered journal of post-images: on SI-HTM the append
+/// happens after the pre-commit quiescence wait — strictly outside the
+/// hardware transaction (the DUMBO discipline) — and on the fall-back
+/// paths after the SGL/commit-lock serialization point. In Sync mode the
+/// reply is withheld on `pending` until the record's fsync lands.
+#[allow(clippy::too_many_arguments)]
 fn serve_update<T: TmThread>(
     store: &KvStore,
     thread: &mut T,
@@ -767,26 +993,69 @@ fn serve_update<T: TmThread>(
     cm: &mut ContentionManager,
     req: Request,
     out: &mut ExecOut,
+    wal: Option<&WalSet>,
+    shard: usize,
+    pending: &mut Vec<PendingAck>,
+    writes: &mut Writes,
 ) {
+    if let Some(w) = wal {
+        if !w.alive() {
+            // Simulated power loss: nothing can become durable, so
+            // accepting updates would hand out un-loggable acks.
+            w.note_dead_shed();
+            out.shed += 1;
+            drop(req);
+            return;
+        }
+    }
     let aborts_before = thread.stats().aborts();
     let t0 = Instant::now();
+    let guard = wal.map(|w| w.commit_lock(shard));
+    writes.clear();
     let reply = match &req.op {
-        KvOp::Put { key, val } => KvReply::Done { changed: store.put(thread, scratch, *key, *val) },
-        KvOp::Delete { key } => KvReply::Done { changed: store.delete(thread, *key) },
+        KvOp::Put { key, val } => {
+            let changed = store.put(thread, scratch, *key, *val);
+            writes.push((*key, Some(*val)));
+            KvReply::Done { changed }
+        }
+        KvOp::Delete { key } => {
+            let changed = store.delete(thread, *key);
+            writes.push((*key, None));
+            KvReply::Done { changed }
+        }
         KvOp::Cas { key, expect, new } => match store.cas(thread, scratch, *key, *expect, *new) {
-            Ok(()) => KvReply::CasOk,
+            Ok(()) => {
+                writes.push((*key, Some(*new)));
+                KvReply::CasOk
+            }
+            // A failed CAS committed nothing: no record, immediate ack.
             Err(observed) => KvReply::CasFail(observed),
         },
         KvOp::MultiPut { pairs } => {
             store.multi_put(thread, scratch, pairs);
+            writes.extend(pairs.iter().map(|&(k, v)| (k, Some(v))));
             KvReply::Done { changed: true }
         }
         KvOp::MultiAdd { deltas } => {
-            store.multi_add(thread, scratch, deltas);
+            // Add post-images depend on the read values, so they must be
+            // captured inside the transaction body (reset per attempt).
+            if wal.is_some() {
+                store.multi_add_logged(thread, scratch, deltas, writes);
+            } else {
+                store.multi_add(thread, scratch, deltas);
+            }
             KvReply::Done { changed: true }
         }
         ro => unreachable!("read-only op {ro:?} in the update lane"),
     };
+    let appended = match wal {
+        Some(w) if !writes.is_empty() => {
+            w.crash_point(CrashSite::AfterCommit);
+            Some(w.append(shard, Append::Write(writes)))
+        }
+        _ => None,
+    };
+    drop(guard);
     let service = t0.elapsed();
     // Abort-aware pacing: a serve that needed backend retries backs the
     // executor off before the next pop; a clean one resets the ceiling.
@@ -795,7 +1064,19 @@ fn serve_update<T: TmThread>(
     } else {
         cm.reset();
     }
-    finish(req, reply, service, out);
+    match (wal, appended) {
+        (Some(w), Some(Ok(lsn))) if w.mode() == DurabilityMode::Sync => {
+            pending.push(PendingAck { req, reply, service, lsn, shard });
+        }
+        (Some(w), Some(Err(WalDead))) if w.mode() == DurabilityMode::Sync => {
+            // Committed in memory but lost the log before the fsync: the
+            // client is shed (never acked), exactly what recovery shows.
+            w.note_dead_shed();
+            out.shed += 1;
+            drop(req);
+        }
+        _ => finish(req, reply, service, out),
+    }
 }
 
 /// Serve a whole batch of read-only requests in ONE read-only
@@ -863,6 +1144,25 @@ fn recover_handle<B: TmBackend>(
 /// [`crate::shard`]). On a mid-protocol panic (chaos), already-applied
 /// participants are rolled back from the undo images and the request is
 /// answered [`KvReply::Shed`] — fully aborted, never half-applied.
+///
+/// With a WAL the protocol interleaves durability so recovery can always
+/// resolve it all-or-nothing (DESIGN.md §12):
+///
+/// 1. after the in-memory prepares, every participant's `XBegin`
+///    (participant set + undo image) is appended and flushed — durable
+///    before anyone applies;
+/// 2. each participant's apply commits under its shard commit lock and
+///    its `XApply` post-image is flushed before the next participant
+///    applies;
+/// 3. an `XDecide` is appended + flushed to every participant; the
+///    client is acked once the **first** one is durable (a decision in
+///    any single log commits the transaction everywhere at recovery).
+///
+/// If the log dies before any decision is durable, the applied
+/// participants are compensated live and each compensation is logged as
+/// one atomic `XAbort` (marker + compensation post-image), so recovery
+/// and the live path agree whichever records survived.
+#[allow(clippy::too_many_arguments)]
 fn serve_xshard_update<B: TmBackend>(
     domains: &[(B, KvStore)],
     shared: &Shared,
@@ -871,17 +1171,39 @@ fn serve_xshard_update<B: TmBackend>(
     cfg: &PipelineConfig,
     req: Request,
     out: &mut ExecOut,
+    pending: &mut Vec<PendingAck>,
+    writes: &mut Writes,
 ) {
+    let wal = shared.wal.as_deref();
     let set = match shared.map.route(&req.op) {
         Route::Cross(set) => set,
         // Defensive: a Single-routed op in the xqueue just runs locally.
         Route::Single(s) => {
             let mut cm = ContentionManager::new(BackoffPolicy::none(), 1);
-            serve_update(&domains[s].1, &mut threads[s], &mut scratches[s], &mut cm, req, out);
+            serve_update(
+                &domains[s].1,
+                &mut threads[s],
+                &mut scratches[s],
+                &mut cm,
+                req,
+                out,
+                wal,
+                s,
+                pending,
+                writes,
+            );
             out.shard_served[s] += 1;
             return;
         }
     };
+    if let Some(w) = wal {
+        if !w.alive() {
+            w.note_dead_shed();
+            out.shed += 1;
+            drop(req);
+            return;
+        }
+    }
     let ups = match &req.op {
         KvOp::MultiPut { pairs } => group_puts(&shared.map, &set, pairs),
         KvOp::MultiAdd { deltas } => group_adds(&shared.map, &set, deltas),
@@ -892,11 +1214,13 @@ fn serve_xshard_update<B: TmBackend>(
     // coordinator.
     let _guards: Vec<_> = set.iter().map(|&s| shared.shards[s].xlock.lock()).collect();
     out.twopc.prepares += 1;
+    let xid = wal.map(|w| w.next_xid()).unwrap_or(0);
     let committed = Cell::new(0usize); // fully-applied participants
     let escalations = Cell::new(0u64);
     let inflight = Cell::new(None::<usize>); // shard mid-transaction at panic time
+    let xbegun = Cell::new(false); // XBegin records are durable
     let undos: RefCell<Vec<UndoImage>> = RefCell::new(Vec::with_capacity(set.len()));
-    let attempt = catch_unwind(AssertUnwindSafe(|| {
+    let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<(), WalDead> {
         for (pi, &s) in set.iter().enumerate() {
             inflight.set(Some(s));
             let mut part = ShardPart {
@@ -908,12 +1232,27 @@ fn serve_xshard_update<B: TmBackend>(
             undos.borrow_mut().push(undo);
         }
         inflight.set(None);
+        // Durable prepare: every participant's XBegin on disk before
+        // anyone applies, so a crash mid-apply can always compensate.
+        if let Some(w) = wal {
+            let undos = undos.borrow();
+            for (pi, &s) in set.iter().enumerate() {
+                let _cl = w.commit_lock(s);
+                w.append(s, Append::XBegin { xid, parts: &set, upd: &ups[pi], undo: &undos[pi] })?;
+            }
+            for &s in set.iter() {
+                w.flush(s)?;
+            }
+            xbegun.set(true);
+            w.crash_point(CrashSite::AfterPrepare);
+        }
         // The prepare → apply seam: the chaos injector's crash window the
         // atomicity tests aim at.
         if hooks::active() {
             hooks::emit(Event::Poll);
         }
         let mut escalated = false;
+        let mut xw: Writes = Vec::new();
         for (pi, &s) in set.iter().enumerate() {
             inflight.set(Some(s));
             let mut part = ShardPart {
@@ -921,23 +1260,53 @@ fn serve_xshard_update<B: TmBackend>(
                 thread: &mut threads[s],
                 scratch: &mut scratches[s],
             };
-            if apply_part(&mut part, &ups[pi], escalated) && !escalated {
+            // The commit lock spans apply + append (commit order), and
+            // the XApply is durable before the next participant applies.
+            let cl = wal.map(|w| w.commit_lock(s));
+            if apply_part(&mut part, &ups[pi], escalated, &mut xw) && !escalated {
                 escalated = true;
                 escalations.set(escalations.get() + 1);
             }
             committed.set(pi + 1);
+            if let Some(w) = wal {
+                w.append(s, Append::XApply { xid, writes: &xw })?;
+                drop(cl);
+                w.flush(s)?;
+                w.crash_point(CrashSite::AfterApply);
+            }
         }
         inflight.set(None);
+        // Decision: the first durable XDecide commits the transaction
+        // everywhere at recovery; write it to every participant so any
+        // single surviving log suffices.
+        if let Some(w) = wal {
+            let mut decided = false;
+            for &s in set.iter() {
+                let appended = {
+                    let _cl = w.commit_lock(s);
+                    w.append(s, Append::XDecide { xid })
+                };
+                if appended.is_ok() && w.flush(s).is_ok() {
+                    decided = true;
+                } else if decided {
+                    break; // durably committed already; the log just died
+                } else {
+                    return Err(WalDead);
+                }
+            }
+            w.crash_point(CrashSite::AfterDecision);
+        }
+        Ok(())
     }));
     out.twopc.escalations += escalations.get();
     for &s in &set {
         out.shard_served[s] += 1;
     }
-    match attempt {
-        Ok(()) => {
-            let service = t0.elapsed();
-            finish(req, KvReply::Done { changed: true }, service, out);
-        }
+    let failed = match attempt {
+        Ok(Ok(())) => false,
+        // The WAL died before any decision became durable: recovery will
+        // presume abort, so the live side must abort too.
+        Ok(Err(WalDead)) => true,
         Err(_) => {
             // The panicking participant's transaction did not commit (the
             // injector fires inside transaction bodies); its handle is
@@ -945,33 +1314,57 @@ fn serve_xshard_update<B: TmBackend>(
             if let Some(s) = inflight.get() {
                 recover_handle(domains, threads, scratches, s, cfg.multi_key_max, out);
             }
-            let undos = undos.into_inner();
-            for (pi, &s) in set.iter().enumerate().take(committed.get()) {
-                // Compensation must land even if chaos keeps firing:
-                // retry, replacing the handle after each caught panic.
-                let mut attempts = 0;
-                loop {
-                    let r = catch_unwind(AssertUnwindSafe(|| {
-                        let mut part = ShardPart {
-                            store: &domains[s].1,
-                            thread: &mut threads[s],
-                            scratch: &mut scratches[s],
-                        };
-                        undo_part(&mut part, &ups[pi], &undos[pi]);
-                    }));
-                    if r.is_ok() {
-                        break;
+            true
+        }
+    };
+    if !failed {
+        let service = t0.elapsed();
+        // Sync-on-ack already holds: the decision fsync above is the
+        // durability point, so the reply needs no pending delay.
+        finish(req, KvReply::Done { changed: true }, service, out);
+        return;
+    }
+    let undos = undos.into_inner();
+    let mut comp: Writes = Vec::new();
+    for (pi, &s) in set.iter().enumerate().take(committed.get()) {
+        // Compensation must land even if chaos keeps firing: retry,
+        // replacing the handle after each caught panic.
+        let mut attempts = 0;
+        loop {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                let mut part = ShardPart {
+                    store: &domains[s].1,
+                    thread: &mut threads[s],
+                    scratch: &mut scratches[s],
+                };
+                let cl = wal.map(|w| w.commit_lock(s));
+                undo_part(&mut part, &ups[pi], &undos[pi], &mut comp);
+                if let Some(w) = wal {
+                    if xbegun.get() {
+                        // One atomic record at the compensation's true
+                        // commit position: abort marker + rollback
+                        // post-image. Best-effort on a dying log —
+                        // recovery compensates any participant whose
+                        // XAbort didn't make it.
+                        let _ = w.append(s, Append::XAbort { xid, writes: &comp });
                     }
-                    recover_handle(domains, threads, scratches, s, cfg.multi_key_max, out);
-                    attempts += 1;
-                    assert!(attempts < 1000, "2PC compensation could not complete");
                 }
+                drop(cl);
+            }));
+            if r.is_ok() {
+                break;
             }
-            out.twopc.aborts += 1;
-            out.shed += 1;
-            drop(req); // Drop backstop answers KvReply::Shed: fully aborted
+            recover_handle(domains, threads, scratches, s, cfg.multi_key_max, out);
+            attempts += 1;
+            assert!(attempts < 1000, "2PC compensation could not complete");
+        }
+        if let Some(w) = wal {
+            let _ = w.flush(s);
         }
     }
+    out.twopc.aborts += 1;
+    out.shed += 1;
+    drop(req); // Drop backstop answers KvReply::Shed: fully aborted
 }
 
 /// Serve one cross-shard read-only request: per-shard read-only

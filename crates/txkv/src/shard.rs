@@ -301,22 +301,36 @@ pub fn prepare_part(part: &mut ShardPart<'_>, upd: &XUpdate) -> UndoImage {
 /// *not* applied — the injector only panics at transactional access
 /// points, never after the commit — so callers count a participant as
 /// applied only once this returns.
-pub fn apply_part(part: &mut ShardPart<'_>, upd: &XUpdate, escalated: bool) -> bool {
+///
+/// `writes` receives the committed post-image (captured inside the
+/// transaction body, reset per attempt) — what a durable pipeline logs
+/// as this participant's `XApply` record. Pass a scratch vec and ignore
+/// it when not logging.
+pub fn apply_part(
+    part: &mut ShardPart<'_>,
+    upd: &XUpdate,
+    escalated: bool,
+    writes: &mut Vec<(u64, Option<u64>)>,
+) -> bool {
     let sgl_before = part.thread.stats().sgl_acquisitions;
     let store = part.store;
     let scratch = &mut *part.scratch;
     let mut body = |tx: &mut dyn tm_api::Tx| {
         scratch.reset();
+        writes.clear();
         match upd {
             XUpdate::Put(pairs) => {
                 for &(k, v) in pairs {
                     store.put_in(tx, scratch, k, v)?;
+                    writes.push((k, Some(v)));
                 }
             }
             XUpdate::Add(deltas) => {
                 for &(k, d) in deltas {
                     let cur = store.get_in(tx, k)?.unwrap_or(0);
-                    store.put_in(tx, scratch, k, cur.wrapping_add(d as u64))?;
+                    let v = cur.wrapping_add(d as u64);
+                    store.put_in(tx, scratch, k, v)?;
+                    writes.push((k, Some(v)));
                 }
             }
         }
@@ -336,16 +350,29 @@ pub fn apply_part(part: &mut ShardPart<'_>, upd: &XUpdate, escalated: bool) -> b
 /// Compensate one *applied* participant of an interrupted 2PC. `Add`
 /// parts undo in delta form (commutes with concurrent local adds); `Put`
 /// parts restore the prepare-time image.
-pub fn undo_part(part: &mut ShardPart<'_>, upd: &XUpdate, undo: &UndoImage) {
+///
+/// `writes` receives the committed compensation post-image (a durable
+/// pipeline logs it as an ordinary `Write` record before the `XAbort`
+/// marker, so replay sees the rollback at its true position in commit
+/// order). Pass a scratch vec and ignore it when not logging.
+pub fn undo_part(
+    part: &mut ShardPart<'_>,
+    upd: &XUpdate,
+    undo: &UndoImage,
+    writes: &mut Vec<(u64, Option<u64>)>,
+) {
     let store = part.store;
     let scratch = &mut *part.scratch;
     let out = part.thread.exec(TxKind::Update, &mut |tx| {
         scratch.reset();
+        writes.clear();
         match upd {
             XUpdate::Add(deltas) => {
                 for &(k, d) in deltas {
                     let cur = store.get_in(tx, k)?.unwrap_or(0);
-                    store.put_in(tx, scratch, k, cur.wrapping_sub(d as u64))?;
+                    let v = cur.wrapping_sub(d as u64);
+                    store.put_in(tx, scratch, k, v)?;
+                    writes.push((k, Some(v)));
                 }
             }
             XUpdate::Put(_) => {
@@ -353,9 +380,11 @@ pub fn undo_part(part: &mut ShardPart<'_>, upd: &XUpdate, undo: &UndoImage) {
                     match old {
                         Some(v) => {
                             store.put_in(tx, scratch, k, v)?;
+                            writes.push((k, Some(v)));
                         }
                         None => {
                             store.delete_in(tx, k)?;
+                            writes.push((k, None));
                         }
                     }
                 }

@@ -109,7 +109,26 @@ impl KvStore {
         self.tree.remove(tx, key)
     }
 
+    /// Every `(key, value)` entry, in key order, inside an existing
+    /// transaction (the checkpoint scan).
+    pub fn snapshot_in(&self, tx: &mut dyn Tx, out: &mut Vec<(u64, u64)>) -> Result<(), Abort> {
+        self.tree.for_each(tx, &mut |k, v| out.push((k, v)))
+    }
+
     // ---- whole-transaction conveniences -------------------------------
+
+    /// Consistent full-store snapshot in **one** read-only transaction —
+    /// on SI-HTM the unbounded, never-aborting RO fast path, so
+    /// checkpointing a large store never capacity-aborts and never
+    /// blocks writers beyond the caller's own serialization.
+    pub fn snapshot<T: TmThread + ?Sized>(&self, t: &mut T) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        t.exec(TxKind::ReadOnly, &mut |tx| {
+            out.clear();
+            self.snapshot_in(tx, &mut out)
+        });
+        out
+    }
 
     /// Point read (one read-only transaction).
     pub fn get<T: TmThread + ?Sized>(&self, t: &mut T, key: u64) -> Option<u64> {
@@ -255,6 +274,36 @@ impl KvStore {
         });
         if out == Outcome::Committed {
             scratch.refill(&self.alloc);
+        }
+    }
+
+    /// [`KvStore::multi_add`] that also reports the committed post-image
+    /// (`writes`), for write-ahead logging: replaying the post-image in
+    /// commit order reproduces the read-modify-write without
+    /// re-executing it. Captured inside the transaction body (and reset
+    /// per attempt), so it matches exactly the attempt that committed.
+    pub fn multi_add_logged<T: TmThread + ?Sized>(
+        &self,
+        t: &mut T,
+        scratch: &mut NodeScratch,
+        deltas: &[(u64, i64)],
+        writes: &mut Vec<(u64, Option<u64>)>,
+    ) {
+        let out = t.exec(TxKind::Update, &mut |tx| {
+            scratch.reset();
+            writes.clear();
+            for &(k, d) in deltas {
+                let cur = self.get_in(tx, k)?.unwrap_or(0);
+                let v = cur.wrapping_add(d as u64);
+                self.put_in(tx, scratch, k, v)?;
+                writes.push((k, Some(v)));
+            }
+            Ok(())
+        });
+        if out == Outcome::Committed {
+            scratch.refill(&self.alloc);
+        } else {
+            writes.clear();
         }
     }
 }

@@ -1,0 +1,436 @@
+//! Kill-and-restart durability tests, on all four backends.
+//!
+//! Each scenario runs a durable pipeline (commit-ordered WAL, group
+//! commit, checkpoints) under a mixed put/transfer load, pulls the
+//! simulated power plug at a scripted crash site — including the
+//! quiescence-adjacent commit window and every 2PC window — then
+//! recovers from disk into fresh backend instances and asserts:
+//!
+//! * **no acked write is lost** (Sync mode: a `Done` reply implies the
+//!   record's fsync landed before the crash);
+//! * **no torn cross-shard state**: every transfer fully applied or
+//!   fully compensated, so the account total is conserved;
+//! * **torn tail records** (a crash mid-`write(2)`) are detected by
+//!   checksum and cleanly ignored;
+//! * recovery is **idempotent** (a second pass reproduces the state).
+//!
+//! On a failed invariant the test writes a machine-readable
+//! `target/RECOVERY_FAILURE.json` (uploaded by the CI `durability-smoke`
+//! job) before panicking.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use tm_api::TmBackend;
+use txkv::{
+    recover, recover_and_open, CrashSite, CrashSpec, DurabilityConfig, DurabilityMode, KvClient,
+    KvError, KvOp, KvReply, Pipeline, PipelineConfig, RecoveryReport, ShardMap, WalSet,
+};
+use txmem::hooks::chaos::{self, ChaosConfig};
+
+/// Chaos arming is process-global: every test in this binary runs under
+/// this gate so an armed injector never bleeds into a clean test.
+static GATE: Mutex<()> = Mutex::new(());
+
+const SHARDS: usize = 4;
+const PER_SHARD: u64 = 8;
+const KEYS: u64 = SHARDS as u64 * PER_SHARD;
+/// Even keys are transfer accounts (their sum is conserved); odd keys
+/// are per-client put targets carrying monotone counters.
+const INITIAL: u64 = 1_000;
+const EXPECTED_TOTAL: u64 = (KEYS / 2) * INITIAL;
+const CLIENTS: u64 = 3;
+const OPS_PER_CLIENT: u64 = 400;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let d =
+        std::env::temp_dir().join(format!("txkv-durability-test-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn shard_map() -> ShardMap {
+    ShardMap::range(SHARDS, PER_SHARD)
+}
+
+fn pipeline_cfg() -> PipelineConfig {
+    PipelineConfig {
+        executors: 4,
+        multi_key_max: 4,
+        drain_grace: Duration::from_millis(500),
+        ..PipelineConfig::quick()
+    }
+}
+
+/// Crash countdowns calibrated so seeding (16 single-shard puts, all
+/// acked) always completes before the plug is pulled, while the mixed
+/// load phase (~1200 ops) reliably reaches the countdown.
+fn site_after(site: CrashSite) -> u64 {
+    match site {
+        CrashSite::AfterCommit => 60,
+        CrashSite::MidGroupCommit | CrashSite::TornTail => 40,
+        CrashSite::AfterPrepare | CrashSite::AfterApply | CrashSite::AfterDecision => 8,
+    }
+}
+
+/// Recover the directory and check the durability invariants. Returns
+/// the report and recovered account total. On failure, dumps
+/// `target/RECOVERY_FAILURE.json` for the CI artifact before panicking.
+fn verify_recovered<B: TmBackend>(
+    dir: &Path,
+    mk: &mut impl FnMut(usize) -> B,
+    acked: Option<&HashMap<u64, u64>>,
+    ctx: &str,
+) -> (RecoveryReport, u64) {
+    let map = shard_map();
+    let (domains, report) = recover(dir, &map, &mut *mk, 0, 1 << 16).expect("recovery failed");
+    let read = |k: u64| {
+        let s = (k / PER_SHARD) as usize;
+        domains[s].1.load_raw(domains[s].0.memory(), k)
+    };
+    let total: u64 = (0..KEYS).step_by(2).map(|k| read(k).unwrap_or(0)).sum();
+    let mut failures: Vec<String> = Vec::new();
+    if total != EXPECTED_TOTAL {
+        failures.push(format!(
+            r#"{{"invariant":"conservation","expected":{EXPECTED_TOTAL},"got":{total}}}"#
+        ));
+    }
+    if let Some(acked) = acked {
+        for (&k, &v) in acked {
+            let got = read(k).unwrap_or(0);
+            if got < v {
+                failures.push(format!(
+                    r#"{{"invariant":"acked-write","key":{k},"acked":{v},"recovered":{got}}}"#
+                ));
+            }
+        }
+    }
+    if !failures.is_empty() {
+        let body = format!(
+            r#"{{"context":{ctx:?},"report":{:?},"failures":[{}]}}"#,
+            format!("{report:?}"),
+            failures.join(",")
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/RECOVERY_FAILURE.json");
+        let _ = std::fs::write(path, &body);
+        panic!("recovery verification failed ({ctx}): {body}");
+    }
+    (report, total)
+}
+
+/// One client thread's mixed load: durable puts with a monotone counter
+/// on its own odd keys (40 %), cross-shard transfers (30 %) and
+/// shard-local transfers (30 %) over the even account keys. Returns the
+/// highest acked counter per put key and the acked-transfer count.
+fn client_load(t: u64, client: KvClient, wal: Arc<WalSet>) -> (HashMap<u64, u64>, u64) {
+    let mut rng = 0xD00B_0000u64 ^ (t << 32);
+    let my_keys: Vec<u64> = (0..KEYS).filter(|k| k % 2 == 1 && (k / 2) % CLIENTS == t).collect();
+    let mut acked: HashMap<u64, u64> = HashMap::new();
+    let mut xacked = 0u64;
+    let mut ctr = 0u64;
+    for _ in 0..OPS_PER_CLIENT {
+        if !wal.alive() {
+            break; // the plug is pulled: everything from here on sheds
+        }
+        let r = splitmix(&mut rng);
+        let amount = 1 + (r % 9) as i64;
+        let (op, put_key, put_val) = match r % 10 {
+            0..=3 => {
+                ctr += 1;
+                let k = my_keys[((r >> 8) as usize) % my_keys.len()];
+                (KvOp::Put { key: k, val: ctr }, Some(k), ctr)
+            }
+            4..=6 => {
+                let sa = ((r >> 8) as usize) % SHARDS;
+                let sb = (sa + 1 + ((r >> 16) as usize) % (SHARDS - 1)) % SHARDS;
+                let ka = sa as u64 * PER_SHARD + 2 * ((r >> 24) % (PER_SHARD / 2));
+                let kb = sb as u64 * PER_SHARD + 2 * ((r >> 32) % (PER_SHARD / 2));
+                (KvOp::MultiAdd { deltas: vec![(ka, -amount), (kb, amount)] }, None, 0)
+            }
+            _ => {
+                let s = ((r >> 8) as usize) % SHARDS;
+                let base = s as u64 * PER_SHARD;
+                let ka = base + 2 * ((r >> 16) % (PER_SHARD / 2));
+                let mut kb = base + 2 * ((r >> 24) % (PER_SHARD / 2));
+                if kb == ka {
+                    kb = base + (ka - base + 2) % PER_SHARD;
+                }
+                (KvOp::MultiAdd { deltas: vec![(ka, -amount), (kb, amount)] }, None, 0)
+            }
+        };
+        match client.call(op) {
+            Ok(KvReply::Done { .. }) => match put_key {
+                Some(k) => {
+                    acked.insert(k, put_val);
+                }
+                None => xacked += 1,
+            },
+            Ok(KvReply::Shed) => {}
+            Ok(other) => panic!("unexpected update reply {other:?}"),
+            Err(KvError::Overloaded | KvError::ShuttingDown) => {}
+            Err(e) => panic!("unexpected admission error {e:?}"),
+        }
+    }
+    (acked, xacked)
+}
+
+/// Boot a durable pipeline on `dir`, seed the accounts (acked before any
+/// armed crash window opens), run the mixed client load, and shut down.
+/// Returns the per-key acked-put watermarks, acked transfers, the
+/// service report, and whether the scripted crash tripped.
+fn run_durable<B: TmBackend>(
+    mk: &mut impl FnMut(usize) -> B,
+    dcfg: &DurabilityConfig,
+    chaos_armed: bool,
+) -> (HashMap<u64, u64>, u64, txkv::ServiceReport, bool) {
+    let map = shard_map();
+    let (domains, wal, _) =
+        recover_and_open(dcfg, &map, &mut *mk, 0, 1 << 16).expect("open durable domains");
+    let pipeline = Pipeline::start_durable(domains, map, pipeline_cfg(), Arc::clone(&wal));
+    let client = pipeline.client();
+    for k in (0..KEYS).step_by(2) {
+        let reply = client.call(KvOp::Put { key: k, val: INITIAL });
+        assert!(
+            matches!(reply, Ok(KvReply::Done { .. })),
+            "seeding put must be acked, got {reply:?}"
+        );
+    }
+    assert!(wal.alive(), "crash tripped during seeding; raise the countdown");
+    // Arm chaos only once seeding is acked: the injector's panics shed
+    // requests, and a shed seed would skew the conservation baseline.
+    let guard = chaos_armed.then(|| {
+        chaos::install(ChaosConfig {
+            seed: 0x0D07_AB1E,
+            abort_access: 0.005,
+            abort_commit: 0.002,
+            capacity_share: 0.5,
+            stall: 0.0,
+            stall_max_us: 0,
+            panic: 0.001,
+        })
+    });
+    let mut acked: HashMap<u64, u64> = HashMap::new();
+    let mut xacked = 0u64;
+    std::thread::scope(|sc| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                let client = pipeline.client();
+                let wal = Arc::clone(&wal);
+                sc.spawn(move || client_load(t, client, wal))
+            })
+            .collect();
+        for h in handles {
+            let (a, x) = h.join().expect("client panicked");
+            for (k, v) in a {
+                let e = acked.entry(k).or_insert(0);
+                *e = (*e).max(v);
+            }
+            xacked += x;
+        }
+    });
+    let crashed = !wal.alive();
+    let report = pipeline.shutdown();
+    drop(guard);
+    (acked, xacked, report, crashed)
+}
+
+/// The core kill-and-restart scenario: load, crash at `site`, recover,
+/// assert no acked write lost and no torn cross-shard state — twice,
+/// because recovery must be idempotent.
+fn crash_and_recover<B: TmBackend>(
+    mut mk: impl FnMut(usize) -> B,
+    mode: DurabilityMode,
+    site: CrashSite,
+    chaos_armed: bool,
+) {
+    let dir = tmpdir(&format!("{site:?}-{}", mode.name()));
+    let mut dcfg = DurabilityConfig::new(mode, &dir);
+    dcfg.group_commit_max = 8;
+    dcfg.checkpoint_every = 48;
+    dcfg.crash = Some(CrashSpec { site, after: site_after(site) });
+    let (acked, xacked, report, crashed) = run_durable(&mut mk, &dcfg, chaos_armed);
+    assert!(crashed, "the scripted {site:?} crash never tripped — the test exercised nothing");
+    assert!(report.wal.wal_appends > 0, "the load never reached the WAL");
+    assert!(xacked > 0 || !matches!(site, CrashSite::AfterDecision), "no transfer was acked");
+    // Sync acks imply durability; Async acks are only flush-bounded, so
+    // just the cross-shard atomicity invariant applies there.
+    let check_acked = (mode == DurabilityMode::Sync).then_some(&acked);
+    let ctx = format!("{site:?}/{}/chaos={chaos_armed}", mode.name());
+    let (rec, total) = verify_recovered(&dir, &mut mk, check_acked, &ctx);
+    if site == CrashSite::TornTail {
+        assert!(
+            rec.torn_tails >= 1,
+            "a TornTail crash must leave a checksum-rejected tail (report {rec:?})"
+        );
+    }
+    // Idempotence: recovery compacted to a checkpoint + pruned segments;
+    // a second pass must reproduce exactly the same state.
+    let (_, total2) = verify_recovered(&dir, &mut mk, check_acked, &format!("{ctx}/again"));
+    assert_eq!(total, total2, "recovery must be idempotent");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// No crash at all: a graceful shutdown flushes everything, so restart
+/// recovers every acked write — and the load is long enough to roll
+/// through checkpoints and segment rotation on the way.
+fn graceful_restart<B: TmBackend>(mut mk: impl FnMut(usize) -> B, mode: DurabilityMode) {
+    let dir = tmpdir(&format!("graceful-{}", mode.name()));
+    let mut dcfg = DurabilityConfig::new(mode, &dir);
+    dcfg.group_commit_max = 8;
+    dcfg.checkpoint_every = 48;
+    let (acked, xacked, report, crashed) = run_durable(&mut mk, &dcfg, false);
+    assert!(!crashed, "no crash was scripted");
+    assert!(xacked > 0, "the mix must exercise durable 2PC");
+    assert!(report.wal.wal_appends > 0);
+    assert!(report.wal.fsync_batches > 0);
+    assert!(
+        report.wal.checkpoints >= 1,
+        "checkpoint_every=48 over this load must checkpoint (wal {:?})",
+        report.wal
+    );
+    assert_eq!(report.wal.sync_acks_early, 0, "an ack outran its fsync");
+    // Graceful shutdown flushes every buffer, so even Async acks are on
+    // disk: check them all regardless of mode.
+    let ctx = format!("graceful/{}", mode.name());
+    verify_recovered(&dir, &mut mk, Some(&acked), &ctx);
+    verify_recovered(&dir, &mut mk, Some(&acked), &format!("{ctx}/again"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Deterministic 2PC crash windows: one cross-shard transfer with the
+/// plug pulled at the exact protocol step, then recovery must resolve it
+/// all-or-nothing consistently with what the client saw.
+fn twopc_window<B: TmBackend>(mut mk: impl FnMut(usize) -> B, site: CrashSite) {
+    let dir = tmpdir(&format!("twopc-{site:?}"));
+    let mut dcfg = DurabilityConfig::new(DurabilityMode::Sync, &dir);
+    dcfg.crash = Some(CrashSpec { site, after: 0 });
+    let map = shard_map();
+    let (domains, wal, _) =
+        recover_and_open(&dcfg, &map, &mut mk, 0, 1 << 16).expect("open durable domains");
+    let pipeline = Pipeline::start_durable(domains, map, pipeline_cfg(), Arc::clone(&wal));
+    let client = pipeline.client();
+    // Seed two accounts on different shards (single-shard puts never hit
+    // the armed 2PC crash sites).
+    assert!(client.call(KvOp::Put { key: 0, val: 100 }).is_ok());
+    assert!(client.call(KvOp::Put { key: 8, val: 100 }).is_ok());
+    let reply = client.call(KvOp::MultiAdd { deltas: vec![(0, -5), (8, 5)] }).expect("admitted");
+    pipeline.shutdown();
+    assert!(!wal.alive(), "the scripted {site:?} crash never tripped");
+    let (domains, rec) = recover(&dir, &shard_map(), &mut mk, 0, 1 << 16).expect("recovery");
+    let read = |k: u64| {
+        let s = (k / PER_SHARD) as usize;
+        domains[s].1.load_raw(domains[s].0.memory(), k).unwrap_or(0)
+    };
+    let (v0, v8) = (read(0), read(8));
+    assert_eq!(v0 + v8, 200, "2PC crash at {site:?} tore the transfer: {v0}/{v8}");
+    match site {
+        // No decision record could become durable: the client was shed
+        // and recovery presumes abort — both sides untouched.
+        CrashSite::AfterPrepare | CrashSite::AfterApply => {
+            assert_eq!(reply, KvReply::Shed, "no durable decision, so no ack");
+            assert_eq!((v0, v8), (100, 100), "{site:?} must resolve as aborted (report {rec:?})");
+        }
+        // The first XDecide was fsynced before the ack: committed
+        // everywhere, on every log that survived.
+        CrashSite::AfterDecision => {
+            assert_eq!(reply, KvReply::Done { changed: true }, "decision durable ⇒ acked");
+            assert_eq!((v0, v8), (95, 105), "{site:?} must resolve as committed (report {rec:?})");
+            assert_eq!(rec.xids_committed, 1, "recovery must commit the in-flight xid");
+        }
+        _ => unreachable!("not a 2PC window"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crash scripted at the single-shard commit point (after the memory
+/// commit, before the append): the write must be shed, and recovery must
+/// not resurrect it.
+fn after_commit_window<B: TmBackend>(mut mk: impl FnMut(usize) -> B) {
+    let dir = tmpdir("after-commit");
+    let mut dcfg = DurabilityConfig::new(DurabilityMode::Sync, &dir);
+    dcfg.crash = Some(CrashSpec { site: CrashSite::AfterCommit, after: 0 });
+    let map = shard_map();
+    let (domains, wal, _) =
+        recover_and_open(&dcfg, &map, &mut mk, 0, 1 << 16).expect("open durable domains");
+    let pipeline = Pipeline::start_durable(domains, map, pipeline_cfg(), Arc::clone(&wal));
+    let client = pipeline.client();
+    let reply = client.call(KvOp::Put { key: 1, val: 7 }).expect("admitted");
+    assert_eq!(reply, KvReply::Shed, "the log died before the record: no ack");
+    pipeline.shutdown();
+    let (domains, _) = recover(&dir, &shard_map(), &mut mk, 0, 1 << 16).expect("recovery");
+    assert_eq!(
+        domains[0].1.load_raw(domains[0].0.memory(), 1),
+        None,
+        "an un-acked, un-logged write must not survive recovery"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+macro_rules! durability_suite {
+    ($name:ident, $make:expr) => {
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn graceful_restart_preserves_acked_state() {
+                let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+                graceful_restart($make, DurabilityMode::Sync);
+            }
+
+            #[test]
+            fn sync_crash_sites_lose_no_acked_write() {
+                let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+                for site in CrashSite::ALL {
+                    crash_and_recover($make, DurabilityMode::Sync, site, false);
+                }
+            }
+
+            #[test]
+            fn async_crash_keeps_cross_shard_state_consistent() {
+                let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+                crash_and_recover($make, DurabilityMode::Async, CrashSite::MidGroupCommit, false);
+            }
+
+            #[test]
+            fn sync_crash_under_chaos_loses_no_acked_write() {
+                let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+                for site in [CrashSite::MidGroupCommit, CrashSite::AfterApply] {
+                    crash_and_recover($make, DurabilityMode::Sync, site, true);
+                }
+            }
+
+            #[test]
+            fn twopc_crash_windows_resolve_all_or_nothing() {
+                let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+                for site in
+                    [CrashSite::AfterPrepare, CrashSite::AfterApply, CrashSite::AfterDecision]
+                {
+                    twopc_window($make, site);
+                }
+            }
+
+            #[test]
+            fn commit_point_crash_sheds_instead_of_lying() {
+                let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+                after_commit_window($make);
+            }
+        }
+    };
+}
+
+durability_suite!(on_si_htm, |_| si_htm::SiHtm::with_defaults(1 << 16));
+durability_suite!(on_htm_sgl, |_| htm_sgl::HtmSgl::with_defaults(1 << 16));
+durability_suite!(on_p8tm, |_| p8tm::P8tm::with_defaults(1 << 16));
+durability_suite!(on_silo, |_| silo::Silo::with_defaults(1 << 16));

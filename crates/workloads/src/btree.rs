@@ -424,6 +424,32 @@ impl TxBTree {
         Ok((n, sum))
     }
 
+    /// Transactional whole-tree walk in key order: `f(key, value)` per
+    /// entry, along the leaf chain. The read footprint is the entire
+    /// tree — on SI-HTM this runs on the unbounded, never-aborting
+    /// read-only fast path, which is what makes consistent full-store
+    /// snapshots (checkpointing) affordable during a run.
+    pub fn for_each(&self, tx: &mut dyn Tx, f: &mut dyn FnMut(u64, u64)) -> Result<(), Abort> {
+        let mut node = tx.read(self.root_ptr)?;
+        loop {
+            let (leaf, _) = unpack_header(tx.read(node + H_HEADER)?);
+            if leaf {
+                break;
+            }
+            node = tx.read(node + H_CHILDREN)?;
+        }
+        while node != NIL {
+            let (_, count) = unpack_header(tx.read(node + H_HEADER)?);
+            for i in 0..count {
+                let k = tx.read(node + H_KEYS + i)?;
+                let v = tx.read(node + H_VALS + i)?;
+                f(k, v);
+            }
+            node = tx.read(node + H_NEXT)?;
+        }
+        Ok(())
+    }
+
     /// Non-transactional whole-tree audit: returns all keys in order and
     /// checks every B+-tree invariant (sortedness, separator bounds, leaf
     /// chain coverage). Panics on violations. Not for use during runs.
