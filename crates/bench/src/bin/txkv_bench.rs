@@ -34,10 +34,19 @@
 //! the three modes — same arrival rate — so the artifact reports the
 //! Sync-vs-Off overhead directly.
 //!
+//! * **tpcc-service** (`--tpcc-service`) — TPC-C through the service
+//!   pipeline via the typed `txkv-schema` layer (`tpcc::service`): both
+//!   paper mixes per backend over a 2-shard placement, the 60 %
+//!   select-by-last-name rule served by the `CUST_LAST` secondary index.
+//!   Emits one artifact row per transaction class with that class's
+//!   e2e/service percentiles from the pipeline's per-procedure
+//!   histograms. Replaces the kv modes for the run.
+//!
 //! Results go to `BENCH_TXKV.json` in the versioned `bench::schema`
-//! envelope (v3: adds the `durability` column and `wal_*` counters; v2
-//! added `shards`, `cross_shard_pct`, `tick_us`, `ro_replies_per_sec`
-//! and the `twopc_*` counters). With
+//! envelope (v4: adds the `workload` and `tx_class` columns — see
+//! `bench::schema`; v3 added the `durability` column and `wal_*`
+//! counters; v2 added `shards`, `cross_shard_pct`, `tick_us`,
+//! `ro_replies_per_sec` and the `twopc_*` counters). With
 //! `--assert-service` the run enforces the service-level acceptance
 //! checks (no starved executors, RO batching engaged, backend-appropriate
 //! RO-abort expectations — see `bench::schema` — overload sheds typed,
@@ -50,7 +59,7 @@
 //!
 //! Usage: `cargo run --release --bin txkv_bench [-- --quick] [--smoke]
 //!         [--backends si-htm,htm] [--rate N] [--duration-ms N]
-//!         [--shards N] [--cross-shard-pct P] [--sweep]
+//!         [--shards N] [--cross-shard-pct P] [--sweep] [--tpcc-service]
 //!         [--durability off|async|sync] [--durability-sweep]
 //!         [--chaos] [--assert-service]`
 
@@ -59,11 +68,14 @@ use htm_sim::HtmConfig;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use tm_api::{BackoffPolicy, TmBackend};
+use tpcc::service::{self, MixOutcome, TxClass};
+use tpcc::{TpccConfig, TxMix};
 use txkv::shard::build_domains;
 use txkv::{
     DurabilityConfig, DurabilityMode, KvError, KvOp, Pipeline, PipelineConfig, ServiceReport,
     ShardMap, WalSet,
 };
+use txkv_schema::index_hits;
 use txmem::hooks::chaos::{self, ChaosConfig};
 use workloads::btree;
 
@@ -96,6 +108,8 @@ struct Args {
     durability: DurabilityMode,
     /// Add the SI-HTM Off/Async/Sync overhead legs.
     durability_sweep: bool,
+    /// Run TPC-C through the typed service layer instead of the kv modes.
+    tpcc_service: bool,
 }
 
 fn parse_args() -> Args {
@@ -153,6 +167,7 @@ fn parse_args() -> Args {
             Some(other) => panic!("unknown durability mode '{other}' (off | async | sync)"),
         },
         durability_sweep: has("--durability-sweep"),
+        tpcc_service: has("--tpcc-service"),
     }
 }
 
@@ -616,7 +631,8 @@ fn row_json(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> String 
     }
     classes.push('}');
     format!(
-        "{{\"backend\": \"{}\", \"mode\": \"{mode}\", \"rate\": {}, \"duration_ms\": {}, \
+        "{{\"backend\": \"{}\", \"mode\": \"{mode}\", \"workload\": \"kv\", \"tx_class\": \"all\", \
+         \"rate\": {}, \"duration_ms\": {}, \
          \"executors\": {}, \"shards\": {}, \"cross_shard_pct\": {}, \"tick_us\": {}, \"host_cpus\": {}, \
          \"chaos\": {}, \"durability\": \"{}\", \"submitted\": {}, \"rejected\": {}, \
          \"replies\": {}, \"shed\": {}, \"overloaded\": {}, \"replies_per_sec\": {:.0}, \
@@ -799,6 +815,214 @@ fn run_durability_sweep(args: &Args, rows: &mut Vec<String>) {
     }
 }
 
+// ---------------------------------------------------- tpcc-service mode
+
+/// TPC-C scale for the service cells: `tiny` for `--quick`, a deeper
+/// 4-warehouse configuration otherwise; both with the spec's 60 %
+/// select-by-last-name rule so the secondary index is on the hot path.
+fn tpcc_cfg(quick: bool, mix: TxMix) -> TpccConfig {
+    let mut cfg = TpccConfig::tiny(mix);
+    if !quick {
+        cfg.warehouses = 4;
+        cfg.districts_per_w = 4;
+        cfg.customers_per_d = 64;
+        cfg.items = 256;
+        cfg.order_ring = 128;
+        cfg.initial_orders = 48;
+        cfg.delivered_prefix = 32;
+        cfg.history_ring = 64;
+    }
+    cfg.by_lastname_pct = 60;
+    cfg
+}
+
+/// Registered-procedure pipelines size executor scratches for
+/// `PROC_WRITE_MAX`-key write sets; the arena must be deep enough to
+/// fund them all at startup (see `txkv::proc`).
+const TPCC_WORDS: u64 = 1 << 20;
+
+struct TpccOut {
+    report: ServiceReport,
+    mix: MixOutcome,
+    wall: Duration,
+    /// Secondary-index hits during the measured mix (schema-layer
+    /// counter): must cover every by-last-name selection.
+    index_hits: u64,
+}
+
+fn run_tpcc<B: TmBackend>(mut mk: impl FnMut(usize) -> B, args: &Args, mix: TxMix) -> TpccOut {
+    let cfg = tpcc_cfg(args.quick, mix);
+    let shards = if args.shards > 1 { args.shards } else { 2 };
+    let map = service::shard_map(&cfg, shards);
+    let domains = build_domains(&map, &mut mk, 0, TPCC_WORDS, std::iter::empty());
+    service::load_items(&domains, &cfg);
+    let pcfg =
+        PipelineConfig { executors: args.executors, multi_key_max: 32, ..PipelineConfig::new() };
+    let pipeline = Pipeline::start_with(domains, map, pcfg, None, Some(service::registry(&cfg)));
+    let client = pipeline.client();
+    let pop = service::populate(&cfg);
+    service::load_warehouses(&client, &cfg, &pop, 32);
+    let (clients, ops) = if args.quick { (4, 300) } else { (8, 1_500) };
+    let hits0 = index_hits();
+    let t0 = Instant::now();
+    let out =
+        service::run_mix(&client, &cfg, &pop, clients, ops, 0xBE9C ^ mix.new_order as u64, None);
+    let wall = t0.elapsed();
+    let hits = index_hits() - hits0;
+    let report = pipeline.shutdown();
+    TpccOut { report, mix: out, wall, index_hits: hits }
+}
+
+/// The per-class acceptance checks behind `--assert-service` in
+/// tpcc-service mode: every class commits and records latency, nothing
+/// sheds, the last-name path is index-served, cross-shard work took the
+/// 2PC path, the read-only classes rode the RO batch path, and every
+/// class meets a (generous, hardware-independent) service-p99 ceiling.
+fn check_tpcc(backend: Backend, t: &TpccOut) -> Result<(), String> {
+    let r = &t.report;
+    if r.panicked_executors != 0 {
+        return Err(format!("{} executors panicked", r.panicked_executors));
+    }
+    if t.mix.shed != 0 {
+        return Err(format!("{} request(s) shed without a crash", t.mix.shed));
+    }
+    for cls in TxClass::ALL {
+        if t.mix.acked[cls.index()] == 0 {
+            return Err(format!("{} never committed", cls.name()));
+        }
+        let lat = r
+            .procs
+            .iter()
+            .find(|p| p.proc == cls.proc_id())
+            .ok_or_else(|| format!("no latency row for {}", cls.name()))?;
+        if lat.count() == 0 {
+            return Err(format!("no recorded latency for {}", cls.name()));
+        }
+        let (_, _, e99, _) = lat.e2e.percentiles();
+        let (_, _, s99, _) = lat.service.percentiles();
+        if s99 > 250_000_000 {
+            return Err(format!(
+                "{} service p99 {s99} ns breaches the 250 ms class SLO",
+                cls.name()
+            ));
+        }
+        if e99 > 1_000_000_000 {
+            return Err(format!("{} e2e p99 {e99} ns breaches the 1 s class SLO", cls.name()));
+        }
+    }
+    if t.mix.lastname_acks == 0 {
+        return Err("the 60 % by-name rule never fired".into());
+    }
+    if t.index_hits < t.mix.lastname_acks {
+        return Err(format!(
+            "{} by-name selections but only {} index hits — the last-name path is \
+             not index-served",
+            t.mix.lastname_acks, t.index_hits
+        ));
+    }
+    if r.twopc.prepares == 0 {
+        return Err("no cross-shard 2PC ran (remote payments / order lines)".into());
+    }
+    if r.ro_batch_ops == 0 {
+        return Err("order-status/stock-level never rode the RO batch path".into());
+    }
+    if matches!(backend, Backend::SiHtm) && r.ro_batch_aborts != 0 {
+        return Err(format!("SI-HTM RO fast path aborted {} times (must be 0)", r.ro_batch_aborts));
+    }
+    Ok(())
+}
+
+/// One artifact row per transaction class (schema v4 `tx_class`).
+fn tpcc_rows(backend: Backend, mix_name: &str, t: &TpccOut, rows: &mut Vec<String>) {
+    let r = &t.report;
+    for cls in TxClass::ALL {
+        let Some(lat) = r.procs.iter().find(|p| p.proc == cls.proc_id()) else {
+            continue;
+        };
+        let (p50, p90, p99, p999) = lat.e2e.percentiles();
+        let (s50, _, s99, _) = lat.service.percentiles();
+        rows.push(format!(
+            "{{\"backend\": \"{}\", \"mode\": \"tpcc-service\", \"workload\": \"tpcc\", \
+             \"tx_class\": \"{}\", \"mix\": \"{mix_name}\", \"shards\": {}, \"executors\": {}, \
+             \"duration_ms\": {}, \"host_cpus\": {}, \"durability\": \"{}\", \"count\": {}, \
+             \"acked\": {}, \"user_aborts\": {}, \"e2e_p50_ns\": {p50}, \"e2e_p90_ns\": {p90}, \
+             \"e2e_p99_ns\": {p99}, \"e2e_p999_ns\": {p999}, \"service_p50_ns\": {s50}, \
+             \"service_p99_ns\": {s99}, \"replies_per_sec\": {:.0}, \"index_hits\": {}, \
+             \"lastname_acks\": {}, \"twopc_prepares\": {}, \"twopc_aborts\": {}, \
+             \"ro_batch_ops\": {}, \"ro_batch_aborts\": {}}}",
+            backend.name(),
+            cls.name(),
+            r.shards,
+            r.executors,
+            t.wall.as_millis(),
+            host_cpus(),
+            r.durability,
+            lat.count(),
+            t.mix.acked[cls.index()],
+            t.mix.user_aborted[cls.index()],
+            r.replies as f64 / t.wall.as_secs_f64(),
+            t.index_hits,
+            t.mix.lastname_acks,
+            r.twopc.prepares,
+            r.twopc.aborts,
+            r.ro_batch_ops,
+            r.ro_batch_aborts,
+        ));
+    }
+}
+
+fn run_tpcc_cell(
+    backend: Backend,
+    mix_name: &'static str,
+    mix: TxMix,
+    args: &Args,
+    rows: &mut Vec<String>,
+) {
+    let words = TPCC_WORDS as usize;
+    let t = match backend {
+        Backend::Htm => run_tpcc(|_s| htm_sgl::HtmSgl::with_defaults(words), args, mix),
+        Backend::SiHtm => run_tpcc(|_s| si_htm::SiHtm::with_defaults(words), args, mix),
+        Backend::P8tm => run_tpcc(|_s| p8tm::P8tm::with_defaults(words), args, mix),
+        Backend::Silo => run_tpcc(|_s| silo::Silo::with_defaults(words), args, mix),
+    };
+    let r = &t.report;
+    println!(
+        "{:>6} tpcc/{:<14} (shards {}): {:>7} replies ({:>7.0}/s), 2PC {}p/{}a, \
+         RO-batch ops {}, index hits {} (by-name acks {})",
+        backend.name(),
+        mix_name,
+        r.shards,
+        r.replies,
+        r.replies as f64 / t.wall.as_secs_f64(),
+        r.twopc.prepares,
+        r.twopc.aborts,
+        r.ro_batch_ops,
+        t.index_hits,
+        t.mix.lastname_acks,
+    );
+    for cls in TxClass::ALL {
+        if let Some(lat) = r.procs.iter().find(|p| p.proc == cls.proc_id()) {
+            let (p50, _, p99, _) = lat.e2e.percentiles();
+            let (s50, _, s99, _) = lat.service.percentiles();
+            println!(
+                "         {:<12} n={:<7} e2e p50/p99 = {}/{} ns, service p50/p99 = {}/{} ns",
+                cls.name(),
+                lat.count(),
+                p50,
+                p99,
+                s50,
+                s99
+            );
+        }
+    }
+    if args.assert_service {
+        if let Err(detail) = check_tpcc(backend, &t) {
+            fail(backend, "tpcc-service", &detail, None);
+        }
+    }
+    tpcc_rows(backend, mix_name, &t, rows);
+}
+
 fn main() {
     let args = parse_args();
     let chaos_guard = args.chaos.then(|| {
@@ -813,11 +1037,22 @@ fn main() {
         })
     });
 
-    let modes: &[&'static str] = &["open", "closed", "overload"];
     let mut rows = Vec::new();
-    for &backend in &args.backends {
-        for &mode in modes {
-            run_cell(backend, mode, &args, &mut rows);
+    if args.tpcc_service {
+        // TPC-C through the typed service layer replaces the kv modes.
+        for &backend in &args.backends {
+            for (mix_name, mix) in
+                [("standard", TxMix::standard()), ("read_dominated", TxMix::read_dominated())]
+            {
+                run_tpcc_cell(backend, mix_name, mix, &args, &mut rows);
+            }
+        }
+    } else {
+        let modes: &[&'static str] = &["open", "closed", "overload"];
+        for &backend in &args.backends {
+            for &mode in modes {
+                run_cell(backend, mode, &args, &mut rows);
+            }
         }
     }
     if args.durability_sweep {

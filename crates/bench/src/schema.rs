@@ -65,7 +65,17 @@ pub const CHAOS_SOAK: Artifact = Artifact { name: "chaos_soak", version: 1 };
 /// | Silo    | OCC validation may fail and retry; aborts are normal    |
 ///
 /// `txkv_bench --assert-service` enforces exactly these expectations.
-pub const BENCH_TXKV: Artifact = Artifact { name: "bench_txkv", version: 3 };
+///
+/// v4 added the typed-workload columns: every row carries `workload`
+/// (`kv` for the generic KV mixes, `tpcc` for `--tpcc-service` cells)
+/// and `tx_class` (`all` on kv rows; on tpcc rows the TPC-C transaction
+/// class — `new_order`, `payment`, `order_status`, `delivery`,
+/// `stock_level` — one row per class, with that class's e2e/service
+/// percentiles from the pipeline's per-procedure histograms). tpcc rows
+/// also carry `mix` (`standard` / `read_dominated`), `acked`,
+/// `user_aborts`, `index_hits` and `lastname_acks` (the secondary-index
+/// evidence: hits must cover every by-last-name selection).
+pub const BENCH_TXKV: Artifact = Artifact { name: "bench_txkv", version: 4 };
 
 impl Artifact {
     /// Wrap a JSON array of rows in the versioned envelope.

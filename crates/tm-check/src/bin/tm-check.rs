@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! tm-check [--backend htm|si-htm|p8tm|silo|all]
-//!          [--workload counter|bank|btree|txkv|xshard|recovery|all]
+//!          [--workload counter|bank|btree|txkv|xshard|recovery|typed-index|all]
 //!          [--threads N] [--txns N] [--seeds N] [--seed-start N] [--max-steps N]
 //!          [--fault-access PER_MILLE] [--fault-commit PER_MILLE]
-//!          [--break-si] [--break-2pc] [--expect-violation] [--out FILE]
+//!          [--break-si] [--break-2pc] [--break-index] [--expect-violation] [--out FILE]
 //! ```
 //!
 //! Exit codes: 0 = clean (or, with `--expect-violation`, a violation was
@@ -25,6 +25,7 @@ struct Args {
     faults: FaultPlan,
     break_si: bool,
     break_2pc: bool,
+    break_index: bool,
     expect_violation: bool,
     out: String,
 }
@@ -42,6 +43,7 @@ impl Default for Args {
             faults: FaultPlan::default(),
             break_si: false,
             break_2pc: false,
+            break_index: false,
             expect_violation: false,
             out: "tm-check-failure.txt".to_string(),
         }
@@ -56,8 +58,8 @@ USAGE:
 
 OPTIONS:
     --backend KIND      htm | si-htm | p8tm | silo | all        [default: si-htm]
-    --workload KIND     counter | bank | btree | txkv | xshard | recovery | all
-                                                                [default: bank]
+    --workload KIND     counter | bank | btree | txkv | xshard | recovery |
+                        typed-index | all                       [default: bank]
     --threads N         virtual threads per run                 [default: 3]
     --txns N            transactions per thread                 [default: 8]
     --seeds N           seeds per (backend, workload) combo     [default: 100]
@@ -67,6 +69,7 @@ OPTIONS:
     --fault-commit N    forced-abort probability at commit, per mille
     --break-si          disable SI-HTM's quiescence wait (seeded bug)
     --break-2pc         crash the xshard 2PC coordinator mid-apply (seeded bug)
+    --break-index       skip typed-index secondary-index maintenance (seeded bug)
     --expect-violation  exit 0 iff a violation IS found (CI negative test)
     --out FILE          write the shrunk failing schedule here
                         [default: tm-check-failure.txt]
@@ -99,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
                     "txkv" => vec![WorkloadKind::Txkv],
                     "xshard" => vec![WorkloadKind::XShard],
                     "recovery" => vec![WorkloadKind::Recovery],
+                    "typed-index" | "typedindex" => vec![WorkloadKind::TypedIndex],
                     "all" => WorkloadKind::ALL.to_vec(),
                     other => return Err(format!("unknown workload '{other}'")),
                 };
@@ -116,6 +120,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--break-si" => args.break_si = true,
             "--break-2pc" => args.break_2pc = true,
+            "--break-index" => args.break_index = true,
             "--expect-violation" => args.expect_violation = true,
             "--out" => args.out = value("--out")?,
             "--help" | "-h" => {
@@ -155,6 +160,7 @@ fn main() -> ExitCode {
                 faults: args.faults,
                 break_si: args.break_si,
                 break_2pc: args.break_2pc,
+                break_index: args.break_index,
             };
             let range = args.seed_start..args.seed_start + args.seeds;
             match tm_check::check_seeds(&cfg, range) {

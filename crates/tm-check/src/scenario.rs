@@ -20,7 +20,8 @@ use std::sync::{Arc, Mutex};
 use tm_api::{TmBackend, TmThread, TxKind};
 use txkv::durability::{Append, CrashSite, CrashSpec, DurabilityConfig, DurabilityMode, WalSet};
 use txkv::shard::{apply_part, group_adds, prepare_part, undo_part, ShardPart};
-use txkv::{recover, KvStore, PushError, ShardMap, SubmitQueue, XLock};
+use txkv::{recover, KvStore, LocalTx, PushError, ShardMap, SubmitQueue, XLock};
+use txkv_schema::{def_key, def_row, Index, Table};
 use txmem::hooks::{self, Event};
 use txmem::{round_up_to_line, Addr, LineAlloc, TxMemory, WORDS_PER_LINE};
 use workloads::bank::Bank;
@@ -93,16 +94,25 @@ pub enum WorkloadKind {
     /// surviving logs, balances are conserved (no torn cross-shard
     /// state) and every sync-acked write is present.
     Recovery,
+    /// Typed table + secondary index (`txkv-schema`): threads move rows
+    /// between groups, maintaining the multi-valued `by_group` index in
+    /// the **same** transaction as the base-column write; read-only
+    /// transactions check base ↔ index agreement inside one snapshot.
+    /// Invariants: no committed reader sees them disagree, every
+    /// committed row is reachable through the index, no index entry
+    /// dangles, and no group move is lost.
+    TypedIndex,
 }
 
 impl WorkloadKind {
-    pub const ALL: [WorkloadKind; 6] = [
+    pub const ALL: [WorkloadKind; 7] = [
         WorkloadKind::Counter,
         WorkloadKind::Bank,
         WorkloadKind::Btree,
         WorkloadKind::Txkv,
         WorkloadKind::XShard,
         WorkloadKind::Recovery,
+        WorkloadKind::TypedIndex,
     ];
 
     pub fn name(self) -> &'static str {
@@ -113,6 +123,7 @@ impl WorkloadKind {
             WorkloadKind::Txkv => "txkv",
             WorkloadKind::XShard => "xshard",
             WorkloadKind::Recovery => "recovery",
+            WorkloadKind::TypedIndex => "typed-index",
         }
     }
 }
@@ -136,6 +147,10 @@ pub struct CheckConfig {
     /// compensation fires. tm-check must catch the half-applied
     /// transfer (torn audit or broken conservation).
     pub break_2pc: bool,
+    /// Seeded bug: the typed-index workload skips secondary-index
+    /// maintenance when moving a row between groups (base write only).
+    /// tm-check must catch the unreachable row / dangling entry.
+    pub break_index: bool,
 }
 
 impl Default for CheckConfig {
@@ -149,6 +164,7 @@ impl Default for CheckConfig {
             faults: FaultPlan::default(),
             break_si: false,
             break_2pc: false,
+            break_index: false,
         }
     }
 }
@@ -251,6 +267,7 @@ pub fn build(cfg: &CheckConfig, seed: u64) -> Scenario {
         WorkloadKind::Txkv => build_txkv(cfg, seed),
         WorkloadKind::XShard => build_xshard(cfg, seed),
         WorkloadKind::Recovery => build_recovery(cfg, seed),
+        WorkloadKind::TypedIndex => build_typed_index(cfg, seed),
     }
 }
 
@@ -1171,6 +1188,201 @@ fn build_recovery(cfg: &CheckConfig, seed: u64) -> Scenario {
             }
             let _ = std::fs::remove_dir_all(&dir);
             None
+        }),
+    }
+}
+
+// ---- typed-index workload ---------------------------------------------
+
+/// Rows in the typed-index workload (fixed id set, never deleted).
+const TI_ROWS: u64 = 6;
+/// Groups a row can belong to (the indexed column's value space).
+const TI_GROUPS: u64 = 4;
+/// All rows live at one place; the scenario is single-shard.
+const TI_PLACE: u64 = 1;
+
+def_key! {
+    /// Typed-index workload secondary key: (group, row id) — the row id
+    /// folds into the tuple tail so a group's members scan in id order.
+    pub struct GroupKey { g: 10, id: 14 }
+}
+def_row! {
+    /// Typed-index workload row: `group` is the indexed column, `moves`
+    /// counts committed group changes (lost-update check).
+    pub struct GroupedRow { group, moves }
+}
+
+const TI_ROWS_TABLE: Table<u64, GroupedRow> = Table::new(0, "rows");
+const TI_BY_GROUP: Index<GroupKey> = Index::new(1, "rows_by_group", false);
+const TI_GROUP_COL: u64 = 0;
+const TI_MOVES_COL: u64 = 1;
+
+/// Typed table + secondary index over one [`KvStore`], driven through
+/// [`txkv_schema`]'s schema layer via [`LocalTx`]: update transactions
+/// move a row to a different group — rewriting the indexed column and
+/// relocating its [`TI_BY_GROUP`] entry in the **same** transaction —
+/// while read-only transactions pick a group and check, inside one
+/// snapshot, that the index's members and the base rows agree in both
+/// directions. With `cfg.break_index` the update skips the index move
+/// (the seeded bug), which the snapshot checks and the end-of-run
+/// reachability/dangling-entry sweep must catch.
+fn build_typed_index(cfg: &CheckConfig, seed: u64) -> Scenario {
+    let total_txns = (cfg.threads * cfg.txns_per_thread) as u64;
+    let mem_words = workloads::btree::memory_words(3 * TI_ROWS + 2 * total_txns + 64);
+    let backend = make_backend(cfg, mem_words);
+    // Seed rows + their index entries, sorted into key order for the
+    // bulk build (rows interleave two table-id prefixes).
+    let mut seed_pairs: Vec<(u64, u64)> = Vec::new();
+    for id in 0..TI_ROWS {
+        let g = id % TI_GROUPS;
+        seed_pairs.push((TI_ROWS_TABLE.key(TI_PLACE, id, TI_GROUP_COL), g));
+        seed_pairs.push((TI_ROWS_TABLE.key(TI_PLACE, id, TI_MOVES_COL), 0));
+        seed_pairs.push((TI_BY_GROUP.key(TI_PLACE, GroupKey { g, id }), id));
+    }
+    seed_pairs.sort_unstable_by_key(|&(k, _)| k);
+    let store = KvStore::create_with(
+        backend.memory(),
+        0,
+        round_up_to_line(mem_words as u64),
+        seed_pairs.into_iter(),
+    );
+    let watched = 0..round_up_to_line(mem_words as u64);
+    let init = snapshot_init(backend.memory(), &watched);
+    let moves = Arc::new(AtomicU64::new(0));
+    let broken_reads = Arc::new(AtomicU64::new(0));
+    let break_index = cfg.break_index;
+
+    let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    for tid in 0..cfg.threads {
+        let mut thread = backend.register();
+        let store = store.clone();
+        let mut rng = OpRng::new(seed, tid);
+        let txns = cfg.txns_per_thread;
+        let moves = Arc::clone(&moves);
+        let broken = Arc::clone(&broken_reads);
+        bodies.push(Box::new(move || {
+            let mut scratch = store.new_batch_scratch(4);
+            for _ in 0..txns {
+                if rng.below(10) < 7 {
+                    // Move a row to a *different* group: base column and
+                    // index entry in one transaction (unless broken).
+                    let id = rng.below(TI_ROWS);
+                    let hop = 1 + rng.below(TI_GROUPS - 1);
+                    let out = thread.exec(TxKind::Update, &mut |tx| {
+                        scratch.reset();
+                        let mut ltx = LocalTx { store: &store, tx, scratch: &mut scratch };
+                        let old = TI_ROWS_TABLE.read_col(&mut ltx, TI_PLACE, id, TI_GROUP_COL)?;
+                        let new = (old + hop) % TI_GROUPS;
+                        TI_ROWS_TABLE.write_col(&mut ltx, TI_PLACE, id, TI_GROUP_COL, new)?;
+                        TI_ROWS_TABLE
+                            .update_col(&mut ltx, TI_PLACE, id, TI_MOVES_COL, |m| m + 1)?;
+                        if !break_index {
+                            TI_BY_GROUP.update(
+                                &mut ltx,
+                                TI_PLACE,
+                                Some(GroupKey { g: old, id }),
+                                Some((GroupKey { g: new, id }, id)),
+                            )?;
+                        }
+                        Ok(())
+                    });
+                    if out == tm_api::Outcome::Committed {
+                        moves.fetch_add(1, Ordering::Relaxed);
+                        scratch.refill(store.alloc());
+                    }
+                } else {
+                    // Snapshot check of one group: index → base (every
+                    // member's row carries the group) and base → index
+                    // (every row in the group is a member).
+                    let g = rng.below(TI_GROUPS);
+                    let mut torn = false;
+                    let out = thread.exec(TxKind::ReadOnly, &mut |tx| {
+                        torn = false;
+                        let mut ltx = LocalTx { store: &store, tx, scratch: &mut scratch };
+                        let mut members: Vec<u64> = Vec::new();
+                        TI_BY_GROUP.scan(
+                            &mut ltx,
+                            TI_PLACE,
+                            GroupKey { g, id: 0 },
+                            GroupKey { g: g + 1, id: 0 },
+                            u64::MAX,
+                            &mut |ik, primary| {
+                                if ik.id != primary {
+                                    torn = true;
+                                }
+                                members.push(primary);
+                            },
+                        )?;
+                        for &id in &members {
+                            if TI_ROWS_TABLE.read_col(&mut ltx, TI_PLACE, id, TI_GROUP_COL)? != g {
+                                torn = true;
+                            }
+                        }
+                        for id in 0..TI_ROWS {
+                            if TI_ROWS_TABLE.read_col(&mut ltx, TI_PLACE, id, TI_GROUP_COL)? == g
+                                && !members.contains(&id)
+                            {
+                                torn = true;
+                            }
+                        }
+                        Ok(())
+                    });
+                    if out == tm_api::Outcome::Committed && torn {
+                        broken.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+
+    let b2 = backend.clone();
+    Scenario {
+        backend,
+        watched,
+        init,
+        bodies,
+        check_invariants: Box::new(move || {
+            let broken = broken_reads.load(Ordering::Relaxed);
+            if broken > 0 {
+                return Some(format!(
+                    "{broken} committed snapshot(s) saw base rows and index entries disagree"
+                ));
+            }
+            let mem = b2.memory();
+            let mut recorded_moves = 0u64;
+            for id in 0..TI_ROWS {
+                let g = match store.load_raw(mem, TI_ROWS_TABLE.key(TI_PLACE, id, TI_GROUP_COL)) {
+                    Some(g) => g,
+                    None => return Some(format!("row {id} lost its presence column")),
+                };
+                recorded_moves +=
+                    store.load_raw(mem, TI_ROWS_TABLE.key(TI_PLACE, id, TI_MOVES_COL)).unwrap_or(0);
+                if store.load_raw(mem, TI_BY_GROUP.key(TI_PLACE, GroupKey { g, id })) != Some(id) {
+                    return Some(format!(
+                        "committed row {id} (group {g}) is unreachable through the index"
+                    ));
+                }
+            }
+            for g in 0..TI_GROUPS {
+                for id in 0..TI_ROWS {
+                    let Some(primary) =
+                        store.load_raw(mem, TI_BY_GROUP.key(TI_PLACE, GroupKey { g, id }))
+                    else {
+                        continue;
+                    };
+                    let row_g =
+                        store.load_raw(mem, TI_ROWS_TABLE.key(TI_PLACE, primary, TI_GROUP_COL));
+                    if primary != id || row_g != Some(g) {
+                        return Some(format!(
+                            "dangling index entry ({g}, {id}) -> row {primary} in group {row_g:?}"
+                        ));
+                    }
+                }
+            }
+            let done = moves.load(Ordering::Relaxed);
+            (recorded_moves != done).then(|| {
+                format!("lost group moves: {done} committed but rows record {recorded_moves}")
+            })
         }),
     }
 }

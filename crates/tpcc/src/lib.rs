@@ -30,6 +30,8 @@
 
 pub mod layout;
 pub mod nurand;
+pub mod schema;
+pub mod service;
 pub mod txns;
 pub mod worker;
 

@@ -1,0 +1,213 @@
+//! TPC-C as a typed `txkv-schema` database.
+//!
+//! Where [`crate::layout`] computes flat array addresses (the paper's
+//! indexing-disabled harness), this module expresses the same nine
+//! tables as [`txkv_schema`] definitions over the txkv service: every
+//! row is a tuple of named `u64` columns behind an order-preserving
+//! key, and the customer last-name path is a *real* multi-valued
+//! secondary index instead of fixed-capacity hash buckets.
+//!
+//! ## Placement
+//!
+//! The schema uses one *place* per warehouse — [`place_of`]`(w) = w + 1`
+//! — so [`txkv_schema::place_sharding`] keeps each warehouse's rows on
+//! one shard and cross-warehouse transactions (remote payment, remote
+//! new-order lines) become cross-shard 2PC exactly when the warehouses
+//! land on different shards. Place `0` is the replicated prefix
+//! (`key < REPLICATED_BOUNDARY`): the read-only ITEM dimension table is
+//! bulk-loaded into **every** shard's store (see
+//! [`crate::service::load_items`]) and read locally by all legs; it is
+//! never written after load and never WAL-logged.
+//!
+//! ## Rings
+//!
+//! ORDER / ORDER-LINE / NEW-ORDER keep the crate's bounded-ring
+//! discipline: the key slot is `o_id & (order_ring - 1)` and the row
+//! stores the real `o_id`, so readers detect slots recycled by ring
+//! wrap. HISTORY is a per-warehouse ring driven by the warehouse row's
+//! `hist_next` cursor.
+
+use txkv_schema::{def_key, def_row, Index, Schema, Table};
+
+/// Replicated dimension place: ITEM rows live below
+/// [`txkv_schema::REPLICATED_BOUNDARY`] and are loaded into every shard.
+pub const ITEM_PLACE: u64 = 0;
+
+/// Warehouse `w` (0-based) keeps all of its rows at place `w + 1`.
+pub fn place_of(w: u64) -> u64 {
+    w + 1
+}
+
+// Composite tuple keys. Widths bound the supported scale (asserted by
+// `crate::service::Scale::of`): ≤ 32 districts, ≤ 16 383 customers per
+// district, order rings ≤ 65 536 slots, 1 000 last names.
+def_key! {
+    /// Customer primary key: (district, customer id).
+    pub struct CustKey { d: 5, c: 14 }
+}
+def_key! {
+    /// Order-ring slot key: (district, `o_id & (order_ring - 1)`).
+    pub struct OrderKey { d: 5, slot: 16 }
+}
+def_key! {
+    /// Order line: (district, order slot, line number).
+    pub struct OlKey { d: 5, slot: 16, ol: 4 }
+}
+def_key! {
+    /// Secondary-index key: (district, last-name id, customer id). The
+    /// customer id folds into the tuple tail so same-name customers
+    /// coexist and scan in id order.
+    pub struct LastKey { d: 5, last: 10, c: 14 }
+}
+
+def_row! {
+    /// ITEM: `price` in cents, `im_id` an opaque image id.
+    pub struct ItemRow { price, im_id }
+}
+def_row! {
+    /// WAREHOUSE: `ytd` is signed cents ([`crate::layout::to_word`]),
+    /// `tax` basis points, `hist_next` the history-ring cursor.
+    pub struct WarehouseRow { ytd, tax, hist_next }
+}
+def_row! {
+    /// DISTRICT: `next_o_id`/`no_first` bound the pending-order window
+    /// (1-based o_ids), `ytd` signed cents, `tax` basis points.
+    pub struct DistrictRow { next_o_id, no_first, ytd, tax }
+}
+def_row! {
+    /// CUSTOMER: money columns are signed cents, `discount` basis
+    /// points, `last` the last-name id (mirrored by [`CUST_LAST`]),
+    /// `last_o_id` the most recent order for Order-Status.
+    pub struct CustomerRow { balance, ytd_payment, payment_cnt, delivery_cnt, discount, last, last_o_id }
+}
+def_row! {
+    /// STOCK, per (warehouse, item).
+    pub struct StockRow { quantity, ytd, order_cnt, remote_cnt }
+}
+def_row! {
+    /// ORDER ring slot; `o_id` detects ring wrap, `carrier` is 0 until
+    /// delivered.
+    pub struct OrderRow { o_id, c_id, entry_d, carrier, ol_cnt }
+}
+def_row! {
+    /// ORDER-LINE; `amount` unsigned cents, `delivery_d` 0 until
+    /// delivered.
+    pub struct OlRow { i_id, supply_w, qty, amount, delivery_d }
+}
+def_row! {
+    /// NEW-ORDER: presence marks a pending order; `o_id` detects wrap.
+    pub struct NewOrderRow { o_id }
+}
+def_row! {
+    /// HISTORY ring slot. `c_sel` records the customer *selector* the
+    /// payment carried (id, or last-name id when selected by name): a
+    /// by-name payment resolves the id on the customer's shard, which
+    /// the home leg cannot see — an audit-trail deviation noted in
+    /// DESIGN.md §13.
+    pub struct HistoryRow { amount, c_w, c_d, c_sel }
+}
+
+// Table ids are stable protocol constants (6-bit space). Registration
+// order in [`schema()`] must match.
+pub const ITEM: Table<u64, ItemRow> = Table::new(0, "item");
+pub const WAREHOUSE: Table<u64, WarehouseRow> = Table::new(1, "warehouse");
+pub const DISTRICT: Table<u64, DistrictRow> = Table::new(2, "district");
+pub const CUSTOMER: Table<CustKey, CustomerRow> = Table::new(3, "customer");
+pub const STOCK: Table<u64, StockRow> = Table::new(4, "stock");
+pub const ORDERS: Table<OrderKey, OrderRow> = Table::new(5, "orders");
+pub const ORDER_LINE: Table<OlKey, OlRow> = Table::new(6, "order_line");
+pub const NEW_ORDERS: Table<OrderKey, NewOrderRow> = Table::new(7, "new_order");
+pub const HISTORY: Table<u64, HistoryRow> = Table::new(8, "history");
+/// Customer-by-last-name secondary index (multi-valued); the primary
+/// word is the packed [`CustKey`]. Maintained in the same transaction as
+/// customer writes — last names are immutable after population, so in
+/// TPC-C that transaction is the population load itself.
+pub const CUST_LAST: Index<LastKey> = Index::new(9, "customer_by_lastname", false);
+
+/// Column indices for the granular `read_col`/`write_col`/`update_col`
+/// paths (must match the `def_row!` field order above).
+pub mod col {
+    pub const W_YTD: u64 = 0;
+    pub const W_TAX: u64 = 1;
+    pub const W_HIST_NEXT: u64 = 2;
+
+    pub const D_NEXT_O_ID: u64 = 0;
+    pub const D_NO_FIRST: u64 = 1;
+    pub const D_YTD: u64 = 2;
+    pub const D_TAX: u64 = 3;
+
+    pub const C_BALANCE: u64 = 0;
+    pub const C_YTD_PAYMENT: u64 = 1;
+    pub const C_PAYMENT_CNT: u64 = 2;
+    pub const C_DELIVERY_CNT: u64 = 3;
+    pub const C_DISCOUNT: u64 = 4;
+    pub const C_LAST: u64 = 5;
+    pub const C_LAST_O_ID: u64 = 6;
+
+    pub const O_CARRIER: u64 = 3;
+
+    pub const OL_I_ID: u64 = 0;
+    pub const OL_AMOUNT: u64 = 3;
+    pub const OL_DELIVERY_D: u64 = 4;
+
+    pub const S_QUANTITY: u64 = 0;
+}
+
+/// The registered schema — names resolve through
+/// [`txkv_schema::Schema::id_of`] and the allocator cross-checks the
+/// constant table ids above (same registration order).
+pub fn schema() -> Schema {
+    let mut s = Schema::new();
+    assert_eq!(s.table::<u64, ItemRow>("item").id(), ITEM.id());
+    assert_eq!(s.table::<u64, WarehouseRow>("warehouse").id(), WAREHOUSE.id());
+    assert_eq!(s.table::<u64, DistrictRow>("district").id(), DISTRICT.id());
+    assert_eq!(s.table::<CustKey, CustomerRow>("customer").id(), CUSTOMER.id());
+    assert_eq!(s.table::<u64, StockRow>("stock").id(), STOCK.id());
+    assert_eq!(s.table::<OrderKey, OrderRow>("orders").id(), ORDERS.id());
+    assert_eq!(s.table::<OlKey, OlRow>("order_line").id(), ORDER_LINE.id());
+    assert_eq!(s.table::<OrderKey, NewOrderRow>("new_order").id(), NEW_ORDERS.id());
+    assert_eq!(s.table::<u64, HistoryRow>("history").id(), HISTORY.id());
+    assert_eq!(s.index::<LastKey>("customer_by_lastname", false).id(), CUST_LAST.id());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txkv_schema::{place_of as key_place, TupleKey, REPLICATED_BOUNDARY};
+
+    #[test]
+    fn schema_matches_table_constants() {
+        let s = schema();
+        assert_eq!(s.id_of("customer"), Some(CUSTOMER.id()));
+        assert_eq!(s.id_of("customer_by_lastname"), Some(CUST_LAST.id()));
+        assert_eq!(s.names().len(), 10);
+    }
+
+    #[test]
+    fn item_rows_are_replicated_warehouse_rows_are_not() {
+        assert!(ITEM.key(ITEM_PLACE, 100_000, 1) < REPLICATED_BOUNDARY);
+        assert!(WAREHOUSE.key(place_of(0), 0, 0) >= REPLICATED_BOUNDARY);
+        assert_eq!(key_place(CUSTOMER.key(place_of(3), CustKey { d: 1, c: 2 }, 0)), 4);
+    }
+
+    #[test]
+    fn lastname_index_scans_in_customer_order() {
+        // Same (d, last) bucket: keys differ only in the customer tail
+        // and sort by customer id — the scan order Payment's
+        // middle-of-bucket selection relies on.
+        let a = LastKey { d: 3, last: 77, c: 5 }.pack();
+        let b = LastKey { d: 3, last: 77, c: 1999 }.pack();
+        let other = LastKey { d: 3, last: 78, c: 0 }.pack();
+        assert!(a < b && b < other);
+    }
+
+    #[test]
+    fn order_ring_slots_do_not_collide_across_districts() {
+        let k1 = ORDERS.key(place_of(0), OrderKey { d: 1, slot: 7 }, 0);
+        let k2 = ORDERS.key(place_of(0), OrderKey { d: 2, slot: 7 }, 0);
+        let k3 = ORDER_LINE.key(place_of(0), OlKey { d: 1, slot: 7, ol: 0 }, 0);
+        assert_ne!(k1, k2);
+        assert_ne!(k1, k3);
+    }
+}

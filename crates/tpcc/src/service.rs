@@ -1,0 +1,1119 @@
+//! TPC-C as a txkv *service* client: the five transaction classes
+//! registered as server-side [`Procedure`]s over the typed schema of
+//! [`crate::schema`], driven through the batched request pipeline.
+//!
+//! This is the service-side twin of [`crate::txns`] (which runs the same
+//! transactions against the flat address layout inside one process).
+//! Here every class goes through [`txkv::KvOp::Call`]:
+//!
+//! * **New-Order** — home leg allocates the order id, writes the order /
+//!   order-line / new-order rows and computes the total from replicated
+//!   ITEM prices; remote-supplied lines update stock on their own
+//!   warehouse's shard, making the call a cross-shard 2PC when supply
+//!   warehouses are sharded apart. An invalid item id aborts the whole
+//!   call ([`tm_api::Abort::User`] → [`txkv::KvReply::CallAborted`]).
+//! * **Payment** — home leg moves warehouse/district YTD and appends the
+//!   history ring; the customer leg (remote for 15 % of payments)
+//!   resolves the customer — by id, or *by last name through the
+//!   [`crate::schema::CUST_LAST`] secondary index* — and moves the
+//!   balance. Two legs, one 2PC transaction.
+//! * **Order-Status** (read-only) — rides the pipeline's batched RO path
+//!   (on SI-HTM the never-aborting unbounded-read path), resolving the
+//!   customer through the same index.
+//! * **Delivery** — single-shard update batch over the pending-order
+//!   window.
+//! * **Stock-Level** (read-only) — scans the last 20 orders' lines.
+//!
+//! Population is split by durability class: the read-only ITEM dimension
+//! table is bulk-loaded into **every** shard store at open time
+//! ([`load_items`], never WAL-logged), while all per-warehouse rows go
+//! through the pipeline as `MultiPut` batches ([`load_warehouses`]) so a
+//! durable service recovers them from its own WAL.
+
+use crate::layout::{from_word, to_word};
+use crate::schema::{
+    col, place_of, CustKey, CustomerRow, DistrictRow, HistoryRow, ItemRow, LastKey, NewOrderRow,
+    OlKey, OlRow, OrderKey, OrderRow, StockRow, WarehouseRow, CUSTOMER, CUST_LAST, DISTRICT,
+    HISTORY, ITEM, ITEM_PLACE, NEW_ORDERS, ORDERS, ORDER_LINE, STOCK, WAREHOUSE,
+};
+use crate::txns::MAX_OL_CNT;
+use crate::{nurand, TpccConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tm_api::{Abort, Outcome, TmBackend, TmThread, TxKind};
+use txkv::{
+    KvClient, KvError, KvOp, KvReply, KvStore, KvTx, LocalTx, ProcCtx, ProcRegistry, Procedure,
+    ShardMap, WalSet,
+};
+use txkv_schema::{place_sharding, Row, TupleKey, REPLICATED_BOUNDARY};
+
+pub const NEW_ORDER_ID: u64 = 1;
+pub const PAYMENT_ID: u64 = 2;
+pub const ORDER_STATUS_ID: u64 = 3;
+pub const DELIVERY_ID: u64 = 4;
+pub const STOCK_LEVEL_ID: u64 = 5;
+/// Read-only consistency audit (test/ops surface, not part of the mix).
+pub const AUDIT_ID: u64 = 6;
+
+/// Deterministic population seed (shared by [`populate`], [`item_rows`]
+/// and [`warehouse_rows`], so re-deriving any slice reproduces it).
+const SEED: u64 = 0x7C5C_0FF5_EED0_0001;
+
+/// The five TPC-C transaction classes, in mix-drawing order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxClass {
+    NewOrder,
+    Payment,
+    OrderStatus,
+    Delivery,
+    StockLevel,
+}
+
+impl TxClass {
+    pub const ALL: [TxClass; 5] = [
+        TxClass::NewOrder,
+        TxClass::Payment,
+        TxClass::OrderStatus,
+        TxClass::Delivery,
+        TxClass::StockLevel,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            TxClass::NewOrder => "new_order",
+            TxClass::Payment => "payment",
+            TxClass::OrderStatus => "order_status",
+            TxClass::Delivery => "delivery",
+            TxClass::StockLevel => "stock_level",
+        }
+    }
+
+    pub fn proc_id(self) -> u64 {
+        match self {
+            TxClass::NewOrder => NEW_ORDER_ID,
+            TxClass::Payment => PAYMENT_ID,
+            TxClass::OrderStatus => ORDER_STATUS_ID,
+            TxClass::Delivery => DELIVERY_ID,
+            TxClass::StockLevel => STOCK_LEVEL_ID,
+        }
+    }
+
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Scale facts the procedures need, extracted from [`TpccConfig`] and
+/// checked against the schema's key widths.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    pub warehouses: u64,
+    pub districts: u64,
+    pub customers: u64,
+    pub items: u64,
+    pub order_ring: u64,
+    pub history_ring: u64,
+    pub delivery_batch: u64,
+}
+
+impl Scale {
+    pub fn of(cfg: &TpccConfig) -> Scale {
+        cfg.validate();
+        assert!(cfg.warehouses + 1 < 1 << 10, "place space: at most 1022 warehouses");
+        assert!(cfg.districts_per_w < 32, "CustKey.d is 5 bits (and audits scan to d+1)");
+        assert!(cfg.customers_per_d < 1 << 14, "CustKey.c is 14 bits");
+        assert!(cfg.order_ring <= 1 << 16, "OrderKey.slot is 16 bits");
+        Scale {
+            warehouses: cfg.warehouses,
+            districts: cfg.districts_per_w,
+            customers: cfg.customers_per_d,
+            items: cfg.items,
+            order_ring: cfg.order_ring,
+            history_ring: cfg.history_ring,
+            delivery_batch: cfg.delivery_batch,
+        }
+    }
+
+    fn slot(&self, o_id: u64) -> u64 {
+        o_id & (self.order_ring - 1)
+    }
+}
+
+/// Signed-cents arithmetic on stored money words.
+fn wadd(word: u64, delta: i64) -> u64 {
+    to_word(from_word(word) + delta)
+}
+
+/// Resolve a customer selector on the customer's own shard: either a
+/// direct id, or a last-name id looked up through [`CUST_LAST`] picking
+/// the middle bucket member (TPC-C clause 2.5.2.2). An empty bucket is a
+/// user abort (invalid input).
+fn resolve_customer(
+    ctx: &mut dyn KvTx,
+    place: u64,
+    d: u64,
+    by_name: bool,
+    sel: u64,
+) -> Result<u64, Abort> {
+    if !by_name {
+        return Ok(sel);
+    }
+    let mut members: Vec<u64> = Vec::new();
+    CUST_LAST.scan(
+        ctx,
+        place,
+        LastKey { d, last: sel, c: 0 },
+        LastKey { d, last: sel + 1, c: 0 },
+        u64::MAX,
+        &mut |ik, _| members.push(ik.c),
+    )?;
+    if members.is_empty() {
+        return Err(Abort::User);
+    }
+    Ok(members[members.len() / 2])
+}
+
+/// New-Order: args `[w, d, c, entry_d, n, (i_id, supply_w, qty) * n]`;
+/// reply `[o_id, total_word]` from the home leg.
+pub struct NewOrderProc(pub Scale);
+
+impl Procedure for NewOrderProc {
+    fn id(&self) -> u64 {
+        NEW_ORDER_ID
+    }
+    fn name(&self) -> &'static str {
+        "new_order"
+    }
+    fn run(&self, ctx: &mut ProcCtx<'_>, args: &[u64]) -> Result<Vec<u64>, Abort> {
+        let s = self.0;
+        let (w, d, c, entry_d) = (args[0], args[1], args[2], args[3]);
+        let n = args[4] as usize;
+        let lines = &args[5..5 + 3 * n];
+        let home = place_of(w);
+        let mut out = Vec::new();
+        if ctx.is_local(DISTRICT.key(home, d, 0)) {
+            let dist = DISTRICT.get(ctx, home, d)?.ok_or(Abort::User)?;
+            let o_id = dist.next_o_id;
+            if o_id - dist.no_first >= s.order_ring - 1 {
+                return Err(Abort::User); // pending ring full: refuse the order
+            }
+            DISTRICT.write_col(ctx, home, d, col::D_NEXT_O_ID, o_id + 1)?;
+            let slot = s.slot(o_id);
+            let mut sum: i64 = 0;
+            for (ol, line) in lines.chunks(3).enumerate() {
+                let (i_id, supply_w, qty) = (line[0], line[1], line[2]);
+                // Replicated dimension read — local on every leg. A
+                // missing item is the spec's 1 % invalid-order rollback.
+                let item = ITEM.get(ctx, ITEM_PLACE, i_id)?.ok_or(Abort::User)?;
+                let amount = item.price * qty;
+                sum += amount as i64;
+                ORDER_LINE.put(
+                    ctx,
+                    home,
+                    OlKey { d, slot, ol: ol as u64 },
+                    &OlRow { i_id, supply_w, qty, amount, delivery_d: 0 },
+                )?;
+            }
+            ORDERS.put(
+                ctx,
+                home,
+                OrderKey { d, slot },
+                &OrderRow { o_id, c_id: c, entry_d, carrier: 0, ol_cnt: n as u64 },
+            )?;
+            NEW_ORDERS.put(ctx, home, OrderKey { d, slot }, &NewOrderRow { o_id })?;
+            let ck = CustKey { d, c };
+            let discount = CUSTOMER.read_col(ctx, home, ck, col::C_DISCOUNT)? as i64;
+            CUSTOMER.write_col(ctx, home, ck, col::C_LAST_O_ID, o_id)?;
+            let w_tax = WAREHOUSE.read_col(ctx, home, 0, col::W_TAX)? as i64;
+            let total =
+                sum * (10_000 - discount) / 10_000 * (10_000 + w_tax + dist.tax as i64) / 10_000;
+            out = vec![o_id, to_word(total)];
+        }
+        // Stock legs: every line whose supply warehouse lives on this
+        // shard (the home shard handles its own lines here too).
+        for line in lines.chunks(3) {
+            let (i_id, supply_w, qty) = (line[0], line[1], line[2]);
+            let sp = place_of(supply_w);
+            if !ctx.is_local(STOCK.key(sp, i_id, 0)) {
+                continue;
+            }
+            // An invalid item has no stock row on any warehouse, so the
+            // rollback is reached on remote-only legs as well.
+            let mut st = STOCK.get(ctx, sp, i_id)?.ok_or(Abort::User)?;
+            st.quantity =
+                if st.quantity >= qty + 10 { st.quantity - qty } else { st.quantity + 91 - qty };
+            st.ytd += qty;
+            st.order_cnt += 1;
+            if supply_w != w {
+                st.remote_cnt += 1;
+            }
+            STOCK.put(ctx, sp, i_id, &st)?;
+        }
+        Ok(out)
+    }
+}
+
+/// Payment: args `[w, d, c_w, c_d, by_name, sel, amount]`; reply
+/// `[resolved_c]` from the customer leg.
+pub struct PaymentProc(pub Scale);
+
+impl Procedure for PaymentProc {
+    fn id(&self) -> u64 {
+        PAYMENT_ID
+    }
+    fn name(&self) -> &'static str {
+        "payment"
+    }
+    fn run(&self, ctx: &mut ProcCtx<'_>, args: &[u64]) -> Result<Vec<u64>, Abort> {
+        let s = self.0;
+        let (w, d, c_w, c_d) = (args[0], args[1], args[2], args[3]);
+        let (by_name, sel) = (args[4] != 0, args[5]);
+        let amount = args[6] as i64;
+        let home = place_of(w);
+        let cp = place_of(c_w);
+        let mut out = Vec::new();
+        if ctx.is_local(WAREHOUSE.key(home, 0, 0)) {
+            WAREHOUSE.update_col(ctx, home, 0, col::W_YTD, |y| wadd(y, amount))?;
+            DISTRICT.update_col(ctx, home, d, col::D_YTD, |y| wadd(y, amount))?;
+            let next = WAREHOUSE.update_col(ctx, home, 0, col::W_HIST_NEXT, |h| h + 1)?;
+            HISTORY.put(
+                ctx,
+                home,
+                (next - 1) & (s.history_ring - 1),
+                &HistoryRow { amount: amount as u64, c_w, c_d, c_sel: sel },
+            )?;
+        }
+        if ctx.is_local(WAREHOUSE.key(cp, 0, 0)) {
+            let c = resolve_customer(ctx, cp, c_d, by_name, sel)?;
+            let ck = CustKey { d: c_d, c };
+            CUSTOMER.update_col(ctx, cp, ck, col::C_BALANCE, |b| wadd(b, -amount))?;
+            CUSTOMER.update_col(ctx, cp, ck, col::C_YTD_PAYMENT, |y| wadd(y, amount))?;
+            CUSTOMER.update_col(ctx, cp, ck, col::C_PAYMENT_CNT, |x| x + 1)?;
+            out = vec![c];
+        }
+        Ok(out)
+    }
+}
+
+/// Order-Status (read-only): args `[w, d, by_name, sel]`; reply
+/// `[c, balance_word, last_o_id, lines, delivered_lines]`.
+pub struct OrderStatusProc(pub Scale);
+
+impl Procedure for OrderStatusProc {
+    fn id(&self) -> u64 {
+        ORDER_STATUS_ID
+    }
+    fn name(&self) -> &'static str {
+        "order_status"
+    }
+    fn read_only(&self) -> bool {
+        true
+    }
+    fn run(&self, ctx: &mut ProcCtx<'_>, args: &[u64]) -> Result<Vec<u64>, Abort> {
+        let s = self.0;
+        let (w, d) = (args[0], args[1]);
+        let (by_name, sel) = (args[2] != 0, args[3]);
+        let p = place_of(w);
+        let c = resolve_customer(ctx, p, d, by_name, sel)?;
+        let ck = CustKey { d, c };
+        let cust = CUSTOMER.get(ctx, p, ck)?.ok_or(Abort::User)?;
+        let o_id = cust.last_o_id;
+        let (mut lines, mut delivered) = (0u64, 0u64);
+        if o_id != 0 {
+            let slot = s.slot(o_id);
+            if let Some(ord) = ORDERS.get(ctx, p, OrderKey { d, slot })? {
+                if ord.o_id == o_id {
+                    for ol in 0..ord.ol_cnt {
+                        let l =
+                            ORDER_LINE.get(ctx, p, OlKey { d, slot, ol })?.ok_or(Abort::User)?;
+                        lines += 1;
+                        if l.delivery_d != 0 {
+                            delivered += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(vec![c, cust.balance, o_id, lines, delivered])
+    }
+}
+
+/// Delivery: args `[w, d, carrier, delivery_d]`; reply `[delivered]`.
+/// Per-district deferred batch over the pending window, as in
+/// [`crate::txns::delivery`].
+pub struct DeliveryProc(pub Scale);
+
+impl Procedure for DeliveryProc {
+    fn id(&self) -> u64 {
+        DELIVERY_ID
+    }
+    fn name(&self) -> &'static str {
+        "delivery"
+    }
+    fn run(&self, ctx: &mut ProcCtx<'_>, args: &[u64]) -> Result<Vec<u64>, Abort> {
+        let s = self.0;
+        let (w, d, carrier, delivery_d) = (args[0], args[1], args[2], args[3]);
+        let p = place_of(w);
+        let dist = DISTRICT.get(ctx, p, d)?.ok_or(Abort::User)?;
+        let n = (dist.next_o_id - dist.no_first).min(s.delivery_batch);
+        for k in 0..n {
+            let o_id = dist.no_first + k;
+            let slot = s.slot(o_id);
+            let ok = OrderKey { d, slot };
+            NEW_ORDERS.delete(ctx, p, ok)?;
+            let ord = ORDERS.get(ctx, p, ok)?.ok_or(Abort::User)?;
+            ORDERS.write_col(ctx, p, ok, col::O_CARRIER, carrier)?;
+            let mut sum: i64 = 0;
+            for ol in 0..ord.ol_cnt {
+                let olk = OlKey { d, slot, ol };
+                sum += ORDER_LINE.read_col(ctx, p, olk, col::OL_AMOUNT)? as i64;
+                ORDER_LINE.write_col(ctx, p, olk, col::OL_DELIVERY_D, delivery_d)?;
+            }
+            let ck = CustKey { d, c: ord.c_id };
+            CUSTOMER.update_col(ctx, p, ck, col::C_BALANCE, |b| wadd(b, sum))?;
+            CUSTOMER.update_col(ctx, p, ck, col::C_DELIVERY_CNT, |x| x + 1)?;
+        }
+        if n > 0 {
+            DISTRICT.write_col(ctx, p, d, col::D_NO_FIRST, dist.no_first + n)?;
+        }
+        Ok(vec![n])
+    }
+}
+
+/// Stock-Level (read-only): args `[w, d, threshold]`; reply
+/// `[low_stock_items]` over the last 20 orders' distinct items.
+pub struct StockLevelProc(pub Scale);
+
+impl Procedure for StockLevelProc {
+    fn id(&self) -> u64 {
+        STOCK_LEVEL_ID
+    }
+    fn name(&self) -> &'static str {
+        "stock_level"
+    }
+    fn read_only(&self) -> bool {
+        true
+    }
+    fn run(&self, ctx: &mut ProcCtx<'_>, args: &[u64]) -> Result<Vec<u64>, Abort> {
+        let s = self.0;
+        let (w, d, threshold) = (args[0], args[1], args[2]);
+        let p = place_of(w);
+        let dist = DISTRICT.get(ctx, p, d)?.ok_or(Abort::User)?;
+        let lo = dist.next_o_id.saturating_sub(20).max(1);
+        let mut items: Vec<u64> = Vec::new();
+        for o_id in lo..dist.next_o_id {
+            let slot = s.slot(o_id);
+            let Some(ord) = ORDERS.get(ctx, p, OrderKey { d, slot })? else { continue };
+            if ord.o_id != o_id {
+                continue; // slot recycled by ring wrap
+            }
+            for ol in 0..ord.ol_cnt {
+                let i = ORDER_LINE.read_col(ctx, p, OlKey { d, slot, ol }, col::OL_I_ID)?;
+                if i != 0 && !items.contains(&i) {
+                    items.push(i);
+                }
+            }
+        }
+        let mut low = 0u64;
+        for &i in &items {
+            if STOCK.read_col(ctx, p, i, col::S_QUANTITY)? < threshold {
+                low += 1;
+            }
+        }
+        Ok(vec![low])
+    }
+}
+
+/// Facts an audit reports besides pass/fail — enough for acked-write
+/// checks without re-reading the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditFacts {
+    /// Warehouse YTD money word.
+    pub w_ytd: u64,
+    /// Per district: `(next_o_id, no_first)`.
+    pub districts: Vec<(u64, u64)>,
+}
+
+/// One warehouse's consistency audit over any [`KvTx`] surface (a
+/// read-only snapshot): returns human-readable violations plus
+/// [`AuditFacts`]. Used by [`AuditProc`] through the service and
+/// directly over recovered domains in crash tests.
+pub fn audit_warehouse(
+    tx: &mut dyn KvTx,
+    s: &Scale,
+    w: u64,
+) -> Result<(Vec<String>, AuditFacts), Abort> {
+    let p = place_of(w);
+    let mut fail: Vec<String> = Vec::new();
+    let wrow = WAREHOUSE.get(tx, p, 0)?.ok_or(Abort::User)?;
+    let mut d_ytd_sum: i64 = 0;
+    let mut facts = AuditFacts { w_ytd: wrow.ytd, districts: Vec::new() };
+    for d in 0..s.districts {
+        let dist = DISTRICT.get(tx, p, d)?.ok_or(Abort::User)?;
+        facts.districts.push((dist.next_o_id, dist.no_first));
+        d_ytd_sum += from_word(dist.ytd);
+        if dist.no_first < 1 || dist.no_first > dist.next_o_id {
+            fail.push(format!(
+                "w{w} d{d}: pending window [{}, {}) is inverted",
+                dist.no_first, dist.next_o_id
+            ));
+        }
+        // Pending orders: exactly one NEW_ORDER row per o_id in the
+        // window, nothing outside it (detail check capped at 256 rows).
+        let pending = dist.next_o_id - dist.no_first;
+        let mut no_rows = 0u64;
+        let mut strays = 0u64;
+        NEW_ORDERS.scan_keys(
+            tx,
+            p,
+            OrderKey { d, slot: 0 },
+            OrderKey { d: d + 1, slot: 0 },
+            u64::MAX,
+            &mut |_| no_rows += 1,
+        )?;
+        if no_rows != pending {
+            fail.push(format!("w{w} d{d}: {no_rows} NEW_ORDER rows for {pending} pending orders"));
+        }
+        for o_id in dist.no_first..dist.next_o_id.min(dist.no_first + 256) {
+            match NEW_ORDERS.get(tx, p, OrderKey { d, slot: s.slot(o_id) })? {
+                Some(r) if r.o_id == o_id => {}
+                got => {
+                    strays += 1;
+                    if strays <= 3 {
+                        fail.push(format!("w{w} d{d}: pending order {o_id} has NEW_ORDER {got:?}"));
+                    }
+                }
+            }
+        }
+        // Recent orders well-formed; delivered ⇔ carrier assigned.
+        let lo = dist.next_o_id.saturating_sub(64.min(s.order_ring)).max(1);
+        for o_id in lo..dist.next_o_id {
+            let slot = s.slot(o_id);
+            let Some(ord) = ORDERS.get(tx, p, OrderKey { d, slot })? else {
+                fail.push(format!("w{w} d{d}: order {o_id} missing"));
+                continue;
+            };
+            if ord.o_id != o_id {
+                fail.push(format!("w{w} d{d}: order {o_id} slot holds {}", ord.o_id));
+                continue;
+            }
+            if !(5..=MAX_OL_CNT).contains(&ord.ol_cnt) || ord.c_id < 1 || ord.c_id > s.customers {
+                fail.push(format!("w{w} d{d}: order {o_id} malformed ({:?})", ord));
+                continue;
+            }
+            let delivered = o_id < dist.no_first;
+            if delivered != (ord.carrier != 0) {
+                fail.push(format!(
+                    "w{w} d{d}: order {o_id} delivered={delivered} but carrier={}",
+                    ord.carrier
+                ));
+            }
+            for ol in 0..ord.ol_cnt {
+                match ORDER_LINE.get(tx, p, OlKey { d, slot, ol })? {
+                    Some(l) if l.i_id >= 1 && l.i_id <= s.items => {
+                        if delivered != (l.delivery_d != 0) {
+                            fail.push(format!("w{w} d{d}: order {o_id} line {ol} delivery split"));
+                        }
+                    }
+                    got => fail.push(format!("w{w} d{d}: order {o_id} line {ol} bad ({got:?})")),
+                }
+            }
+        }
+        // Base ↔ last-name index agreement, both directions: every
+        // index entry resolves to a live customer with that name, every
+        // customer is reachable through exactly one entry.
+        let mut entries = 0u64;
+        let mut bad = 0u64;
+        let mut idx_of: HashMap<u64, u64> = HashMap::new();
+        CUST_LAST.scan(
+            tx,
+            p,
+            LastKey { d, last: 0, c: 0 },
+            LastKey { d: d + 1, last: 0, c: 0 },
+            u64::MAX,
+            &mut |ik, primary| {
+                entries += 1;
+                if primary != (CustKey { d, c: ik.c }).pack()
+                    || idx_of.insert(ik.c, ik.last).is_some()
+                {
+                    bad += 1;
+                }
+            },
+        )?;
+        for c in 1..=s.customers {
+            let cust = CUSTOMER.get(tx, p, CustKey { d, c })?;
+            match (cust, idx_of.get(&c)) {
+                (Some(cu), Some(&l)) if cu.last == l => {}
+                (cu, l) => fail.push(format!(
+                    "w{w} d{d}: customer {c} base/index split (base {:?}, index {l:?})",
+                    cu.map(|x| x.last)
+                )),
+            }
+        }
+        if entries != s.customers || bad != 0 {
+            fail.push(format!(
+                "w{w} d{d}: {entries} index entries ({bad} bad) for {} customers",
+                s.customers
+            ));
+        }
+    }
+    if from_word(wrow.ytd) != d_ytd_sum {
+        fail.push(format!("w{w}: W_YTD {} != sum of D_YTD {d_ytd_sum}", from_word(wrow.ytd)));
+    }
+    Ok((fail, facts))
+}
+
+/// Read-only audit procedure: args `[w]`; reply
+/// `[violations, w_ytd_word, n_districts, (next_o_id, no_first) * n]`.
+pub struct AuditProc(pub Scale);
+
+impl Procedure for AuditProc {
+    fn id(&self) -> u64 {
+        AUDIT_ID
+    }
+    fn name(&self) -> &'static str {
+        "audit"
+    }
+    fn read_only(&self) -> bool {
+        true
+    }
+    fn run(&self, ctx: &mut ProcCtx<'_>, args: &[u64]) -> Result<Vec<u64>, Abort> {
+        let (fail, facts) = audit_warehouse(ctx, &self.0, args[0])?;
+        let mut out = vec![fail.len() as u64, facts.w_ytd, facts.districts.len() as u64];
+        for (next, first) in facts.districts {
+            out.push(next);
+            out.push(first);
+        }
+        Ok(out)
+    }
+}
+
+/// Wire op invoking [`AuditProc`] for warehouse `w`.
+pub fn audit_op(w: u64) -> KvOp {
+    KvOp::Call {
+        proc: AUDIT_ID,
+        args: vec![w],
+        footprint: vec![WAREHOUSE.key(place_of(w), 0, 0)],
+        read_only: true,
+    }
+}
+
+/// The registered procedure set for one TPC-C service.
+pub fn registry(cfg: &TpccConfig) -> Arc<ProcRegistry> {
+    let s = Scale::of(cfg);
+    Arc::new(
+        ProcRegistry::new()
+            .with_replicated_below(REPLICATED_BOUNDARY)
+            .register(Arc::new(NewOrderProc(s)))
+            .register(Arc::new(PaymentProc(s)))
+            .register(Arc::new(OrderStatusProc(s)))
+            .register(Arc::new(DeliveryProc(s)))
+            .register(Arc::new(StockLevelProc(s)))
+            .register(Arc::new(AuditProc(s))),
+    )
+}
+
+/// Range sharding that keeps each warehouse (place) on one shard; the
+/// replicated place 0 nominally maps to shard 0 but is loaded
+/// everywhere by [`load_items`].
+pub fn shard_map(cfg: &TpccConfig, shards: usize) -> ShardMap {
+    place_sharding(cfg.warehouses + 1, shards)
+}
+
+// ---------------------------------------------------------------------
+// Population
+// ---------------------------------------------------------------------
+
+/// Deterministic population facts the *generators* need at run time —
+/// today just the last-name assignment, so by-name selectors always hit
+/// a non-empty bucket.
+#[derive(Debug, Clone)]
+pub struct Population {
+    pub scale: Scale,
+    last: Vec<u64>,
+}
+
+impl Population {
+    pub fn last_of(&self, w: u64, d: u64, c: u64) -> u64 {
+        let s = &self.scale;
+        self.last[(((w * s.districts) + d) * s.customers + (c - 1)) as usize]
+    }
+}
+
+/// Draw the population-side randomness that generators must agree with.
+pub fn populate(cfg: &TpccConfig) -> Population {
+    let scale = Scale::of(cfg);
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let mut last =
+        Vec::with_capacity((scale.warehouses * scale.districts * scale.customers) as usize);
+    for _ in 0..scale.warehouses * scale.districts * scale.customers {
+        // TPC-C clause 4.3.2.3: last names drawn NURand(255) over the
+        // 1000 syllable triples.
+        last.push(nurand::nurand(&mut rng, 255, 0, 999));
+    }
+    Population { scale, last }
+}
+
+/// Deterministic per-item prices (shared between [`item_rows`] and the
+/// pending-order amounts in [`warehouse_rows`]).
+fn item_prices(s: &Scale) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(SEED ^ 0xA5A5);
+    (0..s.items).map(|_| rng.gen_range(100..=10_000)).collect()
+}
+
+/// Emit the replicated ITEM rows (place 0) as `(key, value)` pairs.
+pub fn item_rows(cfg: &TpccConfig, f: &mut dyn FnMut(u64, u64)) {
+    let s = Scale::of(cfg);
+    let prices = item_prices(&s);
+    let mut rng = SmallRng::seed_from_u64(SEED ^ 0x17E4);
+    for i in 1..=s.items {
+        let row = ItemRow { price: prices[(i - 1) as usize], im_id: rng.gen_range(1..=10_000) };
+        row.to_cols(&mut |c, v| f(ITEM.key(ITEM_PLACE, i, c), v));
+    }
+}
+
+/// Emit every row of warehouse `w` (place `w + 1`) as `(key, value)`
+/// pairs: warehouse, districts, customers (+ last-name index entries),
+/// stock, the initial order rings and pending NEW_ORDER rows.
+pub fn warehouse_rows(cfg: &TpccConfig, pop: &Population, w: u64, f: &mut dyn FnMut(u64, u64)) {
+    let s = pop.scale;
+    let p = place_of(w);
+    let prices = item_prices(&s);
+    let mut rng = SmallRng::seed_from_u64(SEED ^ (w << 16) ^ 0xBEEF);
+    let wrow = WarehouseRow {
+        ytd: to_word((s.districts * 3_000_000) as i64),
+        tax: rng.gen_range(0..=2_000),
+        hist_next: 0,
+    };
+    wrow.to_cols(&mut |c, v| f(WAREHOUSE.key(p, 0, c), v));
+    for i in 1..=s.items {
+        let row =
+            StockRow { quantity: rng.gen_range(10..=100), ytd: 0, order_cnt: 0, remote_cnt: 0 };
+        row.to_cols(&mut |c, v| f(STOCK.key(p, i, c), v));
+    }
+    for d in 0..s.districts {
+        let drow = DistrictRow {
+            next_o_id: cfg.initial_orders + 1,
+            no_first: cfg.delivered_prefix + 1,
+            ytd: to_word(3_000_000),
+            tax: rng.gen_range(0..=2_000),
+        };
+        drow.to_cols(&mut |c, v| f(DISTRICT.key(p, d, c), v));
+        // Orders first: they decide each customer's last_o_id.
+        let mut last_o: HashMap<u64, u64> = HashMap::new();
+        for o_id in 1..=cfg.initial_orders {
+            let c_id = rng.gen_range(1..=s.customers);
+            let ol_cnt = rng.gen_range(5..=MAX_OL_CNT.min(s.items));
+            let delivered = o_id <= cfg.delivered_prefix;
+            let slot = s.slot(o_id);
+            last_o.insert(c_id, o_id);
+            let orow = OrderRow {
+                o_id,
+                c_id,
+                entry_d: 1,
+                carrier: if delivered { rng.gen_range(1..=10) } else { 0 },
+                ol_cnt,
+            };
+            orow.to_cols(&mut |c, v| f(ORDERS.key(p, OrderKey { d, slot }, c), v));
+            for ol in 0..ol_cnt {
+                let i_id = rng.gen_range(1..=s.items);
+                let qty = rng.gen_range(1..=10);
+                let lrow = OlRow {
+                    i_id,
+                    supply_w: w,
+                    qty,
+                    amount: if delivered {
+                        rng.gen_range(1..=9_999)
+                    } else {
+                        qty * prices[(i_id - 1) as usize]
+                    },
+                    delivery_d: u64::from(delivered),
+                };
+                lrow.to_cols(&mut |c, v| f(ORDER_LINE.key(p, OlKey { d, slot, ol }, c), v));
+            }
+            if !delivered {
+                let nrow = NewOrderRow { o_id };
+                nrow.to_cols(&mut |c, v| f(NEW_ORDERS.key(p, OrderKey { d, slot }, c), v));
+            }
+        }
+        for c in 1..=s.customers {
+            let last = pop.last_of(w, d, c);
+            let crow = CustomerRow {
+                balance: to_word(-1_000),
+                ytd_payment: to_word(1_000),
+                payment_cnt: 1,
+                delivery_cnt: 0,
+                discount: rng.gen_range(0..=5_000),
+                last,
+                last_o_id: last_o.get(&c).copied().unwrap_or(0),
+            };
+            let ck = CustKey { d, c };
+            crow.to_cols(&mut |cc, v| f(CUSTOMER.key(p, ck, cc), v));
+            f(CUST_LAST.key(p, LastKey { d, last, c }), ck.pack());
+        }
+    }
+}
+
+/// Bulk-load the replicated ITEM dimension into **every** shard's store
+/// through direct backend transactions. Runs at open time (including
+/// after recovery): replicated rows are never WAL-logged, exactly like
+/// the schema layer's contract for keys below `REPLICATED_BOUNDARY`.
+pub fn load_items<B: TmBackend>(domains: &[(B, KvStore)], cfg: &TpccConfig) {
+    let mut pairs: Vec<(u64, u64)> = Vec::new();
+    item_rows(cfg, &mut |k, v| pairs.push((k, v)));
+    for (backend, store) in domains {
+        let mut thread = backend.register_thread();
+        let mut scratch = store.new_batch_scratch(64);
+        for chunk in pairs.chunks(32) {
+            let outcome = thread.exec(TxKind::Update, &mut |tx| {
+                scratch.reset();
+                let mut ltx = LocalTx { store, tx, scratch: &mut scratch };
+                for &(k, v) in chunk {
+                    ltx.put(k, v)?;
+                }
+                Ok(())
+            });
+            assert_eq!(outcome, Outcome::Committed, "item load must commit");
+            scratch.refill(store.alloc());
+        }
+    }
+}
+
+/// Push every warehouse's rows through the pipeline as `MultiPut`
+/// batches of at most `chunk` pairs (≤ the pipeline's `multi_key_max`).
+/// On a durable pipeline this writes the population into the WAL, so
+/// recovery rebuilds it.
+pub fn load_warehouses(client: &KvClient, cfg: &TpccConfig, pop: &Population, chunk: usize) {
+    for w in 0..cfg.warehouses {
+        let mut pairs: Vec<(u64, u64)> = Vec::new();
+        warehouse_rows(cfg, pop, w, &mut |k, v| pairs.push((k, v)));
+        for group in pairs.chunks(chunk) {
+            loop {
+                match client.call(KvOp::MultiPut { pairs: group.to_vec() }) {
+                    Ok(KvReply::Done { .. }) => break,
+                    Ok(other) => panic!("population MultiPut answered {other:?}"),
+                    Err(KvError::Overloaded) => {
+                        std::thread::sleep(std::time::Duration::from_millis(1))
+                    }
+                    Err(e) => panic!("population MultiPut refused: {e:?}"),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Run-time input generation and the mix driver
+// ---------------------------------------------------------------------
+
+/// One generated transaction: the class, the wire op, and the facts the
+/// driver needs to account for an ack.
+#[derive(Debug, Clone)]
+pub struct TxInput {
+    pub class: TxClass,
+    pub op: KvOp,
+    pub home_w: u64,
+    pub district: u64,
+    /// Payment amount in cents (0 for other classes).
+    pub amount: i64,
+    /// Customer selected by last name (index-served path).
+    pub by_name: bool,
+}
+
+/// Draw one transaction for a terminal homed at `home_w`, per the mix.
+pub fn gen_tx(cfg: &TpccConfig, pop: &Population, rng: &mut SmallRng, home_w: u64) -> TxInput {
+    let s = pop.scale;
+    let w = home_w;
+    let home = place_of(w);
+    let d = rng.gen_range(0..s.districts);
+    let mix = cfg.mix;
+    let mut r = rng.gen_range(0..100u32);
+    if r < mix.new_order {
+        let c = nurand::customer_id(rng, s.customers);
+        let n = rng.gen_range(5..=MAX_OL_CNT.min(s.items));
+        let invalid = rng.gen_range(0..100) < cfg.invalid_item_pct;
+        let mut args = vec![w, d, c, 2, n];
+        let mut footprint = vec![DISTRICT.key(home, d, 0)];
+        for ol in 0..n {
+            let mut i_id = nurand::item_id(rng, s.items);
+            if invalid && ol == n - 1 {
+                i_id = s.items + 1; // unused id → Abort::User on every leg
+            }
+            let supply_w = if s.warehouses > 1 && rng.gen_range(0..100) < cfg.remote_item_pct {
+                (w + rng.gen_range(1..s.warehouses)) % s.warehouses
+            } else {
+                w
+            };
+            let qty = rng.gen_range(1..=10);
+            args.extend_from_slice(&[i_id, supply_w, qty]);
+            footprint.push(STOCK.key(place_of(supply_w), i_id, 0));
+        }
+        return TxInput {
+            class: TxClass::NewOrder,
+            op: KvOp::Call { proc: NEW_ORDER_ID, args, footprint, read_only: false },
+            home_w: w,
+            district: d,
+            amount: 0,
+            by_name: false,
+        };
+    }
+    r -= mix.new_order;
+    if r < mix.payment {
+        let (c_w, c_d) = if s.warehouses > 1 && rng.gen_range(0..100) < cfg.remote_payment_pct {
+            ((w + rng.gen_range(1..s.warehouses)) % s.warehouses, rng.gen_range(0..s.districts))
+        } else {
+            (w, d)
+        };
+        let by_name = rng.gen_range(0..100) < cfg.by_lastname_pct;
+        let c = nurand::customer_id(rng, s.customers);
+        let sel = if by_name { pop.last_of(c_w, c_d, c) } else { c };
+        let amount = rng.gen_range(100..=500_000u64);
+        return TxInput {
+            class: TxClass::Payment,
+            op: KvOp::Call {
+                proc: PAYMENT_ID,
+                args: vec![w, d, c_w, c_d, u64::from(by_name), sel, amount],
+                footprint: vec![WAREHOUSE.key(home, 0, 0), WAREHOUSE.key(place_of(c_w), 0, 0)],
+                read_only: false,
+            },
+            home_w: w,
+            district: d,
+            amount: amount as i64,
+            by_name,
+        };
+    }
+    r -= mix.payment;
+    if r < mix.order_status {
+        let by_name = rng.gen_range(0..100) < cfg.by_lastname_pct;
+        let c = nurand::customer_id(rng, s.customers);
+        let sel = if by_name { pop.last_of(w, d, c) } else { c };
+        return TxInput {
+            class: TxClass::OrderStatus,
+            op: KvOp::Call {
+                proc: ORDER_STATUS_ID,
+                args: vec![w, d, u64::from(by_name), sel],
+                footprint: vec![WAREHOUSE.key(home, 0, 0)],
+                read_only: true,
+            },
+            home_w: w,
+            district: d,
+            amount: 0,
+            by_name,
+        };
+    }
+    r -= mix.order_status;
+    if r < mix.delivery {
+        return TxInput {
+            class: TxClass::Delivery,
+            op: KvOp::Call {
+                proc: DELIVERY_ID,
+                args: vec![w, d, rng.gen_range(1..=10), 3],
+                footprint: vec![DISTRICT.key(home, d, 0)],
+                read_only: false,
+            },
+            home_w: w,
+            district: d,
+            amount: 0,
+            by_name: false,
+        };
+    }
+    TxInput {
+        class: TxClass::StockLevel,
+        op: KvOp::Call {
+            proc: STOCK_LEVEL_ID,
+            args: vec![w, d, rng.gen_range(10..=20)],
+            footprint: vec![WAREHOUSE.key(home, 0, 0)],
+            read_only: true,
+        },
+        home_w: w,
+        district: d,
+        amount: 0,
+        by_name: false,
+    }
+}
+
+/// What the mix driver observed — acked watermarks are the recovery
+/// contract: a durable service must never regress below them.
+#[derive(Debug, Default, Clone)]
+pub struct MixOutcome {
+    /// Committed calls per class ([`TxClass::index`] order).
+    pub acked: [u64; 5],
+    /// `CallAborted` per class (ring-full refusals, invalid items).
+    pub user_aborted: [u64; 5],
+    pub shed: u64,
+    pub overloaded: u64,
+    /// Acked by-last-name selections (payment + order-status): each one
+    /// took at least one secondary-index scan.
+    pub lastname_acks: u64,
+    /// Highest acked New-Order id per `(warehouse, district)`.
+    pub max_o_id: HashMap<(u64, u64), u64>,
+    /// Acked payment cents per *home* warehouse (W_YTD floor).
+    pub paid: HashMap<u64, i64>,
+}
+
+impl MixOutcome {
+    fn absorb(&mut self, other: MixOutcome) {
+        for i in 0..5 {
+            self.acked[i] += other.acked[i];
+            self.user_aborted[i] += other.user_aborted[i];
+        }
+        self.shed += other.shed;
+        self.overloaded += other.overloaded;
+        self.lastname_acks += other.lastname_acks;
+        for (k, v) in other.max_o_id {
+            let e = self.max_o_id.entry(k).or_insert(0);
+            *e = (*e).max(v);
+        }
+        for (k, v) in other.paid {
+            *self.paid.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+/// Drive `clients` terminals for `ops_per_client` transactions each.
+/// Terminals are homed round-robin across warehouses. When `wal` is
+/// given, clients stop as soon as the WAL dies (scripted crash).
+pub fn run_mix(
+    client: &KvClient,
+    cfg: &TpccConfig,
+    pop: &Population,
+    clients: u64,
+    ops_per_client: u64,
+    seed: u64,
+    wal: Option<&Arc<WalSet>>,
+) -> MixOutcome {
+    let mut total = MixOutcome::default();
+    std::thread::scope(|sc| {
+        let handles: Vec<_> = (0..clients)
+            .map(|t| {
+                let client = client.clone();
+                let wal = wal.map(Arc::clone);
+                let pop = &*pop;
+                sc.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(seed ^ (t << 40) ^ 0x7E11);
+                    let home_w = t % cfg.warehouses;
+                    let mut out = MixOutcome::default();
+                    for _ in 0..ops_per_client {
+                        if let Some(w) = &wal {
+                            if !w.alive() {
+                                break;
+                            }
+                        }
+                        let input = gen_tx(cfg, pop, &mut rng, home_w);
+                        let i = input.class.index();
+                        match client.call(input.op.clone()) {
+                            Ok(KvReply::CallOk(words)) => {
+                                out.acked[i] += 1;
+                                if input.by_name {
+                                    out.lastname_acks += 1;
+                                }
+                                match input.class {
+                                    TxClass::NewOrder => {
+                                        let o_id = words[0];
+                                        let e = out
+                                            .max_o_id
+                                            .entry((input.home_w, input.district))
+                                            .or_insert(0);
+                                        *e = (*e).max(o_id);
+                                    }
+                                    TxClass::Payment => {
+                                        *out.paid.entry(input.home_w).or_insert(0) += input.amount;
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            Ok(KvReply::CallAborted) => out.user_aborted[i] += 1,
+                            Ok(KvReply::Shed) => out.shed += 1,
+                            Ok(other) => panic!("call answered {other:?}"),
+                            Err(KvError::Overloaded) => {
+                                out.overloaded += 1;
+                                std::thread::sleep(std::time::Duration::from_micros(50));
+                            }
+                            Err(KvError::ShuttingDown) => break,
+                            Err(e) => panic!("admission refused: {e:?}"),
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            total.absorb(h.join().expect("terminal panicked"));
+        }
+    });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TxMix;
+
+    #[test]
+    fn population_is_deterministic() {
+        let cfg = TpccConfig::tiny(TxMix::standard());
+        let (a, b) = (populate(&cfg), populate(&cfg));
+        assert_eq!(a.last, b.last);
+        let mut r1 = Vec::new();
+        let mut r2 = Vec::new();
+        warehouse_rows(&cfg, &a, 1, &mut |k, v| r1.push((k, v)));
+        warehouse_rows(&cfg, &b, 1, &mut |k, v| r2.push((k, v)));
+        assert_eq!(r1, r2);
+        assert!(!r1.is_empty());
+        // All per-warehouse rows live above the replicated boundary.
+        assert!(r1.iter().all(|&(k, _)| k >= REPLICATED_BOUNDARY));
+        let mut items = Vec::new();
+        item_rows(&cfg, &mut |k, v| items.push((k, v)));
+        assert_eq!(items.len() as u64, cfg.items * 2);
+        assert!(items.iter().all(|&(k, _)| k < REPLICATED_BOUNDARY));
+    }
+
+    #[test]
+    fn generated_ops_cover_the_mix() {
+        let cfg = TpccConfig::tiny(TxMix::standard());
+        let pop = populate(&cfg);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [0u64; 5];
+        for _ in 0..2_000 {
+            let t = gen_tx(&cfg, &pop, &mut rng, 0);
+            seen[t.class.index()] += 1;
+            match &t.op {
+                KvOp::Call { proc, footprint, .. } => {
+                    assert_eq!(*proc, t.class.proc_id());
+                    assert!(!footprint.is_empty());
+                    assert!(footprint.iter().all(|&k| k >= REPLICATED_BOUNDARY));
+                }
+                other => panic!("generator produced {other:?}"),
+            }
+        }
+        assert!(seen.iter().all(|&n| n > 0), "every class must appear: {seen:?}");
+        // Standard mix is update-dominated.
+        assert!(seen[0] + seen[1] + seen[3] > seen[2] + seen[4]);
+    }
+
+    #[test]
+    fn by_name_selectors_hit_populated_buckets() {
+        let mut cfg = TpccConfig::tiny(TxMix::standard());
+        cfg.by_lastname_pct = 100;
+        let pop = populate(&cfg);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..500 {
+            let t = gen_tx(&cfg, &pop, &mut rng, 1);
+            if let (TxClass::Payment | TxClass::OrderStatus, KvOp::Call { args, .. }) =
+                (t.class, &t.op)
+            {
+                assert!(t.by_name);
+                let (c_w, c_d, sel) = if t.class == TxClass::Payment {
+                    (args[2], args[3], args[5])
+                } else {
+                    (args[0], args[1], args[3])
+                };
+                let s = pop.scale;
+                let hit = (1..=s.customers).any(|c| pop.last_of(c_w, c_d, c) == sel);
+                assert!(hit, "selector {sel} names an empty bucket");
+            }
+        }
+    }
+}

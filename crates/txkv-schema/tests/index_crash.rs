@@ -1,0 +1,456 @@
+//! Crash consistency for secondary indexes, on all four backends.
+//!
+//! The base row and its index entry live at *different places* — under
+//! the place sharding used here, on different shards — so every indexed
+//! upsert is a cross-shard procedure call: one 2PC leg writes the row,
+//! the other maintains the index (delete old entry, insert new, update
+//! the index-side current-group bookkeeping), all under the durable
+//! combined-transaction protocol. A single-shard counter procedure
+//! rides along so the single-shard commit window is armed too.
+//!
+//! For every scripted crash site (all six [`CrashSite`]s) plus a
+//! graceful restart, recovery must land in a state where:
+//!
+//! * **base and index agree**: a row exists iff its index bookkeeping
+//!   exists, the group column matches the index entry, and no index
+//!   entry dangles — i.e. no 2PC resolution ever splits the two legs;
+//! * **rows are never torn**: the row's own cross-column invariant
+//!   (`group == group_of(version)`) holds, so a replayed transaction
+//!   applied all of its writes or none;
+//! * **no acked write is lost** (Sync mode): every `CallOk` version /
+//!   counter watermark is at or below the recovered value;
+//! * recovery is **idempotent** (a second pass reproduces the state).
+//!
+//! On a failed invariant the test writes a machine-readable
+//! `target/INDEX_CRASH_FAILURE.json` before panicking.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tm_api::{Abort, TmBackend, TmThread, TxKind};
+use txkv::{
+    recover, recover_and_open, CrashSite, CrashSpec, DurabilityConfig, DurabilityMode, KvError,
+    KvOp, KvReply, KvStore, KvTx, LocalTx, Pipeline, PipelineConfig, ProcCtx, ProcRegistry,
+    Procedure, ShardMap,
+};
+use txkv_schema::{def_key, def_row, place_sharding, Index, Table, REPLICATED_BOUNDARY};
+
+const SHARDS: usize = 2;
+/// Rows + counters at place 1 (shard 0); index + bookkeeping at place 2
+/// (shard 1) — `place_sharding(3, 2)` puts places {0, 1} on shard 0 and
+/// place 2 on shard 1.
+const ROW_PLACE: u64 = 1;
+const IDX_PLACE: u64 = 2;
+const ITEMS_N: u64 = 24;
+const GROUPS: u64 = 5;
+const CLIENTS: u64 = 3;
+const OPS_PER_CLIENT: u64 = 300;
+
+def_row! { pub struct ItemRow { version, group } }
+def_row! { pub struct StateRow { group } }
+def_row! { pub struct CounterRow { value } }
+def_key! { pub struct GroupKey { g: 8, item: 20 } }
+
+const ITEMS: Table<u64, ItemRow> = Table::new(0, "items");
+/// Index-side bookkeeping, co-located with the index: the current group
+/// of each indexed item, so the index leg can find the entry to retire
+/// without cross-leg communication.
+const STATE: Table<u64, StateRow> = Table::new(1, "items_idx_state");
+const BY_GROUP: Index<GroupKey> = Index::new(2, "items_by_group", false);
+const COUNTERS: Table<u64, CounterRow> = Table::new(3, "counters");
+
+fn group_of(version: u64) -> u64 {
+    version % GROUPS
+}
+
+/// Cross-shard indexed upsert: args `[item, version]`. The row leg
+/// writes the base row; the index leg moves the index entry — one 2PC
+/// transaction, index maintenance never escapes it.
+struct Upsert;
+
+impl Procedure for Upsert {
+    fn id(&self) -> u64 {
+        1
+    }
+    fn name(&self) -> &'static str {
+        "upsert"
+    }
+    fn run(&self, ctx: &mut ProcCtx<'_>, args: &[u64]) -> Result<Vec<u64>, Abort> {
+        let (item, version) = (args[0], args[1]);
+        let group = group_of(version);
+        if ctx.is_local(ITEMS.key(ROW_PLACE, item, 0)) {
+            ITEMS.put(ctx, ROW_PLACE, item, &ItemRow { version, group })?;
+        }
+        if ctx.is_local(STATE.key(IDX_PLACE, item, 0)) {
+            if let Some(old) = STATE.get(ctx, IDX_PLACE, item)? {
+                BY_GROUP.delete(ctx, IDX_PLACE, GroupKey { g: old.group, item })?;
+            }
+            BY_GROUP.put(ctx, IDX_PLACE, GroupKey { g: group, item }, item)?;
+            STATE.put(ctx, IDX_PLACE, item, &StateRow { group })?;
+        }
+        Ok(Vec::new())
+    }
+}
+
+/// Single-shard counter bump: args `[item, value]`. Keeps the
+/// single-shard Call commit window (`AfterCommit`) armed.
+struct Bump;
+
+impl Procedure for Bump {
+    fn id(&self) -> u64 {
+        2
+    }
+    fn name(&self) -> &'static str {
+        "bump"
+    }
+    fn run(&self, ctx: &mut ProcCtx<'_>, args: &[u64]) -> Result<Vec<u64>, Abort> {
+        COUNTERS.put(ctx, ROW_PLACE, args[0], &CounterRow { value: args[1] })?;
+        Ok(Vec::new())
+    }
+}
+
+fn registry() -> Arc<ProcRegistry> {
+    Arc::new(
+        ProcRegistry::new()
+            .with_replicated_below(REPLICATED_BOUNDARY)
+            .register(Arc::new(Upsert))
+            .register(Arc::new(Bump)),
+    )
+}
+
+fn shard_map() -> ShardMap {
+    place_sharding(3, SHARDS)
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!("txkv-index-crash-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn pipeline_cfg() -> PipelineConfig {
+    PipelineConfig {
+        executors: 2,
+        multi_key_max: 4,
+        drain_grace: Duration::from_millis(500),
+        ..PipelineConfig::quick()
+    }
+}
+
+fn upsert_op(item: u64, version: u64) -> KvOp {
+    KvOp::Call {
+        proc: 1,
+        args: vec![item, version],
+        footprint: vec![ITEMS.key(ROW_PLACE, item, 0), STATE.key(IDX_PLACE, item, 0)],
+        read_only: false,
+    }
+}
+
+fn bump_op(item: u64, value: u64) -> KvOp {
+    KvOp::Call {
+        proc: 2,
+        args: vec![item, value],
+        footprint: vec![COUNTERS.key(ROW_PLACE, item, 0)],
+        read_only: false,
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Crash countdowns: cross-shard sites are reached twice per upsert
+/// (~60 % of the mix), the single-shard commit window on every bump,
+/// the group-commit windows on every flush.
+fn site_after(site: CrashSite) -> u64 {
+    match site {
+        CrashSite::AfterCommit => 10,
+        CrashSite::MidGroupCommit | CrashSite::TornTail => 25,
+        CrashSite::AfterPrepare | CrashSite::AfterApply | CrashSite::AfterDecision => 6,
+    }
+}
+
+/// Run the durable indexed load; returns per-item acked upsert-version
+/// and bump-value watermarks, the service report, and whether the
+/// scripted crash tripped.
+fn run_load<B: TmBackend>(
+    mk: &mut impl FnMut(usize) -> B,
+    dcfg: &DurabilityConfig,
+) -> (HashMap<u64, u64>, HashMap<u64, u64>, txkv::ServiceReport, bool) {
+    let map = shard_map();
+    let (domains, wal, _) =
+        recover_and_open(dcfg, &map, &mut *mk, 0, 1 << 20).expect("open durable domains");
+    let pipeline = Pipeline::start_with(
+        domains,
+        map,
+        pipeline_cfg(),
+        Some(Arc::clone(&wal)),
+        Some(registry()),
+    );
+    let mut acked_up: HashMap<u64, u64> = HashMap::new();
+    let mut acked_bump: HashMap<u64, u64> = HashMap::new();
+    std::thread::scope(|sc| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                let client = pipeline.client();
+                let wal = Arc::clone(&wal);
+                sc.spawn(move || {
+                    let mut rng = 0x1D1D_5EED_u64 ^ (t << 32);
+                    let my_items: Vec<u64> = (0..ITEMS_N).filter(|i| i % CLIENTS == t).collect();
+                    let mut versions: HashMap<u64, u64> = HashMap::new();
+                    let mut up: HashMap<u64, u64> = HashMap::new();
+                    let mut bump: HashMap<u64, u64> = HashMap::new();
+                    for _ in 0..OPS_PER_CLIENT {
+                        if !wal.alive() {
+                            break; // plug pulled: everything from here sheds
+                        }
+                        let r = splitmix(&mut rng);
+                        let item = my_items[((r >> 8) as usize) % my_items.len()];
+                        let (op, watermark) = if r % 10 < 6 {
+                            let v = versions.entry(item).or_insert(0);
+                            *v += 1;
+                            (upsert_op(item, *v), (&mut up, item, *v))
+                        } else {
+                            let v = versions.entry(item | (1 << 32)).or_insert(0);
+                            *v += 1;
+                            (bump_op(item, *v), (&mut bump, item, *v))
+                        };
+                        match client.call(op) {
+                            Ok(KvReply::CallOk(_)) => {
+                                let (map, item, v) = watermark;
+                                map.insert(item, v);
+                            }
+                            Ok(KvReply::Shed) => {}
+                            Ok(other) => panic!("unexpected call reply {other:?}"),
+                            Err(KvError::Overloaded | KvError::ShuttingDown) => {}
+                            Err(e) => panic!("unexpected admission error {e:?}"),
+                        }
+                    }
+                    (up, bump)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (up, bump) = h.join().expect("client panicked");
+            for (k, v) in up {
+                let e = acked_up.entry(k).or_insert(0);
+                *e = (*e).max(v);
+            }
+            for (k, v) in bump {
+                let e = acked_bump.entry(k).or_insert(0);
+                *e = (*e).max(v);
+            }
+        }
+    });
+    let crashed = !wal.alive();
+    let report = pipeline.shutdown();
+    (acked_up, acked_bump, report, crashed)
+}
+
+/// One read-only audit transaction per shard, through the typed layer.
+fn audit<B: TmBackend>(
+    domains: &[(B, KvStore)],
+    acked_up: &HashMap<u64, u64>,
+    acked_bump: &HashMap<u64, u64>,
+    ctx: &str,
+) -> Vec<(u64, Option<ItemRow>)> {
+    // Shard 0: rows and counters.
+    let mut rows: Vec<(u64, Option<ItemRow>)> = Vec::new();
+    let mut counters: Vec<(u64, Option<CounterRow>)> = Vec::new();
+    {
+        let (backend, store) = &domains[0];
+        let mut thread = backend.register_thread();
+        let mut scratch = store.new_scratch();
+        thread.exec(TxKind::ReadOnly, &mut |tx| {
+            rows.clear();
+            counters.clear();
+            let mut ltx = LocalTx { store, tx, scratch: &mut scratch };
+            for item in 0..ITEMS_N {
+                rows.push((item, ITEMS.get(&mut ltx, ROW_PLACE, item)?));
+                counters.push((item, COUNTERS.get(&mut ltx, ROW_PLACE, item)?));
+            }
+            Ok(())
+        });
+    }
+    // Shard 1: index bookkeeping and the index itself.
+    let mut states: Vec<(u64, Option<StateRow>)> = Vec::new();
+    let mut entries: Vec<(GroupKey, u64)> = Vec::new();
+    {
+        let (backend, store) = &domains[1];
+        let mut thread = backend.register_thread();
+        let mut scratch = store.new_scratch();
+        thread.exec(TxKind::ReadOnly, &mut |tx| {
+            states.clear();
+            entries.clear();
+            let mut ltx = LocalTx { store, tx, scratch: &mut scratch };
+            for item in 0..ITEMS_N {
+                states.push((item, STATE.get(&mut ltx, IDX_PLACE, item)?));
+            }
+            BY_GROUP.scan_all(&mut ltx, IDX_PLACE, &mut |ik, primary| {
+                entries.push((ik, primary));
+            })?;
+            Ok(())
+        });
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+    for ((item, row), (_, state)) in rows.iter().zip(&states) {
+        match (row, state) {
+            (Some(r), Some(s)) => {
+                if r.group != group_of(r.version) {
+                    failures.push(format!(
+                        r#"{{"invariant":"torn-row","item":{item},"version":{},"group":{}}}"#,
+                        r.version, r.group
+                    ));
+                }
+                if r.group != s.group {
+                    failures.push(format!(
+                        r#"{{"invariant":"base-index-split","item":{item},"row_group":{},"idx_group":{}}}"#,
+                        r.group, s.group
+                    ));
+                }
+            }
+            (None, None) => {}
+            _ => failures.push(format!(
+                r#"{{"invariant":"base-index-split","item":{item},"row":{},"state":{}}}"#,
+                row.is_some(),
+                state.is_some()
+            )),
+        }
+    }
+    // Every index entry points at live bookkeeping with the same group,
+    // and each indexed item has exactly one entry.
+    let mut per_item: HashMap<u64, u64> = HashMap::new();
+    for &(ik, primary) in &entries {
+        *per_item.entry(ik.item).or_insert(0) += 1;
+        if primary != ik.item {
+            failures.push(format!(
+                r#"{{"invariant":"index-primary","item":{},"got":{primary}}}"#,
+                ik.item
+            ));
+        }
+        match states.iter().find(|(i, _)| *i == ik.item).and_then(|(_, s)| s.as_ref()) {
+            Some(s) if s.group == ik.g => {}
+            got => failures.push(format!(
+                r#"{{"invariant":"dangling-index-entry","item":{},"g":{},"state":{:?}}}"#,
+                ik.item,
+                ik.g,
+                got.map(|s| s.group)
+            )),
+        }
+    }
+    for (item, state) in &states {
+        let want = u64::from(state.is_some());
+        if per_item.get(item).copied().unwrap_or(0) != want {
+            failures.push(format!(
+                r#"{{"invariant":"index-entry-count","item":{item},"want":{want},"got":{}}}"#,
+                per_item.get(item).copied().unwrap_or(0)
+            ));
+        }
+    }
+    for (&item, &v) in acked_up {
+        let got = rows.iter().find(|(i, _)| *i == item).and_then(|(_, r)| *r);
+        if got.map(|r| r.version).unwrap_or(0) < v {
+            failures.push(format!(
+                r#"{{"invariant":"acked-upsert","item":{item},"acked":{v},"recovered":{:?}}}"#,
+                got.map(|r| r.version)
+            ));
+        }
+    }
+    for (&item, &v) in acked_bump {
+        let got = counters
+            .iter()
+            .find(|(i, _)| *i == item)
+            .and_then(|(_, c)| *c)
+            .map(|c| c.value)
+            .unwrap_or(0);
+        if got < v {
+            failures.push(format!(
+                r#"{{"invariant":"acked-bump","item":{item},"acked":{v},"recovered":{got}}}"#
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        let body = format!(r#"{{"context":{ctx:?},"failures":[{}]}}"#, failures.join(","));
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/INDEX_CRASH_FAILURE.json");
+        let _ = std::fs::write(path, &body);
+        panic!("index crash-consistency failed ({ctx}): {body}");
+    }
+    rows
+}
+
+fn recover_and_audit<B: TmBackend>(
+    dir: &Path,
+    mk: &mut impl FnMut(usize) -> B,
+    acked_up: &HashMap<u64, u64>,
+    acked_bump: &HashMap<u64, u64>,
+    ctx: &str,
+) -> Vec<(u64, Option<ItemRow>)> {
+    let (domains, _) = recover(dir, &shard_map(), &mut *mk, 0, 1 << 20).expect("recovery failed");
+    audit(&domains, acked_up, acked_bump, ctx)
+}
+
+fn crash_and_recover<B: TmBackend>(mut mk: impl FnMut(usize) -> B, site: CrashSite) {
+    let dir = tmpdir(&format!("{site:?}"));
+    let mut dcfg = DurabilityConfig::new(DurabilityMode::Sync, &dir);
+    dcfg.group_commit_max = 8;
+    dcfg.checkpoint_every = 48;
+    dcfg.crash = Some(CrashSpec { site, after: site_after(site) });
+    let (acked_up, acked_bump, report, crashed) = run_load(&mut mk, &dcfg);
+    assert!(crashed, "the scripted {site:?} crash never tripped — the test exercised nothing");
+    assert!(report.wal.wal_appends > 0, "the load never reached the WAL");
+    let ctx = format!("{site:?}");
+    let rows = recover_and_audit(&dir, &mut mk, &acked_up, &acked_bump, &ctx);
+    // Idempotence: a second recovery pass reproduces the same rows.
+    let rows2 = recover_and_audit(&dir, &mut mk, &acked_up, &acked_bump, &format!("{ctx}/again"));
+    assert_eq!(rows, rows2, "recovery must be idempotent");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn graceful_restart<B: TmBackend>(mut mk: impl FnMut(usize) -> B) {
+    let dir = tmpdir("graceful");
+    let mut dcfg = DurabilityConfig::new(DurabilityMode::Sync, &dir);
+    dcfg.group_commit_max = 8;
+    dcfg.checkpoint_every = 48;
+    let (acked_up, acked_bump, report, crashed) = run_load(&mut mk, &dcfg);
+    assert!(!crashed, "no crash was scripted");
+    assert!(!acked_up.is_empty(), "the mix must ack indexed upserts");
+    assert!(!acked_bump.is_empty(), "the mix must ack single-shard bumps");
+    assert!(report.twopc.prepares > 0, "indexed upserts must take the 2PC path");
+    assert_eq!(report.wal.sync_acks_early, 0, "an ack outran its fsync");
+    recover_and_audit(&dir, &mut mk, &acked_up, &acked_bump, "graceful");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+macro_rules! index_crash_suite {
+    ($name:ident, $make:expr) => {
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn indexes_survive_every_crash_site() {
+                for site in CrashSite::ALL {
+                    crash_and_recover($make, site);
+                }
+            }
+
+            #[test]
+            fn indexes_survive_graceful_restart() {
+                graceful_restart($make);
+            }
+        }
+    };
+}
+
+index_crash_suite!(on_si_htm, |_s| si_htm::SiHtm::with_defaults(1 << 20));
+index_crash_suite!(on_htm_sgl, |_s| htm_sgl::HtmSgl::with_defaults(1 << 20));
+index_crash_suite!(on_p8tm, |_s| p8tm::P8tm::with_defaults(1 << 20));
+index_crash_suite!(on_silo, |_s| silo::Silo::with_defaults(1 << 20));

@@ -1,0 +1,344 @@
+//! Typed tables and secondary indexes over live TM backends.
+//!
+//! Everything here drives the schema layer through [`txkv::LocalTx`] —
+//! the embedded [`txkv::KvTx`] implementation — inside real backend
+//! transactions, on all four backends:
+//!
+//! * whole-row and per-column round trips, presence semantics, deletes;
+//! * ordered `scan_keys` over composite tuple keys (tuple order ==
+//!   scan order, the property the key encoding exists for);
+//! * secondary-index maintenance in the *same* transaction as the base
+//!   write: lookups resolve through the index (asserted via the
+//!   index-hit counter), moved values leave no dangling entries, and a
+//!   user abort rolls base and index back together.
+
+use std::sync::Mutex;
+use tm_api::{Abort, Outcome, TmBackend, TmThread, TxKind};
+use txkv::{KvStore, LocalTx};
+use txkv_schema::{def_key, def_row, index_hits, Schema, TupleKey};
+
+/// The index-hit counter is process-global; serialize tests that
+/// assert on its deltas.
+static GATE: Mutex<()> = Mutex::new(());
+
+def_key! { pub struct CustKey { d: 5, c: 14 } }
+def_row! { pub struct CustRow { balance, ytd, visits, group } }
+
+// Multi-valued index key: (group, customer) — the customer id folds
+// into the tuple tail so equal groups coexist.
+def_key! { pub struct GroupKey { g: 8, d: 5, c: 14 } }
+
+const PLACE: u64 = 1;
+
+fn with_backend<B: TmBackend>(backend: B, body: impl FnOnce(&KvStore, &mut B::Thread)) {
+    let store = KvStore::create(backend.memory(), 0, 1 << 16);
+    let mut thread = backend.register_thread();
+    body(&store, &mut thread);
+}
+
+/// Run one update transaction with a [`LocalTx`] surface; panics if the
+/// body user-aborts unexpectedly.
+fn update<T: TmThread>(
+    store: &KvStore,
+    thread: &mut T,
+    body: impl FnMut(&mut LocalTx) -> Result<(), Abort>,
+) -> Outcome {
+    let mut scratch = store.new_batch_scratch(64);
+    let mut body = body;
+    let outcome = thread.exec(TxKind::Update, &mut |tx| {
+        scratch.reset();
+        let mut ltx = LocalTx { store, tx, scratch: &mut scratch };
+        body(&mut ltx)
+    });
+    if outcome == Outcome::Committed {
+        scratch.refill(store.alloc());
+    }
+    outcome
+}
+
+fn read<T: TmThread, R>(store: &KvStore, thread: &mut T, body: impl FnMut(&mut LocalTx) -> R) -> R {
+    let mut scratch = store.new_scratch();
+    let mut body = body;
+    let mut out = None;
+    thread.exec(TxKind::ReadOnly, &mut |tx| {
+        let mut ltx = LocalTx { store, tx, scratch: &mut scratch };
+        out = Some(body(&mut ltx));
+        Ok(())
+    });
+    out.expect("read-only transaction ran")
+}
+
+fn rows_round_trip<B: TmBackend>(backend: B) {
+    let mut schema = Schema::new();
+    let customers = schema.table::<CustKey, CustRow>("customers");
+    with_backend(backend, |store, thread| {
+        let k = CustKey { d: 3, c: 41 };
+        let row = CustRow { balance: 500, ytd: 10, visits: 1, group: 7 };
+        assert_eq!(
+            update(store, thread, |tx| customers.put(tx, PLACE, k, &row)),
+            Outcome::Committed
+        );
+
+        let got = read(store, thread, |tx| customers.get(tx, PLACE, k).unwrap());
+        assert_eq!(got, Some(row));
+        assert_eq!(
+            read(store, thread, |tx| customers.get(tx, PLACE, CustKey { d: 3, c: 42 }).unwrap()),
+            None,
+            "a neighbouring key must not alias"
+        );
+        assert_eq!(
+            read(store, thread, |tx| customers.get(tx, 2, k).unwrap()),
+            None,
+            "the same key at another place must not alias"
+        );
+
+        // Column-granular update + RMW.
+        update(store, thread, |tx| {
+            customers.write_col(tx, PLACE, k, 1, 25)?; // ytd
+            customers.update_col(tx, PLACE, k, 0, |b| b - 100)?; // balance
+            Ok(())
+        });
+        let got = read(store, thread, |tx| customers.get(tx, PLACE, k).unwrap()).unwrap();
+        assert_eq!((got.balance, got.ytd), (400, 25));
+
+        // Delete removes every column.
+        update(store, thread, |tx| customers.delete(tx, PLACE, k).map(|_| ()));
+        assert!(!read(store, thread, |tx| customers.exists(tx, PLACE, k).unwrap()));
+        assert_eq!(read(store, thread, |tx| customers.read_col(tx, PLACE, k, 1).unwrap()), 0);
+    });
+}
+
+fn scans_follow_tuple_order<B: TmBackend>(backend: B) {
+    let mut schema = Schema::new();
+    let customers = schema.table::<CustKey, CustRow>("customers");
+    with_backend(backend, |store, thread| {
+        // Insert out of order; scans must come back in (d, c) order.
+        let keys = [
+            CustKey { d: 2, c: 9 },
+            CustKey { d: 1, c: 300 },
+            CustKey { d: 1, c: 2 },
+            CustKey { d: 4, c: 0 },
+            CustKey { d: 2, c: 10 },
+        ];
+        update(store, thread, |tx| {
+            for (i, &k) in keys.iter().enumerate() {
+                customers.put(
+                    tx,
+                    PLACE,
+                    k,
+                    &CustRow { balance: i as u64, ..Default::default() },
+                )?;
+            }
+            Ok(())
+        });
+        let mut sorted = keys.to_vec();
+        sorted.sort_by_key(|k| (k.d, k.c));
+
+        let seen = read(store, thread, |tx| {
+            let mut seen = Vec::new();
+            let n = customers
+                .scan_keys(
+                    tx,
+                    PLACE,
+                    CustKey { d: 0, c: 0 },
+                    CustKey { d: 31, c: (1 << 14) - 1 },
+                    100,
+                    &mut |k| seen.push(k),
+                )
+                .unwrap();
+            assert_eq!(n, seen.len() as u64);
+            seen
+        });
+        assert_eq!(seen, sorted, "scan must walk tuple order");
+
+        // District-limited scan: only d == 2, in c order.
+        let d2 = read(store, thread, |tx| {
+            let mut seen = Vec::new();
+            customers
+                .scan_keys(
+                    tx,
+                    PLACE,
+                    CustKey { d: 2, c: 0 },
+                    CustKey { d: 3, c: 0 },
+                    100,
+                    &mut |k| seen.push(k),
+                )
+                .unwrap();
+            seen
+        });
+        assert_eq!(d2, vec![CustKey { d: 2, c: 9 }, CustKey { d: 2, c: 10 }]);
+
+        // Limit truncates from the front of the order.
+        let first2 = read(store, thread, |tx| {
+            let mut seen = Vec::new();
+            customers
+                .scan_keys(
+                    tx,
+                    PLACE,
+                    CustKey { d: 0, c: 0 },
+                    CustKey { d: 31, c: (1 << 14) - 1 },
+                    2,
+                    &mut |k| seen.push(k),
+                )
+                .unwrap();
+            seen
+        });
+        assert_eq!(first2, sorted[..2]);
+    });
+}
+
+fn index_stays_consistent_with_base<B: TmBackend>(backend: B) {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let mut schema = Schema::new();
+    let customers = schema.table::<CustKey, CustRow>("customers");
+    let by_group = schema.index::<GroupKey>("customers_by_group", false);
+    let by_card = schema.index::<u64>("customers_by_card", true);
+    with_backend(backend, |store, thread| {
+        let k = CustKey { d: 1, c: 7 };
+        let card = 9_000_007u64;
+        // Base write and both index entries in ONE transaction.
+        update(store, thread, |tx| {
+            customers.put(
+                tx,
+                PLACE,
+                k,
+                &CustRow { balance: 100, group: 5, ..Default::default() },
+            )?;
+            by_group.put(tx, PLACE, GroupKey { g: 5, d: k.d, c: k.c }, k.pack())?;
+            by_card.put(tx, PLACE, card, k.pack())
+        });
+
+        // Unique-index point lookup resolves to the primary key and is
+        // counted as an index hit.
+        let before = index_hits();
+        let hit = read(store, thread, |tx| by_card.get(tx, PLACE, card).unwrap());
+        assert_eq!(hit, Some(k.pack()));
+        assert_eq!(index_hits(), before + 1, "the lookup must be index-served");
+
+        // Multi-valued group scan finds the member.
+        let members = read(store, thread, |tx| {
+            let mut m = Vec::new();
+            by_group
+                .scan(
+                    tx,
+                    PLACE,
+                    GroupKey { g: 5, d: 0, c: 0 },
+                    GroupKey { g: 6, d: 0, c: 0 },
+                    100,
+                    &mut |ik, primary| m.push((ik, primary)),
+                )
+                .unwrap();
+            m
+        });
+        assert_eq!(members, vec![(GroupKey { g: 5, d: 1, c: 7 }, k.pack())]);
+
+        // Move the indexed column: base update + index move, one txn.
+        update(store, thread, |tx| {
+            customers.write_col(tx, PLACE, k, 3, 9)?; // group
+            by_group.update(
+                tx,
+                PLACE,
+                Some(GroupKey { g: 5, d: k.d, c: k.c }),
+                Some((GroupKey { g: 9, d: k.d, c: k.c }, k.pack())),
+            )
+        });
+        let (old_group, new_group) = read(store, thread, |tx| {
+            let mut old = 0u64;
+            let mut new = 0u64;
+            by_group
+                .scan(
+                    tx,
+                    PLACE,
+                    GroupKey { g: 5, d: 0, c: 0 },
+                    GroupKey { g: 6, d: 0, c: 0 },
+                    10,
+                    &mut |_, _| old += 1,
+                )
+                .unwrap();
+            by_group
+                .scan(
+                    tx,
+                    PLACE,
+                    GroupKey { g: 9, d: 0, c: 0 },
+                    GroupKey { g: 10, d: 0, c: 0 },
+                    10,
+                    &mut |_, _| new += 1,
+                )
+                .unwrap();
+            (old, new)
+        });
+        assert_eq!((old_group, new_group), (0, 1), "a moved value must leave no dangling entry");
+
+        // A user abort rolls back base AND index together.
+        let outcome = update(store, thread, |tx| {
+            customers.write_col(tx, PLACE, k, 3, 2)?;
+            by_group.update(
+                tx,
+                PLACE,
+                Some(GroupKey { g: 9, d: k.d, c: k.c }),
+                Some((GroupKey { g: 2, d: k.d, c: k.c }, k.pack())),
+            )?;
+            Err(Abort::User)
+        });
+        assert_eq!(outcome, Outcome::UserAborted);
+        let (group_col, g9) = read(store, thread, |tx| {
+            let g = customers.read_col(tx, PLACE, k, 3).unwrap();
+            let mut n = 0u64;
+            by_group
+                .scan(
+                    tx,
+                    PLACE,
+                    GroupKey { g: 9, d: 0, c: 0 },
+                    GroupKey { g: 10, d: 0, c: 0 },
+                    10,
+                    &mut |_, _| n += 1,
+                )
+                .unwrap();
+            (g, n)
+        });
+        assert_eq!((group_col, g9), (9, 1), "aborted txn must leave base and index untouched");
+
+        // Full base/index agreement audit, in one snapshot.
+        read(store, thread, |tx| {
+            let mut entries = Vec::new();
+            by_group.scan_all(tx, PLACE, &mut |ik, primary| entries.push((ik, primary))).unwrap();
+            for (ik, primary) in entries {
+                let ck = CustKey::unpack(primary);
+                assert!(customers.exists(tx, PLACE, ck).unwrap(), "dangling index entry {ik:?}");
+                assert_eq!(
+                    customers.read_col(tx, PLACE, ck, 3).unwrap(),
+                    ik.g,
+                    "index key disagrees"
+                );
+            }
+        });
+    });
+}
+
+macro_rules! typed_suite {
+    ($name:ident, $make:expr) => {
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn rows_round_trip_over_backend() {
+                rows_round_trip($make);
+            }
+
+            #[test]
+            fn scans_follow_tuple_order_over_backend() {
+                scans_follow_tuple_order($make);
+            }
+
+            #[test]
+            fn index_stays_consistent_with_base_over_backend() {
+                index_stays_consistent_with_base($make);
+            }
+        }
+    };
+}
+
+typed_suite!(on_si_htm, si_htm::SiHtm::with_defaults(1 << 16));
+typed_suite!(on_htm_sgl, htm_sgl::HtmSgl::with_defaults(1 << 16));
+typed_suite!(on_p8tm, p8tm::P8tm::with_defaults(1 << 16));
+typed_suite!(on_silo, silo::Silo::with_defaults(1 << 16));

@@ -82,6 +82,7 @@
 
 pub mod durability;
 pub mod pipeline;
+pub mod proc;
 pub mod queue;
 pub mod shard;
 pub mod store;
@@ -91,6 +92,7 @@ pub use durability::{
     RecoveryReport, WalSet,
 };
 pub use pipeline::{ClassLat, KvClient, PendingReply, Pipeline, PipelineConfig, ServiceReport};
+pub use proc::{KvTx, LocalTx, ProcCtx, ProcRegistry, Procedure, PROC_WRITE_MAX};
 pub use queue::{PushError, SubmitQueue};
 pub use shard::{Partitioning, Route, ShardMap, XLock};
 pub use store::{KvOp, KvReply, KvStore, OpClass};

@@ -48,10 +48,11 @@
 //! guarantees this even if an executor unwinds.
 
 use crate::durability::{Append, CrashSite, DurabilityMode, WalDead, WalSet, Writes};
+use crate::proc::{ProcCtx, ProcRegistry, PROC_WRITE_MAX};
 use crate::queue::{PushError, SubmitQueue};
 use crate::shard::{
     apply_part, group_adds, group_puts, prepare_part, undo_part, Route, ShardMap, ShardPart,
-    UndoImage, XLock,
+    UndoImage, XLock, XUpdate,
 };
 use crate::store::{KvOp, KvReply, KvStore, OpClass};
 use crate::KvError;
@@ -62,7 +63,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tm_api::{Abort, AbortReason, BackoffPolicy, ContentionManager, LatencyHist};
-use tm_api::{ThreadStats, TmBackend, TmThread, TwoPcStats, TxKind, WalStats};
+use tm_api::{Outcome, ThreadStats, TmBackend, TmThread, TwoPcStats, Tx, TxKind, WalStats};
 use txmem::hooks::{self, Event};
 use workloads::btree::NodeScratch;
 
@@ -191,6 +192,9 @@ struct Shared {
     /// Per-shard commit-ordered WAL ([`Pipeline::start_durable`]); `None`
     /// runs the pipeline exactly as before — zero durability overhead.
     wal: Option<Arc<WalSet>>,
+    /// Server-side procedures ([`KvOp::Call`] targets); `None` answers
+    /// every call [`KvReply::CallAborted`].
+    procs: Option<Arc<ProcRegistry>>,
 }
 
 /// Cheap cloneable submission handle (no backend type parameter, so it
@@ -302,9 +306,37 @@ impl ClassLat {
     }
 }
 
+/// End-to-end and service-only latency for one registered procedure —
+/// the per-transaction-class SLO rows of a typed workload (every call
+/// also lands in the coarse [`OpClass::Call`] bucket).
+#[derive(Debug, Clone)]
+pub struct ProcLat {
+    /// The procedure's [`crate::Procedure::id`].
+    pub proc: u64,
+    pub name: &'static str,
+    pub e2e: LatencyHist,
+    pub service: LatencyHist,
+}
+
+impl ProcLat {
+    fn new(proc: u64, name: &'static str) -> Self {
+        ProcLat { proc, name, e2e: LatencyHist::new(), service: LatencyHist::new() }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.e2e.count()
+    }
+}
+
+fn proc_lats(reg: Option<&ProcRegistry>) -> Vec<ProcLat> {
+    reg.map(|r| r.procs().iter().map(|p| ProcLat::new(p.id(), p.name())).collect())
+        .unwrap_or_default()
+}
+
 /// What one executor hands back at join time.
 struct ExecOut {
     classes: Vec<ClassLat>,
+    procs: Vec<ProcLat>,
     served: u64,
     shed: u64,
     ro_batches: u64,
@@ -323,9 +355,10 @@ struct ExecOut {
 }
 
 impl ExecOut {
-    fn new(shards: usize) -> Self {
+    fn new(shards: usize, reg: Option<&ProcRegistry>) -> Self {
         ExecOut {
             classes: OpClass::ALL.iter().map(|&c| ClassLat::new(c)).collect(),
+            procs: proc_lats(reg),
             served: 0,
             shed: 0,
             ro_batches: 0,
@@ -382,6 +415,9 @@ pub struct ServiceReport {
     pub shard_stats: Vec<ThreadStats>,
     /// Per-op-class latency, in [`OpClass::ALL`] order.
     pub class: Vec<ClassLat>,
+    /// Per-procedure latency (registration order; empty without a
+    /// procedure registry).
+    pub procs: Vec<ProcLat>,
     /// Backend-side statistics summed over all executor threads and
     /// shards.
     pub backend_stats: ThreadStats,
@@ -412,6 +448,7 @@ impl ServiceReport {
             shard_served: vec![0; shards],
             shard_stats: vec![ThreadStats::default(); shards],
             class: OpClass::ALL.iter().map(|&c| ClassLat::new(c)).collect(),
+            procs: Vec::new(),
             backend_stats: ThreadStats::default(),
             durability: "off",
             wal: WalStats::default(),
@@ -442,11 +479,20 @@ impl ServiceReport {
             mine.e2e.merge(&theirs.e2e);
             mine.service.merge(&theirs.service);
         }
+        for (mine, theirs) in self.procs.iter_mut().zip(&out.procs) {
+            mine.e2e.merge(&theirs.e2e);
+            mine.service.merge(&theirs.service);
+        }
     }
 
     /// The latency record for one op class.
     pub fn class(&self, class: OpClass) -> &ClassLat {
         &self.class[class.index()]
+    }
+
+    /// The latency record for one registered procedure, by name.
+    pub fn proc(&self, name: &str) -> Option<&ProcLat> {
+        self.procs.iter().find(|p| p.name == name)
     }
 
     /// Mean read-only requests per RO transaction (the batching payoff;
@@ -520,6 +566,25 @@ impl ServiceReport {
                 s99,
             );
         }
+        for pl in &self.procs {
+            if pl.count() == 0 {
+                continue;
+            }
+            let (p50, p90, p99, p999) = pl.e2e.percentiles();
+            let (s50, _, s99, _) = pl.service.percentiles();
+            let _ = writeln!(
+                s,
+                "  call:{:<12} n={:<8} e2e p50/p90/p99/p999 = {}/{}/{}/{} ns  service p50/p99 = {}/{} ns",
+                pl.name,
+                pl.count(),
+                p50,
+                p90,
+                p99,
+                p999,
+                s50,
+                s99,
+            );
+        }
         s
     }
 }
@@ -548,7 +613,7 @@ impl<B: TmBackend> Pipeline<B> {
         map: ShardMap,
         cfg: PipelineConfig,
     ) -> Pipeline<B> {
-        Self::start_inner(domains, map, cfg, None)
+        Self::start_inner(domains, map, cfg, None, None)
     }
 
     /// Spawn a **durable** sharded pipeline: every update is appended to
@@ -570,7 +635,26 @@ impl<B: TmBackend> Pipeline<B> {
         wal: Arc<WalSet>,
     ) -> Pipeline<B> {
         assert_eq!(wal.shards(), map.shards(), "one WAL per shard");
-        Self::start_inner(domains, map, cfg, Some(wal))
+        Self::start_inner(domains, map, cfg, Some(wal), None)
+    }
+
+    /// Spawn a pipeline with every optional subsystem chosen explicitly:
+    /// a per-shard commit-ordered WAL (or `None` for in-memory service)
+    /// and a [`ProcRegistry`] of server-side procedures answering
+    /// [`KvOp::Call`] (or `None` to answer every call
+    /// [`KvReply::CallAborted`]). The other constructors are shorthands
+    /// for this one.
+    pub fn start_with(
+        domains: Vec<(B, KvStore)>,
+        map: ShardMap,
+        cfg: PipelineConfig,
+        wal: Option<Arc<WalSet>>,
+        procs: Option<Arc<ProcRegistry>>,
+    ) -> Pipeline<B> {
+        if let Some(w) = &wal {
+            assert_eq!(w.shards(), map.shards(), "one WAL per shard");
+        }
+        Self::start_inner(domains, map, cfg, wal, procs)
     }
 
     fn start_inner(
@@ -578,6 +662,7 @@ impl<B: TmBackend> Pipeline<B> {
         map: ShardMap,
         cfg: PipelineConfig,
         wal: Option<Arc<WalSet>>,
+        procs: Option<Arc<ProcRegistry>>,
     ) -> Pipeline<B> {
         assert!(cfg.executors > 0, "pipeline needs at least one executor");
         assert!(cfg.ro_batch_max > 0, "ro_batch_max must be nonzero");
@@ -596,6 +681,7 @@ impl<B: TmBackend> Pipeline<B> {
             overloaded: AtomicU64::new(0),
             multi_key_max: cfg.multi_key_max,
             wal,
+            procs,
         });
         let handles = (0..cfg.executors)
             .map(|i| {
@@ -666,6 +752,7 @@ impl<B: TmBackend> Pipeline<B> {
             self.cfg.executors,
             self.shared.map.shards(),
         );
+        report.procs = proc_lats(self.shared.procs.as_deref());
         for h in self.handles {
             match h.join() {
                 Ok(out) => report.merge(out),
@@ -691,6 +778,17 @@ fn served_shards(idx: usize, executors: usize, shards: usize) -> Vec<usize> {
     }
 }
 
+/// Executor scratch capacity: procedure legs can write far more keys
+/// than a client multi-op ([`PROC_WRITE_MAX`] vs `multi_key_max`), so a
+/// pipeline serving calls pre-sizes for the larger bound.
+fn scratch_keys(cfg: &PipelineConfig, shared: &Shared) -> usize {
+    if shared.procs.is_some() {
+        cfg.multi_key_max.max(PROC_WRITE_MAX)
+    } else {
+        cfg.multi_key_max
+    }
+}
+
 fn executor_loop<B: TmBackend>(
     idx: usize,
     domains: &[(B, KvStore)],
@@ -699,11 +797,13 @@ fn executor_loop<B: TmBackend>(
 ) -> ExecOut {
     let shards = domains.len();
     let served = served_shards(idx, cfg.executors, shards);
+    let procs = shared.procs.as_deref();
+    let batch_keys = scratch_keys(cfg, shared);
     let mut threads: Vec<B::Thread> = domains.iter().map(|(b, _)| b.register_thread()).collect();
     let mut scratches: Vec<NodeScratch> =
-        domains.iter().map(|(_, st)| st.new_batch_scratch(cfg.multi_key_max)).collect();
+        domains.iter().map(|(_, st)| st.new_batch_scratch(batch_keys)).collect();
     let mut cm = ContentionManager::new(cfg.backoff, 0x9E37_79B9_7F4A_7C15 ^ (idx as u64 + 1));
-    let mut out = ExecOut::new(shards);
+    let mut out = ExecOut::new(shards, procs);
     let mut batch: Vec<Request> = Vec::with_capacity(cfg.ro_batch_max);
     let wal = shared.wal.as_deref();
     // Sync-mode acks waiting for their WAL record to become durable, and
@@ -735,18 +835,13 @@ fn executor_loop<B: TmBackend>(
                         s,
                         &mut pending,
                         &mut writes,
+                        &shared.shards[s].xlock,
+                        procs,
                     );
                 }));
                 if attempt.is_err() {
                     out.shed += 1;
-                    recover_handle(
-                        domains,
-                        &mut threads,
-                        &mut scratches,
-                        s,
-                        cfg.multi_key_max,
-                        &mut out,
-                    );
+                    recover_handle(domains, &mut threads, &mut scratches, s, batch_keys, &mut out);
                 }
                 out.shard_served[s] += 1;
                 did_work = true;
@@ -754,19 +849,20 @@ fn executor_loop<B: TmBackend>(
             if shared.shards[s].queue.try_pop_ro_batch(cfg.ro_batch_max, &mut batch) > 0 {
                 out.shard_served[s] += batch.len() as u64;
                 let attempt = catch_unwind(AssertUnwindSafe(|| {
-                    serve_ro_batch(&domains[s].1, &mut threads[s], &mut batch, &mut out);
+                    serve_ro_batch(
+                        &domains[s].1,
+                        &mut threads[s],
+                        &mut scratches[s],
+                        &mut batch,
+                        procs,
+                        s,
+                        &mut out,
+                    );
                 }));
                 if attempt.is_err() {
                     out.shed += batch.len() as u64;
                     batch.clear(); // drop backstop answers Shed
-                    recover_handle(
-                        domains,
-                        &mut threads,
-                        &mut scratches,
-                        s,
-                        cfg.multi_key_max,
-                        &mut out,
-                    );
+                    recover_handle(domains, &mut threads, &mut scratches, s, batch_keys, &mut out);
                 }
                 did_work = true;
             }
@@ -789,7 +885,7 @@ fn executor_loop<B: TmBackend>(
         }
         if shared.xqueue.try_pop_ro_batch(1, &mut batch) > 0 {
             let req = batch.pop().expect("popped one");
-            serve_xshard_ro(domains, shared, &mut threads, req, &mut out);
+            serve_xshard_ro(domains, shared, &mut threads, &mut scratches, req, &mut out);
             did_work = true;
         }
         // Durability maintenance every iteration: group-commit flushes,
@@ -806,7 +902,7 @@ fn executor_loop<B: TmBackend>(
                             &mut threads,
                             &mut scratches,
                             s,
-                            cfg.multi_key_max,
+                            batch_keys,
                             &mut out,
                         );
                     }
@@ -985,6 +1081,15 @@ fn checkpoint_shard<B: TmBackend>(
 /// hardware transaction (the DUMBO discipline) — and on the fall-back
 /// paths after the SGL/commit-lock serialization point. In Sync mode the
 /// reply is withheld on `pending` until the record's fsync lands.
+///
+/// Procedure calls additionally take the shard's [`XLock`] for the
+/// duration of the serve. A procedure read-modify-writes keys that
+/// cross-shard call legs may also touch, and a compensated cross-shard
+/// call restores pre-images — admissible only if no acked local call
+/// committed in between. Mutual exclusion against in-flight 2PC on this
+/// shard (same lock, acquired before the commit lock, matching the
+/// coordinator's order) closes that window; plain single-key ops keep
+/// their lock-free path (their blind/delta semantics never needed it).
 #[allow(clippy::too_many_arguments)]
 fn serve_update<T: TmThread>(
     store: &KvStore,
@@ -997,6 +1102,8 @@ fn serve_update<T: TmThread>(
     shard: usize,
     pending: &mut Vec<PendingAck>,
     writes: &mut Writes,
+    xlock: &XLock,
+    procs: Option<&ProcRegistry>,
 ) {
     if let Some(w) = wal {
         if !w.alive() {
@@ -1010,6 +1117,10 @@ fn serve_update<T: TmThread>(
     }
     let aborts_before = thread.stats().aborts();
     let t0 = Instant::now();
+    let xguard = match &req.op {
+        KvOp::Call { .. } => Some(xlock.lock()),
+        _ => None,
+    };
     let guard = wal.map(|w| w.commit_lock(shard));
     writes.clear();
     let reply = match &req.op {
@@ -1046,6 +1157,45 @@ fn serve_update<T: TmThread>(
             }
             KvReply::Done { changed: true }
         }
+        KvOp::Call { proc, args, .. } => match procs.and_then(|r| r.get(*proc)) {
+            None => KvReply::CallAborted,
+            Some(p) => {
+                let below = procs.expect("registry present").replicated_below();
+                let capture = wal.is_some();
+                let mut outv: Vec<u64> = Vec::new();
+                let outcome = thread.exec(TxKind::Update, &mut |tx| {
+                    // Post-images depend on in-transaction reads: reset
+                    // the capture per attempt, like MultiAdd.
+                    scratch.reset();
+                    writes.clear();
+                    outv.clear();
+                    let mut ctx = ProcCtx::new(
+                        store,
+                        tx,
+                        scratch,
+                        None,
+                        shard,
+                        true,
+                        below,
+                        capture.then_some(&mut *writes),
+                        None,
+                    );
+                    outv = p.run(&mut ctx, args)?;
+                    Ok(())
+                });
+                match outcome {
+                    Outcome::Committed => {
+                        scratch.refill(store.alloc());
+                        KvReply::CallOk(std::mem::take(&mut outv))
+                    }
+                    Outcome::UserAborted => {
+                        // Nothing committed: no record, immediate ack.
+                        writes.clear();
+                        KvReply::CallAborted
+                    }
+                }
+            }
+        },
         ro => unreachable!("read-only op {ro:?} in the update lane"),
     };
     let appended = match wal {
@@ -1056,6 +1206,7 @@ fn serve_update<T: TmThread>(
         _ => None,
     };
     drop(guard);
+    drop(xguard);
     let service = t0.elapsed();
     // Abort-aware pacing: a serve that needed backend retries backs the
     // executor off before the next pop; a clean one resets the ceiling.
@@ -1081,11 +1232,17 @@ fn serve_update<T: TmThread>(
 
 /// Serve a whole batch of read-only requests in ONE read-only
 /// transaction (the SI-HTM RO fast path: unbounded, never aborts, one
-/// shared snapshot for the entire batch).
+/// shared snapshot for the entire batch). Read-only procedure calls ride
+/// in the same transaction — a typed workload's whole read mix shares
+/// the batch's snapshot and its single quiescence interaction.
+#[allow(clippy::too_many_arguments)]
 fn serve_ro_batch<T: TmThread>(
     store: &KvStore,
     thread: &mut T,
+    scratch: &mut NodeScratch,
     batch: &mut Vec<Request>,
+    procs: Option<&ProcRegistry>,
+    shard: usize,
     out: &mut ExecOut,
 ) {
     let aborts_before = thread.stats().aborts();
@@ -1107,6 +1264,26 @@ fn serve_ro_batch<T: TmThread>(
                     let (count, sum) = store.scan_prefix_in(tx, *prefix, *shift, *limit)?;
                     KvReply::Scan { count, sum }
                 }
+                KvOp::ScanRange { from, to, limit } => {
+                    let (count, sum) = store.scan_range_in(tx, *from, *to, *limit)?;
+                    KvReply::Scan { count, sum }
+                }
+                KvOp::Call { proc, args, .. } => match procs.and_then(|r| r.get(*proc)) {
+                    None => KvReply::CallAborted,
+                    Some(p) => {
+                        let below = procs.expect("registry present").replicated_below();
+                        let mut ctx =
+                            ProcCtx::new(store, tx, scratch, None, shard, true, below, None, None);
+                        match p.run(&mut ctx, args) {
+                            Ok(outs) => KvReply::CallOk(outs),
+                            // A user abort in a read-only call answers
+                            // just that request; the batch's snapshot
+                            // (and the other requests) are unaffected.
+                            Err(Abort::User) => KvReply::CallAborted,
+                            Err(e) => return Err(e),
+                        }
+                    }
+                },
                 up => unreachable!("update op {up:?} in the read-only lane"),
             };
             replies.push(r);
@@ -1191,6 +1368,8 @@ fn serve_xshard_update<B: TmBackend>(
                 s,
                 pending,
                 writes,
+                &shared.shards[s].xlock,
+                shared.procs.as_deref(),
             );
             out.shard_served[s] += 1;
             return;
@@ -1203,6 +1382,10 @@ fn serve_xshard_update<B: TmBackend>(
             drop(req);
             return;
         }
+    }
+    if matches!(&req.op, KvOp::Call { .. }) {
+        serve_xshard_call(domains, shared, threads, scratches, cfg, req, out, set);
+        return;
     }
     let ups = match &req.op {
         KvOp::MultiPut { pairs } => group_puts(&shared.map, &set, pairs),
@@ -1312,7 +1495,7 @@ fn serve_xshard_update<B: TmBackend>(
             // injector fires inside transaction bodies); its handle is
             // mid-transaction and must be replaced before reuse.
             if let Some(s) = inflight.get() {
-                recover_handle(domains, threads, scratches, s, cfg.multi_key_max, out);
+                recover_handle(domains, threads, scratches, s, scratch_keys(cfg, shared), out);
             }
             true
         }
@@ -1354,7 +1537,7 @@ fn serve_xshard_update<B: TmBackend>(
             if r.is_ok() {
                 break;
             }
-            recover_handle(domains, threads, scratches, s, cfg.multi_key_max, out);
+            recover_handle(domains, threads, scratches, s, scratch_keys(cfg, shared), out);
             attempts += 1;
             assert!(attempts < 1000, "2PC compensation could not complete");
         }
@@ -1367,13 +1550,253 @@ fn serve_xshard_update<B: TmBackend>(
     drop(req); // Drop backstop answers KvReply::Shed: fully aborted
 }
 
+/// Coordinate one cross-shard procedure call. Unlike `MultiPut` /
+/// `MultiAdd`, a procedure's write set is *computed* by its body, so
+/// the classic prepare-then-apply split (undo capture in a separate
+/// read-only pass) is impossible — the undo keys aren't known until the
+/// body runs. Instead each participant runs one **combined** leg: the
+/// body executes inside that shard's update transaction with pre-images
+/// (2PC undo, first-write-wins per key) and post-images (WAL) captured
+/// in-transaction, and the leg's `XBegin` (participant set + undo) and
+/// `XApply` (post-image) are appended *together* under the shard commit
+/// lock, flushed before the next leg runs. A surviving log therefore
+/// shows both records or neither, and recovery's image-restore
+/// compensation (DESIGN.md §12) applies unchanged — no record format
+/// grew for calls.
+///
+/// The decision protocol, SGL escalation pinning, chaos compensation
+/// and `XAbort` logging are exactly the classic path's. A leg returning
+/// [`Abort::User`] rolls the committed legs back through the same
+/// compensation and answers [`KvReply::CallAborted`] — a served
+/// semantic reply, not a shed (and not a 2PC abort in the stats).
+#[allow(clippy::too_many_arguments)]
+fn serve_xshard_call<B: TmBackend>(
+    domains: &[(B, KvStore)],
+    shared: &Shared,
+    threads: &mut [B::Thread],
+    scratches: &mut [NodeScratch],
+    cfg: &PipelineConfig,
+    req: Request,
+    out: &mut ExecOut,
+    set: Vec<usize>,
+) {
+    let wal = shared.wal.as_deref();
+    let reg = shared.procs.as_deref();
+    let (p, args) = match (
+        &req.op,
+        reg.and_then(|r| match &req.op {
+            KvOp::Call { proc, .. } => r.get(*proc),
+            _ => None,
+        }),
+    ) {
+        (KvOp::Call { args, .. }, Some(p)) => (Arc::clone(p), args.clone()),
+        _ => {
+            finish(req, KvReply::CallAborted, Duration::ZERO, out);
+            return;
+        }
+    };
+    let below = reg.map(|r| r.replicated_below()).unwrap_or(0);
+    let t0 = Instant::now();
+    // Ascending shard order → deadlock-free against every other
+    // coordinator (and against single-shard calls, which take their
+    // shard's xlock too).
+    let _guards: Vec<_> = set.iter().map(|&s| shared.shards[s].xlock.lock()).collect();
+    out.twopc.prepares += 1;
+    let xid = wal.map(|w| w.next_xid()).unwrap_or(0);
+    // The undo image carries the whole rollback; the update half of the
+    // XBegin record is an empty Put (see `undo_part`).
+    let noop = XUpdate::Put(Vec::new());
+    let committed = Cell::new(0usize);
+    let escalations = Cell::new(0u64);
+    let inflight = Cell::new(None::<usize>);
+    let xbegun = Cell::new(false);
+    let user_abort = Cell::new(false);
+    let undos: RefCell<Vec<UndoImage>> = RefCell::new(Vec::with_capacity(set.len()));
+    let outputs: RefCell<Vec<u64>> = RefCell::new(Vec::new());
+    let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<(), WalDead> {
+        let mut escalated = false;
+        let mut xw: Writes = Vec::new();
+        for &s in set.iter() {
+            inflight.set(Some(s));
+            let store = &domains[s].1;
+            let sgl_before = threads[s].stats().sgl_acquisitions;
+            // The commit lock spans execute + append: the XBegin/XApply
+            // pair sits at the leg's true commit position in the log.
+            let cl = wal.map(|w| w.commit_lock(s));
+            let mut undo: UndoImage = Vec::new();
+            let mut leg_out: Vec<u64> = Vec::new();
+            let outcome = {
+                let scratch = &mut scratches[s];
+                let thread = &mut threads[s];
+                let mut body = |tx: &mut dyn Tx| {
+                    // All captures depend on in-transaction reads:
+                    // reset per attempt.
+                    scratch.reset();
+                    xw.clear();
+                    undo.clear();
+                    leg_out.clear();
+                    let mut ctx = ProcCtx::new(
+                        store,
+                        tx,
+                        scratch,
+                        Some(&shared.map),
+                        s,
+                        false,
+                        below,
+                        wal.is_some().then_some(&mut xw),
+                        Some(&mut undo),
+                    );
+                    leg_out = p.run(&mut ctx, &args)?;
+                    Ok(())
+                };
+                let outcome = if escalated {
+                    thread.exec_escalated(&mut body)
+                } else {
+                    thread.exec(TxKind::Update, &mut body)
+                };
+                if outcome == Outcome::Committed {
+                    scratch.refill(store.alloc());
+                    if thread.stats().sgl_acquisitions > sgl_before && !escalated {
+                        escalated = true;
+                        escalations.set(escalations.get() + 1);
+                    }
+                }
+                outcome
+            };
+            if outcome == Outcome::UserAborted {
+                drop(cl);
+                user_abort.set(true);
+                inflight.set(None);
+                return Ok(());
+            }
+            undos.borrow_mut().push(undo);
+            outputs.borrow_mut().extend(leg_out);
+            committed.set(committed.get() + 1);
+            if let Some(w) = wal {
+                {
+                    let undos = undos.borrow();
+                    w.append(
+                        s,
+                        Append::XBegin {
+                            xid,
+                            parts: &set,
+                            upd: &noop,
+                            undo: undos.last().expect("just pushed"),
+                        },
+                    )?;
+                }
+                w.append(s, Append::XApply { xid, writes: &xw })?;
+                drop(cl);
+                w.flush(s)?;
+                xbegun.set(true);
+                // Both classic crash windows collapse onto the per-leg
+                // flush here ("durably prepared" and "applied" are the
+                // same instant for a combined leg), so both sites arm
+                // on the same seam and stay reachable for call-only
+                // traffic.
+                w.crash_point(CrashSite::AfterPrepare);
+                w.crash_point(CrashSite::AfterApply);
+            } else {
+                drop(cl);
+            }
+            // Leg → leg seam: the chaos injector's crash window.
+            if hooks::active() {
+                hooks::emit(Event::Poll);
+            }
+        }
+        inflight.set(None);
+        // Decision: identical to the classic path — the first durable
+        // XDecide commits the call everywhere at recovery.
+        if let Some(w) = wal {
+            let mut decided = false;
+            for &s in set.iter() {
+                let appended = {
+                    let _cl = w.commit_lock(s);
+                    w.append(s, Append::XDecide { xid })
+                };
+                if appended.is_ok() && w.flush(s).is_ok() {
+                    decided = true;
+                } else if decided {
+                    break; // durably committed already; the log just died
+                } else {
+                    return Err(WalDead);
+                }
+            }
+            w.crash_point(CrashSite::AfterDecision);
+        }
+        Ok(())
+    }));
+    out.twopc.escalations += escalations.get();
+    for &s in &set {
+        out.shard_served[s] += 1;
+    }
+    let failed = match attempt {
+        Ok(Ok(())) => false,
+        Ok(Err(WalDead)) => true,
+        Err(_) => {
+            if let Some(s) = inflight.get() {
+                recover_handle(domains, threads, scratches, s, scratch_keys(cfg, shared), out);
+            }
+            true
+        }
+    };
+    if !failed && !user_abort.get() {
+        finish(req, KvReply::CallOk(outputs.into_inner()), t0.elapsed(), out);
+        return;
+    }
+    // Roll the committed legs back by restoring their pre-images —
+    // semantic rollback (user abort) and failure compensation share the
+    // machinery and the XAbort records.
+    let undos = undos.into_inner();
+    let mut comp: Writes = Vec::new();
+    for (pi, &s) in set.iter().enumerate().take(committed.get()) {
+        let mut attempts = 0;
+        loop {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                let mut part = ShardPart {
+                    store: &domains[s].1,
+                    thread: &mut threads[s],
+                    scratch: &mut scratches[s],
+                };
+                let cl = wal.map(|w| w.commit_lock(s));
+                undo_part(&mut part, &noop, &undos[pi], &mut comp);
+                if let Some(w) = wal {
+                    if xbegun.get() {
+                        let _ = w.append(s, Append::XAbort { xid, writes: &comp });
+                    }
+                }
+                drop(cl);
+            }));
+            if r.is_ok() {
+                break;
+            }
+            recover_handle(domains, threads, scratches, s, scratch_keys(cfg, shared), out);
+            attempts += 1;
+            assert!(attempts < 1000, "call compensation could not complete");
+        }
+        if let Some(w) = wal {
+            let _ = w.flush(s);
+        }
+    }
+    if !failed {
+        // User abort, fully rolled back: a served semantic reply.
+        finish(req, KvReply::CallAborted, t0.elapsed(), out);
+    } else {
+        out.twopc.aborts += 1;
+        out.shed += 1;
+        drop(req); // Drop backstop answers KvReply::Shed: fully aborted
+    }
+}
+
 /// Serve one cross-shard read-only request: per-shard read-only
 /// transactions under the participants' xlocks (so no half-applied
-/// cross-shard update can be observed), merged positionally.
+/// cross-shard update can be observed). Point reads merge positionally;
+/// scans merge into one globally key-ordered result.
 fn serve_xshard_ro<B: TmBackend>(
     domains: &[(B, KvStore)],
     shared: &Shared,
     threads: &mut [B::Thread],
+    scratches: &mut [NodeScratch],
     req: Request,
     out: &mut ExecOut,
 ) {
@@ -1383,7 +1806,15 @@ fn serve_xshard_ro<B: TmBackend>(
             // Defensive: serve as a batch of one on the owning shard.
             let mut one = vec![req];
             out.shard_served[s] += 1;
-            serve_ro_batch(&domains[s].1, &mut threads[s], &mut one, out);
+            serve_ro_batch(
+                &domains[s].1,
+                &mut threads[s],
+                &mut scratches[s],
+                &mut one,
+                shared.procs.as_deref(),
+                s,
+                out,
+            );
             return;
         }
     };
@@ -1409,20 +1840,97 @@ fn serve_xshard_ro<B: TmBackend>(
             }
             KvReply::Values(vals)
         }
-        KvOp::ScanPrefix { prefix, shift, limit } => {
-            let (mut count, mut sum) = (0u64, 0u64);
+        KvOp::ScanPrefix { .. } | KvOp::ScanRange { .. } => {
+            let (from, to, limit) = match &req.op {
+                KvOp::ScanPrefix { prefix, shift, limit } => {
+                    let (f, t) = KvStore::prefix_range(*prefix, *shift);
+                    (f, t, *limit)
+                }
+                KvOp::ScanRange { from, to, limit } => (*from, *to, *limit),
+                _ => unreachable!(),
+            };
+            // Merge the per-shard scans into ONE key-ordered result cut
+            // at the client's limit. Each shard is scanned with the full
+            // limit (any one of them might hold the first `limit`
+            // matches); summing per-shard-limited views would over-count
+            // whenever the range spans a shard boundary.
+            let mut entries: Vec<(u64, u64)> = Vec::new();
             for &s in &set {
                 inflight.set(Some(s));
                 let store = &domains[s].1;
-                let mut part = (0u64, 0u64);
+                let start = entries.len();
                 threads[s].exec(TxKind::ReadOnly, &mut |tx| {
-                    part = store.scan_prefix_in(tx, *prefix, *shift, *limit)?;
+                    entries.truncate(start); // idempotent across retries
+                    store.scan_range_entries_in(tx, from, to, limit, &mut |k, v| {
+                        entries.push((k, v));
+                    })?;
                     Ok(())
                 });
-                count += part.0;
-                sum = sum.wrapping_add(part.1);
             }
+            // Under range partitioning ascending shards already yield
+            // ascending keys (the sort is a linear no-op pass); hash
+            // partitioning interleaves and genuinely needs it.
+            entries.sort_unstable_by_key(|&(k, _)| k);
+            entries.truncate(limit.min(usize::MAX as u64) as usize);
+            let count = entries.len() as u64;
+            let sum = entries.iter().fold(0u64, |a, &(_, v)| a.wrapping_add(v));
             KvReply::Scan { count, sum }
+        }
+        KvOp::Call { proc, args, .. } => {
+            // Read-only cross-shard call: one RO leg per participant
+            // under the xlocks; leg outputs concatenate in ascending
+            // shard order, like update legs.
+            match shared.procs.as_deref().and_then(|r| r.get(*proc)) {
+                None => KvReply::CallAborted,
+                Some(p) => {
+                    let below = shared.procs.as_deref().map(|r| r.replicated_below()).unwrap_or(0);
+                    let mut outs: Vec<u64> = Vec::new();
+                    let mut user = false;
+                    for &s in &set {
+                        inflight.set(Some(s));
+                        let store = &domains[s].1;
+                        let scratch = &mut scratches[s];
+                        let mut leg: Vec<u64> = Vec::new();
+                        let mut user_leg = false;
+                        threads[s].exec(TxKind::ReadOnly, &mut |tx| {
+                            leg.clear();
+                            user_leg = false;
+                            let mut ctx = ProcCtx::new(
+                                store,
+                                tx,
+                                scratch,
+                                Some(&shared.map),
+                                s,
+                                false,
+                                below,
+                                None,
+                                None,
+                            );
+                            match p.run(&mut ctx, args) {
+                                Ok(v) => {
+                                    leg = v;
+                                    Ok(())
+                                }
+                                Err(Abort::User) => {
+                                    user_leg = true;
+                                    Ok(())
+                                }
+                                Err(e) => Err(e),
+                            }
+                        });
+                        if user_leg {
+                            user = true;
+                            break;
+                        }
+                        outs.extend(leg);
+                    }
+                    if user {
+                        KvReply::CallAborted
+                    } else {
+                        KvReply::CallOk(outs)
+                    }
+                }
+            }
         }
         up => unreachable!("update op {up:?} in the cross-shard read-only lane"),
     }));
@@ -1447,9 +1955,16 @@ fn serve_xshard_ro<B: TmBackend>(
 
 /// Record latency and answer the client.
 fn finish(req: Request, reply: KvReply, service: Duration, out: &mut ExecOut) {
+    let e2e = req.enqueued.elapsed();
     let cl = &mut out.classes[req.op.class().index()];
-    cl.e2e.record(req.enqueued.elapsed());
+    cl.e2e.record(e2e);
     cl.service.record(service);
+    if let KvOp::Call { proc, .. } = &req.op {
+        if let Some(pl) = out.procs.iter_mut().find(|pl| pl.proc == *proc) {
+            pl.e2e.record(e2e);
+            pl.service.record(service);
+        }
+    }
     req.slot.fill(reply);
     out.served += 1;
     // `req` drops here with the slot already filled: the backstop no-ops.
@@ -1458,8 +1973,95 @@ fn finish(req: Request, reply: KvReply, service: Duration, out: &mut ExecOut) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::proc::{KvTx, Procedure};
     use crate::shard::build_domains;
     use si_htm::SiHtm;
+
+    /// args `[from, to, amount, cap?]`: moves `amount` from `from` to
+    /// `to`, user-aborting on insufficient funds or when the destination
+    /// would exceed `cap`. Each leg touches only its local keys, so the
+    /// same body serves single-shard and cross-shard calls.
+    struct Transfer;
+
+    impl Procedure for Transfer {
+        fn id(&self) -> u64 {
+            1
+        }
+        fn name(&self) -> &'static str {
+            "transfer"
+        }
+        fn run(&self, ctx: &mut ProcCtx<'_>, args: &[u64]) -> Result<Vec<u64>, Abort> {
+            let (from, to, amt) = (args[0], args[1], args[2]);
+            let cap = args.get(3).copied().unwrap_or(u64::MAX);
+            let mut outs = Vec::new();
+            if ctx.is_local(from) {
+                let v = ctx.get(from)?.unwrap_or(0);
+                if v < amt {
+                    return Err(Abort::User);
+                }
+                ctx.put(from, v - amt)?;
+                outs.push(v - amt);
+            }
+            if ctx.is_local(to) {
+                let v = ctx.get(to)?.unwrap_or(0);
+                if v.saturating_add(amt) > cap {
+                    return Err(Abort::User);
+                }
+                ctx.put(to, v + amt)?;
+                outs.push(v + amt);
+            }
+            Ok(outs)
+        }
+    }
+
+    /// Read-only: returns the value of every local key in `args`.
+    struct ReadVals;
+
+    impl Procedure for ReadVals {
+        fn id(&self) -> u64 {
+            2
+        }
+        fn name(&self) -> &'static str {
+            "read_vals"
+        }
+        fn read_only(&self) -> bool {
+            true
+        }
+        fn run(&self, ctx: &mut ProcCtx<'_>, args: &[u64]) -> Result<Vec<u64>, Abort> {
+            let mut outs = Vec::new();
+            for &k in args {
+                if ctx.is_local(k) {
+                    outs.push(ctx.get(k)?.unwrap_or(0));
+                }
+            }
+            Ok(outs)
+        }
+    }
+
+    fn registry() -> Arc<ProcRegistry> {
+        Arc::new(ProcRegistry::new().register(Arc::new(Transfer)).register(Arc::new(ReadVals)))
+    }
+
+    fn proc_pipeline(shards: usize, executors: usize) -> Pipeline<SiHtm> {
+        let map = ShardMap::range(shards, 64);
+        let domains = build_domains(
+            &map,
+            |_| SiHtm::with_defaults(1 << 16),
+            0,
+            1 << 16,
+            (0..64 * shards as u64).map(|k| (k, k)),
+        );
+        let cfg = PipelineConfig { executors, ..PipelineConfig::quick() };
+        Pipeline::start_with(domains, map, cfg, None, Some(registry()))
+    }
+
+    fn transfer_op(from: u64, to: u64, amt: u64, cap: Option<u64>) -> KvOp {
+        let mut args = vec![from, to, amt];
+        if let Some(c) = cap {
+            args.push(c);
+        }
+        KvOp::Call { proc: 1, args, footprint: vec![from, to], read_only: false }
+    }
 
     fn pipeline(executors: usize) -> Pipeline<SiHtm> {
         let backend = SiHtm::with_defaults(1 << 16);
@@ -1622,6 +2224,117 @@ mod tests {
         assert!(report.twopc.ro_multi >= 3, "cross-shard reads coordinated");
         assert!(report.shard_served.iter().all(|&n| n > 0), "both shards served work");
         assert_eq!(report.shed, 0);
+    }
+
+    #[test]
+    fn call_procedures_execute_single_shard() {
+        let p = proc_pipeline(1, 2);
+        let client = p.client();
+        // 5 -> 9, amount 3: both keys shard 0, one update transaction.
+        assert_eq!(client.call(transfer_op(5, 9, 3, None)), Ok(KvReply::CallOk(vec![2, 12])));
+        // Insufficient funds: semantic abort, nothing changed.
+        assert_eq!(client.call(transfer_op(5, 9, 100, None)), Ok(KvReply::CallAborted));
+        assert_eq!(
+            client.call(KvOp::MultiGet { keys: vec![5, 9] }),
+            Ok(KvReply::Values(vec![Some(2), Some(12)]))
+        );
+        // Read-only call batches onto the RO lane.
+        assert_eq!(
+            client.call(KvOp::Call {
+                proc: 2,
+                args: vec![5, 9],
+                footprint: vec![5, 9],
+                read_only: true,
+            }),
+            Ok(KvReply::CallOk(vec![2, 12]))
+        );
+        // Unknown procedure: answered, not wedged.
+        assert_eq!(
+            client.call(KvOp::Call {
+                proc: 99,
+                args: vec![],
+                footprint: vec![5],
+                read_only: false
+            }),
+            Ok(KvReply::CallAborted)
+        );
+        let report = p.shutdown();
+        assert_eq!(report.shed, 0);
+        let tl = report.proc("transfer").expect("registered");
+        assert_eq!(tl.count(), 2, "both transfer calls (ok + user abort) recorded");
+        assert_eq!(report.proc("read_vals").expect("registered").count(), 1);
+        assert!(report.class(OpClass::Call).count() >= 4);
+    }
+
+    #[test]
+    fn call_procedures_execute_cross_shard_with_rollback() {
+        // Range map, 64 keys/shard: key 5 is shard 0, key 100 is shard 1.
+        let p = proc_pipeline(2, 2);
+        let client = p.client();
+        assert_eq!(client.call(transfer_op(5, 100, 3, None)), Ok(KvReply::CallOk(vec![2, 103])));
+        // Second leg user-aborts (cap exceeded) AFTER the first leg
+        // committed: the first leg must be compensated back to 2.
+        assert_eq!(client.call(transfer_op(5, 100, 1, Some(10))), Ok(KvReply::CallAborted));
+        assert_eq!(
+            client.call(KvOp::MultiGet { keys: vec![5, 100] }),
+            Ok(KvReply::Values(vec![Some(2), Some(103)]))
+        );
+        // Cross-shard read-only call under the xlocks.
+        assert_eq!(
+            client.call(KvOp::Call {
+                proc: 2,
+                args: vec![5, 100],
+                footprint: vec![5, 100],
+                read_only: true,
+            }),
+            Ok(KvReply::CallOk(vec![2, 103]))
+        );
+        let report = p.shutdown();
+        assert_eq!(report.shed, 0, "user aborts are served replies, not sheds");
+        assert_eq!(report.twopc.prepares, 2, "both cross-shard calls coordinated");
+        assert_eq!(report.twopc.aborts, 0, "semantic rollback is not a 2PC failure");
+        assert_eq!(report.proc("transfer").expect("registered").count(), 2);
+    }
+
+    #[test]
+    fn cross_shard_scans_merge_ordered_and_respect_limit() {
+        // 2 shards, range-partitioned at 64, values == keys.
+        let p = sharded_pipeline(2, 2);
+        let client = p.client();
+        // The whole keyspace with a limit smaller than either shard's
+        // share: the answer is the first 10 keys GLOBALLY (0..10), not
+        // 10 per shard summed.
+        match client.call(KvOp::ScanPrefix { prefix: 0, shift: 7, limit: 10 }) {
+            Ok(KvReply::Scan { count, sum }) => {
+                assert_eq!(count, 10, "global limit, not per-shard limit summed");
+                assert_eq!(sum, (0..10).sum::<u64>());
+            }
+            other => panic!("unexpected scan reply {other:?}"),
+        }
+        // A range straddling the shard boundary merges both sides.
+        match client.call(KvOp::ScanRange { from: 60, to: 70, limit: 100 }) {
+            Ok(KvReply::Scan { count, sum }) => {
+                assert_eq!(count, 10);
+                assert_eq!(sum, (60..70).sum::<u64>());
+            }
+            other => panic!("unexpected scan reply {other:?}"),
+        }
+        // Straddling range cut mid-merge: first 5 keys of 60..70.
+        match client.call(KvOp::ScanRange { from: 60, to: 70, limit: 5 }) {
+            Ok(KvReply::Scan { count, sum }) => {
+                assert_eq!(count, 5);
+                assert_eq!(sum, (60..65).sum::<u64>());
+            }
+            other => panic!("unexpected scan reply {other:?}"),
+        }
+        // Single-shard range routes shard-affine and needs no xlocks.
+        match client.call(KvOp::ScanRange { from: 0, to: 64, limit: 1000 }) {
+            Ok(KvReply::Scan { count, .. }) => assert_eq!(count, 64),
+            other => panic!("unexpected scan reply {other:?}"),
+        }
+        let report = p.shutdown();
+        assert_eq!(report.shed, 0);
+        assert!(report.twopc.ro_multi >= 3, "boundary-spanning scans coordinated");
     }
 
     #[test]

@@ -177,13 +177,11 @@ impl ShardMap {
             KvOp::MultiPut { pairs } => self.shards_of_keys(pairs.iter().map(|&(k, _)| k)),
             KvOp::MultiAdd { deltas } => self.shards_of_keys(deltas.iter().map(|&(k, _)| k)),
             KvOp::ScanPrefix { prefix, shift, .. } => {
-                let from = prefix << shift;
-                let to = match (prefix + 1).checked_shl(*shift) {
-                    Some(t) if t != 0 => t,
-                    _ => u64::MAX,
-                };
+                let (from, to) = KvStore::prefix_range(*prefix, *shift);
                 self.shards_for_range(from, to)
             }
+            KvOp::ScanRange { from, to, .. } => self.shards_for_range(*from, *to),
+            KvOp::Call { footprint, .. } => self.shards_of_keys(footprint.iter().copied()),
         };
         match set.as_slice() {
             [one] => Route::Single(*one),

@@ -85,12 +85,45 @@ impl KvStore {
         shift: u32,
         limit: u64,
     ) -> Result<(u64, u64), Abort> {
+        let (from, to) = Self::prefix_range(prefix, shift);
+        self.tree.range_between(tx, from, to, limit)
+    }
+
+    /// Half-open range scan `[from, to)` (one ordered index walk),
+    /// `(matches, sum-of-values)` over up to `limit` entries.
+    pub fn scan_range_in(
+        &self,
+        tx: &mut dyn Tx,
+        from: u64,
+        to: u64,
+        limit: u64,
+    ) -> Result<(u64, u64), Abort> {
+        self.tree.range_between(tx, from, to, limit)
+    }
+
+    /// Entry-yielding half-open range scan `[from, to)`: `f(key, value)`
+    /// per match in key order, up to `limit`; returns the match count.
+    /// What cross-shard ordered merges and secondary-index lookups use —
+    /// they need the entries, not a count/sum digest.
+    pub fn scan_range_entries_in(
+        &self,
+        tx: &mut dyn Tx,
+        from: u64,
+        to: u64,
+        limit: u64,
+        f: &mut dyn FnMut(u64, u64),
+    ) -> Result<u64, Abort> {
+        self.tree.range_entries(tx, from, to, limit, f)
+    }
+
+    /// The `[from, to)` range a `ScanPrefix { prefix, shift }` covers.
+    pub fn prefix_range(prefix: u64, shift: u32) -> (u64, u64) {
         let from = prefix << shift;
         let to = match (prefix + 1).checked_shl(shift) {
             Some(t) if t != 0 => t,
             _ => u64::MAX,
         };
-        self.tree.range_between(tx, from, to, limit)
+        (from, to)
     }
 
     /// Insert or overwrite; `true` when the key was newly created.
@@ -317,14 +350,53 @@ impl std::fmt::Debug for KvStore {
 /// One service request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KvOp {
-    Get { key: u64 },
-    MultiGet { keys: Vec<u64> },
-    ScanPrefix { prefix: u64, shift: u32, limit: u64 },
-    Put { key: u64, val: u64 },
-    Delete { key: u64 },
-    Cas { key: u64, expect: Option<u64>, new: u64 },
-    MultiPut { pairs: Vec<(u64, u64)> },
-    MultiAdd { deltas: Vec<(u64, i64)> },
+    Get {
+        key: u64,
+    },
+    MultiGet {
+        keys: Vec<u64>,
+    },
+    ScanPrefix {
+        prefix: u64,
+        shift: u32,
+        limit: u64,
+    },
+    /// Half-open ordered range scan `[from, to)` — the shape encoded
+    /// tuple prefixes produce when the range is not 2ᵏ-aligned.
+    ScanRange {
+        from: u64,
+        to: u64,
+        limit: u64,
+    },
+    Put {
+        key: u64,
+        val: u64,
+    },
+    Delete {
+        key: u64,
+    },
+    Cas {
+        key: u64,
+        expect: Option<u64>,
+        new: u64,
+    },
+    MultiPut {
+        pairs: Vec<(u64, u64)>,
+    },
+    MultiAdd {
+        deltas: Vec<(u64, i64)>,
+    },
+    /// Invoke a registered server-side procedure (see [`crate::proc`]).
+    /// `footprint` is the routing hint: representative keys of every
+    /// shard the procedure touches (replicated keys excluded). `args`
+    /// are procedure-defined; `read_only` procedures batch onto the RO
+    /// fast path.
+    Call {
+        proc: u64,
+        args: Vec<u64>,
+        footprint: Vec<u64>,
+        read_only: bool,
+    },
 }
 
 impl KvOp {
@@ -333,17 +405,24 @@ impl KvOp {
             KvOp::Get { .. } => OpClass::Get,
             KvOp::MultiGet { .. } => OpClass::MultiGet,
             KvOp::ScanPrefix { .. } => OpClass::Scan,
+            KvOp::ScanRange { .. } => OpClass::Scan,
             KvOp::Put { .. } => OpClass::Put,
             KvOp::Delete { .. } => OpClass::Delete,
             KvOp::Cas { .. } => OpClass::Cas,
             KvOp::MultiPut { .. } => OpClass::MultiPut,
             KvOp::MultiAdd { .. } => OpClass::MultiAdd,
+            KvOp::Call { .. } => OpClass::Call,
         }
     }
 
-    /// Read-only ops are batchable onto the RO fast path.
+    /// Read-only ops are batchable onto the RO fast path. `Call` is
+    /// read-only exactly when the submitter declared it so (the
+    /// registered procedure asserts the declaration at execution).
     pub fn read_only(&self) -> bool {
-        self.class().read_only()
+        match self {
+            KvOp::Call { read_only, .. } => *read_only,
+            _ => self.class().read_only(),
+        }
     }
 }
 
@@ -358,10 +437,13 @@ pub enum OpClass {
     Cas,
     MultiPut,
     MultiAdd,
+    /// Server-side procedure call (RO or update; the per-procedure
+    /// latency report splits it further).
+    Call,
 }
 
 impl OpClass {
-    pub const ALL: [OpClass; 8] = [
+    pub const ALL: [OpClass; 9] = [
         OpClass::Get,
         OpClass::MultiGet,
         OpClass::Scan,
@@ -370,6 +452,7 @@ impl OpClass {
         OpClass::Cas,
         OpClass::MultiPut,
         OpClass::MultiAdd,
+        OpClass::Call,
     ];
 
     pub fn name(self) -> &'static str {
@@ -382,6 +465,7 @@ impl OpClass {
             OpClass::Cas => "cas",
             OpClass::MultiPut => "multi_put",
             OpClass::MultiAdd => "multi_add",
+            OpClass::Call => "call",
         }
     }
 
@@ -409,6 +493,13 @@ pub enum KvReply {
     CasOk,
     /// `Cas` failed; the observed current value.
     CasFail(Option<u64>),
+    /// `Call` committed; per-leg outputs concatenated in ascending
+    /// participant-shard order.
+    CallOk(Vec<u64>),
+    /// `Call` rolled back semantically ([`Abort::User`] from a leg):
+    /// nothing was changed, the request is answered, and nothing was
+    /// logged.
+    CallAborted,
     /// The request was accepted but shed during shutdown before being
     /// served (drain deadline passed). Never silently dropped.
     Shed,

@@ -1,0 +1,119 @@
+//! Cross-shard range-scan merge semantics, on all four backends.
+//!
+//! A scan whose key range spans a shard boundary under range sharding
+//! must behave exactly like the same scan against an unsharded store:
+//! the per-shard scans are merged into one globally ordered result and
+//! the limit applies to the *merged* sequence, not per shard. The
+//! regression this pins down: the earlier implementation applied the
+//! limit inside each shard and summed the views, so a limited scan over
+//! N shards could return up to N×limit rows drawn from the wrong end of
+//! the range.
+//!
+//! Values are chosen unequal to their keys (`val = key * 7 + 1`) so the
+//! checked `sum` detects "right count, wrong rows" as well.
+
+use std::time::Duration;
+use tm_api::TmBackend;
+use txkv::shard::build_domains;
+use txkv::{KvOp, KvReply, Pipeline, PipelineConfig, ShardMap};
+
+const SHARDS: usize = 4;
+const PER_SHARD: u64 = 16;
+const KEYS: u64 = SHARDS as u64 * PER_SHARD;
+
+fn val(k: u64) -> u64 {
+    k * 7 + 1
+}
+
+/// Expected `(count, sum)` of the first `limit` live keys in `[from, to)`
+/// in global key order — the unsharded reference semantics.
+fn reference(from: u64, to: u64, limit: u64) -> (u64, u64) {
+    let mut count = 0u64;
+    let mut sum = 0u64;
+    for k in from..to.min(KEYS) {
+        if count == limit {
+            break;
+        }
+        count += 1;
+        sum = sum.wrapping_add(val(k));
+    }
+    (count, sum)
+}
+
+fn scans_merge<B: TmBackend>(mk: impl FnMut(usize) -> B) {
+    let map = ShardMap::range(SHARDS, PER_SHARD);
+    let domains = build_domains(&map, mk, 0, 1 << 16, (0..KEYS).map(|k| (k, val(k))));
+    let cfg = PipelineConfig {
+        executors: 2,
+        multi_key_max: 4,
+        drain_grace: Duration::from_millis(500),
+        ..PipelineConfig::quick()
+    };
+    let pipeline = Pipeline::start_sharded(domains, map, cfg);
+    let client = pipeline.client();
+    let scan = |op: KvOp| match client.call(op).expect("scan admitted") {
+        KvReply::Scan { count, sum } => (count, sum),
+        other => panic!("scan answered {other:?}"),
+    };
+
+    // Limited scan spanning all four shards: the limit must select the
+    // globally smallest keys, not `limit` keys from each shard.
+    let limit = PER_SHARD / 2;
+    assert_eq!(
+        scan(KvOp::ScanRange { from: 0, to: KEYS, limit }),
+        reference(0, KEYS, limit),
+        "limit must apply to the merged scan, not per shard"
+    );
+
+    // Range starting mid-shard and ending mid-next-shard: the merged
+    // view must cover exactly the requested keys across the boundary.
+    let from = PER_SHARD - 3;
+    let to = PER_SHARD + 5;
+    assert_eq!(scan(KvOp::ScanRange { from, to, limit: u64::MAX }), reference(from, to, u64::MAX));
+
+    // Boundary-straddling range with a limit smaller than the first
+    // shard's share: everything must come from the low shard.
+    assert_eq!(scan(KvOp::ScanRange { from, to, limit: 2 }), reference(from, to, 2));
+
+    // Prefix scan covering several shards (prefix 0, shift past two
+    // shards' worth of keys), limited below the full population.
+    let shift = (2 * PER_SHARD).trailing_zeros();
+    assert_eq!(
+        scan(KvOp::ScanPrefix { prefix: 0, shift, limit: PER_SHARD + 3 }),
+        reference(0, 2 * PER_SHARD, PER_SHARD + 3)
+    );
+
+    // Unlimited full sweep still sees every key exactly once.
+    assert_eq!(
+        scan(KvOp::ScanRange { from: 0, to: u64::MAX, limit: u64::MAX }),
+        reference(0, KEYS, u64::MAX)
+    );
+
+    // Single-shard scans keep working through the same path.
+    assert_eq!(
+        scan(KvOp::ScanRange { from: 0, to: PER_SHARD, limit: u64::MAX }),
+        reference(0, PER_SHARD, u64::MAX)
+    );
+
+    let report = pipeline.shutdown();
+    assert_eq!(report.shed, 0, "no scan may be shed");
+    assert!(report.twopc.ro_multi >= 5, "the spanning scans must take the cross-shard RO path");
+}
+
+macro_rules! scan_merge_suite {
+    ($name:ident, $make:expr) => {
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn cross_shard_scans_merge() {
+                scans_merge($make);
+            }
+        }
+    };
+}
+
+scan_merge_suite!(on_si_htm, |_s| si_htm::SiHtm::with_defaults(1 << 16));
+scan_merge_suite!(on_htm_sgl, |_s| htm_sgl::HtmSgl::with_defaults(1 << 16));
+scan_merge_suite!(on_p8tm, |_s| p8tm::P8tm::with_defaults(1 << 16));
+scan_merge_suite!(on_silo, |_s| silo::Silo::with_defaults(1 << 16));

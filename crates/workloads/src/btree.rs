@@ -424,6 +424,50 @@ impl TxBTree {
         Ok((n, sum))
     }
 
+    /// Entry-yielding half-open range scan: calls `f(key, value)` for up
+    /// to `limit` entries with `from ≤ key < to` in key order and returns
+    /// how many were yielded. Same leaf-chain walk as
+    /// [`range_between`](Self::range_between), but surfacing the entries
+    /// themselves — what ordered merges (cross-shard scans) and secondary
+    /// index lookups need, where a count/sum digest is not enough.
+    pub fn range_entries(
+        &self,
+        tx: &mut dyn Tx,
+        from: u64,
+        to: u64,
+        limit: u64,
+        f: &mut dyn FnMut(u64, u64),
+    ) -> Result<u64, Abort> {
+        let mut node = tx.read(self.root_ptr)?;
+        loop {
+            let (leaf, count) = unpack_header(tx.read(node + H_HEADER)?);
+            if leaf {
+                break;
+            }
+            let idx = self.child_index(tx, node, count, from)?;
+            node = tx.read(node + H_CHILDREN + idx)?;
+        }
+        let mut n = 0;
+        'chain: while node != NIL && n < limit {
+            let (_, count) = unpack_header(tx.read(node + H_HEADER)?);
+            for i in 0..count {
+                if n >= limit {
+                    break 'chain;
+                }
+                let k = tx.read(node + H_KEYS + i)?;
+                if k >= to {
+                    break 'chain;
+                }
+                if k >= from {
+                    f(k, tx.read(node + H_VALS + i)?);
+                    n += 1;
+                }
+            }
+            node = tx.read(node + H_NEXT)?;
+        }
+        Ok(n)
+    }
+
     /// Transactional whole-tree walk in key order: `f(key, value)` per
     /// entry, along the leaf chain. The read footprint is the entire
     /// tree — on SI-HTM this runs on the unbounded, never-aborting
