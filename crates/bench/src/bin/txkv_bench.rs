@@ -43,10 +43,11 @@
 //!   histograms. Replaces the kv modes for the run.
 //!
 //! Results go to `BENCH_TXKV.json` in the versioned `bench::schema`
-//! envelope (v4: adds the `workload` and `tx_class` columns — see
-//! `bench::schema`; v3 added the `durability` column and `wal_*`
-//! counters; v2 added `shards`, `cross_shard_pct`, `tick_us`,
-//! `ro_replies_per_sec` and the `twopc_*` counters). With
+//! envelope (v5: adds the storage-fault health columns — see
+//! `bench::schema`; v4 added `workload` and `tx_class`; v3 added the
+//! `durability` column and `wal_*` counters; v2 added `shards`,
+//! `cross_shard_pct`, `tick_us`, `ro_replies_per_sec` and the `twopc_*`
+//! counters). With
 //! `--assert-service` the run enforces the service-level acceptance
 //! checks (no starved executors, RO batching engaged, backend-appropriate
 //! RO-abort expectations — see `bench::schema` — overload sheds typed,
@@ -57,11 +58,21 @@
 //! failure-artifact pattern. `--chaos` arms the runtime fault injector
 //! for the open-loop phase and checks liveness under a deadline.
 //!
+//! `--storage-faults` arms the *storage* fault injector
+//! (`txkv::durability::storage`) for the whole run: probabilistic fsync
+//! failures, short writes, bit corruption and I/O stalls on the WAL
+//! segment files of every durable cell. Rows then carry the schema-v5
+//! health columns (`health`, `wal_retries`, `degraded_sheds`,
+//! `wal_rejoins`, `scrub_*`, `ckpt_failures`), and `--assert-service`
+//! keeps gating `wal_sync_acks_early == 0` — a degraded shard sheds
+//! with a typed `Unavailable`, it never acks early. Requires a durable
+//! mode (`--durability async|sync` or `--durability-sweep`).
+//!
 //! Usage: `cargo run --release --bin txkv_bench [-- --quick] [--smoke]
 //!         [--backends si-htm,htm] [--rate N] [--duration-ms N]
 //!         [--shards N] [--cross-shard-pct P] [--sweep] [--tpcc-service]
 //!         [--durability off|async|sync] [--durability-sweep]
-//!         [--chaos] [--assert-service]`
+//!         [--chaos] [--storage-faults] [--assert-service]`
 
 use bench::{schema, Backend};
 use htm_sim::HtmConfig;
@@ -70,10 +81,11 @@ use std::time::{Duration, Instant};
 use tm_api::{BackoffPolicy, TmBackend};
 use tpcc::service::{self, MixOutcome, TxClass};
 use tpcc::{TpccConfig, TxMix};
+use txkv::durability::storage as storage_faults;
 use txkv::shard::build_domains;
 use txkv::{
-    DurabilityConfig, DurabilityMode, KvError, KvOp, Pipeline, PipelineConfig, ServiceReport,
-    ShardMap, WalSet,
+    DurabilityConfig, DurabilityMode, FaultPlan, FaultTarget, KvError, KvOp, Pipeline,
+    PipelineConfig, ServiceReport, ShardMap, WalSet,
 };
 use txkv_schema::index_hits;
 use txmem::hooks::chaos::{self, ChaosConfig};
@@ -108,6 +120,8 @@ struct Args {
     durability: DurabilityMode,
     /// Add the SI-HTM Off/Async/Sync overhead legs.
     durability_sweep: bool,
+    /// Arm the storage fault injector against every cell's WAL segments.
+    storage_faults: bool,
     /// Run TPC-C through the typed service layer instead of the kv modes.
     tpcc_service: bool,
 }
@@ -167,6 +181,7 @@ fn parse_args() -> Args {
             Some(other) => panic!("unknown durability mode '{other}' (off | async | sync)"),
         },
         durability_sweep: has("--durability-sweep"),
+        storage_faults: has("--storage-faults"),
         tpcc_service: has("--tpcc-service"),
     }
 }
@@ -295,7 +310,10 @@ fn open_loop<B: TmBackend>(pipeline: Pipeline<B>, args: &Args) -> ModeOut {
                     drop(pending); // fire and forget: latency recorded at reply
                     submitted += 1;
                 }
-                Err(KvError::Overloaded) => rejected += 1,
+                // A degraded shard refuses updates with a typed error at
+                // admission; under --storage-faults that is the designed
+                // answer, counted with the overload rejections.
+                Err(KvError::Overloaded) | Err(KvError::Unavailable) => rejected += 1,
                 Err(e) => panic!("open-loop submit failed: {e}"),
             }
         }
@@ -325,6 +343,9 @@ fn closed_loop<B: TmBackend>(pipeline: Pipeline<B>, args: &Args) -> ModeOut {
                     while done < ops {
                         match client.call(gen_op(&mut rng, args)) {
                             Ok(_) => done += 1,
+                            // Answered-or-shed: a typed Unavailable from a
+                            // degraded shard is an answer, not a hang.
+                            Err(KvError::Unavailable) => done += 1,
                             Err(KvError::Overloaded) => std::thread::yield_now(),
                             Err(e) => panic!("closed-loop call failed: {e}"),
                         }
@@ -356,7 +377,7 @@ fn overload<B: TmBackend>(pipeline: Pipeline<B>, args: &Args) -> ModeOut {
                 drop(p);
                 submitted += 1;
             }
-            Err(KvError::Overloaded) => rejected += 1,
+            Err(KvError::Overloaded) | Err(KvError::Unavailable) => rejected += 1,
             Err(e) => panic!("overload submit failed: {e}"),
         }
         if i % 1024 == 0 {
@@ -415,7 +436,14 @@ fn run_mode(backend: Backend, mode: &str, args: &Args) -> ModeOut {
                     for s in 0..args.shards {
                         let ents: Vec<(u64, u64)> =
                             entries(args.shards).filter(|&(k, _)| map.shard_of(k) == s).collect();
-                        wal.install_checkpoint(s, &ents).expect("bench WAL seed checkpoint");
+                        // The --storage-faults plan targets segment files
+                        // only, but an injected stall can still land here;
+                        // a failed seed checkpoint is non-fatal under
+                        // faults (the bench never recovers this dir).
+                        let seeded = wal.install_checkpoint(s, &ents);
+                        if !args.storage_faults {
+                            seeded.expect("bench WAL seed checkpoint");
+                        }
                     }
                     Pipeline::start_durable(domains, map, cfg, wal)
                 }
@@ -521,7 +549,7 @@ fn check(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> Result<(),
         if r.twopc.prepares == 0 {
             return Err("cross-shard mix requested but no 2PC transaction ran".into());
         }
-        if !args.chaos && r.twopc.aborts != 0 {
+        if !args.chaos && !args.storage_faults && r.twopc.aborts != 0 {
             return Err(format!(
                 "{} 2PC aborts without chaos (compensation must never trigger)",
                 r.twopc.aborts
@@ -549,6 +577,23 @@ fn check(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> Result<(),
                 "{} request(s) shed for a dead log without a scripted crash",
                 r.wal.wal_dead_sheds
             ));
+        }
+        // Degradation is only legitimate when storage faults are armed:
+        // on a clean disk every shard must finish Healthy with zero
+        // retries, sheds, or scrubber catches.
+        if !args.storage_faults {
+            if r.shard_health.iter().any(|&h| h != "healthy") {
+                return Err(format!(
+                    "shard health {:?} on a clean disk (must all be healthy)",
+                    r.shard_health
+                ));
+            }
+            if r.wal.wal_retries + r.wal.degraded_sheds + r.wal.scrub_corruptions != 0 {
+                return Err(format!(
+                    "clean disk but {} flush retries / {} degraded sheds / {} scrub corruptions",
+                    r.wal.wal_retries, r.wal.degraded_sheds, r.wal.scrub_corruptions
+                ));
+            }
         }
     }
     match mode {
@@ -607,6 +652,18 @@ fn ro_replies(r: &ServiceReport) -> u64 {
     r.class.iter().filter(|cl| cl.class.read_only()).map(|cl| cl.count()).sum()
 }
 
+/// Worst final per-shard storage health (schema-v5 `health` column):
+/// `healthy` when the cell ran without a WAL.
+fn worst_health(r: &ServiceReport) -> &'static str {
+    let rank = |h: &str| match h {
+        "healthy" => 0,
+        "retrying" => 1,
+        "read_only" => 2,
+        _ => 3,
+    };
+    r.shard_health.iter().copied().max_by_key(|h| rank(h)).unwrap_or("healthy")
+}
+
 fn row_json(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> String {
     let r = &out.report;
     let s = &r.backend_stats;
@@ -645,6 +702,9 @@ fn row_json(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> String 
          \"twopc_ro_multi\": {}, \
          \"wal_appends\": {}, \"wal_fsync_batches\": {}, \"wal_mean_group_commit\": {:.2}, \
          \"wal_checkpoints\": {}, \"wal_sync_acks_early\": {}, \"wal_dead_sheds\": {}, \
+         \"storage_faults\": {}, \"health\": \"{}\", \"wal_retries\": {}, \
+         \"degraded_sheds\": {}, \"wal_rejoins\": {}, \"scrub_passes\": {}, \
+         \"scrub_corruptions\": {}, \"ckpt_failures\": {}, \
          \"classes\": {classes}}}",
         backend.name(),
         if mode == "open" || mode == "sweep" { args.rate } else { 0 },
@@ -686,6 +746,14 @@ fn row_json(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> String 
         r.wal.checkpoints,
         r.wal.sync_acks_early,
         r.wal.wal_dead_sheds,
+        args.storage_faults,
+        worst_health(r),
+        r.wal.wal_retries,
+        r.wal.degraded_sheds,
+        r.wal.wal_rejoins,
+        r.wal.scrub_passes,
+        r.wal.scrub_corruptions,
+        r.wal.checkpoint_failures,
     )
 }
 
@@ -723,6 +791,21 @@ fn print_cell(backend: Backend, mode: &str, args: &Args, out: &ModeOut) {
             r.wal.mean_group_commit(),
             r.wal.checkpoints,
             r.wal.sync_acks_early,
+        );
+    }
+    let w = &r.wal;
+    if w.wal_retries + w.degraded_sheds + w.wal_rejoins + w.scrub_corruptions > 0 {
+        println!(
+            "         health {:?} (worst {}): {} flush retries, {} degraded sheds, \
+             {} rejoins, {} ckpt failures; scrub {} passes / {} corruptions",
+            r.shard_health,
+            worst_health(r),
+            w.wal_retries,
+            w.degraded_sheds,
+            w.wal_rejoins,
+            w.checkpoint_failures,
+            w.scrub_passes,
+            w.scrub_corruptions,
         );
     }
     for cl in &r.class {
@@ -1025,6 +1108,34 @@ fn run_tpcc_cell(
 
 fn main() {
     let args = parse_args();
+    if args.storage_faults {
+        assert!(
+            args.durability != DurabilityMode::Off || args.durability_sweep,
+            "--storage-faults needs a WAL to fault: add --durability async|sync \
+             (or --durability-sweep)"
+        );
+    }
+    let fault_guard = args.storage_faults.then(|| {
+        // Probabilistic bad-disk weather over every durable cell's WAL
+        // segment files (the bench's own temp dirs only, via the tag):
+        // occasional fsync failures and short writes exercise the
+        // rotate-and-rewrite retry path, bit corruption feeds the
+        // scrubber, stalls stretch group-commit windows. Checkpoint
+        // files are left alone so cell setup stays deterministic.
+        storage_faults::install(
+            FaultPlan {
+                target: FaultTarget::Segment,
+                sync_fail_p: 0.002,
+                short_write_p: 0.001,
+                corrupt_p: 0.0005,
+                stall_p: 0.002,
+                stall_max_us: 50,
+                ..FaultPlan::default()
+            }
+            .tagged("txkv-bench-wal-")
+            .seeded(0x51F7),
+        )
+    });
     let chaos_guard = args.chaos.then(|| {
         chaos::install(ChaosConfig {
             seed: 0x7C4F,
@@ -1101,6 +1212,13 @@ fn main() {
         println!(
             "chaos: injected {} aborts, {} stalls",
             report.injected_aborts, report.injected_stalls
+        );
+    }
+    if let Some(guard) = fault_guard {
+        let f = guard.report();
+        println!(
+            "storage faults: {} fsync failures, {} short writes, {} corruptions, {} stalls",
+            f.sync_fails, f.short_writes, f.corruptions, f.stalls
         );
     }
 

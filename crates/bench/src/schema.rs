@@ -75,7 +75,23 @@ pub const CHAOS_SOAK: Artifact = Artifact { name: "chaos_soak", version: 1 };
 /// also carry `mix` (`standard` / `read_dominated`), `acked`,
 /// `user_aborts`, `index_hits` and `lastname_acks` (the secondary-index
 /// evidence: hits must cover every by-last-name selection).
-pub const BENCH_TXKV: Artifact = Artifact { name: "bench_txkv", version: 4 };
+///
+/// v5 added storage-fault health: `storage_faults` (whether the cell
+/// ran with an armed injector), `health` (worst final per-shard storage
+/// health — `healthy` / `retrying` / `read_only` / `failed`) and the
+/// counters `wal_retries` (flush rewrites into rotated segments),
+/// `degraded_sheds` (updates answered the typed `Unavailable`),
+/// `wal_rejoins` (probe-write recoveries), `scrub_passes` /
+/// `scrub_corruptions` (latent-corruption scrubber) and
+/// `ckpt_failures`. Under `--storage-faults`, `--assert-service` still
+/// gates `wal_sync_acks_early == 0` — degraded shards shed, they never
+/// ack early.
+pub const BENCH_TXKV: Artifact = Artifact { name: "bench_txkv", version: 5 };
+
+/// `STORAGE_SOAK.json` — storage-fault soak cells (`storage_soak`): one
+/// row per backend × fault plan with serve/shed/ack counts, health
+/// transitions and the acked-write-survival verdict.
+pub const STORAGE_SOAK: Artifact = Artifact { name: "storage_soak", version: 1 };
 
 impl Artifact {
     /// Wrap a JSON array of rows in the versioned envelope.

@@ -179,6 +179,23 @@ pub struct WalStats {
     /// Requests shed because the WAL halted (simulated power failure):
     /// a write that can no longer be made durable is never acked.
     pub wal_dead_sheds: u64,
+    /// Flush attempts repeated after a storage error (each retry rewrites
+    /// the batch into a freshly rotated segment — never an fsync retry on
+    /// the failed file).
+    pub wal_retries: u64,
+    /// Degraded shards brought back to `Healthy` by a probe write.
+    pub wal_rejoins: u64,
+    /// Updates answered `Unavailable` because their shard's log was
+    /// degraded (`ReadOnly`/`Failed`). Reads keep being served.
+    pub degraded_sheds: u64,
+    /// Checkpoint writes that failed (ENOSPC etc.) leaving the previous
+    /// checkpoint in place.
+    pub checkpoint_failures: u64,
+    /// Scrubber passes re-verifying checkpoint + log-tail checksums.
+    pub scrub_passes: u64,
+    /// Latent corruption the scrubber caught (each triggers an immediate
+    /// re-checkpoint from the intact in-memory state).
+    pub scrub_corruptions: u64,
 }
 
 impl WalStats {
@@ -204,6 +221,12 @@ impl AddAssign<&WalStats> for WalStats {
         self.recovery_torn += rhs.recovery_torn;
         self.sync_acks_early += rhs.sync_acks_early;
         self.wal_dead_sheds += rhs.wal_dead_sheds;
+        self.wal_retries += rhs.wal_retries;
+        self.wal_rejoins += rhs.wal_rejoins;
+        self.degraded_sheds += rhs.degraded_sheds;
+        self.checkpoint_failures += rhs.checkpoint_failures;
+        self.scrub_passes += rhs.scrub_passes;
+        self.scrub_corruptions += rhs.scrub_corruptions;
     }
 }
 

@@ -917,11 +917,9 @@ fn build_recovery(cfg: &CheckConfig, seed: u64) -> Scenario {
         after: (seed / CrashSite::ALL.len() as u64) % (total_ops / 2).max(1),
     };
     let dcfg = DurabilityConfig {
-        mode: DurabilityMode::Sync,
-        dir: dir.clone(),
         group_commit_max: 1,
-        checkpoint_every: 0,
         crash: Some(crash),
+        ..DurabilityConfig::new(DurabilityMode::Sync, dir.clone())
     };
     let wal = WalSet::open(&dcfg, 2).expect("recovery scenario WAL open");
     // Make the seeded balances durable up front (as a base checkpoint,

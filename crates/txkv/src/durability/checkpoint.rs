@@ -12,8 +12,7 @@
 //! torn write degrades to replaying more log, never to wrong state).
 
 use super::record::crc32;
-use std::fs::File;
-use std::io::Write as _;
+use super::storage::{Storage, StorageError};
 use std::path::{Path, PathBuf};
 
 pub const CKPT_MAGIC: u32 = 0x3150_4B43; // "CKP1"
@@ -25,8 +24,17 @@ fn path_for(dir: &Path, lsn: u64) -> PathBuf {
     dir.join(format!("ckpt-{lsn}.ckpt"))
 }
 
-/// Write the checkpoint for `shard` at `lsn` atomically.
-pub fn write(dir: &Path, shard: usize, lsn: u64, entries: &[(u64, u64)]) -> std::io::Result<()> {
+/// Write the checkpoint for `shard` at `lsn` atomically, through the
+/// storage seam (so injected faults hit the tmp-write path; the rename
+/// only happens after a successful write + fsync, which is what keeps
+/// the previous checkpoint valid under ENOSPC mid-checkpoint).
+pub fn write(
+    storage: &dyn Storage,
+    dir: &Path,
+    shard: usize,
+    lsn: u64,
+    entries: &[(u64, u64)],
+) -> Result<(), StorageError> {
     let mut body = Vec::with_capacity(entries.len() * 16);
     for &(k, v) in entries {
         body.extend_from_slice(&k.to_le_bytes());
@@ -42,17 +50,21 @@ pub fn write(dir: &Path, shard: usize, lsn: u64, entries: &[(u64, u64)]) -> std:
     buf.extend_from_slice(&crc32(&body).to_le_bytes());
     buf.extend_from_slice(&body);
     let tmp = dir.join(format!("ckpt-{lsn}.tmp"));
-    {
-        let mut f = File::create(&tmp)?;
+    let wrote = (|| {
+        let mut f = storage.create(&tmp)?;
         f.write_all(&buf)?;
-        f.sync_data()?;
+        f.sync_data()
+    })();
+    if let Err(e) = wrote {
+        // A failed tmp write never touches the published checkpoint;
+        // drop the leftovers so they cannot mask a later attempt.
+        let _ = storage.remove_file(&tmp);
+        return Err(e);
     }
-    std::fs::rename(&tmp, path_for(dir, lsn))?;
+    storage.rename(&tmp, &path_for(dir, lsn))?;
     // Make the rename itself durable (best effort — not all platforms
     // allow fsync on a directory handle).
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
-    }
+    storage.sync_dir(dir);
     Ok(())
 }
 
@@ -84,7 +96,7 @@ pub fn load(path: &Path) -> Option<(u64, Vec<(u64, u64)>)> {
 }
 
 /// Checkpoint files in a shard dir as `(lsn, path)`, ascending by LSN.
-fn checkpoints(dir: &Path) -> Vec<(u64, PathBuf)> {
+pub(super) fn checkpoints(dir: &Path) -> Vec<(u64, PathBuf)> {
     let Ok(rd) = std::fs::read_dir(dir) else { return Vec::new() };
     let mut out = Vec::new();
     for entry in rd.flatten() {
@@ -134,8 +146,9 @@ mod tests {
     #[test]
     fn roundtrip_and_latest_selection() {
         let dir = tmpdir("rt");
-        write(&dir, 0, 10, &[(1, 100), (2, 200)]).unwrap();
-        write(&dir, 0, 20, &[(1, 111)]).unwrap();
+        let fs = super::super::storage::RealFs;
+        write(&fs, &dir, 0, 10, &[(1, 100), (2, 200)]).unwrap();
+        write(&fs, &dir, 0, 20, &[(1, 111)]).unwrap();
         let (lsn, entries) = latest_valid(&dir).unwrap();
         assert_eq!(lsn, 20);
         assert_eq!(entries, vec![(1, 111)]);
@@ -148,8 +161,9 @@ mod tests {
     #[test]
     fn corrupt_checkpoint_falls_back_to_older() {
         let dir = tmpdir("corrupt");
-        write(&dir, 0, 10, &[(1, 100)]).unwrap();
-        write(&dir, 0, 20, &[(1, 999)]).unwrap();
+        let fs = super::super::storage::RealFs;
+        write(&fs, &dir, 0, 10, &[(1, 100)]).unwrap();
+        write(&fs, &dir, 0, 20, &[(1, 999)]).unwrap();
         // Corrupt the newer one's body.
         let p = path_for(&dir, 20);
         let mut bytes = std::fs::read(&p).unwrap();

@@ -14,18 +14,26 @@
 //! | module | role |
 //! |--------|------|
 //! | [`record`]     | frame format, checksums, torn-tail detection |
-//! | [`wal`]        | per-shard logs, group commit, simulated power failure |
+//! | [`storage`]    | `Storage`/`VFile` seam + always-compiled fault injector |
+//! | [`wal`]        | per-shard logs, group commit, health machine, power failure |
 //! | [`checkpoint`] | atomic snapshot files + pruning |
 //! | [`recovery`]   | checkpoint + replay + 2PC resolution into fresh backends |
 //!
 //! See DESIGN.md §12 for the commit-order argument per backend and the
-//! full recovery protocol.
+//! full recovery protocol, §14 for the storage fault model and the
+//! per-shard graceful-degradation policy.
 
 pub mod checkpoint;
 pub mod record;
 pub mod recovery;
+pub mod storage;
 pub mod wal;
 
 pub use record::{Record, Writes};
 pub use recovery::{recover, recover_and_open, RecoveryReport};
-pub use wal::{Append, CrashSite, CrashSpec, DurabilityConfig, DurabilityMode, WalDead, WalSet};
+pub use storage::{
+    FaultGuard, FaultPlan, FaultReport, FaultTarget, StorageError, StorageErrorKind,
+};
+pub use wal::{
+    Append, CrashSite, CrashSpec, DurabilityConfig, DurabilityMode, ShardHealth, WalError, WalSet,
+};

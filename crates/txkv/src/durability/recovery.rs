@@ -91,6 +91,7 @@ pub fn recover<B: TmBackend>(
     words: u64,
 ) -> std::io::Result<(Vec<(B, KvStore)>, RecoveryReport)> {
     let shards = map.shards();
+    let storage = super::storage::default_storage();
     let mut report = RecoveryReport { shards, ..RecoveryReport::default() };
 
     // Pass 1: load checkpoints and surviving records per shard.
@@ -205,7 +206,8 @@ pub fn recover<B: TmBackend>(
         let sdir = dir.join(format!("shard-{s}"));
         let horizon = shard_records[s].last().map(|r| r.lsn()).unwrap_or(ckpt_lsns[s]);
         let entries: Vec<(u64, u64)> = state.iter().map(|(&k, &v)| (k, v)).collect();
-        checkpoint::write(&sdir, s, horizon, &entries)?;
+        checkpoint::write(storage.as_ref(), &sdir, s, horizon, &entries)
+            .map_err(std::io::Error::other)?;
         for (first, path) in segments(&sdir)? {
             if first <= horizon {
                 let _ = std::fs::remove_file(path);

@@ -1,4 +1,4 @@
-//! Per-shard commit-ordered logs behind one process-wide "power switch".
+//! Per-shard commit-ordered logs with per-shard storage health.
 //!
 //! A [`WalSet`] owns one log per shard. Appends happen under the shard's
 //! *commit lock* — a spinlock the pipeline holds across
@@ -12,28 +12,59 @@
 //! Appends buffer in user space; [`WalSet::flush`] writes and fsyncs the
 //! buffer as one *group commit*. `Sync` mode acks ride on the flushed
 //! LSN watermark ([`WalSet::durable_lsn`]); `Async` mode acks
-//! immediately and flushes on the same cadence.
+//! immediately and flushes on the same cadence. Flush I/O happens
+//! **outside** the shard mutex (the buffer is swapped out, written, and
+//! the watermark advanced under a brief re-lock), so appenders are never
+//! blocked behind a slow or stalled fsync.
+//!
+//! ## Storage faults and graceful degradation
+//!
+//! All file I/O goes through the [`storage`](super::storage) seam, so
+//! real disk errors (and the injected ones) surface as typed
+//! [`StorageError`]s, not process death. The error policy per shard is a
+//! health state machine:
+//!
+//! ```text
+//!   Healthy ──storage error──▶ Retrying ──bounded retries fail──▶ ReadOnly ──probes keep failing──▶ Failed
+//!      ▲                          │ rewrite succeeds                  │ probe write succeeds            │
+//!      └──────────────────────────┴──────────────────────────────────┴────────────────────────────────┘
+//! ```
+//!
+//! *fsyncgate rule:* after a failed fsync the page-cache state of that
+//! file is unknown, so the durable watermark **never** advances on it
+//! and the un-durable frames are rewritten into a freshly rotated
+//! segment — an fsync is never retried on the failed file. Recovery
+//! tolerates the leftovers: the old tail is cut by checksum and any
+//! duplicate frames are dropped by the LSN filter.
+//!
+//! A `ReadOnly`/`Failed` shard keeps serving reads; updates are shed as
+//! the typed `Unavailable` outcome (never acked — `sync_acks_early == 0`
+//! holds by construction, because Sync acks settle only on the durable
+//! watermark). A probe-write loop ([`WalSet::probe`]) rejoins the shard
+//! once the medium heals, first flushing any frames retained while
+//! degraded so the durable state converges back to what reads observed.
 //!
 //! ## Simulated power failure
 //!
 //! Crash tests flip the set-wide `halted` flag (directly via
 //! [`WalSet::halt_all`] or through a scripted [`CrashSpec`]). From that
-//! instant every append/flush fails with [`WalDead`] — from the disk's
-//! point of view the machine lost power: whatever was fsynced is the
-//! entire surviving state, and the pipeline sheds (never acks) requests
-//! it can no longer make durable. The [`CrashSite::MidGroupCommit`]
-//! effect discards the un-fsynced buffer (written-but-not-synced data
-//! does not survive a power cut); [`CrashSite::TornTail`] persists a
-//! *prefix* of the final record, the artifact checksummed recovery must
-//! reject.
+//! instant every append/flush fails with [`WalError::Dead`] — from the
+//! disk's point of view the machine lost power: whatever was fsynced is
+//! the entire surviving state, and the pipeline sheds (never acks)
+//! requests it can no longer make durable. The
+//! [`CrashSite::MidGroupCommit`] effect discards the un-fsynced buffer
+//! (written-but-not-synced data does not survive a power cut);
+//! [`CrashSite::TornTail`] persists a *prefix* of the final record, the
+//! artifact checksummed recovery must reject. The power switch is
+//! machine-wide and final; storage-fault degradation is per-shard and
+//! recoverable — the two channels are deliberately separate.
 
 use super::checkpoint;
 use super::record::{encode, Record};
+use super::storage::{self, Storage, StorageError, VFile};
 use crate::shard::{UndoImage, XLock, XUpdate};
-use std::fs::{File, OpenOptions};
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use tm_api::WalStats;
 
@@ -119,6 +150,22 @@ pub struct DurabilityConfig {
     pub checkpoint_every: u64,
     /// Scripted crash for kill-and-restart tests.
     pub crash: Option<CrashSpec>,
+    /// Rewrite attempts after a flush I/O error before the shard
+    /// degrades to `ReadOnly` (each attempt rotates to a fresh segment).
+    pub flush_retries: u32,
+    /// Base of the jittered exponential pause between flush retries, in
+    /// microseconds (capped at 10ms per pause).
+    pub retry_base_us: u64,
+    /// Consecutive failed rejoin probes before `ReadOnly` escalates to
+    /// `Failed` (probing continues either way — a healed medium rejoins
+    /// from both states).
+    pub probe_fail_limit: u64,
+    /// Cadence of the pipeline's maintenance loop (rejoin probes), in
+    /// milliseconds. 0 disables the loop (no probes, no scrubbing).
+    pub maintenance_interval_ms: u64,
+    /// Cadence of scrubber passes re-verifying checkpoint and log-tail
+    /// checksums, in milliseconds. 0 disables scrubbing only.
+    pub scrub_interval_ms: u64,
 }
 
 impl DurabilityConfig {
@@ -129,14 +176,67 @@ impl DurabilityConfig {
             group_commit_max: 32,
             checkpoint_every: 0,
             crash: None,
+            flush_retries: 4,
+            retry_base_us: 50,
+            probe_fail_limit: 8,
+            maintenance_interval_ms: 25,
+            scrub_interval_ms: 500,
         }
     }
 }
 
-/// The WAL refused an operation because the simulated machine lost
-/// power: nothing appended after this point can ever become durable.
+/// Why the WAL refused an operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct WalDead;
+pub enum WalError {
+    /// The simulated machine lost power: nothing appended after this
+    /// point can ever become durable, on any shard.
+    Dead,
+    /// This shard's storage is degraded (`ReadOnly` or `Failed`): the
+    /// shard keeps serving reads, updates are shed as the typed
+    /// `Unavailable` outcome, and a rejoin probe runs in the background.
+    Unavailable,
+}
+
+/// Per-shard storage health (the graceful-degradation state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ShardHealth {
+    /// Appends and flushes succeed.
+    Healthy,
+    /// A flush hit a storage error and is inside its bounded
+    /// rotate-and-rewrite retry loop; appends still buffer.
+    Retrying,
+    /// Retries exhausted: updates shed as `Unavailable`, reads still
+    /// served, probe writes attempt to rejoin.
+    ReadOnly,
+    /// Probes keep failing too; still read-serving and still probed,
+    /// but reported as a dead medium.
+    Failed,
+}
+
+impl ShardHealth {
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardHealth::Healthy => "healthy",
+            ShardHealth::Retrying => "retrying",
+            ShardHealth::ReadOnly => "read_only",
+            ShardHealth::Failed => "failed",
+        }
+    }
+
+    /// Whether the shard currently accepts update appends.
+    pub fn writable(self) -> bool {
+        matches!(self, ShardHealth::Healthy | ShardHealth::Retrying)
+    }
+
+    fn from_u8(v: u8) -> ShardHealth {
+        match v {
+            0 => ShardHealth::Healthy,
+            1 => ShardHealth::Retrying,
+            2 => ShardHealth::ReadOnly,
+            _ => ShardHealth::Failed,
+        }
+    }
+}
 
 /// What to append (the WAL assigns the LSN under the shard lock).
 pub enum Append<'a> {
@@ -150,7 +250,9 @@ pub enum Append<'a> {
 struct ShardWal {
     dir: PathBuf,
     /// Current segment file (`wal-<first-lsn>.log`), append-only.
-    file: Option<File>,
+    /// `None` after a storage failure — the next flush/probe rotates to
+    /// a fresh segment (never the failed file: the fsyncgate rule).
+    file: Option<Box<dyn VFile>>,
     next_lsn: u64,
     /// Everything ≤ this LSN is on disk and fsynced.
     durable_lsn: u64,
@@ -168,10 +270,25 @@ impl ShardWal {
         self.dir.join(format!("wal-{first_lsn}.log"))
     }
 
-    fn open_segment(&mut self) -> std::io::Result<()> {
-        let path = self.segment_path(self.next_lsn);
-        self.file = Some(OpenOptions::new().create(true).append(true).open(path)?);
+    /// Open a fresh segment for the first not-yet-durable LSN. A file of
+    /// that name can only hold un-acked garbage from an earlier failed
+    /// rewrite (any valid frame in it would have LSN > durable, i.e.
+    /// never acked; any frame ≤ durable would contradict the name), so
+    /// it is removed rather than appended to — appending valid frames
+    /// after garbage would hide them from checksummed recovery.
+    fn open_segment(&mut self, storage: &dyn Storage) -> Result<(), StorageError> {
+        let path = self.segment_path(self.durable_lsn + 1);
+        let _ = storage.remove_file(&path);
+        self.file = Some(storage.open_append(&path)?);
         Ok(())
+    }
+
+    /// Put a batch that failed to flush back in front of whatever was
+    /// appended meanwhile, preserving LSN order for a later rejoin.
+    fn restore_batch(&mut self, mut batch: Vec<u8>, records: u64) {
+        batch.extend_from_slice(&self.buf);
+        self.buf = batch;
+        self.buf_records += records;
     }
 }
 
@@ -182,6 +299,12 @@ struct CrashState {
 
 struct WalShard {
     commit_lock: XLock,
+    /// Serializes flush/probe/checkpoint I/O so the segment file can be
+    /// taken out of `inner` and written without blocking appenders.
+    io_lock: Mutex<()>,
+    health: AtomicU8,
+    probe_failures: AtomicU64,
+    ckpt_requested: AtomicBool,
     inner: Mutex<ShardWal>,
 }
 
@@ -191,13 +314,23 @@ pub struct WalSet {
     dir: PathBuf,
     group_commit_max: u64,
     checkpoint_every: u64,
+    flush_retries: u32,
+    retry_base_us: u64,
+    probe_fail_limit: u64,
+    maintenance_interval_ms: u64,
+    scrub_interval_ms: u64,
+    storage: Arc<dyn Storage>,
     shards: Vec<WalShard>,
     halted: AtomicBool,
     crash: Option<CrashState>,
     next_xid: AtomicU64,
+    retry_seed: AtomicU64,
     // Service-side counters that live outside the shard mutexes.
     sync_acks_early: AtomicU64,
     wal_dead_sheds: AtomicU64,
+    degraded_sheds: AtomicU64,
+    scrub_passes: AtomicU64,
+    scrub_corruptions: AtomicU64,
     recovery_replayed: AtomicU64,
     recovery_torn: AtomicU64,
 }
@@ -210,6 +343,7 @@ impl WalSet {
     pub fn open(cfg: &DurabilityConfig, shards: usize) -> std::io::Result<Arc<WalSet>> {
         assert!(cfg.mode != DurabilityMode::Off, "WalSet::open with DurabilityMode::Off");
         assert!(cfg.group_commit_max > 0, "group_commit_max must be nonzero");
+        let storage = storage::default_storage();
         let mut shard_wals = Vec::with_capacity(shards);
         for s in 0..shards {
             let dir = cfg.dir.join(format!("shard-{s}"));
@@ -226,22 +360,39 @@ impl WalSet {
                 appends_since_ckpt: 0,
                 stats: WalStats::default(),
             };
-            wal.open_segment()?;
-            shard_wals.push(WalShard { commit_lock: XLock::new(), inner: Mutex::new(wal) });
+            wal.open_segment(storage.as_ref()).map_err(std::io::Error::other)?;
+            shard_wals.push(WalShard {
+                commit_lock: XLock::new(),
+                io_lock: Mutex::new(()),
+                health: AtomicU8::new(ShardHealth::Healthy as u8),
+                probe_failures: AtomicU64::new(0),
+                ckpt_requested: AtomicBool::new(false),
+                inner: Mutex::new(wal),
+            });
         }
         Ok(Arc::new(WalSet {
             mode: cfg.mode,
             dir: cfg.dir.clone(),
             group_commit_max: cfg.group_commit_max,
             checkpoint_every: cfg.checkpoint_every,
+            flush_retries: cfg.flush_retries,
+            retry_base_us: cfg.retry_base_us,
+            probe_fail_limit: cfg.probe_fail_limit,
+            maintenance_interval_ms: cfg.maintenance_interval_ms,
+            scrub_interval_ms: cfg.scrub_interval_ms,
+            storage,
             shards: shard_wals,
             halted: AtomicBool::new(false),
             crash: cfg
                 .crash
                 .map(|c| CrashState { site: c.site, remaining: AtomicU64::new(c.after) }),
             next_xid: AtomicU64::new(1),
+            retry_seed: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
             sync_acks_early: AtomicU64::new(0),
             wal_dead_sheds: AtomicU64::new(0),
+            degraded_sheds: AtomicU64::new(0),
+            scrub_passes: AtomicU64::new(0),
+            scrub_corruptions: AtomicU64::new(0),
             recovery_replayed: AtomicU64::new(0),
             recovery_torn: AtomicU64::new(0),
         }))
@@ -257,6 +408,14 @@ impl WalSet {
 
     pub fn shards(&self) -> usize {
         self.shards.len()
+    }
+
+    pub fn maintenance_interval_ms(&self) -> u64 {
+        self.maintenance_interval_ms
+    }
+
+    pub fn scrub_interval_ms(&self) -> u64 {
+        self.scrub_interval_ms
     }
 
     /// Fresh cross-shard transaction id.
@@ -283,6 +442,37 @@ impl WalSet {
         self.halted.store(true, Ordering::Release);
     }
 
+    /// Storage health of shard `s`.
+    pub fn health(&self, s: usize) -> ShardHealth {
+        ShardHealth::from_u8(self.shards[s].health.load(Ordering::Acquire))
+    }
+
+    /// Health of every shard, by name (the service-report column).
+    pub fn health_names(&self) -> Vec<&'static str> {
+        (0..self.shards.len()).map(|s| self.health(s).name()).collect()
+    }
+
+    /// Whether any shard is currently degraded.
+    pub fn degraded(&self) -> bool {
+        (0..self.shards.len()).any(|s| !self.health(s).writable())
+    }
+
+    /// Typed admission check for an update touching shard `s`.
+    pub fn admits(&self, s: usize) -> Result<(), WalError> {
+        if !self.alive() {
+            return Err(WalError::Dead);
+        }
+        if self.health(s).writable() {
+            Ok(())
+        } else {
+            Err(WalError::Unavailable)
+        }
+    }
+
+    fn set_health(&self, s: usize, h: ShardHealth) {
+        self.shards[s].health.store(h as u8, Ordering::Release);
+    }
+
     /// Reach a scripted crash site; trips the power switch when the
     /// countdown hits zero. The flush-interior sites
     /// ([`CrashSite::MidGroupCommit`], [`CrashSite::TornTail`]) are
@@ -304,9 +494,12 @@ impl WalSet {
 
     /// Append one record to shard `s`'s buffer (not yet durable) and
     /// return its LSN. Call under the shard's commit lock.
-    pub fn append(&self, s: usize, what: Append<'_>) -> Result<u64, WalDead> {
+    pub fn append(&self, s: usize, what: Append<'_>) -> Result<u64, WalError> {
         if !self.alive() {
-            return Err(WalDead);
+            return Err(WalError::Dead);
+        }
+        if !self.health(s).writable() {
+            return Err(WalError::Unavailable);
         }
         let mut w = self.shards[s].inner.lock().unwrap();
         let lsn = w.next_lsn;
@@ -337,11 +530,28 @@ impl WalSet {
 
     /// Group-commit flush of shard `s`: write the buffered frames and
     /// fsync, advancing the durable watermark to the last appended LSN.
-    pub fn flush(&self, s: usize) -> Result<u64, WalDead> {
+    /// On a storage error the batch is rewritten into freshly rotated
+    /// segments under bounded jittered retries; if those run out the
+    /// shard degrades to [`ShardHealth::ReadOnly`] and the batch is
+    /// retained (un-acked) for the rejoin probe.
+    pub fn flush(&self, s: usize) -> Result<u64, WalError> {
         if !self.alive() {
-            return Err(WalDead);
+            return Err(WalError::Dead);
         }
-        let mut w = self.shards[s].inner.lock().unwrap();
+        match self.health(s) {
+            ShardHealth::Healthy | ShardHealth::Retrying => {}
+            _ => return Err(WalError::Unavailable),
+        }
+        let sh = &self.shards[s];
+        let _io = sh.io_lock.lock().unwrap();
+        self.flush_io_locked(s, 1 + self.flush_retries)
+    }
+
+    /// The flush body. Caller holds the shard's `io_lock`; `attempts` is
+    /// the total number of write+fsync tries (≥ 1).
+    fn flush_io_locked(&self, s: usize, attempts: u32) -> Result<u64, WalError> {
+        let sh = &self.shards[s];
+        let mut w = sh.inner.lock().unwrap();
         if w.buf.is_empty() {
             return Ok(w.durable_lsn);
         }
@@ -352,7 +562,7 @@ impl WalSet {
             w.buf.clear();
             w.buf_records = 0;
             self.halt_all();
-            return Err(WalDead);
+            return Err(WalError::Dead);
         }
         if self.flush_crash(CrashSite::TornTail) {
             // Cut inside the final frame: keep everything before it plus
@@ -369,27 +579,189 @@ impl WalSet {
             w.buf.clear();
             w.buf_records = 0;
             self.halt_all();
-            return Err(WalDead);
+            return Err(WalError::Dead);
         }
-        let buf = std::mem::take(&mut w.buf);
+        // Take the batch; appends keep buffering while we do I/O.
+        let batch = std::mem::take(&mut w.buf);
         let records = w.buf_records;
         w.buf_records = 0;
-        let file = w.file.as_mut().expect("segment open");
-        let ok = file.write_all(&buf).and_then(|()| file.sync_data());
-        match ok {
-            Ok(()) => {
-                w.durable_lsn = w.appended_lsn;
-                w.stats.fsync_batches += 1;
-                w.stats.fsynced_records += records;
-                Ok(w.durable_lsn)
-            }
-            Err(_) => {
-                // Real I/O failure: treat it as the power cut it may
-                // well precede. Nothing buffered can be trusted.
-                self.halt_all();
-                Err(WalDead)
+        let target_lsn = w.appended_lsn;
+        // A lost handle (or a prior failure) is not a panic: rotate to a
+        // fresh segment for the first buffered LSN.
+        if w.file.is_none() && w.open_segment(self.storage.as_ref()).is_err() {
+            w.restore_batch(batch, records);
+            drop(w);
+            self.set_health(s, ShardHealth::ReadOnly);
+            return Err(WalError::Unavailable);
+        }
+        let mut file = w.file.take().expect("segment opened above");
+        drop(w);
+
+        let mut attempt: u32 = 0;
+        loop {
+            let res = file.write_all(&batch).and_then(|()| file.sync_data());
+            let mut w = sh.inner.lock().unwrap();
+            match res {
+                Ok(()) => {
+                    w.file = Some(file);
+                    w.durable_lsn = target_lsn;
+                    w.stats.fsync_batches += 1;
+                    w.stats.fsynced_records += records;
+                    drop(w);
+                    if !matches!(self.health(s), ShardHealth::Healthy) {
+                        self.rejoined(s);
+                    }
+                    return Ok(target_lsn);
+                }
+                Err(_) => {
+                    attempt += 1;
+                    // fsyncgate: the failed file's page-cache state is
+                    // unknown — never fsync it again. Every retry
+                    // rewrites the whole batch into a fresh segment.
+                    drop(file);
+                    w.file = None;
+                    if attempt >= attempts {
+                        w.restore_batch(batch, records);
+                        drop(w);
+                        self.set_health(s, ShardHealth::ReadOnly);
+                        return Err(WalError::Unavailable);
+                    }
+                    w.stats.wal_retries += 1;
+                    let rotated = w.open_segment(self.storage.as_ref());
+                    match rotated {
+                        Ok(()) => file = w.file.take().expect("segment opened above"),
+                        Err(_) => {
+                            w.restore_batch(batch, records);
+                            drop(w);
+                            self.set_health(s, ShardHealth::ReadOnly);
+                            return Err(WalError::Unavailable);
+                        }
+                    }
+                    drop(w);
+                    self.set_health(s, ShardHealth::Retrying);
+                    self.retry_pause(attempt);
+                }
             }
         }
+    }
+
+    /// Jittered exponential pause between flush retries
+    /// (`ContentionManager`-style: escalating ceiling, uniform draw).
+    fn retry_pause(&self, attempt: u32) {
+        let base = self.retry_base_us.max(1);
+        let ceiling = base.saturating_mul(1u64 << attempt.min(6)).min(10_000);
+        let mut x = self.retry_seed.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed) | 1;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        std::thread::sleep(std::time::Duration::from_micros(x % ceiling.max(1) + 1));
+    }
+
+    /// A degraded shard came back: reset probe bookkeeping and count the
+    /// rejoin.
+    fn rejoined(&self, s: usize) {
+        let was = self.health(s);
+        self.set_health(s, ShardHealth::Healthy);
+        self.shards[s].probe_failures.store(0, Ordering::Relaxed);
+        if matches!(was, ShardHealth::ReadOnly | ShardHealth::Failed) {
+            let mut w = self.shards[s].inner.lock().unwrap();
+            w.stats.wal_rejoins += 1;
+        }
+    }
+
+    /// One rejoin attempt on a degraded shard: ensure there is something
+    /// to write (frames retained at degradation, else a no-op probe
+    /// record), rotate to a fresh segment, and try a single
+    /// write + fsync. Success rejoins the shard (`Healthy`, durable
+    /// watermark advanced); failure escalates `ReadOnly → Failed` after
+    /// `probe_fail_limit` consecutive misses. Returns `true` when the
+    /// shard is healthy on exit.
+    pub fn probe(&self, s: usize) -> bool {
+        if !self.alive() {
+            return false;
+        }
+        match self.health(s) {
+            ShardHealth::Healthy | ShardHealth::Retrying => return true,
+            ShardHealth::ReadOnly | ShardHealth::Failed => {}
+        }
+        let sh = &self.shards[s];
+        let _io = sh.io_lock.lock().unwrap();
+        {
+            let mut w = sh.inner.lock().unwrap();
+            if w.buf.is_empty() {
+                // An empty Write replays as a no-op: a pure probe write.
+                let lsn = w.next_lsn;
+                let before = w.buf.len();
+                encode(&Record::Write { lsn, writes: Vec::new() }, &mut w.buf);
+                let frame = (w.buf.len() - before) as u64;
+                w.next_lsn = lsn + 1;
+                w.appended_lsn = lsn;
+                w.buf_records += 1;
+                w.stats.wal_appends += 1;
+                w.stats.wal_bytes += frame;
+            }
+        }
+        match self.flush_io_locked(s, 1) {
+            Ok(_) => true,
+            Err(_) => {
+                let misses = sh.probe_failures.fetch_add(1, Ordering::Relaxed) + 1;
+                if misses >= self.probe_fail_limit {
+                    self.set_health(s, ShardHealth::Failed);
+                } else {
+                    self.set_health(s, ShardHealth::ReadOnly);
+                }
+                false
+            }
+        }
+    }
+
+    /// One scrubber pass over shard `s`: re-verify every checkpoint's
+    /// checksum and re-run recovery's coverage scan over the segments.
+    /// If the decodable on-disk state no longer covers the durable
+    /// watermark — latent corruption under acked data — schedule an
+    /// immediate re-checkpoint from the (intact) in-memory store, after
+    /// which the damaged log is pruned.
+    pub fn scrub(&self, s: usize) {
+        if !self.alive() {
+            return;
+        }
+        let (dir, durable) = {
+            let w = self.shards[s].inner.lock().unwrap();
+            (w.dir.clone(), w.durable_lsn)
+        };
+        self.scrub_passes.fetch_add(1, Ordering::Relaxed);
+        let mut covered = 0u64;
+        let mut corrupt = false;
+        for (_, path) in checkpoint::checkpoints(&dir) {
+            match checkpoint::load(&path) {
+                Some((lsn, _)) => covered = covered.max(lsn),
+                // Tolerate a checkpoint pruned between listing and read.
+                None if path.exists() => corrupt = true,
+                None => {}
+            }
+        }
+        if let Ok(segs) = segments(&dir) {
+            for (_, path) in segs {
+                if let Ok(bytes) = std::fs::read(&path) {
+                    let (records, _) = super::record::decode_all(&bytes);
+                    for r in &records {
+                        if r.lsn() > covered {
+                            covered = r.lsn();
+                        }
+                    }
+                }
+            }
+        }
+        if corrupt || covered < durable {
+            self.scrub_corruptions.fetch_add(1, Ordering::Relaxed);
+            self.request_checkpoint(s);
+        }
+    }
+
+    /// Ask the executors to checkpoint shard `s` at the next
+    /// opportunity, regardless of the append cadence.
+    pub fn request_checkpoint(&self, s: usize) {
+        self.shards[s].ckpt_requested.store(true, Ordering::Release);
     }
 
     /// Durable watermark of shard `s` (all LSNs ≤ this survive a crash).
@@ -406,39 +778,54 @@ impl WalSet {
         self.group_commit_max
     }
 
-    /// Whether shard `s` is due for a checkpoint.
+    /// Whether shard `s` is due for a checkpoint. Degraded shards are
+    /// never checkpointed (their retained buffer must flush first).
     pub fn wants_checkpoint(&self, s: usize) -> bool {
-        self.checkpoint_every > 0
-            && self.alive()
-            && self.shards[s].inner.lock().unwrap().appends_since_ckpt >= self.checkpoint_every
+        if !self.alive() || self.health(s) != ShardHealth::Healthy {
+            return false;
+        }
+        self.shards[s].ckpt_requested.load(Ordering::Acquire)
+            || (self.checkpoint_every > 0
+                && self.shards[s].inner.lock().unwrap().appends_since_ckpt >= self.checkpoint_every)
     }
 
     /// Install a checkpoint of shard `s` at the current appended LSN and
     /// truncate the log. Call with the shard's xlock *and* commit lock
     /// held and the WAL flushed: `entries` must be the store state
     /// produced by exactly the records ≤ `durable_lsn`.
-    pub fn install_checkpoint(&self, s: usize, entries: &[(u64, u64)]) -> Result<(), WalDead> {
+    ///
+    /// A failed checkpoint **write** is survivable: the previous
+    /// checkpoint and the whole log are still in place, so the shard
+    /// keeps serving and just tries again later. Only a failure to open
+    /// a fresh segment afterwards degrades the shard.
+    pub fn install_checkpoint(&self, s: usize, entries: &[(u64, u64)]) -> Result<(), WalError> {
         if !self.alive() {
-            return Err(WalDead);
+            return Err(WalError::Dead);
         }
-        let mut w = self.shards[s].inner.lock().unwrap();
+        let sh = &self.shards[s];
+        let _io = sh.io_lock.lock().unwrap();
+        let mut w = sh.inner.lock().unwrap();
         assert!(w.buf.is_empty(), "checkpoint requires a flushed WAL");
         let lsn = w.durable_lsn;
-        if checkpoint::write(&w.dir, s, lsn, entries).is_err() {
-            self.halt_all();
-            return Err(WalDead);
+        if checkpoint::write(self.storage.as_ref(), &w.dir, s, lsn, entries).is_err() {
+            w.stats.checkpoint_failures += 1;
+            w.appends_since_ckpt = 0;
+            sh.ckpt_requested.store(false, Ordering::Release);
+            return Err(WalError::Unavailable);
         }
         // Rotate to a fresh segment and drop everything the checkpoint
         // covers (old segments and older checkpoints).
         w.file = None;
-        if w.open_segment().is_err() {
-            self.halt_all();
-            return Err(WalDead);
+        if w.open_segment(self.storage.as_ref()).is_err() {
+            drop(w);
+            self.set_health(s, ShardHealth::ReadOnly);
+            return Err(WalError::Unavailable);
         }
         prune_covered(&w.dir, lsn);
         w.appends_since_ckpt = 0;
         w.stats.checkpoints += 1;
         w.stats.checkpoint_entries += entries.len() as u64;
+        sh.ckpt_requested.store(false, Ordering::Release);
         Ok(())
     }
 
@@ -448,6 +835,12 @@ impl WalSet {
 
     pub fn note_dead_shed(&self) {
         self.wal_dead_sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An update was answered `Unavailable` because its shard's log is
+    /// degraded.
+    pub fn note_degraded_shed(&self) {
+        self.degraded_sheds.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record what a preceding recovery replayed (surfaced in
@@ -462,6 +855,9 @@ impl WalSet {
         let mut total = WalStats {
             sync_acks_early: self.sync_acks_early.load(Ordering::Relaxed),
             wal_dead_sheds: self.wal_dead_sheds.load(Ordering::Relaxed),
+            degraded_sheds: self.degraded_sheds.load(Ordering::Relaxed),
+            scrub_passes: self.scrub_passes.load(Ordering::Relaxed),
+            scrub_corruptions: self.scrub_corruptions.load(Ordering::Relaxed),
             recovery_replayed: self.recovery_replayed.load(Ordering::Relaxed),
             recovery_torn: self.recovery_torn.load(Ordering::Relaxed),
             ..WalStats::default()
@@ -537,6 +933,7 @@ fn prune_covered(dir: &Path, lsn: u64) {
 #[cfg(test)]
 mod tests {
     use super::super::record::Writes;
+    use super::super::storage::{self as faults, FaultPlan};
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
@@ -577,8 +974,8 @@ mod tests {
         let w: Writes = vec![(1, Some(10))];
         wal.append(0, Append::Write(&w)).unwrap();
         wal.halt_all();
-        assert_eq!(wal.append(0, Append::Write(&w)), Err(WalDead));
-        assert_eq!(wal.flush(0), Err(WalDead));
+        assert_eq!(wal.append(0, Append::Write(&w)), Err(WalError::Dead));
+        assert_eq!(wal.flush(0), Err(WalError::Dead));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -592,7 +989,7 @@ mod tests {
         wal.append(0, Append::Write(&w)).unwrap();
         assert!(wal.flush(0).is_ok(), "first flush survives (after: 1)");
         wal.append(0, Append::Write(&w)).unwrap();
-        assert_eq!(wal.flush(0), Err(WalDead), "second flush trips the crash");
+        assert_eq!(wal.flush(0), Err(WalError::Dead), "second flush trips the crash");
         assert!(!wal.alive());
         // Only the first record survived on disk.
         let segs = segments(&dir.join("shard-0")).unwrap();
@@ -620,6 +1017,129 @@ mod tests {
         let next = wal.append(0, Append::Write(&w)).unwrap();
         assert_eq!(next, last + 1, "LSNs continue across reopen");
         assert_eq!(segments(&dir.join("shard-0")).unwrap().len(), 2, "new segment per open");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_fsync_failure_retries_into_rotated_segment() {
+        let _serial = faults::gate();
+        let dir = tmpdir("fsyncgate-retry");
+        let tag = dir.to_string_lossy().into_owned();
+        let mut cfg = DurabilityConfig::new(DurabilityMode::Sync, &dir);
+        cfg.retry_base_us = 1;
+        let wal = WalSet::open(&cfg, 1).unwrap();
+        let w: Writes = vec![(7, Some(70))];
+        wal.append(0, Append::Write(&w)).unwrap();
+        wal.flush(0).unwrap();
+        // Fail the next 2 fsyncs; the default 4 retries absorb them by
+        // rewriting into rotated segments.
+        let guard = faults::install(FaultPlan::fsync_transient(0, 0, 2).tagged(&tag));
+        let lsn = wal.append(0, Append::Write(&w)).unwrap();
+        assert_eq!(wal.flush(0), Ok(lsn), "bounded retries absorb the transient failure");
+        assert_eq!(wal.health(0), ShardHealth::Healthy);
+        drop(guard);
+        let st = wal.stats();
+        assert_eq!(st.wal_retries, 2, "one retry per injected fsync failure");
+        // The rewrite landed in a rotated segment; recovery sees each
+        // record exactly once (LSN filter dedups any surviving old tail).
+        let sdir = dir.join("shard-0");
+        assert!(segments(&sdir).unwrap().len() >= 2, "rewrite rotated to a fresh segment");
+        let mut seen = 0u64;
+        let mut last = 0u64;
+        for (_, p) in segments(&sdir).unwrap() {
+            for r in super::super::record::decode_all(&std::fs::read(p).unwrap()).0 {
+                if r.lsn() > last {
+                    last = r.lsn();
+                    seen += 1;
+                }
+            }
+        }
+        assert_eq!(seen, 2, "both records recoverable exactly once");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsyncgate_watermark_frozen_until_rewritten_segment_syncs() {
+        let _serial = faults::gate();
+        let dir = tmpdir("fsyncgate-freeze");
+        let tag = dir.to_string_lossy().into_owned();
+        let mut cfg = DurabilityConfig::new(DurabilityMode::Sync, &dir);
+        cfg.flush_retries = 0; // first failure degrades immediately
+        cfg.retry_base_us = 1;
+        let wal = WalSet::open(&cfg, 1).unwrap();
+        let w: Writes = vec![(1, Some(11))];
+        let before = wal.durable_lsn(0);
+        // 2 fsync failures: the failed flush (attempt 1) and the first
+        // probe; the second probe's fsync succeeds and rejoins.
+        let guard = faults::install(FaultPlan::fsync_transient(0, 0, 2).tagged(&tag));
+        let lsn = wal.append(0, Append::Write(&w)).unwrap();
+        assert_eq!(wal.flush(0), Err(WalError::Unavailable));
+        assert_eq!(wal.durable_lsn(0), before, "failed fsync must not advance the watermark");
+        assert_eq!(wal.health(0), ShardHealth::ReadOnly);
+        assert_eq!(
+            wal.append(0, Append::Write(&w)),
+            Err(WalError::Unavailable),
+            "degraded shard sheds updates"
+        );
+        assert!(!wal.probe(0), "first probe still hits the injected failure");
+        assert_eq!(wal.durable_lsn(0), before);
+        assert!(wal.probe(0), "healed medium rejoins via the probe");
+        assert_eq!(wal.health(0), ShardHealth::Healthy);
+        assert_eq!(wal.durable_lsn(0), lsn, "retained frame became durable on rejoin");
+        drop(guard);
+        let st = wal.stats();
+        assert_eq!(st.wal_rejoins, 1);
+        assert_eq!(st.sync_acks_early, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn probe_failures_escalate_to_failed_then_rejoin() {
+        let _serial = faults::gate();
+        let dir = tmpdir("escalate");
+        let tag = dir.to_string_lossy().into_owned();
+        let mut cfg = DurabilityConfig::new(DurabilityMode::Sync, &dir);
+        cfg.flush_retries = 0;
+        cfg.retry_base_us = 1;
+        cfg.probe_fail_limit = 2;
+        let wal = WalSet::open(&cfg, 1).unwrap();
+        let w: Writes = vec![(3, Some(33))];
+        let guard = faults::install(FaultPlan::fsync_permanent(0, 0).tagged(&tag));
+        wal.append(0, Append::Write(&w)).unwrap();
+        assert_eq!(wal.flush(0), Err(WalError::Unavailable));
+        assert_eq!(wal.health(0), ShardHealth::ReadOnly);
+        assert!(!wal.probe(0));
+        assert_eq!(wal.health(0), ShardHealth::ReadOnly, "below the escalation limit");
+        assert!(!wal.probe(0));
+        assert_eq!(wal.health(0), ShardHealth::Failed, "probe_fail_limit misses escalate");
+        guard.clear();
+        assert!(wal.probe(0), "a Failed shard still probes and rejoins");
+        assert_eq!(wal.health(0), ShardHealth::Healthy);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrubber_catches_latent_corruption_and_requests_checkpoint() {
+        let dir = tmpdir("scrub");
+        let cfg = DurabilityConfig::new(DurabilityMode::Sync, &dir);
+        let wal = WalSet::open(&cfg, 1).unwrap();
+        let w: Writes = vec![(9, Some(90))];
+        wal.append(0, Append::Write(&w)).unwrap();
+        wal.flush(0).unwrap();
+        wal.scrub(0);
+        assert_eq!(wal.stats().scrub_corruptions, 0, "clean log scrubs clean");
+        assert!(!wal.wants_checkpoint(0));
+        // Flip a bit under the durable watermark, as a decaying disk would.
+        let (_, seg) = segments(&dir.join("shard-0")).unwrap().pop().unwrap();
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&seg, bytes).unwrap();
+        wal.scrub(0);
+        let st = wal.stats();
+        assert_eq!(st.scrub_corruptions, 1, "coverage fell below the watermark");
+        assert!(st.scrub_passes >= 2);
+        assert!(wal.wants_checkpoint(0), "corruption triggers a re-checkpoint request");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -88,8 +88,9 @@ pub mod shard;
 pub mod store;
 
 pub use durability::{
-    recover, recover_and_open, CrashSite, CrashSpec, DurabilityConfig, DurabilityMode,
-    RecoveryReport, WalSet,
+    recover, recover_and_open, CrashSite, CrashSpec, DurabilityConfig, DurabilityMode, FaultGuard,
+    FaultPlan, FaultReport, FaultTarget, RecoveryReport, ShardHealth, StorageError,
+    StorageErrorKind, WalError, WalSet,
 };
 pub use pipeline::{ClassLat, KvClient, PendingReply, Pipeline, PipelineConfig, ServiceReport};
 pub use proc::{KvTx, LocalTx, ProcCtx, ProcRegistry, Procedure, PROC_WRITE_MAX};
@@ -109,6 +110,10 @@ pub enum KvError {
     /// A multi-key write exceeds the pipeline's `multi_key_max` (executor
     /// scratch is pre-sized; unbounded write sets are refused up front).
     TooLarge,
+    /// An update routed to a shard whose log is degraded (`ReadOnly` or
+    /// `Failed` storage health). Reads still serve; the shard rejoins
+    /// via probe writes once the medium heals.
+    Unavailable,
 }
 
 impl std::fmt::Display for KvError {
@@ -117,6 +122,7 @@ impl std::fmt::Display for KvError {
             KvError::Overloaded => write!(f, "overloaded: submission queue full"),
             KvError::ShuttingDown => write!(f, "shutting down: submissions closed"),
             KvError::TooLarge => write!(f, "multi-key op exceeds the pipeline's multi_key_max"),
+            KvError::Unavailable => write!(f, "unavailable: shard's log is degraded"),
         }
     }
 }

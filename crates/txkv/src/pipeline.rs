@@ -47,7 +47,7 @@
 //! shutdown. A `Drop` backstop on the internal request envelope
 //! guarantees this even if an executor unwinds.
 
-use crate::durability::{Append, CrashSite, DurabilityMode, WalDead, WalSet, Writes};
+use crate::durability::{Append, CrashSite, DurabilityMode, WalError, WalSet, Writes};
 use crate::proc::{ProcCtx, ProcRegistry, PROC_WRITE_MAX};
 use crate::queue::{PushError, SubmitQueue};
 use crate::shard::{
@@ -224,9 +224,27 @@ impl KvClient {
             }
             _ => {}
         }
-        let slot = Arc::new(ReplySlot::new());
         let read_only = op.read_only();
         let route = self.shared.map.route(&op);
+        // Health-based admission: an update routed to a shard whose log
+        // is degraded is refused up front with the typed outcome (reads
+        // still flow; a halted WAL keeps the serve-time shed path so
+        // crash semantics are unchanged).
+        if !read_only {
+            if let Some(w) = &self.shared.wal {
+                if w.alive() {
+                    let degraded = match &route {
+                        Route::Single(s) => !w.health(*s).writable(),
+                        Route::Cross(set) => set.iter().any(|&s| !w.health(s).writable()),
+                    };
+                    if degraded {
+                        w.note_degraded_shed();
+                        return Err(KvError::Unavailable);
+                    }
+                }
+            }
+        }
+        let slot = Arc::new(ReplySlot::new());
         let req = Request { op, slot: slot.clone(), enqueued: Instant::now() };
         let pushed = match route {
             Route::Single(s) => self.shared.shards[s].queue.try_push(read_only, req),
@@ -425,6 +443,9 @@ pub struct ServiceReport {
     pub durability: &'static str,
     /// WAL / checkpoint / recovery counters (all zero without a WAL).
     pub wal: WalStats,
+    /// Final per-shard storage health, by [`crate::ShardHealth`] name
+    /// (empty without a WAL).
+    pub shard_health: Vec<&'static str>,
 }
 
 impl ServiceReport {
@@ -452,6 +473,7 @@ impl ServiceReport {
             backend_stats: ThreadStats::default(),
             durability: "off",
             wal: WalStats::default(),
+            shard_health: Vec::new(),
         }
     }
 
@@ -546,6 +568,23 @@ impl ServiceReport {
                 self.wal.recovery_torn,
                 self.wal.wal_dead_sheds,
             );
+            let w = &self.wal;
+            let unhealthy = self.shard_health.iter().any(|&h| h != "healthy");
+            if unhealthy
+                || w.wal_retries + w.degraded_sheds + w.wal_rejoins + w.scrub_corruptions > 0
+            {
+                let _ = writeln!(
+                    s,
+                    "  health {:?}: {} flush retries, {} degraded sheds, {} rejoins, {} ckpt failures; scrub {} passes / {} corruptions",
+                    self.shard_health,
+                    w.wal_retries,
+                    w.degraded_sheds,
+                    w.wal_rejoins,
+                    w.checkpoint_failures,
+                    w.scrub_passes,
+                    w.scrub_corruptions,
+                );
+            }
         }
         for cl in &self.class {
             if cl.count() == 0 {
@@ -595,6 +634,9 @@ pub struct Pipeline<B: TmBackend> {
     shared: Arc<Shared>,
     cfg: PipelineConfig,
     handles: Vec<JoinHandle<ExecOut>>,
+    /// Storage-health maintenance loop (rejoin probes + scrubber); only
+    /// spawned for durable pipelines with a nonzero maintenance cadence.
+    maint: Option<JoinHandle<()>>,
 }
 
 impl<B: TmBackend> Pipeline<B> {
@@ -694,7 +736,35 @@ impl<B: TmBackend> Pipeline<B> {
                     .expect("spawn executor")
             })
             .collect();
-        Pipeline { domains, shared, cfg, handles }
+        // Background storage maintenance: probe degraded shards back to
+        // health, scrub checkpoints + log tails for latent corruption.
+        let maint = shared.wal.as_ref().filter(|w| w.maintenance_interval_ms() > 0).map(|w| {
+            let w = Arc::clone(w);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("txkv-wal-maint".into())
+                .spawn(move || {
+                    let tick = Duration::from_millis(w.maintenance_interval_ms());
+                    let scrub_every = Duration::from_millis(w.scrub_interval_ms().max(1));
+                    let mut last_scrub = Instant::now();
+                    while !shared.hard_stop.load(Ordering::Acquire) {
+                        for s in 0..w.shards() {
+                            if !w.health(s).writable() {
+                                w.probe(s);
+                            }
+                        }
+                        if w.scrub_interval_ms() > 0 && last_scrub.elapsed() >= scrub_every {
+                            last_scrub = Instant::now();
+                            for s in 0..w.shards() {
+                                w.scrub(s);
+                            }
+                        }
+                        std::thread::sleep(tick);
+                    }
+                })
+                .expect("spawn wal maintenance")
+        });
+        Pipeline { domains, shared, cfg, handles, maint }
     }
 
     /// A new submission handle (clone freely, share across threads).
@@ -747,6 +817,9 @@ impl<B: TmBackend> Pipeline<B> {
             ctx.queue.wake_all();
         }
         self.shared.xqueue.wake_all();
+        if let Some(m) = self.maint {
+            let _ = m.join();
+        }
         let mut report = ServiceReport::new(
             self.domains[0].0.name(),
             self.cfg.executors,
@@ -763,6 +836,7 @@ impl<B: TmBackend> Pipeline<B> {
         if let Some(w) = &self.shared.wal {
             report.durability = w.mode().name();
             report.wal = w.stats();
+            report.shard_health = w.health_names();
         }
         report
     }
@@ -1026,6 +1100,17 @@ fn wal_maintain(
             if wal.durable_lsn(pending[i].shard) >= pending[i].lsn {
                 let p = pending.swap_remove(i);
                 finish(p.req, p.reply, p.service, out);
+            } else if !wal.health(pending[i].shard).writable() {
+                // The shard's log degraded under this ack: answer the
+                // typed outcome now (never ack — the fsync didn't land).
+                // The frame stays retained in the shard's buffer, so the
+                // write may still persist at rejoin — indeterminate for
+                // the client, like any un-acked write.
+                let p = pending.swap_remove(i);
+                wal.note_degraded_shed();
+                out.shed += 1;
+                p.req.slot.fill(KvReply::Unavailable);
+                drop(p.req);
             } else {
                 i += 1;
             }
@@ -1106,13 +1191,26 @@ fn serve_update<T: TmThread>(
     procs: Option<&ProcRegistry>,
 ) {
     if let Some(w) = wal {
-        if !w.alive() {
-            // Simulated power loss: nothing can become durable, so
-            // accepting updates would hand out un-loggable acks.
-            w.note_dead_shed();
-            out.shed += 1;
-            drop(req);
-            return;
+        match w.admits(shard) {
+            Ok(()) => {}
+            Err(WalError::Dead) => {
+                // Simulated power loss: nothing can become durable, so
+                // accepting updates would hand out un-loggable acks.
+                w.note_dead_shed();
+                out.shed += 1;
+                drop(req);
+                return;
+            }
+            Err(WalError::Unavailable) => {
+                // Degraded storage on this shard: shed the update with
+                // the typed outcome (reads still serve; the maintenance
+                // probe rejoins the shard when its medium heals).
+                w.note_degraded_shed();
+                out.shed += 1;
+                req.slot.fill(KvReply::Unavailable);
+                drop(req);
+                return;
+            }
         }
     }
     let aborts_before = thread.stats().aborts();
@@ -1219,11 +1317,20 @@ fn serve_update<T: TmThread>(
         (Some(w), Some(Ok(lsn))) if w.mode() == DurabilityMode::Sync => {
             pending.push(PendingAck { req, reply, service, lsn, shard });
         }
-        (Some(w), Some(Err(WalDead))) if w.mode() == DurabilityMode::Sync => {
+        (Some(w), Some(Err(WalError::Dead))) if w.mode() == DurabilityMode::Sync => {
             // Committed in memory but lost the log before the fsync: the
             // client is shed (never acked), exactly what recovery shows.
             w.note_dead_shed();
             out.shed += 1;
+            drop(req);
+        }
+        (Some(w), Some(Err(WalError::Unavailable))) if w.mode() == DurabilityMode::Sync => {
+            // The shard degraded between admission and append: committed
+            // in memory, nothing logged — answer the typed outcome
+            // un-acked (indeterminate for the client, like any timeout).
+            w.note_degraded_shed();
+            out.shed += 1;
+            req.slot.fill(KvReply::Unavailable);
             drop(req);
         }
         _ => finish(req, reply, service, out),
@@ -1382,6 +1489,15 @@ fn serve_xshard_update<B: TmBackend>(
             drop(req);
             return;
         }
+        // 2PC never starts against a degraded participant: one shard's
+        // bad disk must not burn prepare/compensate work on the others.
+        if set.iter().any(|&s| !w.health(s).writable()) {
+            w.note_degraded_shed();
+            out.shed += 1;
+            req.slot.fill(KvReply::Unavailable);
+            drop(req);
+            return;
+        }
     }
     if matches!(&req.op, KvOp::Call { .. }) {
         serve_xshard_call(domains, shared, threads, scratches, cfg, req, out, set);
@@ -1403,7 +1519,7 @@ fn serve_xshard_update<B: TmBackend>(
     let inflight = Cell::new(None::<usize>); // shard mid-transaction at panic time
     let xbegun = Cell::new(false); // XBegin records are durable
     let undos: RefCell<Vec<UndoImage>> = RefCell::new(Vec::with_capacity(set.len()));
-    let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<(), WalDead> {
+    let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<(), WalError> {
         for (pi, &s) in set.iter().enumerate() {
             inflight.set(Some(s));
             let mut part = ShardPart {
@@ -1474,7 +1590,7 @@ fn serve_xshard_update<B: TmBackend>(
                 } else if decided {
                     break; // durably committed already; the log just died
                 } else {
-                    return Err(WalDead);
+                    return Err(WalError::Dead);
                 }
             }
             w.crash_point(CrashSite::AfterDecision);
@@ -1485,11 +1601,16 @@ fn serve_xshard_update<B: TmBackend>(
     for &s in &set {
         out.shard_served[s] += 1;
     }
+    let mut degraded = false;
     let failed = match attempt {
         Ok(Ok(())) => false,
-        // The WAL died before any decision became durable: recovery will
-        // presume abort, so the live side must abort too.
-        Ok(Err(WalDead)) => true,
+        // The log died (power loss) or a participant degraded before any
+        // decision became durable: recovery will presume abort, so the
+        // live side must abort too — through the same compensation.
+        Ok(Err(e)) => {
+            degraded = e == WalError::Unavailable;
+            true
+        }
         Err(_) => {
             // The panicking participant's transaction did not commit (the
             // injector fires inside transaction bodies); its handle is
@@ -1547,6 +1668,15 @@ fn serve_xshard_update<B: TmBackend>(
     }
     out.twopc.aborts += 1;
     out.shed += 1;
+    if degraded {
+        // A participant's log degraded mid-protocol (it won the race
+        // against the admission pre-check): fully compensated, answered
+        // with the same typed refusal the pre-check gives.
+        if let Some(w) = wal {
+            w.note_degraded_shed();
+        }
+        req.slot.fill(KvReply::Unavailable);
+    }
     drop(req); // Drop backstop answers KvReply::Shed: fully aborted
 }
 
@@ -1613,7 +1743,7 @@ fn serve_xshard_call<B: TmBackend>(
     let user_abort = Cell::new(false);
     let undos: RefCell<Vec<UndoImage>> = RefCell::new(Vec::with_capacity(set.len()));
     let outputs: RefCell<Vec<u64>> = RefCell::new(Vec::new());
-    let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<(), WalDead> {
+    let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<(), WalError> {
         let mut escalated = false;
         let mut xw: Writes = Vec::new();
         for &s in set.iter() {
@@ -1719,7 +1849,7 @@ fn serve_xshard_call<B: TmBackend>(
                 } else if decided {
                     break; // durably committed already; the log just died
                 } else {
-                    return Err(WalDead);
+                    return Err(WalError::Dead);
                 }
             }
             w.crash_point(CrashSite::AfterDecision);
@@ -1730,9 +1860,13 @@ fn serve_xshard_call<B: TmBackend>(
     for &s in &set {
         out.shard_served[s] += 1;
     }
+    let mut degraded = false;
     let failed = match attempt {
         Ok(Ok(())) => false,
-        Ok(Err(WalDead)) => true,
+        Ok(Err(e)) => {
+            degraded = e == WalError::Unavailable;
+            true
+        }
         Err(_) => {
             if let Some(s) = inflight.get() {
                 recover_handle(domains, threads, scratches, s, scratch_keys(cfg, shared), out);
@@ -1784,6 +1918,14 @@ fn serve_xshard_call<B: TmBackend>(
     } else {
         out.twopc.aborts += 1;
         out.shed += 1;
+        if degraded {
+            // Same typed refusal as the admission pre-check: a leg's log
+            // degraded mid-call, everything is rolled back.
+            if let Some(w) = wal {
+                w.note_degraded_shed();
+            }
+            req.slot.fill(KvReply::Unavailable);
+        }
         drop(req); // Drop backstop answers KvReply::Shed: fully aborted
     }
 }

@@ -503,6 +503,10 @@ pub enum KvReply {
     /// The request was accepted but shed during shutdown before being
     /// served (drain deadline passed). Never silently dropped.
     Shed,
+    /// The request's shard has a degraded (read-only or failed) log:
+    /// the update was shed un-acked — reads on the shard still serve —
+    /// and the shard rejoins automatically once its storage heals.
+    Unavailable,
 }
 
 #[cfg(test)]

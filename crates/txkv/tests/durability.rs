@@ -22,11 +22,14 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tm_api::TmBackend;
+use txkv::durability::storage as faults;
+use txkv::durability::{checkpoint, Append, Writes};
 use txkv::{
-    recover, recover_and_open, CrashSite, CrashSpec, DurabilityConfig, DurabilityMode, KvClient,
-    KvError, KvOp, KvReply, Pipeline, PipelineConfig, RecoveryReport, ShardMap, WalSet,
+    recover, recover_and_open, CrashSite, CrashSpec, DurabilityConfig, DurabilityMode, FaultPlan,
+    FaultTarget, KvClient, KvError, KvOp, KvReply, Pipeline, PipelineConfig, RecoveryReport,
+    ShardMap, WalError, WalSet,
 };
 use txmem::hooks::chaos::{self, ChaosConfig};
 
@@ -378,6 +381,143 @@ fn after_commit_window<B: TmBackend>(mut mk: impl FnMut(usize) -> B) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The graceful-degradation scenario of ISSUE 9: a permanent fsync
+/// fault on one shard must leave the others at full ack rate, shed that
+/// shard's updates as the typed `Unavailable` outcome (never a Sync
+/// ack), keep serving its reads, rejoin it via probe writes once the
+/// fault clears, and lose no acked write across a subsequent
+/// crash + recovery.
+fn storage_degradation<B: TmBackend>(mut mk: impl FnMut(usize) -> B) {
+    let dir = tmpdir("degrade");
+    let mut dcfg = DurabilityConfig::new(DurabilityMode::Sync, &dir);
+    dcfg.group_commit_max = 4;
+    dcfg.flush_retries = 1;
+    dcfg.retry_base_us = 1;
+    dcfg.maintenance_interval_ms = 5;
+    dcfg.scrub_interval_ms = 0;
+    let map = shard_map();
+    let (domains, wal, _) =
+        recover_and_open(&dcfg, &map, &mut mk, 0, 1 << 16).expect("open durable domains");
+    let pipeline = Pipeline::start_durable(domains, map, pipeline_cfg(), Arc::clone(&wal));
+    let client = pipeline.client();
+    let mut acked: HashMap<u64, u64> = HashMap::new();
+    for k in (0..KEYS).step_by(2) {
+        let reply = client.call(KvOp::Put { key: k, val: INITIAL });
+        assert!(matches!(reply, Ok(KvReply::Done { .. })), "seeding put not acked: {reply:?}");
+    }
+    // Shard 1's disk goes permanently bad (fsync always fails).
+    let tag = dir.to_string_lossy().into_owned();
+    let guard = faults::install(FaultPlan::fsync_permanent(1, 0).tagged(&tag));
+    let bad_key = PER_SHARD + 1; // odd key on shard 1: outside conservation
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while wal.health(1).writable() {
+        let _ = client.call(KvOp::Put { key: bad_key, val: 1 });
+        assert!(Instant::now() < deadline, "shard 1 never degraded under a permanent fault");
+    }
+    // Degraded shard: every update is refused with the typed outcome —
+    // a Sync ack is impossible (the fsync can't land), so any `Done`
+    // here would be a lie.
+    for i in 0..20u64 {
+        match client.call(KvOp::Put { key: bad_key, val: 100 + i }) {
+            Ok(KvReply::Unavailable) | Err(KvError::Unavailable) => {}
+            other => panic!("degraded shard must shed updates as Unavailable, got {other:?}"),
+        }
+    }
+    // ...but its reads still serve, from the intact in-memory store.
+    match client.call(KvOp::Get { key: PER_SHARD }) {
+        Ok(KvReply::Value(Some(v))) => assert_eq!(v, INITIAL),
+        other => panic!("degraded shard must keep serving reads, got {other:?}"),
+    }
+    // The healthy shards stay at full ack rate: every single update to
+    // them must be served and acked while shard 1 is down.
+    for round in 0..50u64 {
+        for s in [0usize, 2, 3] {
+            let k = s as u64 * PER_SHARD + 1;
+            let reply = client.call(KvOp::Put { key: k, val: round + 1 });
+            assert!(
+                matches!(reply, Ok(KvReply::Done { .. })),
+                "healthy shard {s} must ack at full rate while shard 1 is degraded: {reply:?}"
+            );
+            acked.insert(k, round + 1);
+        }
+    }
+    // 2PC never starts against the degraded participant…
+    match client.call(KvOp::MultiAdd { deltas: vec![(0, -1), (PER_SHARD, 1)] }) {
+        Ok(KvReply::Unavailable) | Err(KvError::Unavailable) => {}
+        other => panic!("2PC touching a degraded shard must be refused, got {other:?}"),
+    }
+    // …while 2PC avoiding it commits normally.
+    let reply = client.call(KvOp::MultiAdd { deltas: vec![(0, -1), (2 * PER_SHARD, 1)] });
+    assert!(matches!(reply, Ok(KvReply::Done { .. })), "healthy-shard 2PC must serve: {reply:?}");
+    assert!(!wal.health(1).writable(), "the permanent fault must hold shard 1 degraded");
+    // The medium heals: the maintenance probe rejoins the shard…
+    guard.clear();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !wal.health(1).writable() {
+        assert!(Instant::now() < deadline, "cleared fault but shard 1 never rejoined");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // …and acks resume.
+    let reply = client.call(KvOp::Put { key: bad_key, val: 777 });
+    assert!(matches!(reply, Ok(KvReply::Done { .. })), "rejoined shard must ack: {reply:?}");
+    acked.insert(bad_key, 777);
+    // Pull the plug: everything acked above must survive recovery.
+    wal.halt_all();
+    let report = pipeline.shutdown();
+    drop(guard);
+    assert_eq!(report.wal.sync_acks_early, 0, "an ack outran its fsync under storage faults");
+    assert!(report.wal.degraded_sheds > 0, "the degraded shard never shed a typed Unavailable");
+    assert!(report.wal.wal_rejoins >= 1, "the probe rejoin was never counted");
+    verify_recovered(&dir, &mut mk, Some(&acked), "storage-degradation");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// ENOSPC in the middle of a checkpoint: the tmp → fsync → rename path
+/// must leave the previous checkpoint valid, the shard healthy (the log
+/// still covers its state), and recovery must replay from the old
+/// checkpoint + log tail.
+#[test]
+fn enospc_mid_checkpoint_keeps_previous_checkpoint_valid() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let _serial = faults::gate();
+    let dir = tmpdir("enospc-ckpt");
+    let dcfg = DurabilityConfig::new(DurabilityMode::Sync, &dir);
+    let wal = WalSet::open(&dcfg, 1).expect("open wal");
+    wal.install_checkpoint(0, &[(0, 1_000)]).expect("baseline checkpoint");
+    let w: Writes = vec![(2, Some(7))];
+    wal.append(0, Append::Write(&w)).expect("append");
+    wal.flush(0).expect("flush");
+    // The disk fills up exactly when the next checkpoint's tmp file is
+    // written (segments stay writable: Checkpoint-targeted fault).
+    let tag = dir.to_string_lossy().into_owned();
+    let guard = faults::install(FaultPlan::enospc(0, FaultTarget::Checkpoint, 0).tagged(&tag));
+    assert_eq!(
+        wal.install_checkpoint(0, &[(0, 1_000), (2, 7)]),
+        Err(WalError::Unavailable),
+        "a full disk must surface as the typed error"
+    );
+    assert_eq!(
+        wal.health(0),
+        txkv::ShardHealth::Healthy,
+        "a failed checkpoint write must not degrade the shard: the previous checkpoint and the uncut log still cover its state"
+    );
+    assert!(wal.stats().checkpoint_failures >= 1);
+    drop(guard);
+    // The previous checkpoint is still the newest valid one…
+    let sdir = dir.join("shard-0");
+    let (ckpt_lsn, entries) = checkpoint::latest_valid(&sdir).expect("previous checkpoint valid");
+    assert_eq!(entries, vec![(0, 1_000)]);
+    assert!(ckpt_lsn < 2, "the failed checkpoint must not have been published");
+    // …and recovery replays the log tail on top of it.
+    let map = ShardMap::range(1, PER_SHARD);
+    let (domains, _) = recover(&dir, &map, |_| si_htm::SiHtm::with_defaults(1 << 16), 0, 1 << 16)
+        .expect("recovery");
+    let read = |k: u64| domains[0].1.load_raw(domains[0].0.memory(), k);
+    assert_eq!(read(0), Some(1_000));
+    assert_eq!(read(2), Some(7), "the log record past the old checkpoint must replay");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 macro_rules! durability_suite {
     ($name:ident, $make:expr) => {
         mod $name {
@@ -425,6 +565,13 @@ macro_rules! durability_suite {
             fn commit_point_crash_sheds_instead_of_lying() {
                 let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
                 after_commit_window($make);
+            }
+
+            #[test]
+            fn storage_fault_degrades_one_shard_and_rejoins() {
+                let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+                let _serial = faults::gate();
+                storage_degradation($make);
             }
         }
     };
