@@ -163,7 +163,7 @@ fn may_refuse(plan: Option<Plan>, shards: &[usize]) -> bool {
 fn call(client: &KvClient, op: KvOp) -> Result<KvReply, KvError> {
     loop {
         match client.call(op.clone()) {
-            Err(KvError::Overloaded) => std::thread::yield_now(),
+            Err(KvError::Overloaded { .. }) => std::thread::yield_now(),
             other => return other,
         }
     }
@@ -206,7 +206,7 @@ fn drive_client(
                         tally.acked.insert(k, ctr);
                         tally.acked_puts += 1;
                     }
-                    Ok(KvReply::Unavailable) | Err(KvError::Unavailable) => {
+                    Ok(KvReply::Unavailable) | Err(KvError::Unavailable { .. }) => {
                         tally.sheds += 1;
                         if !may_refuse(plan, &[shard_of(k)]) {
                             tally.healthy_refusals += 1;
@@ -237,7 +237,7 @@ fn drive_client(
                 let op = KvOp::MultiAdd { deltas: vec![(ka, -amount), (kb, amount)] };
                 match call(client, op) {
                     Ok(KvReply::Done { .. }) => {}
-                    Ok(KvReply::Unavailable) | Err(KvError::Unavailable) => {
+                    Ok(KvReply::Unavailable) | Err(KvError::Unavailable { .. }) => {
                         tally.sheds += 1;
                         if !may_refuse(plan, &[sa, sb]) {
                             tally.healthy_refusals += 1;

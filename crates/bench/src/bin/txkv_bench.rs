@@ -42,8 +42,25 @@
 //!   e2e/service percentiles from the pipeline's per-procedure
 //!   histograms. Replaces the kv modes for the run.
 //!
+//! * **net** (`--net tcp|uds`) — the `txkv-net` loopback soak, replacing
+//!   the kv modes: a solo protected-tenant baseline, then the same load
+//!   with a noisy neighbor flooding open-loop far past its per-tenant
+//!   quota. Emits per-tenant schema-v6 rows; `--assert-service` gates
+//!   answered-or-shed at the wire, zero starved executors, typed
+//!   per-tenant throttling of the noisy tenant, and the protected
+//!   tenant's contended p99 within 1.5× of its solo baseline (with a
+//!   2 ms absolute floor below which the ratio measures scheduler
+//!   noise). A violation writes `NET_FAILURE.json`.
+//! * **`--listen ADDR` / `--listen-uds PATH`** — standalone server:
+//!   serve a fresh SI-HTM pipeline over the wire until stdin closes.
+//! * **`--connect ADDR` / `--connect-uds PATH`** — standalone client:
+//!   closed-loop load as `--tenant N --token T`, reporting
+//!   client-observed round-trip percentiles.
+//!
 //! Results go to `BENCH_TXKV.json` in the versioned `bench::schema`
-//! envelope (v5: adds the storage-fault health columns — see
+//! envelope (v6: adds `offered_per_sec` — offered load over the arrival
+//! window only, excluding warm-up and drain — and the per-tenant net
+//! rows; v5 added the storage-fault health columns — see
 //! `bench::schema`; v4 added `workload` and `tx_class`; v3 added the
 //! `durability` column and `wal_*` counters; v2 added `shards`,
 //! `cross_shard_pct`, `tick_us`, `ro_replies_per_sec` and the `twopc_*`
@@ -72,6 +89,8 @@
 //!         [--backends si-htm,htm] [--rate N] [--duration-ms N]
 //!         [--shards N] [--cross-shard-pct P] [--sweep] [--tpcc-service]
 //!         [--durability off|async|sync] [--durability-sweep]
+//!         [--net tcp|uds] [--listen ADDR] [--listen-uds PATH]
+//!         [--connect ADDR] [--connect-uds PATH] [--tenant N] [--token T]
 //!         [--chaos] [--storage-faults] [--assert-service]`
 
 use bench::{schema, Backend};
@@ -87,6 +106,7 @@ use txkv::{
     DurabilityConfig, DurabilityMode, FaultPlan, FaultTarget, KvError, KvOp, Pipeline,
     PipelineConfig, ServiceReport, ShardMap, WalSet,
 };
+use txkv_net::{NetClient, NetReport, NetServer, NetServerConfig, ShedConfig, TenantSpec};
 use txkv_schema::index_hits;
 use txmem::hooks::chaos::{self, ChaosConfig};
 use workloads::btree;
@@ -124,6 +144,22 @@ struct Args {
     storage_faults: bool,
     /// Run TPC-C through the typed service layer instead of the kv modes.
     tpcc_service: bool,
+    /// Run the network soak over this transport instead of the kv modes:
+    /// a solo protected-tenant baseline, then the same load with a noisy
+    /// neighbor flooding open-loop past saturation (`tcp` | `uds`).
+    net: Option<String>,
+    /// Standalone server: serve the pipeline over TCP at this address
+    /// until stdin closes.
+    listen: Option<String>,
+    /// Standalone server: additionally (or only) serve over this UDS path.
+    listen_uds: Option<String>,
+    /// Standalone client: closed-loop load against a remote TCP server.
+    connect: Option<String>,
+    /// Standalone client: closed-loop load against a remote UDS server.
+    connect_uds: Option<String>,
+    /// Tenant credentials for `--connect`.
+    tenant: u64,
+    token: u64,
 }
 
 fn parse_args() -> Args {
@@ -183,6 +219,18 @@ fn parse_args() -> Args {
         durability_sweep: has("--durability-sweep"),
         storage_faults: has("--storage-faults"),
         tpcc_service: has("--tpcc-service"),
+        net: val("--net").map(|s| {
+            assert!(s == "tcp" || s == "uds", "--net takes tcp or uds");
+            s.to_string()
+        }),
+        listen: val("--listen").map(str::to_string),
+        listen_uds: val("--listen-uds").map(str::to_string),
+        connect: val("--connect").map(str::to_string),
+        connect_uds: val("--connect-uds").map(str::to_string),
+        tenant: val("--tenant").map(|s| s.parse().expect("--tenant takes an integer")).unwrap_or(1),
+        token: val("--token")
+            .map(|s| s.parse().expect("--token takes an integer"))
+            .unwrap_or(NET_PROT_TOKEN),
     }
 }
 
@@ -260,8 +308,21 @@ struct ModeOut {
     submitted: u64,
     rejected: u64,
     wall: Duration,
+    /// Submission window only: from the first arrival to the last, before
+    /// the pipeline drains. Offered load is `(submitted + rejected) /
+    /// arrival` — dividing by `wall` (which includes backend/WAL warm-up
+    /// before the loop and the shutdown drain after it) under-reports
+    /// offered rate badly on short network runs.
+    arrival: Duration,
     /// Effective open-loop arrival tick, µs (0 for non-paced modes).
     tick_us: u64,
+}
+
+impl ModeOut {
+    /// Offered load over the arrival window (accepted + refused), per sec.
+    fn offered_per_sec(&self) -> f64 {
+        (self.submitted + self.rejected) as f64 / self.arrival.as_secs_f64().max(1e-9)
+    }
 }
 
 fn pipeline_cfg(args: &Args) -> PipelineConfig {
@@ -313,7 +374,7 @@ fn open_loop<B: TmBackend>(pipeline: Pipeline<B>, args: &Args) -> ModeOut {
                 // A degraded shard refuses updates with a typed error at
                 // admission; under --storage-faults that is the designed
                 // answer, counted with the overload rejections.
-                Err(KvError::Overloaded) | Err(KvError::Unavailable) => rejected += 1,
+                Err(KvError::Overloaded { .. }) | Err(KvError::Unavailable { .. }) => rejected += 1,
                 Err(e) => panic!("open-loop submit failed: {e}"),
             }
         }
@@ -324,8 +385,9 @@ fn open_loop<B: TmBackend>(pipeline: Pipeline<B>, args: &Args) -> ModeOut {
             std::thread::sleep(next_edge - elapsed);
         }
     }
+    let arrival = t0.elapsed();
     let report = pipeline.shutdown();
-    ModeOut { report, submitted, rejected, wall: t0.elapsed(), tick_us: tick_ns / 1000 }
+    ModeOut { report, submitted, rejected, wall: t0.elapsed(), arrival, tick_us: tick_ns / 1000 }
 }
 
 /// Closed loop: blocking clients, one outstanding request each.
@@ -345,8 +407,8 @@ fn closed_loop<B: TmBackend>(pipeline: Pipeline<B>, args: &Args) -> ModeOut {
                             Ok(_) => done += 1,
                             // Answered-or-shed: a typed Unavailable from a
                             // degraded shard is an answer, not a hang.
-                            Err(KvError::Unavailable) => done += 1,
-                            Err(KvError::Overloaded) => std::thread::yield_now(),
+                            Err(KvError::Unavailable { .. }) => done += 1,
+                            Err(KvError::Overloaded { .. }) => std::thread::yield_now(),
                             Err(e) => panic!("closed-loop call failed: {e}"),
                         }
                     }
@@ -358,8 +420,9 @@ fn closed_loop<B: TmBackend>(pipeline: Pipeline<B>, args: &Args) -> ModeOut {
             submitted += h.join().expect("closed-loop client");
         }
     });
+    let arrival = t0.elapsed();
     let report = pipeline.shutdown();
-    ModeOut { report, submitted, rejected: 0, wall: t0.elapsed(), tick_us: 0 }
+    ModeOut { report, submitted, rejected: 0, wall: t0.elapsed(), arrival, tick_us: 0 }
 }
 
 /// Overload: full-speed flood against a tiny queue on one executor. The
@@ -377,7 +440,7 @@ fn overload<B: TmBackend>(pipeline: Pipeline<B>, args: &Args) -> ModeOut {
                 drop(p);
                 submitted += 1;
             }
-            Err(KvError::Overloaded) | Err(KvError::Unavailable) => rejected += 1,
+            Err(KvError::Overloaded { .. }) | Err(KvError::Unavailable { .. }) => rejected += 1,
             Err(e) => panic!("overload submit failed: {e}"),
         }
         if i % 1024 == 0 {
@@ -385,8 +448,9 @@ fn overload<B: TmBackend>(pipeline: Pipeline<B>, args: &Args) -> ModeOut {
             assert!(ro <= cap && rw <= cap, "queue depth exceeded its cap: ro={ro} rw={rw}");
         }
     }
+    let arrival = t0.elapsed();
     let report = pipeline.shutdown();
-    ModeOut { report, submitted, rejected, wall: t0.elapsed(), tick_us: 0 }
+    ModeOut { report, submitted, rejected, wall: t0.elapsed(), arrival, tick_us: 0 }
 }
 
 // -------------------------------------------------- dispatch + checking
@@ -692,6 +756,7 @@ fn row_json(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> String 
          \"rate\": {}, \"duration_ms\": {}, \
          \"executors\": {}, \"shards\": {}, \"cross_shard_pct\": {}, \"tick_us\": {}, \"host_cpus\": {}, \
          \"chaos\": {}, \"durability\": \"{}\", \"submitted\": {}, \"rejected\": {}, \
+         \"offered_per_sec\": {:.0}, \
          \"replies\": {}, \"shed\": {}, \"overloaded\": {}, \"replies_per_sec\": {:.0}, \
          \"ro_replies_per_sec\": {:.0}, \
          \"ro_batches\": {}, \"ro_batch_ops\": {}, \"mean_ro_batch\": {:.2}, \
@@ -718,6 +783,7 @@ fn row_json(backend: Backend, mode: &str, out: &ModeOut, args: &Args) -> String 
         r.durability,
         out.submitted,
         out.rejected,
+        out.offered_per_sec(),
         r.replies,
         r.shed,
         r.overloaded,
@@ -1106,8 +1172,491 @@ fn run_tpcc_cell(
     tpcc_rows(backend, mix_name, &t, rows);
 }
 
+// ---------------------------------------------------------- network soak
+
+/// The loopback soak's demo tenants (also what `--listen` serves):
+/// tenant 1 is protected (priority 0, generous quota), tenant 2 is the
+/// noisy neighbor — a modest contract it will flood far past.
+const NET_PROT: u64 = 1;
+const NET_PROT_TOKEN: u64 = 0x70726f74; // "prot"
+const NET_NOISY: u64 = 2;
+const NET_NOISY_TOKEN: u64 = 0x6e6f6973; // "nois"
+
+fn net_tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec {
+            id: NET_PROT,
+            token: NET_PROT_TOKEN,
+            priority: 0,
+            rate: 5_000_000,
+            burst: 5_000_000,
+        },
+        TenantSpec { id: NET_NOISY, token: NET_NOISY_TOKEN, priority: 2, rate: 5_000, burst: 500 },
+    ]
+}
+
+fn net_uds_path() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "txkv-bench-net-{}-{}.sock",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn net_server_config(transport: &str) -> NetServerConfig {
+    NetServerConfig {
+        tcp: (transport == "tcp").then(|| "127.0.0.1:0".to_string()),
+        uds: (transport == "uds").then(net_uds_path),
+        window: 128,
+        tenants: net_tenants(),
+        shed: ShedConfig::new(),
+    }
+}
+
+fn net_connect(server: &NetServer, tenant: u64, token: u64) -> NetClient {
+    match server.tcp_addr() {
+        Some(addr) => NetClient::connect_tcp(addr, tenant, token),
+        None => NetClient::connect_uds(server.uds_path().expect("a listener"), tenant, token),
+    }
+    .expect("bench net connect")
+}
+
+struct NetPhaseOut {
+    report: ServiceReport,
+    net: NetReport,
+    wall: Duration,
+    /// Requests the noisy floods pushed onto the wire (contended only).
+    noisy_submitted: u64,
+}
+
+fn net_tenant(net: &NetReport, id: u64) -> &txkv_net::TenantReport {
+    net.tenants.iter().find(|t| t.tenant == id).expect("tenant in net report")
+}
+
+/// The protected tenant's lightly paced closed loop: its offered load is
+/// identical in both phases, so its server-edge e2e percentiles compare
+/// directly. Every call must be answered — a refusal or a shed of the
+/// protected tenant is a bench failure, phase-independent.
+fn net_protected_load(server: &NetServer, args: &Args) {
+    let client = net_connect(server, NET_PROT, NET_PROT_TOKEN);
+    let ops = args.closed_ops;
+    let mut rng = 0x9e7_5eed;
+    for _ in 0..ops {
+        match client.call(&gen_op(&mut rng, args)) {
+            Ok(txkv::KvReply::Shed) => panic!("protected tenant's request was shed"),
+            Ok(_) => {}
+            Err(e) => panic!("protected tenant refused/errored: {e}"),
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+/// One noisy connection flooding open-loop: fire-and-forget submissions
+/// as fast as the window admits. Refusals come back as frames and are
+/// counted server-side; the flood itself never waits for them.
+fn net_noisy_flood(
+    server: &NetServer,
+    args: &Args,
+    stop: &std::sync::atomic::AtomicBool,
+    submitted: &std::sync::atomic::AtomicU64,
+) {
+    use std::sync::atomic::Ordering;
+    let client = net_connect(server, NET_NOISY, NET_NOISY_TOKEN);
+    let mut rng = 0x5015_E0F5;
+    while !stop.load(Ordering::Relaxed) {
+        match client.submit(&gen_op(&mut rng, args)) {
+            Ok(pending) => {
+                drop(pending); // open loop: the reply (or refusal) is the server's problem
+                submitted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => break, // server going away: the phase is over
+        }
+    }
+}
+
+/// One soak phase over a fresh pipeline + server: the protected tenant's
+/// paced closed loop, plus (contended) two noisy connections flooding
+/// open-loop as fast as their windows admit — far past the noisy
+/// tenant's 5 k/s contract, so per-tenant admission (not the backend
+/// queue) is what answers.
+fn run_net_phase(args: &Args, transport: &str, contended: bool) -> NetPhaseOut {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    let backoff = if args.chaos { BackoffPolicy::exponential() } else { BackoffPolicy::default() };
+    let words = memory_words();
+    let map = shard_map(args);
+    let cfg = si_htm::SiHtmConfig { backoff, ..Default::default() };
+    let domains = build_domains(
+        &map,
+        |_s| si_htm::SiHtm::new(HtmConfig::default(), words, cfg.clone()),
+        0,
+        words as u64,
+        entries(args.shards),
+    );
+    let pipeline = Pipeline::start_sharded(domains, map, pipeline_cfg(args));
+    let server =
+        NetServer::start(pipeline.client(), net_server_config(transport)).expect("net server");
+    let t0 = Instant::now();
+    let stop = AtomicBool::new(false);
+    let noisy_submitted = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..if contended { 2 } else { 0 } {
+            s.spawn(|| net_noisy_flood(&server, args, &stop, &noisy_submitted));
+        }
+        net_protected_load(&server, args);
+        // Keep the flood running a beat past the protected loop so the
+        // contention covers its whole measurement window.
+        std::thread::sleep(Duration::from_millis(100));
+        stop.store(true, Ordering::Relaxed);
+    });
+    // Order matters: drain the pipeline first (every in-flight slot is
+    // filled, so every frame reaches a connection buffer), then stop the
+    // server and take the wire-level books.
+    let report = pipeline.shutdown();
+    let net = server.shutdown();
+    NetPhaseOut {
+        report,
+        net,
+        wall: t0.elapsed(),
+        noisy_submitted: noisy_submitted.load(Ordering::Relaxed),
+    }
+}
+
+/// Scheduler-noise floor for the p99 ratio gate: below this absolute
+/// latency the 1.5× comparison measures the OS, not the service.
+const NET_P99_FLOOR_NS: u64 = 2_000_000;
+
+/// The `--assert-service` gates for the network soak (ISSUE acceptance):
+/// answered-or-shed at the wire, zero starved executors, the noisy
+/// tenant typed-refused per-tenant, and the protected tenant's contended
+/// p99 within 1.5× of its solo baseline.
+fn check_net(transport: &str, solo: &NetPhaseOut, contended: &NetPhaseOut) -> Result<(), String> {
+    for (phase, out) in [("solo", solo), ("contended", contended)] {
+        if out.report.panicked_executors != 0 {
+            return Err(format!("{phase}: {} executors panicked", out.report.panicked_executors));
+        }
+        if out.report.starved_executors != 0 {
+            return Err(format!("{phase}: {} starved executors", out.report.starved_executors));
+        }
+        if out.net.accepted != out.net.answered() {
+            return Err(format!(
+                "{phase}: answered-or-shed broken at the wire: accepted {} != answered {} \
+                 (replies_to_dead {})",
+                out.net.accepted,
+                out.net.answered(),
+                out.net.replies_to_dead
+            ));
+        }
+        let prot = net_tenant(&out.net, NET_PROT);
+        if prot.refused() != 0 {
+            return Err(format!("{phase}: protected tenant refused {} times", prot.refused()));
+        }
+        if prot.shed != 0 {
+            return Err(format!("{phase}: protected tenant shed {} times", prot.shed));
+        }
+        if prot.answered == 0 {
+            return Err(format!("{phase}: protected tenant was never served over {transport}"));
+        }
+    }
+    let noisy = net_tenant(&contended.net, NET_NOISY);
+    if noisy.refused_quota + noisy.refused_pressure == 0 {
+        return Err(format!(
+            "noisy tenant was never throttled ({} submitted, {} accepted)",
+            contended.noisy_submitted, noisy.accepted
+        ));
+    }
+    if noisy.answered == 0 {
+        return Err("throttling blackholed the noisy tenant (within-quota load must serve)".into());
+    }
+    let solo_p99 = net_tenant(&solo.net, NET_PROT).e2e.quantile(0.99);
+    let cont_p99 = net_tenant(&contended.net, NET_PROT).e2e.quantile(0.99);
+    let ceiling = ((solo_p99 as f64 * 1.5) as u64).max(NET_P99_FLOOR_NS);
+    if cont_p99 > ceiling {
+        return Err(format!(
+            "protected tenant p99 {cont_p99} ns under contention exceeds 1.5× its solo \
+             baseline {solo_p99} ns (ceiling {ceiling} ns): the noisy neighbor leaked through"
+        ));
+    }
+    Ok(())
+}
+
+fn fail_net(
+    transport: &str,
+    detail: &str,
+    solo: Option<&NetPhaseOut>,
+    cont: Option<&NetPhaseOut>,
+) -> ! {
+    let mut body =
+        format!("{{\"mode\": \"net\", \"transport\": \"{transport}\", \"failure\": {detail:?}");
+    for (phase, out) in [("solo", solo), ("contended", cont)] {
+        let Some(o) = out else { continue };
+        let _ = write!(
+            body,
+            ", \"{phase}\": {{\"requests\": {}, \"accepted\": {}, \"answered\": {}, \
+             \"refused_quota\": {}, \"refused_pressure\": {}, \"refused_backend\": {}, \
+             \"replies_to_dead\": {}, \"proto_errors\": {}, \"starved_executors\": {}, \
+             \"noisy_submitted\": {}}}",
+            o.net.requests,
+            o.net.accepted,
+            o.net.answered(),
+            o.net.refused_quota,
+            o.net.refused_pressure,
+            o.net.refused_backend,
+            o.net.replies_to_dead,
+            o.net.proto_errors,
+            o.report.starved_executors,
+            o.noisy_submitted,
+        );
+    }
+    body.push_str("}\n");
+    std::fs::write("NET_FAILURE.json", &body).expect("write NET_FAILURE.json");
+    eprintln!("FAIL net/{transport}: {detail}");
+    eprintln!("failing configuration written to NET_FAILURE.json");
+    std::process::exit(1);
+}
+
+/// One schema-v6 net row: a tenant's wire-level accounting in one phase.
+fn net_row(
+    transport: &str,
+    phase: &str,
+    out: &NetPhaseOut,
+    t: &txkv_net::TenantReport,
+    solo_p99: u64,
+    args: &Args,
+) -> String {
+    let (p50, _, p99, p999) = t.e2e.percentiles();
+    format!(
+        "{{\"backend\": \"si-htm\", \"mode\": \"net\", \"workload\": \"kv\", \"tx_class\": \"all\", \
+         \"transport\": \"{transport}\", \"phase\": \"{phase}\", \"tenant\": {}, \
+         \"priority\": {}, \"protected\": {}, \"duration_ms\": {}, \"host_cpus\": {}, \
+         \"chaos\": {}, \"offered\": {}, \"accepted\": {}, \"answered\": {}, \"shed\": {}, \
+         \"refused_quota\": {}, \"refused_pressure\": {}, \"refused_backend\": {}, \
+         \"offered_per_sec\": {:.0}, \"replies_to_dead\": {}, \"proto_errors\": {}, \
+         \"e2e_p50_ns\": {p50}, \"e2e_p99_ns\": {p99}, \"e2e_p999_ns\": {p999}, \
+         \"solo_p99_ns\": {solo_p99}}}",
+        t.tenant,
+        t.priority,
+        t.priority == 0,
+        out.wall.as_millis(),
+        host_cpus(),
+        args.chaos,
+        t.offered,
+        t.accepted,
+        t.answered,
+        t.shed,
+        t.refused_quota,
+        t.refused_pressure,
+        t.refused_backend,
+        t.offered as f64 / out.wall.as_secs_f64().max(1e-9),
+        out.net.replies_to_dead,
+        out.net.proto_errors,
+    )
+}
+
+fn print_net_phase(transport: &str, phase: &str, out: &NetPhaseOut) {
+    println!(
+        "si-htm net/{transport} {phase:>9}: {} requests, {} accepted, {} answered, \
+         {} refused (quota {} / pressure {} / backend {}), {} to-dead, starved {}",
+        out.net.requests,
+        out.net.accepted,
+        out.net.answered(),
+        out.net.refused_quota + out.net.refused_pressure + out.net.refused_backend,
+        out.net.refused_quota,
+        out.net.refused_pressure,
+        out.net.refused_backend,
+        out.net.replies_to_dead,
+        out.report.starved_executors,
+    );
+    for t in &out.net.tenants {
+        let (p50, _, p99, _) = t.e2e.percentiles();
+        println!(
+            "         tenant {} (prio {}): offered {:>8}, answered {:>8}, refused {:>8}, \
+             e2e p50/p99 = {}/{} ns",
+            t.tenant,
+            t.priority,
+            t.offered,
+            t.answered,
+            t.refused(),
+            p50,
+            p99,
+        );
+    }
+}
+
+/// The `--net` soak: solo baseline then contended run, on a watched
+/// thread each (a wedged reactor or executor is a failure artifact, not
+/// a hung CI job).
+fn run_net(args: &Args, rows: &mut Vec<String>) {
+    let transport = args.net.clone().expect("run_net needs --net");
+    let run = |contended: bool| -> NetPhaseOut {
+        let (args, tr) = (args.clone(), transport.clone());
+        let worker = std::thread::spawn(move || run_net_phase(&args, &tr, contended));
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while !worker.is_finished() {
+            if Instant::now() > deadline {
+                fail_net(&transport, "net phase hung (no completion within 120s)", None, None);
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        match worker.join() {
+            Ok(out) => out,
+            Err(p) => {
+                let msg = p
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                fail_net(&transport, &format!("net phase panicked: {msg}"), None, None)
+            }
+        }
+    };
+    let solo = run(false);
+    print_net_phase(&transport, "solo", &solo);
+    let contended = run(true);
+    print_net_phase(&transport, "contended", &contended);
+    let solo_p99 = net_tenant(&solo.net, NET_PROT).e2e.quantile(0.99);
+    let cont_p99 = net_tenant(&contended.net, NET_PROT).e2e.quantile(0.99);
+    println!(
+        "net/{transport}: protected p99 solo {solo_p99} ns → contended {cont_p99} ns \
+         ({:.2}×), noisy throttled {} of {} offered",
+        cont_p99 as f64 / solo_p99.max(1) as f64,
+        net_tenant(&contended.net, NET_NOISY).refused(),
+        net_tenant(&contended.net, NET_NOISY).offered,
+    );
+    if args.assert_service {
+        if let Err(detail) = check_net(&transport, &solo, &contended) {
+            fail_net(&transport, &detail, Some(&solo), Some(&contended));
+        }
+    }
+    rows.push(net_row(&transport, "solo", &solo, net_tenant(&solo.net, NET_PROT), solo_p99, args));
+    for t in &contended.net.tenants {
+        rows.push(net_row(&transport, "contended", &contended, t, solo_p99, args));
+    }
+}
+
+// ------------------------------------------------- standalone net modes
+
+/// `--listen`: serve a fresh SI-HTM pipeline over TCP and/or UDS until
+/// stdin closes, then print both reports. The demo tenants are printed
+/// so a `--connect` peer knows what to authenticate as.
+fn run_listen(args: &Args) {
+    let cfg = NetServerConfig {
+        tcp: args.listen.clone(),
+        uds: args.listen_uds.clone().map(Into::into),
+        window: 128,
+        tenants: net_tenants(),
+        shed: ShedConfig::new(),
+    };
+    let backoff = BackoffPolicy::default();
+    let words = memory_words();
+    let map = shard_map(args);
+    let scfg = si_htm::SiHtmConfig { backoff, ..Default::default() };
+    let domains = build_domains(
+        &map,
+        |_s| si_htm::SiHtm::new(HtmConfig::default(), words, scfg.clone()),
+        0,
+        words as u64,
+        entries(args.shards),
+    );
+    let pipeline = Pipeline::start_sharded(domains, map, pipeline_cfg(args));
+    let server = NetServer::start(pipeline.client(), cfg).expect("net server");
+    if let Some(addr) = server.tcp_addr() {
+        println!("listening tcp {addr}");
+    }
+    if let Some(path) = server.uds_path() {
+        println!("listening uds {}", path.display());
+    }
+    println!(
+        "tenants: {NET_PROT} (token {NET_PROT_TOKEN}, protected), \
+         {NET_NOISY} (token {NET_NOISY_TOKEN}, 5k/s quota); close stdin to stop"
+    );
+    let mut sink = String::new();
+    while std::io::stdin().read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+        sink.clear();
+    }
+    let report = pipeline.shutdown();
+    let net = server.shutdown();
+    println!(
+        "served {} replies ({} shed); wire: {} requests, {} accepted, {} answered, {} refused",
+        report.replies,
+        report.shed,
+        net.requests,
+        net.accepted,
+        net.answered(),
+        net.refused_quota + net.refused_pressure + net.refused_backend,
+    );
+}
+
+/// `--connect`: closed-loop clients against a remote server, reporting
+/// client-observed latency (the full wire round trip, unlike the
+/// server-edge histograms in the loopback soak).
+fn run_connect(args: &Args) {
+    let connect = || -> NetClient {
+        match (&args.connect, &args.connect_uds) {
+            (Some(addr), _) => NetClient::connect_tcp(addr.as_str(), args.tenant, args.token),
+            (None, Some(path)) => NetClient::connect_uds(path, args.tenant, args.token),
+            (None, None) => unreachable!(),
+        }
+        .expect("connect to remote server")
+    };
+    let mut hist = tm_api::LatencyHist::new();
+    let (mut ok, mut refused) = (0u64, 0u64);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..args.closed_clients)
+            .map(|c| {
+                let client = connect();
+                let ops = args.closed_ops;
+                s.spawn(move || {
+                    let mut hist = tm_api::LatencyHist::new();
+                    let mut rng = 0xC0_44EC7 ^ (c as u64 + 1);
+                    let (mut ok, mut refused) = (0u64, 0u64);
+                    for _ in 0..ops {
+                        let op_t0 = Instant::now();
+                        match client.call(&gen_op(&mut rng, args)) {
+                            Ok(_) => {
+                                hist.record(op_t0.elapsed());
+                                ok += 1;
+                            }
+                            Err(txkv_net::NetError::Refused(_)) => refused += 1,
+                            Err(e) => panic!("remote call failed: {e}"),
+                        }
+                    }
+                    (hist, ok, refused)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (h_hist, h_ok, h_refused) = h.join().expect("connect client");
+            hist.merge(&h_hist);
+            ok += h_ok;
+            refused += h_refused;
+        }
+    });
+    let wall = t0.elapsed();
+    let (p50, p90, p99, p999) = hist.percentiles();
+    println!(
+        "tenant {}: {} ok, {} refused in {:?} ({:.0}/s); \
+         client e2e p50/p90/p99/p999 = {p50}/{p90}/{p99}/{p999} ns",
+        args.tenant,
+        ok,
+        refused,
+        wall,
+        ok as f64 / wall.as_secs_f64().max(1e-9),
+    );
+}
+
 fn main() {
     let args = parse_args();
+    if args.listen.is_some() || args.listen_uds.is_some() {
+        run_listen(&args);
+        return;
+    }
+    if args.connect.is_some() || args.connect_uds.is_some() {
+        run_connect(&args);
+        return;
+    }
     if args.storage_faults {
         assert!(
             args.durability != DurabilityMode::Off || args.durability_sweep,
@@ -1149,7 +1698,10 @@ fn main() {
     });
 
     let mut rows = Vec::new();
-    if args.tpcc_service {
+    if args.net.is_some() {
+        // The network soak replaces the in-process kv modes for the run.
+        run_net(&args, &mut rows);
+    } else if args.tpcc_service {
         // TPC-C through the typed service layer replaces the kv modes.
         for &backend in &args.backends {
             for (mix_name, mix) in

@@ -86,7 +86,26 @@ pub const CHAOS_SOAK: Artifact = Artifact { name: "chaos_soak", version: 1 };
 /// `ckpt_failures`. Under `--storage-faults`, `--assert-service` still
 /// gates `wal_sync_acks_early == 0` — degraded shards shed, they never
 /// ack early.
-pub const BENCH_TXKV: Artifact = Artifact { name: "bench_txkv", version: 5 };
+///
+/// v6 added the network columns. Every kv row now carries
+/// `offered_per_sec`: offered load (accepted + refused submissions) over
+/// the *arrival window only* — the old habit of dividing by `wall`
+/// (which includes backend/WAL warm-up and the shutdown drain) badly
+/// under-reported offered rate on short runs. `txkv_bench --net tcp|uds`
+/// adds per-tenant rows with `mode: "net"`: `transport` (`tcp` / `uds`),
+/// `phase` (`solo` — the protected tenant alone, the SLO baseline — or
+/// `contended` — the same load plus a noisy neighbor flooding open-loop
+/// past saturation), `tenant`, `priority`, `protected`, and that
+/// tenant's server-edge admission/answer accounting (`offered`,
+/// `accepted`, `answered`, `shed`, `refused_quota`, `refused_pressure`,
+/// `refused_backend`) plus receive-to-reply `e2e_p50_ns` / `e2e_p99_ns`
+/// / `e2e_p999_ns`. The contended protected row also carries
+/// `solo_p99_ns` (its phase-`solo` baseline); `--assert-service` gates
+/// the noisy-neighbor SLO on exactly these two columns (contended p99 ≤
+/// 1.5× solo p99, with a small absolute floor for scheduler noise),
+/// alongside answered-or-shed (`accepted == answered + shed` at the
+/// wire, dropped connections included) and zero starved executors.
+pub const BENCH_TXKV: Artifact = Artifact { name: "bench_txkv", version: 6 };
 
 /// `STORAGE_SOAK.json` — storage-fault soak cells (`storage_soak`): one
 /// row per backend × fault plan with serve/shed/ack counts, health

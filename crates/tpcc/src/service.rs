@@ -794,7 +794,7 @@ pub fn load_warehouses(client: &KvClient, cfg: &TpccConfig, pop: &Population, ch
                 match client.call(KvOp::MultiPut { pairs: group.to_vec() }) {
                     Ok(KvReply::Done { .. }) => break,
                     Ok(other) => panic!("population MultiPut answered {other:?}"),
-                    Err(KvError::Overloaded) => {
+                    Err(KvError::Overloaded { .. }) => {
                         std::thread::sleep(std::time::Duration::from_millis(1))
                     }
                     Err(e) => panic!("population MultiPut refused: {e:?}"),
@@ -1027,7 +1027,7 @@ pub fn run_mix(
                             Ok(KvReply::CallAborted) => out.user_aborted[i] += 1,
                             Ok(KvReply::Shed) => out.shed += 1,
                             Ok(other) => panic!("call answered {other:?}"),
-                            Err(KvError::Overloaded) => {
+                            Err(KvError::Overloaded { .. }) => {
                                 out.overloaded += 1;
                                 std::thread::sleep(std::time::Duration::from_micros(50));
                             }

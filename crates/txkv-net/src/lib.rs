@@ -1,0 +1,50 @@
+//! # txkv-net — the wire-protocol front end for `txkv`
+//!
+//! Everything below this crate is an in-process library: a [`txkv`]
+//! pipeline is driven through a `KvClient` handle by threads in the same
+//! address space. `txkv-net` adds the network edge the ROADMAP's
+//! production-scale story needs, without disturbing the properties the
+//! paper's serving tier depends on — requests still enter the same
+//! bounded two-lane submission queues, read-only traffic still batches
+//! onto the RO fast path, and every accepted request is still answered
+//! or shed, now across process and machine boundaries:
+//!
+//! * [`frame`] — a length-prefixed binary protocol (magic, version,
+//!   CRC-32 per frame, correlation ids) mirroring [`txkv::KvOp`] /
+//!   [`txkv::KvReply`] one-to-one, including typed-table procedure
+//!   calls;
+//! * [`reactor`] — a small epoll reactor (poll(2) fallback off Linux),
+//!   raw-FFI because the build is offline; one thread serves every
+//!   connection;
+//! * [`NetServer`] — TCP + Unix-domain listeners, connection
+//!   multiplexing with per-connection bounded in-flight windows
+//!   (backpressure stops *reading*, it never buffers unboundedly), and
+//!   executor-side completion through [`txkv::PendingReply::on_reply`]
+//!   (no thread parked per request);
+//! * [`tenant`] — multi-tenant admission: authenticated tenant ids,
+//!   per-tenant token-bucket quotas with per-class costs, and SLO-aware
+//!   pressure shedding that drops the cheapest-to-shed class of the
+//!   noisiest tenant first — protected tenants are never pressure-shed;
+//! * [`NetClient`] — the blocking, pipelined client library used by the
+//!   bench and tests.
+//!
+//! Admission refusals are *answers*: the pipeline's typed
+//! `Overloaded`/`TooLarge`/`Unavailable` (now carrying op class and
+//! shard) travel back over the wire as per-tenant [`frame::Refusal`]
+//! frames, and a dropped connection resolves its in-flight replies
+//! through the same hooks — counted, never leaked (see
+//! [`NetReport::replies_to_dead`]).
+//!
+//! See DESIGN.md §15 for the frame format, the reactor↔executor handoff,
+//! and the shed-ordering rules.
+
+pub mod client;
+pub mod frame;
+pub mod reactor;
+pub mod server;
+pub mod tenant;
+
+pub use client::{NetClient, NetError, NetPending};
+pub use frame::{ProtoCode, Refusal, RefusalScope, RefusedKind};
+pub use server::{NetReport, NetServer, NetServerConfig};
+pub use tenant::{ShedConfig, TenantReport, TenantSpec};

@@ -1,0 +1,441 @@
+//! Multi-tenant admission: per-tenant token-bucket quotas, arrival-rate
+//! noisiness tracking, and the SLO-aware pressure-shed policy.
+//!
+//! Admission for a network request runs three gates, cheapest first:
+//!
+//! 1. **Quota** — the tenant's token bucket, refilled at `rate` tokens/s
+//!    up to `burst`, debited per request by a per-class cost (a scan
+//!    costs more than a point get). An empty bucket is a typed per-tenant
+//!    `Overloaded` with [`RefusalScope::Quota`]. Quotas bound what any
+//!    one tenant can *offer* to the shared pipeline regardless of how
+//!    fast it pipelines requests on its connections.
+//! 2. **Pressure shed** — when the backend submission queues deepen past
+//!    the configured watermarks, the server starts refusing work it
+//!    *could* enqueue, to keep queueing delay (and thus every tenant's
+//!    p99) bounded. Shedding is SLO-aware: it drops the cheapest-to-shed
+//!    classes of the *noisiest* tenant first (see [`shed_rank`]), widens
+//!    to other non-protected tenants only as pressure keeps rising, and
+//!    never sheds a protected (priority 0) tenant.
+//! 3. **Backend admission** — the pipeline's own typed refusals
+//!    (queue-full `Overloaded`, `TooLarge`, `Unavailable`), forwarded to
+//!    the wire with tenant context attached.
+//!
+//! "Noisiest" is an EWMA of the tenant's *offered* arrival rate (counted
+//! before any gate refuses, so throttling does not launder noisiness)
+//! normalized by its quota rate: the tenant most over its contracted
+//! rate sheds first, which is the only ordering a tenant can predict
+//! from its own contract.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use tm_api::LatencyHist;
+use txkv::OpClass;
+
+use crate::frame::Refusal;
+
+/// Static description of one tenant, installed at server start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Wire-visible tenant id (the `Hello` frame names it).
+    pub id: u64,
+    /// Shared-secret auth token presented in `Hello`.
+    pub token: u64,
+    /// 0 = protected: never pressure-shed. Higher values shed earlier
+    /// when the noisiness ordering ties.
+    pub priority: u8,
+    /// Token-bucket refill, tokens per second.
+    pub rate: u64,
+    /// Token-bucket capacity (burst allowance).
+    pub burst: u64,
+}
+
+impl TenantSpec {
+    /// Whether this tenant is exempt from pressure shedding.
+    pub fn protected(&self) -> bool {
+        self.priority == 0
+    }
+}
+
+/// Queue-depth watermarks driving pressure shedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedConfig {
+    /// Combined backend queue depth at which the noisiest non-protected
+    /// tenant starts losing its cheapest-to-shed class.
+    pub low: usize,
+    /// Depth at which every non-protected tenant sheds every class.
+    pub high: usize,
+}
+
+impl ShedConfig {
+    pub fn new() -> Self {
+        ShedConfig { low: 256, high: 1024 }
+    }
+}
+
+impl Default for ShedConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Token cost of admitting one op of `class` — roughly proportional to
+/// service cost, so a scan-heavy tenant exhausts its quota sooner than a
+/// point-read tenant at the same request rate.
+pub fn class_cost(class: OpClass) -> u64 {
+    match class {
+        OpClass::Get | OpClass::Put | OpClass::Delete | OpClass::Cas => 1,
+        OpClass::MultiGet | OpClass::MultiPut | OpClass::MultiAdd => 2,
+        OpClass::Scan | OpClass::Call => 4,
+    }
+}
+
+/// Shed order under pressure: lower rank is dropped first. Scans shed
+/// first — they are the cheapest to shed (pure reads, retryable, no
+/// transactional state) while being the most expensive to serve;
+/// procedure calls shed last (they carry the most client-side context
+/// per request).
+pub fn shed_rank(class: OpClass) -> u8 {
+    match class {
+        OpClass::Scan => 0,
+        OpClass::MultiGet => 1,
+        OpClass::Get => 2,
+        OpClass::Delete | OpClass::Put => 3,
+        OpClass::Cas | OpClass::MultiPut | OpClass::MultiAdd => 4,
+        OpClass::Call => 5,
+    }
+}
+
+/// One past the largest [`shed_rank`]: the level at which everything
+/// (of a non-protected tenant) sheds.
+const RANK_CEIL: f64 = 6.0;
+
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// Exponentially-weighted arrival rate estimate (ops/s), time-decayed
+/// with a ~1 s half-life so a tenant that went quiet stops counting as
+/// noisy within a couple of seconds.
+struct Ewma {
+    rate: f64,
+    last: Instant,
+}
+
+impl Ewma {
+    /// Decay factor per second: rate halves every second of silence.
+    const DECAY_PER_SEC: f64 = 0.5;
+
+    fn observe(&mut self, now: Instant) {
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        let decay = Self::DECAY_PER_SEC.powf(dt);
+        // One arrival now on top of the decayed rate; dt-normalized so
+        // the steady-state value converges to the true arrival rate.
+        self.rate = self.rate * decay + 1.0 / dt.max(1e-6) * (1.0 - decay);
+    }
+
+    fn current(&self, now: Instant) -> f64 {
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.rate * Self::DECAY_PER_SEC.powf(dt)
+    }
+}
+
+/// Per-tenant live state: spec, bucket, noisiness, stats.
+pub(crate) struct TenantState {
+    pub(crate) spec: TenantSpec,
+    bucket: Mutex<Bucket>,
+    arrival: Mutex<Ewma>,
+    /// Offered requests (before any gate).
+    pub(crate) offered: AtomicU64,
+    /// Accepted into the pipeline.
+    pub(crate) accepted: AtomicU64,
+    /// Answered with a real (served) reply.
+    pub(crate) answered: AtomicU64,
+    /// Answered `Shed` by the pipeline (accepted, then shed at drain).
+    pub(crate) shed: AtomicU64,
+    /// Refused by the quota gate.
+    pub(crate) refused_quota: AtomicU64,
+    /// Refused by the pressure-shed gate.
+    pub(crate) refused_pressure: AtomicU64,
+    /// Refused by backend admission (queue full / TooLarge / Unavailable).
+    pub(crate) refused_backend: AtomicU64,
+    /// Per-class refusals, all gates combined (index = `OpClass::index`).
+    pub(crate) refused_class: [AtomicU64; 9],
+    /// Receive-to-reply latency measured at the server edge.
+    pub(crate) e2e: Mutex<LatencyHist>,
+}
+
+impl TenantState {
+    fn new(spec: TenantSpec, now: Instant) -> Self {
+        TenantState {
+            spec,
+            bucket: Mutex::new(Bucket { tokens: spec.burst as f64, last: now }),
+            arrival: Mutex::new(Ewma { rate: 0.0, last: now }),
+            offered: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            answered: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            refused_quota: AtomicU64::new(0),
+            refused_pressure: AtomicU64::new(0),
+            refused_backend: AtomicU64::new(0),
+            refused_class: Default::default(),
+            e2e: Mutex::new(LatencyHist::new()),
+        }
+    }
+
+    /// Debit the bucket for one op of `class`; `false` = quota refusal.
+    fn try_debit(&self, class: OpClass, now: Instant) -> bool {
+        let mut b = self.bucket.lock().unwrap();
+        let dt = now.duration_since(b.last).as_secs_f64();
+        b.last = now;
+        b.tokens = (b.tokens + dt * self.spec.rate as f64).min(self.spec.burst as f64);
+        let cost = class_cost(class) as f64;
+        if b.tokens >= cost {
+            b.tokens -= cost;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Offered-rate over quota-rate: > 1 means the tenant is pushing past
+    /// its contract. Protected tenants still report it (for the stats),
+    /// but are never shed on it.
+    fn noisiness(&self, now: Instant) -> f64 {
+        let rate = self.arrival.lock().unwrap().current(now);
+        rate / (self.spec.rate as f64).max(1.0)
+    }
+}
+
+/// What the admission gates decided for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// Hand the op to the pipeline.
+    Admit,
+    /// Refuse with this typed, per-tenant refusal.
+    Refuse(Refusal),
+}
+
+/// The tenant directory plus the shared shed policy.
+pub(crate) struct TenantTable {
+    pub(crate) tenants: Vec<TenantState>,
+    shed: ShedConfig,
+}
+
+impl TenantTable {
+    pub(crate) fn new(specs: &[TenantSpec], shed: ShedConfig) -> TenantTable {
+        let now = Instant::now();
+        TenantTable { tenants: specs.iter().map(|&s| TenantState::new(s, now)).collect(), shed }
+    }
+
+    /// Authenticate a `Hello`; returns the tenant's index in the table.
+    pub(crate) fn auth(&self, id: u64, token: u64) -> Option<usize> {
+        self.tenants.iter().position(|t| t.spec.id == id && t.spec.token == token)
+    }
+
+    /// Index of the noisiest non-protected tenant, if any is currently
+    /// over its contracted rate at all.
+    fn noisiest(&self, now: Instant) -> Option<usize> {
+        self.tenants
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.spec.protected())
+            .map(|(i, t)| (i, t.noisiness(now)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(i, _)| i)
+    }
+
+    /// Run the quota + pressure gates for one request. `depth` is the
+    /// backend's current combined submission-queue depth (the pressure
+    /// signal). Always records the arrival (noisiness tracks *offered*
+    /// load), and tallies the refusal when one is returned.
+    pub(crate) fn admit(&self, tenant_ix: usize, class: OpClass, depth: usize) -> Gate {
+        let now = Instant::now();
+        let t = &self.tenants[tenant_ix];
+        t.offered.fetch_add(1, Ordering::Relaxed);
+        t.arrival.lock().unwrap().observe(now);
+
+        if !t.try_debit(class, now) {
+            t.refused_quota.fetch_add(1, Ordering::Relaxed);
+            t.refused_class[class.index()].fetch_add(1, Ordering::Relaxed);
+            return Gate::Refuse(Refusal::quota(t.spec.id, class));
+        }
+
+        if self.pressure_shed(tenant_ix, class, depth, now) {
+            t.refused_pressure.fetch_add(1, Ordering::Relaxed);
+            t.refused_class[class.index()].fetch_add(1, Ordering::Relaxed);
+            return Gate::Refuse(Refusal::pressure(t.spec.id, class));
+        }
+
+        Gate::Admit
+    }
+
+    /// Record a backend refusal against the tenant (gate 3 lives in the
+    /// server, which owns the `KvClient`).
+    pub(crate) fn note_backend_refusal(&self, tenant_ix: usize, class: Option<OpClass>) {
+        let t = &self.tenants[tenant_ix];
+        t.refused_backend.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = class {
+            t.refused_class[c.index()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The SLO-aware shed decision. Pressure maps linearly from the
+    /// `low..high` depth band onto shed levels `1..=6`; a request sheds
+    /// when its class's [`shed_rank`] is below the level that applies to
+    /// its tenant. The noisiest tenant feels the full level; everyone
+    /// else (non-protected) only starts shedding past the midpoint of
+    /// the band, ordered by priority (higher numeric priority sheds at
+    /// a lower threshold). Protected tenants never shed here.
+    fn pressure_shed(&self, tenant_ix: usize, class: OpClass, depth: usize, now: Instant) -> bool {
+        let t = &self.tenants[tenant_ix];
+        if t.spec.protected() || depth < self.shed.low {
+            return false;
+        }
+        let span = (self.shed.high.saturating_sub(self.shed.low)).max(1) as f64;
+        let frac = ((depth - self.shed.low) as f64 / span).min(1.0);
+        let level = |f: f64| (f * RANK_CEIL).ceil().min(RANK_CEIL) as u8;
+        if self.noisiest(now) == Some(tenant_ix) {
+            return shed_rank(class) < level(frac);
+        }
+        // Quieter tenants: no shedding in the lower half of the band;
+        // the upper half ramps 0..full, slightly earlier for lower
+        // priority (higher `priority` value).
+        let prio_bias = f64::from(t.spec.priority.min(4)) * 0.05;
+        let f = ((frac - 0.5 + prio_bias) * 2.0).max(0.0);
+        if f <= 0.0 {
+            return false;
+        }
+        shed_rank(class) < level(f.min(1.0))
+    }
+}
+
+/// Per-tenant slice of the final [`crate::NetReport`].
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    pub tenant: u64,
+    pub priority: u8,
+    pub offered: u64,
+    pub accepted: u64,
+    /// Answered with a served reply (everything accepted minus `shed`).
+    pub answered: u64,
+    /// Accepted but answered `Shed` (pipeline drain / executor loss).
+    pub shed: u64,
+    pub refused_quota: u64,
+    pub refused_pressure: u64,
+    pub refused_backend: u64,
+    /// Per-class refusals, indexed like [`OpClass::ALL`].
+    pub refused_class: [u64; 9],
+    /// Receive-to-reply latency at the server edge.
+    pub e2e: LatencyHist,
+}
+
+impl TenantReport {
+    pub(crate) fn from_state(t: &TenantState) -> TenantReport {
+        TenantReport {
+            tenant: t.spec.id,
+            priority: t.spec.priority,
+            offered: t.offered.load(Ordering::Relaxed),
+            accepted: t.accepted.load(Ordering::Relaxed),
+            answered: t.answered.load(Ordering::Relaxed),
+            shed: t.shed.load(Ordering::Relaxed),
+            refused_quota: t.refused_quota.load(Ordering::Relaxed),
+            refused_pressure: t.refused_pressure.load(Ordering::Relaxed),
+            refused_backend: t.refused_backend.load(Ordering::Relaxed),
+            refused_class: std::array::from_fn(|i| t.refused_class[i].load(Ordering::Relaxed)),
+            e2e: t.e2e.lock().unwrap().clone(),
+        }
+    }
+
+    /// Total typed refusals across all gates.
+    pub fn refused(&self) -> u64 {
+        self.refused_quota + self.refused_pressure + self.refused_backend
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::RefusalScope;
+
+    fn spec(id: u64, priority: u8, rate: u64, burst: u64) -> TenantSpec {
+        TenantSpec { id, token: id ^ 0xA5, priority, rate, burst }
+    }
+
+    #[test]
+    fn auth_checks_both_id_and_token() {
+        let t = TenantTable::new(&[spec(1, 0, 100, 10)], ShedConfig::new());
+        assert_eq!(t.auth(1, 1 ^ 0xA5), Some(0));
+        assert_eq!(t.auth(1, 0), None);
+        assert_eq!(t.auth(2, 2 ^ 0xA5), None);
+    }
+
+    #[test]
+    fn bucket_exhausts_and_refills() {
+        let t = TenantTable::new(&[spec(1, 0, 1_000, 4)], ShedConfig::new());
+        // Burst of 4 single-cost ops drains the bucket; the 5th refuses.
+        for _ in 0..4 {
+            assert_eq!(t.admit(0, OpClass::Get, 0), Gate::Admit);
+        }
+        assert!(matches!(t.admit(0, OpClass::Get, 0), Gate::Refuse(r)
+            if r.scope == RefusalScope::Quota && r.tenant == 1));
+        // Refill at 1000/s: a few ms buys the next token.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(t.admit(0, OpClass::Get, 0), Gate::Admit);
+    }
+
+    #[test]
+    fn scans_cost_more_than_gets() {
+        let t = TenantTable::new(&[spec(1, 0, 1, 4)], ShedConfig::new());
+        // One scan (cost 4) drains what four gets would.
+        assert_eq!(t.admit(0, OpClass::Scan, 0), Gate::Admit);
+        assert!(matches!(t.admit(0, OpClass::Get, 0), Gate::Refuse(_)));
+    }
+
+    #[test]
+    fn protected_tenants_never_pressure_shed() {
+        let shed = ShedConfig { low: 10, high: 20 };
+        let t = TenantTable::new(&[spec(1, 0, 1_000_000, 1_000_000)], shed);
+        for _ in 0..100 {
+            assert_eq!(t.admit(0, OpClass::Scan, usize::MAX / 2), Gate::Admit);
+        }
+    }
+
+    #[test]
+    fn noisiest_tenant_sheds_cheapest_class_first() {
+        let shed = ShedConfig { low: 100, high: 700 };
+        let specs = [
+            spec(1, 0, 1_000_000, 1_000_000),
+            spec(2, 1, 10, 1_000_000),
+            spec(3, 1, 1_000_000, 1_000_000),
+        ];
+        let t = TenantTable::new(&specs, shed);
+        // Make tenant 2 (index 1) visibly noisy: hammer arrivals so its
+        // EWMA rate dwarfs its tiny contracted rate of 10/s.
+        for _ in 0..2_000 {
+            let _ = t.admit(1, OpClass::Get, 0);
+        }
+        let now = Instant::now();
+        assert_eq!(t.noisiest(now), Some(1), "tenant 2 must rank noisiest");
+        // Depth just past `low`: level 1 — only rank-0 (Scan) sheds, and
+        // only for the noisiest tenant.
+        assert!(t.pressure_shed(1, OpClass::Scan, 101, now));
+        assert!(!t.pressure_shed(1, OpClass::Get, 101, now));
+        assert!(!t.pressure_shed(2, OpClass::Scan, 101, now), "quiet tenant keeps scans");
+        // Full band: the noisy tenant loses everything; the quiet
+        // non-protected tenant sheds too; protected tenant never does.
+        assert!(t.pressure_shed(1, OpClass::Call, 700, now));
+        assert!(t.pressure_shed(2, OpClass::Call, 700, now));
+        assert!(!t.pressure_shed(0, OpClass::Scan, 700, now));
+    }
+
+    #[test]
+    fn shed_rank_orders_scans_before_calls() {
+        assert!(shed_rank(OpClass::Scan) < shed_rank(OpClass::Get));
+        assert!(shed_rank(OpClass::Get) < shed_rank(OpClass::Put));
+        assert!(shed_rank(OpClass::Put) < shed_rank(OpClass::Call));
+    }
+}

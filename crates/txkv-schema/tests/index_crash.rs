@@ -230,7 +230,7 @@ fn run_load<B: TmBackend>(
                             }
                             Ok(KvReply::Shed) => {}
                             Ok(other) => panic!("unexpected call reply {other:?}"),
-                            Err(KvError::Overloaded | KvError::ShuttingDown) => {}
+                            Err(KvError::Overloaded { .. } | KvError::ShuttingDown) => {}
                             Err(e) => panic!("unexpected admission error {e:?}"),
                         }
                     }

@@ -99,30 +99,90 @@ pub use shard::{Partitioning, Route, ShardMap, XLock};
 pub use store::{KvOp, KvReply, KvStore, OpClass};
 
 /// Typed service-layer errors surfaced to submitters.
+///
+/// Refusals carry the refused op's [`OpClass`] and (where routing has
+/// already happened) the shard that refused, so a fronting layer — the
+/// wire protocol in `txkv-net`, the BENCH rows — can report *which*
+/// lane/class shed without re-deriving the route. All variants stay
+/// `Copy`: a refusal is a small value that crosses thread and wire
+/// boundaries freely.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KvError {
-    /// Admission control shed the request: the submission queue for its
-    /// op class is full. Back off and retry; the queue never grows
-    /// without bound.
-    Overloaded,
+    /// Admission control shed the request: the submission queue lane for
+    /// its op class is full. Back off and retry; the queue never grows
+    /// without bound. `shard` is `None` for cross-shard requests refused
+    /// at the shared xqueue.
+    Overloaded {
+        /// Class of the refused op.
+        class: OpClass,
+        /// Shard whose queue was full, or `None` for the cross-shard queue.
+        shard: Option<u32>,
+    },
     /// The pipeline is draining or stopped; no new work is accepted.
     ShuttingDown,
     /// A multi-key write exceeds the pipeline's `multi_key_max` (executor
     /// scratch is pre-sized; unbounded write sets are refused up front).
-    TooLarge,
+    TooLarge {
+        /// Class of the refused op.
+        class: OpClass,
+        /// Keys the op carried.
+        keys: u32,
+        /// The pipeline's `multi_key_max`.
+        max: u32,
+    },
     /// An update routed to a shard whose log is degraded (`ReadOnly` or
     /// `Failed` storage health). Reads still serve; the shard rejoins
     /// via probe writes once the medium heals.
-    Unavailable,
+    Unavailable {
+        /// Class of the refused op.
+        class: OpClass,
+        /// First degraded shard on the op's route.
+        shard: u32,
+    },
+}
+
+impl KvError {
+    /// The refused op's class, when the refusal is class-specific
+    /// (`ShuttingDown` refuses everything and carries none).
+    pub fn class(&self) -> Option<OpClass> {
+        match self {
+            KvError::Overloaded { class, .. }
+            | KvError::TooLarge { class, .. }
+            | KvError::Unavailable { class, .. } => Some(*class),
+            KvError::ShuttingDown => None,
+        }
+    }
+
+    /// The shard that refused, where routing had already resolved one.
+    pub fn shard(&self) -> Option<u32> {
+        match self {
+            KvError::Overloaded { shard, .. } => *shard,
+            KvError::Unavailable { shard, .. } => Some(*shard),
+            KvError::TooLarge { .. } | KvError::ShuttingDown => None,
+        }
+    }
 }
 
 impl std::fmt::Display for KvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            KvError::Overloaded => write!(f, "overloaded: submission queue full"),
+            KvError::Overloaded { class, shard: Some(s) } => {
+                write!(f, "overloaded: {} lane full on shard {s}", class.name())
+            }
+            KvError::Overloaded { class, shard: None } => {
+                write!(f, "overloaded: {} lane full on the cross-shard queue", class.name())
+            }
             KvError::ShuttingDown => write!(f, "shutting down: submissions closed"),
-            KvError::TooLarge => write!(f, "multi-key op exceeds the pipeline's multi_key_max"),
-            KvError::Unavailable => write!(f, "unavailable: shard's log is degraded"),
+            KvError::TooLarge { class, keys, max } => {
+                write!(
+                    f,
+                    "{} with {keys} keys exceeds the pipeline's multi_key_max {max}",
+                    class.name()
+                )
+            }
+            KvError::Unavailable { class, shard } => {
+                write!(f, "unavailable: {} refused, shard {shard}'s log is degraded", class.name())
+            }
         }
     }
 }

@@ -123,30 +123,81 @@ impl Default for PipelineConfig {
     }
 }
 
-/// Write-once reply cell a client blocks on.
+/// Completion callback registered on a [`ReplySlot`]; runs exactly once,
+/// at fill time (or immediately on registration if the slot is already
+/// filled). Boxed because each request carries at most one.
+type FillHook = Box<dyn FnOnce(KvReply) + Send>;
+
+/// Write-once reply cell a client blocks on — or, with a registered
+/// [`FillHook`], an async completion a network front end is called back
+/// on instead of parking a thread per in-flight request.
 struct ReplySlot {
-    cell: Mutex<Option<KvReply>>,
+    cell: Mutex<SlotInner>,
     filled: Condvar,
+}
+
+struct SlotInner {
+    reply: Option<KvReply>,
+    hook: Option<FillHook>,
+}
+
+/// Hooks run on whichever thread fills the slot — an executor, or an
+/// unwinding `Request::drop` — so a panicking hook must not take down
+/// the service path (a panic inside `Drop` during unwind aborts the
+/// process). Catch it; the slot itself is already filled either way.
+fn run_fill_hook(hook: FillHook, reply: KvReply) {
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || hook(reply)));
 }
 
 impl ReplySlot {
     fn new() -> Self {
-        ReplySlot { cell: Mutex::new(None), filled: Condvar::new() }
+        ReplySlot {
+            cell: Mutex::new(SlotInner { reply: None, hook: None }),
+            filled: Condvar::new(),
+        }
     }
 
     /// First write wins; later fills are no-ops (the `Drop` backstop).
+    /// The hook, if any, is taken under the lock but invoked outside it:
+    /// a hook is arbitrary caller code and must not hold up `wait()`ers.
     fn fill(&self, reply: KvReply) {
-        let mut g = self.cell.lock().unwrap();
-        if g.is_none() {
-            *g = Some(reply);
+        let hook = {
+            let mut g = self.cell.lock().unwrap();
+            if g.reply.is_some() {
+                return;
+            }
+            g.reply = Some(reply.clone());
             self.filled.notify_all();
+            g.hook.take()
+        };
+        if let Some(h) = hook {
+            run_fill_hook(h, reply);
+        }
+    }
+
+    /// Register the completion hook. If the reply already landed the hook
+    /// fires right here on the caller's thread — registration can race
+    /// with a fast executor, and "exactly once" must survive that race.
+    fn on_fill(&self, hook: FillHook) {
+        let ready = {
+            let mut g = self.cell.lock().unwrap();
+            match g.reply.clone() {
+                Some(r) => Some(r),
+                None => {
+                    g.hook = Some(hook);
+                    return;
+                }
+            }
+        };
+        if let Some(r) = ready {
+            run_fill_hook(hook, r);
         }
     }
 
     fn wait(&self) -> KvReply {
         let mut g = self.cell.lock().unwrap();
         loop {
-            if let Some(r) = g.as_ref() {
+            if let Some(r) = g.reply.as_ref() {
                 return r.clone();
             }
             g = self.filled.wait(g).unwrap();
@@ -154,7 +205,7 @@ impl ReplySlot {
     }
 
     fn try_get(&self) -> Option<KvReply> {
-        self.cell.lock().unwrap().clone()
+        self.cell.lock().unwrap().reply.clone()
     }
 }
 
@@ -215,15 +266,21 @@ impl KvClient {
     /// dropped — open-loop load generators fire and forget, and the
     /// pipeline still records the end-to-end latency at reply time).
     pub fn submit(&self, op: KvOp) -> Result<PendingReply, KvError> {
+        let too_large = |keys: usize| KvError::TooLarge {
+            class: op.class(),
+            keys: keys as u32,
+            max: self.shared.multi_key_max as u32,
+        };
         match &op {
             KvOp::MultiPut { pairs } if pairs.len() > self.shared.multi_key_max => {
-                return Err(KvError::TooLarge)
+                return Err(too_large(pairs.len()))
             }
             KvOp::MultiAdd { deltas } if deltas.len() > self.shared.multi_key_max => {
-                return Err(KvError::TooLarge)
+                return Err(too_large(deltas.len()))
             }
             _ => {}
         }
+        let class = op.class();
         let read_only = op.read_only();
         let route = self.shared.map.route(&op);
         // Health-based admission: an update routed to a shard whose log
@@ -234,20 +291,25 @@ impl KvClient {
             if let Some(w) = &self.shared.wal {
                 if w.alive() {
                     let degraded = match &route {
-                        Route::Single(s) => !w.health(*s).writable(),
-                        Route::Cross(set) => set.iter().any(|&s| !w.health(s).writable()),
+                        Route::Single(s) if !w.health(*s).writable() => Some(*s as u32),
+                        Route::Cross(set) => {
+                            set.iter().find(|&&s| !w.health(s).writable()).map(|&s| s as u32)
+                        }
+                        _ => None,
                     };
-                    if degraded {
+                    if let Some(shard) = degraded {
                         w.note_degraded_shed();
-                        return Err(KvError::Unavailable);
+                        return Err(KvError::Unavailable { class, shard });
                     }
                 }
             }
         }
         let slot = Arc::new(ReplySlot::new());
         let req = Request { op, slot: slot.clone(), enqueued: Instant::now() };
-        let pushed = match route {
-            Route::Single(s) => self.shared.shards[s].queue.try_push(read_only, req),
+        let (pushed, refused_shard) = match route {
+            Route::Single(s) => {
+                (self.shared.shards[s].queue.try_push(read_only, req), Some(s as u32))
+            }
             Route::Cross(_) => {
                 let r = self.shared.xqueue.try_push(read_only, req);
                 if r.is_ok() {
@@ -257,7 +319,7 @@ impl KvClient {
                         ctx.queue.wake_all();
                     }
                 }
-                r
+                (r, None)
             }
         };
         match pushed {
@@ -267,7 +329,7 @@ impl KvClient {
                 // Forget nothing: the envelope's Drop fills Shed, but the
                 // slot is ours and unreturned, so nobody observes it.
                 drop(req);
-                Err(KvError::Overloaded)
+                Err(KvError::Overloaded { class, shard: refused_shard })
             }
             Err(PushError::Closed(_)) => Err(KvError::ShuttingDown),
         }
@@ -300,6 +362,20 @@ impl PendingReply {
     /// Non-blocking poll.
     pub fn try_get(&self) -> Option<KvReply> {
         self.slot.try_get()
+    }
+
+    /// Register a completion callback instead of blocking. The callback
+    /// runs **exactly once** with the final reply — including the
+    /// `Drop`-backstop [`KvReply::Shed`] when the request is shed at
+    /// shutdown or executor panic — on whichever thread fills the slot
+    /// (an executor, usually). If the reply already landed, the callback
+    /// fires immediately on the calling thread. This is the network front
+    /// end's completion path: no parked thread per in-flight request.
+    ///
+    /// A panicking callback is caught and discarded (fills can happen
+    /// inside `Drop` during unwind; a second panic there would abort).
+    pub fn on_reply(self, f: impl FnOnce(KvReply) + Send + 'static) {
+        self.slot.on_fill(Box::new(f));
     }
 }
 
@@ -2291,7 +2367,11 @@ mod tests {
         for i in 0..5_000u64 {
             match client.submit(KvOp::Put { key: i, val: i }) {
                 Ok(pr) => accepted.push(pr),
-                Err(KvError::Overloaded) => overloaded += 1,
+                Err(KvError::Overloaded { class, shard }) => {
+                    assert_eq!(class, OpClass::Put);
+                    assert_eq!(shard, Some(0), "single-shard refusal names its shard");
+                    overloaded += 1;
+                }
                 Err(e) => panic!("unexpected error {e:?}"),
             }
             let (ro, rw) = client.queue_depths();
@@ -2311,9 +2391,15 @@ mod tests {
         let p = pipeline(1);
         let client = p.client();
         let pairs: Vec<(u64, u64)> = (0..64).map(|i| (i, i)).collect();
-        assert_eq!(client.call(KvOp::MultiPut { pairs }), Err(KvError::TooLarge));
+        assert_eq!(
+            client.call(KvOp::MultiPut { pairs }),
+            Err(KvError::TooLarge { class: OpClass::MultiPut, keys: 64, max: 16 })
+        );
         let deltas: Vec<(u64, i64)> = (0..64).map(|i| (i, 1)).collect();
-        assert_eq!(client.call(KvOp::MultiAdd { deltas }), Err(KvError::TooLarge));
+        assert_eq!(
+            client.call(KvOp::MultiAdd { deltas }),
+            Err(KvError::TooLarge { class: OpClass::MultiAdd, keys: 64, max: 16 })
+        );
         let report = p.shutdown();
         assert_eq!(report.replies, 0);
     }

@@ -182,7 +182,7 @@ fn client_load(t: u64, client: KvClient, wal: Arc<WalSet>) -> (HashMap<u64, u64>
             },
             Ok(KvReply::Shed) => {}
             Ok(other) => panic!("unexpected update reply {other:?}"),
-            Err(KvError::Overloaded | KvError::ShuttingDown) => {}
+            Err(KvError::Overloaded { .. } | KvError::ShuttingDown) => {}
             Err(e) => panic!("unexpected admission error {e:?}"),
         }
     }
@@ -419,7 +419,7 @@ fn storage_degradation<B: TmBackend>(mut mk: impl FnMut(usize) -> B) {
     // here would be a lie.
     for i in 0..20u64 {
         match client.call(KvOp::Put { key: bad_key, val: 100 + i }) {
-            Ok(KvReply::Unavailable) | Err(KvError::Unavailable) => {}
+            Ok(KvReply::Unavailable) | Err(KvError::Unavailable { .. }) => {}
             other => panic!("degraded shard must shed updates as Unavailable, got {other:?}"),
         }
     }
@@ -443,7 +443,7 @@ fn storage_degradation<B: TmBackend>(mut mk: impl FnMut(usize) -> B) {
     }
     // 2PC never starts against the degraded participant…
     match client.call(KvOp::MultiAdd { deltas: vec![(0, -1), (PER_SHARD, 1)] }) {
-        Ok(KvReply::Unavailable) | Err(KvError::Unavailable) => {}
+        Ok(KvReply::Unavailable) | Err(KvError::Unavailable { .. }) => {}
         other => panic!("2PC touching a degraded shard must be refused, got {other:?}"),
     }
     // …while 2PC avoiding it commits normally.

@@ -166,7 +166,7 @@ fn drain_answers_or_sheds<B: TmBackend>(backend: B) {
         let op = if i % 2 == 0 { KvOp::Put { key: i, val: i } } else { KvOp::Get { key: i } };
         match client.submit(op) {
             Ok(pending) => accepted.push(pending),
-            Err(KvError::Overloaded) => {}
+            Err(KvError::Overloaded { .. }) => {}
             Err(e) => panic!("unexpected admission error {e:?}"),
         }
     }

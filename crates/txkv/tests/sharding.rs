@@ -96,7 +96,7 @@ fn run_sharded<B: TmBackend + Clone>(mk: impl FnMut(usize) -> B) -> (ServiceRepo
                             );
                         }
                         Ok(_) => {}
-                        Err(KvError::Overloaded) => {}
+                        Err(KvError::Overloaded { .. }) => {}
                         Err(e) => panic!("unexpected admission error {e:?}"),
                     }
                 }
